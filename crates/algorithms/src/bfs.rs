@@ -1,0 +1,178 @@
+//! Breadth-first search in the language of linear algebra: frontier
+//! expansion is `q<!visited> = q ⊕.⊗ A` with the Boolean `lor.land`
+//! semiring, the complemented-mask pruning being exactly the trick the BC
+//! example's forward sweep uses (paper §VII-C).
+
+use graphblas_core::prelude::*;
+
+/// BFS levels from `src` over a Boolean adjacency matrix: `None` for
+/// unreachable vertices, `Some(0)` for the source.
+pub fn bfs_levels(ctx: &Context, a: &Matrix<bool>, src: Index) -> Result<Vec<Option<usize>>> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(Error::DimensionMismatch("adjacency must be square".into()));
+    }
+    if src >= n {
+        return Err(Error::InvalidIndex(format!("source {src} out of range")));
+    }
+    let levels = Vector::<i64>::new(n)?;
+    let q = Vector::from_tuples(n, &[(src, true)])?;
+    // structural: level 0 is a stored value that casts to false, but the
+    // source must still be pruned from future frontiers
+    let push = Descriptor::default()
+        .complement_mask()
+        .structural_mask()
+        .replace();
+    let mut d = 0i64;
+    loop {
+        // levels<q> = d (merge mode: only frontier positions written)
+        ctx.assign_scalar_vector(&levels, &q, NoAccum, d, ALL, &Descriptor::default())?;
+        // q<!levels> = q lor.land A (replace): expand and prune visited
+        ctx.vxm(&q, &levels, NoAccum, lor_land(), &q, a, &push)?;
+        if q.nvals()? == 0 {
+            break;
+        }
+        d += 1;
+    }
+    let mut out = vec![None; n];
+    for (i, lv) in levels.extract_tuples()? {
+        out[i] = Some(lv as usize);
+    }
+    Ok(out)
+}
+
+/// BFS parent tree from `src` using the `min.first` semiring: frontier
+/// values carry vertex ids, so each newly discovered vertex receives the
+/// minimum-id parent (deterministic tie-breaking).
+pub fn bfs_parents(ctx: &Context, a: &Matrix<bool>, src: Index) -> Result<Vec<Option<usize>>> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(Error::DimensionMismatch("adjacency must be square".into()));
+    }
+    if src >= n {
+        return Err(Error::InvalidIndex(format!("source {src} out of range")));
+    }
+    // ids(i) = i, used to re-stamp each frontier with its own ids
+    let ids: Vec<(Index, u64)> = (0..n).map(|i| (i, i as u64)).collect();
+    let iota = Vector::from_tuples(n, &ids)?;
+    let parents = Vector::from_tuples(n, &[(src, src as u64)])?;
+    let frontier = Vector::from_tuples(n, &[(src, src as u64)])?;
+    // the adjacency is Boolean; propagate parent ids with min.first over
+    // a cast view of A (first-arg values are the frontier's ids)
+    let desc = Descriptor::default()
+        .complement_mask()
+        .structural_mask()
+        .replace();
+    loop {
+        // next<!parents> = frontier min.first A: each discovered vertex
+        // gets the smallest frontier id pointing at it
+        let next = Vector::<u64>::new(n)?;
+        ctx.vxm(
+            &next,
+            &parents,
+            NoAccum,
+            SemiringDef::new(MinMonoid::<u64>::new(), binary_fn(|p: &u64, _e: &bool| *p)),
+            &frontier,
+            a,
+            &desc,
+        )?;
+        if next.nvals()? == 0 {
+            break;
+        }
+        // parents ∪= next (first wins; disjoint by the mask anyway)
+        ctx.ewise_add_vector(
+            &parents,
+            NoMask,
+            NoAccum,
+            First::<u64, u64>::new(),
+            &parents,
+            &next,
+            &Descriptor::default(),
+        )?;
+        // frontier = next re-stamped with its own vertex ids
+        ctx.ewise_mult_vector(
+            &frontier,
+            NoMask,
+            NoAccum,
+            Second::<u64, u64>::new(),
+            &next,
+            &iota,
+            &Descriptor::default().replace(),
+        )?;
+    }
+    let mut out = vec![None; n];
+    for (i, p) in parents.extract_tuples()? {
+        out[i] = Some(p as usize);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj(n: usize, edges: &[(usize, usize)]) -> Matrix<bool> {
+        let t: Vec<(usize, usize, bool)> = edges.iter().map(|&(u, v)| (u, v, true)).collect();
+        Matrix::from_tuples(n, n, &t).unwrap()
+    }
+
+    #[test]
+    fn levels_on_dag() {
+        let ctx = Context::blocking();
+        let a = adj(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        assert_eq!(
+            bfs_levels(&ctx, &a, 0).unwrap(),
+            vec![Some(0), Some(1), Some(1), Some(2), Some(3), None]
+        );
+    }
+
+    #[test]
+    fn levels_with_cycle() {
+        let ctx = Context::blocking();
+        let a = adj(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(
+            bfs_levels(&ctx, &a, 1).unwrap(),
+            vec![Some(2), Some(0), Some(1), Some(2)]
+        );
+    }
+
+    #[test]
+    fn parents_match_reference_tie_breaking() {
+        let ctx = Context::blocking();
+        let a = adj(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let p = bfs_parents(&ctx, &a, 0).unwrap();
+        assert_eq!(p[0], Some(0));
+        assert_eq!(p[3], Some(1)); // min-id parent among {1, 2}
+        assert_eq!(p[4], Some(3));
+        assert_eq!(p[5], None);
+    }
+
+    #[test]
+    fn isolated_source() {
+        let ctx = Context::blocking();
+        let a = adj(3, &[(1, 2)]);
+        assert_eq!(
+            bfs_levels(&ctx, &a, 0).unwrap(),
+            vec![Some(0), None, None]
+        );
+    }
+
+    #[test]
+    fn source_bounds_checked() {
+        let ctx = Context::blocking();
+        let a = adj(2, &[(0, 1)]);
+        assert!(bfs_levels(&ctx, &a, 5).is_err());
+        assert!(bfs_parents(&ctx, &a, 5).is_err());
+    }
+
+    #[test]
+    fn nonblocking_bfs_matches() {
+        let b = Context::blocking();
+        let nb = Context::nonblocking();
+        let a = adj(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 3)]);
+        assert_eq!(
+            bfs_levels(&b, &a, 0).unwrap(),
+            bfs_levels(&nb, &a, 0).unwrap()
+        );
+    }
+}

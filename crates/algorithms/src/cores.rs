@@ -1,0 +1,151 @@
+//! k-core decomposition: iteratively peel vertices of degree `< k`
+//! until a fixed point — degree counting by row reduction, pruning by
+//! `assign`-ing empty content over the peeled rows and columns.
+
+use graphblas_core::prelude::*;
+
+/// The k-core of an undirected graph (symmetric Boolean adjacency):
+/// the maximal subgraph where every vertex has degree ≥ `k`. Returns
+/// the core's adjacency (original vertex ids) and the member vertices.
+pub fn k_core(ctx: &Context, a: &Matrix<bool>, k: u64) -> Result<(Matrix<bool>, Vec<Index>)> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(Error::DimensionMismatch("adjacency must be square".into()));
+    }
+    let cur = a.dup();
+    loop {
+        // degree per vertex over the current subgraph
+        let ones = Matrix::<u64>::new(n, n)?;
+        ctx.apply_matrix(
+            &ones,
+            NoMask,
+            NoAccum,
+            unary_fn(|_: &bool| 1u64),
+            &cur,
+            &Descriptor::default(),
+        )?;
+        let deg = Vector::<u64>::new(n)?;
+        ctx.reduce_rows(
+            &deg,
+            NoMask,
+            NoAccum,
+            PlusMonoid::<u64>::new(),
+            &ones,
+            &Descriptor::default(),
+        )?;
+        // peel vertices present in the subgraph with degree < k
+        let peeled: Vec<Index> = deg
+            .extract_tuples()?
+            .into_iter()
+            .filter(|&(_, d)| d < k)
+            .map(|(i, _)| i)
+            .collect();
+        if peeled.is_empty() {
+            let members: Vec<Index> = deg.extract_tuples()?.into_iter().map(|(i, _)| i).collect();
+            return Ok((cur, members));
+        }
+        // delete the peeled rows and columns (assign of an empty source
+        // clears exactly the region)
+        let empty_rows = Matrix::<bool>::new(peeled.len(), n)?;
+        ctx.assign_matrix(
+            &cur,
+            NoMask,
+            NoAccum,
+            &empty_rows,
+            IndexSelection::List(&peeled),
+            ALL,
+            &Descriptor::default(),
+        )?;
+        let empty_cols = Matrix::<bool>::new(n, peeled.len())?;
+        ctx.assign_matrix(
+            &cur,
+            NoMask,
+            NoAccum,
+            &empty_cols,
+            ALL,
+            IndexSelection::List(&peeled),
+            &Descriptor::default(),
+        )?;
+    }
+}
+
+/// Core number of every vertex: the largest `k` such that the vertex
+/// belongs to the k-core (0 for isolated vertices). O(k_max) passes of
+/// [`k_core`] — simple and exact.
+pub fn core_numbers(ctx: &Context, a: &Matrix<bool>) -> Result<Vec<u64>> {
+    let n = a.nrows();
+    let mut core = vec![0u64; n];
+    let mut k = 1u64;
+    loop {
+        let (_, members) = k_core(ctx, a, k)?;
+        if members.is_empty() {
+            return Ok(core);
+        }
+        for v in members {
+            core[v] = k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Matrix<bool> {
+        let mut t = Vec::new();
+        for &(u, v) in edges {
+            t.push((u, v, true));
+            t.push((v, u, true));
+        }
+        t.sort();
+        t.dedup();
+        Matrix::from_tuples(n, n, &t).unwrap()
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        // triangle {0,1,2} plus path 2-3-4: 2-core is the triangle
+        let ctx = Context::blocking();
+        let a = undirected(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+        let (core, members) = k_core(&ctx, &a, 2).unwrap();
+        assert_eq!(members, vec![0, 1, 2]);
+        assert_eq!(core.nvals().unwrap(), 6);
+        assert_eq!(core.get(2, 3).unwrap(), None); // tail edge removed
+    }
+
+    #[test]
+    fn k4_is_a_3_core() {
+        let ctx = Context::blocking();
+        let a = undirected(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let (_, m3) = k_core(&ctx, &a, 3).unwrap();
+        assert_eq!(m3, vec![0, 1, 2, 3]);
+        let (_, m4) = k_core(&ctx, &a, 4).unwrap();
+        assert!(m4.is_empty());
+    }
+
+    #[test]
+    fn cascading_peel() {
+        // star: removing leaves (degree 1) leaves the center at degree 0
+        let ctx = Context::blocking();
+        let edges: Vec<(usize, usize)> = (1..5).map(|v| (0, v)).collect();
+        let a = undirected(5, &edges);
+        let (_, m2) = k_core(&ctx, &a, 2).unwrap();
+        assert!(m2.is_empty());
+    }
+
+    #[test]
+    fn core_numbers_profile() {
+        // triangle + tail: core numbers [2,2,2,1,1]
+        let ctx = Context::blocking();
+        let a = undirected(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+        assert_eq!(core_numbers(&ctx, &a).unwrap(), vec![2, 2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_core_zero() {
+        let ctx = Context::blocking();
+        let a = undirected(4, &[(0, 1)]);
+        assert_eq!(core_numbers(&ctx, &a).unwrap(), vec![1, 1, 0, 0]);
+    }
+}

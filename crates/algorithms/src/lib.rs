@@ -1,0 +1,40 @@
+//! # graphblas-algorithms
+//!
+//! Graph algorithms written against the GraphBLAS API of
+//! `graphblas-core` — headlined by [`bc::bc_update`], the line-by-line
+//! port of the paper's Figure 3 batched betweenness-centrality kernel,
+//! plus the classic suite the GraphBLAS is designed to express:
+//!
+//! * [`bc`] — batched Brandes betweenness centrality (Figure 3)
+//! * [`bfs`] — BFS levels and parent trees (`lor.land`, `min.first`)
+//! * [`sssp`] — Bellman–Ford SSSP and min-plus APSP (tropical semiring)
+//! * [`triangles`] — masked-`mxm` triangle counting (`plus_pair`)
+//! * [`mis`] — Luby's maximal independent set (randomized, masked)
+//! * [`pagerank`] — power iteration over the arithmetic semiring
+//! * [`components`] — min-label propagation connected components
+//! * [`reach`] — transitive closure (`lor.land`) and GF2 walk parity
+//!
+//! Every algorithm takes an explicit [`Context`](graphblas_core::Context)
+//! and works identically in blocking and nonblocking modes.
+
+pub mod bc;
+pub mod bfs;
+pub mod closeness;
+pub mod cores;
+pub mod components;
+pub mod mis;
+pub mod pagerank;
+pub mod reach;
+pub mod sssp;
+pub mod triangles;
+
+pub use bc::{bc_update, betweenness};
+pub use bfs::{bfs_levels, bfs_parents};
+pub use closeness::{closeness_centrality, multi_source_bfs_levels};
+pub use cores::{core_numbers, k_core};
+pub use components::{connected_components, num_components};
+pub use mis::maximal_independent_set;
+pub use pagerank::pagerank;
+pub use reach::{reachable_set, transitive_closure, walk_parity};
+pub use sssp::{apsp_min_plus, sssp_bellman_ford};
+pub use triangles::{k_truss, triangle_count, triangle_count_sandia, triangle_counts_per_vertex};

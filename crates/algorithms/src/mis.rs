@@ -1,0 +1,246 @@
+//! Luby's maximal independent set — the classic randomized GraphBLAS
+//! showcase: each round every candidate draws a random score, local
+//! maxima join the set, and winners plus their neighborhoods leave the
+//! candidate pool (masked assigns and complemented masks doing the
+//! pruning, as in the paper's BC forward sweep).
+
+use graphblas_core::prelude::*;
+
+/// Deterministic splitmix64 — the per-round score generator (no external
+/// RNG dependency; reproducible across runs for a given seed).
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A maximal independent set of an undirected graph (symmetric Boolean
+/// adjacency, no self-loops), as a sorted vertex list. Deterministic in
+/// `seed`.
+pub fn maximal_independent_set(
+    ctx: &Context,
+    a: &Matrix<bool>,
+    seed: u64,
+) -> Result<Vec<Index>> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(Error::DimensionMismatch("adjacency must be square".into()));
+    }
+
+    // all vertices start as candidates
+    let candidates = Vector::from_dense(&vec![true; n])?;
+    let mis = Vector::<bool>::new(n)?;
+    let max_first_score = SemiringDef::new(
+        MaxMonoid::<f64>::new(),
+        binary_fn(|s: &f64, _e: &bool| *s),
+    );
+
+    let mut round = 0u64;
+    while candidates.nvals()? > 0 {
+        round += 1;
+        // random scores on the candidate pattern
+        let scores_dense: Vec<f64> = (0..n)
+            .map(|v| (splitmix(seed ^ (round << 32) ^ v as u64) as f64) / (u64::MAX as f64))
+            .collect();
+        let all_scores = Vector::from_dense(&scores_dense)?;
+        let cand_scores = Vector::<f64>::new(n)?;
+        ctx.ewise_mult_vector(
+            &cand_scores,
+            NoMask,
+            NoAccum,
+            binary_fn(|_: &bool, s: &f64| *s),
+            &candidates,
+            &all_scores,
+            &Descriptor::default().replace(),
+        )?;
+
+        // neighbour maxima, dense over candidates (start at -inf so
+        // isolated candidates win automatically)
+        let nbr_max = Vector::<f64>::new(n)?;
+        ctx.apply_vector(
+            &nbr_max,
+            &candidates,
+            NoAccum,
+            unary_fn(|_: &bool| f64::NEG_INFINITY),
+            &candidates,
+            &Descriptor::default().structural_mask().replace(),
+        )?;
+        ctx.vxm(
+            &nbr_max,
+            &candidates,
+            Accum(Max::<f64>::new()),
+            max_first_score.clone(),
+            &cand_scores,
+            a,
+            &Descriptor::default().structural_mask(),
+        )?;
+
+        // winners: candidates strictly above every candidate neighbour
+        let winner_flags = Vector::<bool>::new(n)?;
+        ctx.ewise_mult_vector(
+            &winner_flags,
+            NoMask,
+            NoAccum,
+            binary_fn(|s: &f64, m: &f64| s > m),
+            &cand_scores,
+            &nbr_max,
+            &Descriptor::default().replace(),
+        )?;
+        let winners = Vector::<bool>::new(n)?;
+        ctx.select_vector(
+            &winners,
+            NoMask,
+            NoAccum,
+            select_fn(|_, _, v: &bool| *v),
+            &winner_flags,
+            &Descriptor::default(),
+        )?;
+        if winners.nvals()? == 0 {
+            // all-tie pathological round: retry with fresh scores
+            continue;
+        }
+
+        // mis ∪= winners
+        ctx.ewise_add_vector(
+            &mis,
+            NoMask,
+            NoAccum,
+            LOr,
+            &mis,
+            &winners,
+            &Descriptor::default(),
+        )?;
+
+        // removed = winners ∪ neighbours(winners)
+        let neighbours = Vector::<bool>::new(n)?;
+        ctx.vxm(
+            &neighbours,
+            NoMask,
+            NoAccum,
+            lor_land(),
+            &winners,
+            a,
+            &Descriptor::default().replace(),
+        )?;
+        let removed = Vector::<bool>::new(n)?;
+        ctx.ewise_add_vector(
+            &removed,
+            NoMask,
+            NoAccum,
+            LOr,
+            &winners,
+            &neighbours,
+            &Descriptor::default().replace(),
+        )?;
+
+        // candidates = candidates \ removed (complemented structural mask)
+        let next = Vector::<bool>::new(n)?;
+        ctx.apply_vector(
+            &next,
+            &removed,
+            NoAccum,
+            Identity::<bool>::new(),
+            &candidates,
+            &Descriptor::default()
+                .structural_mask()
+                .complement_mask()
+                .replace(),
+        )?;
+        ctx.apply_vector(
+            &candidates,
+            NoMask,
+            NoAccum,
+            Identity::<bool>::new(),
+            &next,
+            &Descriptor::default().replace(),
+        )?;
+    }
+
+    Ok(mis.extract_tuples()?.into_iter().map(|(i, _)| i).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Matrix<bool> {
+        let mut t = Vec::new();
+        for &(u, v) in edges {
+            t.push((u, v, true));
+            t.push((v, u, true));
+        }
+        t.sort();
+        t.dedup();
+        Matrix::from_tuples(n, n, &t).unwrap()
+    }
+
+    fn check_mis(n: usize, edges: &[(usize, usize)], mis: &[Index]) {
+        let in_set = |v: usize| mis.contains(&v);
+        // independence
+        for &(u, v) in edges {
+            assert!(!(in_set(u) && in_set(v)), "edge ({u},{v}) inside the set");
+        }
+        // maximality: every vertex outside the set has a neighbour inside
+        for v in 0..n {
+            if !in_set(v) {
+                let has = edges
+                    .iter()
+                    .any(|&(a, b)| (a == v && in_set(b)) || (b == v && in_set(a)));
+                assert!(has, "vertex {v} could be added");
+            }
+        }
+    }
+
+    #[test]
+    fn mis_on_path() {
+        let ctx = Context::blocking();
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 4)];
+        let a = undirected(5, &edges);
+        let mis = maximal_independent_set(&ctx, &a, 1).unwrap();
+        check_mis(5, &edges, &mis);
+    }
+
+    #[test]
+    fn mis_on_star_is_leaves_or_center() {
+        let ctx = Context::blocking();
+        let edges: Vec<(usize, usize)> = (1..6).map(|v| (0, v)).collect();
+        let a = undirected(6, &edges);
+        let mis = maximal_independent_set(&ctx, &a, 7).unwrap();
+        check_mis(6, &edges, &mis);
+        assert!(mis == vec![0] || mis == vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn mis_with_isolated_vertices_includes_them() {
+        let ctx = Context::blocking();
+        let edges = [(0, 1)];
+        let a = undirected(4, &edges);
+        let mis = maximal_independent_set(&ctx, &a, 3).unwrap();
+        check_mis(4, &edges, &mis);
+        assert!(mis.contains(&2) && mis.contains(&3));
+    }
+
+    #[test]
+    fn mis_deterministic_per_seed_and_valid_across_seeds() {
+        let ctx = Context::blocking();
+        let edges = [
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (1, 4),
+        ];
+        let a = undirected(6, &edges);
+        let first = maximal_independent_set(&ctx, &a, 42).unwrap();
+        assert_eq!(first, maximal_independent_set(&ctx, &a, 42).unwrap());
+        for seed in 0..10 {
+            let mis = maximal_independent_set(&ctx, &a, seed).unwrap();
+            check_mis(6, &edges, &mis);
+        }
+    }
+}

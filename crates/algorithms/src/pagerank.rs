@@ -1,0 +1,188 @@
+//! PageRank as GraphBLAS primitives: one `vxm` over the arithmetic
+//! semiring per power iteration, plus element-wise scaling and a scalar
+//! reduction for the dangling-mass correction.
+
+use graphblas_core::prelude::*;
+
+/// PageRank with damping `d`, iterating until the L1 change drops below
+/// `tol` or `max_iters` is reached. Dangling mass is redistributed
+/// uniformly. Returns `(ranks, iterations)`.
+pub fn pagerank(
+    ctx: &Context,
+    a: &Matrix<bool>,
+    d: f64,
+    tol: f64,
+    max_iters: usize,
+) -> Result<(Vec<f64>, usize)> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(Error::DimensionMismatch("adjacency must be square".into()));
+    }
+    let nf = n as f64;
+
+    // out-degrees: row-reduce of A over plus (bool -> count via apply)
+    let a_ones = Matrix::<f64>::new(n, n)?;
+    ctx.apply_matrix(
+        &a_ones,
+        NoMask,
+        NoAccum,
+        unary_fn(|_: &bool| 1.0f64),
+        a,
+        &Descriptor::default(),
+    )?;
+    let out_deg = Vector::<f64>::new(n)?;
+    ctx.reduce_rows(
+        &out_deg,
+        NoMask,
+        NoAccum,
+        PlusMonoid::<f64>::new(),
+        &a_ones,
+        &Descriptor::default(),
+    )?;
+    // inverse out-degree (absent for dangling vertices)
+    let inv_deg = Vector::<f64>::new(n)?;
+    ctx.apply_vector(
+        &inv_deg,
+        NoMask,
+        NoAccum,
+        Minv::<f64>::new(),
+        &out_deg,
+        &Descriptor::default(),
+    )?;
+
+    // rank starts uniform (dense)
+    let rank = Vector::<f64>::new(n)?;
+    ctx.assign_scalar_vector(&rank, NoMask, NoAccum, 1.0 / nf, ALL, &Descriptor::default())?;
+    let contrib = Vector::<f64>::new(n)?;
+    let next = Vector::<f64>::new(n)?;
+    let diff = Vector::<f64>::new(n)?;
+
+    for it in 1..=max_iters {
+        // contrib = rank ./ out_deg (dangling vertices drop out here)
+        ctx.ewise_mult_vector(
+            &contrib,
+            NoMask,
+            NoAccum,
+            Times::<f64>::new(),
+            &rank,
+            &inv_deg,
+            &Descriptor::default().replace(),
+        )?;
+        // dangling mass = total rank - mass that has an outgoing edge
+        let distributed = ctx.reduce_vector_to_scalar(PlusMonoid::<f64>::new(), &contrib)?;
+        let total = ctx.reduce_vector_to_scalar(PlusMonoid::<f64>::new(), &rank)?;
+        // `distributed` is Σ rank/deg, not Σ rank — recompute the mass
+        // carried by non-dangling vertices instead:
+        let _ = distributed;
+        let carried = {
+            let m = Vector::<f64>::new(n)?;
+            // m = rank masked to vertices with out-degree (structural)
+            ctx.ewise_mult_vector(
+                &m,
+                NoMask,
+                NoAccum,
+                First::<f64, f64>::new(),
+                &rank,
+                &inv_deg,
+                &Descriptor::default(),
+            )?;
+            ctx.reduce_vector_to_scalar(PlusMonoid::<f64>::new(), &m)?
+        };
+        let dangling = total - carried;
+        let base = (1.0 - d) / nf + d * dangling / nf;
+
+        // next = base everywhere, then accumulate d * (contrib ⊕.⊗ A)
+        ctx.assign_scalar_vector(&next, NoMask, NoAccum, base, ALL, &Descriptor::default().replace())?;
+        let scaled = Vector::<f64>::new(n)?;
+        ctx.apply_vector(
+            &scaled,
+            NoMask,
+            NoAccum,
+            unary_fn(move |x: &f64| d * x),
+            &contrib,
+            &Descriptor::default(),
+        )?;
+        ctx.vxm(
+            &next,
+            NoMask,
+            Accum(Plus::<f64>::new()),
+            SemiringDef::new(PlusMonoid::<f64>::new(), binary_fn(|x: &f64, _: &bool| *x)),
+            &scaled,
+            a,
+            &Descriptor::default(),
+        )?;
+
+        // diff = |rank - next|, L1
+        ctx.ewise_add_vector(
+            &diff,
+            NoMask,
+            NoAccum,
+            binary_fn(|x: &f64, y: &f64| (x - y).abs()),
+            &rank,
+            &next,
+            &Descriptor::default().replace(),
+        )?;
+        let l1 = ctx.reduce_vector_to_scalar(PlusMonoid::<f64>::new(), &diff)?;
+
+        // rank = next
+        ctx.apply_vector(
+            &rank,
+            NoMask,
+            NoAccum,
+            Identity::<f64>::new(),
+            &next,
+            &Descriptor::default().replace(),
+        )?;
+
+        if l1 < tol {
+            let mut out = vec![0.0; n];
+            for (i, v) in rank.extract_tuples()? {
+                out[i] = v;
+            }
+            return Ok((out, it));
+        }
+    }
+    let mut out = vec![0.0; n];
+    for (i, v) in rank.extract_tuples()? {
+        out[i] = v;
+    }
+    Ok((out, max_iters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj(n: usize, edges: &[(usize, usize)]) -> Matrix<bool> {
+        let t: Vec<(usize, usize, bool)> = edges.iter().map(|&(u, v)| (u, v, true)).collect();
+        Matrix::from_tuples(n, n, &t).unwrap()
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let ctx = Context::blocking();
+        let a = adj(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let (r, _) = pagerank(&ctx, &a, 0.85, 1e-12, 500).unwrap();
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_is_uniform() {
+        let ctx = Context::blocking();
+        let a = adj(3, &[(0, 1), (1, 2), (2, 0)]);
+        let (r, iters) = pagerank(&ctx, &a, 0.85, 1e-12, 500).unwrap();
+        assert!(iters < 500);
+        for &x in &r {
+            assert!((x - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dangling_vertices_handled() {
+        let ctx = Context::blocking();
+        let a = adj(2, &[(0, 1)]);
+        let (r, _) = pagerank(&ctx, &a, 0.85, 1e-12, 500).unwrap();
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(r[1] > r[0]);
+    }
+}

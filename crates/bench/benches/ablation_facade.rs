@@ -1,0 +1,67 @@
+//! Experiment A3: the price of dynamic typing — the same `mxm` through
+//! the typed core (monomorphized, inlined semiring) vs through the
+//! C-shaped facade (tagged-union `Value` domain, closure-dispatched
+//! operators). The gap is the compile-time-algebra dividend the Rust
+//! binding earns over a C-faithful dynamic layer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphblas_capi as grb;
+use graphblas_capi::{GrbBinaryOp, GrbMatrix, GrbMonoid, GrbSemiring, GrbType, Value};
+use graphblas_core::prelude::*;
+use graphblas_gen::{rmat, RmatParams};
+use std::time::Duration;
+
+fn bench_facade_tax(c: &mut Criterion) {
+    let g = rmat(9, 8, RmatParams::default(), 21)
+        .dedup()
+        .without_self_loops();
+    let n = g.n;
+    let tuples = g.int_tuples();
+
+    let mut group = c.benchmark_group("ablation_facade/mxm");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+
+    // typed core: static semiring over i32
+    let ctx = Context::blocking();
+    let a_typed = Matrix::from_tuples(n, n, &tuples).unwrap();
+    group.bench_function("typed_core_i32", |b| {
+        b.iter(|| {
+            let out = Matrix::<i32>::new(n, n).unwrap();
+            ctx.mxm(&out, NoMask, NoAccum, plus_times::<i32>(), &a_typed, &a_typed, &Descriptor::default())
+                .unwrap();
+            out.nvals().unwrap()
+        })
+    });
+
+    // facade: Value-union domain, runtime-composed semiring
+    grb::with_session(graphblas_core::Mode::Blocking, || {
+        let add = GrbMonoid::new(
+            GrbBinaryOp::plus(GrbType::Int32).unwrap(),
+            Value::Int32(0),
+        )
+        .unwrap();
+        let sr = GrbSemiring::new(add, GrbBinaryOp::times(GrbType::Int32).unwrap()).unwrap();
+        let a_dyn = GrbMatrix::new(GrbType::Int32, n, n).unwrap();
+        let rows: Vec<usize> = tuples.iter().map(|t| t.0).collect();
+        let cols: Vec<usize> = tuples.iter().map(|t| t.1).collect();
+        let vals: Vec<Value> = tuples.iter().map(|t| Value::Int32(t.2)).collect();
+        a_dyn
+            .build(&rows, &cols, &vals, &GrbBinaryOp::plus(GrbType::Int32).unwrap())
+            .unwrap();
+        group.bench_function("capi_facade_value_union", |b| {
+            b.iter(|| {
+                let out = GrbMatrix::new(GrbType::Int32, n, n).unwrap();
+                grb::mxm(&out, None, None, &sr, &a_dyn, &a_dyn, &Descriptor::default())
+                    .unwrap();
+                out.nvals().unwrap()
+            })
+        });
+    })
+    .unwrap();
+    group.finish();
+}
+
+criterion_group!(benches, bench_facade_tax);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Experiment A2: thread-scaling ablation — the row-parallel kernels
+//! under rayon pools of 1, 2, 4, … threads (design objective (ii):
+//! "enabling high-performance implementations on modern hardware").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_core::algebra::semiring::plus_times;
+use graphblas_core::kernel::mxm::{mxm, MxmStrategy};
+use graphblas_core::mask::MaskCsr;
+use graphblas_core::storage::csr::Csr;
+use graphblas_gen::{rmat, RmatParams};
+use std::time::Duration;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let g = rmat(12, 8, RmatParams::default(), 9).dedup().without_self_loops();
+    let mut t = g.weighted_tuples(1.0, 2.0, 9);
+    t.sort_by_key(|&(i, j, _)| (i, j));
+    let a = Csr::from_sorted_tuples(g.n, g.n, t);
+    let sr = plus_times::<f64>();
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    let mut group = c.benchmark_group("ablation_parallel/mxm");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| pool.install(|| mxm(&sr, &a, &a, &MaskCsr::All, MxmStrategy::Auto).nvals()))
+        });
+        threads *= 2;
+    }
+    group.finish();
+}
+
+fn bench_transpose_scaling(c: &mut Criterion) {
+    let g = rmat(13, 8, RmatParams::default(), 10).dedup();
+    let mut t = g.weighted_tuples(1.0, 2.0, 10);
+    t.sort_by_key(|&(i, j, _)| (i, j));
+    let a = Csr::from_sorted_tuples(g.n, g.n, t);
+
+    let mut group = c.benchmark_group("ablation_parallel/ewise_add");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let add = graphblas_core::algebra::binary::Plus::<f64>::new();
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                pool.install(|| {
+                    graphblas_core::kernel::ewise::ewise_add_matrix(&a, &a, &add).nvals()
+                })
+            })
+        });
+        threads *= 2;
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_transpose_scaling);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Application-suite benchmark: the GraphBLAS algorithms vs their
+//! classic baselines on one RMAT workload — the "who wins, by what
+//! factor" series EXPERIMENTS.md records for the paper's claim that the
+//! API enables high-performance graph libraries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphblas_algorithms as alg;
+use graphblas_bench::{bool_matrix, rmat_graph, rmat_undirected};
+use graphblas_core::prelude::*;
+use graphblas_reference as refr;
+use graphblas_reference::{AdjGraph, WeightedGraph};
+use std::time::Duration;
+
+fn bench_apps(c: &mut Criterion) {
+    let scale = 11;
+    let g = rmat_graph(scale);
+    let n = g.n;
+    let ctx = Context::blocking();
+    let a = bool_matrix(&g);
+    let adj = AdjGraph::from_edges(n, &g.edges);
+
+    let mut group = c.benchmark_group(format!("apps/scale{scale}"));
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+
+    group.bench_function("bfs_graphblas", |b| {
+        b.iter(|| alg::bfs_levels(&ctx, &a, 0).unwrap().len())
+    });
+    group.bench_function("bfs_reference", |b| {
+        b.iter(|| refr::traversal::bfs_levels(&adj, 0).len())
+    });
+
+    let wt = g.weighted_tuples(1.0, 5.0, 3);
+    let aw = Matrix::from_tuples(n, n, &wt).unwrap();
+    let wg = WeightedGraph::from_edges(n, &wt);
+    group.bench_function("sssp_graphblas_bellman_ford", |b| {
+        b.iter(|| alg::sssp_bellman_ford(&ctx, &aw, 0).unwrap().len())
+    });
+    group.bench_function("sssp_reference_dijkstra", |b| {
+        b.iter(|| refr::paths::dijkstra(&wg, 0).len())
+    });
+
+    group.bench_function("pagerank_graphblas", |b| {
+        b.iter(|| alg::pagerank(&ctx, &a, 0.85, 1e-8, 100).unwrap().1)
+    });
+    group.bench_function("pagerank_reference", |b| {
+        b.iter(|| refr::pagerank::pagerank(&adj, 0.85, 1e-8, 100).1)
+    });
+
+    let und = rmat_undirected(scale - 1);
+    let au = bool_matrix(&und);
+    let adj_u = AdjGraph::from_edges(und.n, &und.edges);
+    group.bench_function("triangles_graphblas", |b| {
+        b.iter(|| alg::triangle_count(&ctx, &au).unwrap())
+    });
+    group.bench_function("triangles_reference", |b| {
+        b.iter(|| refr::triangles::triangle_count(&adj_u))
+    });
+
+    group.bench_function("components_graphblas", |b| {
+        b.iter(|| alg::num_components(&ctx, &au).unwrap())
+    });
+    group.bench_function("components_reference", |b| {
+        b.iter(|| refr::components::num_components(&adj_u))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

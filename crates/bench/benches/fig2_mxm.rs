@@ -1,0 +1,159 @@
+//! Experiment F2: the full `GrB_mxm` semantic surface of Figure 2 —
+//! accumulators, write masks (plain / complemented / structural),
+//! REPLACE vs merge, input transposition — plus the headline mask
+//! optimization: a sparse mask pushed into the multiply makes the
+//! product cost scale with the *mask*, not the full flop count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_bench::{f64_matrix, rmat_graph};
+use graphblas_core::prelude::*;
+use std::time::Duration;
+
+fn bench_descriptor_variants(c: &mut Criterion) {
+    let scale = 9;
+    let g = rmat_graph(scale);
+    let n = g.n;
+    let ctx = Context::blocking();
+    let a = f64_matrix(&g, 1);
+    // a modest mask: the graph's own pattern
+    let mask = a.dup();
+
+    let mut group = c.benchmark_group("fig2/mxm_variants");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    let sr = plus_times::<f64>;
+
+    group.bench_function(BenchmarkId::new("plain", scale), |b| {
+        b.iter(|| {
+            let out = Matrix::<f64>::new(n, n).unwrap();
+            ctx.mxm(&out, NoMask, NoAccum, sr(), &a, &a, &Descriptor::default()).unwrap();
+            out.nvals().unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("accum", scale), |b| {
+        b.iter(|| {
+            let out = a.dup();
+            ctx.mxm(&out, NoMask, Accum(Plus::<f64>::new()), sr(), &a, &a, &Descriptor::default())
+                .unwrap();
+            out.nvals().unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("masked_merge", scale), |b| {
+        b.iter(|| {
+            let out = Matrix::<f64>::new(n, n).unwrap();
+            ctx.mxm(&out, &mask, NoAccum, sr(), &a, &a, &Descriptor::default().structural_mask())
+                .unwrap();
+            out.nvals().unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("masked_replace", scale), |b| {
+        b.iter(|| {
+            let out = Matrix::<f64>::new(n, n).unwrap();
+            ctx.mxm(
+                &out,
+                &mask,
+                NoAccum,
+                sr(),
+                &a,
+                &a,
+                &Descriptor::default().structural_mask().replace(),
+            )
+            .unwrap();
+            out.nvals().unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("masked_scmp_replace", scale), |b| {
+        b.iter(|| {
+            let out = Matrix::<f64>::new(n, n).unwrap();
+            ctx.mxm(
+                &out,
+                &mask,
+                NoAccum,
+                sr(),
+                &a,
+                &a,
+                &Descriptor::default().structural_mask().complement_mask().replace(),
+            )
+            .unwrap();
+            out.nvals().unwrap()
+        })
+    });
+    let a_tuples = a.extract_tuples().unwrap();
+    group.bench_function(BenchmarkId::new("transpose_first_cold", scale), |b| {
+        // fresh value node each iteration: the transpose is recomputed
+        b.iter_batched(
+            || Matrix::from_tuples(n, n, &a_tuples).unwrap(),
+            |fresh| {
+                let out = Matrix::<f64>::new(n, n).unwrap();
+                ctx.mxm(&out, NoMask, NoAccum, sr(), &fresh, &a, &Descriptor::default().transpose_first())
+                    .unwrap();
+                out.nvals().unwrap()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("transpose_first_cached", scale), |b| {
+        // the same operand matrix every time: the memoized transpose is
+        // computed once — the BC forward-sweep pattern
+        b.iter(|| {
+            let out = Matrix::<f64>::new(n, n).unwrap();
+            ctx.mxm(&out, NoMask, NoAccum, sr(), &a, &a, &Descriptor::default().transpose_first())
+                .unwrap();
+            out.nvals().unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_mask_sparsity_scaling(c: &mut Criterion) {
+    // the masked-SpGEMM payoff: with an e-fraction mask the work should
+    // track the mask size (dot-product form), not the full product
+    let scale = 10;
+    let g = rmat_graph(scale);
+    let n = g.n;
+    let ctx = Context::blocking();
+    let a = f64_matrix(&g, 2);
+
+    let mut group = c.benchmark_group("fig2/mask_sparsity");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(15);
+    for frac_pow in [0u32, 3, 6, 9] {
+        // mask with ~n*4^(−frac_pow/3) entries down to a handful
+        let keep = |k: usize| (k as u64).wrapping_mul(2654435761) % (1 << frac_pow) == 0;
+        let mtuples: Vec<(usize, usize, bool)> = (0..n)
+            .flat_map(|i| {
+                let j = (i * 7 + 3) % n;
+                keep(i).then_some((i, j, true))
+            })
+            .collect();
+        if mtuples.is_empty() {
+            continue;
+        }
+        let mut mt = mtuples;
+        mt.sort_by_key(|t| (t.0, t.1));
+        let mask = Matrix::from_tuples(n, n, &mt).unwrap();
+        let nnz = mask.nvals().unwrap();
+        group.bench_function(BenchmarkId::new("masked_mxm_nnz", nnz), |b| {
+            b.iter(|| {
+                let out = Matrix::<f64>::new(n, n).unwrap();
+                ctx.mxm(
+                    &out,
+                    &mask,
+                    NoAccum,
+                    plus_times::<f64>(),
+                    &a,
+                    &a,
+                    &Descriptor::default().structural_mask().replace(),
+                )
+                .unwrap();
+                out.nvals().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_descriptor_variants, bench_mask_sparsity_scaling);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Experiment F3: the Figure 3 betweenness-centrality kernel.
+//!
+//! Series: `BC_update` (batched, GraphBLAS) vs classic Brandes
+//! (reference baseline) across graph scales, and the batch-size sweep
+//! that motivates the batched formulation — one fused multi-source
+//! sweep amortizes the graph traversals that one-source-at-a-time
+//! Brandes repeats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphblas_algorithms::bc_update;
+use graphblas_bench::{int_matrix, rmat_graph};
+use graphblas_core::prelude::*;
+use graphblas_reference::{bc::brandes_batch, AdjGraph};
+use std::time::Duration;
+
+fn bench_bc_scaling(c: &mut Criterion) {
+    let batch = 32;
+    let mut group = c.benchmark_group("fig3/scaling");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for scale in [8u32, 10, 12] {
+        let g = rmat_graph(scale);
+        let n = g.n;
+        let ctx = Context::blocking();
+        let a = int_matrix(&g);
+        let adj = AdjGraph::from_edges(n, &g.edges);
+        let sources: Vec<Index> = (0..batch.min(n)).collect();
+        group.throughput(Throughput::Elements(sources.len() as u64));
+
+        group.bench_function(BenchmarkId::new("graphblas_bc_update", scale), |b| {
+            b.iter(|| {
+                let delta = bc_update(&ctx, &a, &sources).unwrap();
+                delta.nvals().unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("reference_brandes", scale), |b| {
+            b.iter(|| brandes_batch(&adj, &sources).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_size_sweep(c: &mut Criterion) {
+    // fixed graph, growing batch: GraphBLAS cost per source should fall
+    // as the batch amortizes sweeps over the same adjacency structure
+    let scale = 10;
+    let g = rmat_graph(scale);
+    let ctx = Context::blocking();
+    let a = int_matrix(&g);
+
+    let mut group = c.benchmark_group("fig3/batch_sweep");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for batch in [1usize, 4, 16, 64, 256] {
+        let sources: Vec<Index> = (0..batch).collect();
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_function(BenchmarkId::new("bc_update_batch", batch), |b| {
+            b.iter(|| {
+                let delta = bc_update(&ctx, &a, &sources).unwrap();
+                delta.nvals().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bc_modes(c: &mut Criterion) {
+    // blocking vs nonblocking execution of the same BC computation:
+    // §IV promises identical results; the deferral machinery should cost
+    // little on a computation this dense in forced observations
+    let scale = 9;
+    let g = rmat_graph(scale);
+    let a = int_matrix(&g);
+    let sources: Vec<Index> = (0..32).collect();
+
+    let mut group = c.benchmark_group("fig3/modes");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("blocking", |b| {
+        let ctx = Context::blocking();
+        b.iter(|| bc_update(&ctx, &a, &sources).unwrap().nvals().unwrap())
+    });
+    group.bench_function("nonblocking", |b| {
+        let ctx = Context::nonblocking();
+        b.iter(|| {
+            let r = bc_update(&ctx, &a, &sources).unwrap().nvals().unwrap();
+            ctx.wait().unwrap();
+            r
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bc_scaling, bench_batch_size_sweep, bench_bc_modes);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Experiment T1: Table I's five semirings driving the *same* `mxv` and
+//! `mxm` kernels on the same RMAT graph — the cost of changing the
+//! algebra should be the cost of the operator arithmetic alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_bench::{bool_matrix, f64_matrix, rmat_graph};
+use graphblas_core::algebra::set::{SetIntersect, SetUnionMonoid, SmallSet};
+use graphblas_core::prelude::*;
+use std::time::Duration;
+
+fn bench_mxv_semirings(c: &mut Criterion) {
+    let scale = 12;
+    let g = rmat_graph(scale);
+    let n = g.n;
+    let ctx = Context::blocking();
+    let a = f64_matrix(&g, 7);
+    let b = bool_matrix(&g);
+    let v = Vector::from_dense(&vec![1.0f64; n]).unwrap();
+    let vb = Vector::from_dense(&vec![true; n]).unwrap();
+
+    let mut group = c.benchmark_group("table1/mxv");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function(BenchmarkId::new("arithmetic_plus_times", scale), |bench| {
+        bench.iter(|| {
+            let w = Vector::<f64>::new(n).unwrap();
+            ctx.mxv(&w, NoMask, NoAccum, plus_times::<f64>(), &a, &v, &Descriptor::default())
+                .unwrap();
+            w.nvals().unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("max_plus", scale), |bench| {
+        bench.iter(|| {
+            let w = Vector::<f64>::new(n).unwrap();
+            ctx.mxv(&w, NoMask, NoAccum, max_plus::<f64>(), &a, &v, &Descriptor::default())
+                .unwrap();
+            w.nvals().unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("min_max", scale), |bench| {
+        bench.iter(|| {
+            let w = Vector::<f64>::new(n).unwrap();
+            ctx.mxv(&w, NoMask, NoAccum, min_max::<f64>(), &a, &v, &Descriptor::default())
+                .unwrap();
+            w.nvals().unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("gf2_xor_and", scale), |bench| {
+        bench.iter(|| {
+            let w = Vector::<bool>::new(n).unwrap();
+            ctx.mxv(&w, NoMask, NoAccum, xor_and(), &b, &vb, &Descriptor::default())
+                .unwrap();
+            w.nvals().unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_mxm_semirings(c: &mut Criterion) {
+    let scale = 9;
+    let g = rmat_graph(scale);
+    let n = g.n;
+    let ctx = Context::blocking();
+    let a = f64_matrix(&g, 7);
+    let b = bool_matrix(&g);
+
+    let mut group = c.benchmark_group("table1/mxm");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("arithmetic_plus_times", scale), |bench| {
+        bench.iter(|| {
+            let out = Matrix::<f64>::new(n, n).unwrap();
+            ctx.mxm(&out, NoMask, NoAccum, plus_times::<f64>(), &a, &a, &Descriptor::default())
+                .unwrap();
+            out.nvals().unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("min_plus_tropical", scale), |bench| {
+        bench.iter(|| {
+            let out = Matrix::<f64>::new(n, n).unwrap();
+            ctx.mxm(&out, NoMask, NoAccum, min_plus::<f64>(), &a, &a, &Descriptor::default())
+                .unwrap();
+            out.nvals().unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("lor_land_reachability", scale), |bench| {
+        bench.iter(|| {
+            let out = Matrix::<bool>::new(n, n).unwrap();
+            ctx.mxm(&out, NoMask, NoAccum, lor_land(), &b, &b, &Descriptor::default())
+                .unwrap();
+            out.nvals().unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_power_set_semiring(c: &mut Criterion) {
+    // row 5 on a smaller graph (set values are heavier than scalars)
+    let scale = 7;
+    let g = rmat_graph(scale);
+    let n = g.n;
+    let ctx = Context::blocking();
+    let tuples: Vec<(usize, usize, SmallSet)> = g
+        .edges
+        .iter()
+        .enumerate()
+        .map(|(k, &(i, j))| (i, j, SmallSet::singleton((k % 16) as u32)))
+        .collect();
+    let mut sorted = tuples;
+    sorted.sort_by_key(|t| (t.0, t.1));
+    let s = Matrix::from_tuples(n, n, &sorted).unwrap();
+
+    c.bench_function("table1/mxm/power_set_union_intersect", |bench| {
+        bench.iter(|| {
+            let out = Matrix::<SmallSet>::new(n, n).unwrap();
+            ctx.mxm(
+                &out,
+                NoMask,
+                NoAccum,
+                SemiringDef::new(SetUnionMonoid, SetIntersect),
+                &s,
+                &s,
+                &Descriptor::default(),
+            )
+            .unwrap();
+            out.nvals().unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mxv_semirings,
+    bench_mxm_semirings,
+    bench_power_set_semiring
+);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Experiment T2: one benchmark series per Table II operation, across
+//! RMAT scales — the reproduction of the paper's operation inventory as
+//! a performance surface.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_bench::{dense_vector, f64_matrix, rmat_graph};
+use graphblas_core::prelude::*;
+use std::time::Duration;
+
+const SCALES: [u32; 3] = [9, 11, 13];
+
+fn setup(scale: u32) -> (Context, Matrix<f64>, Vector<f64>, usize) {
+    let g = rmat_graph(scale);
+    let ctx = Context::blocking();
+    let a = f64_matrix(&g, scale as u64);
+    let v = dense_vector(g.n);
+    (ctx, a, v, g.n)
+}
+
+fn bench_all_operations(c: &mut Criterion) {
+    for scale in SCALES {
+        let (ctx, a, v, n) = setup(scale);
+        let d = Descriptor::default();
+
+        let mut group = c.benchmark_group(format!("table2/scale{scale}"));
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+        group.sample_size(if scale >= 13 { 10 } else { 20 });
+
+        group.bench_function(BenchmarkId::new("mxm", scale), |b| {
+            b.iter(|| {
+                let out = Matrix::<f64>::new(n, n).unwrap();
+                ctx.mxm(&out, NoMask, NoAccum, plus_times::<f64>(), &a, &a, &d).unwrap();
+                out.nvals().unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("mxv", scale), |b| {
+            b.iter(|| {
+                let w = Vector::<f64>::new(n).unwrap();
+                ctx.mxv(&w, NoMask, NoAccum, plus_times::<f64>(), &a, &v, &d).unwrap();
+                w.nvals().unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("vxm", scale), |b| {
+            b.iter(|| {
+                let w = Vector::<f64>::new(n).unwrap();
+                ctx.vxm(&w, NoMask, NoAccum, plus_times::<f64>(), &v, &a, &d).unwrap();
+                w.nvals().unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("eWiseMult", scale), |b| {
+            b.iter(|| {
+                let out = Matrix::<f64>::new(n, n).unwrap();
+                ctx.ewise_mult_matrix(&out, NoMask, NoAccum, Times::new(), &a, &a, &d).unwrap();
+                out.nvals().unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("eWiseAdd", scale), |b| {
+            b.iter(|| {
+                let out = Matrix::<f64>::new(n, n).unwrap();
+                ctx.ewise_add_matrix(&out, NoMask, NoAccum, Plus::new(), &a, &a, &d).unwrap();
+                out.nvals().unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("reduce_rows", scale), |b| {
+            b.iter(|| {
+                let w = Vector::<f64>::new(n).unwrap();
+                ctx.reduce_rows(&w, NoMask, NoAccum, PlusMonoid::new(), &a, &d).unwrap();
+                w.nvals().unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("apply", scale), |b| {
+            b.iter(|| {
+                let out = Matrix::<f64>::new(n, n).unwrap();
+                ctx.apply_matrix(&out, NoMask, NoAccum, Minv::new(), &a, &d).unwrap();
+                out.nvals().unwrap()
+            })
+        });
+        let a_tuples = a.extract_tuples().unwrap();
+        group.bench_function(BenchmarkId::new("transpose", scale), |b| {
+            // a fresh value node per iteration defeats the memoized
+            // transpose, so the full counting sort is measured
+            b.iter_batched(
+                || Matrix::from_tuples(n, n, &a_tuples).unwrap(),
+                |fresh| {
+                    let out = Matrix::<f64>::new(n, n).unwrap();
+                    ctx.transpose(&out, NoMask, NoAccum, &fresh, &d).unwrap();
+                    out.nvals().unwrap()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        let half: Vec<Index> = (0..n / 2).collect();
+        group.bench_function(BenchmarkId::new("extract", scale), |b| {
+            b.iter(|| {
+                let out = Matrix::<f64>::new(n / 2, n / 2).unwrap();
+                ctx.extract_matrix(
+                    &out,
+                    NoMask,
+                    NoAccum,
+                    &a,
+                    IndexSelection::List(&half),
+                    IndexSelection::List(&half),
+                    &d,
+                )
+                .unwrap();
+                out.nvals().unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("assign", scale), |b| {
+            b.iter(|| {
+                let out = Matrix::<f64>::new(n, n).unwrap();
+                ctx.assign_scalar_matrix(
+                    &out,
+                    NoMask,
+                    NoAccum,
+                    1.0,
+                    IndexSelection::Range(0, n / 2),
+                    IndexSelection::Range(0, n / 2),
+                    &d,
+                )
+                .unwrap();
+                out.nvals().unwrap()
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_all_operations);
+criterion_main!(benches);

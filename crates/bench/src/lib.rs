@@ -1,0 +1,36 @@
+//! Shared fixtures for the benchmark harness: deterministic graphs at
+//! the scales used across the per-table/figure benches, plus conversion
+//! helpers.
+
+use graphblas_core::prelude::*;
+use graphblas_gen::{rmat, EdgeList, RmatParams};
+
+/// The standard RMAT workload at a given scale (Graph500-style
+/// parameters, edge factor 8, deduplicated simple digraph).
+pub fn rmat_graph(scale: u32) -> EdgeList {
+    rmat(scale, 8, RmatParams::default(), 42)
+        .dedup()
+        .without_self_loops()
+}
+
+/// The undirected (symmetrized) variant for triangle benches.
+pub fn rmat_undirected(scale: u32) -> EdgeList {
+    rmat_graph(scale).symmetrize()
+}
+
+pub fn bool_matrix(g: &EdgeList) -> Matrix<bool> {
+    Matrix::from_tuples(g.n, g.n, &g.bool_tuples()).unwrap()
+}
+
+pub fn int_matrix(g: &EdgeList) -> Matrix<i32> {
+    Matrix::from_tuples(g.n, g.n, &g.int_tuples()).unwrap()
+}
+
+pub fn f64_matrix(g: &EdgeList, seed: u64) -> Matrix<f64> {
+    Matrix::from_tuples(g.n, g.n, &g.weighted_tuples(1.0, 10.0, seed)).unwrap()
+}
+
+/// A dense f64 vector of the graph's size.
+pub fn dense_vector(n: usize) -> Vector<f64> {
+    Vector::from_dense(&vec![1.0f64; n]).unwrap()
+}

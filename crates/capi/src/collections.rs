@@ -1,0 +1,253 @@
+//! Runtime-typed opaque collections: `GrB_Matrix` and `GrB_Vector`
+//! handles carrying their domain tag, over the typed core instantiated
+//! with the [`Value`] union domain.
+
+use graphblas_core::error::{Error, Result};
+use graphblas_core::index::Index;
+use graphblas_core::object::{Matrix, Vector};
+
+use crate::ops::GrbBinaryOp;
+use crate::value::{GrbType, Value};
+
+/// A dynamically-typed `GrB_Matrix` handle.
+#[derive(Debug, Clone)]
+pub struct GrbMatrix {
+    ty: GrbType,
+    pub(crate) m: Matrix<Value>,
+}
+
+impl GrbMatrix {
+    /// `GrB_Matrix_new(&A, type, nrows, ncols)`.
+    pub fn new(ty: GrbType, nrows: Index, ncols: Index) -> Result<Self> {
+        Ok(GrbMatrix {
+            ty,
+            m: Matrix::new(nrows, ncols)?,
+        })
+    }
+
+    pub fn domain(&self) -> GrbType {
+        self.ty
+    }
+
+    /// `GrB_Matrix_nrows`.
+    pub fn nrows(&self) -> Index {
+        self.m.nrows()
+    }
+
+    /// `GrB_Matrix_ncols`.
+    pub fn ncols(&self) -> Index {
+        self.m.ncols()
+    }
+
+    /// `GrB_Matrix_nvals` (forces completion).
+    pub fn nvals(&self) -> Result<usize> {
+        self.m.nvals()
+    }
+
+    /// `GrB_Matrix_build(C, rows, cols, vals, n, dup)`. Values are cast
+    /// into the matrix domain (the C API's typed build variants);
+    /// duplicates combined with `dup`, which must be an operator over
+    /// this matrix's domain.
+    pub fn build(
+        &self,
+        rows: &[Index],
+        cols: &[Index],
+        vals: &[Value],
+        dup: &GrbBinaryOp,
+    ) -> Result<()> {
+        dup.check_domains(self.ty, self.ty, self.ty)?;
+        let cast: Vec<Value> = vals.iter().map(|v| v.cast_to(self.ty)).collect();
+        self.m.build(rows, cols, &cast, &dup.as_dyn())
+    }
+
+    /// `GrB_Matrix_setElement` (value cast into the matrix domain).
+    pub fn set(&self, i: Index, j: Index, v: Value) -> Result<()> {
+        self.m.set(i, j, v.cast_to(self.ty))
+    }
+
+    /// `GrB_Matrix_extractElement`: `Ok(None)` = `GrB_NO_VALUE`.
+    pub fn get(&self, i: Index, j: Index) -> Result<Option<Value>> {
+        self.m.get(i, j)
+    }
+
+    /// `GrB_Matrix_extractTuples` (forces completion).
+    pub fn extract_tuples(&self) -> Result<Vec<(Index, Index, Value)>> {
+        self.m.extract_tuples()
+    }
+
+    /// `GrB_Matrix_clear`.
+    pub fn clear(&self) {
+        self.m.clear()
+    }
+
+    /// `GrB_Matrix_dup`.
+    pub fn dup(&self) -> GrbMatrix {
+        GrbMatrix {
+            ty: self.ty,
+            m: self.m.dup(),
+        }
+    }
+
+    /// Force completion of this object (`GrB_Matrix_wait`).
+    pub fn wait(&self) -> Result<()> {
+        self.m.wait()
+    }
+
+    /// Check this matrix's domain against an expected one
+    /// (`GrB_DOMAIN_MISMATCH`).
+    pub(crate) fn expect_domain(&self, ty: GrbType, role: &str) -> Result<()> {
+        if self.ty != ty {
+            return Err(Error::DomainMismatch(format!(
+                "{role} has domain {:?} but {ty:?} is required",
+                self.ty
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A dynamically-typed `GrB_Vector` handle.
+#[derive(Debug, Clone)]
+pub struct GrbVector {
+    ty: GrbType,
+    pub(crate) v: Vector<Value>,
+}
+
+impl GrbVector {
+    /// `GrB_Vector_new(&v, type, n)`.
+    pub fn new(ty: GrbType, n: Index) -> Result<Self> {
+        Ok(GrbVector {
+            ty,
+            v: Vector::new(n)?,
+        })
+    }
+
+    pub fn domain(&self) -> GrbType {
+        self.ty
+    }
+
+    /// `GrB_Vector_size`.
+    pub fn size(&self) -> Index {
+        self.v.size()
+    }
+
+    /// `GrB_Vector_nvals` (forces completion).
+    pub fn nvals(&self) -> Result<usize> {
+        self.v.nvals()
+    }
+
+    /// `GrB_Vector_build`.
+    pub fn build(&self, indices: &[Index], vals: &[Value], dup: &GrbBinaryOp) -> Result<()> {
+        dup.check_domains(self.ty, self.ty, self.ty)?;
+        let cast: Vec<Value> = vals.iter().map(|v| v.cast_to(self.ty)).collect();
+        self.v.build(indices, &cast, &dup.as_dyn())
+    }
+
+    /// `GrB_Vector_setElement`.
+    pub fn set(&self, i: Index, v: Value) -> Result<()> {
+        self.v.set(i, v.cast_to(self.ty))
+    }
+
+    /// `GrB_Vector_extractElement`.
+    pub fn get(&self, i: Index) -> Result<Option<Value>> {
+        self.v.get(i)
+    }
+
+    /// `GrB_Vector_extractTuples`.
+    pub fn extract_tuples(&self) -> Result<Vec<(Index, Value)>> {
+        self.v.extract_tuples()
+    }
+
+    /// `GrB_Vector_clear`.
+    pub fn clear(&self) {
+        self.v.clear()
+    }
+
+    /// `GrB_Vector_dup`.
+    pub fn dup(&self) -> GrbVector {
+        GrbVector {
+            ty: self.ty,
+            v: self.v.dup(),
+        }
+    }
+
+    /// Force completion (`GrB_Vector_wait`).
+    pub fn wait(&self) -> Result<()> {
+        self.v.wait()
+    }
+
+    pub(crate) fn expect_domain(&self, ty: GrbType, role: &str) -> Result<()> {
+        if self.ty != ty {
+            return Err(Error::DomainMismatch(format!(
+                "{role} has domain {:?} but {ty:?} is required",
+                self.ty
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Internal: check a stored value's tag matches the declared domain
+/// (invariant check used by debug assertions in the operation layer).
+#[allow(dead_code)]
+pub(crate) fn domain_invariant(m: &GrbMatrix) -> Result<bool> {
+    Ok(m.extract_tuples()?
+        .iter()
+        .all(|(_, _, v)| v.type_of() == m.ty))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_lifecycle() {
+        let m = GrbMatrix::new(GrbType::Int32, 2, 3).unwrap();
+        assert_eq!(m.domain(), GrbType::Int32);
+        assert_eq!((m.nrows(), m.ncols()), (2, 3));
+        assert_eq!(m.nvals().unwrap(), 0);
+        m.set(0, 1, Value::Int32(5)).unwrap();
+        // setElement casts, like the C typed variants
+        m.set(1, 2, Value::Fp64(2.9)).unwrap();
+        assert_eq!(m.get(1, 2).unwrap(), Some(Value::Int32(2)));
+        assert_eq!(m.get(0, 0).unwrap(), None); // GrB_NO_VALUE
+        assert!(domain_invariant(&m).unwrap());
+        m.clear();
+        assert_eq!(m.nvals().unwrap(), 0);
+    }
+
+    #[test]
+    fn build_checks_dup_domain() {
+        let m = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+        let dup_fp = GrbBinaryOp::plus(GrbType::Fp32).unwrap();
+        let e = m
+            .build(&[0], &[0], &[Value::Int32(1)], &dup_fp)
+            .unwrap_err();
+        assert!(matches!(e, Error::DomainMismatch(_)));
+        let dup = GrbBinaryOp::plus(GrbType::Int32).unwrap();
+        m.build(&[0, 0], &[0, 0], &[Value::Int32(1), Value::Int32(2)], &dup)
+            .unwrap();
+        assert_eq!(m.get(0, 0).unwrap(), Some(Value::Int32(3)));
+    }
+
+    #[test]
+    fn vector_lifecycle() {
+        let v = GrbVector::new(GrbType::Fp32, 4).unwrap();
+        v.set(2, Value::Fp32(1.5)).unwrap();
+        assert_eq!(v.nvals().unwrap(), 1);
+        assert_eq!(v.extract_tuples().unwrap(), vec![(2, Value::Fp32(1.5))]);
+        let d = v.dup();
+        v.set(0, Value::Fp32(9.0)).unwrap();
+        assert_eq!(d.nvals().unwrap(), 1); // dup is a copy
+    }
+
+    #[test]
+    fn expect_domain_errors() {
+        let m = GrbMatrix::new(GrbType::Bool, 1, 1).unwrap();
+        assert!(m.expect_domain(GrbType::Bool, "A").is_ok());
+        assert!(matches!(
+            m.expect_domain(GrbType::Fp64, "A"),
+            Err(Error::DomainMismatch(_))
+        ));
+    }
+}

@@ -1,0 +1,147 @@
+//! The process-global context lifecycle of the C API (paper §IV):
+//! `GrB_init(mode)` establishes the execution context once, before any
+//! other method; `GrB_finalize()` tears it down.
+//!
+//! Documented deviation (DESIGN.md): the paper forbids any re-`init`
+//! after `finalize` for the lifetime of the process. A Rust test binary
+//! runs many independent sessions in one process, so this facade allows
+//! `init` again *after* a `finalize` — but still rejects a second `init`
+//! while a context is live, which is the behaviourally observable part
+//! of the rule. [`with_session`] packages the lock-init-run-finalize
+//! pattern for embedders and tests.
+
+use graphblas_core::error::{Error, Result};
+use graphblas_core::exec::{Context, Mode};
+use parking_lot::{Mutex, ReentrantMutex};
+
+static GLOBAL: Mutex<Option<Context>> = Mutex::new(None);
+/// Serializes whole sessions (init → … → finalize) across threads.
+static SESSION: ReentrantMutex<()> = ReentrantMutex::new(());
+
+/// `GrB_init(mode)`. Fails with `GrB_INVALID_VALUE` if a context is
+/// already established.
+pub fn init(mode: Mode) -> Result<()> {
+    let mut g = GLOBAL.lock();
+    if g.is_some() {
+        return Err(Error::InvalidValue(
+            "GrB_init called while a context is already established".into(),
+        ));
+    }
+    *g = Some(Context::new(mode));
+    Ok(())
+}
+
+/// `GrB_finalize()`. Fails if no context is established.
+pub fn finalize() -> Result<()> {
+    let mut g = GLOBAL.lock();
+    if g.take().is_none() {
+        return Err(Error::UninitializedObject(
+            "GrB_finalize called without GrB_init".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// The live context, or `GrB_UNINITIALIZED_OBJECT` before `init`.
+pub(crate) fn ctx() -> Result<Context> {
+    GLOBAL
+        .lock()
+        .clone()
+        .ok_or_else(|| Error::UninitializedObject("GraphBLAS is not initialized".into()))
+}
+
+/// `GrB_wait()`: terminate the current sequence (nonblocking mode).
+pub fn wait() -> Result<()> {
+    ctx()?.wait()
+}
+
+/// `GrB_error()`: detail text of the most recent execution error.
+pub fn error() -> Option<String> {
+    ctx().ok().and_then(|c| c.error())
+}
+
+/// Test hook mirroring the core context's fault injector: the next
+/// submitted operation fails with `e` at execution time (reachable
+/// execution errors for §V tests).
+pub fn inject_fault(e: graphblas_core::error::Error) -> Result<()> {
+    ctx()?.inject_fault(e);
+    Ok(())
+}
+
+/// The established mode, if any (diagnostic).
+pub fn current_mode() -> Option<Mode> {
+    GLOBAL.lock().as_ref().map(|c| c.mode())
+}
+
+/// Take the session lock without initializing (crate-internal: lets
+/// tests assert uninitialized-state behaviour race-free).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn session_lock() -> parking_lot::ReentrantMutexGuard<'static, ()> {
+    SESSION.lock()
+}
+
+/// Run `f` with the session machinery locked and **no** context
+/// established — the race-free way for tests to assert
+/// `GrB_UNINITIALIZED_OBJECT` behaviour.
+pub fn with_no_session<R>(f: impl FnOnce() -> R) -> Result<R> {
+    let _guard = SESSION.lock();
+    if GLOBAL.lock().is_some() {
+        return Err(Error::InvalidValue(
+            "a context is unexpectedly established".into(),
+        ));
+    }
+    Ok(f())
+}
+
+/// Run `f` inside a serialized init/finalize session — the supported way
+/// to use the global API from multi-threaded test binaries.
+pub fn with_session<R>(mode: Mode, f: impl FnOnce() -> R) -> Result<R> {
+    let _guard = SESSION.lock();
+    init(mode)?;
+    let r = f();
+    finalize()?;
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_rules() {
+        let _guard = SESSION.lock();
+        // not initialized yet
+        assert!(matches!(ctx(), Err(Error::UninitializedObject(_))));
+        assert!(finalize().is_err());
+        init(Mode::Blocking).unwrap();
+        assert_eq!(current_mode(), Some(Mode::Blocking));
+        // double init rejected while live
+        assert!(matches!(init(Mode::Blocking), Err(Error::InvalidValue(_))));
+        assert!(ctx().is_ok());
+        finalize().unwrap();
+        assert!(ctx().is_err());
+        // re-init after finalize allowed (documented deviation)
+        init(Mode::Nonblocking).unwrap();
+        assert_eq!(current_mode(), Some(Mode::Nonblocking));
+        finalize().unwrap();
+    }
+
+    #[test]
+    fn with_session_wraps_lifecycle() {
+        let out = with_session(Mode::Blocking, || {
+            assert!(ctx().is_ok());
+            42
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        let _guard = SESSION.lock();
+        assert!(ctx().is_err());
+    }
+
+    #[test]
+    fn wait_and_error_without_init() {
+        let _guard = SESSION.lock();
+        assert!(wait().is_err());
+        assert_eq!(error(), None);
+    }
+}

@@ -1,0 +1,36 @@
+//! # graphblas-capi
+//!
+//! A dynamically-typed facade over `graphblas-core` that mirrors the
+//! *shape* of the GraphBLAS **C** API the paper specifies: opaque
+//! handles carrying runtime domain tags ([`GrbMatrix`], [`GrbVector`]),
+//! runtime-composed algebraic objects ([`GrbMonoid`], [`GrbSemiring`] —
+//! `GrB_Monoid_new` / `GrB_Semiring_new`), `GrB_NULL`-style optional
+//! mask/accumulator arguments, the process-global
+//! [`init`]/[`finalize`] context lifecycle, and the runtime
+//! `GrB_DOMAIN_MISMATCH` errors that a statically-typed binding turns
+//! into compile errors.
+//!
+//! Built by instantiating the typed core over the tagged-union
+//! [`Value`] domain — which also exercises the core's user-defined-
+//! domain capability end to end. It trades per-element tagging overhead
+//! for C-faithful dynamic semantics; performance work belongs in the
+//! typed core.
+//!
+//! The crate's integration tests include a transliteration of the
+//! paper's Figure 3 `BC_update` against this facade.
+
+pub mod collections;
+pub mod context;
+pub mod operations;
+pub mod ops;
+pub mod value;
+
+pub use collections::{GrbMatrix, GrbVector};
+pub use context::{current_mode, error, finalize, init, inject_fault, wait, with_no_session, with_session};
+pub use graphblas_core::descriptor::Descriptor;
+pub use graphblas_core::error::{Error, Result};
+pub use graphblas_core::exec::Mode;
+pub use graphblas_core::index::{Index, IndexSelection, ALL};
+pub use operations::*;
+pub use ops::{GrbBinaryOp, GrbMonoid, GrbSelectOp, GrbSemiring, GrbUnaryOp};
+pub use value::{GrbType, Value};

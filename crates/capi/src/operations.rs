@@ -1,0 +1,782 @@
+//! The GraphBLAS operations with C-style dynamic arguments: optional
+//! masks (`GrB_NULL`), optional accumulators, runtime-typed semirings
+//! and operators, and runtime domain checking.
+//!
+//! Domain rules (the C API's, restricted to built-in domains): operand
+//! values are implicitly cast to the operator's input domains; the
+//! *output* collection's domain must equal the operation's result domain
+//! (`GrB_DOMAIN_MISMATCH` otherwise); accumulators must accumulate in
+//! the output domain.
+
+use graphblas_core::accum::{Accum, NoAccum};
+use graphblas_core::descriptor::Descriptor;
+use graphblas_core::error::Result;
+use graphblas_core::index::IndexSelection;
+use graphblas_core::mask::NoMask;
+
+use crate::collections::{GrbMatrix, GrbVector};
+use crate::context::ctx;
+use crate::ops::{GrbBinaryOp, GrbMonoid, GrbSelectOp, GrbSemiring, GrbUnaryOp};
+use crate::value::Value;
+
+/// Expand the four mask × accumulator argument combinations into the
+/// statically-typed core call.
+macro_rules! with_mask_accum {
+    ($mask:expr, $acc:expr, |$mk:ident, $ac:ident| $call:expr) => {
+        match ($mask, $acc) {
+            (None, None) => {
+                let $mk = NoMask;
+                let $ac = NoAccum;
+                $call
+            }
+            (Some($mk), None) => {
+                let $ac = NoAccum;
+                $call
+            }
+            (None, Some(af)) => {
+                let $mk = NoMask;
+                let $ac = Accum(af);
+                $call
+            }
+            (Some($mk), Some(af)) => {
+                let $ac = Accum(af);
+                $call
+            }
+        }
+    };
+}
+
+/// `GrB_mxm(C, Mask, accum, op, A, B, desc)`.
+pub fn mxm(
+    c: &GrbMatrix,
+    mask: Option<&GrbMatrix>,
+    accum: Option<&GrbBinaryOp>,
+    op: &GrbSemiring,
+    a: &GrbMatrix,
+    b: &GrbMatrix,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    c.expect_domain(op.d3(), "output C")?;
+    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+    let s = op.casting_dyn();
+    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+        .mxm(&c.m, mk, ac, s, &a.m, &b.m, desc))
+}
+
+/// `GrB_mxv(w, mask, accum, op, A, u, desc)`.
+pub fn mxv(
+    w: &GrbVector,
+    mask: Option<&GrbVector>,
+    accum: Option<&GrbBinaryOp>,
+    op: &GrbSemiring,
+    a: &GrbMatrix,
+    u: &GrbVector,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    w.expect_domain(op.d3(), "output w")?;
+    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+    let s = op.casting_dyn();
+    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+        .mxv(&w.v, mk, ac, s, &a.m, &u.v, desc))
+}
+
+/// `GrB_vxm(w, mask, accum, op, u, A, desc)`.
+pub fn vxm(
+    w: &GrbVector,
+    mask: Option<&GrbVector>,
+    accum: Option<&GrbBinaryOp>,
+    op: &GrbSemiring,
+    u: &GrbVector,
+    a: &GrbMatrix,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    w.expect_domain(op.d3(), "output w")?;
+    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+    let s = op.casting_dyn();
+    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+        .vxm(&w.v, mk, ac, s, &u.v, &a.m, desc))
+}
+
+/// `GrB_eWiseAdd` (matrix).
+pub fn ewise_add_matrix(
+    c: &GrbMatrix,
+    mask: Option<&GrbMatrix>,
+    accum: Option<&GrbBinaryOp>,
+    op: &GrbBinaryOp,
+    a: &GrbMatrix,
+    b: &GrbMatrix,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    c.expect_domain(op.d3, "output C")?;
+    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+    let f = op.casting_dyn();
+    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+        .ewise_add_matrix(&c.m, mk, ac, f, &a.m, &b.m, desc))
+}
+
+/// `GrB_eWiseMult` (matrix).
+pub fn ewise_mult_matrix(
+    c: &GrbMatrix,
+    mask: Option<&GrbMatrix>,
+    accum: Option<&GrbBinaryOp>,
+    op: &GrbBinaryOp,
+    a: &GrbMatrix,
+    b: &GrbMatrix,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    c.expect_domain(op.d3, "output C")?;
+    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+    let f = op.casting_dyn();
+    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+        .ewise_mult_matrix(&c.m, mk, ac, f, &a.m, &b.m, desc))
+}
+
+/// `GrB_eWiseAdd` (vector).
+pub fn ewise_add_vector(
+    w: &GrbVector,
+    mask: Option<&GrbVector>,
+    accum: Option<&GrbBinaryOp>,
+    op: &GrbBinaryOp,
+    u: &GrbVector,
+    v: &GrbVector,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    w.expect_domain(op.d3, "output w")?;
+    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+    let f = op.casting_dyn();
+    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+        .ewise_add_vector(&w.v, mk, ac, f, &u.v, &v.v, desc))
+}
+
+/// `GrB_eWiseMult` (vector).
+pub fn ewise_mult_vector(
+    w: &GrbVector,
+    mask: Option<&GrbVector>,
+    accum: Option<&GrbBinaryOp>,
+    op: &GrbBinaryOp,
+    u: &GrbVector,
+    v: &GrbVector,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    w.expect_domain(op.d3, "output w")?;
+    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+    let f = op.casting_dyn();
+    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+        .ewise_mult_vector(&w.v, mk, ac, f, &u.v, &v.v, desc))
+}
+
+/// `GrB_apply` (matrix).
+pub fn apply_matrix(
+    c: &GrbMatrix,
+    mask: Option<&GrbMatrix>,
+    accum: Option<&GrbBinaryOp>,
+    op: &GrbUnaryOp,
+    a: &GrbMatrix,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    c.expect_domain(op.d2, "output C")?;
+    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+    let f = op.casting_dyn();
+    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+        .apply_matrix(&c.m, mk, ac, f, &a.m, desc))
+}
+
+/// `GrB_apply` (vector).
+pub fn apply_vector(
+    w: &GrbVector,
+    mask: Option<&GrbVector>,
+    accum: Option<&GrbBinaryOp>,
+    op: &GrbUnaryOp,
+    u: &GrbVector,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    w.expect_domain(op.d2, "output w")?;
+    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+    let f = op.casting_dyn();
+    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+        .apply_vector(&w.v, mk, ac, f, &u.v, desc))
+}
+
+/// `GrB_reduce` (matrix → vector): Fig. 3 line 78.
+pub fn reduce_rows(
+    w: &GrbVector,
+    mask: Option<&GrbVector>,
+    accum: Option<&GrbBinaryOp>,
+    monoid: &GrbMonoid,
+    a: &GrbMatrix,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    w.expect_domain(monoid.domain(), "output w")?;
+    a.expect_domain(monoid.domain(), "input A")?;
+    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+    let m = monoid.as_dyn();
+    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+        .reduce_rows(&w.v, mk, ac, m, &a.m, desc))
+}
+
+/// `GrB_reduce` (matrix → scalar).
+pub fn reduce_matrix_scalar(monoid: &GrbMonoid, a: &GrbMatrix) -> Result<Value> {
+    let ctx = ctx()?;
+    a.expect_domain(monoid.domain(), "input A")?;
+    ctx.reduce_matrix_to_scalar(monoid.as_dyn(), &a.m)
+}
+
+/// `GrB_reduce` (vector → scalar).
+pub fn reduce_vector_scalar(monoid: &GrbMonoid, u: &GrbVector) -> Result<Value> {
+    let ctx = ctx()?;
+    u.expect_domain(monoid.domain(), "input u")?;
+    ctx.reduce_vector_to_scalar(monoid.as_dyn(), &u.v)
+}
+
+/// `GrB_transpose`.
+pub fn transpose(
+    c: &GrbMatrix,
+    mask: Option<&GrbMatrix>,
+    accum: Option<&GrbBinaryOp>,
+    a: &GrbMatrix,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    c.expect_domain(a.domain(), "output C")?;
+    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+        .transpose(&c.m, mk, ac, &a.m, desc))
+}
+
+/// `GrB_extract` (matrix): Fig. 3 line 33.
+pub fn extract_matrix(
+    c: &GrbMatrix,
+    mask: Option<&GrbMatrix>,
+    accum: Option<&GrbBinaryOp>,
+    a: &GrbMatrix,
+    rows: IndexSelection<'_>,
+    cols: IndexSelection<'_>,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    c.expect_domain(a.domain(), "output C")?;
+    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+        .extract_matrix(&c.m, mk, ac, &a.m, rows, cols, desc))
+}
+
+/// `GrB_select` (matrix): keep stored elements passing the selector.
+pub fn select_matrix(
+    c: &GrbMatrix,
+    mask: Option<&GrbMatrix>,
+    accum: Option<&GrbBinaryOp>,
+    op: &GrbSelectOp,
+    a: &GrbMatrix,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    c.expect_domain(a.domain(), "output C")?;
+    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+    let sel = op.clone();
+    let f = graphblas_core::algebra::indexop::select_fn(move |i, j, v: &Value| sel.keep(i, j, v));
+    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+        .select_matrix(&c.m, mk, ac, f, &a.m, desc))
+}
+
+/// `GrB_select` (vector).
+pub fn select_vector(
+    w: &GrbVector,
+    mask: Option<&GrbVector>,
+    accum: Option<&GrbBinaryOp>,
+    op: &GrbSelectOp,
+    u: &GrbVector,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    w.expect_domain(u.domain(), "output w")?;
+    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+    let sel = op.clone();
+    let f = graphblas_core::algebra::indexop::select_fn(move |i, j, v: &Value| sel.keep(i, j, v));
+    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+        .select_vector(&w.v, mk, ac, f, &u.v, desc))
+}
+
+/// `GrB_extract` (vector): `w<mask> ⊙= u(indices)`.
+pub fn extract_vector(
+    w: &GrbVector,
+    mask: Option<&GrbVector>,
+    accum: Option<&GrbBinaryOp>,
+    u: &GrbVector,
+    indices: IndexSelection<'_>,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    w.expect_domain(u.domain(), "output w")?;
+    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+        .extract_vector(&w.v, mk, ac, &u.v, indices, desc))
+}
+
+/// `GrB_Col_extract`: `w<mask> ⊙= A(rows, j)`.
+pub fn extract_col(
+    w: &GrbVector,
+    mask: Option<&GrbVector>,
+    accum: Option<&GrbBinaryOp>,
+    a: &GrbMatrix,
+    rows: IndexSelection<'_>,
+    j: graphblas_core::index::Index,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    w.expect_domain(a.domain(), "output w")?;
+    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+        .extract_col(&w.v, mk, ac, &a.m, rows, j, desc))
+}
+
+/// `GrB_assign` (matrix): `C<Mask>(rows, cols) ⊙= A`.
+pub fn assign_matrix(
+    c: &GrbMatrix,
+    mask: Option<&GrbMatrix>,
+    accum: Option<&GrbBinaryOp>,
+    a: &GrbMatrix,
+    rows: IndexSelection<'_>,
+    cols: IndexSelection<'_>,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    c.expect_domain(a.domain(), "output C")?;
+    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+        .assign_matrix(&c.m, mk, ac, &a.m, rows, cols, desc))
+}
+
+/// `GrB_assign` (vector): `w<mask>(indices) ⊙= u`.
+pub fn assign_vector(
+    w: &GrbVector,
+    mask: Option<&GrbVector>,
+    accum: Option<&GrbBinaryOp>,
+    u: &GrbVector,
+    indices: IndexSelection<'_>,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    w.expect_domain(u.domain(), "output w")?;
+    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+        .assign_vector(&w.v, mk, ac, &u.v, indices, desc))
+}
+
+/// `GrB_assign` (matrix, scalar fill): Fig. 3 line 61.
+pub fn assign_scalar_matrix(
+    c: &GrbMatrix,
+    mask: Option<&GrbMatrix>,
+    accum: Option<&GrbBinaryOp>,
+    value: Value,
+    rows: IndexSelection<'_>,
+    cols: IndexSelection<'_>,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    let v = value.cast_to(c.domain());
+    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+        .assign_scalar_matrix(&c.m, mk, ac, v, rows, cols, desc))
+}
+
+/// `GrB_assign` (vector, scalar fill): Fig. 3 line 77.
+pub fn assign_scalar_vector(
+    w: &GrbVector,
+    mask: Option<&GrbVector>,
+    accum: Option<&GrbBinaryOp>,
+    value: Value,
+    indices: IndexSelection<'_>,
+    desc: &Descriptor,
+) -> Result<()> {
+    let ctx = ctx()?;
+    let v = value.cast_to(w.domain());
+    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+        .assign_scalar_vector(&w.v, mk, ac, v, indices, desc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::with_session;
+    use crate::value::GrbType;
+    use graphblas_core::error::Error;
+    use graphblas_core::exec::Mode;
+    use graphblas_core::index::ALL;
+
+    fn int_matrix(n: usize, t: &[(usize, usize, i32)]) -> GrbMatrix {
+        let m = GrbMatrix::new(GrbType::Int32, n, n).unwrap();
+        let rows: Vec<usize> = t.iter().map(|x| x.0).collect();
+        let cols: Vec<usize> = t.iter().map(|x| x.1).collect();
+        let vals: Vec<Value> = t.iter().map(|x| Value::Int32(x.2)).collect();
+        m.build(&rows, &cols, &vals, &GrbBinaryOp::plus(GrbType::Int32).unwrap())
+            .unwrap();
+        m
+    }
+
+    fn int32_semiring() -> GrbSemiring {
+        let add = GrbMonoid::new(
+            GrbBinaryOp::plus(GrbType::Int32).unwrap(),
+            Value::Int32(0),
+        )
+        .unwrap();
+        GrbSemiring::new(add, GrbBinaryOp::times(GrbType::Int32).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn mxm_through_the_facade() {
+        with_session(Mode::Blocking, || {
+            let a = int_matrix(2, &[(0, 0, 1), (0, 1, 2), (1, 1, 3)]);
+            let c = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+            mxm(&c, None, None, &int32_semiring(), &a, &a, &Descriptor::default()).unwrap();
+            assert_eq!(c.get(0, 1).unwrap(), Some(Value::Int32(8)));
+            assert_eq!(c.get(1, 1).unwrap(), Some(Value::Int32(9)));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn output_domain_mismatch_is_runtime_error() {
+        with_session(Mode::Blocking, || {
+            let a = int_matrix(2, &[(0, 0, 1)]);
+            let c = GrbMatrix::new(GrbType::Fp32, 2, 2).unwrap();
+            let e = mxm(&c, None, None, &int32_semiring(), &a, &a, &Descriptor::default())
+                .unwrap_err();
+            assert!(matches!(e, Error::DomainMismatch(_)));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn operand_domains_cast_implicitly() {
+        with_session(Mode::Blocking, || {
+            // fp64 operand into an int32 semiring: C casts operands
+            let a = GrbMatrix::new(GrbType::Fp64, 1, 1).unwrap();
+            a.set(0, 0, Value::Fp64(2.9)).unwrap();
+            let c = GrbMatrix::new(GrbType::Int32, 1, 1).unwrap();
+            mxm(&c, None, None, &int32_semiring(), &a, &a, &Descriptor::default()).unwrap();
+            // 2.9 casts to 2; 2*2 = 4
+            assert_eq!(c.get(0, 0).unwrap(), Some(Value::Int32(4)));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn accumulator_domain_rule() {
+        with_session(Mode::Blocking, || {
+            let a = int_matrix(1, &[(0, 0, 2)]);
+            let c = GrbMatrix::new(GrbType::Int32, 1, 1).unwrap();
+            c.set(0, 0, Value::Int32(100)).unwrap();
+            // fp32 accumulator cannot accumulate into int32 output
+            let bad = GrbBinaryOp::plus(GrbType::Fp32).unwrap();
+            let e = mxm(&c, None, Some(&bad), &int32_semiring(), &a, &a, &Descriptor::default())
+                .unwrap_err();
+            assert!(matches!(e, Error::DomainMismatch(_)));
+            let good = GrbBinaryOp::plus(GrbType::Int32).unwrap();
+            mxm(&c, None, Some(&good), &int32_semiring(), &a, &a, &Descriptor::default())
+                .unwrap();
+            assert_eq!(c.get(0, 0).unwrap(), Some(Value::Int32(104)));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn masked_ops_and_descriptor() {
+        with_session(Mode::Blocking, || {
+            let a = int_matrix(2, &[(0, 0, 1), (0, 1, 2), (1, 0, 3), (1, 1, 4)]);
+            let c = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+            let mask = int_matrix(2, &[(0, 1, 1)]);
+            mxm(
+                &c,
+                Some(&mask),
+                None,
+                &int32_semiring(),
+                &a,
+                &a,
+                &Descriptor::default().replace(),
+            )
+            .unwrap();
+            assert_eq!(c.nvals().unwrap(), 1);
+            assert_eq!(c.get(0, 1).unwrap(), Some(Value::Int32(10)));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn apply_and_reduce() {
+        with_session(Mode::Blocking, || {
+            let a = int_matrix(2, &[(0, 0, 4), (1, 1, 9)]);
+            // identity into bool = the Fig. 3 cast
+            let b = GrbMatrix::new(GrbType::Bool, 2, 2).unwrap();
+            apply_matrix(
+                &b,
+                None,
+                None,
+                &GrbUnaryOp::identity(GrbType::Bool),
+                &a,
+                &Descriptor::default(),
+            )
+            .unwrap();
+            assert_eq!(b.get(1, 1).unwrap(), Some(Value::Bool(true)));
+
+            let monoid = GrbMonoid::new(
+                GrbBinaryOp::plus(GrbType::Int32).unwrap(),
+                Value::Int32(0),
+            )
+            .unwrap();
+            assert_eq!(
+                reduce_matrix_scalar(&monoid, &a).unwrap(),
+                Value::Int32(13)
+            );
+            let w = GrbVector::new(GrbType::Int32, 2).unwrap();
+            reduce_rows(&w, None, None, &monoid, &a, &Descriptor::default()).unwrap();
+            assert_eq!(w.get(0).unwrap(), Some(Value::Int32(4)));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn scalar_assign_fill() {
+        with_session(Mode::Blocking, || {
+            let c = GrbMatrix::new(GrbType::Fp32, 2, 3).unwrap();
+            assign_scalar_matrix(
+                &c,
+                None,
+                None,
+                Value::Fp32(1.0),
+                ALL,
+                ALL,
+                &Descriptor::default(),
+            )
+            .unwrap();
+            assert_eq!(c.nvals().unwrap(), 6);
+            let w = GrbVector::new(GrbType::Fp32, 4).unwrap();
+            assign_scalar_vector(
+                &w,
+                None,
+                None,
+                Value::Fp32(-2.0),
+                ALL,
+                &Descriptor::default(),
+            )
+            .unwrap();
+            assert_eq!(w.get(3).unwrap(), Some(Value::Fp32(-2.0)));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn extract_and_assign_vector_through_facade() {
+        with_session(Mode::Blocking, || {
+            let u = GrbVector::new(GrbType::Int32, 4).unwrap();
+            for (i, v) in [(0, 10), (2, 20), (3, 30)] {
+                u.set(i, Value::Int32(v)).unwrap();
+            }
+            let w = GrbVector::new(GrbType::Int32, 2).unwrap();
+            extract_vector(
+                &w,
+                None,
+                None,
+                &u,
+                IndexSelection::List(&[3, 1]),
+                &Descriptor::default(),
+            )
+            .unwrap();
+            assert_eq!(w.extract_tuples().unwrap(), vec![(0, Value::Int32(30))]);
+
+            let target = GrbVector::new(GrbType::Int32, 4).unwrap();
+            assign_vector(
+                &target,
+                None,
+                None,
+                &w,
+                IndexSelection::List(&[1, 2]),
+                &Descriptor::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                target.extract_tuples().unwrap(),
+                vec![(1, Value::Int32(30))]
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn assign_matrix_region_through_facade() {
+        with_session(Mode::Blocking, || {
+            let c = int_matrix(3, &[(0, 0, 1), (2, 2, 9)]);
+            let a = GrbMatrix::new(GrbType::Int32, 1, 2).unwrap();
+            a.set(0, 0, Value::Int32(7)).unwrap();
+            assign_matrix(
+                &c,
+                None,
+                None,
+                &a,
+                IndexSelection::List(&[1]),
+                IndexSelection::List(&[0, 1]),
+                &Descriptor::default(),
+            )
+            .unwrap();
+            assert_eq!(c.get(1, 0).unwrap(), Some(Value::Int32(7)));
+            assert_eq!(c.get(0, 0).unwrap(), Some(Value::Int32(1)));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn extract_col_through_facade() {
+        with_session(Mode::Blocking, || {
+            let a = int_matrix(3, &[(0, 1, 5), (2, 1, 6)]);
+            let w = GrbVector::new(GrbType::Int32, 3).unwrap();
+            extract_col(&w, None, None, &a, graphblas_core::index::ALL, 1, &Descriptor::default())
+                .unwrap();
+            assert_eq!(
+                w.extract_tuples().unwrap(),
+                vec![(0, Value::Int32(5)), (2, Value::Int32(6))]
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn transpose_and_vxm_through_facade() {
+        with_session(Mode::Blocking, || {
+            let a = int_matrix(2, &[(0, 1, 3)]);
+            let t = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+            transpose(&t, None, None, &a, &Descriptor::default()).unwrap();
+            assert_eq!(t.get(1, 0).unwrap(), Some(Value::Int32(3)));
+
+            let u = GrbVector::new(GrbType::Int32, 2).unwrap();
+            u.set(0, Value::Int32(2)).unwrap();
+            let w = GrbVector::new(GrbType::Int32, 2).unwrap();
+            vxm(&w, None, None, &int32_semiring(), &u, &a, &Descriptor::default()).unwrap();
+            assert_eq!(w.extract_tuples().unwrap(), vec![(1, Value::Int32(6))]);
+            let w2 = GrbVector::new(GrbType::Int32, 2).unwrap();
+            mxv(&w2, None, None, &int32_semiring(), &t, &u, &Descriptor::default()).unwrap();
+            assert_eq!(w2.extract_tuples().unwrap(), w.extract_tuples().unwrap());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn ewise_vector_variants_through_facade() {
+        with_session(Mode::Blocking, || {
+            let u = GrbVector::new(GrbType::Fp64, 3).unwrap();
+            let v = GrbVector::new(GrbType::Fp64, 3).unwrap();
+            u.set(0, Value::Fp64(1.0)).unwrap();
+            u.set(1, Value::Fp64(2.0)).unwrap();
+            v.set(1, Value::Fp64(10.0)).unwrap();
+            v.set(2, Value::Fp64(20.0)).unwrap();
+            let s = GrbVector::new(GrbType::Fp64, 3).unwrap();
+            ewise_add_vector(
+                &s,
+                None,
+                None,
+                &GrbBinaryOp::plus(GrbType::Fp64).unwrap(),
+                &u,
+                &v,
+                &Descriptor::default(),
+            )
+            .unwrap();
+            assert_eq!(s.nvals().unwrap(), 3);
+            let p = GrbVector::new(GrbType::Fp64, 3).unwrap();
+            ewise_mult_vector(
+                &p,
+                None,
+                None,
+                &GrbBinaryOp::times(GrbType::Fp64).unwrap(),
+                &u,
+                &v,
+                &Descriptor::default(),
+            )
+            .unwrap();
+            assert_eq!(p.extract_tuples().unwrap(), vec![(1, Value::Fp64(20.0))]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reduce_vector_scalar_through_facade() {
+        with_session(Mode::Blocking, || {
+            let u = GrbVector::new(GrbType::Int32, 3).unwrap();
+            u.set(0, Value::Int32(4)).unwrap();
+            u.set(2, Value::Int32(5)).unwrap();
+            let monoid = GrbMonoid::new(
+                GrbBinaryOp::plus(GrbType::Int32).unwrap(),
+                Value::Int32(0),
+            )
+            .unwrap();
+            assert_eq!(
+                reduce_vector_scalar(&monoid, &u).unwrap(),
+                Value::Int32(9)
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn select_through_facade() {
+        with_session(Mode::Blocking, || {
+            let a = int_matrix(3, &[(0, 0, 1), (1, 0, 5), (0, 2, 7), (2, 2, 2)]);
+            let l = GrbMatrix::new(GrbType::Int32, 3, 3).unwrap();
+            select_matrix(
+                &l,
+                None,
+                None,
+                &GrbSelectOp::Tril(-1),
+                &a,
+                &Descriptor::default(),
+            )
+            .unwrap();
+            assert_eq!(l.extract_tuples().unwrap(), vec![(1, 0, Value::Int32(5))]);
+            let big = GrbMatrix::new(GrbType::Int32, 3, 3).unwrap();
+            select_matrix(
+                &big,
+                None,
+                None,
+                &GrbSelectOp::ValueGt(Value::Int32(2)),
+                &a,
+                &Descriptor::default(),
+            )
+            .unwrap();
+            assert_eq!(big.nvals().unwrap(), 2);
+
+            let u = GrbVector::new(GrbType::Fp64, 3).unwrap();
+            u.set(0, Value::Fp64(0.5)).unwrap();
+            u.set(2, Value::Fp64(2.5)).unwrap();
+            let w = GrbVector::new(GrbType::Fp64, 3).unwrap();
+            select_vector(
+                &w,
+                None,
+                None,
+                &GrbSelectOp::ValueGe(Value::Fp64(1.0)),
+                &u,
+                &Descriptor::default(),
+            )
+            .unwrap();
+            assert_eq!(w.extract_tuples().unwrap(), vec![(2, Value::Fp64(2.5))]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn ops_require_initialization() {
+        // hold the session lock so no other test's session is live
+        let _guard = crate::context::session_lock();
+        let a = GrbMatrix::new(GrbType::Int32, 1, 1).unwrap();
+        let c = GrbMatrix::new(GrbType::Int32, 1, 1).unwrap();
+        let e = mxm(&c, None, None, &int32_semiring(), &a, &a, &Descriptor::default());
+        assert!(matches!(e, Err(Error::UninitializedObject(_))));
+    }
+}

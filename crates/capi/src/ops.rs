@@ -1,0 +1,559 @@
+//! Runtime algebraic objects: `GrB_BinaryOp`, `GrB_UnaryOp`,
+//! `GrB_Monoid`, `GrB_Semiring` as *values* carrying their domains —
+//! exactly the C API's shape, with `GrB_DOMAIN_MISMATCH` raised at
+//! construction or call time instead of at compile time.
+
+use std::fmt;
+use std::sync::Arc;
+
+use graphblas_core::algebra::binary::BinaryOp;
+use graphblas_core::algebra::monoid::Monoid;
+use graphblas_core::algebra::semiring::{Semiring, SemiringDef};
+use graphblas_core::algebra::unary::UnaryOp;
+use graphblas_core::error::{Error, Result};
+use graphblas_core::scalar::AsBool;
+
+use crate::value::{GrbType, Value};
+
+type BinFn = Arc<dyn Fn(&Value, &Value) -> Value + Send + Sync>;
+type UnFn = Arc<dyn Fn(&Value) -> Value + Send + Sync>;
+
+/// `GrB_BinaryOp`: `<D1, D2, D3, ⊙>` with runtime domains.
+#[derive(Clone)]
+pub struct GrbBinaryOp {
+    pub name: &'static str,
+    pub d1: GrbType,
+    pub d2: GrbType,
+    pub d3: GrbType,
+    f: BinFn,
+}
+
+impl fmt::Debug for GrbBinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<{:?},{:?},{:?}>", self.name, self.d1, self.d2, self.d3)
+    }
+}
+
+impl GrbBinaryOp {
+    /// `GrB_BinaryOp_new`: a user-defined operator from a closure.
+    pub fn new(
+        name: &'static str,
+        d1: GrbType,
+        d2: GrbType,
+        d3: GrbType,
+        f: impl Fn(&Value, &Value) -> Value + Send + Sync + 'static,
+    ) -> Self {
+        GrbBinaryOp {
+            name,
+            d1,
+            d2,
+            d3,
+            f: Arc::new(f),
+        }
+    }
+
+    // --- predefined operators (Table IV) ---
+
+    /// `GrB_PLUS_T`.
+    pub fn plus(ty: GrbType) -> Result<Self> {
+        numeric_binop(ty, "GrB_PLUS", |a, b| a.add(b))
+    }
+
+    /// `GrB_MINUS_T`.
+    pub fn minus(ty: GrbType) -> Result<Self> {
+        numeric_binop(ty, "GrB_MINUS", |a, b| a.sub(b))
+    }
+
+    /// `GrB_TIMES_T`.
+    pub fn times(ty: GrbType) -> Result<Self> {
+        numeric_binop(ty, "GrB_TIMES", |a, b| a.mul(b))
+    }
+
+    /// `GrB_DIV_T`.
+    pub fn div(ty: GrbType) -> Result<Self> {
+        numeric_binop(ty, "GrB_DIV", |a, b| a.div(b))
+    }
+
+    /// `GrB_MIN_T`.
+    pub fn min(ty: GrbType) -> Result<Self> {
+        numeric_binop(ty, "GrB_MIN", |a, b| a.min_v(b))
+    }
+
+    /// `GrB_MAX_T`.
+    pub fn max(ty: GrbType) -> Result<Self> {
+        numeric_binop(ty, "GrB_MAX", |a, b| a.max_v(b))
+    }
+
+    /// `GrB_FIRST_T`.
+    pub fn first(ty: GrbType) -> Self {
+        GrbBinaryOp::new("GrB_FIRST", ty, ty, ty, |a, _| a.clone())
+    }
+
+    /// `GrB_SECOND_T`.
+    pub fn second(ty: GrbType) -> Self {
+        GrbBinaryOp::new("GrB_SECOND", ty, ty, ty, |_, b| b.clone())
+    }
+
+    /// `GrB_LAND`.
+    pub fn land() -> Self {
+        GrbBinaryOp::new("GrB_LAND", GrbType::Bool, GrbType::Bool, GrbType::Bool, |a, b| {
+            Value::Bool(a.as_bool() && b.as_bool())
+        })
+    }
+
+    /// `GrB_LOR`.
+    pub fn lor() -> Self {
+        GrbBinaryOp::new("GrB_LOR", GrbType::Bool, GrbType::Bool, GrbType::Bool, |a, b| {
+            Value::Bool(a.as_bool() || b.as_bool())
+        })
+    }
+
+    /// `GrB_LXOR`.
+    pub fn lxor() -> Self {
+        GrbBinaryOp::new("GrB_LXOR", GrbType::Bool, GrbType::Bool, GrbType::Bool, |a, b| {
+            Value::Bool(a.as_bool() ^ b.as_bool())
+        })
+    }
+
+    /// `GrB_EQ_T` (returns `GrB_BOOL`).
+    pub fn eq(ty: GrbType) -> Self {
+        GrbBinaryOp::new("GrB_EQ", ty, ty, GrbType::Bool, |a, b| {
+            Value::Bool(a == b)
+        })
+    }
+
+    /// Adapter to the typed core.
+    pub(crate) fn as_dyn(&self) -> DynBinary {
+        DynBinary {
+            f: self.f.clone(),
+        }
+    }
+
+    /// API check: this operator's input/output domains against actual
+    /// argument domains.
+    pub(crate) fn check_domains(
+        &self,
+        d1: GrbType,
+        d2: GrbType,
+        d3: GrbType,
+    ) -> Result<()> {
+        if (self.d1, self.d2, self.d3) != (d1, d2, d3) {
+            return Err(Error::DomainMismatch(format!(
+                "operator {self:?} applied to domains <{d1:?},{d2:?},{d3:?}>"
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn numeric_binop(
+    ty: GrbType,
+    name: &'static str,
+    f: impl Fn(&Value, &Value) -> Value + Send + Sync + 'static,
+) -> Result<GrbBinaryOp> {
+    if !ty.is_numeric() {
+        return Err(Error::DomainMismatch(format!(
+            "{name} is not defined for {:?}",
+            ty
+        )));
+    }
+    Ok(GrbBinaryOp::new(name, ty, ty, ty, f))
+}
+
+/// `GrB_UnaryOp`: `<D1, D2, f>` with runtime domains.
+#[derive(Clone)]
+pub struct GrbUnaryOp {
+    pub name: &'static str,
+    pub d1: GrbType,
+    pub d2: GrbType,
+    f: UnFn,
+}
+
+impl fmt::Debug for GrbUnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<{:?},{:?}>", self.name, self.d1, self.d2)
+    }
+}
+
+impl GrbUnaryOp {
+    /// `GrB_UnaryOp_new`.
+    pub fn new(
+        name: &'static str,
+        d1: GrbType,
+        d2: GrbType,
+        f: impl Fn(&Value) -> Value + Send + Sync + 'static,
+    ) -> Self {
+        GrbUnaryOp {
+            name,
+            d1,
+            d2,
+            f: Arc::new(f),
+        }
+    }
+
+    /// `GrB_IDENTITY_T` (the example's `GrB_IDENTITY_BOOL`, with the
+    /// implicit input cast the paper relies on at Fig. 3 line 41).
+    pub fn identity(ty: GrbType) -> Self {
+        GrbUnaryOp::new("GrB_IDENTITY", ty, ty, move |x| x.cast_to(ty))
+    }
+
+    /// `GrB_MINV_T` (the example's `GrB_MINV_FP32`).
+    pub fn minv(ty: GrbType) -> Result<Self> {
+        if !ty.is_numeric() {
+            return Err(Error::DomainMismatch(format!(
+                "GrB_MINV is not defined for {ty:?}"
+            )));
+        }
+        Ok(GrbUnaryOp::new("GrB_MINV", ty, ty, move |x| {
+            x.cast_to(ty).map_f64(|v| 1.0 / v)
+        }))
+    }
+
+    /// `GrB_AINV_T`.
+    pub fn ainv(ty: GrbType) -> Result<Self> {
+        if !ty.is_numeric() {
+            return Err(Error::DomainMismatch(format!(
+                "GrB_AINV is not defined for {ty:?}"
+            )));
+        }
+        Ok(GrbUnaryOp::new("GrB_AINV", ty, ty, move |x| {
+            x.cast_to(ty).map_f64(|v| -v)
+        }))
+    }
+
+    /// `GrB_LNOT`.
+    pub fn lnot() -> Self {
+        GrbUnaryOp::new("GrB_LNOT", GrbType::Bool, GrbType::Bool, |x| {
+            Value::Bool(!x.as_bool())
+        })
+    }
+
+    /// Plain adapter (no input cast); the operation layer uses
+    /// [`GrbUnaryOp::casting_dyn`] — this form is exercised by tests.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn as_dyn(&self) -> DynUnary {
+        DynUnary {
+            f: self.f.clone(),
+        }
+    }
+}
+
+/// `GrB_IndexUnaryOp` as used by `GrB_select`: the predefined selector
+/// family, carried as a runtime value (structural selectors ignore the
+/// domain; value selectors compare after casting to f64, the C
+/// comparison lattice for built-in domains).
+#[derive(Debug, Clone)]
+pub enum GrbSelectOp {
+    /// `GrB_TRIL(k)`.
+    Tril(i64),
+    /// `GrB_TRIU(k)`.
+    Triu(i64),
+    /// `GrB_DIAG(k)`.
+    Diag(i64),
+    /// `GrB_OFFDIAG(k)`.
+    OffDiag(i64),
+    /// `GrB_VALUEGT(thunk)`.
+    ValueGt(Value),
+    /// `GrB_VALUEGE(thunk)`.
+    ValueGe(Value),
+    /// `GrB_VALUELT(thunk)`.
+    ValueLt(Value),
+    /// `GrB_VALUELE(thunk)`.
+    ValueLe(Value),
+    /// `GrB_VALUEEQ(thunk)`.
+    ValueEq(Value),
+    /// `GrB_VALUENE(thunk)`.
+    ValueNe(Value),
+}
+
+impl GrbSelectOp {
+    pub(crate) fn keep(&self, i: usize, j: usize, v: &Value) -> bool {
+        let (i, j) = (i as i64, j as i64);
+        match self {
+            GrbSelectOp::Tril(k) => j - i <= *k,
+            GrbSelectOp::Triu(k) => j - i >= *k,
+            GrbSelectOp::Diag(k) => j - i == *k,
+            GrbSelectOp::OffDiag(k) => j - i != *k,
+            GrbSelectOp::ValueGt(t) => v.as_f64() > t.as_f64(),
+            GrbSelectOp::ValueGe(t) => v.as_f64() >= t.as_f64(),
+            GrbSelectOp::ValueLt(t) => v.as_f64() < t.as_f64(),
+            GrbSelectOp::ValueLe(t) => v.as_f64() <= t.as_f64(),
+            GrbSelectOp::ValueEq(t) => v.as_f64() == t.as_f64(),
+            GrbSelectOp::ValueNe(t) => v.as_f64() != t.as_f64(),
+        }
+    }
+}
+
+/// `GrB_Monoid`: a binary operator over one domain plus its identity
+/// element (`GrB_Monoid_new`, Fig. 3 lines 10/49/51).
+#[derive(Debug, Clone)]
+pub struct GrbMonoid {
+    pub op: GrbBinaryOp,
+    pub identity: Value,
+}
+
+impl GrbMonoid {
+    /// `GrB_Monoid_new(&monoid, domain, op, identity)` — rejects
+    /// operators whose domains are not uniform or whose identity has the
+    /// wrong domain (`GrB_DOMAIN_MISMATCH`).
+    pub fn new(op: GrbBinaryOp, identity: Value) -> Result<Self> {
+        if op.d1 != op.d2 || op.d2 != op.d3 {
+            return Err(Error::DomainMismatch(format!(
+                "monoid operator must have one domain, got {op:?}"
+            )));
+        }
+        if identity.type_of() != op.d1 {
+            return Err(Error::DomainMismatch(format!(
+                "identity {identity:?} does not match monoid domain {:?}",
+                op.d1
+            )));
+        }
+        Ok(GrbMonoid { op, identity })
+    }
+
+    pub fn domain(&self) -> GrbType {
+        self.op.d1
+    }
+
+    pub(crate) fn as_dyn(&self) -> DynMonoid {
+        DynMonoid {
+            f: self.op.f.clone(),
+            id: self.identity.clone(),
+        }
+    }
+}
+
+/// `GrB_Semiring`: `<add monoid, mul op>` (`GrB_Semiring_new`, Fig. 3
+/// lines 12/53).
+#[derive(Debug, Clone)]
+pub struct GrbSemiring {
+    pub add: GrbMonoid,
+    pub mul: GrbBinaryOp,
+}
+
+impl GrbSemiring {
+    /// `GrB_Semiring_new(&semiring, add_monoid, mul_op)` — the
+    /// multiplicative output domain must be the additive domain.
+    pub fn new(add: GrbMonoid, mul: GrbBinaryOp) -> Result<Self> {
+        if mul.d3 != add.domain() {
+            return Err(Error::DomainMismatch(format!(
+                "⊗ output {:?} does not match ⊕ domain {:?}",
+                mul.d3,
+                add.domain()
+            )));
+        }
+        Ok(GrbSemiring { add, mul })
+    }
+
+    pub fn d1(&self) -> GrbType {
+        self.mul.d1
+    }
+
+    pub fn d2(&self) -> GrbType {
+        self.mul.d2
+    }
+
+    pub fn d3(&self) -> GrbType {
+        self.mul.d3
+    }
+
+    pub(crate) fn as_dyn(&self) -> SemiringDef<DynMonoid, DynBinary> {
+        SemiringDef::new(self.add.as_dyn(), self.mul.as_dyn())
+    }
+
+    /// Adapter that folds in the C API's implicit input casts: operand
+    /// values are cast to the ⊗ domains before multiplication.
+    pub(crate) fn casting_dyn(&self) -> SemiringDef<DynMonoid, DynBinary> {
+        let (d1, d2) = (self.mul.d1, self.mul.d2);
+        let f = self.mul.f.clone();
+        SemiringDef::new(
+            self.add.as_dyn(),
+            DynBinary {
+                f: Arc::new(move |x: &Value, y: &Value| f(&x.cast_to(d1), &y.cast_to(d2))),
+            },
+        )
+    }
+}
+
+impl GrbBinaryOp {
+    /// Adapter with implicit input casts to this operator's domains.
+    pub(crate) fn casting_dyn(&self) -> DynBinary {
+        let (d1, d2) = (self.d1, self.d2);
+        let f = self.f.clone();
+        DynBinary {
+            f: Arc::new(move |x: &Value, y: &Value| f(&x.cast_to(d1), &y.cast_to(d2))),
+        }
+    }
+
+    /// Adapter for use as an accumulator into an output of domain
+    /// `out_ty`: requires `d1 == d3 == out_ty` (the C accumulation rule);
+    /// the T-side operand is cast to `d2`.
+    pub(crate) fn accum_dyn(&self, out_ty: GrbType) -> Result<DynBinary> {
+        if self.d1 != out_ty || self.d3 != out_ty {
+            return Err(Error::DomainMismatch(format!(
+                "accumulator {self:?} cannot accumulate into domain {out_ty:?}"
+            )));
+        }
+        Ok(self.casting_dyn())
+    }
+}
+
+impl GrbUnaryOp {
+    /// Adapter with the implicit input cast to `d1` (Fig. 3 line 41's
+    /// `GrB_IDENTITY_BOOL` on an integer frontier).
+    pub(crate) fn casting_dyn(&self) -> DynUnary {
+        let d1 = self.d1;
+        let f = self.f.clone();
+        DynUnary {
+            f: Arc::new(move |x: &Value| f(&x.cast_to(d1))),
+        }
+    }
+}
+
+// ----- adapters to the typed core over the Value domain -----
+
+#[derive(Clone)]
+pub(crate) struct DynBinary {
+    f: BinFn,
+}
+
+impl BinaryOp<Value, Value, Value> for DynBinary {
+    #[inline]
+    fn apply(&self, x: &Value, y: &Value) -> Value {
+        (self.f)(x, y)
+    }
+}
+
+#[derive(Clone)]
+pub(crate) struct DynMonoid {
+    f: BinFn,
+    id: Value,
+}
+
+impl BinaryOp<Value, Value, Value> for DynMonoid {
+    #[inline]
+    fn apply(&self, x: &Value, y: &Value) -> Value {
+        (self.f)(x, y)
+    }
+}
+
+impl Monoid<Value> for DynMonoid {
+    #[inline]
+    fn identity(&self) -> Value {
+        self.id.clone()
+    }
+}
+
+#[derive(Clone)]
+pub(crate) struct DynUnary {
+    f: UnFn,
+}
+
+impl UnaryOp<Value, Value> for DynUnary {
+    #[inline]
+    fn apply(&self, x: &Value) -> Value {
+        (self.f)(x)
+    }
+}
+
+/// Quiet use of the semiring trait so the adapter stays honest.
+#[allow(dead_code)]
+fn assert_semiring_impl(s: &GrbSemiring) -> Value {
+    Semiring::<Value, Value, Value>::zero(&s.as_dyn())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predefined_operator_domains() {
+        let p = GrbBinaryOp::plus(GrbType::Int32).unwrap();
+        assert_eq!((p.d1, p.d2, p.d3), (GrbType::Int32, GrbType::Int32, GrbType::Int32));
+        assert_eq!(
+            p.as_dyn().apply(&Value::Int32(2), &Value::Int32(3)),
+            Value::Int32(5)
+        );
+        assert!(GrbBinaryOp::plus(GrbType::Bool).is_err()); // no GrB_PLUS_BOOL
+    }
+
+    #[test]
+    fn monoid_construction_checks() {
+        // Fig. 3 line 10: GrB_Monoid_new(&Int32Add, GrB_INT32, GrB_PLUS_INT32, 0)
+        let m = GrbMonoid::new(GrbBinaryOp::plus(GrbType::Int32).unwrap(), Value::Int32(0))
+            .unwrap();
+        assert_eq!(m.domain(), GrbType::Int32);
+        assert_eq!(m.as_dyn().identity(), Value::Int32(0));
+        // wrong identity domain
+        let e = GrbMonoid::new(GrbBinaryOp::plus(GrbType::Int32).unwrap(), Value::Fp32(0.0))
+            .unwrap_err();
+        assert!(matches!(e, Error::DomainMismatch(_)));
+        // non-uniform operator
+        let eqop = GrbBinaryOp::eq(GrbType::Int32);
+        assert!(GrbMonoid::new(eqop, Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn semiring_construction_checks() {
+        // Fig. 3 line 12: GrB_Semiring_new(&Int32AddMul, Int32Add, GrB_TIMES_INT32)
+        let add = GrbMonoid::new(GrbBinaryOp::plus(GrbType::Int32).unwrap(), Value::Int32(0))
+            .unwrap();
+        let s = GrbSemiring::new(add.clone(), GrbBinaryOp::times(GrbType::Int32).unwrap())
+            .unwrap();
+        assert_eq!(s.d3(), GrbType::Int32);
+        assert_eq!(assert_semiring_impl(&s), Value::Int32(0));
+        // ⊗ output mismatch
+        let e = GrbSemiring::new(add, GrbBinaryOp::times(GrbType::Fp32).unwrap()).unwrap_err();
+        assert!(matches!(e, Error::DomainMismatch(_)));
+    }
+
+    #[test]
+    fn unary_ops() {
+        let minv = GrbUnaryOp::minv(GrbType::Fp32).unwrap();
+        assert_eq!(minv.as_dyn().apply(&Value::Fp32(4.0)), Value::Fp32(0.25));
+        let id = GrbUnaryOp::identity(GrbType::Bool);
+        // implicit cast of an int input to bool, as in Fig. 3 line 41
+        assert_eq!(id.as_dyn().apply(&Value::Int32(7)), Value::Bool(true));
+        assert!(GrbUnaryOp::minv(GrbType::Bool).is_err());
+        assert_eq!(
+            GrbUnaryOp::lnot().as_dyn().apply(&Value::Bool(false)),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            GrbUnaryOp::ainv(GrbType::Int32).unwrap().as_dyn().apply(&Value::Int32(5)),
+            Value::Int32(-5)
+        );
+    }
+
+    #[test]
+    fn logical_and_comparison_ops() {
+        assert_eq!(
+            GrbBinaryOp::lxor().as_dyn().apply(&Value::Bool(true), &Value::Bool(true)),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            GrbBinaryOp::eq(GrbType::Int32)
+                .as_dyn()
+                .apply(&Value::Int32(2), &Value::Int32(2)),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            GrbBinaryOp::first(GrbType::Fp64)
+                .as_dyn()
+                .apply(&Value::Fp64(1.0), &Value::Fp64(2.0)),
+            Value::Fp64(1.0)
+        );
+    }
+
+    #[test]
+    fn domain_check_helper() {
+        let p = GrbBinaryOp::plus(GrbType::Int32).unwrap();
+        assert!(p
+            .check_domains(GrbType::Int32, GrbType::Int32, GrbType::Int32)
+            .is_ok());
+        assert!(matches!(
+            p.check_domains(GrbType::Int32, GrbType::Fp32, GrbType::Int32),
+            Err(Error::DomainMismatch(_))
+        ));
+    }
+}

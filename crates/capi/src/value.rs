@@ -1,0 +1,323 @@
+//! The dynamically-typed scalar [`Value`] and the runtime domain tags
+//! ([`GrbType`], Table III's `GrB_Type`).
+//!
+//! The C API is dynamically typed: a `GrB_Matrix` carries its domain at
+//! runtime and mismatches surface as `GrB_DOMAIN_MISMATCH`. This facade
+//! reproduces that by instantiating the typed core over a tagged-union
+//! domain — every built-in C domain is a `Value` variant, and the C
+//! implicit-conversion rules live in [`Value::cast_to`].
+
+use graphblas_core::scalar::AsBool;
+
+/// `GrB_Type`: the identifier of a built-in domain (Table V lists
+/// `GrB_BOOL`, `GrB_INT32`, `GrB_FP32`; the full C set is supported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GrbType {
+    Bool,
+    Int8,
+    Int16,
+    Int32,
+    Int64,
+    Uint8,
+    Uint16,
+    Uint32,
+    Uint64,
+    Fp32,
+    Fp64,
+}
+
+impl GrbType {
+    /// The C spelling (`GrB_INT32`, …).
+    pub fn c_name(&self) -> &'static str {
+        match self {
+            GrbType::Bool => "GrB_BOOL",
+            GrbType::Int8 => "GrB_INT8",
+            GrbType::Int16 => "GrB_INT16",
+            GrbType::Int32 => "GrB_INT32",
+            GrbType::Int64 => "GrB_INT64",
+            GrbType::Uint8 => "GrB_UINT8",
+            GrbType::Uint16 => "GrB_UINT16",
+            GrbType::Uint32 => "GrB_UINT32",
+            GrbType::Uint64 => "GrB_UINT64",
+            GrbType::Fp32 => "GrB_FP32",
+            GrbType::Fp64 => "GrB_FP64",
+        }
+    }
+
+    /// `true` for the integer and floating-point domains (the ones the
+    /// arithmetic predefined operators exist for).
+    pub fn is_numeric(&self) -> bool {
+        !matches!(self, GrbType::Bool)
+    }
+}
+
+/// A dynamically-typed scalar: one variant per built-in C domain.
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub enum Value {
+    Bool(bool),
+    Int8(i8),
+    Int16(i16),
+    Int32(i32),
+    Int64(i64),
+    Uint8(u8),
+    Uint16(u16),
+    Uint32(u32),
+    Uint64(u64),
+    Fp32(f32),
+    Fp64(f64),
+}
+
+macro_rules! from_prim {
+    ($($t:ty => $v:ident),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Value { Value::$v(x) }
+        }
+    )*};
+}
+from_prim!(bool => Bool, i8 => Int8, i16 => Int16, i32 => Int32, i64 => Int64,
+           u8 => Uint8, u16 => Uint16, u32 => Uint32, u64 => Uint64,
+           f32 => Fp32, f64 => Fp64);
+
+/// Apply `$body` with `x` bound to the numeric payload widened to the
+/// given uniform representation, rebuilding the same variant after.
+macro_rules! numeric_map2 {
+    ($a:expr, $b:expr, $x:ident, $y:ident => $int:expr, $flt:expr) => {
+        match ($a, $b) {
+            (Value::Int8($x), Value::Int8($y)) => {
+                let ($x, $y) = (*$x as i128, *$y as i128);
+                Value::Int8($int as i8)
+            }
+            (Value::Int16($x), Value::Int16($y)) => {
+                let ($x, $y) = (*$x as i128, *$y as i128);
+                Value::Int16($int as i16)
+            }
+            (Value::Int32($x), Value::Int32($y)) => {
+                let ($x, $y) = (*$x as i128, *$y as i128);
+                Value::Int32($int as i32)
+            }
+            (Value::Int64($x), Value::Int64($y)) => {
+                let ($x, $y) = (*$x as i128, *$y as i128);
+                Value::Int64($int as i64)
+            }
+            (Value::Uint8($x), Value::Uint8($y)) => {
+                let ($x, $y) = (*$x as i128, *$y as i128);
+                Value::Uint8($int as u8)
+            }
+            (Value::Uint16($x), Value::Uint16($y)) => {
+                let ($x, $y) = (*$x as i128, *$y as i128);
+                Value::Uint16($int as u16)
+            }
+            (Value::Uint32($x), Value::Uint32($y)) => {
+                let ($x, $y) = (*$x as i128, *$y as i128);
+                Value::Uint32($int as u32)
+            }
+            (Value::Uint64($x), Value::Uint64($y)) => {
+                let ($x, $y) = (*$x as i128, *$y as i128);
+                Value::Uint64($int as u64)
+            }
+            (Value::Fp32($x), Value::Fp32($y)) => {
+                let ($x, $y) = (*$x as f64, *$y as f64);
+                Value::Fp32($flt as f32)
+            }
+            (Value::Fp64($x), Value::Fp64($y)) => {
+                let ($x, $y) = (*$x, *$y);
+                Value::Fp64($flt)
+            }
+            (a, b) => panic!(
+                "domain confusion past the API checks: {a:?} vs {b:?} (capi bug)"
+            ),
+        }
+    };
+}
+
+impl Value {
+    /// The runtime domain tag.
+    pub fn type_of(&self) -> GrbType {
+        match self {
+            Value::Bool(_) => GrbType::Bool,
+            Value::Int8(_) => GrbType::Int8,
+            Value::Int16(_) => GrbType::Int16,
+            Value::Int32(_) => GrbType::Int32,
+            Value::Int64(_) => GrbType::Int64,
+            Value::Uint8(_) => GrbType::Uint8,
+            Value::Uint16(_) => GrbType::Uint16,
+            Value::Uint32(_) => GrbType::Uint32,
+            Value::Uint64(_) => GrbType::Uint64,
+            Value::Fp32(_) => GrbType::Fp32,
+            Value::Fp64(_) => GrbType::Fp64,
+        }
+    }
+
+    /// The default value of a domain (C zero-initialization).
+    pub fn zero_of(ty: GrbType) -> Value {
+        match ty {
+            GrbType::Bool => Value::Bool(false),
+            GrbType::Int8 => Value::Int8(0),
+            GrbType::Int16 => Value::Int16(0),
+            GrbType::Int32 => Value::Int32(0),
+            GrbType::Int64 => Value::Int64(0),
+            GrbType::Uint8 => Value::Uint8(0),
+            GrbType::Uint16 => Value::Uint16(0),
+            GrbType::Uint32 => Value::Uint32(0),
+            GrbType::Uint64 => Value::Uint64(0),
+            GrbType::Fp32 => Value::Fp32(0.0),
+            GrbType::Fp64 => Value::Fp64(0.0),
+        }
+    }
+
+    /// The number one of a domain.
+    pub fn one_of(ty: GrbType) -> Value {
+        Value::zero_of(ty).map_f64(|_| 1.0)
+    }
+
+    /// Numeric payload as `f64` (C conversion; `bool` as 0/1).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Value::Int8(x) => *x as f64,
+            Value::Int16(x) => *x as f64,
+            Value::Int32(x) => *x as f64,
+            Value::Int64(x) => *x as f64,
+            Value::Uint8(x) => *x as f64,
+            Value::Uint16(x) => *x as f64,
+            Value::Uint32(x) => *x as f64,
+            Value::Uint64(x) => *x as f64,
+            Value::Fp32(x) => *x as f64,
+            Value::Fp64(x) => *x,
+        }
+    }
+
+    /// Rebuild the same variant from an `f64` (used for unary numeric
+    /// maps — exact for the magnitudes used in graph computations).
+    pub fn map_f64(&self, f: impl FnOnce(f64) -> f64) -> Value {
+        let r = f(self.as_f64());
+        match self.type_of() {
+            GrbType::Bool => Value::Bool(r != 0.0),
+            GrbType::Int8 => Value::Int8(r as i8),
+            GrbType::Int16 => Value::Int16(r as i16),
+            GrbType::Int32 => Value::Int32(r as i32),
+            GrbType::Int64 => Value::Int64(r as i64),
+            GrbType::Uint8 => Value::Uint8(r as u8),
+            GrbType::Uint16 => Value::Uint16(r as u16),
+            GrbType::Uint32 => Value::Uint32(r as u32),
+            GrbType::Uint64 => Value::Uint64(r as u64),
+            GrbType::Fp32 => Value::Fp32(r as f32),
+            GrbType::Fp64 => Value::Fp64(r),
+        }
+    }
+
+    /// The C implicit domain conversion (`(T) x`).
+    pub fn cast_to(&self, ty: GrbType) -> Value {
+        if self.type_of() == ty {
+            return self.clone();
+        }
+        match ty {
+            GrbType::Bool => Value::Bool(self.as_bool()),
+            _ => Value::zero_of(ty).map_f64(|_| self.as_f64()),
+        }
+    }
+
+    // ----- arithmetic used by the predefined operators -----
+
+    pub fn add(&self, rhs: &Value) -> Value {
+        numeric_map2!(self, rhs, x, y => x.wrapping_add(y), x + y)
+    }
+
+    pub fn sub(&self, rhs: &Value) -> Value {
+        numeric_map2!(self, rhs, x, y => x.wrapping_sub(y), x - y)
+    }
+
+    pub fn mul(&self, rhs: &Value) -> Value {
+        numeric_map2!(self, rhs, x, y => x.wrapping_mul(y), x * y)
+    }
+
+    pub fn div(&self, rhs: &Value) -> Value {
+        numeric_map2!(self, rhs, x, y => if y == 0 { 0 } else { x / y }, x / y)
+    }
+
+    pub fn min_v(&self, rhs: &Value) -> Value {
+        if rhs.as_f64() < self.as_f64() {
+            rhs.clone()
+        } else {
+            self.clone()
+        }
+    }
+
+    pub fn max_v(&self, rhs: &Value) -> Value {
+        if rhs.as_f64() > self.as_f64() {
+            rhs.clone()
+        } else {
+            self.clone()
+        }
+    }
+}
+
+impl AsBool for Value {
+    fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Fp32(x) => *x != 0.0,
+            Value::Fp64(x) => *x != 0.0,
+            v => v.as_f64() != 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_and_names() {
+        assert_eq!(Value::Int32(5).type_of(), GrbType::Int32);
+        assert_eq!(GrbType::Fp32.c_name(), "GrB_FP32");
+        assert!(GrbType::Int64.is_numeric());
+        assert!(!GrbType::Bool.is_numeric());
+    }
+
+    #[test]
+    fn arithmetic_per_domain() {
+        assert_eq!(Value::Int32(2).add(&Value::Int32(3)), Value::Int32(5));
+        assert_eq!(Value::Fp64(2.5).mul(&Value::Fp64(2.0)), Value::Fp64(5.0));
+        assert_eq!(Value::Uint8(200).add(&Value::Uint8(100)), Value::Uint8(44)); // wrap
+        assert_eq!(Value::Int64(7).div(&Value::Int64(2)), Value::Int64(3));
+        assert_eq!(Value::Int64(7).div(&Value::Int64(0)), Value::Int64(0)); // total
+        assert_eq!(Value::Int32(2).min_v(&Value::Int32(-1)), Value::Int32(-1));
+        assert_eq!(Value::Fp32(2.0).max_v(&Value::Fp32(3.0)), Value::Fp32(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "domain confusion")]
+    fn mixed_domain_arithmetic_is_a_bug_not_a_silent_cast() {
+        Value::Int32(1).add(&Value::Fp32(1.0));
+    }
+
+    #[test]
+    fn casting_follows_c() {
+        assert_eq!(Value::Fp64(2.9).cast_to(GrbType::Int32), Value::Int32(2));
+        assert_eq!(Value::Int32(-1).cast_to(GrbType::Bool), Value::Bool(true));
+        assert_eq!(Value::Bool(true).cast_to(GrbType::Fp32), Value::Fp32(1.0));
+        assert_eq!(Value::Int32(7).cast_to(GrbType::Int32), Value::Int32(7));
+    }
+
+    #[test]
+    fn as_bool_nonzero_rule() {
+        assert!(Value::Int32(-5).as_bool());
+        assert!(!Value::Fp64(0.0).as_bool());
+        assert!(Value::Bool(true).as_bool());
+        assert!(!Value::Uint64(0).as_bool());
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert_eq!(Value::zero_of(GrbType::Fp32), Value::Fp32(0.0));
+        assert_eq!(Value::one_of(GrbType::Int64), Value::Int64(1));
+        assert_eq!(Value::one_of(GrbType::Bool), Value::Bool(true));
+    }
+}

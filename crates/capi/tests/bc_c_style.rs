@@ -1,0 +1,265 @@
+//! The paper's Figure 3 `BC_update`, transliterated statement by
+//! statement against the C-style facade — optional arguments passed as
+//! `None` (`GrB_NULL`), algebraic objects composed at runtime with
+//! `GrbMonoid::new` / `GrbSemiring::new`, and the global
+//! `init`/`finalize` lifecycle around the whole computation.
+
+use graphblas_capi as grb;
+use grb::{
+    Descriptor, GrbBinaryOp, GrbMatrix, GrbMonoid, GrbSemiring, GrbType, GrbUnaryOp,
+    GrbVector, Index, IndexSelection, Mode, Value, ALL,
+};
+
+/// Figure 3, lines 3–84.
+fn bc_update(a: &GrbMatrix, s: &[Index]) -> grb::Result<GrbVector> {
+    let nsver = s.len();
+    let n = a.nrows(); // line 6
+    let delta = GrbVector::new(GrbType::Fp32, n)?; // line 7
+
+    // lines 9-12
+    let int32_add = GrbMonoid::new(
+        GrbBinaryOp::plus(GrbType::Int32)?, // GrB_PLUS_INT32
+        Value::Int32(0),
+    )?;
+    let int32_add_mul = GrbSemiring::new(int32_add, GrbBinaryOp::times(GrbType::Int32)?)?;
+
+    // lines 14-18
+    let desc_tsr = Descriptor::default()
+        .transpose_first() // GrB_INP0, GrB_TRAN
+        .complement_mask() // GrB_MASK, GrB_SCMP
+        .replace(); // GrB_OUTP, GrB_REPLACE
+
+    // lines 20-29: numsp[s[i], i] = 1
+    let i_nsver: Vec<Index> = (0..nsver).collect();
+    let ones: Vec<Value> = vec![Value::Int32(1); nsver];
+    let numsp = GrbMatrix::new(GrbType::Int32, n, nsver)?;
+    numsp.build(s, &i_nsver, &ones, &GrbBinaryOp::plus(GrbType::Int32)?)?;
+
+    // lines 31-33
+    let frontier = GrbMatrix::new(GrbType::Int32, n, nsver)?;
+    grb::extract_matrix(
+        &frontier,
+        Some(&numsp),
+        None,
+        a,
+        ALL,
+        IndexSelection::List(s),
+        &desc_tsr,
+    )?;
+
+    // lines 36-46: forward sweep
+    let mut sigmas: Vec<GrbMatrix> = Vec::new();
+    let mut d = 0usize;
+    loop {
+        let sigma_d = GrbMatrix::new(GrbType::Bool, n, nsver)?; // line 40
+        grb::apply_matrix(
+            &sigma_d,
+            None,
+            None,
+            &GrbUnaryOp::identity(GrbType::Bool), // GrB_IDENTITY_BOOL
+            &frontier,
+            &Descriptor::default(),
+        )?; // line 41
+        sigmas.push(sigma_d);
+        grb::ewise_add_matrix(
+            &numsp,
+            None,
+            None,
+            &GrbBinaryOp::plus(GrbType::Int32)?,
+            &numsp,
+            &frontier,
+            &Descriptor::default(),
+        )?; // line 42
+        grb::mxm(
+            &frontier,
+            Some(&numsp),
+            None,
+            &int32_add_mul,
+            a,
+            &frontier,
+            &desc_tsr,
+        )?; // line 43
+        d += 1;
+        if frontier.nvals()? == 0 {
+            break; // lines 44-46
+        }
+    }
+
+    // lines 48-53
+    let fp32_add = GrbMonoid::new(GrbBinaryOp::plus(GrbType::Fp32)?, Value::Fp32(0.0))?;
+    let fp32_mul = GrbMonoid::new(GrbBinaryOp::times(GrbType::Fp32)?, Value::Fp32(1.0))?;
+    let fp32_add_mul = GrbSemiring::new(fp32_add.clone(), GrbBinaryOp::times(GrbType::Fp32)?)?;
+
+    // lines 55-57: nspinv = 1./numsp (MINV_FP32, implicit int cast)
+    let nspinv = GrbMatrix::new(GrbType::Fp32, n, nsver)?;
+    grb::apply_matrix(
+        &nspinv,
+        None,
+        None,
+        &GrbUnaryOp::minv(GrbType::Fp32)?,
+        &numsp,
+        &Descriptor::default(),
+    )?;
+
+    // lines 59-61: bcu filled with 1.0
+    let bcu = GrbMatrix::new(GrbType::Fp32, n, nsver)?;
+    grb::assign_scalar_matrix(
+        &bcu,
+        None,
+        None,
+        Value::Fp32(1.0),
+        ALL,
+        ALL,
+        &Descriptor::default(),
+    )?;
+
+    // lines 63-65
+    let desc_r = Descriptor::default().replace();
+
+    // line 68
+    let w = GrbMatrix::new(GrbType::Fp32, n, nsver)?;
+
+    // the mxm at line 73 multiplies the INT32 adjacency by the FP32
+    // workspace: operands cast implicitly, as in C
+    let fp32_cast_semiring = fp32_add_mul.clone();
+
+    // lines 69-75: tally phase
+    for i in (1..d).rev() {
+        grb::ewise_mult_matrix(
+            &w,
+            Some(&sigmas[i]),
+            None,
+            &GrbBinaryOp::times(GrbType::Fp32)?,
+            &bcu,
+            &nspinv,
+            &desc_r,
+        )?; // line 70
+        grb::mxm(
+            &w,
+            Some(&sigmas[i - 1]),
+            None,
+            &fp32_cast_semiring,
+            a,
+            &w,
+            &desc_r,
+        )?; // line 73
+        grb::ewise_mult_matrix(
+            &bcu,
+            None,
+            Some(&GrbBinaryOp::plus(GrbType::Fp32)?),
+            &GrbBinaryOp::times(GrbType::Fp32)?,
+            &w,
+            &numsp,
+            &Descriptor::default(),
+        )?; // line 74
+    }
+    let _ = fp32_mul; // declared as in the listing (line 50); unused here
+
+    // line 77
+    grb::assign_scalar_vector(
+        &delta,
+        None,
+        None,
+        Value::Fp32(-(nsver as f32)),
+        ALL,
+        &Descriptor::default(),
+    )?;
+    // line 78
+    grb::reduce_rows(
+        &delta,
+        None,
+        Some(&GrbBinaryOp::plus(GrbType::Fp32)?),
+        &GrbMonoid::new(GrbBinaryOp::plus(GrbType::Fp32)?, Value::Fp32(0.0))?,
+        &bcu,
+        &Descriptor::default(),
+    )?;
+
+    Ok(delta) // line 83: GrB_SUCCESS
+}
+
+fn adjacency(n: usize, edges: &[(usize, usize)]) -> GrbMatrix {
+    let a = GrbMatrix::new(GrbType::Int32, n, n).unwrap();
+    let rows: Vec<Index> = edges.iter().map(|e| e.0).collect();
+    let cols: Vec<Index> = edges.iter().map(|e| e.1).collect();
+    let vals: Vec<Value> = vec![Value::Int32(1); edges.len()];
+    a.build(
+        &rows,
+        &cols,
+        &vals,
+        &GrbBinaryOp::plus(GrbType::Int32).unwrap(),
+    )
+    .unwrap();
+    a
+}
+
+fn bc_all(a: &GrbMatrix) -> Vec<f32> {
+    let n = a.nrows();
+    let sources: Vec<Index> = (0..n).collect();
+    let delta = bc_update(a, &sources).unwrap();
+    let mut out = vec![0.0f32; n];
+    for (i, v) in delta.extract_tuples().unwrap() {
+        if let Value::Fp32(x) = v {
+            out[i] = x;
+        }
+    }
+    out
+}
+
+fn assert_close(got: &[f32], want: &[f32]) {
+    for (g, w) in got.iter().zip(want) {
+        assert!((g - w).abs() < 1e-4, "{got:?} vs {want:?}");
+    }
+}
+
+#[test]
+fn figure3_bc_on_a_path() {
+    grb::with_session(Mode::Blocking, || {
+        let a = adjacency(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_close(&bc_all(&a), &[0.0, 2.0, 2.0, 0.0]);
+    })
+    .unwrap();
+}
+
+#[test]
+fn figure3_bc_on_a_diamond() {
+    grb::with_session(Mode::Blocking, || {
+        let a = adjacency(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_close(&bc_all(&a), &[0.0, 0.5, 0.5, 0.0]);
+    })
+    .unwrap();
+}
+
+#[test]
+fn figure3_bc_nonblocking_mode() {
+    grb::with_session(Mode::Nonblocking, || {
+        let a = adjacency(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (4, 1)]);
+        let got = bc_all(&a);
+        grb::wait().unwrap();
+        got
+    })
+    .and_then(|nb| {
+        grb::with_session(Mode::Blocking, || {
+            let a = adjacency(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (4, 1)]);
+            assert_close(&bc_all(&a), &nb);
+        })
+    })
+    .unwrap();
+}
+
+#[test]
+fn figure3_matches_typed_core_bc() {
+    // the capi transliteration and the typed-core port must agree
+    let edges = [(0usize, 1usize), (1, 2), (2, 0), (2, 3), (3, 4), (1, 4)];
+    let capi_bc = grb::with_session(Mode::Blocking, || {
+        let a = adjacency(5, &edges);
+        bc_all(&a)
+    })
+    .unwrap();
+
+    use graphblas_core::prelude::*;
+    let ctx = Context::blocking();
+    let tuples: Vec<(usize, usize, i32)> = edges.iter().map(|&(u, v)| (u, v, 1)).collect();
+    let a = Matrix::from_tuples(5, 5, &tuples).unwrap();
+    let typed = graphblas_algorithms::betweenness(&ctx, &a, 5).unwrap();
+    assert_close(&capi_bc, &typed);
+}

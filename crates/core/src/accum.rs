@@ -1,0 +1,91 @@
+//! Accumulators: the optional `accum` argument of every operation.
+//!
+//! Table II writes each operation as `C ⊙= ...`: when an accumulator
+//! binary operator `⊙` is supplied, the operation's internal result **T**
+//! is combined with the existing content of **C** to form
+//! `Z(i,j) = C(i,j) ⊙ T(i,j)` on the pattern `ind(C) ∪ ind(T)`
+//! (elements present in only one of the two pass through unchanged).
+//! Without an accumulator (`GrB_NULL` in C), `Z = T` and old values of
+//! **C** are not consulted (Figure 2's `accum` parameter).
+//!
+//! [`NoAccum`] and [`Accum`] make the two cases zero-cost in Rust: the
+//! kernels monomorphize over [`Accumulate`] and the `NoAccum` paths
+//! compile down to plain assignment.
+
+use crate::algebra::binary::BinaryOp;
+use crate::error::Error;
+use crate::scalar::Scalar;
+
+/// The accumulation strategy for an operation's output.
+pub trait Accumulate<T: Scalar>: Send + Sync + Clone + 'static {
+    /// `true` when an accumulator operator is present (`Z` has pattern
+    /// `ind(C) ∪ ind(T)`), `false` for assignment (`Z = T`).
+    const IS_ACCUM: bool;
+
+    /// Combine an existing output element with a computed element.
+    /// Only called when `IS_ACCUM` is `true`.
+    fn combine(&self, old: &T, new: &T) -> T;
+
+    /// Out-of-band execution-error channel (see
+    /// [`BinaryOp::poll_error`]).
+    fn poll_error(&self) -> Option<Error> {
+        None
+    }
+}
+
+/// No accumulator (`accum = GrB_NULL`): plain assignment, `Z = T`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoAccum;
+
+impl<T: Scalar> Accumulate<T> for NoAccum {
+    const IS_ACCUM: bool = false;
+
+    #[inline]
+    fn combine(&self, _old: &T, new: &T) -> T {
+        new.clone()
+    }
+}
+
+/// Accumulate with the wrapped binary operator: `Z = C ⊙ T`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Accum<F>(pub F);
+
+impl<T: Scalar, F: BinaryOp<T, T, T>> Accumulate<T> for Accum<F> {
+    const IS_ACCUM: bool = true;
+
+    #[inline]
+    fn combine(&self, old: &T, new: &T) -> T {
+        self.0.apply(old, new)
+    }
+
+    fn poll_error(&self) -> Option<Error> {
+        self.0.poll_error()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::binary::{CheckedPlus, Plus};
+
+    #[test]
+    fn no_accum_assigns() {
+        assert!(!<NoAccum as Accumulate<i32>>::IS_ACCUM);
+        assert_eq!(Accumulate::<i32>::combine(&NoAccum, &5, &9), 9);
+    }
+
+    #[test]
+    fn accum_combines() {
+        let a = Accum(Plus::<i32>::new());
+        assert!(<Accum<Plus<i32>> as Accumulate<i32>>::IS_ACCUM);
+        assert_eq!(a.combine(&5, &9), 14);
+    }
+
+    #[test]
+    fn accum_propagates_checked_errors() {
+        let a = Accum(CheckedPlus::<i8>::new());
+        assert!(Accumulate::<i8>::poll_error(&a).is_none());
+        a.combine(&120, &120);
+        assert!(Accumulate::<i8>::poll_error(&a).is_some());
+    }
+}

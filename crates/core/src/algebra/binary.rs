@@ -1,0 +1,476 @@
+//! GraphBLAS binary operators (paper, Section III-B and Table IV).
+//!
+//! A binary operator is `F_b = <D1, D2, D3, ⊙>` with `⊙ : D1 × D2 → D3`.
+//! The predefined operators of the C API are zero-sized generic structs so
+//! every kernel monomorphizes and inlines them; user-defined operators are
+//! either custom trait impls or closures wrapped with [`binary_fn`]
+//! (mirroring `GrB_BinaryOp_new`).
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::error::Error;
+use crate::scalar::{CastFrom, NumScalar, Scalar};
+
+/// A GraphBLAS binary operator `⊙ : D1 × D2 → D3`.
+///
+/// `Clone + 'static` lets operator values be captured by deferred
+/// expressions in nonblocking mode; all predefined operators are `Copy`
+/// zero-sized types.
+pub trait BinaryOp<D1: Scalar, D2: Scalar, D3: Scalar>:
+    Send + Sync + Clone + 'static
+{
+    /// Apply the operator.
+    fn apply(&self, x: &D1, y: &D2) -> D3;
+
+    /// Out-of-band execution-error channel: checked operators (e.g.
+    /// [`CheckedPlus`]) report overflow here after a kernel finishes, so the
+    /// hot loop stays infallible. Non-checked operators return `None`.
+    fn poll_error(&self) -> Option<Error> {
+        None
+    }
+}
+
+/// Marker for operators that are mathematically commutative on `T`
+/// (used by tests and by kernels free to reorder reductions).
+pub trait Commutative {}
+
+macro_rules! zst_binop {
+    ($(#[$doc:meta])* $name:ident<$t:ident : $bound:path>, ($x:ident, $y:ident) -> $body:expr) => {
+        $(#[$doc])*
+        pub struct $name<$t>(PhantomData<fn() -> $t>);
+
+        impl<$t> $name<$t> {
+            pub const fn new() -> Self {
+                $name(PhantomData)
+            }
+        }
+        impl<$t> Default for $name<$t> {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+        impl<$t> Clone for $name<$t> {
+            fn clone(&self) -> Self {
+                Self::new()
+            }
+        }
+        impl<$t> Copy for $name<$t> {}
+        impl<$t> std::fmt::Debug for $name<$t> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(stringify!($name))
+            }
+        }
+
+        impl<$t: $bound> BinaryOp<$t, $t, $t> for $name<$t> {
+            #[inline]
+            fn apply(&self, $x: &$t, $y: &$t) -> $t {
+                $body
+            }
+        }
+    };
+}
+
+zst_binop!(
+    /// `GrB_PLUS_T`: x + y (wrapping for integers).
+    Plus<T: NumScalar>, (x, y) -> x.add(y)
+);
+zst_binop!(
+    /// `GrB_MINUS_T`: x - y.
+    Minus<T: NumScalar>, (x, y) -> x.sub(y)
+);
+zst_binop!(
+    /// `GrB_TIMES_T`: x * y.
+    Times<T: NumScalar>, (x, y) -> x.mul(y)
+);
+zst_binop!(
+    /// `GrB_DIV_T`: x / y (integer division by zero yields 0 to stay total).
+    Div<T: NumScalar>, (x, y) -> x.div(y)
+);
+zst_binop!(
+    /// `GrB_MIN_T`: min(x, y).
+    Min<T: NumScalar>, (x, y) -> if y < x { y.clone() } else { x.clone() }
+);
+zst_binop!(
+    /// `GrB_MAX_T`: max(x, y).
+    Max<T: NumScalar>, (x, y) -> if y > x { y.clone() } else { x.clone() }
+);
+
+impl<T> Commutative for Plus<T> {}
+impl<T> Commutative for Times<T> {}
+impl<T> Commutative for Min<T> {}
+impl<T> Commutative for Max<T> {}
+
+/// `GrB_FIRST_T`: returns its first argument, `f(x, y) = x`.
+pub struct First<D1, D2 = D1>(PhantomData<fn() -> (D1, D2)>);
+/// `GrB_SECOND_T`: returns its second argument, `f(x, y) = y`.
+pub struct Second<D1, D2 = D1>(PhantomData<fn() -> (D1, D2)>);
+/// `GrB_ONEB_T` / "pair": returns 1 whenever both arguments are present.
+/// The workhorse of structure-only computations such as triangle counting.
+pub struct Pair<D1, D2 = D1, D3 = D1>(PhantomData<fn() -> (D1, D2, D3)>);
+
+macro_rules! manual_zst {
+    ($name:ident < $($p:ident),* >) => {
+        impl<$($p),*> $name<$($p),*> {
+            pub const fn new() -> Self { $name(PhantomData) }
+        }
+        impl<$($p),*> Default for $name<$($p),*> {
+            fn default() -> Self { Self::new() }
+        }
+        impl<$($p),*> Clone for $name<$($p),*> {
+            fn clone(&self) -> Self { Self::new() }
+        }
+        impl<$($p),*> Copy for $name<$($p),*> {}
+        impl<$($p),*> std::fmt::Debug for $name<$($p),*> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(stringify!($name))
+            }
+        }
+    };
+}
+manual_zst!(First<D1, D2>);
+manual_zst!(Second<D1, D2>);
+manual_zst!(Pair<D1, D2, D3>);
+
+impl<D1: Scalar, D2: Scalar> BinaryOp<D1, D2, D1> for First<D1, D2> {
+    #[inline]
+    fn apply(&self, x: &D1, _y: &D2) -> D1 {
+        x.clone()
+    }
+}
+
+impl<D1: Scalar, D2: Scalar> BinaryOp<D1, D2, D2> for Second<D1, D2> {
+    #[inline]
+    fn apply(&self, _x: &D1, y: &D2) -> D2 {
+        y.clone()
+    }
+}
+
+impl<D1: Scalar, D2: Scalar, D3: NumScalar> BinaryOp<D1, D2, D3> for Pair<D1, D2, D3> {
+    #[inline]
+    fn apply(&self, _x: &D1, _y: &D2) -> D3 {
+        D3::one()
+    }
+}
+
+// ----- comparison operators: D1 × D1 → bool -----
+
+macro_rules! cmp_binop {
+    ($(#[$doc:meta])* $name:ident, ($x:ident, $y:ident) -> $body:expr) => {
+        $(#[$doc])*
+        pub struct $name<T>(PhantomData<fn() -> T>);
+        manual_zst!($name<T>);
+        impl<T: Scalar + PartialOrd + PartialEq> BinaryOp<T, T, bool> for $name<T> {
+            #[inline]
+            fn apply(&self, $x: &T, $y: &T) -> bool {
+                $body
+            }
+        }
+    };
+}
+
+cmp_binop!(
+    /// `GrB_EQ_T`: x == y.
+    Eq, (x, y) -> x == y
+);
+cmp_binop!(
+    /// `GrB_NE_T`: x != y.
+    Ne, (x, y) -> x != y
+);
+cmp_binop!(
+    /// `GrB_GT_T`: x > y.
+    Gt, (x, y) -> x > y
+);
+cmp_binop!(
+    /// `GrB_LT_T`: x < y.
+    Lt, (x, y) -> x < y
+);
+cmp_binop!(
+    /// `GrB_GE_T`: x >= y.
+    Ge, (x, y) -> x >= y
+);
+cmp_binop!(
+    /// `GrB_LE_T`: x <= y.
+    Le, (x, y) -> x <= y
+);
+
+// ----- logical operators on bool -----
+
+macro_rules! bool_binop {
+    ($(#[$doc:meta])* $name:ident, ($x:ident, $y:ident) -> $body:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Default, Clone, Copy)]
+        pub struct $name;
+        impl BinaryOp<bool, bool, bool> for $name {
+            #[inline]
+            fn apply(&self, $x: &bool, $y: &bool) -> bool {
+                $body
+            }
+        }
+        impl Commutative for $name {}
+    };
+}
+
+bool_binop!(
+    /// `GrB_LAND`: logical and.
+    LAnd, (x, y) -> *x && *y
+);
+bool_binop!(
+    /// `GrB_LOR`: logical or.
+    LOr, (x, y) -> *x || *y
+);
+bool_binop!(
+    /// `GrB_LXOR`: logical exclusive or (the ⊕ of the GF2 semiring,
+    /// Table I).
+    LXor, (x, y) -> *x ^ *y
+);
+bool_binop!(
+    /// `GrB_LXNOR`: logical equality.
+    LXnor, (x, y) -> *x == *y
+);
+
+/// Cast-then-apply adaptor: applies `op : D × D → D` after casting both
+/// arguments into `D` (the C API's implicit domain conversion, explicit in
+/// Rust).
+pub struct CastBinary<D1, D2, D, F> {
+    op: F,
+    _pd: PhantomData<fn() -> (D1, D2, D)>,
+}
+
+impl<D1, D2, D, F: Clone> Clone for CastBinary<D1, D2, D, F> {
+    fn clone(&self) -> Self {
+        CastBinary {
+            op: self.op.clone(),
+            _pd: PhantomData,
+        }
+    }
+}
+
+impl<D1, D2, D, F> CastBinary<D1, D2, D, F> {
+    pub fn new(op: F) -> Self {
+        CastBinary {
+            op,
+            _pd: PhantomData,
+        }
+    }
+}
+
+impl<D1, D2, D, F> BinaryOp<D1, D2, D> for CastBinary<D1, D2, D, F>
+where
+    D1: Scalar,
+    D2: Scalar,
+    D: Scalar + CastFrom<D1> + CastFrom<D2>,
+    F: BinaryOp<D, D, D>,
+{
+    #[inline]
+    fn apply(&self, x: &D1, y: &D2) -> D {
+        self.op.apply(&D::cast_from(x), &D::cast_from(y))
+    }
+}
+
+// ----- checked operators (execution-error demonstrators) -----
+
+/// Overflow-checked addition. On overflow the operator latches an
+/// execution error (reported through [`BinaryOp::poll_error`]) and yields
+/// the wrapped value so the kernel can finish.
+#[derive(Debug, Clone, Default)]
+pub struct CheckedPlus<T> {
+    overflowed: Arc<AtomicBool>,
+    _pd: PhantomData<fn() -> T>,
+}
+
+/// Overflow-checked multiplication; see [`CheckedPlus`].
+#[derive(Debug, Clone, Default)]
+pub struct CheckedTimes<T> {
+    overflowed: Arc<AtomicBool>,
+    _pd: PhantomData<fn() -> T>,
+}
+
+impl<T> CheckedPlus<T> {
+    pub fn new() -> Self {
+        CheckedPlus {
+            overflowed: Arc::new(AtomicBool::new(false)),
+            _pd: PhantomData,
+        }
+    }
+}
+
+impl<T> CheckedTimes<T> {
+    pub fn new() -> Self {
+        CheckedTimes {
+            overflowed: Arc::new(AtomicBool::new(false)),
+            _pd: PhantomData,
+        }
+    }
+}
+
+impl<T: NumScalar> BinaryOp<T, T, T> for CheckedPlus<T> {
+    #[inline]
+    fn apply(&self, x: &T, y: &T) -> T {
+        match x.checked_add(y) {
+            Some(v) => v,
+            None => {
+                self.overflowed.store(true, Ordering::Relaxed);
+                x.add(y)
+            }
+        }
+    }
+
+    fn poll_error(&self) -> Option<Error> {
+        self.overflowed
+            .load(Ordering::Relaxed)
+            .then(|| Error::Arithmetic("integer overflow in checked plus".into()))
+    }
+}
+
+impl<T: NumScalar> BinaryOp<T, T, T> for CheckedTimes<T> {
+    #[inline]
+    fn apply(&self, x: &T, y: &T) -> T {
+        match x.checked_mul(y) {
+            Some(v) => v,
+            None => {
+                self.overflowed.store(true, Ordering::Relaxed);
+                x.mul(y)
+            }
+        }
+    }
+
+    fn poll_error(&self) -> Option<Error> {
+        self.overflowed
+            .load(Ordering::Relaxed)
+            .then(|| Error::Arithmetic("integer overflow in checked times".into()))
+    }
+}
+
+// ----- user-defined operators from closures -----
+
+/// A binary operator defined by a closure (`GrB_BinaryOp_new`).
+pub struct BinaryFn<D1, D2, D3, F> {
+    f: F,
+    _pd: PhantomData<fn() -> (D1, D2, D3)>,
+}
+
+impl<D1, D2, D3, F: Clone> Clone for BinaryFn<D1, D2, D3, F> {
+    fn clone(&self) -> Self {
+        BinaryFn {
+            f: self.f.clone(),
+            _pd: PhantomData,
+        }
+    }
+}
+
+impl<D1, D2, D3, F> BinaryOp<D1, D2, D3> for BinaryFn<D1, D2, D3, F>
+where
+    D1: Scalar,
+    D2: Scalar,
+    D3: Scalar,
+    F: Fn(&D1, &D2) -> D3 + Send + Sync + Clone + 'static,
+{
+    #[inline]
+    fn apply(&self, x: &D1, y: &D2) -> D3 {
+        (self.f)(x, y)
+    }
+}
+
+/// Wrap a closure as a GraphBLAS binary operator (`GrB_BinaryOp_new`).
+///
+/// ```
+/// use graphblas_core::algebra::binary::{binary_fn, BinaryOp};
+/// let saturating = binary_fn(|x: &u8, y: &u8| x.saturating_add(*y));
+/// assert_eq!(saturating.apply(&250, &10), 255);
+/// ```
+pub fn binary_fn<D1, D2, D3, F>(f: F) -> BinaryFn<D1, D2, D3, F>
+where
+    D1: Scalar,
+    D2: Scalar,
+    D3: Scalar,
+    F: Fn(&D1, &D2) -> D3 + Send + Sync + Clone + 'static,
+{
+    BinaryFn {
+        f,
+        _pd: PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_ops() {
+        assert_eq!(Plus::<i32>::new().apply(&2, &3), 5);
+        assert_eq!(Minus::<i32>::new().apply(&2, &3), -1);
+        assert_eq!(Times::<f64>::new().apply(&2.0, &3.0), 6.0);
+        assert_eq!(Div::<f32>::new().apply(&3.0, &2.0), 1.5);
+        assert_eq!(Min::<i32>::new().apply(&2, &3), 2);
+        assert_eq!(Max::<i32>::new().apply(&2, &3), 3);
+    }
+
+    #[test]
+    fn first_second_pair() {
+        assert_eq!(First::<i32, f64>::new().apply(&7, &1.5), 7);
+        assert_eq!(Second::<i32, f64>::new().apply(&7, &1.5), 1.5);
+        let p: Pair<bool, bool, i32> = Pair::new();
+        assert_eq!(p.apply(&false, &false), 1);
+    }
+
+    #[test]
+    fn comparisons_produce_bool() {
+        assert!(Eq::<i32>::new().apply(&4, &4));
+        assert!(Ne::<i32>::new().apply(&4, &5));
+        assert!(Gt::<f64>::new().apply(&2.0, &1.0));
+        assert!(Lt::<f64>::new().apply(&1.0, &2.0));
+        assert!(Ge::<u8>::new().apply(&2, &2));
+        assert!(Le::<u8>::new().apply(&2, &2));
+    }
+
+    #[test]
+    fn logical_ops() {
+        assert!(LAnd.apply(&true, &true));
+        assert!(!LAnd.apply(&true, &false));
+        assert!(LOr.apply(&false, &true));
+        assert!(LXor.apply(&true, &false));
+        assert!(!LXor.apply(&true, &true));
+        assert!(LXnor.apply(&true, &true));
+    }
+
+    #[test]
+    fn checked_plus_latches_overflow_out_of_band() {
+        let op = CheckedPlus::<i8>::new();
+        assert_eq!(op.poll_error(), None);
+        assert_eq!(op.apply(&100, &100), 100i8.wrapping_add(100));
+        let err = op.poll_error().expect("overflow must be latched");
+        assert!(err.is_execution_error());
+        // clones share the latch (deferred thunks capture clones)
+        let clone = op.clone();
+        assert!(clone.poll_error().is_some());
+    }
+
+    #[test]
+    fn checked_times_ok_path_reports_nothing() {
+        let op = CheckedTimes::<i32>::new();
+        assert_eq!(op.apply(&6, &7), 42);
+        assert_eq!(op.poll_error(), None);
+    }
+
+    #[test]
+    fn closure_ops() {
+        let hypot = binary_fn(|x: &f64, y: &f64| (x * x + y * y).sqrt());
+        assert_eq!(hypot.apply(&3.0, &4.0), 5.0);
+    }
+
+    #[test]
+    fn cast_binary_mixes_domains() {
+        // i32 + f64 with arithmetic carried out in f64
+        let op: CastBinary<i32, f64, f64, Plus<f64>> = CastBinary::new(Plus::new());
+        assert_eq!(op.apply(&2, &0.5), 2.5);
+    }
+
+    #[test]
+    fn predefined_ops_are_zero_sized() {
+        assert_eq!(std::mem::size_of::<Plus<f64>>(), 0);
+        assert_eq!(std::mem::size_of::<First<i32, f64>>(), 0);
+        assert_eq!(std::mem::size_of::<LXor>(), 0);
+    }
+}

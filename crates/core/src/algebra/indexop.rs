@@ -1,0 +1,187 @@
+//! Index-aware unary operators (`GrB_IndexUnaryOp`) and the predefined
+//! structural selectors.
+//!
+//! A documented **extension** beyond the paper: the released GraphBLAS
+//! 2.0 specification added `GrB_IndexUnaryOp` and `GrB_select` — the
+//! "keep a structural part of the collection" primitive (lower/upper
+//! triangle, diagonal, value thresholds) that algorithms like the
+//! Sandia triangle-count and k-truss are built from. Predefined
+//! selectors mirror `GrB_TRIL`, `GrB_TRIU`, `GrB_DIAG`, `GrB_OFFDIAG`,
+//! and the `GrB_VALUE*` comparators.
+
+use std::marker::PhantomData;
+
+use crate::index::Index;
+use crate::scalar::Scalar;
+
+/// An index-aware predicate `f(i, j, v) -> bool` used by `select`
+/// (row-only uses for vectors pass `j = 0`).
+pub trait IndexSelectOp<T: Scalar>: Send + Sync + Clone + 'static {
+    fn keep(&self, i: Index, j: Index, v: &T) -> bool;
+}
+
+macro_rules! structural_select {
+    ($(#[$doc:meta])* $name:ident, ($i:ident, $j:ident, $k:ident) -> $body:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy)]
+        pub struct $name {
+            /// Diagonal offset: 0 = main diagonal, +k above, -k below.
+            pub k: i64,
+        }
+
+        impl $name {
+            pub fn new(k: i64) -> Self {
+                $name { k }
+            }
+        }
+
+        impl<T: Scalar> IndexSelectOp<T> for $name {
+            #[inline]
+            fn keep(&self, $i: Index, $j: Index, _v: &T) -> bool {
+                let $k = self.k;
+                let ($i, $j) = ($i as i64, $j as i64);
+                $body
+            }
+        }
+    };
+}
+
+structural_select!(
+    /// `GrB_TRIL`: keep entries on or below diagonal `k`.
+    Tril, (i, j, k) -> j - i <= k
+);
+structural_select!(
+    /// `GrB_TRIU`: keep entries on or above diagonal `k`.
+    Triu, (i, j, k) -> j - i >= k
+);
+structural_select!(
+    /// `GrB_DIAG`: keep entries exactly on diagonal `k`.
+    Diag, (i, j, k) -> j - i == k
+);
+structural_select!(
+    /// `GrB_OFFDIAG`: keep entries off diagonal `k`.
+    OffDiag, (i, j, k) -> j - i != k
+);
+
+macro_rules! value_select {
+    ($(#[$doc:meta])* $name:ident, ($v:ident, $t:ident) -> $body:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy)]
+        pub struct $name<T>(pub T);
+
+        impl<T: Scalar + PartialOrd> IndexSelectOp<T> for $name<T> {
+            #[inline]
+            fn keep(&self, _i: Index, _j: Index, $v: &T) -> bool {
+                let $t = &self.0;
+                $body
+            }
+        }
+    };
+}
+
+value_select!(
+    /// `GrB_VALUEGT`: keep entries with `v > thunk`.
+    ValueGt, (v, t) -> v > t
+);
+value_select!(
+    /// `GrB_VALUEGE`: keep entries with `v >= thunk`.
+    ValueGe, (v, t) -> v >= t
+);
+value_select!(
+    /// `GrB_VALUELT`: keep entries with `v < thunk`.
+    ValueLt, (v, t) -> v < t
+);
+value_select!(
+    /// `GrB_VALUELE`: keep entries with `v <= thunk`.
+    ValueLe, (v, t) -> v <= t
+);
+value_select!(
+    /// `GrB_VALUEEQ`: keep entries with `v == thunk`.
+    ValueEq, (v, t) -> v == t
+);
+value_select!(
+    /// `GrB_VALUENE`: keep entries with `v != thunk`.
+    ValueNe, (v, t) -> v != t
+);
+
+/// A selector from a closure (`GrB_IndexUnaryOp_new`).
+pub struct SelectFn<T, F> {
+    f: F,
+    _pd: PhantomData<fn() -> T>,
+}
+
+impl<T, F: Clone> Clone for SelectFn<T, F> {
+    fn clone(&self) -> Self {
+        SelectFn {
+            f: self.f.clone(),
+            _pd: PhantomData,
+        }
+    }
+}
+
+impl<T, F> IndexSelectOp<T> for SelectFn<T, F>
+where
+    T: Scalar,
+    F: Fn(Index, Index, &T) -> bool + Send + Sync + Clone + 'static,
+{
+    #[inline]
+    fn keep(&self, i: Index, j: Index, v: &T) -> bool {
+        (self.f)(i, j, v)
+    }
+}
+
+/// Wrap a closure `f(i, j, &v) -> bool` as a select operator.
+pub fn select_fn<T, F>(f: F) -> SelectFn<T, F>
+where
+    T: Scalar,
+    F: Fn(Index, Index, &T) -> bool + Send + Sync + Clone + 'static,
+{
+    SelectFn {
+        f,
+        _pd: PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangles_and_diagonals() {
+        let tril = Tril::new(0);
+        assert!(IndexSelectOp::<i32>::keep(&tril, 2, 1, &0));
+        assert!(IndexSelectOp::<i32>::keep(&tril, 2, 2, &0));
+        assert!(!IndexSelectOp::<i32>::keep(&tril, 1, 2, &0));
+        let tril_m1 = Tril::new(-1); // strictly below
+        assert!(!IndexSelectOp::<i32>::keep(&tril_m1, 2, 2, &0));
+        assert!(IndexSelectOp::<i32>::keep(&tril_m1, 3, 1, &0));
+        let triu = Triu::new(1); // strictly above
+        assert!(IndexSelectOp::<i32>::keep(&triu, 0, 1, &0));
+        assert!(!IndexSelectOp::<i32>::keep(&triu, 1, 1, &0));
+        let diag = Diag::new(0);
+        assert!(IndexSelectOp::<i32>::keep(&diag, 3, 3, &0));
+        assert!(!IndexSelectOp::<i32>::keep(&diag, 3, 4, &0));
+        let off = OffDiag::new(0);
+        assert!(!IndexSelectOp::<i32>::keep(&off, 3, 3, &0));
+        assert!(IndexSelectOp::<i32>::keep(&off, 3, 4, &0));
+    }
+
+    #[test]
+    fn value_thresholds() {
+        assert!(ValueGt(5).keep(0, 0, &7));
+        assert!(!ValueGt(5).keep(0, 0, &5));
+        assert!(ValueGe(5).keep(0, 0, &5));
+        assert!(ValueLt(5.0).keep(0, 0, &4.5));
+        assert!(ValueLe(5).keep(0, 0, &5));
+        assert!(ValueEq(3).keep(0, 0, &3));
+        assert!(ValueNe(3).keep(0, 0, &4));
+    }
+
+    #[test]
+    fn closure_selector() {
+        let checker = select_fn(|i: Index, j: Index, v: &i32| (i + j) % 2 == 0 && *v > 0);
+        assert!(checker.keep(1, 1, &5));
+        assert!(!checker.keep(1, 2, &5));
+        assert!(!checker.keep(1, 1, &-5));
+    }
+}

@@ -1,0 +1,246 @@
+//! The power-set domain of Table I (row 5): `P(Z)` with `⊕ = ∪` and
+//! `⊗ = ∩`.
+//!
+//! GraphBLAS domains are arbitrary types, so "user-defined domains" are
+//! ordinary Rust types. [`SmallSet`] is a compact sorted-slice set of `u32`
+//! labels, suitable for carrying small label sets (e.g. "which source
+//! vertices can reach me through which intermediate labels") through a
+//! semiring computation. The semiring
+//! [`union_intersect`](crate::algebra::semiring::union_intersect) is built
+//! on the operators defined here.
+//!
+//! Note the power-set semiring's **0** (the ⊕-identity and ⊗-annihilator)
+//! is `∅`, and its **1** is the universe `U` — which is why the GraphBLAS
+//! semiring deliberately does not require a multiplicative identity
+//! (Section III-B): `U` may be unrepresentable, and no operation needs it.
+
+use crate::algebra::binary::{BinaryOp, Commutative};
+use crate::algebra::monoid::Monoid;
+
+/// A small sorted set of `u32` elements — a member of the power-set domain
+/// `P(Z)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SmallSet(Box<[u32]>);
+
+impl SmallSet {
+    /// The empty set `∅` — the **0** of the power-set semiring.
+    pub fn empty() -> Self {
+        SmallSet(Box::new([]))
+    }
+
+    /// A singleton set `{x}`.
+    pub fn singleton(x: u32) -> Self {
+        SmallSet(Box::new([x]))
+    }
+
+    /// Build from any iterator (sorts and deduplicates).
+    pub fn from_iter_unsorted(iter: impl IntoIterator<Item = u32>) -> Self {
+        let mut v: Vec<u32> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        SmallSet(v.into_boxed_slice())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn contains(&self, x: u32) -> bool {
+        self.0.binary_search(&x).is_ok()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Set union — the ⊕ of the power-set semiring.
+    pub fn union(&self, other: &SmallSet) -> SmallSet {
+        let mut out = Vec::with_capacity(self.0.len() + other.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.0[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        SmallSet(out.into_boxed_slice())
+    }
+
+    /// Set intersection — the ⊗ of the power-set semiring.
+    pub fn intersect(&self, other: &SmallSet) -> SmallSet {
+        let (small, large) = if self.0.len() <= other.0.len() {
+            (&self.0, &other.0)
+        } else {
+            (&other.0, &self.0)
+        };
+        let mut out = Vec::with_capacity(small.len());
+        if large.len() > 16 * small.len() {
+            // galloping path for very lopsided inputs
+            for &x in small.iter() {
+                if large.binary_search(&x).is_ok() {
+                    out.push(x);
+                }
+            }
+        } else {
+            let (mut i, mut j) = (0, 0);
+            while i < small.len() && j < large.len() {
+                match small[i].cmp(&large[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        out.push(small[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        SmallSet(out.into_boxed_slice())
+    }
+}
+
+impl FromIterator<u32> for SmallSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        SmallSet::from_iter_unsorted(iter)
+    }
+}
+
+impl From<&[u32]> for SmallSet {
+    fn from(s: &[u32]) -> Self {
+        SmallSet::from_iter_unsorted(s.iter().copied())
+    }
+}
+
+/// `⊕ = ∪`: the union operator on [`SmallSet`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SetUnion;
+
+impl BinaryOp<SmallSet, SmallSet, SmallSet> for SetUnion {
+    #[inline]
+    fn apply(&self, x: &SmallSet, y: &SmallSet) -> SmallSet {
+        x.union(y)
+    }
+}
+impl Commutative for SetUnion {}
+
+/// `⊗ = ∩`: the intersection operator on [`SmallSet`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SetIntersect;
+
+impl BinaryOp<SmallSet, SmallSet, SmallSet> for SetIntersect {
+    #[inline]
+    fn apply(&self, x: &SmallSet, y: &SmallSet) -> SmallSet {
+        x.intersect(y)
+    }
+}
+impl Commutative for SetIntersect {}
+
+/// The `<P(Z), ∪, ∅>` monoid — the additive monoid of the power-set
+/// semiring.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SetUnionMonoid;
+
+impl BinaryOp<SmallSet, SmallSet, SmallSet> for SetUnionMonoid {
+    #[inline]
+    fn apply(&self, x: &SmallSet, y: &SmallSet) -> SmallSet {
+        x.union(y)
+    }
+}
+
+impl Monoid<SmallSet> for SetUnionMonoid {
+    #[inline]
+    fn identity(&self) -> SmallSet {
+        SmallSet::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[u32]) -> SmallSet {
+        SmallSet::from(v)
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let x = s(&[3, 1, 3, 2, 1]);
+        assert_eq!(x.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(x.len(), 3);
+        assert!(x.contains(2));
+        assert!(!x.contains(5));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = s(&[1, 3, 5]);
+        let b = s(&[2, 3, 4, 5]);
+        assert_eq!(a.union(&b), s(&[1, 2, 3, 4, 5]));
+        assert_eq!(a.intersect(&b), s(&[3, 5]));
+        assert_eq!(a.intersect(&SmallSet::empty()), SmallSet::empty());
+        assert_eq!(a.union(&SmallSet::empty()), a);
+    }
+
+    #[test]
+    fn galloping_intersection_matches_merge() {
+        let small = s(&[5, 500, 995]);
+        let large: SmallSet = (0..1000).collect();
+        assert_eq!(small.intersect(&large), small);
+        assert_eq!(large.intersect(&small), small);
+    }
+
+    #[test]
+    fn empty_is_union_identity_and_intersect_annihilator() {
+        // exactly the 0 of Table I row 5
+        let m = SetUnionMonoid;
+        let x = s(&[7, 9]);
+        assert_eq!(m.apply(&x, &m.identity()), x);
+        assert_eq!(m.apply(&m.identity(), &x), x);
+        assert_eq!(SetIntersect.apply(&x, &SmallSet::empty()), SmallSet::empty());
+    }
+
+    #[test]
+    fn algebraic_laws_on_samples() {
+        let samples = [
+            SmallSet::empty(),
+            s(&[1]),
+            s(&[1, 2]),
+            s(&[2, 3, 4]),
+            s(&[1, 4]),
+        ];
+        for a in &samples {
+            for b in &samples {
+                // commutativity
+                assert_eq!(a.union(b), b.union(a));
+                assert_eq!(a.intersect(b), b.intersect(a));
+                for c in &samples {
+                    // associativity
+                    assert_eq!(a.union(b).union(c), a.union(&b.union(c)));
+                    assert_eq!(a.intersect(b).intersect(c), a.intersect(&b.intersect(c)));
+                    // distributivity of ∩ over ∪ (semiring law)
+                    assert_eq!(
+                        a.intersect(&b.union(c)),
+                        a.intersect(b).union(&a.intersect(c))
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! GraphBLAS unary operators (paper, Section III-B; Table IV lists
+//! `GrB_MINV_FP32` and `GrB_IDENTITY_BOOL`).
+//!
+//! A unary operator is `F_u = <D1, D2, f>` with `f : D1 → D2`. The
+//! betweenness-centrality example uses `GrB_IDENTITY_BOOL` to cast the
+//! integer frontier to Booleans (Fig. 3 line 41) and `GrB_MINV_FP32` for
+//! the element-wise inverse of the path counts (line 57).
+
+use std::marker::PhantomData;
+
+use crate::scalar::{CastFrom, NumScalar, Scalar};
+
+/// A GraphBLAS unary operator `f : D1 → D2`.
+pub trait UnaryOp<D1: Scalar, D2: Scalar>: Send + Sync + Clone + 'static {
+    fn apply(&self, x: &D1) -> D2;
+}
+
+macro_rules! zst_unop {
+    ($(#[$doc:meta])* $name:ident<$t:ident : $bound:path> -> $out:ty, ($x:ident) -> $body:expr) => {
+        $(#[$doc])*
+        pub struct $name<$t>(PhantomData<fn() -> $t>);
+
+        impl<$t> $name<$t> {
+            pub const fn new() -> Self { $name(PhantomData) }
+        }
+        impl<$t> Default for $name<$t> {
+            fn default() -> Self { Self::new() }
+        }
+        impl<$t> Clone for $name<$t> {
+            fn clone(&self) -> Self { Self::new() }
+        }
+        impl<$t> Copy for $name<$t> {}
+        impl<$t> std::fmt::Debug for $name<$t> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(stringify!($name))
+            }
+        }
+
+        impl<$t: $bound> UnaryOp<$t, $out> for $name<$t> {
+            #[inline]
+            fn apply(&self, $x: &$t) -> $out {
+                $body
+            }
+        }
+    };
+}
+
+zst_unop!(
+    /// `GrB_IDENTITY_T`: returns its input unchanged.
+    Identity<T: Scalar> -> T, (x) -> x.clone()
+);
+zst_unop!(
+    /// `GrB_AINV_T`: additive inverse, `-x`.
+    Ainv<T: NumScalar> -> T, (x) -> x.neg()
+);
+zst_unop!(
+    /// `GrB_MINV_T`: multiplicative inverse, `1/x` (the paper's
+    /// `GrB_MINV_FP32`).
+    Minv<T: NumScalar> -> T, (x) -> T::one().div(x)
+);
+zst_unop!(
+    /// `GrB_ABS_T`: absolute value.
+    Abs<T: NumScalar> -> T, (x) -> x.abs()
+);
+zst_unop!(
+    /// `GxB_ONE_T`: the constant 1 of the domain, regardless of input.
+    One<T: NumScalar> -> T, (x) -> { let _ = x; T::one() }
+);
+
+/// `GrB_LNOT`: logical complement of a Boolean.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LNot;
+
+impl UnaryOp<bool, bool> for LNot {
+    #[inline]
+    fn apply(&self, x: &bool) -> bool {
+        !*x
+    }
+}
+
+/// Domain-conversion operator: `f(x) = (D2) x` — the implicit cast the C
+/// API performs between built-in domains, surfaced as an explicit unary op.
+pub struct Cast<D1, D2>(PhantomData<fn() -> (D1, D2)>);
+
+impl<D1, D2> Cast<D1, D2> {
+    pub const fn new() -> Self {
+        Cast(PhantomData)
+    }
+}
+impl<D1, D2> Default for Cast<D1, D2> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+impl<D1, D2> Clone for Cast<D1, D2> {
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+impl<D1, D2> Copy for Cast<D1, D2> {}
+
+impl<D1: Scalar, D2: Scalar + CastFrom<D1>> UnaryOp<D1, D2> for Cast<D1, D2> {
+    #[inline]
+    fn apply(&self, x: &D1) -> D2 {
+        D2::cast_from(x)
+    }
+}
+
+/// A unary operator defined by a closure (`GrB_UnaryOp_new`).
+pub struct UnaryFn<D1, D2, F> {
+    f: F,
+    _pd: PhantomData<fn() -> (D1, D2)>,
+}
+
+impl<D1, D2, F: Clone> Clone for UnaryFn<D1, D2, F> {
+    fn clone(&self) -> Self {
+        UnaryFn {
+            f: self.f.clone(),
+            _pd: PhantomData,
+        }
+    }
+}
+
+impl<D1, D2, F> UnaryOp<D1, D2> for UnaryFn<D1, D2, F>
+where
+    D1: Scalar,
+    D2: Scalar,
+    F: Fn(&D1) -> D2 + Send + Sync + Clone + 'static,
+{
+    #[inline]
+    fn apply(&self, x: &D1) -> D2 {
+        (self.f)(x)
+    }
+}
+
+/// Wrap a closure as a GraphBLAS unary operator (`GrB_UnaryOp_new`).
+pub fn unary_fn<D1, D2, F>(f: F) -> UnaryFn<D1, D2, F>
+where
+    D1: Scalar,
+    D2: Scalar,
+    F: Fn(&D1) -> D2 + Send + Sync + Clone + 'static,
+{
+    UnaryFn {
+        f,
+        _pd: PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_inverse() {
+        assert_eq!(Identity::<i32>::new().apply(&5), 5);
+        assert_eq!(Ainv::<i32>::new().apply(&5), -5);
+        assert_eq!(Minv::<f32>::new().apply(&4.0), 0.25);
+        assert_eq!(Abs::<i64>::new().apply(&-9), 9);
+        assert_eq!(One::<f64>::new().apply(&123.0), 1.0);
+    }
+
+    #[test]
+    fn lnot() {
+        assert!(!LNot.apply(&true));
+        assert!(LNot.apply(&false));
+    }
+
+    #[test]
+    fn cast_is_the_c_conversion() {
+        let c: Cast<f64, i32> = Cast::new();
+        assert_eq!(c.apply(&2.9), 2);
+        let b: Cast<i32, bool> = Cast::new();
+        assert!(b.apply(&-3));
+        assert!(!b.apply(&0));
+    }
+
+    #[test]
+    fn closure_unary() {
+        let square = unary_fn(|x: &i32| x * x);
+        assert_eq!(square.apply(&7), 49);
+    }
+
+    #[test]
+    fn zero_sized() {
+        assert_eq!(std::mem::size_of::<Minv<f32>>(), 0);
+        assert_eq!(std::mem::size_of::<Cast<f64, i32>>(), 0);
+    }
+}

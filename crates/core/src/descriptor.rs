@@ -1,0 +1,186 @@
+//! Descriptors (paper, Section III-C; Table V; Figure 2).
+//!
+//! A descriptor is a lightweight control object pairing modifier flags
+//! with the arguments of a GraphBLAS method: the output (`GrB_OUTP`), the
+//! mask (`GrB_MASK`), and the two inputs (`GrB_INP0`, `GrB_INP1`). The BC
+//! example builds one as
+//!
+//! ```c
+//! GrB_Descriptor_set(desc_tsr, GrB_INP0, GrB_TRAN);   // transpose A
+//! GrB_Descriptor_set(desc_tsr, GrB_MASK, GrB_SCMP);   // complement mask
+//! GrB_Descriptor_set(desc_tsr, GrB_OUTP, GrB_REPLACE);// clear C first
+//! ```
+//!
+//! which in this binding is
+//! `Descriptor::default().transpose_first().complement_mask().replace()`.
+
+/// Fields of a descriptor — which argument a flag applies to (Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    /// `GrB_OUTP`: the output collection.
+    Output,
+    /// `GrB_MASK`: the write mask.
+    Mask,
+    /// `GrB_INP0`: the first input collection.
+    Input0,
+    /// `GrB_INP1`: the second input collection.
+    Input1,
+}
+
+/// Values settable on a descriptor field (Table V, plus the final
+/// specification's `GrB_STRUCTURE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// `GrB_REPLACE` (on `Output`): clear the output before the masked
+    /// result is stored.
+    Replace,
+    /// `GrB_SCMP` (on `Mask`): use the structural complement of the mask.
+    Scmp,
+    /// `GrB_STRUCTURE` (on `Mask`): use only the mask's structure,
+    /// ignoring stored values (extension from the released C spec).
+    Structure,
+    /// `GrB_TRAN` (on `Input0`/`Input1`): use the transpose of the input.
+    Tran,
+}
+
+/// An operation descriptor (`GrB_Descriptor`).
+///
+/// `Descriptor::default()` is the behaviour of passing `GrB_NULL`:
+/// merge-mode output, mask used as-is (values cast to bool), inputs not
+/// transposed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Descriptor {
+    replace: bool,
+    mask_complement: bool,
+    mask_structure: bool,
+    transpose_first: bool,
+    transpose_second: bool,
+}
+
+impl Descriptor {
+    /// `GrB_Descriptor_new()`: an empty descriptor (all defaults).
+    pub fn new() -> Self {
+        Descriptor::default()
+    }
+
+    /// `GrB_Descriptor_set(desc, field, value)`.
+    ///
+    /// Setting a flag is idempotent, as in the C API; flags cannot be
+    /// unset (create a new descriptor instead).
+    pub fn set(&mut self, field: Field, value: Value) -> crate::error::Result<()> {
+        match (field, value) {
+            (Field::Output, Value::Replace) => self.replace = true,
+            (Field::Mask, Value::Scmp) => self.mask_complement = true,
+            (Field::Mask, Value::Structure) => self.mask_structure = true,
+            (Field::Input0, Value::Tran) => self.transpose_first = true,
+            (Field::Input1, Value::Tran) => self.transpose_second = true,
+            (f, v) => {
+                return Err(crate::error::Error::InvalidValue(format!(
+                    "descriptor value {v:?} is not valid for field {f:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    // --- builder-style constructors ---
+
+    /// `GrB_OUTP = GrB_REPLACE`.
+    pub fn replace(mut self) -> Self {
+        self.replace = true;
+        self
+    }
+
+    /// `GrB_MASK = GrB_SCMP`.
+    pub fn complement_mask(mut self) -> Self {
+        self.mask_complement = true;
+        self
+    }
+
+    /// `GrB_MASK = GrB_STRUCTURE`.
+    pub fn structural_mask(mut self) -> Self {
+        self.mask_structure = true;
+        self
+    }
+
+    /// `GrB_INP0 = GrB_TRAN`.
+    pub fn transpose_first(mut self) -> Self {
+        self.transpose_first = true;
+        self
+    }
+
+    /// `GrB_INP1 = GrB_TRAN`.
+    pub fn transpose_second(mut self) -> Self {
+        self.transpose_second = true;
+        self
+    }
+
+    // --- queries used by the operation layer ---
+
+    pub fn is_replace(&self) -> bool {
+        self.replace
+    }
+
+    pub fn is_mask_complemented(&self) -> bool {
+        self.mask_complement
+    }
+
+    pub fn is_mask_structural(&self) -> bool {
+        self.mask_structure
+    }
+
+    pub fn is_first_transposed(&self) -> bool {
+        self.transpose_first
+    }
+
+    pub fn is_second_transposed(&self) -> bool {
+        self.transpose_second
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_grb_null_behaviour() {
+        let d = Descriptor::default();
+        assert!(!d.is_replace());
+        assert!(!d.is_mask_complemented());
+        assert!(!d.is_mask_structural());
+        assert!(!d.is_first_transposed());
+        assert!(!d.is_second_transposed());
+    }
+
+    #[test]
+    fn builder_matches_set_calls() {
+        // the BC example's desc_tsr
+        let built = Descriptor::new()
+            .transpose_first()
+            .complement_mask()
+            .replace();
+        let mut set = Descriptor::new();
+        set.set(Field::Input0, Value::Tran).unwrap();
+        set.set(Field::Mask, Value::Scmp).unwrap();
+        set.set(Field::Output, Value::Replace).unwrap();
+        assert_eq!(built, set);
+        assert!(built.is_first_transposed());
+        assert!(!built.is_second_transposed());
+    }
+
+    #[test]
+    fn invalid_field_value_pairs_rejected() {
+        let mut d = Descriptor::new();
+        assert!(d.set(Field::Output, Value::Tran).is_err());
+        assert!(d.set(Field::Mask, Value::Replace).is_err());
+        assert!(d.set(Field::Input0, Value::Scmp).is_err());
+    }
+
+    #[test]
+    fn set_is_idempotent() {
+        let mut d = Descriptor::new();
+        d.set(Field::Mask, Value::Scmp).unwrap();
+        d.set(Field::Mask, Value::Scmp).unwrap();
+        assert!(d.is_mask_complemented());
+    }
+}

@@ -1,0 +1,191 @@
+//! The GraphBLAS error model (paper, Section V).
+//!
+//! Every GraphBLAS method reports its outcome through a value of type
+//! [`Error`] (the Rust rendering of the C API's `GrB_Info` failure codes;
+//! success is the `Ok` arm of [`Result`]). Errors fall into two classes:
+//!
+//! * **API errors** — the method was called with arguments that violate its
+//!   rules (dimension mismatch, invalid index, null output, …). These are
+//!   detected *eagerly*, before any computation, in both execution modes,
+//!   and the method returns without modifying its arguments.
+//! * **Execution errors** — something went wrong while carrying out a legal
+//!   invocation (overflow under checked arithmetic, an injected fault, an
+//!   out-of-memory condition). In blocking mode these surface from the call
+//!   itself; in nonblocking mode they may surface later, from
+//!   [`Context::wait`](crate::exec::Context::wait) or from any method that
+//!   forces completion of an object. An object whose deferred computation
+//!   failed is *invalid*, and methods consuming it report
+//!   [`Error::InvalidObject`].
+
+use std::fmt;
+
+/// A failure code returned by a GraphBLAS method.
+///
+/// The variants mirror the `GrB_Info` error values listed in the paper's
+/// Figure 2 ("Return Values") plus the remaining API-error codes of the C
+/// specification that our methods can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    // ----- API errors (detected eagerly, arguments untouched) -----
+    /// An object handle was used before being initialized / after being
+    /// cleared by a failed context.
+    UninitializedObject(String),
+    /// The output object pointer was null (only reachable from the
+    /// dynamically-typed `graphblas-capi` facade; the typed core cannot
+    /// express a null handle).
+    NullPointer,
+    /// An index or dimension argument was invalid (zero dimension,
+    /// out-of-bounds index in an index list, …).
+    InvalidValue(String),
+    /// An index was outside the bounds of the target object.
+    InvalidIndex(String),
+    /// Collection dimensions are incompatible with the requested operation.
+    DimensionMismatch(String),
+    /// Object domains are incompatible with the operator / accumulator /
+    /// mask domains (only reachable from `graphblas-capi`; the typed core
+    /// turns these into compile errors).
+    DomainMismatch(String),
+    /// The output object aliases an input in a way the method forbids.
+    OutputNotEmpty(String),
+
+    // ----- Execution errors (may surface at `wait` / completion) -----
+    /// Memory could not be allocated for the operation.
+    OutOfMemory(String),
+    /// An input object is in an invalid state because one of the methods
+    /// that defined its value failed.
+    InvalidObject(String),
+    /// Arithmetic failure under a checked operator (e.g. integer overflow).
+    Arithmetic(String),
+    /// Unknown internal error.
+    Panic(String),
+    /// Deliberate fault from the test-only failure injector.
+    InjectedFault(String),
+}
+
+impl Error {
+    /// `true` for the API-error class: argument-rule violations detected
+    /// before any computation takes place.
+    pub fn is_api_error(&self) -> bool {
+        matches!(
+            self,
+            Error::UninitializedObject(_)
+                | Error::NullPointer
+                | Error::InvalidValue(_)
+                | Error::InvalidIndex(_)
+                | Error::DimensionMismatch(_)
+                | Error::DomainMismatch(_)
+                | Error::OutputNotEmpty(_)
+        )
+    }
+
+    /// `true` for the execution-error class: failures during the execution
+    /// of a legal invocation.
+    pub fn is_execution_error(&self) -> bool {
+        !self.is_api_error()
+    }
+
+    /// The short code name, matching the spelling of the C API's
+    /// `GrB_Info` constants.
+    pub fn code_name(&self) -> &'static str {
+        match self {
+            Error::UninitializedObject(_) => "GrB_UNINITIALIZED_OBJECT",
+            Error::NullPointer => "GrB_NULL_POINTER",
+            Error::InvalidValue(_) => "GrB_INVALID_VALUE",
+            Error::InvalidIndex(_) => "GrB_INVALID_INDEX",
+            Error::DimensionMismatch(_) => "GrB_DIMENSION_MISMATCH",
+            Error::DomainMismatch(_) => "GrB_DOMAIN_MISMATCH",
+            Error::OutputNotEmpty(_) => "GrB_OUTPUT_NOT_EMPTY",
+            Error::OutOfMemory(_) => "GrB_OUT_OF_MEMORY",
+            Error::InvalidObject(_) => "GrB_INVALID_OBJECT",
+            Error::Arithmetic(_) => "GrB_ARITHMETIC_ERROR",
+            Error::Panic(_) => "GrB_PANIC",
+            Error::InjectedFault(_) => "GrB_PANIC(injected)",
+        }
+    }
+
+    /// The detail message (what `GrB_error()` would append).
+    pub fn detail(&self) -> &str {
+        match self {
+            Error::NullPointer => "output pointer was null",
+            Error::UninitializedObject(m)
+            | Error::InvalidValue(m)
+            | Error::InvalidIndex(m)
+            | Error::DimensionMismatch(m)
+            | Error::DomainMismatch(m)
+            | Error::OutputNotEmpty(m)
+            | Error::OutOfMemory(m)
+            | Error::InvalidObject(m)
+            | Error::Arithmetic(m)
+            | Error::Panic(m)
+            | Error::InjectedFault(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code_name(), self.detail())
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias used by every GraphBLAS method.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Helper for the ubiquitous dimension check.
+pub(crate) fn dim_check(ok: bool, what: impl FnOnce() -> String) -> Result<()> {
+    if ok {
+        Ok(())
+    } else {
+        Err(Error::DimensionMismatch(what()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_vs_execution_classes_partition_all_variants() {
+        let api = [
+            Error::UninitializedObject("x".into()),
+            Error::NullPointer,
+            Error::InvalidValue("x".into()),
+            Error::InvalidIndex("x".into()),
+            Error::DimensionMismatch("x".into()),
+            Error::DomainMismatch("x".into()),
+            Error::OutputNotEmpty("x".into()),
+        ];
+        let exec = [
+            Error::OutOfMemory("x".into()),
+            Error::InvalidObject("x".into()),
+            Error::Arithmetic("x".into()),
+            Error::Panic("x".into()),
+            Error::InjectedFault("x".into()),
+        ];
+        for e in &api {
+            assert!(e.is_api_error(), "{e}");
+            assert!(!e.is_execution_error(), "{e}");
+        }
+        for e in &exec {
+            assert!(e.is_execution_error(), "{e}");
+            assert!(!e.is_api_error(), "{e}");
+        }
+    }
+
+    #[test]
+    fn display_contains_code_and_detail() {
+        let e = Error::DimensionMismatch("2x3 vs 4x5".into());
+        let s = e.to_string();
+        assert!(s.contains("GrB_DIMENSION_MISMATCH"));
+        assert!(s.contains("2x3 vs 4x5"));
+    }
+
+    #[test]
+    fn dim_check_passes_and_fails() {
+        assert!(dim_check(true, || unreachable!()).is_ok());
+        let e = dim_check(false, || "bad".into()).unwrap_err();
+        assert_eq!(e, Error::DimensionMismatch("bad".into()));
+    }
+}

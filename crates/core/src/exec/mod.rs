@@ -1,0 +1,251 @@
+//! The GraphBLAS execution model (paper, Section IV) and error model
+//! (Section V).
+//!
+//! A [`Context`] fixes the execution **mode** for the method sequence run
+//! through it:
+//!
+//! * **Blocking** — every operation completes before its call returns;
+//!   output objects are fully computed and stored.
+//! * **Nonblocking** — operations verify their arguments (API errors are
+//!   still reported eagerly) and may *defer* execution. Deferred outputs
+//!   complete when [`Context::wait`] terminates the sequence, or when a
+//!   method that exports values to non-opaque data (`nvals`,
+//!   `extract_tuples`, `get`, scalar `reduce`, …) forces them. Execution
+//!   errors from deferred work surface at those points; an object whose
+//!   defining computation failed is *invalid* and poisons its consumers
+//!   with `InvalidObject`.
+//!
+//! Where the C API fixes one process-global mode at `GrB_init`, contexts
+//! here are explicit values — a deliberate binding change (see DESIGN.md)
+//! that keeps both modes testable in one process; the `graphblas-capi`
+//! crate layers the global lifecycle on top.
+
+pub(crate) mod node;
+
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use crate::error::{Error, Result};
+pub(crate) use node::{force, Node};
+#[doc(hidden)]
+pub use node::Completable;
+
+/// Execution mode of a context (paper §IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Each method completes before returning.
+    Blocking,
+    /// Methods may defer; `wait()` terminates the sequence.
+    Nonblocking,
+}
+
+struct CtxInner {
+    mode: Mode,
+    /// Deferred outputs of the current sequence, in program order. Weak:
+    /// an intermediate dropped unobserved is simply never computed (the
+    /// "lazy evaluation" latitude of §IV).
+    sequence: Mutex<Vec<Weak<dyn Completable>>>,
+    /// `GrB_error()`: detail text of the most recent execution error.
+    last_error: Mutex<Option<String>>,
+    /// Test hook: the next submitted operation fails with this error.
+    injected: Mutex<Option<Error>>,
+}
+
+/// A GraphBLAS execution context: the binding's rendering of the state
+/// established by `GrB_init(mode)`.
+///
+/// All Table II operations are methods on `Context` (`ctx.mxm(…)`,
+/// `ctx.ewise_add_matrix(…)`, …; see [`crate::op`]).
+#[derive(Clone)]
+pub struct Context {
+    inner: Arc<CtxInner>,
+}
+
+impl Context {
+    /// Create a context in the given mode.
+    pub fn new(mode: Mode) -> Self {
+        Context {
+            inner: Arc::new(CtxInner {
+                mode,
+                sequence: Mutex::new(Vec::new()),
+                last_error: Mutex::new(None),
+                injected: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// `GrB_init(GrB_BLOCKING)`.
+    pub fn blocking() -> Self {
+        Context::new(Mode::Blocking)
+    }
+
+    /// `GrB_init(GrB_NONBLOCKING)`.
+    pub fn nonblocking() -> Self {
+        Context::new(Mode::Nonblocking)
+    }
+
+    pub fn mode(&self) -> Mode {
+        self.inner.mode
+    }
+
+    /// `GrB_wait()`: terminate the current sequence, completing every
+    /// deferred output in program order. Returns the first execution
+    /// error encountered (later outputs are still completed, so their
+    /// objects carry their own failure states).
+    pub fn wait(&self) -> Result<()> {
+        let pending: Vec<Weak<dyn Completable>> =
+            std::mem::take(&mut *self.inner.sequence.lock());
+        let mut first_err: Option<Error> = None;
+        for weak in pending {
+            if let Some(node) = weak.upgrade() {
+                if let Err(e) = force(&node) {
+                    self.record_error(&e);
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// `GrB_error()`: detail text for the most recent execution error
+    /// observed through this context, if any.
+    pub fn error(&self) -> Option<String> {
+        self.inner.last_error.lock().clone()
+    }
+
+    /// Number of deferred, not-yet-completed operations in the current
+    /// sequence (0 in blocking mode). Diagnostic; used by the execution
+    /// model tests and benches.
+    pub fn pending_ops(&self) -> usize {
+        self.inner
+            .sequence
+            .lock()
+            .iter()
+            .filter(|w| w.upgrade().map_or(false, |n| !n.is_complete()))
+            .count()
+    }
+
+    /// Test hook: make the next submitted operation fail with `e` at
+    /// execution time (an injectable execution error, for exercising the
+    /// §V error paths).
+    pub fn inject_fault(&self, e: Error) {
+        *self.inner.injected.lock() = Some(e);
+    }
+
+    pub(crate) fn take_fault(&self) -> Option<Error> {
+        self.inner.injected.lock().take()
+    }
+
+    pub(crate) fn record_error(&self, e: &Error) {
+        *self.inner.last_error.lock() = Some(e.to_string());
+    }
+
+    /// Run or defer a freshly installed output node according to the
+    /// mode. Shared tail of every operation.
+    pub(crate) fn finish_op(&self, node: Arc<dyn Completable>) -> Result<()> {
+        match self.inner.mode {
+            Mode::Blocking => {
+                let r = force(&node);
+                if let Err(e) = &r {
+                    self.record_error(e);
+                }
+                r
+            }
+            Mode::Nonblocking => {
+                self.inner.sequence.lock().push(Arc::downgrade(&node));
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes() {
+        assert_eq!(Context::blocking().mode(), Mode::Blocking);
+        assert_eq!(Context::nonblocking().mode(), Mode::Nonblocking);
+    }
+
+    #[test]
+    fn blocking_finish_forces_immediately() {
+        let ctx = Context::blocking();
+        let n = Node::pending(vec![], Box::new(|| Ok(5i32)));
+        ctx.finish_op(n.clone()).unwrap();
+        assert!(n.is_complete());
+        assert_eq!(ctx.pending_ops(), 0);
+    }
+
+    #[test]
+    fn nonblocking_defers_until_wait() {
+        let ctx = Context::nonblocking();
+        let n = Node::pending(vec![], Box::new(|| Ok(5i32)));
+        ctx.finish_op(n.clone()).unwrap();
+        assert!(!n.is_complete());
+        assert_eq!(ctx.pending_ops(), 1);
+        ctx.wait().unwrap();
+        assert!(n.is_complete());
+        assert_eq!(ctx.pending_ops(), 0);
+    }
+
+    #[test]
+    fn wait_reports_first_error_and_records_it() {
+        let ctx = Context::nonblocking();
+        let bad: Arc<Node<i32>> = Node::pending(
+            vec![],
+            Box::new(|| Err(Error::Arithmetic("overflow!".into()))),
+        );
+        let ok = Node::pending(vec![], Box::new(|| Ok(1i32)));
+        ctx.finish_op(bad.clone()).unwrap();
+        ctx.finish_op(ok.clone()).unwrap();
+        let e = ctx.wait().unwrap_err();
+        assert!(matches!(e, Error::Arithmetic(_)));
+        // later ops still completed
+        assert!(ok.is_complete());
+        assert!(ctx.error().unwrap().contains("overflow!"));
+        // sequence terminated: a second wait succeeds (new sequence)
+        ctx.wait().unwrap();
+    }
+
+    #[test]
+    fn dropped_intermediates_are_never_computed() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let ctx = Context::nonblocking();
+        let ran = Arc::new(AtomicBool::new(false));
+        let r = ran.clone();
+        let n: Arc<Node<i32>> = Node::pending(
+            vec![],
+            Box::new(move || {
+                r.store(true, Ordering::SeqCst);
+                Ok(1)
+            }),
+        );
+        ctx.finish_op(n.clone()).unwrap();
+        drop(n); // the only strong ref gone: dead intermediate
+        ctx.wait().unwrap();
+        assert!(!ran.load(Ordering::SeqCst), "dead code must be elided");
+    }
+
+    #[test]
+    fn blocking_error_returns_from_the_call() {
+        let ctx = Context::blocking();
+        let bad: Arc<Node<i32>> =
+            Node::pending(vec![], Box::new(|| Err(Error::Panic("x".into()))));
+        assert!(ctx.finish_op(bad).is_err());
+        assert!(ctx.error().is_some());
+    }
+
+    #[test]
+    fn fault_injection_hook() {
+        let ctx = Context::blocking();
+        ctx.inject_fault(Error::InjectedFault("test".into()));
+        assert!(ctx.take_fault().is_some());
+        assert!(ctx.take_fault().is_none()); // consumed
+    }
+}

@@ -1,0 +1,285 @@
+//! Deferred-evaluation nodes and the forcing engine.
+//!
+//! In nonblocking mode (paper §IV) an operation installs a *pending node*
+//! holding a thunk and its dependency snapshots instead of computing
+//! immediately. Nodes are immutable once complete and never mutated in
+//! place — a handle swap publishes each new value — so the pending graph
+//! is an acyclic persistent DAG and program-order semantics fall out of
+//! snapshotting.
+//!
+//! [`force`] completes a node with an **iterative** topological walk: a
+//! BFS-style algorithm can defer a chain whose length is the graph
+//! diameter (O(n) on a path), which would overflow the stack if forced
+//! recursively.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{Error, Result};
+
+/// Type-erased interface to a node of the deferred DAG (implemented by
+/// `MatrixNode<T>` and `VectorNode<T>` for every `T`).
+#[doc(hidden)]
+pub trait Completable: Send + Sync {
+    /// `true` once the node holds a value or a failure.
+    fn is_complete(&self) -> bool;
+    /// Dependency snapshots of a pending node (empty once complete).
+    fn dep_nodes(&self) -> Vec<Arc<dyn Completable>>;
+    /// Evaluate the thunk. All dependencies must already be complete.
+    /// Stores the value or the failure; never panics on data errors.
+    fn compute(&self);
+    /// The failure, if the node completed with an error.
+    fn failure(&self) -> Option<Error>;
+}
+
+/// The state machine shared by matrix and vector nodes. `S` is the
+/// storage type (`Csr<T>` / `SparseVec<T>`).
+pub(crate) enum NodeState<S> {
+    /// Deferred: thunk + the nodes it reads.
+    Pending {
+        deps: Vec<Arc<dyn Completable>>,
+        eval: Box<dyn FnOnce() -> Result<S> + Send>,
+    },
+    /// Complete with a value.
+    Ready(Arc<S>),
+    /// Complete with an execution error; consumers see `InvalidObject`.
+    Failed(Error),
+}
+
+/// Generic node: storage state plus the erased `Completable` face.
+pub(crate) struct Node<S> {
+    state: Mutex<NodeState<S>>,
+    /// Memoized derived form of the completed storage — used to cache the
+    /// transpose of a matrix node so loops that repeatedly apply
+    /// `GrB_TRAN` to the same operand (e.g. the BC forward sweep's
+    /// `A^T`) pay the transposition once.
+    derived: std::sync::OnceLock<Arc<S>>,
+}
+
+impl<S: Send + Sync + 'static> Node<S> {
+    pub(crate) fn ready(value: S) -> Arc<Self> {
+        Arc::new(Node {
+            state: Mutex::new(NodeState::Ready(Arc::new(value))),
+            derived: std::sync::OnceLock::new(),
+        })
+    }
+
+    pub(crate) fn pending(
+        deps: Vec<Arc<dyn Completable>>,
+        eval: Box<dyn FnOnce() -> Result<S> + Send>,
+    ) -> Arc<Self> {
+        Arc::new(Node {
+            state: Mutex::new(NodeState::Pending { deps, eval }),
+            derived: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// The memoized derivation of this (complete) node's storage,
+    /// computing it with `f` on first use. Concurrent first calls may
+    /// duplicate the computation; one result wins.
+    pub(crate) fn derived_storage(&self, f: impl FnOnce(&S) -> S) -> Result<Arc<S>> {
+        if let Some(d) = self.derived.get() {
+            return Ok(d.clone());
+        }
+        let st = self.ready_storage()?;
+        let computed = Arc::new(f(&st));
+        Ok(self.derived.get_or_init(|| computed).clone())
+    }
+
+    /// The storage of a *complete* node. `Pending` here is an engine bug;
+    /// a failed node surfaces as `InvalidObject` (paper §V: "at least one
+    /// of the argument objects is in an invalid state — caused by a
+    /// previous execution error").
+    pub(crate) fn ready_storage(&self) -> Result<Arc<S>> {
+        match &*self.state.lock() {
+            NodeState::Ready(s) => Ok(s.clone()),
+            NodeState::Failed(e) => Err(Error::InvalidObject(format!(
+                "object invalidated by a previous execution error: {e}"
+            ))),
+            NodeState::Pending { .. } => Err(Error::Panic(
+                "internal: read of a pending node (forcing engine bug)".into(),
+            )),
+        }
+    }
+}
+
+impl<S: Send + Sync + 'static> Completable for Node<S> {
+    fn is_complete(&self) -> bool {
+        !matches!(&*self.state.lock(), NodeState::Pending { .. })
+    }
+
+    fn dep_nodes(&self) -> Vec<Arc<dyn Completable>> {
+        match &*self.state.lock() {
+            NodeState::Pending { deps, .. } => deps.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn compute(&self) {
+        let mut guard = self.state.lock();
+        if let NodeState::Pending { .. } = &*guard {
+            let taken = std::mem::replace(
+                &mut *guard,
+                NodeState::Failed(Error::Panic("internal: node mid-compute".into())),
+            );
+            let NodeState::Pending { eval, .. } = taken else {
+                unreachable!()
+            };
+            *guard = match eval() {
+                Ok(s) => NodeState::Ready(Arc::new(s)),
+                Err(e) => NodeState::Failed(e),
+            };
+        }
+    }
+
+    fn failure(&self) -> Option<Error> {
+        match &*self.state.lock() {
+            NodeState::Failed(e) => Some(e.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// Complete a node (and its pending cone) with an iterative topological
+/// walk. Returns the node's failure, if any.
+pub(crate) fn force(root: &Arc<dyn Completable>) -> Result<()> {
+    if !root.is_complete() {
+        // (node, children_expanded)
+        let mut stack: Vec<(Arc<dyn Completable>, bool)> = vec![(root.clone(), false)];
+        while let Some((node, expanded)) = stack.pop() {
+            if node.is_complete() {
+                continue;
+            }
+            if expanded {
+                node.compute();
+            } else {
+                let deps = node.dep_nodes();
+                stack.push((node, true));
+                for d in deps {
+                    if !d.is_complete() {
+                        stack.push((d, false));
+                    }
+                }
+            }
+        }
+    }
+    match root.failure() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn as_completable<S: Send + Sync + 'static>(n: &Arc<Node<S>>) -> Arc<dyn Completable> {
+        n.clone() as Arc<dyn Completable>
+    }
+
+    #[test]
+    fn ready_node_is_complete() {
+        let n = Node::ready(42i32);
+        assert!(n.is_complete());
+        assert_eq!(*n.ready_storage().unwrap(), 42);
+        assert!(n.failure().is_none());
+    }
+
+    #[test]
+    fn pending_node_computes_on_force() {
+        let n = Node::pending(vec![], Box::new(|| Ok(7i32)));
+        assert!(!n.is_complete());
+        force(&as_completable(&n)).unwrap();
+        assert_eq!(*n.ready_storage().unwrap(), 7);
+    }
+
+    #[test]
+    fn failure_propagates_as_invalid_object() {
+        let bad: Arc<Node<i32>> = Node::pending(
+            vec![],
+            Box::new(|| Err(Error::Arithmetic("boom".into()))),
+        );
+        let bad_dep = bad.clone();
+        let dependent: Arc<Node<i32>> = Node::pending(
+            vec![as_completable(&bad)],
+            Box::new(move || bad_dep.ready_storage().map(|v| *v + 1)),
+        );
+        let err = force(&as_completable(&dependent)).unwrap_err();
+        assert!(matches!(err, Error::InvalidObject(_)));
+        // the root cause is preserved on the failing node itself
+        assert!(matches!(bad.failure(), Some(Error::Arithmetic(_))));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // a 100k-deep chain would blow a recursive evaluator
+        let mut prev: Arc<Node<i64>> = Node::ready(0);
+        for _ in 0..100_000 {
+            let p = prev.clone();
+            prev = Node::pending(
+                vec![as_completable(&prev)],
+                Box::new(move || p.ready_storage().map(|v| *v + 1)),
+            );
+        }
+        force(&as_completable(&prev)).unwrap();
+        assert_eq!(*prev.ready_storage().unwrap(), 100_000);
+    }
+
+    #[test]
+    fn diamond_dependencies_computed_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        let base: Arc<Node<i32>> = Node::pending(
+            vec![],
+            Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                Ok(10)
+            }),
+        );
+        let (b1, b2) = (base.clone(), base.clone());
+        let left: Arc<Node<i32>> = Node::pending(
+            vec![as_completable(&base)],
+            Box::new(move || b1.ready_storage().map(|v| *v + 1)),
+        );
+        let right: Arc<Node<i32>> = Node::pending(
+            vec![as_completable(&base)],
+            Box::new(move || b2.ready_storage().map(|v| *v + 2)),
+        );
+        let (l, r) = (left.clone(), right.clone());
+        let top: Arc<Node<i32>> = Node::pending(
+            vec![as_completable(&left), as_completable(&right)],
+            Box::new(move || Ok(*l.ready_storage()? + *r.ready_storage()?)),
+        );
+        force(&as_completable(&top)).unwrap();
+        assert_eq!(*top.ready_storage().unwrap(), 23);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn derived_storage_is_memoized() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = Node::ready(10i32);
+        let count = AtomicUsize::new(0);
+        let a = n
+            .derived_storage(|v| {
+                count.fetch_add(1, Ordering::SeqCst);
+                v * 2
+            })
+            .unwrap();
+        let b = n.derived_storage(|v| v * 999).unwrap(); // ignored: cached
+        assert_eq!(*a, 20);
+        assert_eq!(*b, 20);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn force_is_idempotent() {
+        let n = Node::pending(vec![], Box::new(|| Ok(1i32)));
+        let c = as_completable(&n);
+        force(&c).unwrap();
+        force(&c).unwrap();
+        assert_eq!(*n.ready_storage().unwrap(), 1);
+    }
+}

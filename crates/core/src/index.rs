@@ -1,0 +1,186 @@
+//! Index types and index selections.
+//!
+//! The C API uses `GrB_Index` (`uint64_t`) for vector and matrix indices.
+//! On the 64-bit targets this library supports, Rust's `usize` is the same
+//! width, so [`Index`] is an alias for `usize`.
+//!
+//! `extract` and `assign` take *index lists* that may also be the literal
+//! `GrB_ALL` ("all indices, in order"). [`IndexSelection`] renders that
+//! option faithfully and adds the strided-range selections of the later C
+//! specification as a documented extension.
+
+use crate::error::{Error, Result};
+
+/// Vector and matrix index type (`GrB_Index`).
+pub type Index = usize;
+
+/// An index-list argument to `extract`/`assign`: either an explicit list,
+/// the `GrB_ALL` literal, or (extension) a strided range.
+#[derive(Debug, Clone, Copy)]
+pub enum IndexSelection<'a> {
+    /// `GrB_ALL`: every index of the corresponding dimension, in order.
+    All,
+    /// An explicit list of indices (duplicates allowed for `extract`,
+    /// forbidden for `assign` outputs).
+    List(&'a [Index]),
+    /// Extension (`GrB_Range`-style): `lo..hi` (exclusive), stride 1.
+    Range(Index, Index),
+    /// Extension: `lo..hi` (exclusive) with a positive stride.
+    Stride(Index, Index, Index),
+}
+
+/// Shorthand for [`IndexSelection::All`], mirroring the `GrB_ALL` literal.
+pub const ALL: IndexSelection<'static> = IndexSelection::All;
+
+impl<'a> IndexSelection<'a> {
+    /// Number of indices selected, given the dimension `n` it applies to.
+    pub fn len(&self, n: Index) -> usize {
+        match *self {
+            IndexSelection::All => n,
+            IndexSelection::List(l) => l.len(),
+            IndexSelection::Range(lo, hi) => hi.saturating_sub(lo),
+            IndexSelection::Stride(lo, hi, s) => {
+                if s == 0 || hi <= lo {
+                    0
+                } else {
+                    (hi - lo).div_ceil(s)
+                }
+            }
+        }
+    }
+
+    /// True if no indices are selected.
+    pub fn is_empty(&self, n: Index) -> bool {
+        self.len(n) == 0
+    }
+
+    /// Validate the selection against dimension `n` and materialize it as a
+    /// vector of indices. Returns `InvalidIndex` if any index is out of
+    /// bounds and `InvalidValue` for a zero stride.
+    pub fn resolve(&self, n: Index) -> Result<Vec<Index>> {
+        match *self {
+            IndexSelection::All => Ok((0..n).collect()),
+            IndexSelection::List(l) => {
+                for &i in l {
+                    if i >= n {
+                        return Err(Error::InvalidIndex(format!(
+                            "index {i} out of bounds for dimension {n}"
+                        )));
+                    }
+                }
+                Ok(l.to_vec())
+            }
+            IndexSelection::Range(lo, hi) => {
+                if hi > n {
+                    return Err(Error::InvalidIndex(format!(
+                        "range end {hi} out of bounds for dimension {n}"
+                    )));
+                }
+                Ok((lo..hi).collect())
+            }
+            IndexSelection::Stride(lo, hi, s) => {
+                if s == 0 {
+                    return Err(Error::InvalidValue("stride must be positive".into()));
+                }
+                if hi > n {
+                    return Err(Error::InvalidIndex(format!(
+                        "range end {hi} out of bounds for dimension {n}"
+                    )));
+                }
+                Ok((lo..hi).step_by(s).collect())
+            }
+        }
+    }
+
+    /// True when the selection is exactly `0..n` in order (lets kernels take
+    /// the identity fast path).
+    pub fn is_identity(&self, n: Index) -> bool {
+        match *self {
+            IndexSelection::All => true,
+            IndexSelection::Range(lo, hi) => lo == 0 && hi == n,
+            IndexSelection::Stride(lo, hi, s) => lo == 0 && hi == n && s == 1,
+            IndexSelection::List(l) => {
+                l.len() == n && l.iter().enumerate().all(|(k, &i)| k == i)
+            }
+        }
+    }
+}
+
+impl<'a> From<&'a [Index]> for IndexSelection<'a> {
+    fn from(l: &'a [Index]) -> Self {
+        IndexSelection::List(l)
+    }
+}
+
+impl<'a> From<&'a Vec<Index>> for IndexSelection<'a> {
+    fn from(l: &'a Vec<Index>) -> Self {
+        IndexSelection::List(l)
+    }
+}
+
+impl From<std::ops::Range<Index>> for IndexSelection<'static> {
+    fn from(r: std::ops::Range<Index>) -> Self {
+        IndexSelection::Range(r.start, r.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_resolves_to_identity() {
+        assert_eq!(ALL.resolve(4).unwrap(), vec![0, 1, 2, 3]);
+        assert!(ALL.is_identity(4));
+        assert_eq!(ALL.len(4), 4);
+    }
+
+    #[test]
+    fn list_bounds_checked() {
+        let l = [0usize, 3, 1];
+        let sel = IndexSelection::List(&l);
+        assert_eq!(sel.resolve(4).unwrap(), vec![0, 3, 1]);
+        assert!(matches!(sel.resolve(3), Err(Error::InvalidIndex(_))));
+        assert!(!sel.is_identity(3));
+    }
+
+    #[test]
+    fn list_identity_detection() {
+        let l = [0usize, 1, 2];
+        assert!(IndexSelection::List(&l).is_identity(3));
+        assert!(!IndexSelection::List(&l).is_identity(4));
+    }
+
+    #[test]
+    fn range_and_stride() {
+        assert_eq!(
+            IndexSelection::Range(1, 4).resolve(5).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(
+            IndexSelection::Stride(0, 7, 3).resolve(7).unwrap(),
+            vec![0, 3, 6]
+        );
+        assert_eq!(IndexSelection::Stride(0, 7, 3).len(7), 3);
+        assert!(matches!(
+            IndexSelection::Stride(0, 4, 0).resolve(5),
+            Err(Error::InvalidValue(_))
+        ));
+        assert!(matches!(
+            IndexSelection::Range(0, 9).resolve(5),
+            Err(Error::InvalidIndex(_))
+        ));
+        assert!(IndexSelection::Range(0, 5).is_identity(5));
+        assert!(IndexSelection::Stride(0, 5, 1).is_identity(5));
+        assert!(!IndexSelection::Stride(0, 5, 2).is_identity(5));
+    }
+
+    #[test]
+    fn empty_selections() {
+        assert!(IndexSelection::Range(3, 3).is_empty(5));
+        assert_eq!(IndexSelection::Range(4, 2).len(9), 0);
+        assert!(IndexSelection::List(&[]).is_empty(5));
+        assert!(!ALL.is_empty(1));
+        assert!(ALL.is_empty(0));
+    }
+}

@@ -1,0 +1,280 @@
+//! `assign` kernels (Table II): `Z = C` with the subregion
+//! `C(rows, cols)` overwritten (or accumulated) from a source collection
+//! or a single scalar. The result is the pre-mask internal object **Z**;
+//! masking/replace are applied afterwards by the shared write stage (the
+//! assign mask covers the *whole* output, per the C specification).
+//!
+//! Semantics inside the region, mirroring `GrB_assign`:
+//! * without an accumulator, the region becomes exactly the source —
+//!   existing `C` elements at region positions the source does not store
+//!   are **deleted**;
+//! * with an accumulator, region positions stored by both are combined,
+//!   and positions stored by only one pass through.
+//!
+//! Index lists arrive resolved, bounds-checked, and duplicate-free (the
+//! operation layer rejects duplicate output indices, where the C spec
+//! leaves the outcome undefined).
+
+use crate::accum::Accumulate;
+use crate::index::Index;
+use crate::kernel::util::{assemble_rows, map_rows};
+use crate::scalar::Scalar;
+use crate::storage::csr::Csr;
+use crate::storage::vec::SparseVec;
+
+/// Merge one output row: `c_row` is the old content, `new_pairs` the
+/// region's new content for this row (sorted by target column),
+/// `in_region(j)` tells whether column `j` belongs to the assigned region.
+fn assign_row<T: Scalar, Ac: Accumulate<T>>(
+    c_cols: &[Index],
+    c_vals: &[T],
+    new_pairs: &[(Index, T)],
+    in_region: impl Fn(Index) -> bool,
+    accum: &Ac,
+) -> (Vec<Index>, Vec<T>) {
+    let mut out_c = Vec::with_capacity(c_cols.len() + new_pairs.len());
+    let mut out_v = Vec::with_capacity(c_cols.len() + new_pairs.len());
+    let (mut ci, mut ni) = (0usize, 0usize);
+    loop {
+        match (c_cols.get(ci), new_pairs.get(ni)) {
+            (None, None) => break,
+            (Some(&cj), None) => {
+                if !in_region(cj) || Ac::IS_ACCUM {
+                    out_c.push(cj);
+                    out_v.push(c_vals[ci].clone());
+                }
+                ci += 1;
+            }
+            (None, Some((nj, nv))) => {
+                out_c.push(*nj);
+                out_v.push(nv.clone());
+                ni += 1;
+            }
+            (Some(&cj), Some((nj, nv))) => {
+                if cj < *nj {
+                    if !in_region(cj) || Ac::IS_ACCUM {
+                        out_c.push(cj);
+                        out_v.push(c_vals[ci].clone());
+                    }
+                    ci += 1;
+                } else if *nj < cj {
+                    out_c.push(*nj);
+                    out_v.push(nv.clone());
+                    ni += 1;
+                } else {
+                    out_c.push(cj);
+                    out_v.push(if Ac::IS_ACCUM {
+                        accum.combine(&c_vals[ci], nv)
+                    } else {
+                        nv.clone()
+                    });
+                    ci += 1;
+                    ni += 1;
+                }
+            }
+        }
+    }
+    (out_c, out_v)
+}
+
+/// `Z = C; Z(rows, cols) ⊙= A`.
+pub fn assign_matrix<T: Scalar, Ac: Accumulate<T>>(
+    c: &Csr<T>,
+    a: &Csr<T>,
+    rows: &[Index],
+    cols: &[Index],
+    accum: &Ac,
+) -> Csr<T> {
+    debug_assert_eq!(a.nrows(), rows.len());
+    debug_assert_eq!(a.ncols(), cols.len());
+    // target row -> source row
+    let mut row_src: Vec<Option<Index>> = vec![None; c.nrows()];
+    for (k, &i) in rows.iter().enumerate() {
+        row_src[i] = Some(k);
+    }
+    let mut col_region = vec![false; c.ncols()];
+    for &j in cols {
+        col_region[j] = true;
+    }
+    // source col l -> target col cols[l], sorted by target for merge order
+    let mut col_map: Vec<(Index, Index)> = cols.iter().copied().enumerate().collect(); // (l, tj)
+    col_map.sort_unstable_by_key(|&(_, tj)| tj);
+
+    let out = map_rows(c.nrows(), |i| {
+        let (cc, cv) = c.row(i);
+        match row_src[i] {
+            None => (cc.to_vec(), cv.to_vec()),
+            Some(k) => {
+                let new_pairs: Vec<(Index, T)> = col_map
+                    .iter()
+                    .filter_map(|&(l, tj)| a.get(k, l).map(|v| (tj, v.clone())))
+                    .collect();
+                assign_row(cc, cv, &new_pairs, |j| col_region[j], accum)
+            }
+        }
+    });
+    assemble_rows(c.nrows(), c.ncols(), out)
+}
+
+/// `Z = C; Z(rows, cols) ⊙= value` — the scalar-fill variant used at
+/// Fig. 3 lines 61 and 77 (`GrB_assign(&bcu, …, 1.0f, GrB_ALL, …)`).
+/// Every region position receives the scalar (the region pattern is
+/// dense).
+pub fn assign_scalar_matrix<T: Scalar, Ac: Accumulate<T>>(
+    c: &Csr<T>,
+    value: &T,
+    rows: &[Index],
+    cols: &[Index],
+    accum: &Ac,
+) -> Csr<T> {
+    let mut row_region = vec![false; c.nrows()];
+    for &i in rows {
+        row_region[i] = true;
+    }
+    let mut sorted_cols = cols.to_vec();
+    sorted_cols.sort_unstable();
+    let mut col_region = vec![false; c.ncols()];
+    for &j in cols {
+        col_region[j] = true;
+    }
+
+    let out = map_rows(c.nrows(), |i| {
+        let (cc, cv) = c.row(i);
+        if !row_region[i] {
+            return (cc.to_vec(), cv.to_vec());
+        }
+        let new_pairs: Vec<(Index, T)> =
+            sorted_cols.iter().map(|&tj| (tj, value.clone())).collect();
+        assign_row(cc, cv, &new_pairs, |j| col_region[j], accum)
+    });
+    assemble_rows(c.nrows(), c.ncols(), out)
+}
+
+/// `z = w; z(indices) ⊙= u`.
+pub fn assign_vector<T: Scalar, Ac: Accumulate<T>>(
+    w: &SparseVec<T>,
+    u: &SparseVec<T>,
+    indices: &[Index],
+    accum: &Ac,
+) -> SparseVec<T> {
+    debug_assert_eq!(u.size(), indices.len());
+    let mut region = vec![false; w.size()];
+    for &i in indices {
+        region[i] = true;
+    }
+    let mut new_pairs: Vec<(Index, T)> = indices
+        .iter()
+        .copied()
+        .enumerate()
+        .filter_map(|(k, ti)| u.get(k).map(|v| (ti, v.clone())))
+        .collect();
+    new_pairs.sort_unstable_by_key(|&(ti, _)| ti);
+    let (idx, vals) = assign_row(w.indices(), w.vals(), &new_pairs, |i| region[i], accum);
+    SparseVec::from_sorted_parts(w.size(), idx, vals)
+}
+
+/// `z = w; z(indices) ⊙= value`.
+pub fn assign_scalar_vector<T: Scalar, Ac: Accumulate<T>>(
+    w: &SparseVec<T>,
+    value: &T,
+    indices: &[Index],
+    accum: &Ac,
+) -> SparseVec<T> {
+    let mut region = vec![false; w.size()];
+    for &i in indices {
+        region[i] = true;
+    }
+    let mut sorted = indices.to_vec();
+    sorted.sort_unstable();
+    let new_pairs: Vec<(Index, T)> = sorted.iter().map(|&ti| (ti, value.clone())).collect();
+    let (idx, vals) = assign_row(w.indices(), w.vals(), &new_pairs, |i| region[i], accum);
+    SparseVec::from_sorted_parts(w.size(), idx, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accum::{Accum, NoAccum};
+    use crate::algebra::binary::Plus;
+
+    fn c() -> Csr<i32> {
+        // [ 1 2 . ]
+        // [ . 3 . ]
+        // [ 4 . 5 ]
+        Csr::from_sorted_tuples(3, 3, vec![(0, 0, 1), (0, 1, 2), (1, 1, 3), (2, 0, 4), (2, 2, 5)])
+    }
+
+    #[test]
+    fn assign_replaces_region_exactly() {
+        // assign A into region rows {0,1} x cols {0,1}
+        let a = Csr::from_sorted_tuples(2, 2, vec![(0, 0, 10)]);
+        let z = assign_matrix(&c(), &a, &[0, 1], &[0, 1], &NoAccum);
+        // (0,0) -> 10; (0,1) was 2, region but A lacks (0,1) -> deleted;
+        // (1,1) was 3, region but A lacks (1,1) -> deleted;
+        // row 2 untouched
+        assert_eq!(z.to_tuples(), vec![(0, 0, 10), (2, 0, 4), (2, 2, 5)]);
+    }
+
+    #[test]
+    fn assign_with_accum_keeps_region_survivors() {
+        let a = Csr::from_sorted_tuples(2, 2, vec![(0, 0, 10)]);
+        let z = assign_matrix(&c(), &a, &[0, 1], &[0, 1], &Accum(Plus::<i32>::new()));
+        assert_eq!(
+            z.to_tuples(),
+            vec![(0, 0, 11), (0, 1, 2), (1, 1, 3), (2, 0, 4), (2, 2, 5)]
+        );
+    }
+
+    #[test]
+    fn assign_with_permuted_indices() {
+        // target rows [2,0], cols [1]: A(0,0) -> C(2,1); A(1,0) -> C(0,1)
+        let a = Csr::from_sorted_tuples(2, 1, vec![(0, 0, 70), (1, 0, 90)]);
+        let z = assign_matrix(&c(), &a, &[2, 0], &[1], &NoAccum);
+        assert_eq!(z.get(2, 1), Some(&70));
+        assert_eq!(z.get(0, 1), Some(&90));
+        // out-of-region entries untouched
+        assert_eq!(z.get(0, 0), Some(&1));
+        assert_eq!(z.get(1, 1), Some(&3)); // row 1 not in region
+    }
+
+    #[test]
+    fn scalar_fill_like_fig3_line61() {
+        // GrB_assign(&bcu, ..., 1.0f, GrB_ALL, n, GrB_ALL, nsver, ...)
+        let empty = Csr::<i32>::empty(2, 3);
+        let all_r: Vec<Index> = (0..2).collect();
+        let all_c: Vec<Index> = (0..3).collect();
+        let z = assign_scalar_matrix(&empty, &1, &all_r, &all_c, &NoAccum);
+        assert_eq!(z.nvals(), 6);
+        assert!(z.iter().all(|(_, _, v)| *v == 1));
+    }
+
+    #[test]
+    fn scalar_fill_subregion_with_accum() {
+        let z = assign_scalar_matrix(&c(), &100, &[0], &[0, 2], &Accum(Plus::<i32>::new()));
+        assert_eq!(z.get(0, 0), Some(&101));
+        assert_eq!(z.get(0, 2), Some(&100)); // was absent: passes through
+        assert_eq!(z.get(0, 1), Some(&2)); // not in col region
+    }
+
+    #[test]
+    fn vector_assign() {
+        let w = SparseVec::from_sorted_parts(5, vec![0, 2, 4], vec![1, 2, 3]);
+        let u = SparseVec::from_sorted_parts(2, vec![0], vec![50]);
+        // region = indices {2, 3}: w(2) region-deleted unless accum, u(0)->w(2)
+        let z = assign_vector(&w, &u, &[2, 3], &NoAccum);
+        assert_eq!(z.to_tuples(), vec![(0, 1), (2, 50), (4, 3)]);
+        let z = assign_vector(&w, &u, &[3, 2], &NoAccum);
+        // u(0)->w(3), u(1) absent so w(2) deleted
+        assert_eq!(z.to_tuples(), vec![(0, 1), (3, 50), (4, 3)]);
+    }
+
+    #[test]
+    fn vector_scalar_fill() {
+        // Fig. 3 line 77: fill delta with -nsver
+        let w = SparseVec::<f32>::empty(4);
+        let all: Vec<Index> = (0..4).collect();
+        let z = assign_scalar_vector(&w, &-3.0f32, &all, &NoAccum);
+        assert_eq!(z.nvals(), 4);
+        assert!(z.vals().iter().all(|&v| v == -3.0));
+    }
+}

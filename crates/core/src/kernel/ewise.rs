@@ -1,0 +1,247 @@
+//! Element-wise kernels: the set-union (`eWiseAdd`) and set-intersection
+//! (`eWiseMult`) merges of Table II.
+//!
+//! `eWiseAdd`'s ⊕ is applied only where *both* operands store an element;
+//! elements stored in exactly one operand pass through unchanged — no
+//! implied zero is ever fabricated (paper §II's set-notation semantics).
+//! `eWiseMult`'s ⊗ is applied on the intersection of the stored patterns,
+//! which is why it may take operands of different domains.
+
+use crate::algebra::binary::BinaryOp;
+use crate::index::Index;
+use crate::kernel::util::{assemble_rows, map_rows};
+use crate::scalar::Scalar;
+use crate::storage::csr::Csr;
+use crate::storage::vec::SparseVec;
+
+/// Union-merge two sorted index/value slices: ⊕ on matches, pass-through
+/// otherwise. The shared primitive behind `eWiseAdd` and accumulation.
+pub fn union_merge<T: Scalar, F: BinaryOp<T, T, T>>(
+    a_idx: &[Index],
+    a_vals: &[T],
+    b_idx: &[Index],
+    b_vals: &[T],
+    add: &F,
+    out_idx: &mut Vec<Index>,
+    out_vals: &mut Vec<T>,
+) {
+    let (mut i, mut j) = (0, 0);
+    while i < a_idx.len() && j < b_idx.len() {
+        match a_idx[i].cmp(&b_idx[j]) {
+            std::cmp::Ordering::Less => {
+                out_idx.push(a_idx[i]);
+                out_vals.push(a_vals[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out_idx.push(b_idx[j]);
+                out_vals.push(b_vals[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out_idx.push(a_idx[i]);
+                out_vals.push(add.apply(&a_vals[i], &b_vals[j]));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for k in i..a_idx.len() {
+        out_idx.push(a_idx[k]);
+        out_vals.push(a_vals[k].clone());
+    }
+    for k in j..b_idx.len() {
+        out_idx.push(b_idx[k]);
+        out_vals.push(b_vals[k].clone());
+    }
+}
+
+/// Intersection-merge two sorted index/value slices: ⊗ on matches only.
+pub fn intersect_merge<A, B, C, F>(
+    a_idx: &[Index],
+    a_vals: &[A],
+    b_idx: &[Index],
+    b_vals: &[B],
+    mul: &F,
+    out_idx: &mut Vec<Index>,
+    out_vals: &mut Vec<C>,
+) where
+    A: Scalar,
+    B: Scalar,
+    C: Scalar,
+    F: BinaryOp<A, B, C>,
+{
+    let (mut i, mut j) = (0, 0);
+    while i < a_idx.len() && j < b_idx.len() {
+        match a_idx[i].cmp(&b_idx[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out_idx.push(a_idx[i]);
+                out_vals.push(mul.apply(&a_vals[i], &b_vals[j]));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// `T = A ⊕ B` on matrices (the internal result of `eWiseAdd`, before
+/// accumulation and masking).
+pub fn ewise_add_matrix<T: Scalar, F: BinaryOp<T, T, T>>(
+    a: &Csr<T>,
+    b: &Csr<T>,
+    add: &F,
+) -> Csr<T> {
+    debug_assert_eq!(a.nrows(), b.nrows());
+    debug_assert_eq!(a.ncols(), b.ncols());
+    let rows = map_rows(a.nrows(), |i| {
+        let (ac, av) = a.row(i);
+        let (bc, bv) = b.row(i);
+        let mut idx = Vec::with_capacity(ac.len() + bc.len());
+        let mut vals = Vec::with_capacity(ac.len() + bc.len());
+        union_merge(ac, av, bc, bv, add, &mut idx, &mut vals);
+        (idx, vals)
+    });
+    assemble_rows(a.nrows(), a.ncols(), rows)
+}
+
+/// `T = A ⊗ B` on matrices (the internal result of `eWiseMult`).
+pub fn ewise_mult_matrix<A, B, C, F>(a: &Csr<A>, b: &Csr<B>, mul: &F) -> Csr<C>
+where
+    A: Scalar,
+    B: Scalar,
+    C: Scalar,
+    F: BinaryOp<A, B, C>,
+{
+    debug_assert_eq!(a.nrows(), b.nrows());
+    debug_assert_eq!(a.ncols(), b.ncols());
+    let rows = map_rows(a.nrows(), |i| {
+        let (ac, av) = a.row(i);
+        let (bc, bv) = b.row(i);
+        let mut idx = Vec::with_capacity(ac.len().min(bc.len()));
+        let mut vals = Vec::with_capacity(ac.len().min(bc.len()));
+        intersect_merge(ac, av, bc, bv, mul, &mut idx, &mut vals);
+        (idx, vals)
+    });
+    assemble_rows(a.nrows(), a.ncols(), rows)
+}
+
+/// `t = u ⊕ v` on vectors.
+pub fn ewise_add_vector<T: Scalar, F: BinaryOp<T, T, T>>(
+    u: &SparseVec<T>,
+    v: &SparseVec<T>,
+    add: &F,
+) -> SparseVec<T> {
+    debug_assert_eq!(u.size(), v.size());
+    let mut idx = Vec::with_capacity(u.nvals() + v.nvals());
+    let mut vals = Vec::with_capacity(u.nvals() + v.nvals());
+    union_merge(
+        u.indices(),
+        u.vals(),
+        v.indices(),
+        v.vals(),
+        add,
+        &mut idx,
+        &mut vals,
+    );
+    SparseVec::from_sorted_parts(u.size(), idx, vals)
+}
+
+/// `t = u ⊗ v` on vectors.
+pub fn ewise_mult_vector<A, B, C, F>(u: &SparseVec<A>, v: &SparseVec<B>, mul: &F) -> SparseVec<C>
+where
+    A: Scalar,
+    B: Scalar,
+    C: Scalar,
+    F: BinaryOp<A, B, C>,
+{
+    debug_assert_eq!(u.size(), v.size());
+    let mut idx = Vec::with_capacity(u.nvals().min(v.nvals()));
+    let mut vals = Vec::with_capacity(u.nvals().min(v.nvals()));
+    intersect_merge(
+        u.indices(),
+        u.vals(),
+        v.indices(),
+        v.vals(),
+        mul,
+        &mut idx,
+        &mut vals,
+    );
+    SparseVec::from_sorted_parts(u.size(), idx, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::binary::{Plus, Times};
+
+    fn a() -> Csr<i32> {
+        Csr::from_sorted_tuples(2, 3, vec![(0, 0, 1), (0, 2, 2), (1, 1, 3)])
+    }
+
+    fn b() -> Csr<i32> {
+        Csr::from_sorted_tuples(2, 3, vec![(0, 0, 10), (0, 1, 20), (1, 1, 30)])
+    }
+
+    #[test]
+    fn add_is_union_with_passthrough() {
+        let c = ewise_add_matrix(&a(), &b(), &Plus::new());
+        assert_eq!(
+            c.to_tuples(),
+            vec![(0, 0, 11), (0, 1, 20), (0, 2, 2), (1, 1, 33)]
+        );
+    }
+
+    #[test]
+    fn mult_is_intersection_only() {
+        let c = ewise_mult_matrix(&a(), &b(), &Times::new());
+        assert_eq!(c.to_tuples(), vec![(0, 0, 10), (1, 1, 90)]);
+    }
+
+    #[test]
+    fn mult_mixed_domains() {
+        use crate::algebra::binary::binary_fn;
+        let flags = Csr::from_sorted_tuples(2, 3, vec![(0, 0, true), (1, 1, false)]);
+        let gate = binary_fn(|x: &i32, keep: &bool| if *keep { *x as f64 } else { 0.0 });
+        let c: Csr<f64> = ewise_mult_matrix(&a(), &flags, &gate);
+        assert_eq!(c.to_tuples(), vec![(0, 0, 1.0), (1, 1, 0.0)]);
+    }
+
+    #[test]
+    fn add_with_empty_operand_is_identity_copy() {
+        let e = Csr::<i32>::empty(2, 3);
+        let c = ewise_add_matrix(&a(), &e, &Plus::new());
+        assert_eq!(c, a());
+        let c = ewise_add_matrix(&e, &a(), &Plus::new());
+        assert_eq!(c, a());
+    }
+
+    #[test]
+    fn mult_with_empty_operand_is_empty() {
+        let e = Csr::<i32>::empty(2, 3);
+        let c = ewise_mult_matrix(&a(), &e, &Times::new());
+        assert_eq!(c.nvals(), 0);
+    }
+
+    #[test]
+    fn vector_union_and_intersection() {
+        let u = SparseVec::from_sorted_parts(5, vec![0, 2, 4], vec![1, 2, 3]);
+        let v = SparseVec::from_sorted_parts(5, vec![2, 3], vec![10, 20]);
+        let s = ewise_add_vector(&u, &v, &Plus::new());
+        assert_eq!(s.to_tuples(), vec![(0, 1), (2, 12), (3, 20), (4, 3)]);
+        let p = ewise_mult_vector(&u, &v, &Times::new());
+        assert_eq!(p.to_tuples(), vec![(2, 20)]);
+    }
+
+    #[test]
+    fn large_parallel_merge_matches_sequential_semantics() {
+        let n = 1000;
+        let a = Csr::from_sorted_tuples(n, n, (0..n).map(|i| (i, i, 1i64)));
+        let b = Csr::from_sorted_tuples(n, n, (0..n).map(|i| (i, (i + 1) % n, 2i64)));
+        let c = ewise_add_matrix(&a, &b, &Plus::new());
+        assert_eq!(c.nvals(), 2 * n);
+        assert_eq!(c.get(0, 0), Some(&1));
+        assert_eq!(c.get(0, 1), Some(&2));
+    }
+}

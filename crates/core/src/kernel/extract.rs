@@ -1,0 +1,137 @@
+//! `extract` kernels (Table II): `T = A(i, j)` — gather a subcollection
+//! selected by index lists. Index lists arrive already resolved and
+//! bounds-checked by the operation layer; duplicates are allowed (the
+//! same source element may land in several output positions).
+
+use crate::index::Index;
+use crate::kernel::util::{assemble_rows, map_rows_init};
+use crate::scalar::Scalar;
+use crate::storage::csr::Csr;
+use crate::storage::vec::SparseVec;
+
+/// `T(k, l) = A(rows[k], cols[l])` for stored elements.
+pub fn extract_matrix<T: Scalar>(a: &Csr<T>, rows: &[Index], cols: &[Index]) -> Csr<T> {
+    let identity_cols =
+        cols.len() == a.ncols() && cols.iter().enumerate().all(|(l, &j)| l == j);
+    let out_rows = map_rows_init(
+        rows.len(),
+        || (vec![None::<T>; a.ncols()], Vec::<Index>::new()),
+        |(ws, touched), k| {
+            let (src_cols, src_vals) = a.row(rows[k]);
+            if identity_cols {
+                return (src_cols.to_vec(), src_vals.to_vec());
+            }
+            // scatter the source row, then gather in output-column order
+            for (j, v) in src_cols.iter().zip(src_vals) {
+                ws[*j] = Some(v.clone());
+                touched.push(*j);
+            }
+            let mut out_c = Vec::new();
+            let mut out_v = Vec::new();
+            for (l, &j) in cols.iter().enumerate() {
+                if let Some(v) = &ws[j] {
+                    out_c.push(l);
+                    out_v.push(v.clone());
+                }
+            }
+            for &j in touched.iter() {
+                ws[j] = None;
+            }
+            touched.clear();
+            (out_c, out_v)
+        },
+    );
+    assemble_rows(rows.len(), cols.len(), out_rows)
+}
+
+/// `t(k) = u(indices[k])` for stored elements.
+pub fn extract_vector<T: Scalar>(u: &SparseVec<T>, indices: &[Index]) -> SparseVec<T> {
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    for (k, &i) in indices.iter().enumerate() {
+        if let Some(v) = u.get(i) {
+            idx.push(k);
+            vals.push(v.clone());
+        }
+    }
+    SparseVec::from_sorted_parts(indices.len(), idx, vals)
+}
+
+/// Column extract (`GrB_Col_extract`): `t(k) = A(rows[k], j)`.
+pub fn extract_matrix_col<T: Scalar>(a: &Csr<T>, rows: &[Index], j: Index) -> SparseVec<T> {
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    for (k, &i) in rows.iter().enumerate() {
+        if let Some(v) = a.get(i, j) {
+            idx.push(k);
+            vals.push(v.clone());
+        }
+    }
+    SparseVec::from_sorted_parts(rows.len(), idx, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Csr<i32> {
+        // [ 1 2 . ]
+        // [ . 3 4 ]
+        // [ 5 . 6 ]
+        Csr::from_sorted_tuples(
+            3,
+            3,
+            vec![(0, 0, 1), (0, 1, 2), (1, 1, 3), (1, 2, 4), (2, 0, 5), (2, 2, 6)],
+        )
+    }
+
+    #[test]
+    fn extract_submatrix() {
+        let t = extract_matrix(&a(), &[0, 2], &[0, 2]);
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.to_tuples(), vec![(0, 0, 1), (1, 0, 5), (1, 1, 6)]);
+    }
+
+    #[test]
+    fn extract_permutes_and_duplicates() {
+        let t = extract_matrix(&a(), &[1, 1], &[2, 1, 2]);
+        // both output rows are source row 1: [., 3, 4] gathered as cols [2,1,2]
+        assert_eq!(
+            t.to_tuples(),
+            vec![(0, 0, 4), (0, 1, 3), (0, 2, 4), (1, 0, 4), (1, 1, 3), (1, 2, 4)]
+        );
+    }
+
+    #[test]
+    fn extract_identity_cols_fast_path() {
+        let t = extract_matrix(&a(), &[2, 0], &[0, 1, 2]);
+        assert_eq!(t.to_tuples(), vec![(0, 0, 5), (0, 2, 6), (1, 0, 1), (1, 1, 2)]);
+    }
+
+    #[test]
+    fn extract_missing_elements_stay_undefined() {
+        let t = extract_matrix(&a(), &[1], &[0]);
+        assert_eq!(t.nvals(), 0);
+    }
+
+    #[test]
+    fn extract_vector_gather() {
+        let u = SparseVec::from_sorted_parts(5, vec![1, 3], vec![10, 30]);
+        let t = extract_vector(&u, &[3, 0, 1, 3]);
+        assert_eq!(t.to_tuples(), vec![(0, 30), (2, 10), (3, 30)]);
+        assert_eq!(t.size(), 4);
+    }
+
+    #[test]
+    fn extract_column() {
+        let t = extract_matrix_col(&a(), &[0, 1, 2], 1);
+        assert_eq!(t.to_tuples(), vec![(0, 2), (1, 3)]);
+        // Fig. 3 line 33 shape: extract columns of A^T selected by source
+        // vertices = rows of A
+        let at = a().transpose();
+        let fr = extract_matrix(&at, &[0, 1, 2], &[1]);
+        assert_eq!(fr.ncols(), 1);
+        assert_eq!(fr.to_tuples(), vec![(1, 0, 3), (2, 0, 4)]);
+    }
+}

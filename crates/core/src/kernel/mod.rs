@@ -1,0 +1,19 @@
+//! The sparse compute kernels beneath the GraphBLAS operations: pure
+//! functions from storage to storage, row-parallel where it pays
+//! (`parallel` feature, on by default).
+//!
+//! The operation layer ([`crate::op`]) composes these with the shared
+//! accumulate-and-mask write stage ([`write`]) to realize the full
+//! Figure 2 semantics.
+
+pub mod apply;
+pub mod assign;
+pub mod ewise;
+pub mod extract;
+pub mod mxm;
+pub mod mxv;
+pub mod reduce;
+pub(crate) mod util;
+pub mod write;
+
+pub use mxm::MxmStrategy;

@@ -1,0 +1,197 @@
+//! Matrix–vector kernels: `mxv` (`w = A ⊕.⊗ v`, pull/row-wise) and `vxm`
+//! (`w^T = v^T ⊕.⊗ A`, push/scatter) — Table II rows 2–3.
+//!
+//! `mxv` walks each row of `A` against the sorted sparse vector — the
+//! "pull" direction; `vxm` scatters each stored `v(i)` through row
+//! `A(i,:)` — the "push" direction. Together they give the push/pull pair
+//! that direction-optimizing traversals (BFS and friends) are built from.
+
+use crate::algebra::binary::BinaryOp;
+use crate::algebra::semiring::Semiring;
+use crate::index::Index;
+use crate::kernel::util::map_rows;
+use crate::mask::MaskVec;
+use crate::scalar::Scalar;
+use crate::storage::csr::Csr;
+use crate::storage::vec::SparseVec;
+
+/// `t = A ⊕.⊗ v` (pull): `t(i) = ⊕_{k ∈ ind(A(i,:)) ∩ ind(v)}
+/// A(i,k) ⊗ v(k)`, restricted to mask-admitted output indices.
+pub fn mxv<D1, D2, D3, S>(sr: &S, a: &Csr<D1>, v: &SparseVec<D2>, mask: &MaskVec) -> SparseVec<D3>
+where
+    D1: Scalar,
+    D2: Scalar,
+    D3: Scalar,
+    S: Semiring<D1, D2, D3>,
+{
+    debug_assert_eq!(a.ncols(), v.size());
+    let add = sr.add();
+    let mul = sr.mul();
+    let vi = v.indices();
+    let vv = v.vals();
+    let results = map_rows(a.nrows(), |i| {
+        if !mask.admits(i) {
+            return None;
+        }
+        let (ac, av) = a.row(i);
+        // merge-walk the stored-index intersection
+        let (mut p, mut q) = (0usize, 0usize);
+        let mut acc: Option<D3> = None;
+        while p < ac.len() && q < vi.len() {
+            match ac[p].cmp(&vi[q]) {
+                std::cmp::Ordering::Less => p += 1,
+                std::cmp::Ordering::Greater => q += 1,
+                std::cmp::Ordering::Equal => {
+                    let prod = mul.apply(&av[p], &vv[q]);
+                    acc = Some(match acc {
+                        Some(x) => add.apply(&x, &prod),
+                        None => prod,
+                    });
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        acc
+    });
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    for (i, r) in results.into_iter().enumerate() {
+        if let Some(val) = r {
+            idx.push(i);
+            vals.push(val);
+        }
+    }
+    SparseVec::from_sorted_parts(a.nrows(), idx, vals)
+}
+
+/// `t^T = v^T ⊕.⊗ A` (push): `t(j) = ⊕_{i ∈ ind(v) ∩ ind(A(:,j))}
+/// v(i) ⊗ A(i,j)`, restricted to mask-admitted output indices.
+pub fn vxm<D1, D2, D3, S>(sr: &S, v: &SparseVec<D1>, a: &Csr<D2>, mask: &MaskVec) -> SparseVec<D3>
+where
+    D1: Scalar,
+    D2: Scalar,
+    D3: Scalar,
+    S: Semiring<D1, D2, D3>,
+{
+    debug_assert_eq!(v.size(), a.nrows());
+    let add = sr.add();
+    let mul = sr.mul();
+    let ncols = a.ncols();
+    let mut acc: Vec<Option<D3>> = vec![None; ncols];
+    let mut touched: Vec<Index> = Vec::new();
+    for (i, vi) in v.iter() {
+        let (ac, av) = a.row(i);
+        for (j, aij) in ac.iter().zip(av) {
+            if !mask.admits(*j) {
+                continue;
+            }
+            let prod = mul.apply(vi, aij);
+            match &mut acc[*j] {
+                Some(x) => *x = add.apply(x, &prod),
+                slot @ None => {
+                    *slot = Some(prod);
+                    touched.push(*j);
+                }
+            }
+        }
+    }
+    touched.sort_unstable();
+    let mut idx = Vec::with_capacity(touched.len());
+    let mut vals = Vec::with_capacity(touched.len());
+    for j in touched {
+        idx.push(j);
+        vals.push(acc[j].take().expect("touched slot"));
+    }
+    SparseVec::from_sorted_parts(ncols, idx, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::semiring::{lor_land, min_plus, plus_times};
+    use crate::storage::vec::SparseVec;
+
+    fn a() -> Csr<i32> {
+        // [ 1 2 . ]
+        // [ . 3 4 ]
+        // [ 5 . 6 ]
+        Csr::from_sorted_tuples(
+            3,
+            3,
+            vec![(0, 0, 1), (0, 1, 2), (1, 1, 3), (1, 2, 4), (2, 0, 5), (2, 2, 6)],
+        )
+    }
+
+    #[test]
+    fn mxv_plus_times() {
+        let v = SparseVec::from_dense(&[10, 20, 30]);
+        let w = mxv(&plus_times::<i32>(), &a(), &v, &MaskVec::All);
+        assert_eq!(w.to_tuples(), vec![(0, 50), (1, 180), (2, 230)]);
+    }
+
+    #[test]
+    fn mxv_sparse_vector_undefined_elements_skipped() {
+        // v has only index 1 stored: rows with no stored A(i,1) give no output
+        let v = SparseVec::from_sorted_parts(3, vec![1], vec![10]);
+        let w = mxv(&plus_times::<i32>(), &a(), &v, &MaskVec::All);
+        assert_eq!(w.to_tuples(), vec![(0, 20), (1, 30)]);
+        assert_eq!(w.get(2), None); // A(2,1) undefined -> no contribution
+    }
+
+    #[test]
+    fn vxm_is_transposed_mxv() {
+        let v = SparseVec::from_dense(&[10, 20, 30]);
+        let w1 = vxm(&plus_times::<i32>(), &v, &a(), &MaskVec::All);
+        let w2 = mxv(&plus_times::<i32>(), &a().transpose(), &v, &MaskVec::All);
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn vxm_push_from_sparse_frontier() {
+        // BFS-style frontier push over lor_land
+        let adj = Csr::from_sorted_tuples(
+            4,
+            4,
+            vec![(0, 1, true), (0, 2, true), (2, 3, true)],
+        );
+        let frontier = SparseVec::from_sorted_parts(4, vec![0], vec![true]);
+        let next = vxm(&lor_land(), &frontier, &adj, &MaskVec::All);
+        assert_eq!(next.to_tuples(), vec![(1, true), (2, true)]);
+    }
+
+    #[test]
+    fn masked_mxv_skips_rows() {
+        let v = SparseVec::from_dense(&[10, 20, 30]);
+        let msrc = SparseVec::from_sorted_parts(3, vec![1], vec![true]);
+        let mask = MaskVec::from_vec(&msrc, false, false);
+        let w = mxv(&plus_times::<i32>(), &a(), &v, &mask);
+        assert_eq!(w.to_tuples(), vec![(1, 180)]);
+    }
+
+    #[test]
+    fn masked_vxm_skips_columns() {
+        let v = SparseVec::from_dense(&[10, 20, 30]);
+        let msrc = SparseVec::from_sorted_parts(3, vec![0], vec![true]);
+        let mask = MaskVec::from_vec(&msrc, false, true); // complement: skip col 0
+        let w = vxm(&plus_times::<i32>(), &v, &a(), &mask);
+        assert_eq!(w.get(0), None);
+        assert!(w.get(1).is_some());
+    }
+
+    #[test]
+    fn min_plus_relaxation_step() {
+        // one Bellman-Ford relaxation: dist' = dist min.+ A
+        let adj = Csr::from_sorted_tuples(3, 3, vec![(0, 1, 2i64), (0, 2, 10), (1, 2, 3)]);
+        let dist = SparseVec::from_sorted_parts(3, vec![0], vec![0i64]);
+        let relaxed = vxm(&min_plus::<i64>(), &dist, &adj, &MaskVec::All);
+        assert_eq!(relaxed.to_tuples(), vec![(1, 2), (2, 10)]);
+    }
+
+    #[test]
+    fn empty_vector_gives_empty_result() {
+        let v = SparseVec::<i32>::empty(3);
+        assert_eq!(mxv(&plus_times::<i32>(), &a(), &v, &MaskVec::All).nvals(), 0);
+        assert_eq!(vxm(&plus_times::<i32>(), &v, &a(), &MaskVec::All).nvals(), 0);
+    }
+}

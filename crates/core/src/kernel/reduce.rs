@@ -1,0 +1,119 @@
+//! `reduce` kernels (Table II row "reduce (row)"): fold the stored
+//! elements of each matrix row into a vector entry with a monoid, or fold
+//! a whole collection to a scalar.
+//!
+//! A row with no stored elements produces **no** output entry (there is no
+//! implied zero to return); scalar reduction of an empty collection yields
+//! the monoid identity, matching the C specification of
+//! `GrB_Matrix_reduce_TYPE`.
+
+use crate::algebra::monoid::Monoid;
+use crate::kernel::util::map_rows;
+use crate::scalar::Scalar;
+use crate::storage::csr::Csr;
+use crate::storage::vec::SparseVec;
+
+/// `t(i) = ⊕_j A(i,j)` over stored elements.
+pub fn reduce_rows<T: Scalar, M: Monoid<T>>(a: &Csr<T>, monoid: &M) -> SparseVec<T> {
+    let per_row = map_rows(a.nrows(), |i| {
+        let (_, vals) = a.row(i);
+        let mut it = vals.iter();
+        it.next().map(|first| {
+            let mut acc = first.clone();
+            for v in it {
+                acc = monoid.apply(&acc, v);
+            }
+            acc
+        })
+    });
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    for (i, r) in per_row.into_iter().enumerate() {
+        if let Some(v) = r {
+            idx.push(i);
+            vals.push(v);
+        }
+    }
+    SparseVec::from_sorted_parts(a.nrows(), idx, vals)
+}
+
+/// `s = ⊕_{(i,j)} A(i,j)` over all stored elements; identity if empty.
+pub fn reduce_matrix_scalar<T: Scalar, M: Monoid<T>>(a: &Csr<T>, monoid: &M) -> T {
+    fold_all(a.vals(), monoid)
+}
+
+/// `s = ⊕_i u(i)` over all stored elements; identity if empty.
+pub fn reduce_vector_scalar<T: Scalar, M: Monoid<T>>(u: &SparseVec<T>, monoid: &M) -> T {
+    fold_all(u.vals(), monoid)
+}
+
+fn fold_all<T: Scalar, M: Monoid<T>>(vals: &[T], monoid: &M) -> T {
+    #[cfg(feature = "parallel")]
+    {
+        if vals.len() >= 4096 {
+            use rayon::prelude::*;
+            // associativity lets us tree-reduce in parallel
+            return vals
+                .par_iter()
+                .cloned()
+                .reduce(|| monoid.identity(), |a, b| monoid.apply(&a, &b));
+        }
+    }
+    vals.iter()
+        .fold(monoid.identity(), |acc, v| monoid.apply(&acc, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::monoid::{MaxMonoid, MinMonoid, PlusMonoid};
+
+    fn a() -> Csr<i32> {
+        // [ 1 2 . ]
+        // [ . . . ]
+        // [ 3 . 4 ]
+        Csr::from_sorted_tuples(3, 3, vec![(0, 0, 1), (0, 1, 2), (2, 0, 3), (2, 2, 4)])
+    }
+
+    #[test]
+    fn row_reduce_skips_empty_rows() {
+        let w = reduce_rows(&a(), &PlusMonoid::<i32>::new());
+        assert_eq!(w.to_tuples(), vec![(0, 3), (2, 7)]);
+        assert_eq!(w.get(1), None); // empty row -> no entry, not zero
+    }
+
+    #[test]
+    fn row_reduce_with_min_max() {
+        let w = reduce_rows(&a(), &MinMonoid::<i32>::new());
+        assert_eq!(w.to_tuples(), vec![(0, 1), (2, 3)]);
+        let w = reduce_rows(&a(), &MaxMonoid::<i32>::new());
+        assert_eq!(w.to_tuples(), vec![(0, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn scalar_reduce() {
+        assert_eq!(reduce_matrix_scalar(&a(), &PlusMonoid::<i32>::new()), 10);
+        assert_eq!(reduce_matrix_scalar(&a(), &MaxMonoid::<i32>::new()), 4);
+        let empty = Csr::<i32>::empty(3, 3);
+        assert_eq!(reduce_matrix_scalar(&empty, &PlusMonoid::<i32>::new()), 0);
+        assert_eq!(
+            reduce_matrix_scalar(&empty, &MinMonoid::<i32>::new()),
+            i32::MAX
+        );
+    }
+
+    #[test]
+    fn vector_scalar_reduce() {
+        let u = SparseVec::from_sorted_parts(5, vec![1, 4], vec![7, 9]);
+        assert_eq!(reduce_vector_scalar(&u, &PlusMonoid::<i32>::new()), 16);
+        let e = SparseVec::<i32>::empty(5);
+        assert_eq!(reduce_vector_scalar(&e, &PlusMonoid::<i32>::new()), 0);
+    }
+
+    #[test]
+    fn large_parallel_reduce_matches() {
+        let n = 20_000usize;
+        let m = Csr::from_sorted_tuples(1, n, (0..n).map(|j| (0, j, 1i64)));
+        assert_eq!(reduce_matrix_scalar(&m, &PlusMonoid::<i64>::new()), n as i64);
+    }
+}

@@ -1,0 +1,113 @@
+//! Shared kernel infrastructure: row-parallel mapping (rayon-backed when
+//! the `parallel` feature is on) and CSR assembly from per-row results.
+
+use crate::index::Index;
+use crate::scalar::Scalar;
+use crate::storage::csr::Csr;
+
+/// Rows below this count run sequentially even with `parallel` enabled —
+/// the rayon fork/join overhead dominates on tiny operands.
+pub(crate) const PAR_ROW_THRESHOLD: usize = 128;
+
+/// Map `f` over `0..nrows`, in parallel when beneficial, preserving order.
+pub(crate) fn map_rows<R, F>(nrows: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        if nrows >= PAR_ROW_THRESHOLD {
+            use rayon::prelude::*;
+            return (0..nrows).into_par_iter().map(f).collect();
+        }
+    }
+    (0..nrows).map(f).collect()
+}
+
+/// Map `f` over `0..nrows` with a per-worker scratch state created by
+/// `init` (rayon `map_init`; a single state sequentially).
+pub(crate) fn map_rows_init<S, R, I, F>(nrows: usize, init: I, f: F) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+    I: Fn() -> S + Send + Sync,
+    F: Fn(&mut S, usize) -> R + Send + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        if nrows >= PAR_ROW_THRESHOLD {
+            use rayon::prelude::*;
+            return (0..nrows)
+                .into_par_iter()
+                .map_init(&init, |s, i| f(s, i))
+                .collect();
+        }
+    }
+    let mut s = init();
+    (0..nrows).map(|i| f(&mut s, i)).collect()
+}
+
+/// Assemble a CSR matrix from independently computed rows. Each row's
+/// column indices must already be sorted and duplicate-free.
+pub(crate) fn assemble_rows<T: Scalar>(
+    nrows: Index,
+    ncols: Index,
+    rows: Vec<(Vec<Index>, Vec<T>)>,
+) -> Csr<T> {
+    debug_assert_eq!(rows.len(), nrows);
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    row_ptr.push(0usize);
+    let mut total = 0usize;
+    for (cols, vals) in &rows {
+        debug_assert_eq!(cols.len(), vals.len());
+        total += cols.len();
+        row_ptr.push(total);
+    }
+    let mut col_idx = Vec::with_capacity(total);
+    let mut out_vals = Vec::with_capacity(total);
+    for (cols, vals) in rows {
+        col_idx.extend(cols);
+        out_vals.extend(vals);
+    }
+    Csr::from_parts(nrows, ncols, row_ptr, col_idx, out_vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_rows_preserves_order() {
+        let v = map_rows(1000, |i| i * 2);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn map_rows_init_threads_scratch() {
+        let v = map_rows_init(
+            500,
+            || vec![0u8; 16],
+            |scratch, i| {
+                scratch[0] = scratch[0].wrapping_add(1);
+                i + 1
+            },
+        );
+        assert_eq!(v[499], 500);
+    }
+
+    #[test]
+    fn assemble_from_rows() {
+        let rows = vec![
+            (vec![1, 3], vec![10, 30]),
+            (vec![], vec![]),
+            (vec![0], vec![99]),
+        ];
+        let m = assemble_rows(3, 4, rows);
+        assert_eq!(m.nvals(), 3);
+        assert_eq!(m.get(0, 3), Some(&30));
+        assert_eq!(m.get(2, 0), Some(&99));
+        assert_eq!(m.row_nvals(1), 0);
+    }
+}

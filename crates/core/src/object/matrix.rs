@@ -1,0 +1,334 @@
+//! The opaque GraphBLAS matrix (paper §III-A):
+//! `A = <D, M, N, {(i, j, A_ij)}>`.
+//!
+//! [`Matrix<T>`] is a *handle*, like the C API's `GrB_Matrix`: cloning a
+//! handle aliases the same object (use [`Matrix::dup`] for a copy). The
+//! object's value lives in an immutable node; every mutating method swaps
+//! in a new node, so deferred operations that captured the old node keep
+//! program-order semantics for free (and output/input aliasing in a
+//! single call is well defined — the inputs are the pre-call snapshots).
+//!
+//! Methods that export values to non-opaque data — [`Matrix::nvals`],
+//! [`Matrix::get`], [`Matrix::extract_tuples`] — force completion of any
+//! deferred computation defining this object, surfacing execution errors
+//! (paper §IV/§V).
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::algebra::binary::BinaryOp;
+use crate::error::{Error, Result};
+use crate::exec::{force, Completable, Node};
+use crate::index::Index;
+use crate::scalar::Scalar;
+use crate::storage::coo::build_matrix;
+use crate::storage::csr::Csr;
+
+pub(crate) type MatrixNode<T> = Node<Csr<T>>;
+
+/// An opaque GraphBLAS matrix handle over domain `T`.
+pub struct Matrix<T: Scalar> {
+    nrows: Index,
+    ncols: Index,
+    cell: Arc<RwLock<Arc<MatrixNode<T>>>>,
+}
+
+impl<T: Scalar> Clone for Matrix<T> {
+    /// Clones the *handle*: both values refer to the same object, exactly
+    /// like copying a `GrB_Matrix` in C. Use [`Matrix::dup`] for a copy of
+    /// the contents.
+    fn clone(&self) -> Self {
+        Matrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            cell: self.cell.clone(),
+        }
+    }
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// `GrB_Matrix_new(&A, domain, nrows, ncols)`: a matrix with no stored
+    /// elements. Dimensions must be positive (paper §III-A: `M, N > 0`).
+    pub fn new(nrows: Index, ncols: Index) -> Result<Self> {
+        if nrows == 0 || ncols == 0 {
+            return Err(Error::InvalidValue(format!(
+                "matrix dimensions must be positive, got {nrows}x{ncols}"
+            )));
+        }
+        Ok(Matrix {
+            nrows,
+            ncols,
+            cell: Arc::new(RwLock::new(Node::ready(Csr::empty(nrows, ncols)))),
+        })
+    }
+
+    /// Convenience constructor from unique `(row, col, value)` tuples.
+    /// Duplicate positions are rejected (`InvalidValue`); use
+    /// [`Matrix::build`] with an explicit `dup` operator to combine them.
+    pub fn from_tuples(nrows: Index, ncols: Index, tuples: &[(Index, Index, T)]) -> Result<Self> {
+        let m = Matrix::new(nrows, ncols)?;
+        let rows: Vec<Index> = tuples.iter().map(|t| t.0).collect();
+        let cols: Vec<Index> = tuples.iter().map(|t| t.1).collect();
+        let vals: Vec<T> = tuples.iter().map(|t| t.2.clone()).collect();
+        // build with First, then detect duplicates from the count delta
+        let storage = build_matrix(
+            nrows,
+            ncols,
+            &rows,
+            &cols,
+            &vals,
+            &crate::algebra::binary::First::<T, T>::new(),
+        )?;
+        if storage.nvals() != tuples.len() {
+            return Err(Error::InvalidValue(
+                "from_tuples given duplicate positions; use build() with a dup operator".into(),
+            ));
+        }
+        m.install(Node::ready(storage));
+        Ok(m)
+    }
+
+    /// `GrB_Matrix_build`: copy elements from tuple arrays into this
+    /// matrix, combining duplicates with `dup`. The matrix must hold no
+    /// stored elements (`OutputNotEmpty` otherwise, as in the C API).
+    ///
+    /// Reads non-opaque arrays, so it executes immediately in every mode.
+    pub fn build<F: BinaryOp<T, T, T>>(
+        &self,
+        rows: &[Index],
+        cols: &[Index],
+        vals: &[T],
+        dup: &F,
+    ) -> Result<()> {
+        if self.nvals()? != 0 {
+            return Err(Error::OutputNotEmpty(
+                "build target must have no stored elements".into(),
+            ));
+        }
+        let storage = build_matrix(self.nrows, self.ncols, rows, cols, vals, dup)?;
+        self.install(Node::ready(storage));
+        Ok(())
+    }
+
+    /// `GrB_Matrix_nrows`.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// `GrB_Matrix_ncols`.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    pub fn shape(&self) -> (Index, Index) {
+        (self.nrows, self.ncols)
+    }
+
+    /// `GrB_Matrix_nvals`: the number of stored elements. Forces
+    /// completion.
+    pub fn nvals(&self) -> Result<usize> {
+        Ok(self.forced_storage()?.nvals())
+    }
+
+    /// `GrB_Matrix_extractElement`: `Ok(Some(v))` if stored, `Ok(None)` if
+    /// the element is undefined (the C API's `GrB_NO_VALUE`). Forces
+    /// completion.
+    pub fn get(&self, i: Index, j: Index) -> Result<Option<T>> {
+        self.check_bounds(i, j)?;
+        Ok(self.forced_storage()?.get(i, j).cloned())
+    }
+
+    /// `GrB_Matrix_setElement`. Forces completion, then performs a
+    /// copy-on-write point update (O(nvals); prefer `build` for bulk
+    /// loads).
+    pub fn set(&self, i: Index, j: Index, v: T) -> Result<()> {
+        self.check_bounds(i, j)?;
+        let mut storage = (*self.forced_storage()?).clone();
+        storage.set_element(i, j, v);
+        self.install(Node::ready(storage));
+        Ok(())
+    }
+
+    /// `GrB_Matrix_removeElement`. Forces completion.
+    pub fn remove(&self, i: Index, j: Index) -> Result<()> {
+        self.check_bounds(i, j)?;
+        let mut storage = (*self.forced_storage()?).clone();
+        storage.remove_element(i, j);
+        self.install(Node::ready(storage));
+        Ok(())
+    }
+
+    /// `GrB_Matrix_extractTuples`: all stored tuples in row-major order.
+    /// Forces completion.
+    pub fn extract_tuples(&self) -> Result<Vec<(Index, Index, T)>> {
+        Ok(self.forced_storage()?.to_tuples())
+    }
+
+    /// `GrB_Matrix_clear`: remove all stored elements (dimensions kept).
+    /// Never fails and never forces — the old value, complete or not, is
+    /// simply abandoned.
+    pub fn clear(&self) {
+        self.install(Node::ready(Csr::empty(self.nrows, self.ncols)));
+    }
+
+    /// `GrB_Matrix_dup`: a new object with a copy of this object's
+    /// current (possibly still deferred) value.
+    pub fn dup(&self) -> Matrix<T> {
+        Matrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            cell: Arc::new(RwLock::new(self.snapshot())),
+        }
+    }
+
+    /// Force completion of this object alone (the released C spec's
+    /// per-object `GrB_Matrix_wait`), surfacing any execution error from
+    /// its defining computation.
+    pub fn wait(&self) -> Result<()> {
+        let node = self.snapshot() as Arc<dyn Completable>;
+        force(&node)
+    }
+
+    /// `true` once the object's value is computed and stored (always true
+    /// in blocking mode). Diagnostic for the execution-model tests.
+    pub fn is_complete(&self) -> bool {
+        self.snapshot().is_complete()
+    }
+
+    fn check_bounds(&self, i: Index, j: Index) -> Result<()> {
+        if i >= self.nrows || j >= self.ncols {
+            return Err(Error::InvalidIndex(format!(
+                "({i}, {j}) out of bounds for {}x{} matrix",
+                self.nrows, self.ncols
+            )));
+        }
+        Ok(())
+    }
+
+    // ----- internal plumbing for the operation layer -----
+
+    /// The current node (a snapshot: later handle swaps don't affect it).
+    pub(crate) fn snapshot(&self) -> Arc<MatrixNode<T>> {
+        self.cell.read().clone()
+    }
+
+    /// Publish a new value node for this object.
+    pub(crate) fn install(&self, node: Arc<MatrixNode<T>>) {
+        *self.cell.write() = node;
+    }
+
+    /// Force and read the current storage.
+    pub(crate) fn forced_storage(&self) -> Result<Arc<Csr<T>>> {
+        let node = self.snapshot();
+        force(&(node.clone() as Arc<dyn Completable>))?;
+        node.ready_storage()
+    }
+}
+
+/// Read a complete node's storage in the orientation the descriptor asks
+/// for, using the node's memoized transpose.
+pub(crate) fn oriented_storage<T: Scalar>(
+    node: &Arc<MatrixNode<T>>,
+    transposed: bool,
+) -> Result<Arc<Csr<T>>> {
+    if transposed {
+        node.derived_storage(|s| s.transpose())
+    } else {
+        node.ready_storage()
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Matrix<{}x{}>", self.nrows, self.ncols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::binary::Plus;
+
+    #[test]
+    fn new_rejects_zero_dimensions() {
+        assert!(matches!(
+            Matrix::<i32>::new(0, 3),
+            Err(Error::InvalidValue(_))
+        ));
+        assert!(matches!(
+            Matrix::<i32>::new(3, 0),
+            Err(Error::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn new_matrix_is_empty() {
+        let m = Matrix::<f64>::new(3, 4).unwrap();
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.nvals().unwrap(), 0);
+        assert_eq!(m.get(1, 2).unwrap(), None);
+    }
+
+    #[test]
+    fn from_tuples_and_roundtrip() {
+        let m = Matrix::from_tuples(2, 3, &[(0, 1, 5), (1, 2, 7)]).unwrap();
+        assert_eq!(m.extract_tuples().unwrap(), vec![(0, 1, 5), (1, 2, 7)]);
+        assert_eq!(m.get(0, 1).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn from_tuples_rejects_duplicates() {
+        let e = Matrix::from_tuples(2, 2, &[(0, 0, 1), (0, 0, 2)]).unwrap_err();
+        assert!(matches!(e, Error::InvalidValue(_)));
+    }
+
+    #[test]
+    fn build_combines_duplicates() {
+        let m = Matrix::<i32>::new(2, 2).unwrap();
+        m.build(&[0, 0, 1], &[1, 1, 0], &[2, 3, 9], &Plus::new()).unwrap();
+        assert_eq!(m.get(0, 1).unwrap(), Some(5));
+        assert_eq!(m.get(1, 0).unwrap(), Some(9));
+    }
+
+    #[test]
+    fn build_requires_empty_target() {
+        let m = Matrix::from_tuples(2, 2, &[(0, 0, 1)]).unwrap();
+        let e = m.build(&[1], &[1], &[2], &Plus::new()).unwrap_err();
+        assert!(matches!(e, Error::OutputNotEmpty(_)));
+    }
+
+    #[test]
+    fn set_get_remove_clear() {
+        let m = Matrix::<i32>::new(2, 2).unwrap();
+        m.set(0, 1, 10).unwrap();
+        m.set(1, 0, 20).unwrap();
+        m.set(0, 1, 11).unwrap();
+        assert_eq!(m.get(0, 1).unwrap(), Some(11));
+        assert_eq!(m.nvals().unwrap(), 2);
+        m.remove(0, 1).unwrap();
+        assert_eq!(m.get(0, 1).unwrap(), None);
+        m.clear();
+        assert_eq!(m.nvals().unwrap(), 0);
+        assert_eq!(m.shape(), (2, 2));
+    }
+
+    #[test]
+    fn bounds_are_api_errors() {
+        let m = Matrix::<i32>::new(2, 2).unwrap();
+        assert!(matches!(m.get(2, 0), Err(Error::InvalidIndex(_))));
+        assert!(matches!(m.set(0, 5, 1), Err(Error::InvalidIndex(_))));
+        assert!(matches!(m.remove(9, 9), Err(Error::InvalidIndex(_))));
+    }
+
+    #[test]
+    fn clone_aliases_dup_copies() {
+        let m = Matrix::from_tuples(2, 2, &[(0, 0, 1)]).unwrap();
+        let alias = m.clone();
+        let copy = m.dup();
+        m.set(1, 1, 9).unwrap();
+        assert_eq!(alias.get(1, 1).unwrap(), Some(9)); // same object
+        assert_eq!(copy.get(1, 1).unwrap(), None); // snapshot copy
+    }
+}

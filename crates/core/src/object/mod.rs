@@ -1,0 +1,10 @@
+//! The opaque GraphBLAS collections (paper §III-A) and the mask-argument
+//! plumbing.
+
+pub mod mask_arg;
+pub mod matrix;
+pub mod vector;
+
+pub use mask_arg::{MatrixMask, VectorMask};
+pub use matrix::Matrix;
+pub use vector::Vector;

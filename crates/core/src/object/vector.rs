@@ -1,0 +1,266 @@
+//! The opaque GraphBLAS vector (paper §III-A): `v = <D, N, {(i, v_i)}>`.
+//!
+//! Mirrors [`Matrix`](crate::object::Matrix): a handle over an immutable
+//! value node; see that module for the handle/node semantics.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::algebra::binary::BinaryOp;
+use crate::error::{Error, Result};
+use crate::exec::{force, Completable, Node};
+use crate::index::Index;
+use crate::scalar::Scalar;
+use crate::storage::coo::build_vector;
+use crate::storage::vec::SparseVec;
+
+pub(crate) type VectorNode<T> = Node<SparseVec<T>>;
+
+/// An opaque GraphBLAS vector handle over domain `T`.
+pub struct Vector<T: Scalar> {
+    n: Index,
+    cell: Arc<RwLock<Arc<VectorNode<T>>>>,
+}
+
+impl<T: Scalar> Clone for Vector<T> {
+    /// Clones the *handle* (aliases the same object); use
+    /// [`Vector::dup`] for a copy.
+    fn clone(&self) -> Self {
+        Vector {
+            n: self.n,
+            cell: self.cell.clone(),
+        }
+    }
+}
+
+impl<T: Scalar> Vector<T> {
+    /// `GrB_Vector_new(&v, domain, n)`: a vector with no stored elements.
+    /// Size must be positive (paper §III-A: `N > 0`).
+    pub fn new(n: Index) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::InvalidValue(
+                "vector size must be positive".into(),
+            ));
+        }
+        Ok(Vector {
+            n,
+            cell: Arc::new(RwLock::new(Node::ready(SparseVec::empty(n)))),
+        })
+    }
+
+    /// Convenience constructor from unique `(index, value)` tuples.
+    pub fn from_tuples(n: Index, tuples: &[(Index, T)]) -> Result<Self> {
+        let v = Vector::new(n)?;
+        let idx: Vec<Index> = tuples.iter().map(|t| t.0).collect();
+        let vals: Vec<T> = tuples.iter().map(|t| t.1.clone()).collect();
+        let storage = build_vector(
+            n,
+            &idx,
+            &vals,
+            &crate::algebra::binary::First::<T, T>::new(),
+        )?;
+        if storage.nvals() != tuples.len() {
+            return Err(Error::InvalidValue(
+                "from_tuples given duplicate indices; use build() with a dup operator".into(),
+            ));
+        }
+        v.install(Node::ready(storage));
+        Ok(v)
+    }
+
+    /// Convenience constructor storing every element of a dense slice.
+    pub fn from_dense(vals: &[T]) -> Result<Self> {
+        if vals.is_empty() {
+            return Err(Error::InvalidValue(
+                "vector size must be positive".into(),
+            ));
+        }
+        Ok(Vector {
+            n: vals.len(),
+            cell: Arc::new(RwLock::new(Node::ready(SparseVec::from_dense(vals)))),
+        })
+    }
+
+    /// `GrB_Vector_build`: copy elements from tuple arrays, combining
+    /// duplicates with `dup`; the vector must be empty. Executes
+    /// immediately in every mode (reads non-opaque arrays).
+    pub fn build<F: BinaryOp<T, T, T>>(
+        &self,
+        indices: &[Index],
+        vals: &[T],
+        dup: &F,
+    ) -> Result<()> {
+        if self.nvals()? != 0 {
+            return Err(Error::OutputNotEmpty(
+                "build target must have no stored elements".into(),
+            ));
+        }
+        let storage = build_vector(self.n, indices, vals, dup)?;
+        self.install(Node::ready(storage));
+        Ok(())
+    }
+
+    /// `GrB_Vector_size`.
+    pub fn size(&self) -> Index {
+        self.n
+    }
+
+    /// `GrB_Vector_nvals`. Forces completion.
+    pub fn nvals(&self) -> Result<usize> {
+        Ok(self.forced_storage()?.nvals())
+    }
+
+    /// `GrB_Vector_extractElement`. Forces completion.
+    pub fn get(&self, i: Index) -> Result<Option<T>> {
+        self.check_bounds(i)?;
+        Ok(self.forced_storage()?.get(i).cloned())
+    }
+
+    /// `GrB_Vector_setElement`. Forces completion, then copy-on-write
+    /// point update.
+    pub fn set(&self, i: Index, v: T) -> Result<()> {
+        self.check_bounds(i)?;
+        let mut storage = (*self.forced_storage()?).clone();
+        storage.set(i, v);
+        self.install(Node::ready(storage));
+        Ok(())
+    }
+
+    /// `GrB_Vector_removeElement`. Forces completion.
+    pub fn remove(&self, i: Index) -> Result<()> {
+        self.check_bounds(i)?;
+        let mut storage = (*self.forced_storage()?).clone();
+        storage.remove(i);
+        self.install(Node::ready(storage));
+        Ok(())
+    }
+
+    /// `GrB_Vector_extractTuples`. Forces completion.
+    pub fn extract_tuples(&self) -> Result<Vec<(Index, T)>> {
+        Ok(self.forced_storage()?.to_tuples())
+    }
+
+    /// Dense rendering with `None` for absent elements. Forces completion.
+    pub fn to_dense(&self) -> Result<Vec<Option<T>>> {
+        Ok(self.forced_storage()?.to_dense())
+    }
+
+    /// `GrB_Vector_clear`.
+    pub fn clear(&self) {
+        self.install(Node::ready(SparseVec::empty(self.n)));
+    }
+
+    /// `GrB_Vector_dup`.
+    pub fn dup(&self) -> Vector<T> {
+        Vector {
+            n: self.n,
+            cell: Arc::new(RwLock::new(self.snapshot())),
+        }
+    }
+
+    /// Force completion of this object alone.
+    pub fn wait(&self) -> Result<()> {
+        let node = self.snapshot() as Arc<dyn Completable>;
+        force(&node)
+    }
+
+    /// `true` once the value is computed and stored.
+    pub fn is_complete(&self) -> bool {
+        self.snapshot().is_complete()
+    }
+
+    fn check_bounds(&self, i: Index) -> Result<()> {
+        if i >= self.n {
+            return Err(Error::InvalidIndex(format!(
+                "index {i} out of bounds for vector of size {}",
+                self.n
+            )));
+        }
+        Ok(())
+    }
+
+    // ----- internal plumbing -----
+
+    pub(crate) fn snapshot(&self) -> Arc<VectorNode<T>> {
+        self.cell.read().clone()
+    }
+
+    pub(crate) fn install(&self, node: Arc<VectorNode<T>>) {
+        *self.cell.write() = node;
+    }
+
+    pub(crate) fn forced_storage(&self) -> Result<Arc<SparseVec<T>>> {
+        let node = self.snapshot();
+        force(&(node.clone() as Arc<dyn Completable>))?;
+        node.ready_storage()
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for Vector<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Vector<{}>", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::binary::Plus;
+
+    #[test]
+    fn new_rejects_zero_size() {
+        assert!(matches!(Vector::<i32>::new(0), Err(Error::InvalidValue(_))));
+        assert!(matches!(
+            Vector::<i32>::from_dense(&[]),
+            Err(Error::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn constructors() {
+        let v = Vector::<i32>::new(5).unwrap();
+        assert_eq!(v.size(), 5);
+        assert_eq!(v.nvals().unwrap(), 0);
+        let v = Vector::from_tuples(5, &[(1, 10), (3, 30)]).unwrap();
+        assert_eq!(v.get(3).unwrap(), Some(30));
+        assert_eq!(v.get(0).unwrap(), None);
+        let v = Vector::from_dense(&[7, 8]).unwrap();
+        assert_eq!(v.nvals().unwrap(), 2);
+    }
+
+    #[test]
+    fn from_tuples_rejects_duplicates() {
+        assert!(Vector::from_tuples(3, &[(1, 1), (1, 2)]).is_err());
+    }
+
+    #[test]
+    fn build_and_mutate() {
+        let v = Vector::<i32>::new(4).unwrap();
+        v.build(&[2, 0, 2], &[5, 1, 6], &Plus::new()).unwrap();
+        assert_eq!(v.extract_tuples().unwrap(), vec![(0, 1), (2, 11)]);
+        assert!(v.build(&[1], &[1], &Plus::new()).is_err()); // not empty
+        v.set(1, 99).unwrap();
+        v.remove(0).unwrap();
+        assert_eq!(v.to_dense().unwrap(), vec![None, Some(99), Some(11), None]);
+        v.clear();
+        assert_eq!(v.nvals().unwrap(), 0);
+    }
+
+    #[test]
+    fn clone_aliases_dup_copies() {
+        let v = Vector::from_tuples(3, &[(0, 1)]).unwrap();
+        let alias = v.clone();
+        let copy = v.dup();
+        v.set(2, 9).unwrap();
+        assert_eq!(alias.get(2).unwrap(), Some(9));
+        assert_eq!(copy.get(2).unwrap(), None);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let v = Vector::<i32>::new(2).unwrap();
+        assert!(matches!(v.get(2), Err(Error::InvalidIndex(_))));
+        assert!(matches!(v.set(5, 1), Err(Error::InvalidIndex(_))));
+    }
+}

@@ -1,0 +1,186 @@
+//! The fundamental GraphBLAS operations of Table II, as methods on
+//! [`Context`]:
+//!
+//! | paper | method(s) |
+//! |---|---|
+//! | mxm | [`Context::mxm`] |
+//! | mxv | [`Context::mxv`] |
+//! | vxm | [`Context::vxm`] |
+//! | eWiseMult | [`Context::ewise_mult_matrix`], [`Context::ewise_mult_vector`] |
+//! | eWiseAdd | [`Context::ewise_add_matrix`], [`Context::ewise_add_vector`] |
+//! | reduce (row) | [`Context::reduce_rows`], plus scalar reductions |
+//! | apply | [`Context::apply_matrix`], [`Context::apply_vector`] |
+//! | transpose | [`Context::transpose`] |
+//! | extract | [`Context::extract_matrix`], [`Context::extract_vector`], [`Context::extract_col`] |
+//! | assign | [`Context::assign_matrix`], [`Context::assign_vector`], [`Context::assign_scalar_matrix`], [`Context::assign_scalar_vector`] |
+//!
+//! Every method follows Figure 2's three-stage semantics: form the
+//! internal inputs per the descriptor, compute the internal result **T**,
+//! then `Z = C ⊙ T` and the masked write. API errors (dimensions,
+//! indices) are checked eagerly, before any computation and in both
+//! modes; execution errors follow §V.
+
+mod apply;
+mod assign;
+mod diag;
+mod ewise;
+mod extract;
+mod mxm;
+mod mxv;
+mod kron;
+mod reduce;
+mod select;
+mod transpose;
+
+use std::sync::Arc;
+
+use crate::error::{dim_check, Error, Result};
+use crate::exec::{Completable, Context, Node};
+use crate::index::Index;
+use crate::object::{Matrix, Vector};
+use crate::scalar::Scalar;
+use crate::storage::csr::Csr;
+use crate::storage::vec::SparseVec;
+
+impl Context {
+    /// Install a pending node for `out` and run/defer it per the mode,
+    /// applying any injected test fault.
+    pub(crate) fn submit_matrix<T: Scalar>(
+        &self,
+        out: &Matrix<T>,
+        deps: Vec<Arc<dyn Completable>>,
+        eval: Box<dyn FnOnce() -> Result<Csr<T>> + Send>,
+    ) -> Result<()> {
+        let eval: Box<dyn FnOnce() -> Result<Csr<T>> + Send> = match self.take_fault() {
+            Some(f) => Box::new(move || Err(f)),
+            None => eval,
+        };
+        let node = Node::pending(deps, eval);
+        out.install(node.clone());
+        self.finish_op(node)
+    }
+
+    pub(crate) fn submit_vector<T: Scalar>(
+        &self,
+        out: &Vector<T>,
+        deps: Vec<Arc<dyn Completable>>,
+        eval: Box<dyn FnOnce() -> Result<SparseVec<T>> + Send>,
+    ) -> Result<()> {
+        let eval: Box<dyn FnOnce() -> Result<SparseVec<T>> + Send> = match self.take_fault() {
+            Some(f) => Box::new(move || Err(f)),
+            None => eval,
+        };
+        let node = Node::pending(deps, eval);
+        out.install(node.clone());
+        self.finish_op(node)
+    }
+}
+
+/// Deferred capture of an operation's *old output value*.
+///
+/// The write stage only consults the previous content of the output
+/// when an accumulator is present or a mask can exclude positions
+/// (merge/replace against old values). When neither holds, the output
+/// is overwritten wholesale — so the old node is **not** captured as a
+/// dependency, which lets nonblocking mode elide entire chains of
+/// overwritten intermediates (§IV lazy evaluation) and releases their
+/// memory immediately.
+pub(crate) struct OldMatrix<T: Scalar> {
+    node: Option<Arc<crate::object::matrix::MatrixNode<T>>>,
+    nrows: Index,
+    ncols: Index,
+}
+
+impl<T: Scalar> OldMatrix<T> {
+    pub(crate) fn capture(c: &Matrix<T>, needed: bool) -> Self {
+        OldMatrix {
+            node: needed.then(|| c.snapshot()),
+            nrows: c.nrows(),
+            ncols: c.ncols(),
+        }
+    }
+
+    pub(crate) fn dep(&self) -> Option<Arc<dyn Completable>> {
+        self.node.clone().map(|n| n as Arc<dyn Completable>)
+    }
+
+    /// The old content — or an empty stand-in when the write stage can't
+    /// observe it anyway.
+    pub(crate) fn storage(&self) -> Result<std::sync::Arc<Csr<T>>> {
+        match &self.node {
+            Some(n) => n.ready_storage(),
+            None => Ok(Arc::new(Csr::empty(self.nrows, self.ncols))),
+        }
+    }
+}
+
+/// Vector counterpart of [`OldMatrix`].
+pub(crate) struct OldVector<T: Scalar> {
+    node: Option<Arc<crate::object::vector::VectorNode<T>>>,
+    n: Index,
+}
+
+impl<T: Scalar> OldVector<T> {
+    pub(crate) fn capture(w: &Vector<T>, needed: bool) -> Self {
+        OldVector {
+            node: needed.then(|| w.snapshot()),
+            n: w.size(),
+        }
+    }
+
+    pub(crate) fn dep(&self) -> Option<Arc<dyn Completable>> {
+        self.node.clone().map(|n| n as Arc<dyn Completable>)
+    }
+
+    pub(crate) fn storage(&self) -> Result<std::sync::Arc<SparseVec<T>>> {
+        match &self.node {
+            Some(n) => n.ready_storage(),
+            None => Ok(Arc::new(SparseVec::empty(self.n))),
+        }
+    }
+}
+
+/// Dimensions of a matrix argument after the descriptor's transposition.
+pub(crate) fn effective_dims<T: Scalar>(m: &Matrix<T>, transposed: bool) -> (Index, Index) {
+    if transposed {
+        (m.ncols(), m.nrows())
+    } else {
+        (m.nrows(), m.ncols())
+    }
+}
+
+/// Mask dimensions must match the output (Figure 2: "the mask dimensions
+/// must match those of the matrix C").
+pub(crate) fn check_mask_dims2(mask: Option<(Index, Index)>, out: (Index, Index)) -> Result<()> {
+    if let Some(md) = mask {
+        dim_check(md == out, || {
+            format!(
+                "mask is {}x{} but output is {}x{}",
+                md.0, md.1, out.0, out.1
+            )
+        })?;
+    }
+    Ok(())
+}
+
+pub(crate) fn check_mask_dims1(mask: Option<Index>, out: Index) -> Result<()> {
+    if let Some(ms) = mask {
+        dim_check(ms == out, || {
+            format!("mask has size {ms} but output has size {out}")
+        })?;
+    }
+    Ok(())
+}
+
+/// Reject duplicate output indices in `assign` targets (the C spec leaves
+/// them undefined; we make the error explicit).
+pub(crate) fn check_no_duplicates(indices: &[Index], what: &str) -> Result<()> {
+    let mut sorted = indices.to_vec();
+    sorted.sort_unstable();
+    if sorted.windows(2).any(|w| w[0] == w[1]) {
+        return Err(Error::InvalidValue(format!(
+            "duplicate {what} indices in assign target"
+        )));
+    }
+    Ok(())
+}

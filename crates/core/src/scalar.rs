@@ -1,0 +1,272 @@
+//! Scalar domains.
+//!
+//! A GraphBLAS collection is defined over a *domain* `D` (paper,
+//! Section III-A). In this binding a domain is any type implementing
+//! [`Scalar`]; the predefined C domains (`GrB_BOOL`, `GrB_INT32`,
+//! `GrB_FP32`, …) map onto the corresponding Rust primitives, and
+//! user-defined domains are ordinary Rust types (see
+//! [`crate::algebra::set::SmallSet`] for the power-set domain of Table I).
+//!
+//! [`AsBool`] renders the C API's implicit cast of any built-in domain to
+//! Boolean, which the paper's BC example relies on when it passes the
+//! integer matrix `numsp` as a mask ("the implicit cast of numsp to
+//! Boolean", Section VII-C).
+
+/// Any type usable as the domain of a GraphBLAS collection.
+///
+/// The bounds are what the storage layer and the deferred-execution engine
+/// need: values are cloned into result collections, moved across worker
+/// threads, and captured in deferred expressions.
+pub trait Scalar: Clone + Send + Sync + std::fmt::Debug + 'static {}
+impl<T: Clone + Send + Sync + std::fmt::Debug + 'static> Scalar for T {}
+
+/// Domains that carry the C API's implicit cast to Boolean, used when a
+/// collection serves as a write mask: a *stored* element contributes to the
+/// mask structure only if its value casts to `true`.
+pub trait AsBool: Scalar {
+    /// The Boolean interpretation of this value (C semantics: nonzero is
+    /// true).
+    fn as_bool(&self) -> bool;
+}
+
+macro_rules! as_bool_int {
+    ($($t:ty),*) => {$(
+        impl AsBool for $t {
+            #[inline]
+            fn as_bool(&self) -> bool { *self != 0 }
+        }
+    )*};
+}
+as_bool_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl AsBool for bool {
+    #[inline]
+    fn as_bool(&self) -> bool {
+        *self
+    }
+}
+
+impl AsBool for f32 {
+    #[inline]
+    fn as_bool(&self) -> bool {
+        *self != 0.0
+    }
+}
+
+impl AsBool for f64 {
+    #[inline]
+    fn as_bool(&self) -> bool {
+        *self != 0.0
+    }
+}
+
+/// Numeric domains supporting the arithmetic predefined operators of
+/// Table IV (`GrB_PLUS_*`, `GrB_TIMES_*`, `GrB_MIN_*`, …).
+///
+/// `zero`/`one` are the identities of + and ×; `min_value`/`max_value` are
+/// the identities of max and min respectively (for floats these are the
+/// infinities, matching the max-plus and min-max rows of Table I, whose
+/// domains are extended with ±∞).
+pub trait NumScalar: Scalar + PartialOrd {
+    fn zero() -> Self;
+    fn one() -> Self;
+    fn min_value() -> Self;
+    fn max_value() -> Self;
+    fn add(&self, rhs: &Self) -> Self;
+    fn sub(&self, rhs: &Self) -> Self;
+    fn mul(&self, rhs: &Self) -> Self;
+    fn div(&self, rhs: &Self) -> Self;
+    /// Additive inverse (`GrB_AINV`); wrapping for unsigned integers.
+    fn neg(&self) -> Self;
+    /// Absolute value (`GrB_ABS`); identity for unsigned integers.
+    fn abs(&self) -> Self;
+    /// Overflow-aware addition for the checked operators (execution-error
+    /// path). `None` signals overflow.
+    fn checked_add(&self, rhs: &Self) -> Option<Self>;
+    /// Overflow-aware multiplication. `None` signals overflow.
+    fn checked_mul(&self, rhs: &Self) -> Option<Self>;
+}
+
+macro_rules! num_scalar_int {
+    ($abs:expr; $($t:ty),*) => {$(
+        impl NumScalar for $t {
+            #[inline] fn zero() -> Self { 0 }
+            #[inline] fn one() -> Self { 1 }
+            #[inline] fn min_value() -> Self { <$t>::MIN }
+            #[inline] fn max_value() -> Self { <$t>::MAX }
+            #[inline] fn add(&self, rhs: &Self) -> Self { self.wrapping_add(*rhs) }
+            #[inline] fn sub(&self, rhs: &Self) -> Self { self.wrapping_sub(*rhs) }
+            #[inline] fn mul(&self, rhs: &Self) -> Self { self.wrapping_mul(*rhs) }
+            #[inline] fn div(&self, rhs: &Self) -> Self {
+                if *rhs == 0 { 0 } else { self.wrapping_div(*rhs) }
+            }
+            #[inline] fn neg(&self) -> Self { self.wrapping_neg() }
+            #[inline] fn abs(&self) -> Self {
+                let f: fn($t) -> $t = $abs;
+                f(*self)
+            }
+            #[inline] fn checked_add(&self, rhs: &Self) -> Option<Self> {
+                <$t>::checked_add(*self, *rhs)
+            }
+            #[inline] fn checked_mul(&self, rhs: &Self) -> Option<Self> {
+                <$t>::checked_mul(*self, *rhs)
+            }
+        }
+    )*};
+}
+num_scalar_int!(|x| x.wrapping_abs(); i8, i16, i32, i64, isize);
+num_scalar_int!(|x| x; u8, u16, u32, u64, usize);
+
+macro_rules! num_scalar_float {
+    ($($t:ty),*) => {$(
+        impl NumScalar for $t {
+            #[inline] fn zero() -> Self { 0.0 }
+            #[inline] fn one() -> Self { 1.0 }
+            #[inline] fn min_value() -> Self { <$t>::NEG_INFINITY }
+            #[inline] fn max_value() -> Self { <$t>::INFINITY }
+            #[inline] fn add(&self, rhs: &Self) -> Self { self + rhs }
+            #[inline] fn sub(&self, rhs: &Self) -> Self { self - rhs }
+            #[inline] fn mul(&self, rhs: &Self) -> Self { self * rhs }
+            #[inline] fn div(&self, rhs: &Self) -> Self { self / rhs }
+            #[inline] fn neg(&self) -> Self { -self }
+            #[inline] fn abs(&self) -> Self { (*self).abs() }
+            #[inline] fn checked_add(&self, rhs: &Self) -> Option<Self> {
+                let r = self + rhs;
+                if r.is_finite() || !(self.is_finite() && rhs.is_finite()) {
+                    Some(r)
+                } else {
+                    None
+                }
+            }
+            #[inline] fn checked_mul(&self, rhs: &Self) -> Option<Self> {
+                let r = self * rhs;
+                if r.is_finite() || !(self.is_finite() && rhs.is_finite()) {
+                    Some(r)
+                } else {
+                    None
+                }
+            }
+        }
+    )*};
+}
+num_scalar_float!(f32, f64);
+
+/// Lossy conversion between built-in domains (the C API's implicit domain
+/// cast, surfaced explicitly in Rust). Follows C conversion rules via `as`.
+pub trait CastFrom<S>: Sized {
+    fn cast_from(s: &S) -> Self;
+}
+
+macro_rules! cast_from_prim {
+    ($src:ty => $($dst:ty),*) => {$(
+        impl CastFrom<$src> for $dst {
+            #[inline]
+            fn cast_from(s: &$src) -> Self { *s as $dst }
+        }
+    )*};
+}
+macro_rules! cast_from_all {
+    ($($src:ty),*) => {$(
+        cast_from_prim!($src => i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+        impl CastFrom<$src> for bool {
+            #[inline]
+            fn cast_from(s: &$src) -> Self { *s != (0 as $src) }
+        }
+    )*};
+}
+cast_from_all!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! cast_from_float {
+    ($($src:ty),*) => {$(
+        cast_from_prim!($src => i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+        impl CastFrom<$src> for bool {
+            #[inline]
+            fn cast_from(s: &$src) -> Self { *s != 0.0 }
+        }
+    )*};
+}
+cast_from_float!(f32, f64);
+
+macro_rules! cast_from_bool {
+    ($($dst:ty),*) => {$(
+        impl CastFrom<bool> for $dst {
+            #[inline]
+            fn cast_from(s: &bool) -> Self { if *s { 1 as $dst } else { 0 as $dst } }
+        }
+    )*};
+}
+cast_from_bool!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+impl CastFrom<bool> for bool {
+    #[inline]
+    fn cast_from(s: &bool) -> Self {
+        *s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_bool_follows_c_nonzero_rule() {
+        assert!(3i32.as_bool());
+        assert!(!0i32.as_bool());
+        assert!((-1i64).as_bool());
+        assert!(0.5f32.as_bool());
+        assert!(!0.0f64.as_bool());
+        assert!(true.as_bool());
+        assert!(!false.as_bool());
+        assert!(255u8.as_bool());
+    }
+
+    #[test]
+    fn numeric_identities() {
+        assert_eq!(i32::zero(), 0);
+        assert_eq!(f64::one(), 1.0);
+        assert_eq!(f32::min_value(), f32::NEG_INFINITY);
+        assert_eq!(f32::max_value(), f32::INFINITY);
+        assert_eq!(u8::max_value(), 255);
+    }
+
+    #[test]
+    fn wrapping_and_checked_arithmetic() {
+        assert_eq!(i8::MAX.add(&1), i8::MIN); // wrapping default
+        assert_eq!(NumScalar::checked_add(&i8::MAX, &1), None);
+        assert_eq!(NumScalar::checked_mul(&100i8, &2), None);
+        assert_eq!(NumScalar::checked_mul(&10i8, &2), Some(20));
+        assert_eq!(1.0f64.checked_add(&2.0), Some(3.0));
+        assert_eq!(f64::MAX.checked_mul(&2.0), None); // overflow to inf
+        // inf inputs are legal values in max-plus domains; not an overflow
+        assert_eq!(
+            f64::INFINITY.checked_add(&1.0),
+            Some(f64::INFINITY)
+        );
+    }
+
+    #[test]
+    fn neg_and_abs() {
+        assert_eq!((-5i32).abs(), 5);
+        assert_eq!(5u32.abs(), 5);
+        assert_eq!(NumScalar::neg(&3i8), -3);
+        assert_eq!(NumScalar::neg(&1u8), 255); // wrapping for unsigned
+        assert_eq!(NumScalar::neg(&2.5f64), -2.5);
+        assert_eq!(NumScalar::abs(&-2.5f32), 2.5);
+    }
+
+    #[test]
+    fn integer_division_by_zero_is_total() {
+        assert_eq!(7i32.div(&0), 0);
+        assert_eq!(7i32.div(&2), 3);
+    }
+
+    #[test]
+    fn casts_follow_c_rules() {
+        assert_eq!(i32::cast_from(&3.9f64), 3);
+        assert_eq!(f32::cast_from(&7i32), 7.0);
+        assert!(bool::cast_from(&-2i8));
+        assert!(!bool::cast_from(&0.0f32));
+        assert_eq!(u8::cast_from(&true), 1);
+        assert_eq!(f64::cast_from(&false), 0.0);
+    }
+}

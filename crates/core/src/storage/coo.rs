@@ -1,0 +1,193 @@
+//! Tuple assembly: the substrate of `GrB_Matrix_build` /
+//! `GrB_Vector_build`.
+//!
+//! `build` copies elements from user tuple arrays into a collection,
+//! combining duplicates with a caller-supplied binary operator (the BC
+//! example passes `GrB_PLUS_INT32` "in case there are any duplicate
+//! entries", Fig. 3 line 28).
+
+use crate::algebra::binary::BinaryOp;
+use crate::error::{Error, Result};
+use crate::index::Index;
+use crate::scalar::Scalar;
+use crate::storage::csr::Csr;
+use crate::storage::vec::SparseVec;
+
+/// Assemble CSR storage from unordered `(row, col, value)` tuples,
+/// combining duplicates with `dup`. Fails with `InvalidIndex` on any
+/// out-of-bounds index (an API error: the target is left untouched by the
+/// caller).
+pub fn build_matrix<T: Scalar, F: BinaryOp<T, T, T>>(
+    nrows: Index,
+    ncols: Index,
+    rows: &[Index],
+    cols: &[Index],
+    vals: &[T],
+    dup: &F,
+) -> Result<Csr<T>> {
+    if rows.len() != cols.len() || rows.len() != vals.len() {
+        return Err(Error::InvalidValue(format!(
+            "tuple arrays have mismatched lengths: {} rows, {} cols, {} vals",
+            rows.len(),
+            cols.len(),
+            vals.len()
+        )));
+    }
+    for (&i, &j) in rows.iter().zip(cols) {
+        if i >= nrows || j >= ncols {
+            return Err(Error::InvalidIndex(format!(
+                "tuple ({i}, {j}) out of bounds for {nrows}x{ncols} matrix"
+            )));
+        }
+    }
+    // Sort tuple order stably by (row, col) so duplicate combination is
+    // deterministic and left-to-right in input order.
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by_key(|&k| (rows[k], cols[k]));
+
+    let mut row_ptr = vec![0usize; nrows + 1];
+    let mut col_idx: Vec<Index> = Vec::with_capacity(order.len());
+    let mut out_vals: Vec<T> = Vec::with_capacity(order.len());
+    let mut last: Option<(Index, Index)> = None;
+    for &k in &order {
+        let key = (rows[k], cols[k]);
+        if last == Some(key) {
+            let v = out_vals.last_mut().expect("duplicate follows a value");
+            *v = dup.apply(v, &vals[k]);
+        } else {
+            row_ptr[key.0 + 1] += 1;
+            col_idx.push(key.1);
+            out_vals.push(vals[k].clone());
+            last = Some(key);
+        }
+    }
+    for i in 0..nrows {
+        row_ptr[i + 1] += row_ptr[i];
+    }
+    if let Some(e) = dup.poll_error() {
+        return Err(e);
+    }
+    Ok(Csr::from_parts(nrows, ncols, row_ptr, col_idx, out_vals))
+}
+
+/// Assemble sparse-vector storage from unordered `(index, value)` tuples,
+/// combining duplicates with `dup`.
+pub fn build_vector<T: Scalar, F: BinaryOp<T, T, T>>(
+    n: Index,
+    indices: &[Index],
+    vals: &[T],
+    dup: &F,
+) -> Result<SparseVec<T>> {
+    if indices.len() != vals.len() {
+        return Err(Error::InvalidValue(format!(
+            "tuple arrays have mismatched lengths: {} indices, {} vals",
+            indices.len(),
+            vals.len()
+        )));
+    }
+    for &i in indices {
+        if i >= n {
+            return Err(Error::InvalidIndex(format!(
+                "index {i} out of bounds for vector of size {n}"
+            )));
+        }
+    }
+    let mut order: Vec<usize> = (0..indices.len()).collect();
+    order.sort_by_key(|&k| indices[k]);
+
+    let mut out_idx: Vec<Index> = Vec::with_capacity(order.len());
+    let mut out_vals: Vec<T> = Vec::with_capacity(order.len());
+    for &k in &order {
+        if out_idx.last() == Some(&indices[k]) {
+            let v = out_vals.last_mut().expect("duplicate follows a value");
+            *v = dup.apply(v, &vals[k]);
+        } else {
+            out_idx.push(indices[k]);
+            out_vals.push(vals[k].clone());
+        }
+    }
+    if let Some(e) = dup.poll_error() {
+        return Err(e);
+    }
+    Ok(SparseVec::from_sorted_parts(n, out_idx, out_vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::binary::{First, Plus};
+
+    #[test]
+    fn build_sorts_unordered_tuples() {
+        let m = build_matrix(
+            3,
+            3,
+            &[2, 0, 1],
+            &[1, 2, 0],
+            &[30, 10, 20],
+            &Plus::<i32>::new(),
+        )
+        .unwrap();
+        assert_eq!(m.to_tuples(), vec![(0, 2, 10), (1, 0, 20), (2, 1, 30)]);
+    }
+
+    #[test]
+    fn duplicates_combined_with_dup_op_in_input_order() {
+        let m = build_matrix(
+            2,
+            2,
+            &[0, 0, 0],
+            &[1, 1, 1],
+            &[1, 2, 4],
+            &Plus::<i32>::new(),
+        )
+        .unwrap();
+        assert_eq!(m.get(0, 1), Some(&7));
+        assert_eq!(m.nvals(), 1);
+
+        // First keeps the earliest tuple in input order
+        let m = build_matrix(2, 2, &[0, 0], &[1, 1], &[9, 5], &First::<i32>::new()).unwrap();
+        assert_eq!(m.get(0, 1), Some(&9));
+    }
+
+    #[test]
+    fn out_of_bounds_is_invalid_index() {
+        let e = build_matrix(2, 2, &[0, 5], &[1, 0], &[1, 2], &Plus::<i32>::new()).unwrap_err();
+        assert!(matches!(e, Error::InvalidIndex(_)));
+        let e = build_matrix(2, 2, &[0], &[2], &[1], &Plus::<i32>::new()).unwrap_err();
+        assert!(matches!(e, Error::InvalidIndex(_)));
+    }
+
+    #[test]
+    fn mismatched_arrays_are_invalid_value() {
+        let e = build_matrix(2, 2, &[0, 1], &[1], &[1, 2], &Plus::<i32>::new()).unwrap_err();
+        assert!(matches!(e, Error::InvalidValue(_)));
+    }
+
+    #[test]
+    fn vector_build_with_duplicates() {
+        let v = build_vector(5, &[3, 1, 3], &[10, 20, 5], &Plus::<i32>::new()).unwrap();
+        assert_eq!(v.to_tuples(), vec![(1, 20), (3, 15)]);
+        assert_eq!(v.nvals(), 2);
+    }
+
+    #[test]
+    fn vector_out_of_bounds() {
+        let e = build_vector(2, &[2], &[1], &Plus::<i32>::new()).unwrap_err();
+        assert!(matches!(e, Error::InvalidIndex(_)));
+    }
+
+    #[test]
+    fn checked_dup_overflow_is_execution_error() {
+        use crate::algebra::binary::CheckedPlus;
+        let e = build_vector(2, &[0, 0], &[i8::MAX, 1], &CheckedPlus::<i8>::new()).unwrap_err();
+        assert!(e.is_execution_error());
+    }
+
+    #[test]
+    fn empty_build() {
+        let m = build_matrix::<i32, _>(3, 4, &[], &[], &[], &Plus::new()).unwrap();
+        assert_eq!(m.nvals(), 0);
+        assert_eq!(m.nrows(), 3);
+    }
+}

@@ -1,0 +1,10 @@
+//! Sparse storage substrate: CSR matrices, sorted sparse vectors, and the
+//! tuple-assembly (`build`) routines.
+
+pub mod coo;
+pub mod csr;
+pub mod vec;
+
+pub use coo::{build_matrix, build_vector};
+pub use csr::Csr;
+pub use vec::SparseVec;

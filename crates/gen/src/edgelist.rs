@@ -1,0 +1,183 @@
+//! The [`EdgeList`] workload container and its transformations.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A directed edge list over vertices `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of vertices.
+    pub n: usize,
+    /// Directed edges `(src, dst)`; duplicates and self-loops allowed
+    /// until [`EdgeList::dedup`] / [`EdgeList::without_self_loops`].
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl EdgeList {
+    pub fn new(n: usize, edges: Vec<(usize, usize)>) -> Self {
+        debug_assert!(edges.iter().all(|&(u, v)| u < n && v < n));
+        EdgeList { n, edges }
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sort and remove duplicate edges.
+    pub fn dedup(mut self) -> Self {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        self
+    }
+
+    /// Remove self-loops.
+    pub fn without_self_loops(mut self) -> Self {
+        self.edges.retain(|&(u, v)| u != v);
+        self
+    }
+
+    /// Add the reverse of every edge (then dedup) — turns a directed list
+    /// into an undirected (symmetric) one.
+    pub fn symmetrize(mut self) -> Self {
+        let rev: Vec<(usize, usize)> = self.edges.iter().map(|&(u, v)| (v, u)).collect();
+        self.edges.extend(rev);
+        self.dedup()
+    }
+
+    /// Apply a deterministic random relabeling of the vertices —
+    /// decorrelates vertex ids from generator structure (standard for
+    /// RMAT workloads).
+    pub fn permuted(mut self, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9E37_79B9);
+        let mut perm: Vec<usize> = (0..self.n).collect();
+        perm.shuffle(&mut rng);
+        for e in &mut self.edges {
+            *e = (perm[e.0], perm[e.1]);
+        }
+        self
+    }
+
+    /// The out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.n];
+        for &(u, _) in &self.edges {
+            d[u] += 1;
+        }
+        d
+    }
+
+    /// Tuples `(i, j, true)` for building a Boolean GraphBLAS matrix.
+    pub fn bool_tuples(&self) -> Vec<(usize, usize, bool)> {
+        self.edges.iter().map(|&(u, v)| (u, v, true)).collect()
+    }
+
+    /// Tuples `(i, j, 1)` for an integer adjacency matrix ("presence of
+    /// an edge is indicated by a stored 1" — the BC example's input).
+    pub fn int_tuples(&self) -> Vec<(usize, usize, i32)> {
+        self.edges.iter().map(|&(u, v)| (u, v, 1)).collect()
+    }
+
+    /// Deterministic uniform weights in `[lo, hi)` keyed by `seed`.
+    pub fn weighted_tuples(&self, lo: f64, hi: f64, seed: u64) -> Vec<(usize, usize, f64)> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB5E0_2C2B);
+        self.edges
+            .iter()
+            .map(|&(u, v)| (u, v, rng.random_range(lo..hi)))
+            .collect()
+    }
+
+    /// Adjacency-list form (for the `graphblas-reference` baselines).
+    pub fn to_adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(u, v) in &self.edges {
+            adj[u].push(v);
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        adj
+    }
+
+    /// Weighted adjacency-list form with the same weights as
+    /// [`EdgeList::weighted_tuples`] for the same seed.
+    pub fn to_weighted_adjacency(&self, lo: f64, hi: f64, seed: u64) -> Vec<Vec<(usize, f64)>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for (u, v, w) in self.weighted_tuples(lo, hi, seed) {
+            adj[u].push((v, w));
+        }
+        for l in &mut adj {
+            l.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeList {
+        EdgeList::new(4, vec![(0, 1), (1, 2), (0, 1), (2, 2), (3, 0)])
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let e = sample().dedup();
+        assert_eq!(e.edges, vec![(0, 1), (1, 2), (2, 2), (3, 0)]);
+        let e = e.without_self_loops();
+        assert_eq!(e.edges, vec![(0, 1), (1, 2), (3, 0)]);
+    }
+
+    #[test]
+    fn symmetrize_adds_reverses() {
+        let e = EdgeList::new(3, vec![(0, 1), (1, 2)]).symmetrize();
+        assert_eq!(e.edges, vec![(0, 1), (1, 0), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn permutation_is_deterministic_and_structure_preserving() {
+        let e = EdgeList::new(10, vec![(0, 1), (1, 2), (2, 3)]);
+        let p1 = e.clone().permuted(7);
+        let p2 = e.clone().permuted(7);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.num_edges(), 3);
+        // a permutation preserves the degree multiset
+        let mut d1 = e.out_degrees();
+        let mut d2 = p1.out_degrees();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn tuple_conversions() {
+        let e = EdgeList::new(3, vec![(0, 1), (1, 2)]);
+        assert_eq!(e.bool_tuples(), vec![(0, 1, true), (1, 2, true)]);
+        assert_eq!(e.int_tuples(), vec![(0, 1, 1), (1, 2, 1)]);
+        let w = e.weighted_tuples(1.0, 2.0, 42);
+        assert_eq!(w.len(), 2);
+        assert!(w.iter().all(|&(_, _, x)| (1.0..2.0).contains(&x)));
+        // deterministic
+        assert_eq!(w, e.weighted_tuples(1.0, 2.0, 42));
+        assert_ne!(w, e.weighted_tuples(1.0, 2.0, 43));
+    }
+
+    #[test]
+    fn adjacency_matches_weighted_adjacency() {
+        let e = EdgeList::new(4, vec![(2, 0), (0, 3), (0, 1)]);
+        let adj = e.to_adjacency();
+        assert_eq!(adj[0], vec![1, 3]);
+        assert_eq!(adj[2], vec![0]);
+        let wadj = e.to_weighted_adjacency(0.0, 1.0, 5);
+        assert_eq!(
+            wadj[0].iter().map(|x| x.0).collect::<Vec<_>>(),
+            adj[0]
+        );
+    }
+
+    #[test]
+    fn degrees() {
+        assert_eq!(sample().out_degrees(), vec![2, 1, 1, 1]);
+    }
+}

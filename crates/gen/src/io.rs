@@ -1,0 +1,131 @@
+//! Plain-text edge-list I/O: the `src dst [weight]` lines-and-comments
+//! format shared by SNAP dumps and Matrix-Market-adjacent tooling, so
+//! examples can run on real datasets when available.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::edgelist::EdgeList;
+
+/// Parse an edge list from `src dst` lines. `#` and `%` lines are
+/// comments; vertex count is `max id + 1` unless a larger `n` is given.
+pub fn read_edge_list(r: impl Read, min_n: Option<usize>) -> std::io::Result<EdgeList> {
+    let mut edges = Vec::new();
+    let mut max_id = 0usize;
+    for (lineno, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let parse = |s: Option<&str>| -> std::io::Result<usize> {
+            s.and_then(|x| x.parse().ok()).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: expected `src dst`", lineno + 1),
+                )
+            })
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = match (edges.is_empty(), min_n) {
+        (true, None) => 0,
+        (true, Some(n)) => n,
+        (false, None) => max_id + 1,
+        (false, Some(n)) => n.max(max_id + 1),
+    };
+    Ok(EdgeList::new(n, edges))
+}
+
+/// Parse a weighted edge list from `src dst weight` lines.
+pub fn read_weighted_edge_list(
+    r: impl Read,
+) -> std::io::Result<(usize, Vec<(usize, usize, f64)>)> {
+    let mut edges = Vec::new();
+    let mut max_id = 0usize;
+    for (lineno, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let bad = || {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: expected `src dst weight`", lineno + 1),
+            )
+        };
+        let mut parts = t.split_whitespace();
+        let u: usize = parts.next().and_then(|x| x.parse().ok()).ok_or_else(bad)?;
+        let v: usize = parts.next().and_then(|x| x.parse().ok()).ok_or_else(bad)?;
+        let w: f64 = parts.next().and_then(|x| x.parse().ok()).ok_or_else(bad)?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v, w));
+    }
+    let n = if edges.is_empty() { 0 } else { max_id + 1 };
+    Ok((n, edges))
+}
+
+/// Write an edge list as `src dst` lines with a `#` header.
+pub fn write_edge_list(w: impl Write, g: &EdgeList) -> std::io::Result<()> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "# {} vertices, {} edges", g.n, g.num_edges())?;
+    for &(u, v) in &g.edges {
+        writeln!(out, "{u} {v}")?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let g = EdgeList::new(5, vec![(0, 1), (3, 4), (2, 0)]);
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &g).unwrap();
+        let back = read_edge_list(&buf[..], None).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n% another comment\n\n0 1\n 2 3 \n";
+        let g = read_edge_list(text.as_bytes(), None).unwrap();
+        assert_eq!(g.n, 4);
+        assert_eq!(g.edges, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn min_n_expands_vertex_count() {
+        let g = read_edge_list("0 1\n".as_bytes(), Some(10)).unwrap();
+        assert_eq!(g.n, 10);
+        let g = read_edge_list("0 9\n".as_bytes(), Some(3)).unwrap();
+        assert_eq!(g.n, 10); // max id wins when larger
+    }
+
+    #[test]
+    fn weighted_parse() {
+        let (n, e) = read_weighted_edge_list("0 1 2.5\n1 2 0.5\n".as_bytes()).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(e, vec![(0, 1, 2.5), (1, 2, 0.5)]);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(read_edge_list("0\n".as_bytes(), None).is_err());
+        assert!(read_edge_list("a b\n".as_bytes(), None).is_err());
+        assert!(read_weighted_edge_list("0 1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = read_edge_list("".as_bytes(), None).unwrap();
+        assert_eq!(g.n, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # graphblas-gen
+//!
+//! Deterministic synthetic graph generators for the GraphBLAS
+//! reproduction: RMAT/Kronecker graphs (the SSCA/Graph500-style workload
+//! behind the paper's batched-BC lineage), Erdős–Rényi graphs, and the
+//! structured families (paths, cycles, grids, stars, trees, complete and
+//! bipartite graphs) used by tests and benchmarks.
+//!
+//! All generators are seeded (`rand_chacha::ChaCha8Rng`) and produce an
+//! [`EdgeList`] — a plain `(src, dst)` list plus the vertex count — with
+//! helpers to deduplicate, symmetrize, permute labels, strip self-loops,
+//! and attach deterministic weights.
+
+pub mod edgelist;
+pub mod io;
+pub mod random;
+pub mod social;
+pub mod structured;
+
+pub use edgelist::EdgeList;
+pub use io::{read_edge_list, read_weighted_edge_list, write_edge_list};
+pub use random::{erdos_renyi_gnm, erdos_renyi_gnp, rmat, RmatParams};
+pub use social::{barabasi_albert, watts_strogatz};
+pub use structured::{binary_tree, bipartite_random, complete, cycle, grid2d, path, star};

@@ -1,0 +1,169 @@
+//! Random graph generators: Erdős–Rényi and RMAT/Kronecker.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::edgelist::EdgeList;
+
+/// `G(n, p)`: every ordered pair (no self-loops) independently with
+/// probability `p`. O(n²) — intended for small n; use
+/// [`erdos_renyi_gnm`] at scale.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> EdgeList {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.random::<f64>() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+/// `G(n, m)`: `m` distinct directed edges drawn uniformly (no
+/// self-loops). Sampling with rejection; requires
+/// `m <= n*(n-1)/2` to terminate quickly.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(n >= 2, "need at least two vertices");
+    assert!(
+        m <= n * (n - 1) / 2,
+        "too many edges requested for rejection sampling"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v && seen.insert((u, v)) {
+            edges.push((u, v));
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+/// RMAT quadrant probabilities. The Graph500 defaults
+/// (`a=0.57, b=0.19, c=0.19, d=0.05`) produce the skewed degree
+/// distributions of social-network-like graphs.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+}
+
+/// RMAT/Kronecker generator: `2^scale` vertices,
+/// `edge_factor * 2^scale` edge insertions (duplicates kept, as in
+/// Graph500 — call `.dedup()` for a simple graph). Deterministic in
+/// `seed`.
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> EdgeList {
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let RmatParams { a, b, c, d } = params;
+    let total = a + b + c + d;
+    assert!((total - 1.0).abs() < 1e-9, "quadrant probabilities must sum to 1");
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for bit in (0..scale).rev() {
+            let r: f64 = rng.random();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << bit;
+            v |= dv << bit;
+        }
+        edges.push((u, v));
+    }
+    EdgeList::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_determinism_and_bounds() {
+        let g1 = erdos_renyi_gnp(30, 0.2, 1);
+        let g2 = erdos_renyi_gnp(30, 0.2, 1);
+        assert_eq!(g1, g2);
+        assert_ne!(g1, erdos_renyi_gnp(30, 0.2, 2));
+        assert!(g1.edges.iter().all(|&(u, v)| u != v && u < 30 && v < 30));
+        // expectation ~ 0.2 * 30*29 = 174; loose sanity bounds
+        assert!(g1.num_edges() > 80 && g1.num_edges() < 300);
+    }
+
+    #[test]
+    fn gnm_exact_count_and_distinct() {
+        let g = erdos_renyi_gnm(50, 100, 3);
+        assert_eq!(g.num_edges(), 100);
+        let dd = g.clone().dedup();
+        assert_eq!(dd.num_edges(), 100); // already distinct
+        assert!(g.edges.iter().all(|&(u, v)| u != v));
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(8, 8, RmatParams::default(), 42);
+        assert_eq!(g.n, 256);
+        assert_eq!(g.num_edges(), 8 * 256);
+        assert!(g.edges.iter().all(|&(u, v)| u < 256 && v < 256));
+        // determinism
+        assert_eq!(g, rmat(8, 8, RmatParams::default(), 42));
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // with Graph500 parameters the max out-degree should be far above
+        // the mean (power-law-ish head)
+        let g = rmat(10, 16, RmatParams::default(), 7).dedup();
+        let deg = g.out_degrees();
+        let max = *deg.iter().max().unwrap();
+        let mean = g.num_edges() as f64 / g.n as f64;
+        assert!(
+            (max as f64) > 4.0 * mean,
+            "expected a heavy hub: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn rmat_uniform_params_not_skewed_like_default() {
+        let uni = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+        };
+        let g_uni = rmat(10, 16, uni, 7).dedup();
+        let g_def = rmat(10, 16, RmatParams::default(), 7).dedup();
+        let max_uni = *g_uni.out_degrees().iter().max().unwrap();
+        let max_def = *g_def.out_degrees().iter().max().unwrap();
+        assert!(max_def > 2 * max_uni, "default RMAT should be much more skewed");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rmat_rejects_bad_params() {
+        rmat(4, 2, RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Social-network-style generators beyond RMAT: Barabási–Albert
+//! preferential attachment (power-law degrees) and Watts–Strogatz small
+//! worlds (high clustering, short paths) — the workload families the
+//! paper's introduction motivates ("graphs such as those arising in
+//! social networks").
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::edgelist::EdgeList;
+
+/// Barabási–Albert preferential attachment: starts from a small clique
+/// of `m` vertices; each new vertex attaches `m` edges to existing
+/// vertices with probability proportional to their degree. Produces the
+/// power-law degree distributions of citation/social graphs. Undirected
+/// (both directions stored).
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(n > m, "need more vertices than the seed clique");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // repeated-endpoint list: sampling uniformly from it IS
+    // degree-proportional sampling
+    let mut endpoints: Vec<usize> = Vec::with_capacity(2 * n * m);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // seed clique on vertices 0..=m
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut targets = std::collections::BTreeSet::new();
+        while targets.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != v {
+                targets.insert(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((v, t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    let sym: Vec<(usize, usize)> = edges
+        .iter()
+        .flat_map(|&(u, v)| [(u, v), (v, u)])
+        .collect();
+    EdgeList::new(n, sym).dedup()
+}
+
+/// Watts–Strogatz small world: a ring lattice where every vertex links
+/// to its `k/2` nearest neighbours on each side, with each edge rewired
+/// to a random endpoint with probability `beta`. Undirected (both
+/// directions stored); `k` must be even and `< n`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> EdgeList {
+    assert!(k % 2 == 0, "k must be even");
+    assert!(k < n, "k must be below n");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for u in 0..n {
+        for d in 1..=(k / 2) {
+            let mut v = (u + d) % n;
+            if rng.random::<f64>() < beta {
+                // rewire to a uniform non-self target
+                loop {
+                    let cand = rng.random_range(0..n);
+                    if cand != u {
+                        v = cand;
+                        break;
+                    }
+                }
+            }
+            edges.push((u, v));
+            edges.push((v, u));
+        }
+    }
+    EdgeList::new(n, edges).dedup()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ba_shape_and_determinism() {
+        let g = barabasi_albert(200, 3, 5);
+        assert_eq!(g.n, 200);
+        assert_eq!(g, barabasi_albert(200, 3, 5));
+        assert_ne!(g, barabasi_albert(200, 3, 6));
+        // symmetric
+        let set: std::collections::BTreeSet<_> = g.edges.iter().copied().collect();
+        assert!(g.edges.iter().all(|&(u, v)| set.contains(&(v, u))));
+    }
+
+    #[test]
+    fn ba_has_power_law_head() {
+        let g = barabasi_albert(500, 2, 9);
+        let deg = g.out_degrees();
+        let max = *deg.iter().max().unwrap();
+        let mean = g.num_edges() as f64 / g.n as f64;
+        assert!(
+            (max as f64) > 5.0 * mean,
+            "expected hubs: max {max}, mean {mean:.1}"
+        );
+        // every late vertex has at least m undirected edges
+        assert!(deg.iter().all(|&d| d >= 2));
+    }
+
+    #[test]
+    fn ws_lattice_at_beta_zero() {
+        let g = watts_strogatz(20, 4, 0.0, 1);
+        // pure ring lattice: every vertex has degree exactly k
+        assert!(g.out_degrees().iter().all(|&d| d == 4));
+        assert_eq!(g.num_edges(), 20 * 4);
+    }
+
+    #[test]
+    fn ws_rewiring_preserves_scale() {
+        let g = watts_strogatz(100, 6, 0.3, 2);
+        assert_eq!(g.n, 100);
+        // rewiring may merge parallel edges, but stays near n*k arcs
+        assert!(g.num_edges() > 100 * 5 && g.num_edges() <= 100 * 6);
+        assert_eq!(g, watts_strogatz(100, 6, 0.3, 2));
+        // still symmetric
+        let set: std::collections::BTreeSet<_> = g.edges.iter().copied().collect();
+        assert!(g.edges.iter().all(|&(u, v)| set.contains(&(v, u))));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn ws_rejects_odd_k() {
+        watts_strogatz(10, 3, 0.1, 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Structured graph families with known analytic properties — the
+//! fixtures of choice for exact-answer tests (path diameters, star
+//! centralities, grid distances, complete-graph counts).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::edgelist::EdgeList;
+
+/// Directed path `0 -> 1 -> … -> n-1`.
+pub fn path(n: usize) -> EdgeList {
+    EdgeList::new(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect())
+}
+
+/// Directed cycle `0 -> 1 -> … -> n-1 -> 0`.
+pub fn cycle(n: usize) -> EdgeList {
+    EdgeList::new(n, (0..n).map(|i| (i, (i + 1) % n)).collect())
+}
+
+/// Star with center `0`: undirected (both directions stored).
+pub fn star(n: usize) -> EdgeList {
+    let mut edges = Vec::with_capacity(2 * n.saturating_sub(1));
+    for v in 1..n {
+        edges.push((0, v));
+        edges.push((v, 0));
+    }
+    EdgeList::new(n, edges)
+}
+
+/// Complete directed graph (no self-loops).
+pub fn complete(n: usize) -> EdgeList {
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1));
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+/// 4-neighbor 2D grid, undirected (both directions stored). Vertex
+/// `(r, c)` is `r * cols + c`.
+pub fn grid2d(rows: usize, cols: usize) -> EdgeList {
+    let n = rows * cols;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                edges.push((v, v + 1));
+                edges.push((v + 1, v));
+            }
+            if r + 1 < rows {
+                edges.push((v, v + cols));
+                edges.push((v + cols, v));
+            }
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+/// Complete binary tree of the given depth (depth 0 = single vertex),
+/// edges directed parent -> child.
+pub fn binary_tree(depth: u32) -> EdgeList {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut edges = Vec::with_capacity(n - 1);
+    for v in 0..n {
+        for child in [2 * v + 1, 2 * v + 2] {
+            if child < n {
+                edges.push((v, child));
+            }
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+/// Random bipartite graph: left vertices `0..nl`, right vertices
+/// `nl..nl+nr`, each left-right pair independently with probability `p`,
+/// edges directed left -> right.
+pub fn bipartite_random(nl: usize, nr: usize, p: f64, seed: u64) -> EdgeList {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..nl {
+        for v in 0..nr {
+            if rng.random::<f64>() < p {
+                edges.push((u, nl + v));
+            }
+        }
+    }
+    EdgeList::new(nl + nr, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_cycle() {
+        let p = path(4);
+        assert_eq!(p.edges, vec![(0, 1), (1, 2), (2, 3)]);
+        let c = cycle(3);
+        assert_eq!(c.edges, vec![(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(path(0).num_edges(), 0);
+    }
+
+    #[test]
+    fn star_degrees() {
+        let s = star(5);
+        let deg = s.out_degrees();
+        assert_eq!(deg[0], 4);
+        assert!(deg[1..].iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn complete_count() {
+        assert_eq!(complete(5).num_edges(), 20);
+        assert_eq!(complete(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn grid_edges() {
+        let g = grid2d(2, 3); // 6 vertices; 7 undirected edges = 14 arcs
+        assert_eq!(g.n, 6);
+        assert_eq!(g.num_edges(), 14);
+        // corner (0,0) has two neighbors
+        assert_eq!(g.out_degrees()[0], 2);
+    }
+
+    #[test]
+    fn tree_structure() {
+        let t = binary_tree(3); // 15 vertices, 14 edges
+        assert_eq!(t.n, 15);
+        assert_eq!(t.num_edges(), 14);
+        // root has two children, leaves none
+        let deg = t.out_degrees();
+        assert_eq!(deg[0], 2);
+        assert_eq!(deg[14], 0);
+    }
+
+    #[test]
+    fn bipartite_partitions() {
+        let b = bipartite_random(4, 3, 0.9, 1);
+        assert_eq!(b.n, 7);
+        assert!(b.edges.iter().all(|&(u, v)| u < 4 && (4..7).contains(&v)));
+        assert_eq!(b, bipartite_random(4, 3, 0.9, 1));
+    }
+}

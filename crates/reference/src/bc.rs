@@ -1,0 +1,139 @@
+//! Brandes' betweenness centrality (Brandes 2001) — the paper's
+//! reference [9], implemented the classic way: one BFS per source with a
+//! stack-ordered backward accumulation. O(mn) on unweighted graphs.
+//!
+//! This is the oracle the GraphBLAS `BC_update` (Figure 3) is
+//! cross-validated against, and the baseline of the Figure 3 benchmark.
+
+use std::collections::VecDeque;
+
+use crate::AdjGraph;
+
+/// Betweenness centrality of every vertex, summed over the given source
+/// vertices only (the "batched" quantity Figure 3's `BC_update`
+/// computes: contributions of shortest paths *starting at* the batch).
+pub fn brandes_batch(g: &AdjGraph, sources: &[usize]) -> Vec<f64> {
+    let n = g.n;
+    let mut bc = vec![0.0f64; n];
+    // reusable per-source state
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![-1i64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+
+    for &s in sources {
+        // reset
+        for v in 0..n {
+            sigma[v] = 0.0;
+            dist[v] = -1;
+            delta[v] = 0.0;
+            preds[v].clear();
+        }
+        order.clear();
+        queue.clear();
+
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in &g.adj[v] {
+                if dist[w] < 0 {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w] == dist[v] + 1 {
+                    sigma[w] += sigma[v];
+                    preds[w].push(v);
+                }
+            }
+        }
+        // backward accumulation in reverse BFS order
+        for &w in order.iter().rev() {
+            for &v in &preds[w] {
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s {
+                bc[w] += delta[w];
+            }
+        }
+    }
+    bc
+}
+
+/// Full betweenness centrality (all sources).
+pub fn brandes(g: &AdjGraph) -> Vec<f64> {
+    let all: Vec<usize> = (0..g.n).collect();
+    brandes_batch(g, &all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn path_graph_centrality() {
+        // 0 -> 1 -> 2 -> 3: interior vertices carry the through-paths
+        let g = AdjGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        // paths: 0->2 via 1; 0->3 via 1,2; 1->3 via 2 => bc(1)=2, bc(2)=2
+        close(&brandes(&g), &[0.0, 2.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn undirected_star_center_carries_everything() {
+        let mut edges = Vec::new();
+        for v in 1..5 {
+            edges.push((0, v));
+            edges.push((v, 0));
+        }
+        let g = AdjGraph::from_edges(5, &edges);
+        // every leaf pair's shortest path passes the center: 4*3 = 12
+        let bc = brandes(&g);
+        close(&bc, &[12.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn diamond_splits_credit() {
+        // 0 -> {1, 2} -> 3: two equal shortest paths share the credit
+        let g = AdjGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        close(&brandes(&g), &[0.0, 0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn batch_sums_to_full() {
+        let g = AdjGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (4, 5), (0, 2)],
+        );
+        let full = brandes(&g);
+        let part1 = brandes_batch(&g, &[0, 1, 2]);
+        let part2 = brandes_batch(&g, &[3, 4, 5]);
+        let summed: Vec<f64> = part1.iter().zip(&part2).map(|(a, b)| a + b).collect();
+        close(&full, &summed);
+    }
+
+    #[test]
+    fn disconnected_vertices_contribute_nothing() {
+        let g = AdjGraph::from_edges(4, &[(0, 1), (1, 2)]);
+        let bc = brandes(&g);
+        close(&bc, &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn cycle_symmetry() {
+        let g = AdjGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let bc = brandes(&g);
+        // directed 4-cycle: all vertices equivalent
+        assert!(bc.iter().all(|&x| (x - bc[0]).abs() < 1e-9));
+        assert!(bc[0] > 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Additional centrality/decomposition baselines: closeness centrality
+//! (BFS per source) and k-core peeling (bucket-less iterative peel).
+
+use std::collections::VecDeque;
+
+use crate::AdjGraph;
+
+/// Out-closeness `C(v) = (r - 1) / Σ d(v, t)` over vertices reachable
+/// from `v`; 0 when nothing is reachable.
+pub fn closeness_centrality(g: &AdjGraph) -> Vec<f64> {
+    let n = g.n;
+    let mut out = vec![0.0; n];
+    let mut dist = vec![usize::MAX; n];
+    let mut q = VecDeque::new();
+    for s in 0..n {
+        dist.fill(usize::MAX);
+        dist[s] = 0;
+        q.clear();
+        q.push_back(s);
+        let mut reach = 0usize;
+        let mut total = 0usize;
+        while let Some(v) = q.pop_front() {
+            for &w in &g.adj[v] {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[v] + 1;
+                    reach += 1;
+                    total += dist[w];
+                    q.push_back(w);
+                }
+            }
+        }
+        if reach > 0 && total > 0 {
+            out[s] = reach as f64 / total as f64;
+        }
+    }
+    out
+}
+
+/// Vertices of the k-core (treating the graph as undirected/symmetric),
+/// by iterative peeling.
+pub fn k_core_members(g: &AdjGraph, k: usize) -> Vec<usize> {
+    let n = g.n;
+    let mut deg: Vec<usize> = g.adj.iter().map(|l| l.len()).collect();
+    let mut alive = vec![true; n];
+    loop {
+        let peel: Vec<usize> = (0..n).filter(|&v| alive[v] && deg[v] < k).collect();
+        if peel.is_empty() {
+            break;
+        }
+        for v in peel {
+            alive[v] = false;
+            for &w in &g.adj[v] {
+                if alive[w] {
+                    deg[w] = deg[w].saturating_sub(1);
+                }
+            }
+            deg[v] = 0;
+        }
+    }
+    (0..n).filter(|&v| alive[v] && deg[v] >= k).collect()
+}
+
+/// Core number per vertex.
+pub fn core_numbers(g: &AdjGraph) -> Vec<usize> {
+    let n = g.n;
+    let mut core = vec![0usize; n];
+    let mut k = 1usize;
+    loop {
+        let members = k_core_members(g, k);
+        if members.is_empty() {
+            return core;
+        }
+        for v in members {
+            core[v] = k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> AdjGraph {
+        let mut all = Vec::new();
+        for &(u, v) in edges {
+            all.push((u, v));
+            all.push((v, u));
+        }
+        AdjGraph::from_edges(n, &all)
+    }
+
+    #[test]
+    fn closeness_path_center() {
+        let g = undirected(3, &[(0, 1), (1, 2)]);
+        let c = closeness_centrality(&g);
+        assert!((c[1] - 1.0).abs() < 1e-12);
+        assert!((c[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_zero_for_sinks() {
+        let g = AdjGraph::from_edges(2, &[(0, 1)]);
+        let c = closeness_centrality(&g);
+        assert_eq!(c[1], 0.0);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_core_triangle_with_tail() {
+        let g = undirected(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+        assert_eq!(k_core_members(&g, 2), vec![0, 1, 2]);
+        assert_eq!(core_numbers(&g), vec![2, 2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn star_collapses() {
+        let g = undirected(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert!(k_core_members(&g, 2).is_empty());
+        assert_eq!(core_numbers(&g), vec![1; 5]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Connected components via union-find (treating edges as undirected).
+
+use crate::AdjGraph;
+
+struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+}
+
+/// Component label of every vertex; labels are the *minimum vertex id*
+/// of the component (matching the min-semiring label-propagation
+/// GraphBLAS algorithm, so results compare directly).
+pub fn connected_components(g: &AdjGraph) -> Vec<usize> {
+    let mut uf = UnionFind::new(g.n);
+    for (u, l) in g.adj.iter().enumerate() {
+        for &v in l {
+            uf.union(u, v);
+        }
+    }
+    // canonical min-id labels
+    let mut min_label = vec![usize::MAX; g.n];
+    for v in 0..g.n {
+        let r = uf.find(v);
+        min_label[r] = min_label[r].min(v);
+    }
+    (0..g.n).map(|v| min_label[uf.find(v)]).collect()
+}
+
+/// Number of connected components.
+pub fn num_components(g: &AdjGraph) -> usize {
+    let labels = connected_components(g);
+    let mut uniq: Vec<usize> = labels;
+    uniq.sort_unstable();
+    uniq.dedup();
+    uniq.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_components() {
+        let g = AdjGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(connected_components(&g), vec![0, 0, 0, 3, 3]);
+        assert_eq!(num_components(&g), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_components() {
+        let g = AdjGraph::from_edges(3, &[]);
+        assert_eq!(connected_components(&g), vec![0, 1, 2]);
+        assert_eq!(num_components(&g), 3);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        let g = AdjGraph::from_edges(3, &[(2, 0)]);
+        let labels = connected_components(&g);
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn single_component_min_label() {
+        let g = AdjGraph::from_edges(4, &[(3, 2), (2, 1), (1, 0)]);
+        assert_eq!(connected_components(&g), vec![0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Power-iteration PageRank baseline.
+
+use crate::AdjGraph;
+
+/// PageRank with damping factor `d`, iterated until the L1 change drops
+/// below `tol` or `max_iters` is reached. Dangling-vertex mass is
+/// redistributed uniformly. Returns `(ranks, iterations)`.
+pub fn pagerank(g: &AdjGraph, d: f64, tol: f64, max_iters: usize) -> (Vec<f64>, usize) {
+    let n = g.n;
+    let out_deg: Vec<usize> = g.adj.iter().map(|l| l.len()).collect();
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for it in 1..=max_iters {
+        let dangling: f64 = (0..n)
+            .filter(|&v| out_deg[v] == 0)
+            .map(|v| rank[v])
+            .sum();
+        let base = (1.0 - d) / n as f64 + d * dangling / n as f64;
+        next.iter_mut().for_each(|x| *x = base);
+        for u in 0..n {
+            if out_deg[u] > 0 {
+                let share = d * rank[u] / out_deg[u] as f64;
+                for &v in &g.adj[u] {
+                    next[v] += share;
+                }
+            }
+        }
+        let diff: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if diff < tol {
+            return (rank, it);
+        }
+    }
+    (rank, max_iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = AdjGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let (r, _) = pagerank(&g, 0.85, 1e-12, 500);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        let g = AdjGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let (r, _) = pagerank(&g, 0.85, 1e-12, 500);
+        for &x in &r {
+            assert!((x - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hub_attracts_rank() {
+        // everyone points at 3
+        let g = AdjGraph::from_edges(4, &[(0, 3), (1, 3), (2, 3)]);
+        let (r, _) = pagerank(&g, 0.85, 1e-12, 500);
+        assert!(r[3] > r[0] * 2.0);
+    }
+
+    #[test]
+    fn dangling_mass_redistributed() {
+        // 0 -> 1, 1 dangles: ranks must still sum to 1
+        let g = AdjGraph::from_edges(2, &[(0, 1)]);
+        let (r, _) = pagerank(&g, 0.85, 1e-12, 500);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(r[1] > r[0]);
+    }
+
+    #[test]
+    fn converges_and_reports_iterations() {
+        let g = AdjGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let (_, iters) = pagerank(&g, 0.85, 1e-10, 500);
+        assert!(iters > 0 && iters < 500);
+    }
+}

@@ -1,0 +1,132 @@
+//! Shortest-path baselines: Bellman–Ford (matches the min-plus
+//! GraphBLAS iteration step-for-step) and Dijkstra (the classic
+//! comparator).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::WeightedGraph;
+
+/// Single-source shortest path distances by Bellman–Ford; `None` for
+/// unreachable vertices. Requires no negative cycles reachable from
+/// `src` (returns `Err` if one is detected).
+pub fn bellman_ford(g: &WeightedGraph, src: usize) -> Result<Vec<Option<f64>>, String> {
+    let mut dist: Vec<Option<f64>> = vec![None; g.n];
+    dist[src] = Some(0.0);
+    for round in 0..g.n {
+        let mut changed = false;
+        for u in 0..g.n {
+            if let Some(du) = dist[u] {
+                for &(v, w) in &g.adj[u] {
+                    let cand = du + w;
+                    if dist[v].is_none_or(|dv| cand < dv) {
+                        dist[v] = Some(cand);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return Ok(dist);
+        }
+        if round == g.n - 1 {
+            return Err("negative cycle reachable from source".into());
+        }
+    }
+    Ok(dist)
+}
+
+#[derive(PartialEq)]
+struct HeapItem(f64, usize);
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // min-heap via reversed comparison on the distance
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.1.cmp(&self.1))
+    }
+}
+
+/// Single-source shortest path distances by Dijkstra; requires
+/// non-negative weights.
+pub fn dijkstra(g: &WeightedGraph, src: usize) -> Vec<Option<f64>> {
+    let mut dist: Vec<Option<f64>> = vec![None; g.n];
+    let mut heap = BinaryHeap::new();
+    dist[src] = Some(0.0);
+    heap.push(HeapItem(0.0, src));
+    while let Some(HeapItem(d, u)) = heap.pop() {
+        if dist[u].is_some_and(|du| d > du) {
+            continue; // stale entry
+        }
+        for &(v, w) in &g.adj[u] {
+            let cand = d + w;
+            if dist[v].is_none_or(|dv| cand < dv) {
+                dist[v] = Some(cand);
+                heap.push(HeapItem(cand, v));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> WeightedGraph {
+        WeightedGraph::from_edges(
+            5,
+            &[
+                (0, 1, 4.0),
+                (0, 2, 1.0),
+                (2, 1, 2.0),
+                (1, 3, 1.0),
+                (2, 3, 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn bellman_ford_distances() {
+        let d = bellman_ford(&g(), 0).unwrap();
+        assert_eq!(d, vec![Some(0.0), Some(3.0), Some(1.0), Some(4.0), None]);
+    }
+
+    #[test]
+    fn dijkstra_agrees_with_bellman_ford() {
+        let d1 = bellman_ford(&g(), 0).unwrap();
+        let d2 = dijkstra(&g(), 0);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn negative_edges_ok_without_cycle() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 5.0), (1, 2, -3.0), (0, 2, 4.0)]);
+        let d = bellman_ford(&g, 0).unwrap();
+        assert_eq!(d[2], Some(2.0));
+    }
+
+    #[test]
+    fn negative_cycle_detected() {
+        let g = WeightedGraph::from_edges(2, &[(0, 1, 1.0), (1, 0, -2.0)]);
+        assert!(bellman_ford(&g, 0).is_err());
+    }
+
+    #[test]
+    fn unreachable_stays_none() {
+        let g = WeightedGraph::from_edges(3, &[(1, 2, 1.0)]);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![Some(0.0), None, None]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Classic queue-based breadth-first search baselines.
+
+use std::collections::VecDeque;
+
+use crate::AdjGraph;
+
+/// BFS levels from `src`: `None` for unreachable vertices, `Some(0)` for
+/// the source.
+pub fn bfs_levels(g: &AdjGraph, src: usize) -> Vec<Option<usize>> {
+    let mut level = vec![None; g.n];
+    level[src] = Some(0);
+    let mut q = VecDeque::from([src]);
+    while let Some(v) = q.pop_front() {
+        let next = level[v].expect("queued implies leveled") + 1;
+        for &w in &g.adj[v] {
+            if level[w].is_none() {
+                level[w] = Some(next);
+                q.push_back(w);
+            }
+        }
+    }
+    level
+}
+
+/// BFS parent tree from `src`: `parent[src] == Some(src)`; unreachable
+/// vertices are `None`. Among equal-level parents the smallest-id parent
+/// wins (deterministic, matching the min-semiring GraphBLAS variant).
+pub fn bfs_parents(g: &AdjGraph, src: usize) -> Vec<Option<usize>> {
+    let level = bfs_levels(g, src);
+    let mut parent = vec![None; g.n];
+    parent[src] = Some(src);
+    // for determinism, scan vertices in id order per level
+    for v in 0..g.n {
+        if let Some(lv) = level[v] {
+            for &w in &g.adj[v] {
+                if level[w] == Some(lv + 1) {
+                    let p = parent[w].get_or_insert(v);
+                    if *p > v {
+                        *p = v;
+                    }
+                }
+            }
+        }
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> AdjGraph {
+        AdjGraph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn levels() {
+        assert_eq!(
+            bfs_levels(&g(), 0),
+            vec![Some(0), Some(1), Some(1), Some(2), Some(3), None]
+        );
+    }
+
+    #[test]
+    fn levels_from_interior() {
+        assert_eq!(
+            bfs_levels(&g(), 1),
+            vec![None, Some(0), None, Some(1), Some(2), None]
+        );
+    }
+
+    #[test]
+    fn parents_prefer_smallest_id() {
+        let p = bfs_parents(&g(), 0);
+        assert_eq!(p[0], Some(0));
+        assert_eq!(p[3], Some(1)); // both 1 and 2 valid; 1 < 2
+        assert_eq!(p[4], Some(3));
+        assert_eq!(p[5], None);
+    }
+
+    #[test]
+    fn parent_tree_is_consistent_with_levels() {
+        let g = g();
+        let l = bfs_levels(&g, 0);
+        let p = bfs_parents(&g, 0);
+        for v in 0..g.n {
+            match (l[v], p[v]) {
+                (Some(0), Some(pv)) => assert_eq!(pv, v),
+                (Some(lv), Some(pv)) => assert_eq!(l[pv], Some(lv - 1)),
+                (None, None) => {}
+                other => panic!("inconsistent at {v}: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Node-iterator triangle counting baseline (undirected simple graphs).
+
+use crate::AdjGraph;
+
+/// Number of triangles in an undirected graph (each undirected edge must
+/// be present in both directions; self-loops ignored). Counts each
+/// triangle once.
+pub fn triangle_count(g: &AdjGraph) -> u64 {
+    let mut count = 0u64;
+    for u in 0..g.n {
+        for &v in &g.adj[u] {
+            if v <= u {
+                continue;
+            }
+            // intersect neighbor lists above v
+            let (a, b) = (&g.adj[u], &g.adj[v]);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if a[i] > v {
+                            count += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Per-vertex triangle participation counts (each triangle adds 1 to
+/// each of its three corners).
+pub fn triangle_counts_per_vertex(g: &AdjGraph) -> Vec<u64> {
+    let mut counts = vec![0u64; g.n];
+    for u in 0..g.n {
+        for &v in &g.adj[u] {
+            if v <= u {
+                continue;
+            }
+            let (a, b) = (&g.adj[u], &g.adj[v]);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if a[i] > v {
+                            counts[u] += 1;
+                            counts[v] += 1;
+                            counts[a[i]] += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> AdjGraph {
+        let mut all = Vec::new();
+        for &(u, v) in edges {
+            all.push((u, v));
+            all.push((v, u));
+        }
+        AdjGraph::from_edges(n, &all)
+    }
+
+    #[test]
+    fn single_triangle() {
+        let g = undirected(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(triangle_count(&g), 1);
+        assert_eq!(triangle_counts_per_vertex(&g), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let g = undirected(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(triangle_count(&g), 4);
+        assert_eq!(triangle_counts_per_vertex(&g), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn triangle_free() {
+        let g = undirected(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]); // 4-cycle
+        assert_eq!(triangle_count(&g), 0);
+    }
+
+    #[test]
+    fn shared_edge_triangles() {
+        // two triangles sharing edge (0,1)
+        let g = undirected(4, &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)]);
+        assert_eq!(triangle_count(&g), 2);
+        assert_eq!(triangle_counts_per_vertex(&g), vec![2, 2, 1, 1]);
+    }
+}

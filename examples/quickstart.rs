@@ -1,0 +1,74 @@
+//! Quickstart: build a small graph as a sparse matrix, multiply over a
+//! couple of semirings, use a mask, and read results back.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use graphblas_core::prelude::*;
+
+fn main() -> Result<()> {
+    // A GraphBLAS context fixes the execution mode (paper §IV).
+    let ctx = Context::blocking();
+
+    // The graph 0 -> 1 -> 2 -> 3 with a shortcut 0 -> 2, as an adjacency
+    // matrix: stored elements are edges, absent elements are *undefined*
+    // (not zero!).
+    let n = 4;
+    let a = Matrix::<f64>::from_tuples(
+        n,
+        n,
+        &[
+            (0, 1, 1.0),
+            (0, 2, 5.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+        ],
+    )?;
+    println!("adjacency: {} stored edges in a {n}x{n} matrix", a.nvals()?);
+
+    // --- two-hop reachability: C = A +.* A over standard arithmetic ---
+    let c = Matrix::<f64>::new(n, n)?;
+    ctx.mxm(&c, NoMask, NoAccum, plus_times::<f64>(), &a, &a, &Descriptor::default())?;
+    println!("\ntwo-hop path weights (plus_times):");
+    for (i, j, v) in c.extract_tuples()? {
+        println!("  {i} -> {j}: {v}");
+    }
+
+    // --- same multiplication, different algebra: min.+ gives shortest
+    //     two-hop distances (Table I's semiring swap in action) ---
+    ctx.mxm(&c, NoMask, NoAccum, min_plus::<f64>(), &a, &a, &Descriptor::default().replace())?;
+    println!("\nshortest two-hop distances (min_plus):");
+    for (i, j, v) in c.extract_tuples()? {
+        println!("  {i} -> {j}: {v}");
+    }
+
+    // --- masks control where results are written (paper §III-C):
+    //     recompute two-hop arithmetic, but only where an edge already
+    //     exists ---
+    ctx.mxm(
+        &c,
+        &a, // A itself is the mask: stored-and-true positions
+        NoAccum,
+        plus_times::<f64>(),
+        &a,
+        &a,
+        &Descriptor::default().structural_mask().replace(),
+    )?;
+    println!("\ntwo-hop weights restricted to existing edges (masked mxm):");
+    for (i, j, v) in c.extract_tuples()? {
+        println!("  {i} -> {j}: {v}");
+    }
+
+    // --- vectors: out-degrees via row reduce ---
+    let deg = Vector::<f64>::new(n)?;
+    ctx.reduce_rows(
+        &deg,
+        NoMask,
+        NoAccum,
+        PlusMonoid::<f64>::new(),
+        &a,
+        &Descriptor::default(),
+    )?;
+    println!("\nweighted out-degrees: {:?}", deg.to_dense()?);
+
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Triangle counting with masked matrix multiplication — the paper's
+//! write-mask machinery (§III-C) doing real algorithmic work: the mask
+//! pushes the output pattern *into* the SpGEMM so only wedge counts over
+//! existing edges are ever computed.
+//!
+//! Run with: `cargo run --release --example triangle_census [scale]`
+
+use std::time::Instant;
+
+use graphblas_algorithms::{triangle_count, triangle_counts_per_vertex};
+use graphblas_core::prelude::*;
+use graphblas_gen::{rmat, RmatParams};
+use graphblas_reference::{triangles, AdjGraph};
+
+fn main() -> Result<()> {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    // undirected simple graph: symmetrized RMAT
+    let g = rmat(scale, 8, RmatParams::default(), 3)
+        .dedup()
+        .without_self_loops()
+        .symmetrize();
+    let n = g.n;
+    println!(
+        "symmetrized RMAT scale {scale}: {} vertices, {} arcs",
+        n,
+        g.num_edges()
+    );
+
+    let ctx = Context::blocking();
+    let a = Matrix::from_tuples(n, n, &g.bool_tuples())?;
+
+    let t0 = Instant::now();
+    let count = triangle_count(&ctx, &a)?;
+    let t_grb = t0.elapsed();
+    println!("GraphBLAS masked-mxm triangles: {count}  ({t_grb:?})");
+
+    let adj = AdjGraph::from_edges(n, &g.edges);
+    let t0 = Instant::now();
+    let baseline = triangles::triangle_count(&adj);
+    let t_ref = t0.elapsed();
+    println!("reference node-iterator:        {baseline}  ({t_ref:?})");
+    assert_eq!(count, baseline);
+
+    let per_vertex = triangle_counts_per_vertex(&ctx, &a)?;
+    let mut ranked: Vec<(usize, u64)> = per_vertex.iter().copied().enumerate().collect();
+    ranked.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("\nmost clustered vertices:");
+    for (v, c) in ranked.iter().take(5) {
+        println!("  vertex {v}: member of {c} triangles");
+    }
+    Ok(())
+}

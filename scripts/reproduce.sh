@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# One-shot reproduction driver: build, test, bench, summarize.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace 2>&1 | tee test_output.txt
+
+echo "== examples (smoke) =="
+for ex in quickstart semiring_zoo nonblocking community; do
+    cargo run --release -q --example "$ex" >/dev/null
+    echo "example $ex: ok"
+done
+
+echo "== benches (this can take ~15 minutes) =="
+cargo bench --workspace 2>&1 | tee bench_output.txt
+
+echo "== summary =="
+python3 scripts/summarize_bench.py bench_output.txt
+echo "Done. See EXPERIMENTS.md for the per-table/figure interpretation."

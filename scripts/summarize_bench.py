@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Summarize a `cargo bench` (criterion) log into a markdown table.
+
+Usage: python3 scripts/summarize_bench.py bench_output.txt
+Prints one row per benchmark id with the midpoint estimate.
+"""
+import re
+import sys
+
+
+def main(path: str) -> None:
+    text = open(path).read()
+    # criterion prints:  <id>\n  time: [lo mid hi]  (id may wrap lines)
+    pattern = re.compile(
+        r"^([\w/ .:_-]+?)\s*\n?\s+time:\s+\[([\d.]+ \w+) ([\d.]+ \w+) ([\d.]+ \w+)\]",
+        re.M,
+    )
+    rows = []
+    for m in pattern.finditer(text):
+        name = " ".join(m.group(1).split())
+        if name.startswith("Benchmarking"):
+            name = name[len("Benchmarking"):].strip()
+        rows.append((name, m.group(3)))
+    print("| benchmark | time (midpoint) |")
+    print("|---|---|")
+    for name, mid in rows:
+        print(f"| `{name}` | {mid} |")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt")

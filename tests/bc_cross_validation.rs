@@ -1,0 +1,113 @@
+//! Experiment F3 (DESIGN.md): the Figure 3 `BC_update` algorithm
+//! cross-validated against classic Brandes over generated graph
+//! families, batch sizes, and both execution modes. Unweighted BC is
+//! exact up to float summation order, so tolerances are tight.
+
+use graphblas_algorithms::{bc_update, betweenness};
+use graphblas_core::prelude::*;
+use graphblas_gen::{
+    binary_tree, complete, cycle, erdos_renyi_gnm, grid2d, path, rmat, star, EdgeList,
+    RmatParams,
+};
+use graphblas_reference::{
+    bc::{brandes, brandes_batch},
+    AdjGraph,
+};
+
+fn to_matrix(g: &EdgeList) -> Matrix<i32> {
+    Matrix::from_tuples(g.n, g.n, &g.int_tuples()).unwrap()
+}
+
+fn check_graph(ctx: &Context, g: &EdgeList, batch: usize, tol: f64) {
+    let a = to_matrix(g);
+    let got = betweenness(ctx, &a, batch).unwrap();
+    let want = brandes(&AdjGraph::from_edges(g.n, &g.edges));
+    for (v, (x, y)) in got.iter().zip(&want).enumerate() {
+        assert!(
+            (*x as f64 - y).abs() <= tol,
+            "vertex {v}: GraphBLAS {x} vs Brandes {y} (n={}, batch={batch})",
+            g.n
+        );
+    }
+}
+
+#[test]
+fn structured_families() {
+    let ctx = Context::blocking();
+    for g in [
+        path(12),
+        cycle(9),
+        star(10),
+        complete(6),
+        grid2d(4, 5),
+        binary_tree(3),
+    ] {
+        let g = g.dedup().without_self_loops();
+        check_graph(&ctx, &g, 4, 1e-3);
+    }
+}
+
+#[test]
+fn erdos_renyi_various_batches() {
+    let ctx = Context::blocking();
+    for seed in [1, 2, 3] {
+        let g = erdos_renyi_gnm(40, 160, seed).without_self_loops().dedup();
+        for batch in [1, 3, 7, 40] {
+            check_graph(&ctx, &g, batch, 1e-2);
+        }
+    }
+}
+
+#[test]
+fn rmat_skewed() {
+    let ctx = Context::blocking();
+    let g = rmat(7, 6, RmatParams::default(), 4).dedup().without_self_loops();
+    check_graph(&ctx, &g, 16, 1e-1);
+}
+
+#[test]
+fn single_batch_matches_reference_batch() {
+    // bc_update over a source subset equals the Brandes batch quantity
+    let ctx = Context::blocking();
+    let g = erdos_renyi_gnm(30, 120, 9).without_self_loops().dedup();
+    let a = to_matrix(&g);
+    let adj = AdjGraph::from_edges(g.n, &g.edges);
+    for sources in [vec![0usize], vec![3, 7, 11], vec![29, 0, 15, 8]] {
+        let delta = bc_update(&ctx, &a, &sources).unwrap();
+        let want = brandes_batch(&adj, &sources);
+        let mut got = vec![0.0f32; g.n];
+        for (i, v) in delta.extract_tuples().unwrap() {
+            got[i] = v;
+        }
+        for (x, y) in got.iter().zip(&want) {
+            assert!((*x as f64 - y).abs() < 1e-3, "{got:?} vs {want:?}");
+        }
+    }
+}
+
+#[test]
+fn nonblocking_mode_full_run() {
+    let nctx = Context::nonblocking();
+    let g = erdos_renyi_gnm(25, 100, 13).without_self_loops().dedup();
+    check_graph(&nctx, &g, 5, 1e-2);
+    nctx.wait().unwrap();
+}
+
+#[test]
+fn graph_with_isolated_vertices() {
+    // vertices with no edges at all must get BC 0 and not break the
+    // forward sweep
+    let ctx = Context::blocking();
+    let g = EdgeList::new(8, vec![(0, 1), (1, 2), (2, 3)]);
+    check_graph(&ctx, &g, 8, 1e-4);
+}
+
+#[test]
+fn two_components() {
+    let ctx = Context::blocking();
+    let g = EdgeList::new(
+        8,
+        vec![(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 7), (7, 4)],
+    );
+    check_graph(&ctx, &g, 3, 1e-4);
+}

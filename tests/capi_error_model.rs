@@ -1,0 +1,150 @@
+//! The §V error model through the C-shaped facade: every Figure 2
+//! return value reachable at runtime, exactly as a C program would see
+//! them.
+
+use graphblas_capi as grb;
+use graphblas_capi::{
+    Descriptor, GrbBinaryOp, GrbMatrix, GrbMonoid, GrbSemiring, GrbType, Mode, Value,
+};
+use graphblas_core::error::Error;
+
+fn int32_semiring() -> GrbSemiring {
+    let add = GrbMonoid::new(
+        GrbBinaryOp::plus(GrbType::Int32).unwrap(),
+        Value::Int32(0),
+    )
+    .unwrap();
+    GrbSemiring::new(add, GrbBinaryOp::times(GrbType::Int32).unwrap()).unwrap()
+}
+
+#[test]
+fn grb_uninitialized_object() {
+    // calling an operation before GrB_init (race-free: the helper holds
+    // the session lock while guaranteeing no context is live)
+    grb::with_no_session(|| {
+        let a = GrbMatrix::new(GrbType::Int32, 1, 1).unwrap();
+        let e = grb::mxm(&a, None, None, &int32_semiring(), &a, &a, &Descriptor::default())
+            .unwrap_err();
+        assert_eq!(e.code_name(), "GrB_UNINITIALIZED_OBJECT");
+    })
+    .unwrap();
+}
+
+#[test]
+fn grb_dimension_mismatch() {
+    grb::with_session(Mode::Blocking, || {
+        let a = GrbMatrix::new(GrbType::Int32, 2, 3).unwrap();
+        let c = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+        let e = grb::mxm(&c, None, None, &int32_semiring(), &a, &a, &Descriptor::default())
+            .unwrap_err();
+        assert_eq!(e.code_name(), "GrB_DIMENSION_MISMATCH");
+    })
+    .unwrap();
+}
+
+#[test]
+fn grb_domain_mismatch_everywhere_the_spec_names_it() {
+    grb::with_session(Mode::Blocking, || {
+        // output domain
+        let a = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+        let c = GrbMatrix::new(GrbType::Fp64, 2, 2).unwrap();
+        let e = grb::mxm(&c, None, None, &int32_semiring(), &a, &a, &Descriptor::default())
+            .unwrap_err();
+        assert_eq!(e.code_name(), "GrB_DOMAIN_MISMATCH");
+        // accumulator domain
+        let ok_out = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+        let bad_acc = GrbBinaryOp::plus(GrbType::Fp32).unwrap();
+        let e = grb::mxm(
+            &ok_out,
+            None,
+            Some(&bad_acc),
+            &int32_semiring(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap_err();
+        assert_eq!(e.code_name(), "GrB_DOMAIN_MISMATCH");
+        // monoid construction
+        let e = GrbMonoid::new(
+            GrbBinaryOp::plus(GrbType::Int32).unwrap(),
+            Value::Fp32(0.0),
+        )
+        .unwrap_err();
+        assert_eq!(e.code_name(), "GrB_DOMAIN_MISMATCH");
+        // semiring construction
+        let add = GrbMonoid::new(
+            GrbBinaryOp::plus(GrbType::Int32).unwrap(),
+            Value::Int32(0),
+        )
+        .unwrap();
+        let e = GrbSemiring::new(add, GrbBinaryOp::times(GrbType::Fp64).unwrap()).unwrap_err();
+        assert_eq!(e.code_name(), "GrB_DOMAIN_MISMATCH");
+    })
+    .unwrap();
+}
+
+#[test]
+fn grb_invalid_index_and_value() {
+    grb::with_session(Mode::Blocking, || {
+        let a = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+        let e = a.get(5, 0).unwrap_err();
+        assert_eq!(e.code_name(), "GrB_INVALID_INDEX");
+        // build with mismatched arrays
+        let e = a
+            .build(
+                &[0, 1],
+                &[0],
+                &[Value::Int32(1)],
+                &GrbBinaryOp::plus(GrbType::Int32).unwrap(),
+            )
+            .unwrap_err();
+        assert_eq!(e.code_name(), "GrB_INVALID_VALUE");
+    })
+    .unwrap();
+}
+
+#[test]
+fn grb_output_not_empty() {
+    grb::with_session(Mode::Blocking, || {
+        let a = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+        let dup = GrbBinaryOp::plus(GrbType::Int32).unwrap();
+        a.build(&[0], &[0], &[Value::Int32(1)], &dup).unwrap();
+        let e = a.build(&[1], &[1], &[Value::Int32(2)], &dup).unwrap_err();
+        assert_eq!(e.code_name(), "GrB_OUTPUT_NOT_EMPTY");
+    })
+    .unwrap();
+}
+
+#[test]
+fn nonblocking_error_at_wait_with_grb_error_text() {
+    grb::with_session(Mode::Nonblocking, || {
+        let a = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+        a.set(0, 0, Value::Int32(7)).unwrap();
+        let c = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+        grb::inject_fault(Error::OutOfMemory("simulated device OOM".into())).unwrap();
+        // the deferred call itself succeeds (§V: only API checks ran)
+        grb::mxm(&c, None, None, &int32_semiring(), &a, &a, &Descriptor::default()).unwrap();
+        // GrB_wait reports the execution error; GrB_error has the text
+        let e = grb::wait().unwrap_err();
+        assert_eq!(e.code_name(), "GrB_OUT_OF_MEMORY");
+        assert!(grb::error().unwrap().contains("simulated device OOM"));
+        // the output object is invalid now
+        assert!(c.nvals().is_err());
+    })
+    .unwrap();
+}
+
+#[test]
+fn figure2_success_path_returns_unit() {
+    grb::with_session(Mode::Blocking, || {
+        let a = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+        a.set(0, 1, Value::Int32(3)).unwrap();
+        let c = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+        // GrB_SUCCESS is the Ok arm
+        let r: graphblas_core::Result<()> =
+            grb::mxm(&c, None, None, &int32_semiring(), &a, &a, &Descriptor::default());
+        assert!(r.is_ok());
+    })
+    .unwrap();
+}

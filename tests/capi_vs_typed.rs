@@ -1,0 +1,160 @@
+//! The dynamically-typed C-style facade must agree with the typed core
+//! on randomized operation sequences — the two bindings expose one
+//! implementation, so any divergence is a facade bug (casting, domain
+//! bookkeeping, argument dispatch).
+
+use graphblas_capi as grb;
+use graphblas_capi::{GrbBinaryOp, GrbMatrix, GrbMonoid, GrbSemiring, GrbType, Value};
+use graphblas_core::prelude::*;
+use proptest::prelude::*;
+
+const N: usize = 4;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Mxm { c: usize, a: usize, b: usize, masked: bool, accum: bool },
+    EwiseAdd { c: usize, a: usize, b: usize },
+    EwiseMult { c: usize, a: usize, b: usize },
+    Transpose { c: usize, a: usize },
+    Fill { c: usize, v: i8 },
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    let i = 0usize..3;
+    prop_oneof![
+        (i.clone(), i.clone(), i.clone(), any::<bool>(), any::<bool>())
+            .prop_map(|(c, a, b, masked, accum)| Step::Mxm { c, a, b, masked, accum }),
+        (i.clone(), i.clone(), i.clone()).prop_map(|(c, a, b)| Step::EwiseAdd { c, a, b }),
+        (i.clone(), i.clone(), i.clone()).prop_map(|(c, a, b)| Step::EwiseMult { c, a, b }),
+        (i.clone(), i.clone()).prop_map(|(c, a)| Step::Transpose { c, a }),
+        (i, -3i8..4).prop_map(|(c, v)| Step::Fill { c, v }),
+    ]
+}
+
+type Seeds = Vec<Vec<(usize, usize, i32)>>;
+
+fn run_typed(seeds: &Seeds, steps: &[Step]) -> Vec<Vec<(usize, usize, i32)>> {
+    let ctx = Context::blocking();
+    let pool: Vec<Matrix<i32>> = seeds
+        .iter()
+        .map(|t| Matrix::from_tuples(N, N, t).unwrap())
+        .collect();
+    let d = Descriptor::default();
+    for s in steps {
+        match *s {
+            Step::Mxm { c, a, b, masked, accum } => {
+                let desc = Descriptor::default().structural_mask();
+                match (masked, accum) {
+                    (false, false) => ctx.mxm(&pool[c], NoMask, NoAccum, plus_times::<i32>(), &pool[a], &pool[b], &desc),
+                    (true, false) => ctx.mxm(&pool[c], &pool[a], NoAccum, plus_times::<i32>(), &pool[a], &pool[b], &desc),
+                    (false, true) => ctx.mxm(&pool[c], NoMask, Accum(Plus::<i32>::new()), plus_times::<i32>(), &pool[a], &pool[b], &desc),
+                    (true, true) => ctx.mxm(&pool[c], &pool[b], Accum(Plus::<i32>::new()), plus_times::<i32>(), &pool[a], &pool[b], &desc),
+                }
+                .unwrap();
+            }
+            Step::EwiseAdd { c, a, b } => ctx
+                .ewise_add_matrix(&pool[c], NoMask, NoAccum, Plus::new(), &pool[a], &pool[b], &d)
+                .unwrap(),
+            Step::EwiseMult { c, a, b } => ctx
+                .ewise_mult_matrix(&pool[c], NoMask, NoAccum, Times::new(), &pool[a], &pool[b], &d)
+                .unwrap(),
+            Step::Transpose { c, a } => ctx.transpose(&pool[c], NoMask, NoAccum, &pool[a], &d).unwrap(),
+            Step::Fill { c, v } => ctx
+                .assign_scalar_matrix(&pool[c], NoMask, NoAccum, v as i32, ALL, ALL, &d)
+                .unwrap(),
+        }
+    }
+    pool.iter().map(|m| m.extract_tuples().unwrap()).collect()
+}
+
+fn run_capi(seeds: &Seeds, steps: &[Step]) -> Vec<Vec<(usize, usize, i32)>> {
+    grb::with_session(graphblas_core::Mode::Blocking, || {
+        let sr = {
+            let add = GrbMonoid::new(
+                GrbBinaryOp::plus(GrbType::Int32).unwrap(),
+                Value::Int32(0),
+            )
+            .unwrap();
+            GrbSemiring::new(add, GrbBinaryOp::times(GrbType::Int32).unwrap()).unwrap()
+        };
+        let plus = GrbBinaryOp::plus(GrbType::Int32).unwrap();
+        let times = GrbBinaryOp::times(GrbType::Int32).unwrap();
+        let pool: Vec<GrbMatrix> = seeds
+            .iter()
+            .map(|t| {
+                let m = GrbMatrix::new(GrbType::Int32, N, N).unwrap();
+                let rows: Vec<usize> = t.iter().map(|x| x.0).collect();
+                let cols: Vec<usize> = t.iter().map(|x| x.1).collect();
+                let vals: Vec<Value> = t.iter().map(|x| Value::Int32(x.2)).collect();
+                m.build(&rows, &cols, &vals, &plus).unwrap();
+                m
+            })
+            .collect();
+        let d = Descriptor::default();
+        for s in steps {
+            match *s {
+                Step::Mxm { c, a, b, masked, accum } => {
+                    let desc = Descriptor::default().structural_mask();
+                    let mask = if masked { Some(&pool[a]) } else { None };
+                    // the second masked variant uses pool[b] as mask
+                    let mask = if masked && accum { Some(&pool[b]) } else { mask };
+                    let acc = accum.then_some(&plus);
+                    grb::mxm(&pool[c], mask, acc, &sr, &pool[a], &pool[b], &desc).unwrap();
+                }
+                Step::EwiseAdd { c, a, b } => {
+                    grb::ewise_add_matrix(&pool[c], None, None, &plus, &pool[a], &pool[b], &d)
+                        .unwrap()
+                }
+                Step::EwiseMult { c, a, b } => {
+                    grb::ewise_mult_matrix(&pool[c], None, None, &times, &pool[a], &pool[b], &d)
+                        .unwrap()
+                }
+                Step::Transpose { c, a } => {
+                    grb::transpose(&pool[c], None, None, &pool[a], &d).unwrap()
+                }
+                Step::Fill { c, v } => grb::assign_scalar_matrix(
+                    &pool[c],
+                    None,
+                    None,
+                    Value::Int32(v as i32),
+                    ALL,
+                    ALL,
+                    &d,
+                )
+                .unwrap(),
+            }
+        }
+        pool.iter()
+            .map(|m| {
+                m.extract_tuples()
+                    .unwrap()
+                    .into_iter()
+                    .map(|(i, j, v)| match v {
+                        Value::Int32(x) => (i, j, x),
+                        other => panic!("non-int32 value {other:?}"),
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    })
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn facade_matches_typed_core(
+        seeds in proptest::collection::vec(
+            proptest::collection::vec((0..N, 0..N, -3i32..4), 0..8).prop_map(|mut t| {
+                t.sort_by_key(|&(i, j, _)| (i, j));
+                t.dedup_by_key(|&mut (i, j, _)| (i, j));
+                t
+            }),
+            3,
+        ),
+        steps in proptest::collection::vec(step(), 1..10),
+    ) {
+        prop_assert_eq!(run_typed(&seeds, &steps), run_capi(&seeds, &steps));
+    }
+}

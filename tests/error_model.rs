@@ -1,0 +1,173 @@
+//! Experiment E2 (DESIGN.md), paper §V: the error model.
+//!
+//! * API errors are detected eagerly in *both* modes, before any
+//!   computation, leaving arguments untouched.
+//! * Execution errors in blocking mode return from the method itself.
+//! * Execution errors in nonblocking mode surface at `wait()` or at any
+//!   completion-forcing method; the defining object becomes invalid and
+//!   poisons consumers with `GrB_INVALID_OBJECT`.
+//! * `GrB_error()` returns detail text for the most recent error.
+
+use graphblas_core::prelude::*;
+
+fn small() -> Matrix<i64> {
+    Matrix::from_tuples(2, 2, &[(0, 0, 2), (1, 1, 3)]).unwrap()
+}
+
+#[test]
+fn api_errors_are_eager_in_nonblocking_mode() {
+    let ctx = Context::nonblocking();
+    let a = small();
+    let bad_out = Matrix::<i64>::new(3, 3).unwrap();
+    // dimension mismatch must be reported from the call, not from wait()
+    let e = ctx
+        .mxm(&bad_out, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap_err();
+    assert!(e.is_api_error());
+    assert!(matches!(e, Error::DimensionMismatch(_)));
+    // the sequence holds nothing; output untouched and still valid
+    assert_eq!(ctx.pending_ops(), 0);
+    assert_eq!(bad_out.nvals().unwrap(), 0);
+    ctx.wait().unwrap();
+}
+
+#[test]
+fn api_errors_leave_arguments_untouched() {
+    let ctx = Context::blocking();
+    let a = small();
+    let c = Matrix::from_tuples(2, 2, &[(0, 1, 42)]).unwrap();
+    let wrong_mask = Matrix::<bool>::new(3, 3).unwrap();
+    let e = ctx
+        .mxm(&c, &wrong_mask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap_err();
+    assert!(e.is_api_error());
+    assert_eq!(c.extract_tuples().unwrap(), vec![(0, 1, 42)]);
+}
+
+#[test]
+fn blocking_execution_error_returns_from_the_call() {
+    let ctx = Context::blocking();
+    let a = small();
+    let c = Matrix::<i64>::new(2, 2).unwrap();
+    ctx.inject_fault(Error::OutOfMemory("simulated".into()));
+    let e = ctx
+        .mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap_err();
+    assert!(e.is_execution_error());
+    assert!(ctx.error().unwrap().contains("simulated"));
+}
+
+#[test]
+fn nonblocking_execution_error_surfaces_at_wait() {
+    let ctx = Context::nonblocking();
+    let a = small();
+    let c = Matrix::<i64>::new(2, 2).unwrap();
+    ctx.inject_fault(Error::Panic("deferred boom".into()));
+    // the call succeeds: only argument checks ran (§V)
+    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap();
+    let e = ctx.wait().unwrap_err();
+    assert!(e.is_execution_error());
+    assert!(ctx.error().unwrap().contains("deferred boom"));
+}
+
+#[test]
+fn nonblocking_execution_error_surfaces_at_forcing_method() {
+    let ctx = Context::nonblocking();
+    let a = small();
+    let c = Matrix::<i64>::new(2, 2).unwrap();
+    ctx.inject_fault(Error::OutOfMemory("forced out".into()));
+    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap();
+    // nvals() copies into non-opaque data: it must complete the object
+    // and report the failure
+    let e = c.nvals().unwrap_err();
+    assert!(e.is_execution_error());
+}
+
+#[test]
+fn invalid_objects_poison_consumers() {
+    let ctx = Context::nonblocking();
+    let a = small();
+    let broken = Matrix::<i64>::new(2, 2).unwrap();
+    ctx.inject_fault(Error::Panic("root cause".into()));
+    ctx.mxm(&broken, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap();
+    // a second operation consumes the (to-be-)invalid object
+    let downstream = Matrix::<i64>::new(2, 2).unwrap();
+    ctx.mxm(&downstream, NoMask, NoAccum, plus_times::<i64>(), &broken, &a, &Descriptor::default())
+        .unwrap();
+    let _ = ctx.wait().unwrap_err();
+    // the downstream output reports INVALID_OBJECT (Figure 2's return
+    // value for arguments invalidated by previous execution errors)
+    let e = downstream.nvals().unwrap_err();
+    assert!(matches!(e, Error::InvalidObject(_)), "{e}");
+}
+
+#[test]
+fn clear_revalidates_an_invalid_object() {
+    let ctx = Context::nonblocking();
+    let a = small();
+    let m = Matrix::<i64>::new(2, 2).unwrap();
+    ctx.inject_fault(Error::Panic("x".into()));
+    ctx.mxm(&m, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap();
+    let _ = ctx.wait().unwrap_err();
+    assert!(m.nvals().is_err());
+    m.clear(); // a fresh value node replaces the failed one
+    assert_eq!(m.nvals().unwrap(), 0);
+    // and the object is usable again
+    ctx.mxm(&m, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap();
+    ctx.wait().unwrap();
+    assert_eq!(m.nvals().unwrap(), 2);
+}
+
+#[test]
+fn checked_operator_overflow_is_an_execution_error() {
+    use graphblas_core::algebra::binary::CheckedPlus;
+    let ctx = Context::blocking();
+    let a = Matrix::from_tuples(1, 1, &[(0, 0, i8::MAX)]).unwrap();
+    let b = Matrix::from_tuples(1, 1, &[(0, 0, 1i8)]).unwrap();
+    let c = Matrix::<i8>::new(1, 1).unwrap();
+    let e = ctx
+        .ewise_add_matrix(&c, NoMask, NoAccum, CheckedPlus::<i8>::new(), &a, &b, &Descriptor::default())
+        .unwrap_err();
+    assert!(matches!(e, Error::Arithmetic(_)));
+    assert!(ctx.error().unwrap().contains("overflow"));
+}
+
+#[test]
+fn error_classes_match_figure2_return_values() {
+    // Figure 2 names these return codes for GrB_mxm; all are expressible
+    for (e, api) in [
+        (Error::Panic("x".into()), false),
+        (Error::InvalidObject("x".into()), false),
+        (Error::OutOfMemory("x".into()), false),
+        (Error::UninitializedObject("x".into()), true),
+        (Error::NullPointer, true),
+        (Error::DimensionMismatch("x".into()), true),
+        (Error::DomainMismatch("x".into()), true),
+    ] {
+        assert_eq!(e.is_api_error(), api, "{e}");
+        assert!(e.code_name().starts_with("GrB_"));
+    }
+}
+
+#[test]
+fn sequence_recovers_after_error() {
+    // §V: a new sequence can begin after the failed one terminates
+    let ctx = Context::nonblocking();
+    let a = small();
+    let c = Matrix::<i64>::new(2, 2).unwrap();
+    ctx.inject_fault(Error::Panic("first sequence".into()));
+    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap();
+    assert!(ctx.wait().is_err());
+    // new sequence, healthy ops
+    let d = Matrix::<i64>::new(2, 2).unwrap();
+    ctx.mxm(&d, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap();
+    ctx.wait().unwrap();
+    assert_eq!(d.get(0, 0).unwrap(), Some(4));
+}

@@ -1,0 +1,253 @@
+//! Experiment E1 (DESIGN.md), paper §IV: the execution model.
+//!
+//! Sequences, deferral, completion forcing, program order under
+//! deferral, object snapshots, lazy dead-code elimination, and the
+//! "nonblocking with wait after every call ≡ blocking" equivalence.
+
+use graphblas_core::prelude::*;
+
+fn ring(n: usize) -> Matrix<i64> {
+    let t: Vec<(usize, usize, i64)> = (0..n).map(|i| (i, (i + 1) % n, 1)).collect();
+    Matrix::from_tuples(n, n, &t).unwrap()
+}
+
+#[test]
+fn blocking_mode_completes_each_method() {
+    let ctx = Context::blocking();
+    let a = ring(8);
+    let c = Matrix::<i64>::new(8, 8).unwrap();
+    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap();
+    assert!(c.is_complete());
+    assert_eq!(ctx.pending_ops(), 0);
+}
+
+#[test]
+fn nonblocking_defers_and_wait_terminates_the_sequence() {
+    let ctx = Context::nonblocking();
+    let a = ring(8);
+    let c = Matrix::<i64>::new(8, 8).unwrap();
+    let d = Matrix::<i64>::new(8, 8).unwrap();
+    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap();
+    ctx.mxm(&d, NoMask, NoAccum, plus_times::<i64>(), &c, &c, &Descriptor::default())
+        .unwrap();
+    assert!(!c.is_complete());
+    assert!(!d.is_complete());
+    assert_eq!(ctx.pending_ops(), 2);
+    ctx.wait().unwrap();
+    assert!(c.is_complete() && d.is_complete());
+    assert_eq!(ctx.pending_ops(), 0);
+    // ring^4: each vertex reaches the vertex 4 ahead
+    assert_eq!(d.get(0, 4).unwrap(), Some(1));
+}
+
+#[test]
+fn exporting_methods_force_completion() {
+    let ctx = Context::nonblocking();
+    let a = ring(6);
+    let c = Matrix::<i64>::new(6, 6).unwrap();
+    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap();
+    assert!(!c.is_complete());
+    // each of these reads values into non-opaque data (§IV):
+    assert_eq!(c.nvals().unwrap(), 6);
+    assert!(c.is_complete());
+
+    let d = Matrix::<i64>::new(6, 6).unwrap();
+    ctx.mxm(&d, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap();
+    assert_eq!(d.get(0, 2).unwrap(), Some(1));
+    assert!(d.is_complete());
+
+    let e = Matrix::<i64>::new(6, 6).unwrap();
+    ctx.mxm(&e, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap();
+    let _ = e.extract_tuples().unwrap();
+    assert!(e.is_complete());
+}
+
+#[test]
+fn program_order_is_preserved_under_deferral() {
+    // mutate an input *after* submitting a deferred op: the op must see
+    // the value at call time (method inputs are snapshots)
+    let ctx = Context::nonblocking();
+    let a = Matrix::from_tuples(2, 2, &[(0, 0, 10i64)]).unwrap();
+    let c = Matrix::<i64>::new(2, 2).unwrap();
+    ctx.apply_matrix(&c, NoMask, NoAccum, Identity::new(), &a, &Descriptor::default())
+        .unwrap();
+    a.set(0, 0, 999).unwrap(); // later program-order mutation
+    a.set(1, 1, 5).unwrap();
+    ctx.wait().unwrap();
+    assert_eq!(c.extract_tuples().unwrap(), vec![(0, 0, 10)]);
+}
+
+#[test]
+fn chained_updates_to_one_object_apply_in_order() {
+    let ctx = Context::nonblocking();
+    let a = ring(4);
+    let c = Matrix::<i64>::new(4, 4).unwrap();
+    // c = A; c += A (accum); c += A again
+    ctx.apply_matrix(&c, NoMask, NoAccum, Identity::new(), &a, &Descriptor::default())
+        .unwrap();
+    ctx.apply_matrix(&c, NoMask, Accum(Plus::<i64>::new()), Identity::new(), &a, &Descriptor::default())
+        .unwrap();
+    ctx.apply_matrix(&c, NoMask, Accum(Plus::<i64>::new()), Identity::new(), &a, &Descriptor::default())
+        .unwrap();
+    ctx.wait().unwrap();
+    assert_eq!(c.get(0, 1).unwrap(), Some(3));
+}
+
+#[test]
+fn dead_intermediates_are_elided() {
+    // an unobserved, dropped intermediate is never computed — the §IV
+    // "lazy evaluation" latitude (observable through a fault that never
+    // fires)
+    let ctx = Context::nonblocking();
+    let a = ring(4);
+    {
+        let dead = Matrix::<i64>::new(4, 4).unwrap();
+        ctx.inject_fault(Error::Panic("should never run".into()));
+        ctx.mxm(&dead, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+            .unwrap();
+    }
+    // the dead op's fault must not surface: it was never executed
+    ctx.wait().unwrap();
+    assert_eq!(ctx.error(), None);
+}
+
+#[test]
+fn overwrite_chains_drop_dead_history() {
+    // an unmasked, unaccumulated write does not depend on the output's
+    // old value, so repeatedly overwriting one handle leaves no history
+    // chain: only the final write runs (observable via faults on the
+    // earlier ones)
+    let ctx = Context::nonblocking();
+    let a = ring(4);
+    let out = Matrix::<i64>::new(4, 4).unwrap();
+    for _ in 0..3 {
+        ctx.inject_fault(Error::Panic("dead overwrite".into()));
+        ctx.mxm(
+            &out,
+            NoMask,
+            NoAccum,
+            plus_times::<i64>(),
+            &a,
+            &a,
+            &Descriptor::default().replace(),
+        )
+        .unwrap();
+    }
+    ctx.mxm(&out, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap();
+    // only the live final write runs; the three faulted ones are dead
+    ctx.wait().unwrap();
+    assert_eq!(out.get(0, 2).unwrap(), Some(1));
+}
+
+#[test]
+fn accumulating_overwrites_keep_history_alive() {
+    // with an accumulator the old value IS consumed — history must run
+    let ctx = Context::nonblocking();
+    let a = ring(4);
+    let out = Matrix::<i64>::new(4, 4).unwrap();
+    ctx.inject_fault(Error::Panic("needed by accum".into()));
+    ctx.mxm(&out, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .unwrap();
+    ctx.mxm(
+        &out,
+        NoMask,
+        Accum(Plus::<i64>::new()),
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    assert!(ctx.wait().is_err());
+}
+
+#[test]
+fn live_consumers_keep_intermediates_alive() {
+    // same shape as above, but the intermediate feeds a live output:
+    // now it must run (and here, fail) even though its own handle is
+    // dropped
+    let ctx = Context::nonblocking();
+    let a = ring(4);
+    let out = Matrix::<i64>::new(4, 4).unwrap();
+    {
+        let mid = Matrix::<i64>::new(4, 4).unwrap();
+        ctx.inject_fault(Error::Panic("must run".into()));
+        ctx.mxm(&mid, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+            .unwrap();
+        ctx.mxm(&out, NoMask, NoAccum, plus_times::<i64>(), &mid, &a, &Descriptor::default())
+            .unwrap();
+    }
+    assert!(ctx.wait().is_err());
+    assert!(matches!(out.nvals(), Err(Error::InvalidObject(_))));
+}
+
+#[test]
+fn wait_after_every_call_equals_blocking() {
+    // §IV: "a sequence in nonblocking mode where every GraphBLAS
+    // operation is followed by a call to GrB_wait() is equivalent to the
+    // same sequence in blocking mode"
+    let run = |ctx: &Context, wait_each: bool| {
+        let a = ring(8);
+        let c = Matrix::<i64>::new(8, 8).unwrap();
+        ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+            .unwrap();
+        if wait_each {
+            ctx.wait().unwrap();
+        }
+        ctx.ewise_add_matrix(&c, NoMask, NoAccum, Plus::new(), &c, &a, &Descriptor::default())
+            .unwrap();
+        if wait_each {
+            ctx.wait().unwrap();
+        }
+        ctx.wait().unwrap();
+        c.extract_tuples().unwrap()
+    };
+    let blocking = run(&Context::blocking(), false);
+    let nb_waits = run(&Context::nonblocking(), true);
+    let nb_lazy = run(&Context::nonblocking(), false);
+    assert_eq!(blocking, nb_waits);
+    assert_eq!(blocking, nb_lazy);
+}
+
+#[test]
+fn deep_deferred_chains_complete_iteratively() {
+    // a BFS-like loop on a path graph defers a chain as long as the
+    // diameter; the forcing engine must not recurse (stack safety)
+    let n = 3000;
+    let t: Vec<(usize, usize, i64)> = (0..n - 1).map(|i| (i, i + 1, 1)).collect();
+    let a = Matrix::from_tuples(n, n, &t).unwrap();
+    let ctx = Context::nonblocking();
+    let frontier = Vector::from_tuples(n, &[(0usize, 1i64)]).unwrap();
+    for _ in 0..n - 1 {
+        ctx.vxm(
+            &frontier,
+            NoMask,
+            NoAccum,
+            plus_times::<i64>(),
+            &frontier,
+            &a,
+            &Descriptor::default().replace(),
+        )
+        .unwrap();
+    }
+    // one forced observation of a ~3000-deep chain
+    assert_eq!(frontier.extract_tuples().unwrap(), vec![(n - 1, 1)]);
+}
+
+#[test]
+fn snapshots_make_in_place_updates_well_defined() {
+    // c = c +.* c with c as all three arguments — the snapshot design
+    // gives the mathematically expected result
+    let ctx = Context::nonblocking();
+    let c = Matrix::from_tuples(2, 2, &[(0, 1, 1i64), (1, 0, 1)]).unwrap();
+    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &c, &c, &Descriptor::default())
+        .unwrap();
+    ctx.wait().unwrap();
+    assert_eq!(c.extract_tuples().unwrap(), vec![(0, 0, 1), (1, 1, 1)]);
+}

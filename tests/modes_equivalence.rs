@@ -1,0 +1,185 @@
+//! Experiment E1 (DESIGN.md), paper §IV: "the results from blocking and
+//! nonblocking modes should be identical". Random sequences of
+//! GraphBLAS method calls are interpreted twice — once per mode — and
+//! every observable object must agree. Integer arithmetic keeps
+//! equality exact (no round-off caveat needed).
+
+use graphblas_core::prelude::*;
+use proptest::prelude::*;
+
+/// One step of a random method sequence over a pool of 3 square
+/// matrices.
+#[derive(Debug, Clone)]
+enum Step {
+    Mxm { c: usize, a: usize, b: usize, masked: bool, accum: bool, tran: bool, replace: bool },
+    EwiseAdd { c: usize, a: usize, b: usize },
+    EwiseMult { c: usize, a: usize, b: usize, masked: bool },
+    Apply { c: usize, a: usize, negate: bool },
+    Transpose { c: usize, a: usize },
+    AssignScalar { c: usize, v: i64 },
+    Clear { c: usize },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let idx = 0usize..3;
+    prop_oneof![
+        (idx.clone(), idx.clone(), idx.clone(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>())
+            .prop_map(|(c, a, b, masked, accum, tran, replace)| Step::Mxm { c, a, b, masked, accum, tran, replace }),
+        (idx.clone(), idx.clone(), idx.clone())
+            .prop_map(|(c, a, b)| Step::EwiseAdd { c, a, b }),
+        (idx.clone(), idx.clone(), idx.clone(), any::<bool>())
+            .prop_map(|(c, a, b, masked)| Step::EwiseMult { c, a, b, masked }),
+        (idx.clone(), idx.clone(), any::<bool>())
+            .prop_map(|(c, a, negate)| Step::Apply { c, a, negate }),
+        (idx.clone(), idx.clone()).prop_map(|(c, a)| Step::Transpose { c, a }),
+        (idx.clone(), -5i64..5).prop_map(|(c, v)| Step::AssignScalar { c, v }),
+        idx.prop_map(|c| Step::Clear { c }),
+    ]
+}
+
+const N: usize = 5;
+
+fn interpret(ctx: &Context, seeds: &[Vec<(usize, usize, i64)>], steps: &[Step]) -> Vec<Vec<(usize, usize, i64)>> {
+    let pool: Vec<Matrix<i64>> = seeds
+        .iter()
+        .map(|t| Matrix::from_tuples(N, N, t).unwrap())
+        .collect();
+    let d = Descriptor::default();
+    for s in steps {
+        match *s {
+            Step::Mxm { c, a, b, masked, accum, tran, replace } => {
+                let mut desc = Descriptor::default().structural_mask();
+                if tran {
+                    desc = desc.transpose_first();
+                }
+                if replace {
+                    desc = desc.replace();
+                }
+                // mask and output may alias inputs: snapshots keep it
+                // well defined
+                match (masked, accum) {
+                    (false, false) => ctx.mxm(&pool[c], NoMask, NoAccum, plus_times::<i64>(), &pool[a], &pool[b], &desc),
+                    (true, false) => ctx.mxm(&pool[c], &pool[a], NoAccum, plus_times::<i64>(), &pool[a], &pool[b], &desc),
+                    (false, true) => ctx.mxm(&pool[c], NoMask, Accum(Plus::<i64>::new()), plus_times::<i64>(), &pool[a], &pool[b], &desc),
+                    (true, true) => ctx.mxm(&pool[c], &pool[b], Accum(Plus::<i64>::new()), plus_times::<i64>(), &pool[a], &pool[b], &desc),
+                }
+                .unwrap();
+            }
+            Step::EwiseAdd { c, a, b } => {
+                ctx.ewise_add_matrix(&pool[c], NoMask, NoAccum, Plus::new(), &pool[a], &pool[b], &d)
+                    .unwrap();
+            }
+            Step::EwiseMult { c, a, b, masked } => {
+                if masked {
+                    ctx.ewise_mult_matrix(&pool[c], &pool[b], NoAccum, Times::new(), &pool[a], &pool[b], &Descriptor::default().structural_mask())
+                        .unwrap();
+                } else {
+                    ctx.ewise_mult_matrix(&pool[c], NoMask, NoAccum, Times::new(), &pool[a], &pool[b], &d)
+                        .unwrap();
+                }
+            }
+            Step::Apply { c, a, negate } => {
+                if negate {
+                    ctx.apply_matrix(&pool[c], NoMask, NoAccum, Ainv::new(), &pool[a], &d)
+                        .unwrap();
+                } else {
+                    ctx.apply_matrix(&pool[c], NoMask, NoAccum, Identity::new(), &pool[a], &d)
+                        .unwrap();
+                }
+            }
+            Step::Transpose { c, a } => {
+                ctx.transpose(&pool[c], NoMask, NoAccum, &pool[a], &d).unwrap();
+            }
+            Step::AssignScalar { c, v } => {
+                ctx.assign_scalar_matrix(&pool[c], NoMask, NoAccum, v, ALL, ALL, &d)
+                    .unwrap();
+            }
+            Step::Clear { c } => pool[c].clear(),
+        }
+    }
+    ctx.wait().unwrap();
+    pool.iter().map(|m| m.extract_tuples().unwrap()).collect()
+}
+
+fn seeds_strategy() -> impl Strategy<Value = Vec<Vec<(usize, usize, i64)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0..N, 0..N, -4i64..4), 0..10).prop_map(|mut t| {
+            t.sort_by_key(|&(i, j, _)| (i, j));
+            t.dedup_by_key(|&mut (i, j, _)| (i, j));
+            t
+        }),
+        3,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocking_equals_nonblocking(
+        seeds in seeds_strategy(),
+        steps in proptest::collection::vec(step_strategy(), 1..20),
+    ) {
+        let blocking = interpret(&Context::blocking(), &seeds, &steps);
+        let nonblocking = interpret(&Context::nonblocking(), &seeds, &steps);
+        prop_assert_eq!(blocking, nonblocking);
+    }
+
+    #[test]
+    fn interleaved_observation_matches_end_observation(
+        seeds in seeds_strategy(),
+        steps in proptest::collection::vec(step_strategy(), 1..12),
+    ) {
+        // forcing completion mid-sequence (via nvals) must not change
+        // final results
+        let plain = interpret(&Context::nonblocking(), &seeds, &steps);
+        let ctx = Context::nonblocking();
+        let pool: Vec<Matrix<i64>> = seeds
+            .iter()
+            .map(|t| Matrix::from_tuples(N, N, t).unwrap())
+            .collect();
+        let d = Descriptor::default();
+        for (k, s) in steps.iter().enumerate() {
+            // re-run the same interpretation inline, observing after
+            // every second step
+            match *s {
+                Step::Mxm { c, a, b, masked, accum, tran, replace } => {
+                    let mut desc = Descriptor::default().structural_mask();
+                    if tran { desc = desc.transpose_first(); }
+                    if replace { desc = desc.replace(); }
+                    match (masked, accum) {
+                        (false, false) => ctx.mxm(&pool[c], NoMask, NoAccum, plus_times::<i64>(), &pool[a], &pool[b], &desc),
+                        (true, false) => ctx.mxm(&pool[c], &pool[a], NoAccum, plus_times::<i64>(), &pool[a], &pool[b], &desc),
+                        (false, true) => ctx.mxm(&pool[c], NoMask, Accum(Plus::<i64>::new()), plus_times::<i64>(), &pool[a], &pool[b], &desc),
+                        (true, true) => ctx.mxm(&pool[c], &pool[b], Accum(Plus::<i64>::new()), plus_times::<i64>(), &pool[a], &pool[b], &desc),
+                    }.unwrap();
+                }
+                Step::EwiseAdd { c, a, b } => ctx.ewise_add_matrix(&pool[c], NoMask, NoAccum, Plus::new(), &pool[a], &pool[b], &d).unwrap(),
+                Step::EwiseMult { c, a, b, masked } => {
+                    if masked {
+                        ctx.ewise_mult_matrix(&pool[c], &pool[b], NoAccum, Times::new(), &pool[a], &pool[b], &Descriptor::default().structural_mask()).unwrap()
+                    } else {
+                        ctx.ewise_mult_matrix(&pool[c], NoMask, NoAccum, Times::new(), &pool[a], &pool[b], &d).unwrap()
+                    }
+                }
+                Step::Apply { c, a, negate } => {
+                    if negate {
+                        ctx.apply_matrix(&pool[c], NoMask, NoAccum, Ainv::new(), &pool[a], &d).unwrap()
+                    } else {
+                        ctx.apply_matrix(&pool[c], NoMask, NoAccum, Identity::new(), &pool[a], &d).unwrap()
+                    }
+                }
+                Step::Transpose { c, a } => ctx.transpose(&pool[c], NoMask, NoAccum, &pool[a], &d).unwrap(),
+                Step::AssignScalar { c, v } => ctx.assign_scalar_matrix(&pool[c], NoMask, NoAccum, v, ALL, ALL, &d).unwrap(),
+                Step::Clear { c } => pool[c].clear(),
+            }
+            if k % 2 == 1 {
+                // observation forces completion of this object's cone
+                let _ = pool[k % 3].nvals().unwrap();
+            }
+        }
+        ctx.wait().unwrap();
+        let observed: Vec<_> = pool.iter().map(|m| m.extract_tuples().unwrap()).collect();
+        prop_assert_eq!(observed, plain);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based checks of the algebraic laws the GraphBLAS assumes:
+//! monoid identity/associativity for every predefined monoid, semiring
+//! distributivity samples, and the full lattice of power-set laws on
+//! arbitrary small sets (Table I row 5).
+
+use graphblas_core::algebra::binary::BinaryOp;
+use graphblas_core::algebra::set::SmallSet;
+use graphblas_core::prelude::*;
+use proptest::prelude::*;
+
+fn small_set() -> impl Strategy<Value = SmallSet> {
+    proptest::collection::vec(0u32..12, 0..8)
+        .prop_map(|v| SmallSet::from_iter_unsorted(v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn power_set_semiring_laws(a in small_set(), b in small_set(), c in small_set()) {
+        // commutativity
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        // associativity
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.intersect(&b).intersect(&c), a.intersect(&b.intersect(&c)));
+        // ⊕ identity and ⊗ annihilator at ∅ (the semiring 0)
+        prop_assert_eq!(a.union(&SmallSet::empty()), a.clone());
+        prop_assert_eq!(a.intersect(&SmallSet::empty()), SmallSet::empty());
+        // distributivity of ⊗ over ⊕
+        prop_assert_eq!(
+            a.intersect(&b.union(&c)),
+            a.intersect(&b).union(&a.intersect(&c))
+        );
+        // idempotence (lattice structure)
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert_eq!(a.intersect(&a), a.clone());
+        // absorption
+        prop_assert_eq!(a.union(&a.intersect(&b)), a.clone());
+        prop_assert_eq!(a.intersect(&a.union(&b)), a.clone());
+    }
+
+    #[test]
+    fn integer_monoid_laws(x in -1000i64..1000, y in -1000i64..1000, z in -1000i64..1000) {
+        fn laws<M: Monoid<i64>>(m: &M, x: i64, y: i64, z: i64) {
+            let id = m.identity();
+            assert_eq!(m.apply(&x, &id), x);
+            assert_eq!(m.apply(&id, &x), x);
+            assert_eq!(m.apply(&m.apply(&x, &y), &z), m.apply(&x, &m.apply(&y, &z)));
+        }
+        laws(&PlusMonoid::<i64>::new(), x, y, z);
+        laws(&MinMonoid::<i64>::new(), x, y, z);
+        laws(&MaxMonoid::<i64>::new(), x, y, z);
+        // Times is associative with wrapping arithmetic too
+        laws(&TimesMonoid::<i64>::new(), x, y, z);
+    }
+
+    #[test]
+    fn tropical_semiring_distributivity(
+        a in -100i64..100, b in -100i64..100, c in -100i64..100,
+    ) {
+        // min-plus: a + min(b, c) == min(a+b, a+c)
+        let s = min_plus::<i64>();
+        let lhs = s.mul().apply(&a, &s.add().apply(&b, &c));
+        let rhs = s.add().apply(&s.mul().apply(&a, &b), &s.mul().apply(&a, &c));
+        prop_assert_eq!(lhs, rhs);
+        // max-plus mirrors it
+        let s = max_plus::<i64>();
+        let lhs = s.mul().apply(&a, &s.add().apply(&b, &c));
+        let rhs = s.add().apply(&s.mul().apply(&a, &b), &s.mul().apply(&a, &c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn gf2_is_a_field_fragment(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        let s = xor_and();
+        // distributivity: a ∧ (b ⊻ c) == (a ∧ b) ⊻ (a ∧ c)
+        let lhs = s.mul().apply(&a, &s.add().apply(&b, &c));
+        let rhs = s.add().apply(&s.mul().apply(&a, &b), &s.mul().apply(&a, &c));
+        prop_assert_eq!(lhs, rhs);
+        // xor self-inverse
+        prop_assert_eq!(s.add().apply(&a, &a), false);
+    }
+
+    #[test]
+    fn min_max_absorption(a in -100i64..100, b in -100i64..100, c in -100i64..100) {
+        let s = min_max::<i64>();
+        // max distributes over min on a totally ordered domain
+        let lhs = s.mul().apply(&a, &s.add().apply(&b, &c));
+        let rhs = s.add().apply(&s.mul().apply(&a, &b), &s.mul().apply(&a, &c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn set_operations_membership_model(a in small_set(), b in small_set()) {
+        for x in 0u32..14 {
+            prop_assert_eq!(a.union(&b).contains(x), a.contains(x) || b.contains(x));
+            prop_assert_eq!(a.intersect(&b).contains(x), a.contains(x) && b.contains(x));
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Property-based validation of the core operations against a dense
+//! `Option<T>`-matrix model: the set-notation semantics of §II executed
+//! naively, with masks/accumulators/descriptors applied per Figure 2.
+
+use graphblas_core::prelude::*;
+use proptest::prelude::*;
+
+type Dense = Vec<Vec<Option<i64>>>;
+
+#[derive(Debug, Clone)]
+struct SparseCase {
+    nrows: usize,
+    ncols: usize,
+    tuples: Vec<(usize, usize, i64)>,
+}
+
+fn sparse(nrows: usize, ncols: usize, max_nnz: usize) -> impl Strategy<Value = SparseCase> {
+    proptest::collection::vec(
+        (0..nrows, 0..ncols, -50i64..50),
+        0..=max_nnz,
+    )
+    .prop_map(move |mut t| {
+        t.sort_by_key(|&(i, j, _)| (i, j));
+        t.dedup_by_key(|&mut (i, j, _)| (i, j));
+        SparseCase {
+            nrows,
+            ncols,
+            tuples: t,
+        }
+    })
+}
+
+fn to_matrix(c: &SparseCase) -> Matrix<i64> {
+    Matrix::from_tuples(c.nrows, c.ncols, &c.tuples).unwrap()
+}
+
+fn to_dense(c: &SparseCase) -> Dense {
+    let mut d = vec![vec![None; c.ncols]; c.nrows];
+    for &(i, j, v) in &c.tuples {
+        d[i][j] = Some(v);
+    }
+    d
+}
+
+fn dense_of(m: &Matrix<i64>) -> Dense {
+    let mut d = vec![vec![None; m.ncols()]; m.nrows()];
+    for (i, j, v) in m.extract_tuples().unwrap() {
+        d[i][j] = Some(v);
+    }
+    d
+}
+
+/// The §II set-notation mxm over the dense model.
+fn model_mxm(a: &Dense, b: &Dense) -> Dense {
+    let (m, k) = (a.len(), b.len());
+    let n = b[0].len();
+    let mut c = vec![vec![None; n]; m];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc: Option<i64> = None;
+            for l in 0..k {
+                if let (Some(x), Some(y)) = (a[i][l], b[l][j]) {
+                    let p = x.wrapping_mul(y);
+                    acc = Some(acc.map_or(p, |s| s.wrapping_add(p)));
+                }
+            }
+            c[i][j] = acc;
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mxm_matches_dense_model(
+        a in sparse(7, 5, 20),
+        b in sparse(5, 6, 20),
+    ) {
+        let ctx = Context::blocking();
+        let c = Matrix::<i64>::new(7, 6).unwrap();
+        ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &to_matrix(&a), &to_matrix(&b), &Descriptor::default()).unwrap();
+        prop_assert_eq!(dense_of(&c), model_mxm(&to_dense(&a), &to_dense(&b)));
+    }
+
+    #[test]
+    fn transpose_involution_and_product_rule(
+        a in sparse(6, 4, 15),
+        b in sparse(4, 5, 15),
+    ) {
+        let ctx = Context::blocking();
+        let am = to_matrix(&a);
+        let bm = to_matrix(&b);
+        // (A^T)^T == A
+        let at = Matrix::<i64>::new(4, 6).unwrap();
+        let att = Matrix::<i64>::new(6, 4).unwrap();
+        ctx.transpose(&at, NoMask, NoAccum, &am, &Descriptor::default()).unwrap();
+        ctx.transpose(&att, NoMask, NoAccum, &at, &Descriptor::default()).unwrap();
+        prop_assert_eq!(att.extract_tuples().unwrap(), am.extract_tuples().unwrap());
+        // (AB)^T == B^T A^T
+        let ab = Matrix::<i64>::new(6, 5).unwrap();
+        ctx.mxm(&ab, NoMask, NoAccum, plus_times::<i64>(), &am, &bm, &Descriptor::default()).unwrap();
+        let abt = Matrix::<i64>::new(5, 6).unwrap();
+        ctx.transpose(&abt, NoMask, NoAccum, &ab, &Descriptor::default()).unwrap();
+        let btat = Matrix::<i64>::new(5, 6).unwrap();
+        ctx.mxm(
+            &btat, NoMask, NoAccum, plus_times::<i64>(), &bm, &am,
+            &Descriptor::default().transpose_first().transpose_second(),
+        ).unwrap();
+        prop_assert_eq!(abt.extract_tuples().unwrap(), btat.extract_tuples().unwrap());
+    }
+
+    #[test]
+    fn ewise_patterns_are_union_and_intersection(
+        a in sparse(6, 6, 18),
+        b in sparse(6, 6, 18),
+    ) {
+        let ctx = Context::blocking();
+        let am = to_matrix(&a);
+        let bm = to_matrix(&b);
+        let sum = Matrix::<i64>::new(6, 6).unwrap();
+        let prod = Matrix::<i64>::new(6, 6).unwrap();
+        ctx.ewise_add_matrix(&sum, NoMask, NoAccum, Plus::new(), &am, &bm, &Descriptor::default()).unwrap();
+        ctx.ewise_mult_matrix(&prod, NoMask, NoAccum, Times::new(), &am, &bm, &Descriptor::default()).unwrap();
+        use std::collections::BTreeSet;
+        let pa: BTreeSet<(usize, usize)> = a.tuples.iter().map(|&(i, j, _)| (i, j)).collect();
+        let pb: BTreeSet<(usize, usize)> = b.tuples.iter().map(|&(i, j, _)| (i, j)).collect();
+        let psum: BTreeSet<(usize, usize)> =
+            sum.extract_tuples().unwrap().iter().map(|&(i, j, _)| (i, j)).collect();
+        let pprod: BTreeSet<(usize, usize)> =
+            prod.extract_tuples().unwrap().iter().map(|&(i, j, _)| (i, j)).collect();
+        prop_assert_eq!(psum, pa.union(&pb).copied().collect());
+        prop_assert_eq!(pprod, pa.intersection(&pb).copied().collect());
+        // eWiseAdd with a commutative ⊕ is commutative
+        let sum2 = Matrix::<i64>::new(6, 6).unwrap();
+        ctx.ewise_add_matrix(&sum2, NoMask, NoAccum, Plus::new(), &bm, &am, &Descriptor::default()).unwrap();
+        prop_assert_eq!(sum.extract_tuples().unwrap(), sum2.extract_tuples().unwrap());
+    }
+
+    #[test]
+    fn mask_and_complement_partition_the_output(
+        a in sparse(5, 5, 12),
+        b in sparse(5, 5, 12),
+        mask in sparse(5, 5, 12),
+    ) {
+        // C<M> merge ∪ C<!M> replace parts reconstruct the unmasked result
+        let ctx = Context::blocking();
+        let am = to_matrix(&a);
+        let bm = to_matrix(&b);
+        let mm = to_matrix(&mask);
+        let full = Matrix::<i64>::new(5, 5).unwrap();
+        ctx.mxm(&full, NoMask, NoAccum, plus_times::<i64>(), &am, &bm, &Descriptor::default()).unwrap();
+
+        let part1 = Matrix::<i64>::new(5, 5).unwrap();
+        ctx.mxm(&part1, &mm, NoAccum, plus_times::<i64>(), &am, &bm,
+            &Descriptor::default().structural_mask().replace()).unwrap();
+        let part2 = Matrix::<i64>::new(5, 5).unwrap();
+        ctx.mxm(&part2, &mm, NoAccum, plus_times::<i64>(), &am, &bm,
+            &Descriptor::default().structural_mask().complement_mask().replace()).unwrap();
+
+        // the two parts are disjoint and their union is the full result
+        let mut merged = part1.extract_tuples().unwrap();
+        merged.extend(part2.extract_tuples().unwrap());
+        merged.sort_by_key(|&(i, j, _)| (i, j));
+        let mut want = full.extract_tuples().unwrap();
+        want.sort_by_key(|&(i, j, _)| (i, j));
+        prop_assert_eq!(merged, want);
+    }
+
+    #[test]
+    fn accumulation_is_union_with_combine(
+        c0 in sparse(5, 5, 12),
+        a in sparse(5, 5, 12),
+    ) {
+        // C ⊙= apply(identity, A): Z = C + A on the union pattern
+        let ctx = Context::blocking();
+        let c = to_matrix(&c0);
+        let am = to_matrix(&a);
+        ctx.apply_matrix(&c, NoMask, Accum(Plus::<i64>::new()), Identity::new(), &am, &Descriptor::default()).unwrap();
+        let dc = to_dense(&c0);
+        let da = to_dense(&a);
+        let mut want = vec![vec![None; 5]; 5];
+        for i in 0..5 {
+            for j in 0..5 {
+                want[i][j] = match (dc[i][j], da[i][j]) {
+                    (Some(x), Some(y)) => Some(x.wrapping_add(y)),
+                    (Some(x), None) => Some(x),
+                    (None, Some(y)) => Some(y),
+                    (None, None) => None,
+                };
+            }
+        }
+        prop_assert_eq!(dense_of(&c), want);
+    }
+
+    #[test]
+    fn build_extract_round_trip_with_duplicates(
+        raw in proptest::collection::vec((0usize..6, 0usize..6, -9i64..9), 0..25),
+    ) {
+        // build combines duplicates with +; the result must match a map
+        let m = Matrix::<i64>::new(6, 6).unwrap();
+        let rows: Vec<usize> = raw.iter().map(|t| t.0).collect();
+        let cols: Vec<usize> = raw.iter().map(|t| t.1).collect();
+        let vals: Vec<i64> = raw.iter().map(|t| t.2).collect();
+        m.build(&rows, &cols, &vals, &Plus::new()).unwrap();
+        let mut want = std::collections::BTreeMap::new();
+        for &(i, j, v) in &raw {
+            *want.entry((i, j)).or_insert(0i64) += v;
+        }
+        let got: std::collections::BTreeMap<(usize, usize), i64> = m
+            .extract_tuples()
+            .unwrap()
+            .into_iter()
+            .map(|(i, j, v)| ((i, j), v))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn extract_then_assign_restores_region(
+        a in sparse(6, 6, 20),
+        rows in proptest::sample::subsequence(vec![0usize, 1, 2, 3, 4, 5], 1..=6),
+        cols in proptest::sample::subsequence(vec![0usize, 1, 2, 3, 4, 5], 1..=6),
+    ) {
+        // extract a region, assign it back into a copy cleared at the
+        // region: the region contents must be restored exactly
+        let ctx = Context::blocking();
+        let am = to_matrix(&a);
+        let sub = Matrix::<i64>::new(rows.len(), cols.len()).unwrap();
+        ctx.extract_matrix(&sub, NoMask, NoAccum, &am,
+            IndexSelection::List(&rows), IndexSelection::List(&cols), &Descriptor::default()).unwrap();
+        let target = am.dup();
+        ctx.assign_matrix(&target, NoMask, NoAccum, &sub,
+            IndexSelection::List(&rows), IndexSelection::List(&cols), &Descriptor::default()).unwrap();
+        prop_assert_eq!(target.extract_tuples().unwrap(), am.extract_tuples().unwrap());
+    }
+
+    #[test]
+    fn reduce_rows_matches_model(a in sparse(7, 5, 20)) {
+        let ctx = Context::blocking();
+        let w = Vector::<i64>::new(7).unwrap();
+        ctx.reduce_rows(&w, NoMask, NoAccum, PlusMonoid::new(), &to_matrix(&a), &Descriptor::default()).unwrap();
+        let d = to_dense(&a);
+        for i in 0..7 {
+            let want = d[i].iter().filter_map(|x| *x).fold(None, |acc: Option<i64>, v| {
+                Some(acc.map_or(v, |s| s.wrapping_add(v)))
+            });
+            prop_assert_eq!(w.get(i).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn replace_vs_merge_difference_is_only_outside_mask(
+        c0 in sparse(5, 5, 12),
+        a in sparse(5, 5, 12),
+        mask in sparse(5, 5, 12),
+    ) {
+        let ctx = Context::blocking();
+        let am = to_matrix(&a);
+        let mm = to_matrix(&mask);
+        let merge = to_matrix(&c0);
+        let replace = to_matrix(&c0);
+        ctx.apply_matrix(&merge, &mm, NoAccum, Identity::new(), &am,
+            &Descriptor::default().structural_mask()).unwrap();
+        ctx.apply_matrix(&replace, &mm, NoAccum, Identity::new(), &am,
+            &Descriptor::default().structural_mask().replace()).unwrap();
+        use std::collections::BTreeSet;
+        let pm: BTreeSet<(usize, usize)> = mask.tuples.iter().map(|&(i, j, _)| (i, j)).collect();
+        let dm = dense_of(&merge);
+        let dr = dense_of(&replace);
+        let dc = to_dense(&c0);
+        for i in 0..5 {
+            for j in 0..5 {
+                if pm.contains(&(i, j)) {
+                    // inside the mask both modes agree
+                    prop_assert_eq!(dm[i][j], dr[i][j]);
+                } else {
+                    // outside: merge keeps old C, replace clears
+                    prop_assert_eq!(dm[i][j], dc[i][j]);
+                    prop_assert_eq!(dr[i][j], None);
+                }
+            }
+        }
+    }
+}

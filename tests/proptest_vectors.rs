@@ -1,0 +1,177 @@
+//! Property-based validation of the vector operations (mxv, vxm,
+//! eWise*, extract/assign, select, reduce) against dense models.
+
+use graphblas_core::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct VecCase {
+    n: usize,
+    tuples: Vec<(usize, i64)>,
+}
+
+fn sparse_vec(n: usize, max_nnz: usize) -> impl Strategy<Value = VecCase> {
+    proptest::collection::vec((0..n, -30i64..30), 0..=max_nnz).prop_map(move |mut t| {
+        t.sort_by_key(|&(i, _)| i);
+        t.dedup_by_key(|&mut (i, _)| i);
+        VecCase { n, tuples: t }
+    })
+}
+
+#[derive(Debug, Clone)]
+struct MatCase {
+    nrows: usize,
+    ncols: usize,
+    tuples: Vec<(usize, usize, i64)>,
+}
+
+fn sparse_mat(nrows: usize, ncols: usize, max_nnz: usize) -> impl Strategy<Value = MatCase> {
+    proptest::collection::vec((0..nrows, 0..ncols, -30i64..30), 0..=max_nnz).prop_map(
+        move |mut t| {
+            t.sort_by_key(|&(i, j, _)| (i, j));
+            t.dedup_by_key(|&mut (i, j, _)| (i, j));
+            MatCase {
+                nrows,
+                ncols,
+                tuples: t,
+            }
+        },
+    )
+}
+
+fn vecd(c: &VecCase) -> Vec<Option<i64>> {
+    let mut d = vec![None; c.n];
+    for &(i, v) in &c.tuples {
+        d[i] = Some(v);
+    }
+    d
+}
+
+fn matd(c: &MatCase) -> Vec<Vec<Option<i64>>> {
+    let mut d = vec![vec![None; c.ncols]; c.nrows];
+    for &(i, j, v) in &c.tuples {
+        d[i][j] = Some(v);
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mxv_matches_dense_model(
+        a in sparse_mat(6, 5, 18),
+        u in sparse_vec(5, 5),
+    ) {
+        let ctx = Context::blocking();
+        let am = Matrix::from_tuples(a.nrows, a.ncols, &a.tuples).unwrap();
+        let uv = Vector::from_tuples(u.n, &u.tuples).unwrap();
+        let w = Vector::<i64>::new(6).unwrap();
+        ctx.mxv(&w, NoMask, NoAccum, plus_times::<i64>(), &am, &uv, &Descriptor::default()).unwrap();
+        let (da, du) = (matd(&a), vecd(&u));
+        for i in 0..6 {
+            let mut acc: Option<i64> = None;
+            for k in 0..5 {
+                if let (Some(x), Some(y)) = (da[i][k], du[k]) {
+                    let p = x.wrapping_mul(y);
+                    acc = Some(acc.map_or(p, |s| s.wrapping_add(p)));
+                }
+            }
+            prop_assert_eq!(w.get(i).unwrap(), acc);
+        }
+    }
+
+    #[test]
+    fn vxm_equals_mxv_on_transpose(
+        a in sparse_mat(6, 5, 18),
+        u in sparse_vec(6, 6),
+    ) {
+        let ctx = Context::blocking();
+        let am = Matrix::from_tuples(a.nrows, a.ncols, &a.tuples).unwrap();
+        let uv = Vector::from_tuples(u.n, &u.tuples).unwrap();
+        let w1 = Vector::<i64>::new(5).unwrap();
+        let w2 = Vector::<i64>::new(5).unwrap();
+        ctx.vxm(&w1, NoMask, NoAccum, plus_times::<i64>(), &uv, &am, &Descriptor::default()).unwrap();
+        ctx.mxv(&w2, NoMask, NoAccum, plus_times::<i64>(), &am, &uv, &Descriptor::default().transpose_first()).unwrap();
+        prop_assert_eq!(w1.extract_tuples().unwrap(), w2.extract_tuples().unwrap());
+    }
+
+    #[test]
+    fn vector_masked_write_model(
+        w0 in sparse_vec(8, 8),
+        t in sparse_vec(8, 8),
+        m in sparse_vec(8, 8),
+        comp in any::<bool>(),
+        repl in any::<bool>(),
+    ) {
+        // w<mask> (⊙=|=) identity(t) against an element-wise model
+        let ctx = Context::blocking();
+        let w = Vector::from_tuples(8, &w0.tuples).unwrap();
+        let tv = Vector::from_tuples(8, &t.tuples).unwrap();
+        let mv = Vector::from_tuples(8, &m.tuples).unwrap();
+        let mut d = Descriptor::default().structural_mask();
+        if comp { d = d.complement_mask(); }
+        if repl { d = d.replace(); }
+        ctx.apply_vector(&w, &mv, NoAccum, Identity::new(), &tv, &d).unwrap();
+        let (dw, dt, dm) = (vecd(&w0), vecd(&t), vecd(&m));
+        for i in 0..8 {
+            let admitted = dm[i].is_some() != comp;
+            let want = if admitted { dt[i] } else if repl { None } else { dw[i] };
+            prop_assert_eq!(w.get(i).unwrap(), want, "i={}", i);
+        }
+    }
+
+    #[test]
+    fn select_is_filter(u in sparse_vec(10, 10), thresh in -20i64..20) {
+        let ctx = Context::blocking();
+        let uv = Vector::from_tuples(u.n, &u.tuples).unwrap();
+        let w = Vector::<i64>::new(10).unwrap();
+        ctx.select_vector(&w, NoMask, NoAccum, ValueGt(thresh), &uv, &Descriptor::default()).unwrap();
+        let want: Vec<(usize, i64)> = u.tuples.iter().copied().filter(|&(_, v)| v > thresh).collect();
+        prop_assert_eq!(w.extract_tuples().unwrap(), want);
+    }
+
+    #[test]
+    fn vector_extract_assign_round_trip(
+        u in sparse_vec(9, 9),
+        sel in proptest::sample::subsequence((0usize..9).collect::<Vec<_>>(), 1..=9),
+    ) {
+        let ctx = Context::blocking();
+        let uv = Vector::from_tuples(u.n, &u.tuples).unwrap();
+        let sub = Vector::<i64>::new(sel.len()).unwrap();
+        ctx.extract_vector(&sub, NoMask, NoAccum, &uv, IndexSelection::List(&sel), &Descriptor::default()).unwrap();
+        let target = uv.dup();
+        ctx.assign_vector(&target, NoMask, NoAccum, &sub, IndexSelection::List(&sel), &Descriptor::default()).unwrap();
+        prop_assert_eq!(target.extract_tuples().unwrap(), uv.extract_tuples().unwrap());
+    }
+
+    #[test]
+    fn reduce_vector_scalar_is_sum(u in sparse_vec(12, 12)) {
+        let ctx = Context::blocking();
+        let uv = Vector::from_tuples(u.n, &u.tuples).unwrap();
+        let got = ctx.reduce_vector_to_scalar(PlusMonoid::<i64>::new(), &uv).unwrap();
+        let want: i64 = u.tuples.iter().map(|&(_, v)| v).fold(0, |a, b| a.wrapping_add(b));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn kron_matches_dense_model(
+        a in sparse_mat(3, 3, 6),
+        b in sparse_mat(2, 4, 6),
+    ) {
+        let ctx = Context::blocking();
+        let am = Matrix::from_tuples(a.nrows, a.ncols, &a.tuples).unwrap();
+        let bm = Matrix::from_tuples(b.nrows, b.ncols, &b.tuples).unwrap();
+        let c = Matrix::<i64>::new(6, 12).unwrap();
+        ctx.kronecker(&c, NoMask, NoAccum, Times::<i64>::new(), &am, &bm, &Descriptor::default()).unwrap();
+        let got: std::collections::BTreeMap<(usize, usize), i64> =
+            c.extract_tuples().unwrap().into_iter().map(|(i, j, v)| ((i, j), v)).collect();
+        let mut want = std::collections::BTreeMap::new();
+        for &(i1, j1, x) in &a.tuples {
+            for &(i2, j2, y) in &b.tuples {
+                want.insert((i1 * 2 + i2, j1 * 4 + j2), x.wrapping_mul(y));
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,175 @@
+//! Experiment T1 (DESIGN.md): Table I — the five semirings the paper
+//! tabulates, validated end to end through `mxm`/`mxv` on the same
+//! graph, plus the semiring laws (identity, annihilator) at the
+//! operation level.
+
+use graphblas_core::algebra::set::{SetIntersect, SetUnionMonoid};
+use graphblas_core::prelude::*;
+
+/// A fixed weighted digraph used throughout:
+/// 0→1 (2), 0→2 (5), 1→3 (4), 2→3 (1), 3→0 (3)
+fn weights() -> Vec<(usize, usize, f64)> {
+    vec![(0, 1, 2.0), (0, 2, 5.0), (1, 3, 4.0), (2, 3, 1.0), (3, 0, 3.0)]
+}
+
+fn square<S: Semiring<f64, f64, f64>>(s: S) -> Matrix<f64> {
+    let ctx = Context::blocking();
+    let a = Matrix::from_tuples(4, 4, &weights()).unwrap();
+    let c = Matrix::<f64>::new(4, 4).unwrap();
+    ctx.mxm(&c, NoMask, NoAccum, s, &a, &a, &Descriptor::default())
+        .unwrap();
+    c
+}
+
+#[test]
+fn row1_standard_arithmetic() {
+    let c = square(plus_times::<f64>());
+    // 0→3 via 1: 2*4 = 8; via 2: 5*1 = 5; ⊕ = + gives 13
+    assert_eq!(c.get(0, 3).unwrap(), Some(13.0));
+    // 3→1 via 0: 3*2 = 6
+    assert_eq!(c.get(3, 1).unwrap(), Some(6.0));
+    // no two-hop 0→1 (only direct): undefined, never a fabricated 0
+    assert_eq!(c.get(0, 1).unwrap(), None);
+}
+
+#[test]
+fn row2_max_plus() {
+    let c = square(max_plus::<f64>());
+    // longest two-hop 0→3: max(2+4, 5+1) = 6
+    assert_eq!(c.get(0, 3).unwrap(), Some(6.0));
+}
+
+#[test]
+fn row2_max_plus_identity_is_neg_infinity() {
+    let s = max_plus::<f64>();
+    assert_eq!(s.zero(), f64::NEG_INFINITY);
+    // 0 annihilates ⊗: -∞ + x = -∞; and is the ⊕ identity
+    assert_eq!(s.mul().apply(&s.zero(), &7.0), f64::NEG_INFINITY);
+    assert_eq!(s.add().apply(&s.zero(), &7.0), 7.0);
+}
+
+#[test]
+fn row3_min_max() {
+    let c = square(min_max::<f64>());
+    // minimax two-hop 0→3: min(max(2,4), max(5,1)) = min(4, 5) = 4
+    assert_eq!(c.get(0, 3).unwrap(), Some(4.0));
+    let s = min_max::<f64>();
+    assert_eq!(s.zero(), f64::INFINITY);
+    assert_eq!(s.mul().apply(&s.zero(), &7.0), f64::INFINITY);
+}
+
+#[test]
+fn row4_gf2() {
+    let ctx = Context::blocking();
+    let b = Matrix::from_tuples(
+        4,
+        4,
+        &weights()
+            .iter()
+            .map(|&(i, j, _)| (i, j, true))
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let p = Matrix::<bool>::new(4, 4).unwrap();
+    ctx.mxm(&p, NoMask, NoAccum, xor_and(), &b, &b, &Descriptor::default())
+        .unwrap();
+    // two walks 0→3 (via 1 and via 2): even parity
+    assert_eq!(p.get(0, 3).unwrap(), Some(false));
+    // exactly one walk 3→1 (via 0): odd
+    assert_eq!(p.get(3, 1).unwrap(), Some(true));
+}
+
+#[test]
+fn row5_power_set() {
+    let ctx = Context::blocking();
+    let color = |cs: &[u32]| SmallSet::from_iter_unsorted(cs.iter().copied());
+    let s = Matrix::from_tuples(
+        4,
+        4,
+        &[
+            (0, 1, color(&[1, 2])),
+            (0, 2, color(&[2, 3])),
+            (1, 3, color(&[1])),
+            (2, 3, color(&[2, 3])),
+        ],
+    )
+    .unwrap();
+    let t = Matrix::<SmallSet>::new(4, 4).unwrap();
+    ctx.mxm(
+        &t,
+        NoMask,
+        NoAccum,
+        SemiringDef::new(SetUnionMonoid, SetIntersect),
+        &s,
+        &s,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    // 0→3: (via 1) {1,2}∩{1} = {1}; (via 2) {2,3}∩{2,3} = {2,3};
+    // ∪ = {1,2,3}
+    assert_eq!(
+        t.get(0, 3).unwrap(),
+        Some(color(&[1, 2, 3]))
+    );
+    // a route whose intersection is empty contributes the semiring 0 (∅)
+    // and an all-∅ entry is still *stored* (∅ is a value, not absence)
+    let disjoint = Matrix::from_tuples(
+        2,
+        2,
+        &[(0, 1, color(&[1])), (1, 0, color(&[2]))],
+    )
+    .unwrap();
+    let u = Matrix::<SmallSet>::new(2, 2).unwrap();
+    ctx.mxm(
+        &u,
+        NoMask,
+        NoAccum,
+        SemiringDef::new(SetUnionMonoid, SetIntersect),
+        &disjoint,
+        &disjoint,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    assert_eq!(u.get(0, 0).unwrap(), Some(SmallSet::empty()));
+}
+
+#[test]
+fn same_matrix_different_semirings_no_restorage() {
+    // §II: "nothing changes in the stored matrix" as the semiring
+    // changes — one matrix, four interpretations
+    let ctx = Context::blocking();
+    let a = Matrix::from_tuples(4, 4, &weights()).unwrap();
+    let before = a.extract_tuples().unwrap();
+    for _ in 0..2 {
+        let c = Matrix::<f64>::new(4, 4).unwrap();
+        ctx.mxm(&c, NoMask, NoAccum, plus_times::<f64>(), &a, &a, &Descriptor::default())
+            .unwrap();
+        ctx.mxm(&c, NoMask, NoAccum, min_plus::<f64>(), &a, &a, &Descriptor::default().replace())
+            .unwrap();
+        ctx.mxm(&c, NoMask, NoAccum, max_plus::<f64>(), &a, &a, &Descriptor::default().replace())
+            .unwrap();
+        ctx.mxm(&c, NoMask, NoAccum, min_max::<f64>(), &a, &a, &Descriptor::default().replace())
+            .unwrap();
+    }
+    assert_eq!(a.extract_tuples().unwrap(), before);
+}
+
+#[test]
+fn min_plus_vs_reference_shortest_paths() {
+    // tropical mxv iteration against the Bellman-Ford oracle on a
+    // generated graph
+    use graphblas_reference::{paths::bellman_ford, WeightedGraph};
+    let g = graphblas_gen::erdos_renyi_gnm(60, 240, 5);
+    let wt = g.weighted_tuples(1.0, 4.0, 11);
+    let ctx = Context::blocking();
+    let a = Matrix::from_tuples(60, 60, &wt).unwrap();
+    let dist = graphblas_algorithms::sssp_bellman_ford(&ctx, &a, 0).unwrap();
+    let oracle = bellman_ford(&WeightedGraph::from_edges(60, &wt), 0).unwrap();
+    for (d, o) in dist.iter().zip(&oracle) {
+        match (d, o) {
+            (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9),
+            (None, None) => {}
+            other => panic!("disagreement: {other:?}"),
+        }
+    }
+}

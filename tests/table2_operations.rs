@@ -1,0 +1,220 @@
+//! Experiment T2 (DESIGN.md): Table II — every fundamental GraphBLAS
+//! operation, exercised with the full Figure 2 semantics (accumulator,
+//! mask, descriptor) through the public API.
+
+use graphblas_core::prelude::*;
+
+fn ctx() -> Context {
+    Context::blocking()
+}
+
+fn a_matrix() -> Matrix<i64> {
+    // [ 1 2 . ]
+    // [ . 3 4 ]
+    // [ 5 . 6 ]
+    Matrix::from_tuples(
+        3,
+        3,
+        &[(0, 0, 1), (0, 1, 2), (1, 1, 3), (1, 2, 4), (2, 0, 5), (2, 2, 6)],
+    )
+    .unwrap()
+}
+
+#[test]
+fn op_mxm() {
+    let ctx = ctx();
+    let c = Matrix::<i64>::new(3, 3).unwrap();
+    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a_matrix(), &a_matrix(), &Descriptor::default())
+        .unwrap();
+    // row 0: 1*[1,2,.] + 2*[.,3,4] = [1, 8, 8]
+    assert_eq!(c.get(0, 0).unwrap(), Some(1));
+    assert_eq!(c.get(0, 1).unwrap(), Some(8));
+    assert_eq!(c.get(0, 2).unwrap(), Some(8));
+}
+
+#[test]
+fn op_mxv_and_vxm() {
+    let ctx = ctx();
+    let v = Vector::from_dense(&[1i64, 10, 100]).unwrap();
+    let w = Vector::<i64>::new(3).unwrap();
+    ctx.mxv(&w, NoMask, NoAccum, plus_times::<i64>(), &a_matrix(), &v, &Descriptor::default())
+        .unwrap();
+    assert_eq!(w.to_dense().unwrap(), vec![Some(21), Some(430), Some(605)]);
+    ctx.vxm(&w, NoMask, NoAccum, plus_times::<i64>(), &v, &a_matrix(), &Descriptor::default().replace())
+        .unwrap();
+    assert_eq!(w.to_dense().unwrap(), vec![Some(501), Some(32), Some(640)]);
+}
+
+#[test]
+fn op_ewise_mult_and_add() {
+    let ctx = ctx();
+    let b = Matrix::from_tuples(3, 3, &[(0, 0, 10i64), (1, 2, 20), (2, 1, 30)]).unwrap();
+    let c = Matrix::<i64>::new(3, 3).unwrap();
+    ctx.ewise_mult_matrix(&c, NoMask, NoAccum, Times::new(), &a_matrix(), &b, &Descriptor::default())
+        .unwrap();
+    assert_eq!(c.extract_tuples().unwrap(), vec![(0, 0, 10), (1, 2, 80)]);
+    ctx.ewise_add_matrix(&c, NoMask, NoAccum, Plus::new(), &a_matrix(), &b, &Descriptor::default().replace())
+        .unwrap();
+    assert_eq!(c.nvals().unwrap(), 7); // union pattern
+    assert_eq!(c.get(0, 0).unwrap(), Some(11));
+    assert_eq!(c.get(2, 1).unwrap(), Some(30)); // pass-through
+
+    // vector variants
+    let u = Vector::from_tuples(3, &[(0, 1i64), (1, 2)]).unwrap();
+    let v = Vector::from_tuples(3, &[(1, 10i64), (2, 20)]).unwrap();
+    let w = Vector::<i64>::new(3).unwrap();
+    ctx.ewise_add_vector(&w, NoMask, NoAccum, Plus::new(), &u, &v, &Descriptor::default())
+        .unwrap();
+    assert_eq!(w.to_dense().unwrap(), vec![Some(1), Some(12), Some(20)]);
+    ctx.ewise_mult_vector(&w, NoMask, NoAccum, Times::new(), &u, &v, &Descriptor::default().replace())
+        .unwrap();
+    assert_eq!(w.extract_tuples().unwrap(), vec![(1, 20)]);
+}
+
+#[test]
+fn op_reduce_row() {
+    let ctx = ctx();
+    let w = Vector::<i64>::new(3).unwrap();
+    ctx.reduce_rows(&w, NoMask, NoAccum, PlusMonoid::new(), &a_matrix(), &Descriptor::default())
+        .unwrap();
+    assert_eq!(w.to_dense().unwrap(), vec![Some(3), Some(7), Some(11)]);
+}
+
+#[test]
+fn op_apply() {
+    let ctx = ctx();
+    let c = Matrix::<i64>::new(3, 3).unwrap();
+    ctx.apply_matrix(&c, NoMask, NoAccum, Ainv::new(), &a_matrix(), &Descriptor::default())
+        .unwrap();
+    assert_eq!(c.get(2, 2).unwrap(), Some(-6));
+    let w = Vector::<i64>::new(3).unwrap();
+    let u = Vector::from_dense(&[1i64, -2, 3]).unwrap();
+    ctx.apply_vector(&w, NoMask, NoAccum, Abs::new(), &u, &Descriptor::default())
+        .unwrap();
+    assert_eq!(w.to_dense().unwrap(), vec![Some(1), Some(2), Some(3)]);
+}
+
+#[test]
+fn op_transpose() {
+    let ctx = ctx();
+    let c = Matrix::<i64>::new(3, 3).unwrap();
+    ctx.transpose(&c, NoMask, NoAccum, &a_matrix(), &Descriptor::default())
+        .unwrap();
+    assert_eq!(c.get(1, 0).unwrap(), Some(2));
+    assert_eq!(c.get(0, 2).unwrap(), Some(5));
+    // involution through the API
+    let cc = Matrix::<i64>::new(3, 3).unwrap();
+    ctx.transpose(&cc, NoMask, NoAccum, &c, &Descriptor::default())
+        .unwrap();
+    assert_eq!(
+        cc.extract_tuples().unwrap(),
+        a_matrix().extract_tuples().unwrap()
+    );
+}
+
+#[test]
+fn op_extract() {
+    let ctx = ctx();
+    let c = Matrix::<i64>::new(2, 2).unwrap();
+    ctx.extract_matrix(
+        &c,
+        NoMask,
+        NoAccum,
+        &a_matrix(),
+        IndexSelection::List(&[2, 0]),
+        IndexSelection::List(&[0, 2]),
+        &Descriptor::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        c.extract_tuples().unwrap(),
+        vec![(0, 0, 5), (0, 1, 6), (1, 0, 1)]
+    );
+    let w = Vector::<i64>::new(2).unwrap();
+    let u = Vector::from_dense(&[7i64, 8, 9]).unwrap();
+    ctx.extract_vector(&w, NoMask, NoAccum, &u, IndexSelection::List(&[2, 0]), &Descriptor::default())
+        .unwrap();
+    assert_eq!(w.to_dense().unwrap(), vec![Some(9), Some(7)]);
+}
+
+#[test]
+fn op_assign() {
+    let ctx = ctx();
+    let c = a_matrix();
+    let src = Matrix::from_tuples(1, 2, &[(0, 0, 99i64)]).unwrap();
+    ctx.assign_matrix(
+        &c,
+        NoMask,
+        NoAccum,
+        &src,
+        IndexSelection::List(&[1]),
+        IndexSelection::List(&[1, 2]),
+        &Descriptor::default(),
+    )
+    .unwrap();
+    assert_eq!(c.get(1, 1).unwrap(), Some(99));
+    assert_eq!(c.get(1, 2).unwrap(), None); // region deletion
+    assert_eq!(c.get(0, 0).unwrap(), Some(1)); // outside region intact
+
+    let w = Vector::from_dense(&[1i64, 2, 3]).unwrap();
+    let uu = Vector::from_tuples(2, &[(0, 50i64), (1, 60)]).unwrap();
+    ctx.assign_vector(&w, NoMask, NoAccum, &uu, IndexSelection::List(&[2, 0]), &Descriptor::default())
+        .unwrap();
+    assert_eq!(w.to_dense().unwrap(), vec![Some(60), Some(2), Some(50)]);
+}
+
+#[test]
+fn accumulator_semantics_table2_header() {
+    // Table II's ⊙=: with accum, old C merges with T on the union
+    let ctx = ctx();
+    let c = Matrix::from_tuples(3, 3, &[(0, 2, 100i64)]).unwrap();
+    ctx.mxm(
+        &c,
+        NoMask,
+        Accum(Plus::<i64>::new()),
+        plus_times::<i64>(),
+        &a_matrix(),
+        &a_matrix(),
+        &Descriptor::default(),
+    )
+    .unwrap();
+    assert_eq!(c.get(0, 2).unwrap(), Some(108)); // 100 ⊙ 8
+    assert_eq!(c.get(0, 0).unwrap(), Some(1)); // T-only passes through
+}
+
+#[test]
+fn transposed_inputs_per_descriptor() {
+    // Table II footnote: inputs may be selected for transposition
+    let ctx = ctx();
+    let c1 = Matrix::<i64>::new(3, 3).unwrap();
+    let c2 = Matrix::<i64>::new(3, 3).unwrap();
+    let at = Matrix::<i64>::new(3, 3).unwrap();
+    ctx.transpose(&at, NoMask, NoAccum, &a_matrix(), &Descriptor::default())
+        .unwrap();
+    ctx.mxm(&c1, NoMask, NoAccum, plus_times::<i64>(), &at, &a_matrix(), &Descriptor::default())
+        .unwrap();
+    ctx.mxm(
+        &c2,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a_matrix(),
+        &a_matrix(),
+        &Descriptor::default().transpose_first(),
+    )
+    .unwrap();
+    assert_eq!(c1.extract_tuples().unwrap(), c2.extract_tuples().unwrap());
+}
+
+#[test]
+fn masks_control_writes_per_table2_footnote() {
+    let ctx = ctx();
+    let mask = Matrix::from_tuples(3, 3, &[(0, 1, true), (2, 0, true)]).unwrap();
+    let c = Matrix::from_tuples(3, 3, &[(1, 1, 777i64)]).unwrap();
+    ctx.mxm(&c, &mask, NoAccum, plus_times::<i64>(), &a_matrix(), &a_matrix(), &Descriptor::default())
+        .unwrap();
+    // merge mode: unmasked old value survives, masked positions updated
+    assert_eq!(c.get(1, 1).unwrap(), Some(777));
+    assert_eq!(c.get(0, 1).unwrap(), Some(8));
+    assert!(c.get(0, 0).unwrap().is_none());
+}
