@@ -1,0 +1,380 @@
+//! Offline stand-in for the `criterion` crate (the build environment has
+//! no registry access). Implements the subset this workspace's benches
+//! use — `Criterion`, `benchmark_group`, `bench_function`, `Bencher::iter`
+//! / `iter_batched`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — measuring wall-clock
+//! time and printing a criterion-style one-line summary per benchmark.
+//!
+//! No statistics engine: each benchmark reports min/mean/max over the
+//! measured samples. A positional CLI argument acts as a substring
+//! filter on benchmark names, like upstream.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+#[derive(Clone, Copy)]
+struct MeasureConfig {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 50,
+        }
+    }
+}
+
+pub struct Criterion {
+    filter: Option<String>,
+    config: MeasureConfig,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // first positional (non-flag) CLI arg = name filter, as upstream
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            config: MeasureConfig::default(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name.into_id(), self.filter.as_deref(), self.config, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = self.config;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config,
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: MeasureConfig,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(
+            full,
+            self.criterion.filter.as_deref(),
+            self.config,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum SamplingMode {
+    Auto,
+    Linear,
+    Flat,
+}
+
+pub struct Bencher {
+    config: MeasureConfig,
+    /// (total time, iterations) accumulated by the measurement loop.
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measure `f` called repeatedly; timing covers the whole batch.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // warm-up + calibration
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        let mut calls: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_until {
+            black_box(f());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / calls.max(1) as f64;
+
+        let samples = self.config.sample_size;
+        let budget = self.config.measurement_time.as_secs_f64();
+        let iters = ((budget / samples as f64) / per_call.max(1e-9)).ceil() as u64;
+        let iters = iters.clamp(1, 1_000_000_000);
+        self.iters_per_sample = iters;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup excluded.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_until {
+            let input = setup();
+            black_box(routine(input));
+        }
+        self.iters_per_sample = 1;
+        let deadline = Instant::now() + self.config.measurement_time;
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.2} s", secs)
+    }
+}
+
+fn run_one<F>(
+    name: String,
+    filter: Option<&str>,
+    config: MeasureConfig,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        config,
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / b.iters_per_sample as f64)
+        .collect();
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let mut line = format!(
+        "{name:<50} time:   [{} {} {}]",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max)
+    );
+    if let Some(t) = throughput {
+        let (amount, unit) = match t {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        line.push_str(&format!(
+            "  thrpt:  [{:.3e} {unit}]",
+            amount / mean.max(1e-12)
+        ));
+    }
+    println!("{line}");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            config: MeasureConfig {
+                warm_up_time: Duration::from_millis(10),
+                measurement_time: Duration::from_millis(50),
+                sample_size: 5,
+            },
+        };
+        let mut x = 0u64;
+        c.bench_function("selftest/iter", |b| b.iter(|| x = x.wrapping_add(1)));
+        assert!(x > 0);
+    }
+
+    #[test]
+    fn group_and_batched() {
+        let mut c = Criterion {
+            filter: Some("selftest".into()),
+            config: MeasureConfig {
+                warm_up_time: Duration::from_millis(5),
+                measurement_time: Duration::from_millis(20),
+                sample_size: 3,
+            },
+        };
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function(BenchmarkId::new("batched", 1), |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            config: MeasureConfig::default(),
+        };
+        let mut ran = false;
+        c.bench_function("other/name", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran);
+    }
+}

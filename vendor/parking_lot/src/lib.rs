@@ -1,0 +1,262 @@
+//! Offline stand-in for the `parking_lot` crate (the build environment has
+//! no registry access). Implements the subset of the API this workspace
+//! uses — `Mutex`, `RwLock`, `ReentrantMutex` and their guards — over
+//! `std::sync` primitives, with parking_lot's no-poisoning semantics
+//! (a panicked holder does not poison the lock for later users).
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::{RwLock as StdRwLock, RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard};
+use std::thread::ThreadId;
+
+// ---------------------------------------------------------------- Mutex
+
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+pub struct MutexGuard<'a, T: ?Sized>(StdMutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+impl<'a, T: ?Sized> Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+// --------------------------------------------------------------- RwLock
+
+pub struct RwLock<T: ?Sized>(StdRwLock<T>);
+
+pub struct RwLockReadGuard<'a, T: ?Sized>(StdReadGuard<'a, T>);
+pub struct RwLockWriteGuard<'a, T: ?Sized>(StdWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock(StdRwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockWriteGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for RwLockWriteGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+// ------------------------------------------------------- ReentrantMutex
+
+struct ReentrantState {
+    owner: Option<ThreadId>,
+    depth: usize,
+}
+
+/// A mutex that the owning thread can lock again without deadlocking.
+pub struct ReentrantMutex<T: ?Sized> {
+    state: StdMutex<ReentrantState>,
+    cond: Condvar,
+    data: UnsafeCell<T>,
+}
+
+// Safety: the state machine guarantees at most one thread holds the lock
+// (at any depth) at a time, and guards hand out only shared references.
+unsafe impl<T: ?Sized + Send> Send for ReentrantMutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for ReentrantMutex<T> {}
+
+pub struct ReentrantMutexGuard<'a, T: ?Sized>(&'a ReentrantMutex<T>);
+
+impl<T> ReentrantMutex<T> {
+    pub const fn new(value: T) -> Self {
+        ReentrantMutex {
+            state: StdMutex::new(ReentrantState {
+                owner: None,
+                depth: 0,
+            }),
+            cond: Condvar::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> ReentrantMutex<T> {
+    pub fn lock(&self) -> ReentrantMutexGuard<'_, T> {
+        let me = std::thread::current().id();
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match st.owner {
+                None => {
+                    st.owner = Some(me);
+                    st.depth = 1;
+                    return ReentrantMutexGuard(self);
+                }
+                Some(owner) if owner == me => {
+                    st.depth += 1;
+                    return ReentrantMutexGuard(self);
+                }
+                Some(_) => {
+                    st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+}
+
+impl<'a, T: ?Sized> Deref for ReentrantMutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: we hold the (reentrant) lock, and guards are !Send.
+        unsafe { &*self.0.data.get() }
+    }
+}
+
+impl<'a, T: ?Sized> Drop for ReentrantMutexGuard<'a, T> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.depth -= 1;
+        if st.depth == 0 {
+            st.owner = None;
+            drop(st);
+            self.0.cond.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic_and_unpoisoned() {
+        let m = Arc::new(Mutex::new(0i32));
+        *m.lock() += 5;
+        assert_eq!(*m.lock(), 5);
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        // parking_lot semantics: no poisoning
+        assert_eq!(*m.lock(), 5);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!(r1.len() + r2.len(), 6);
+        }
+        l.write().push(4);
+        assert_eq!(l.read().len(), 4);
+    }
+
+    #[test]
+    fn reentrant_lock_same_thread() {
+        static M: ReentrantMutex<()> = ReentrantMutex::new(());
+        let _a = M.lock();
+        let _b = M.lock(); // must not deadlock
+    }
+
+    #[test]
+    fn reentrant_excludes_other_threads() {
+        let m = Arc::new(ReentrantMutex::new(()));
+        let g = m.lock();
+        let m2 = m.clone();
+        let h = std::thread::spawn(move || {
+            let _g = m2.lock();
+            true
+        });
+        // give the thread a moment to block, then release
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(g);
+        assert!(h.join().unwrap());
+    }
+}

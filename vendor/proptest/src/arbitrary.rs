@@ -1,0 +1,40 @@
+//! `any::<T>()` for the primitive types this workspace generates.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub struct AnyStrategy<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: the canonical strategy for the whole domain of `T`.
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(PhantomData)
+}

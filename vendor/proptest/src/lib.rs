@@ -1,0 +1,146 @@
+//! Offline stand-in for the `proptest` crate (the build environment has
+//! no registry access). Implements the subset this workspace uses:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `boxed`, tuple/range/`Just`
+//!   strategies, [`collection::vec`], [`sample::subsequence`],
+//!   [`arbitrary::any`], and the [`prop_oneof!`] union macro;
+//! * the [`proptest!`] test macro with `#![proptest_config(..)]`,
+//!   `pat in strategy` bindings, and `prop_assert*` macros.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (stable across runs — failures reproduce exactly), and
+//! there is **no shrinking**: a failing case reports its inputs verbatim.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// `prop_oneof![s1, s2, ...]`: choose one of the arm strategies uniformly
+/// per generated case. (Upstream's `weight => strategy` form is not
+/// needed by this workspace and is not supported.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// The test macro. Each `fn name(pat in strategy, ...) { body }` becomes a
+/// `#[test]`-able function running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __seed = $crate::test_runner::fnv1a(stringify!($name));
+            for __case in 0..__config.cases {
+                let mut __rng =
+                    $crate::test_runner::TestRng::new(__seed ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0usize..10, (a, b) in (-5i64..5, any::<bool>())) {
+            prop_assert!(x < 10);
+            prop_assert!((-5..5).contains(&a));
+            let _ = b;
+        }
+
+        #[test]
+        fn mapped_vec(v in crate::collection::vec((0usize..4, -3i32..3), 0..12)) {
+            prop_assert!(v.len() < 12);
+            for (i, x) in v {
+                prop_assert!(i < 4 && (-3..3).contains(&x));
+            }
+        }
+
+        #[test]
+        fn oneof_and_subsequence(
+            pick in prop_oneof![Just(1u8), Just(2u8), (3u8..6).prop_map(|v| v)],
+            sub in crate::sample::subsequence(vec![0usize, 1, 2, 3, 4], 1..=5),
+        ) {
+            prop_assert!((1..6).contains(&pick));
+            prop_assert!(!sub.is_empty());
+            // order preserved
+            prop_assert!(sub.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0usize..100, 0..20);
+        let mut r1 = crate::test_runner::TestRng::new(9);
+        let mut r2 = crate::test_runner::TestRng::new(9);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

@@ -1,0 +1,39 @@
+//! Sampling strategies: `subsequence`.
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct Subsequence<T: Clone> {
+    values: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let len = self.values.len();
+        let lo = self.size.lo.min(len);
+        let hi = self.size.hi.min(len);
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        // choose n distinct indices by a partial Fisher-Yates, then sort
+        // so the subsequence preserves the source order
+        let mut idx: Vec<usize> = (0..len).collect();
+        for i in 0..n {
+            let j = i + rng.below((len - i) as u64) as usize;
+            idx.swap(i, j);
+        }
+        let mut chosen: Vec<usize> = idx[..n].to_vec();
+        chosen.sort_unstable();
+        chosen.into_iter().map(|i| self.values[i].clone()).collect()
+    }
+}
+
+/// A random subsequence (order-preserving subset) of `values`, with size
+/// drawn from `size` (clamped to the available length).
+pub fn subsequence<T: Clone>(values: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence {
+        values,
+        size: size.into(),
+    }
+}

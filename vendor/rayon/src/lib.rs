@@ -1,0 +1,428 @@
+//! Offline stand-in for the `rayon` crate (the build environment has no
+//! registry access). Provides genuinely parallel, order-preserving
+//! implementations of the API subset this workspace uses:
+//!
+//! * `slice.par_iter()` / `range.into_par_iter()`
+//! * `.map`, `.map_init`, `.cloned`, `.collect::<Vec<_>>()`,
+//!   `.reduce(identity, op)`
+//! * `ThreadPoolBuilder::new().num_threads(n).build()` + `pool.install(f)`
+//!
+//! Parallelism model: the index space is split into one contiguous chunk
+//! per worker and each chunk is evaluated on a scoped `std::thread`.
+//! `map_init` creates one scratch state per chunk (rayon: per worker).
+//! Ordering guarantees match rayon: `collect` preserves index order.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Worker count override installed by `ThreadPool::install`.
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel iterators will use.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|t| t.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+// --------------------------------------------------------- thread pools
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// A "pool" that scopes a worker-count override: closures run under
+/// `install` see `current_num_threads() == num_threads`, and parallel
+/// iterators inside them split accordingly.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        POOL_THREADS.with(|t| {
+            let prev = t.replace(Some(self.num_threads.max(1)));
+            let r = f();
+            t.set(prev);
+            r
+        })
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+// ------------------------------------------------------ iterator model
+//
+// Every parallel iterator is a pure function of a contiguous index range:
+// `eval_chunk(lo, hi)` materializes items `lo..hi` in order. Adapters
+// compose on top; drivers split `0..len` across worker threads.
+
+pub trait ParallelIterator: Sized + Sync {
+    type Item: Send;
+
+    fn pi_len(&self) -> usize;
+
+    /// Materialize items `lo..hi` (callable concurrently from workers).
+    fn eval_chunk(&self, lo: usize, hi: usize) -> Vec<Self::Item>;
+
+    fn map<R: Send, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn map_init<S, R, I, F>(self, init: I, f: F) -> MapInit<Self, I, F>
+    where
+        S: Send,
+        R: Send,
+        I: Fn() -> S + Sync + Send,
+        F: Fn(&mut S, Self::Item) -> R + Sync + Send,
+    {
+        MapInit {
+            base: self,
+            init,
+            f,
+        }
+    }
+
+    fn cloned<'a, T>(self) -> Cloned<Self>
+    where
+        T: Clone + Send + 'a,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Cloned { base: self }
+    }
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        let chunks = drive(&self);
+        chunks
+            .into_iter()
+            .map(|c| c.into_iter().fold(identity(), &op))
+            .fold(identity(), &op)
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        for chunk in drive(&self) {
+            chunk.into_iter().for_each(&f);
+        }
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        drive(&self)
+            .into_iter()
+            .map(|c| c.into_iter().sum::<S>())
+            .sum()
+    }
+}
+
+/// Split `0..len` into one chunk per worker and evaluate the chunks on
+/// scoped threads; returns the per-chunk item vectors in index order.
+fn drive<P: ParallelIterator>(it: &P) -> Vec<Vec<P::Item>> {
+    let len = it.pi_len();
+    let workers = current_num_threads().max(1).min(len.max(1));
+    if workers <= 1 || len <= 1 {
+        return vec![it.eval_chunk(0, len)];
+    }
+    let chunk = len.div_ceil(workers);
+    let bounds: Vec<(usize, usize)> = (0..workers)
+        .map(|w| (w * chunk, ((w + 1) * chunk).min(len)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| scope.spawn(move || it.eval_chunk(lo, hi)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    })
+}
+
+pub trait FromParallelIterator<T: Send> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(it: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(it: P) -> Self {
+        let mut out = Vec::with_capacity(it.pi_len());
+        for chunk in drive(&it) {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------- sources
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send + 'data;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+pub struct RangeParIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+
+    fn eval_chunk(&self, lo: usize, hi: usize) -> Vec<usize> {
+        (self.start + lo..self.start + hi).collect()
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+pub struct SliceParIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn eval_chunk(&self, lo: usize, hi: usize) -> Vec<&'a T> {
+        self.slice[lo..hi].iter().collect()
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceParIter { slice: self }
+    }
+}
+
+// ------------------------------------------------------------ adapters
+
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn eval_chunk(&self, lo: usize, hi: usize) -> Vec<R> {
+        self.base
+            .eval_chunk(lo, hi)
+            .into_iter()
+            .map(&self.f)
+            .collect()
+    }
+}
+
+pub struct MapInit<P, I, F> {
+    base: P,
+    init: I,
+    f: F,
+}
+
+impl<P, S, R, I, F> ParallelIterator for MapInit<P, I, F>
+where
+    P: ParallelIterator,
+    S: Send,
+    R: Send,
+    I: Fn() -> S + Sync + Send,
+    F: Fn(&mut S, P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn eval_chunk(&self, lo: usize, hi: usize) -> Vec<R> {
+        let mut state = (self.init)();
+        self.base
+            .eval_chunk(lo, hi)
+            .into_iter()
+            .map(|x| (self.f)(&mut state, x))
+            .collect()
+    }
+}
+
+pub struct Cloned<P> {
+    base: P,
+}
+
+impl<'a, T, P> ParallelIterator for Cloned<P>
+where
+    T: Clone + Send + Sync + 'a,
+    P: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn eval_chunk(&self, lo: usize, hi: usize) -> Vec<T> {
+        self.base
+            .eval_chunk(lo, hi)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn slice_par_iter_cloned_and_reduce() {
+        let data: Vec<i64> = (1..=1000).collect();
+        let s = data
+            .par_iter()
+            .cloned()
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 500_500);
+    }
+
+    #[test]
+    fn map_init_runs_with_scratch() {
+        let v: Vec<usize> = (0..5000)
+            .into_par_iter()
+            .map_init(|| vec![0u8; 8], |s, i| {
+                s[0] = s[0].wrapping_add(1);
+                i + 1
+            })
+            .collect();
+        assert_eq!(v[4999], 5000);
+    }
+
+    #[test]
+    fn pool_install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let n = pool.install(current_num_threads);
+        assert_eq!(n, 2);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn parallelism_is_observable() {
+        // with >1 workers, a wide map should touch >1 thread
+        if current_num_threads() < 2 {
+            return;
+        }
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        (0..64usize)
+            .into_par_iter()
+            .map(|i| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                i
+            })
+            .collect::<Vec<_>>();
+        assert!(seen.lock().unwrap().len() > 1);
+    }
+}
