@@ -11,7 +11,7 @@
 //! pattern for embedders and tests.
 
 use graphblas_core::error::{Error, Result};
-use graphblas_core::exec::{Context, Mode};
+use graphblas_core::exec::{Context, Mode, SchedPolicy, TraceEvent};
 use parking_lot::{Mutex, ReentrantMutex};
 
 static GLOBAL: Mutex<Option<Context>> = Mutex::new(None);
@@ -19,15 +19,24 @@ static GLOBAL: Mutex<Option<Context>> = Mutex::new(None);
 static SESSION: ReentrantMutex<()> = ReentrantMutex::new(());
 
 /// `GrB_init(mode)`. Fails with `GrB_INVALID_VALUE` if a context is
-/// already established.
+/// already established. Nonblocking mode gets the default scheduling
+/// policy (parallel when the core's `parallel` feature is enabled);
+/// use [`init_with_policy`] to pin one.
 pub fn init(mode: Mode) -> Result<()> {
+    init_with_policy(mode, SchedPolicy::default())
+}
+
+/// `GrB_init` with an explicit `wait()` scheduling policy — the
+/// binding's rendering of an implementation-defined init descriptor
+/// (the C API's `GxB_init`-style extension point).
+pub fn init_with_policy(mode: Mode, policy: SchedPolicy) -> Result<()> {
     let mut g = GLOBAL.lock();
     if g.is_some() {
         return Err(Error::InvalidValue(
             "GrB_init called while a context is already established".into(),
         ));
     }
-    *g = Some(Context::new(mode));
+    *g = Some(Context::with_policy(mode, policy));
     Ok(())
 }
 
@@ -71,6 +80,18 @@ pub fn inject_fault(e: graphblas_core::error::Error) -> Result<()> {
 /// The established mode, if any (diagnostic).
 pub fn current_mode() -> Option<Mode> {
     GLOBAL.lock().as_ref().map(|c| c.mode())
+}
+
+/// Enable or disable execution tracing on the live context: while on,
+/// each `wait()` records one [`TraceEvent`] per scheduled node.
+pub fn enable_trace(on: bool) -> Result<()> {
+    ctx()?.enable_trace(on);
+    Ok(())
+}
+
+/// Drain the execution trace accumulated since the last call.
+pub fn take_trace() -> Result<Vec<TraceEvent>> {
+    Ok(ctx()?.take_trace())
 }
 
 /// Take the session lock without initializing (crate-internal: lets

@@ -26,10 +26,10 @@ pub mod ops;
 pub mod value;
 
 pub use collections::{GrbMatrix, GrbVector};
-pub use context::{current_mode, error, finalize, init, inject_fault, wait, with_no_session, with_session};
+pub use context::{current_mode, enable_trace, error, finalize, init, init_with_policy, inject_fault, take_trace, wait, with_no_session, with_session};
 pub use graphblas_core::descriptor::Descriptor;
 pub use graphblas_core::error::{Error, Result};
-pub use graphblas_core::exec::Mode;
+pub use graphblas_core::exec::{Mode, SchedPolicy, TraceEvent};
 pub use graphblas_core::index::{Index, IndexSelection, ALL};
 pub use operations::*;
 pub use ops::{GrbBinaryOp, GrbMonoid, GrbSelectOp, GrbSemiring, GrbUnaryOp};

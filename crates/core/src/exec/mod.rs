@@ -21,6 +21,7 @@
 //! crate layers the global lifecycle on top.
 
 pub(crate) mod node;
+pub mod sched;
 
 use std::sync::{Arc, Weak};
 
@@ -30,6 +31,7 @@ use crate::error::{Error, Result};
 pub(crate) use node::{force, Node};
 #[doc(hidden)]
 pub use node::Completable;
+pub use sched::{SchedPolicy, TraceEvent};
 
 /// Execution mode of a context (paper §IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +44,8 @@ pub enum Mode {
 
 struct CtxInner {
     mode: Mode,
+    /// How `wait()` drains the pending DAG (nonblocking mode only).
+    policy: SchedPolicy,
     /// Deferred outputs of the current sequence, in program order. Weak:
     /// an intermediate dropped unobserved is simply never computed (the
     /// "lazy evaluation" latitude of §IV).
@@ -50,6 +54,10 @@ struct CtxInner {
     last_error: Mutex<Option<String>>,
     /// Test hook: the next submitted operation fails with this error.
     injected: Mutex<Option<Error>>,
+    /// Execution tracing: when enabled, each `wait()` appends one event
+    /// per scheduled node; drained by `take_trace`.
+    tracing: std::sync::atomic::AtomicBool,
+    trace: Mutex<Vec<TraceEvent>>,
 }
 
 /// A GraphBLAS execution context: the binding's rendering of the state
@@ -63,14 +71,25 @@ pub struct Context {
 }
 
 impl Context {
-    /// Create a context in the given mode.
+    /// Create a context in the given mode, with the default scheduling
+    /// policy (Parallel when the `parallel` feature is on).
     pub fn new(mode: Mode) -> Self {
+        Context::with_policy(mode, SchedPolicy::default())
+    }
+
+    /// Create a context with an explicit scheduling policy for `wait()`.
+    /// The policy only matters in nonblocking mode; blocking mode
+    /// completes each operation inline as before.
+    pub fn with_policy(mode: Mode, policy: SchedPolicy) -> Self {
         Context {
             inner: Arc::new(CtxInner {
                 mode,
+                policy,
                 sequence: Mutex::new(Vec::new()),
                 last_error: Mutex::new(None),
                 injected: Mutex::new(None),
+                tracing: std::sync::atomic::AtomicBool::new(false),
+                trace: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -85,24 +104,70 @@ impl Context {
         Context::new(Mode::Nonblocking)
     }
 
+    /// Nonblocking mode with the sequential FIFO driver — the
+    /// pre-scheduler engine's observable behavior.
+    pub fn nonblocking_sequential() -> Self {
+        Context::with_policy(Mode::Nonblocking, SchedPolicy::Sequential)
+    }
+
+    /// Nonblocking mode with the worker-pool driver (degrades to
+    /// sequential without the `parallel` feature).
+    pub fn nonblocking_parallel() -> Self {
+        Context::with_policy(Mode::Nonblocking, SchedPolicy::Parallel)
+    }
+
     pub fn mode(&self) -> Mode {
         self.inner.mode
     }
 
+    /// The scheduling policy `wait()` uses.
+    pub fn sched_policy(&self) -> SchedPolicy {
+        self.inner.policy
+    }
+
+    /// Enable or disable execution tracing. While enabled, each
+    /// `wait()` appends one [`TraceEvent`] per node the scheduler
+    /// completes; collect them with [`Context::take_trace`].
+    pub fn enable_trace(&self, on: bool) {
+        self.inner
+            .tracing
+            .store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Drain the accumulated execution trace.
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.inner.trace.lock())
+    }
+
     /// `GrB_wait()`: terminate the current sequence, completing every
-    /// deferred output in program order. Returns the first execution
-    /// error encountered (later outputs are still completed, so their
-    /// objects carry their own failure states).
+    /// deferred output. Execution runs through the [`sched`] scheduler
+    /// under this context's [`SchedPolicy`]; error reporting is
+    /// schedule-independent — the roots are scanned in program order
+    /// afterwards, so the error returned is the *first in program
+    /// order* (later outputs are still completed and carry their own
+    /// failure states, poisoning their consumers per §V).
     pub fn wait(&self) -> Result<()> {
         let pending: Vec<Weak<dyn Completable>> =
             std::mem::take(&mut *self.inner.sequence.lock());
+        let roots: Vec<Arc<dyn Completable>> =
+            pending.iter().filter_map(Weak::upgrade).collect();
+        if roots.is_empty() {
+            return Ok(());
+        }
+        let sink = self
+            .inner
+            .tracing
+            .load(std::sync::atomic::Ordering::Relaxed)
+            .then(sched::TraceSink::new);
+        sched::execute(&roots, self.inner.policy, sink.as_ref());
+        if let Some(sink) = sink {
+            self.inner.trace.lock().extend(sink.into_events());
+        }
         let mut first_err: Option<Error> = None;
-        for weak in pending {
-            if let Some(node) = weak.upgrade() {
-                if let Err(e) = force(&node) {
-                    self.record_error(&e);
-                    first_err.get_or_insert(e);
-                }
+        for root in &roots {
+            if let Some(e) = root.failure() {
+                self.record_error(&e);
+                first_err.get_or_insert(e);
             }
         }
         match first_err {

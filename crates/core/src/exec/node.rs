@@ -17,6 +17,16 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::error::{Error, Result};
+use crate::exec::sched::TraceMeta;
+
+/// Shape/occupancy reporting for node storage types, consumed by the
+/// scheduler's execution trace (`exec::sched::trace`).
+pub(crate) trait StorageMeta {
+    /// `(rows, cols)`; vectors report `(size, 1)`.
+    fn trace_shape(&self) -> (usize, usize);
+    /// Number of stored elements.
+    fn trace_nvals(&self) -> usize;
+}
 
 /// Type-erased interface to a node of the deferred DAG (implemented by
 /// `MatrixNode<T>` and `VectorNode<T>` for every `T`).
@@ -31,6 +41,9 @@ pub trait Completable: Send + Sync {
     fn compute(&self);
     /// The failure, if the node completed with an error.
     fn failure(&self) -> Option<Error>;
+    /// Operation kind plus dims/nvals (dims reported once complete), for
+    /// the scheduler's execution trace.
+    fn trace_meta(&self) -> TraceMeta;
 }
 
 /// The state machine shared by matrix and vector nodes. `S` is the
@@ -49,6 +62,9 @@ pub(crate) enum NodeState<S> {
 
 /// Generic node: storage state plus the erased `Completable` face.
 pub(crate) struct Node<S> {
+    /// Operation kind that defined this node (Table II name, or
+    /// `"value"` for nodes born complete) — shown in execution traces.
+    kind: &'static str,
     state: Mutex<NodeState<S>>,
     /// Memoized derived form of the completed storage — used to cache the
     /// transpose of a matrix node so loops that repeatedly apply
@@ -60,31 +76,46 @@ pub(crate) struct Node<S> {
 impl<S: Send + Sync + 'static> Node<S> {
     pub(crate) fn ready(value: S) -> Arc<Self> {
         Arc::new(Node {
+            kind: "value",
             state: Mutex::new(NodeState::Ready(Arc::new(value))),
             derived: std::sync::OnceLock::new(),
         })
     }
 
+    /// Pending node with the generic `"op"` kind — operations go through
+    /// [`Node::pending_kind`] with their Table II name; this shorthand
+    /// serves the engine's own tests.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn pending(
         deps: Vec<Arc<dyn Completable>>,
         eval: Box<dyn FnOnce() -> Result<S> + Send>,
     ) -> Arc<Self> {
+        Self::pending_kind("op", deps, eval)
+    }
+
+    pub(crate) fn pending_kind(
+        kind: &'static str,
+        deps: Vec<Arc<dyn Completable>>,
+        eval: Box<dyn FnOnce() -> Result<S> + Send>,
+    ) -> Arc<Self> {
         Arc::new(Node {
+            kind,
             state: Mutex::new(NodeState::Pending { deps, eval }),
             derived: std::sync::OnceLock::new(),
         })
     }
 
     /// The memoized derivation of this (complete) node's storage,
-    /// computing it with `f` on first use. Concurrent first calls may
-    /// duplicate the computation; one result wins.
+    /// computing it with `f` on first use. `get_or_init` serializes
+    /// concurrent first calls, so two pending consumers that both need
+    /// the derived form (e.g. `A^T` from two parallel-scheduled uses of
+    /// `GrB_TRAN` on the same operand) compute it exactly once.
     pub(crate) fn derived_storage(&self, f: impl FnOnce(&S) -> S) -> Result<Arc<S>> {
-        if let Some(d) = self.derived.get() {
-            return Ok(d.clone());
-        }
-        let st = self.ready_storage()?;
-        let computed = Arc::new(f(&st));
-        Ok(self.derived.get_or_init(|| computed).clone())
+        let st = match self.derived.get() {
+            Some(d) => return Ok(d.clone()),
+            None => self.ready_storage()?,
+        };
+        Ok(self.derived.get_or_init(|| Arc::new(f(&st))).clone())
     }
 
     /// The storage of a *complete* node. `Pending` here is an engine bug;
@@ -104,7 +135,7 @@ impl<S: Send + Sync + 'static> Node<S> {
     }
 }
 
-impl<S: Send + Sync + 'static> Completable for Node<S> {
+impl<S: StorageMeta + Send + Sync + 'static> Completable for Node<S> {
     fn is_complete(&self) -> bool {
         !matches!(&*self.state.lock(), NodeState::Pending { .. })
     }
@@ -139,12 +170,36 @@ impl<S: Send + Sync + 'static> Completable for Node<S> {
             _ => None,
         }
     }
+
+    fn trace_meta(&self) -> TraceMeta {
+        let (shape, nvals) = match &*self.state.lock() {
+            NodeState::Ready(s) => (s.trace_shape(), s.trace_nvals()),
+            _ => ((0, 0), 0),
+        };
+        TraceMeta {
+            kind: self.kind,
+            rows: shape.0,
+            cols: shape.1,
+            nvals,
+        }
+    }
 }
 
 /// Complete a node (and its pending cone) with an iterative topological
 /// walk. Returns the node's failure, if any.
+///
+/// Used by blocking mode (single fresh node per call) and by per-object
+/// forcing (`GrB_*_wait`, `nvals`, …). Whole-sequence completion at
+/// `Context::wait` goes through the [`super::sched`] scheduler instead.
 pub(crate) fn force(root: &Arc<dyn Completable>) -> Result<()> {
     if !root.is_complete() {
+        // Expanded-set dedup: in a DAG an intermediate shared by several
+        // pending consumers is reached once per in-edge; without the set
+        // each arrival re-pushes its (shared) dependency cone, walking
+        // the same region once per consumer. Identity is the node's
+        // allocation address (data half of the fat pointer).
+        let mut expanded_set: std::collections::HashSet<*const u8> =
+            std::collections::HashSet::new();
         // (node, children_expanded)
         let mut stack: Vec<(Arc<dyn Completable>, bool)> = vec![(root.clone(), false)];
         while let Some((node, expanded)) = stack.pop() {
@@ -154,6 +209,9 @@ pub(crate) fn force(root: &Arc<dyn Completable>) -> Result<()> {
             if expanded {
                 node.compute();
             } else {
+                if !expanded_set.insert(Arc::as_ptr(&node) as *const u8) {
+                    continue;
+                }
                 let deps = node.dep_nodes();
                 stack.push((node, true));
                 for d in deps {
@@ -170,11 +228,31 @@ pub(crate) fn force(root: &Arc<dyn Completable>) -> Result<()> {
     }
 }
 
+/// Plain scalars stand in for storage in the engine's own tests.
+#[cfg(test)]
+mod test_storage_meta {
+    macro_rules! impl_test_meta {
+        ($($t:ty),*) => {$(
+            impl super::StorageMeta for $t {
+                fn trace_shape(&self) -> (usize, usize) {
+                    (1, 1)
+                }
+                fn trace_nvals(&self) -> usize {
+                    1
+                }
+            }
+        )*};
+    }
+    impl_test_meta!(i32, i64);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn as_completable<S: Send + Sync + 'static>(n: &Arc<Node<S>>) -> Arc<dyn Completable> {
+    fn as_completable<S: StorageMeta + Send + Sync + 'static>(
+        n: &Arc<Node<S>>,
+    ) -> Arc<dyn Completable> {
         n.clone() as Arc<dyn Completable>
     }
 

@@ -1,0 +1,117 @@
+//! The nonblocking-mode scheduler (paper §IV's deferred-execution
+//! latitude, exploited for parallelism).
+//!
+//! `Context::wait` hands the live sequence roots to [`execute`], which
+//! flattens the pending cone into a dependency-counted DAG
+//! ([`queue`]) and drains it with either the sequential FIFO driver or
+//! a worker pool ([`pool`]), per [`SchedPolicy`]. Both drivers compute
+//! every DAG node, so the paper's §V error semantics are preserved
+//! under any interleaving: a consumer of a failed node observes the
+//! failure through its dependency snapshot and completes `Failed` with
+//! `InvalidObject`, deterministically, and `wait` then reports the
+//! first failure in *program order* by scanning the sequence roots —
+//! never a schedule-dependent "first to fail on the clock".
+//!
+//! With the `parallel` feature disabled the Parallel policy degrades to
+//! the sequential driver, keeping single-threaded builds' behavior
+//! identical to the pre-scheduler engine.
+
+pub(crate) mod pool;
+pub(crate) mod queue;
+mod trace;
+
+use std::sync::Arc;
+
+pub use trace::TraceEvent;
+#[doc(hidden)]
+pub use trace::TraceMeta;
+pub(crate) use trace::TraceSink;
+
+use crate::exec::Completable;
+
+/// How `Context::wait` drains the pending DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// One thread, FIFO ready order. Matches the engine's pre-scheduler
+    /// observable behavior exactly.
+    Sequential,
+    /// Worker pool over the dependency-counted ready queue. Requires
+    /// the `parallel` feature; without it this falls back to
+    /// [`SchedPolicy::Sequential`].
+    Parallel,
+}
+
+impl Default for SchedPolicy {
+    fn default() -> Self {
+        if cfg!(feature = "parallel") {
+            SchedPolicy::Parallel
+        } else {
+            SchedPolicy::Sequential
+        }
+    }
+}
+
+/// Execute the pending cone of `roots` (sequence outputs in program
+/// order) to completion. Infallible by design: failures are stored on
+/// the nodes themselves; the caller inspects the roots afterwards.
+pub(crate) fn execute(roots: &[Arc<dyn Completable>], policy: SchedPolicy, sink: Option<&TraceSink>) {
+    let dag = queue::build(roots);
+    if dag.len() == 0 {
+        return;
+    }
+    match policy {
+        SchedPolicy::Sequential => pool::run_sequential(&dag, sink),
+        #[cfg(feature = "parallel")]
+        SchedPolicy::Parallel => pool::run_parallel(&dag, sink),
+        #[cfg(not(feature = "parallel"))]
+        SchedPolicy::Parallel => pool::run_sequential(&dag, sink),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+    use crate::exec::node::Node;
+
+    fn c(n: &Arc<Node<i32>>) -> Arc<dyn Completable> {
+        n.clone() as Arc<dyn Completable>
+    }
+
+    #[test]
+    fn default_policy_tracks_feature() {
+        let expect = if cfg!(feature = "parallel") {
+            SchedPolicy::Parallel
+        } else {
+            SchedPolicy::Sequential
+        };
+        assert_eq!(SchedPolicy::default(), expect);
+    }
+
+    #[test]
+    fn execute_completes_all_roots_under_both_policies() {
+        for policy in [SchedPolicy::Sequential, SchedPolicy::Parallel] {
+            let a = Node::pending(vec![], Box::new(|| Ok(1i32)));
+            let a2 = a.clone();
+            let b = Node::pending(
+                vec![c(&a)],
+                Box::new(move || a2.ready_storage().map(|v| *v * 10)),
+            );
+            execute(&[c(&a), c(&b)], policy, None);
+            assert_eq!(*b.ready_storage().unwrap(), 10);
+        }
+    }
+
+    #[test]
+    fn failures_are_stored_not_raised() {
+        let bad: Arc<Node<i32>> =
+            Node::pending(vec![], Box::new(|| Err(Error::Arithmetic("x".into()))));
+        execute(&[c(&bad)], SchedPolicy::default(), None);
+        assert!(matches!(bad.failure(), Some(Error::Arithmetic(_))));
+    }
+
+    #[test]
+    fn empty_sequence_is_a_no_op() {
+        execute(&[], SchedPolicy::default(), None);
+    }
+}

@@ -1,0 +1,289 @@
+//! Ready-queue drivers: sequential FIFO and the worker-pool driver.
+//!
+//! Both drain the same dependency-counted [`Dag`](super::queue::Dag):
+//! pop a ready node, compute it, decrement each dependent's pending
+//! count, and enqueue dependents that reach zero. Every DAG node is
+//! computed — including consumers of failed nodes, whose thunks observe
+//! the failure through `ready_storage()` and complete `Failed` with
+//! `InvalidObject` (paper §V poisoning). Because node evaluation reads
+//! only completed, immutable dependencies, results are identical under
+//! any drain order; the drivers differ only in wall-clock shape.
+//!
+//! The pool driver uses `std::sync::{Mutex, Condvar}` directly (a
+//! condition variable is the natural shape for "wake one worker per
+//! newly ready node, everyone at drain") and scoped threads, so workers
+//! borrow the DAG without any `'static` ceremony.
+
+use std::collections::VecDeque;
+#[cfg(feature = "parallel")]
+use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::Ordering;
+#[cfg(feature = "parallel")]
+use std::sync::{Condvar, Mutex};
+
+use super::queue::Dag;
+use super::trace::{TraceEvent, TraceSink};
+
+/// Floor on pool width under the Parallel policy. Even on a single
+/// hardware thread the pool spawns two workers: the point of the
+/// parallel driver is overlapping execution (and an honest trace of
+/// it), and OS timeslicing still interleaves two workers' work.
+#[cfg(feature = "parallel")]
+const MIN_WORKERS: usize = 2;
+
+fn record(sink: Option<&TraceSink>, dag: &Dag, idx: usize, start_ns: u64, worker: usize) {
+    let Some(sink) = sink else { return };
+    let end_ns = sink.now_ns();
+    let dn = &dag.nodes[idx];
+    let meta = dn.node.trace_meta();
+    sink.record(TraceEvent {
+        kind: meta.kind,
+        rows: meta.rows,
+        cols: meta.cols,
+        nvals: meta.nvals,
+        seq: dn.seq,
+        ready_ns: dn.ready_ns.load(Ordering::Relaxed),
+        start_ns,
+        end_ns,
+        worker,
+    });
+}
+
+fn mark_ready(sink: Option<&TraceSink>, dag: &Dag, idx: usize) {
+    if let Some(sink) = sink {
+        dag.nodes[idx].ready_ns.store(sink.now_ns(), Ordering::Relaxed);
+    }
+}
+
+/// Drain the DAG on the calling thread in FIFO ready order. This is the
+/// `SchedPolicy::Sequential` path and the fallback when the `parallel`
+/// feature is disabled; trace events carry worker id 0.
+pub(crate) fn run_sequential(dag: &Dag, sink: Option<&TraceSink>) {
+    let mut queue: VecDeque<usize> = dag.initial_ready.iter().copied().collect();
+    for &i in &dag.initial_ready {
+        mark_ready(sink, dag, i);
+    }
+    while let Some(idx) = queue.pop_front() {
+        let start_ns = sink.map_or(0, TraceSink::now_ns);
+        dag.nodes[idx].node.compute();
+        record(sink, dag, idx, start_ns, 0);
+        for &dep in &dag.nodes[idx].dependents {
+            if dag.nodes[dep].pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                mark_ready(sink, dag, dep);
+                queue.push_back(dep);
+            }
+        }
+    }
+}
+
+/// Drain the DAG with a pool of worker threads.
+///
+/// Shared state is one mutex-guarded ready queue plus an atomic count
+/// of not-yet-computed nodes. A worker that completes a node decrements
+/// its dependents outside the lock and only takes the lock to publish
+/// newly ready work; the last node completed wakes everyone up to exit.
+/// Termination: every node's pending count reaches zero exactly once
+/// (the DAG is acyclic and edge counts are consistent by construction),
+/// so exactly `dag.len()` pops happen and `remaining` hits zero.
+#[cfg(feature = "parallel")]
+pub(crate) fn run_parallel(dag: &Dag, sink: Option<&TraceSink>) {
+    let n = dag.len();
+    if n <= 1 {
+        return run_sequential(dag, sink);
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .max(MIN_WORKERS)
+        .min(n);
+
+    let queue: Mutex<VecDeque<usize>> = Mutex::new(dag.initial_ready.iter().copied().collect());
+    for &i in &dag.initial_ready {
+        mark_ready(sink, dag, i);
+    }
+    let ready = Condvar::new();
+    let remaining = AtomicUsize::new(n);
+
+    std::thread::scope(|s| {
+        for worker in 0..workers {
+            let (queue, ready, remaining) = (&queue, &ready, &remaining);
+            s.spawn(move || loop {
+                let idx = {
+                    let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                    loop {
+                        if let Some(i) = q.pop_front() {
+                            break i;
+                        }
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            return;
+                        }
+                        q = ready.wait(q).unwrap_or_else(|e| e.into_inner());
+                    }
+                };
+                let start_ns = sink.map_or(0, TraceSink::now_ns);
+                dag.nodes[idx].node.compute();
+                record(sink, dag, idx, start_ns, worker);
+                for &dep in &dag.nodes[idx].dependents {
+                    if dag.nodes[dep].pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        mark_ready(sink, dag, dep);
+                        queue
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push_back(dep);
+                        ready.notify_one();
+                    }
+                }
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // Broadcast under the lock: a peer may sit between
+                    // its `remaining` check and `wait()`, and only the
+                    // lock orders this wakeup after it actually waits.
+                    let _q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                    ready.notify_all();
+                    return;
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    use super::super::queue::build;
+    use super::*;
+    use crate::error::Error;
+    use crate::exec::node::Node;
+    use crate::exec::Completable;
+
+    fn c(n: &Arc<Node<i32>>) -> Arc<dyn Completable> {
+        n.clone() as Arc<dyn Completable>
+    }
+
+    /// base → {left, right} → top, each eval counted.
+    fn diamond(count: &Arc<AtomicUsize>) -> (Vec<Arc<dyn Completable>>, Arc<Node<i32>>) {
+        let cnt = count.clone();
+        let base: Arc<Node<i32>> = Node::pending(
+            vec![],
+            Box::new(move || {
+                cnt.fetch_add(1, Ordering::SeqCst);
+                Ok(10)
+            }),
+        );
+        let (b1, b2) = (base.clone(), base.clone());
+        let left = Node::pending(
+            vec![c(&base)],
+            Box::new(move || b1.ready_storage().map(|v| *v + 1)),
+        );
+        let right = Node::pending(
+            vec![c(&base)],
+            Box::new(move || b2.ready_storage().map(|v| *v + 2)),
+        );
+        let (l, r) = (left.clone(), right.clone());
+        let top = Node::pending(
+            vec![c(&left), c(&right)],
+            Box::new(move || Ok(*l.ready_storage()? + *r.ready_storage()?)),
+        );
+        let roots = vec![c(&base), c(&left), c(&right), c(&top)];
+        (roots, top)
+    }
+
+    #[test]
+    fn sequential_driver_completes_diamond_once() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let (roots, top) = diamond(&count);
+        let dag = build(&roots);
+        run_sequential(&dag, None);
+        assert_eq!(*top.ready_storage().unwrap(), 23);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_driver_completes_diamond_once() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let (roots, top) = diamond(&count);
+        let dag = build(&roots);
+        run_parallel(&dag, None);
+        assert_eq!(*top.ready_storage().unwrap(), 23);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_driver_poisons_consumers_of_failures() {
+        let bad: Arc<Node<i32>> = Node::pending(
+            vec![],
+            Box::new(|| Err(Error::Arithmetic("boom".into()))),
+        );
+        let b = bad.clone();
+        let consumer = Node::pending(
+            vec![c(&bad)],
+            Box::new(move || b.ready_storage().map(|v| *v + 1)),
+        );
+        let ok = Node::pending(vec![], Box::new(|| Ok(7i32)));
+        let roots = vec![c(&bad), c(&consumer), c(&ok)];
+        let dag = build(&roots);
+        run_parallel(&dag, None);
+        assert!(matches!(bad.failure(), Some(Error::Arithmetic(_))));
+        assert!(matches!(consumer.failure(), Some(Error::InvalidObject(_))));
+        assert_eq!(*ok.ready_storage().unwrap(), 7);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_driver_deep_chain() {
+        // a long serial chain exercises the wait/notify path heavily
+        let mut prev: Arc<Node<i32>> = Node::pending(vec![], Box::new(|| Ok(0)));
+        let mut roots = vec![c(&prev)];
+        for _ in 0..2_000 {
+            let p = prev.clone();
+            prev = Node::pending(
+                vec![c(&prev)],
+                Box::new(move || p.ready_storage().map(|v| *v + 1)),
+            );
+            roots.push(c(&prev));
+        }
+        let dag = build(&roots);
+        run_parallel(&dag, None);
+        assert_eq!(*prev.ready_storage().unwrap(), 2_000);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_driver_traces_multiple_workers_on_wide_dag() {
+        // 64 independent nodes, each with a little real work: on any
+        // machine (even 1 hardware thread, where the pool still spawns
+        // 2 workers) timeslicing spreads them across workers.
+        let roots: Vec<Arc<dyn Completable>> = (0..64)
+            .map(|i| {
+                c(&Node::pending(
+                    vec![],
+                    Box::new(move || {
+                        let mut acc = 0u64;
+                        for k in 0..200_000u64 {
+                            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                        }
+                        Ok((acc as i32 & 0) + i)
+                    }),
+                ))
+            })
+            .collect();
+        let dag = build(&roots);
+        let sink = TraceSink::new();
+        run_parallel(&dag, Some(&sink));
+        let events = sink.into_events();
+        assert_eq!(events.len(), 64);
+        let workers: std::collections::HashSet<usize> =
+            events.iter().map(|e| e.worker).collect();
+        assert!(
+            workers.len() > 1,
+            "expected >1 worker on a wide DAG, trace saw {workers:?}"
+        );
+        for e in &events {
+            assert!(e.start_ns >= e.ready_ns);
+            assert!(e.end_ns >= e.start_ns);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! DAG construction for the scheduler: flatten the live pending cone
+//! into an indexed node table with dependency counts and reverse edges.
+//!
+//! The deferred graph is a persistent DAG of `Arc<dyn Completable>`
+//! nodes (see `exec::node`); handles only know their own node, so the
+//! scheduler rediscovers the structure by walking dependency snapshots
+//! from the sequence roots. Node identity is the allocation address —
+//! the data half of the trait-object fat pointer — which is stable for
+//! the lifetime of the `Arc` and unique among live nodes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::exec::Completable;
+
+/// One scheduler-visible node of the pending DAG.
+pub(crate) struct DagNode {
+    pub(crate) node: Arc<dyn Completable>,
+    /// Indices of nodes that read this one; a consumer appears once per
+    /// in-edge, so duplicate dependencies decrement symmetrically.
+    pub(crate) dependents: Vec<usize>,
+    /// Outstanding (incomplete, in-DAG) dependencies. The node becomes
+    /// ready when this reaches zero.
+    pub(crate) pending: AtomicUsize,
+    /// Program-order index among the sequence roots, if this node was
+    /// one (interior nodes have `None`).
+    pub(crate) seq: Option<usize>,
+    /// Trace support: ns timestamp at which the node became ready.
+    pub(crate) ready_ns: AtomicU64,
+}
+
+/// The flattened pending DAG plus its initially ready frontier.
+pub(crate) struct Dag {
+    pub(crate) nodes: Vec<DagNode>,
+    pub(crate) initial_ready: Vec<usize>,
+}
+
+impl Dag {
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Build the scheduler DAG from the live sequence roots, in program
+/// order. Already-complete nodes (forced earlier by an export method,
+/// or born `Ready`) are left out entirely: edges into them are never
+/// counted, so their consumers start with correspondingly fewer pending
+/// dependencies.
+///
+/// Completion races are benign. A node observed incomplete here may be
+/// completed concurrently by per-object forcing on another thread;
+/// `compute()` is then a no-op, and the scheduler still flows its
+/// dependents' counters, so every counted edge is decremented exactly
+/// once.
+pub(crate) fn build(roots: &[Arc<dyn Completable>]) -> Dag {
+    let mut index: HashMap<*const u8, usize> = HashMap::new();
+    let mut nodes: Vec<DagNode> = Vec::new();
+
+    // Discovery: collect every incomplete node reachable from the roots.
+    let mut stack: Vec<Arc<dyn Completable>> = Vec::new();
+    for (i, root) in roots.iter().enumerate() {
+        stack.push(root.clone());
+        while let Some(n) = stack.pop() {
+            let key = Arc::as_ptr(&n) as *const u8;
+            if index.contains_key(&key) || n.is_complete() {
+                continue;
+            }
+            let deps = n.dep_nodes();
+            index.insert(key, nodes.len());
+            nodes.push(DagNode {
+                node: n,
+                dependents: Vec::new(),
+                pending: AtomicUsize::new(0),
+                seq: None,
+                ready_ns: AtomicU64::new(0),
+            });
+            stack.extend(deps);
+        }
+        // Each submitted node appears in the sequence once, so first
+        // assignment wins trivially; a root that has already completed
+        // (or was just forced concurrently) simply carries no DAG entry.
+        if let Some(&idx) = index.get(&(Arc::as_ptr(root) as *const u8)) {
+            if nodes[idx].seq.is_none() {
+                nodes[idx].seq = Some(i);
+            }
+        }
+    }
+
+    // Edge pass: count each consumer→dependency edge that stayed inside
+    // the DAG. `dep_nodes()` of a node that completed since discovery is
+    // empty — its pending count stays 0 and its compute() is a no-op.
+    for idx in 0..nodes.len() {
+        let deps = nodes[idx].node.dep_nodes();
+        let mut in_dag = 0usize;
+        for d in &deps {
+            if let Some(&dep_idx) = index.get(&(Arc::as_ptr(d) as *const u8)) {
+                nodes[dep_idx].dependents.push(idx);
+                in_dag += 1;
+            }
+        }
+        nodes[idx].pending.store(in_dag, Ordering::Relaxed);
+    }
+
+    let initial_ready: Vec<usize> = (0..nodes.len())
+        .filter(|&i| nodes[i].pending.load(Ordering::Relaxed) == 0)
+        .collect();
+
+    Dag {
+        nodes,
+        initial_ready,
+    }
+}
+
+/// Kahn's-algorithm sanity check used by tests: drain the DAG without
+/// computing anything and confirm every node is reachable through the
+/// counters (i.e. the edge counts are consistent and acyclic).
+#[cfg(test)]
+pub(crate) fn drains_completely(dag: &Dag) -> bool {
+    use std::collections::VecDeque;
+    let mut pending: Vec<usize> = dag
+        .nodes
+        .iter()
+        .map(|n| n.pending.load(Ordering::Relaxed))
+        .collect();
+    let mut queue: VecDeque<usize> = dag.initial_ready.iter().copied().collect();
+    let mut seen = 0usize;
+    while let Some(i) = queue.pop_front() {
+        seen += 1;
+        for &d in &dag.nodes[i].dependents {
+            pending[d] -= 1;
+            if pending[d] == 0 {
+                queue.push_back(d);
+            }
+        }
+    }
+    seen == dag.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::node::Node;
+
+    fn value(v: i32) -> Arc<Node<i32>> {
+        Node::ready(v)
+    }
+
+    fn op(deps: Vec<Arc<dyn Completable>>, v: i32) -> Arc<Node<i32>> {
+        Node::pending(deps, Box::new(move || Ok(v)))
+    }
+
+    fn c(n: &Arc<Node<i32>>) -> Arc<dyn Completable> {
+        n.clone() as Arc<dyn Completable>
+    }
+
+    #[test]
+    fn complete_nodes_are_excluded() {
+        let a = value(1);
+        let b = op(vec![c(&a)], 2);
+        let dag = build(&[c(&b)]);
+        assert_eq!(dag.len(), 1);
+        assert_eq!(dag.initial_ready, vec![0]);
+        assert_eq!(dag.nodes[0].seq, Some(0));
+    }
+
+    #[test]
+    fn diamond_builds_single_shared_entry() {
+        let base = op(vec![], 1);
+        let l = op(vec![c(&base)], 2);
+        let r = op(vec![c(&base)], 3);
+        let top = op(vec![c(&l), c(&r)], 4);
+        let dag = build(&[c(&base), c(&l), c(&r), c(&top)]);
+        assert_eq!(dag.len(), 4);
+        // base is shared, not duplicated: it has two dependents
+        let base_idx = dag.nodes.iter().position(|n| n.seq == Some(0)).unwrap();
+        assert_eq!(dag.nodes[base_idx].dependents.len(), 2);
+        assert_eq!(dag.initial_ready.len(), 1);
+        assert!(drains_completely(&dag));
+    }
+
+    #[test]
+    fn duplicate_edges_counted_symmetrically() {
+        let a = op(vec![], 1);
+        // b reads a twice (e.g. mxm(A, A))
+        let b = op(vec![c(&a), c(&a)], 2);
+        let dag = build(&[c(&a), c(&b)]);
+        let b_idx = dag.nodes.iter().position(|n| n.seq == Some(1)).unwrap();
+        assert_eq!(dag.nodes[b_idx].pending.load(Ordering::Relaxed), 2);
+        let a_idx = dag.nodes.iter().position(|n| n.seq == Some(0)).unwrap();
+        assert_eq!(dag.nodes[a_idx].dependents, vec![b_idx, b_idx]);
+        assert!(drains_completely(&dag));
+    }
+
+    #[test]
+    fn interior_only_nodes_have_no_seq() {
+        // a dropped intermediate still alive as a dependency snapshot
+        let mid = op(vec![], 1);
+        let top = op(vec![c(&mid)], 2);
+        let dag = build(&[c(&top)]);
+        assert_eq!(dag.len(), 2);
+        let interior = dag.nodes.iter().find(|n| n.seq.is_none()).unwrap();
+        assert_eq!(interior.dependents.len(), 1);
+        assert!(drains_completely(&dag));
+    }
+
+    #[test]
+    fn wide_fanout_all_initially_ready() {
+        let leaves: Vec<_> = (0..32).map(|i| op(vec![], i)).collect();
+        let roots: Vec<_> = leaves.iter().map(c).collect();
+        let dag = build(&roots);
+        assert_eq!(dag.initial_ready.len(), 32);
+        assert!(drains_completely(&dag));
+    }
+}

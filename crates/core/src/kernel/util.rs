@@ -7,6 +7,7 @@ use crate::storage::csr::Csr;
 
 /// Rows below this count run sequentially even with `parallel` enabled —
 /// the rayon fork/join overhead dominates on tiny operands.
+#[cfg(feature = "parallel")]
 pub(crate) const PAR_ROW_THRESHOLD: usize = 128;
 
 /// Map `f` over `0..nrows`, in parallel when beneficial, preserving order.

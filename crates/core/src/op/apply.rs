@@ -59,7 +59,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_matrix(c, deps, Box::new(eval))
+        self.submit_matrix("apply", c, deps, Box::new(eval))
     }
 
     /// `GrB_apply` (vector).
@@ -104,7 +104,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_vector(w, deps, Box::new(eval))
+        self.submit_vector("apply", w, deps, Box::new(eval))
     }
 }
 

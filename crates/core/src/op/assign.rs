@@ -77,7 +77,7 @@ impl Context {
                 replace,
             ))
         };
-        self.submit_matrix(c, deps, Box::new(eval))
+        self.submit_matrix("assign", c, deps, Box::new(eval))
     }
 
     /// `GrB_assign` (matrix, scalar fill): every position of the region
@@ -124,7 +124,7 @@ impl Context {
                 replace,
             ))
         };
-        self.submit_matrix(c, deps, Box::new(eval))
+        self.submit_matrix("assign", c, deps, Box::new(eval))
     }
 
     /// `GrB_assign` (vector): `w<mask>(indices) ⊙= u`.
@@ -175,7 +175,7 @@ impl Context {
                 replace,
             ))
         };
-        self.submit_vector(w, deps, Box::new(eval))
+        self.submit_vector("assign", w, deps, Box::new(eval))
     }
 
     /// `GrB_assign` (vector, scalar fill) — Fig. 3 line 77: `delta`
@@ -219,7 +219,7 @@ impl Context {
                 replace,
             ))
         };
-        self.submit_vector(w, deps, Box::new(eval))
+        self.submit_vector("assign", w, deps, Box::new(eval))
     }
 }
 

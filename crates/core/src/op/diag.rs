@@ -37,7 +37,7 @@ impl Context {
             });
             Ok(Csr::from_sorted_tuples(n, n, tuples))
         };
-        self.submit_matrix(c, deps, Box::new(eval))
+        self.submit_matrix("diag", c, deps, Box::new(eval))
     }
 
     /// `GxB_Vector_diag`: `w(i) = A(i, i + k)` for `k >= 0`
@@ -76,7 +76,7 @@ impl Context {
             }
             Ok(SparseVec::from_sorted_parts(len, idx, vals))
         };
-        self.submit_vector(w, deps, Box::new(eval))
+        self.submit_vector("diag", w, deps, Box::new(eval))
     }
 }
 

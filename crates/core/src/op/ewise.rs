@@ -74,7 +74,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_matrix(c, deps, Box::new(eval))
+        self.submit_matrix("eWiseAdd", c, deps, Box::new(eval))
     }
 
     /// `GrB_eWiseMult` (matrix): `C<Mask> ⊙= A ⊗ B`.
@@ -132,7 +132,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_matrix(c, deps, Box::new(eval))
+        self.submit_matrix("eWiseMult", c, deps, Box::new(eval))
     }
 
     /// `GrB_eWiseAdd` (vector): `w<mask> ⊙= u ⊕ v`.
@@ -184,7 +184,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_vector(w, deps, Box::new(eval))
+        self.submit_vector("eWiseAdd", w, deps, Box::new(eval))
     }
 
     /// `GrB_eWiseMult` (vector): `w<mask> ⊙= u ⊗ v`.
@@ -238,7 +238,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_vector(w, deps, Box::new(eval))
+        self.submit_vector("eWiseMult", w, deps, Box::new(eval))
     }
 }
 

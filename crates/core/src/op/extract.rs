@@ -70,7 +70,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_matrix(c, deps, Box::new(eval))
+        self.submit_matrix("extract", c, deps, Box::new(eval))
     }
 
     /// `GrB_extract` (vector): `w<mask> ⊙= u(indices)`.
@@ -118,7 +118,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_vector(w, deps, Box::new(eval))
+        self.submit_vector("extract", w, deps, Box::new(eval))
     }
 
     /// `GrB_Col_extract`: `w<mask> ⊙= A(rows, j)` — one column as a
@@ -175,7 +175,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_vector(w, deps, Box::new(eval))
+        self.submit_vector("extract", w, deps, Box::new(eval))
     }
 }
 

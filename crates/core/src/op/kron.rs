@@ -111,7 +111,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_matrix(c, deps, Box::new(eval))
+        self.submit_matrix("kronecker", c, deps, Box::new(eval))
     }
 }
 

@@ -44,9 +44,11 @@ use crate::storage::vec::SparseVec;
 
 impl Context {
     /// Install a pending node for `out` and run/defer it per the mode,
-    /// applying any injected test fault.
+    /// applying any injected test fault. `kind` is the Table II
+    /// operation name, surfaced in execution traces.
     pub(crate) fn submit_matrix<T: Scalar>(
         &self,
+        kind: &'static str,
         out: &Matrix<T>,
         deps: Vec<Arc<dyn Completable>>,
         eval: Box<dyn FnOnce() -> Result<Csr<T>> + Send>,
@@ -55,13 +57,14 @@ impl Context {
             Some(f) => Box::new(move || Err(f)),
             None => eval,
         };
-        let node = Node::pending(deps, eval);
+        let node = Node::pending_kind(kind, deps, eval);
         out.install(node.clone());
         self.finish_op(node)
     }
 
     pub(crate) fn submit_vector<T: Scalar>(
         &self,
+        kind: &'static str,
         out: &Vector<T>,
         deps: Vec<Arc<dyn Completable>>,
         eval: Box<dyn FnOnce() -> Result<SparseVec<T>> + Send>,
@@ -70,7 +73,7 @@ impl Context {
             Some(f) => Box::new(move || Err(f)),
             None => eval,
         };
-        let node = Node::pending(deps, eval);
+        let node = Node::pending_kind(kind, deps, eval);
         out.install(node.clone());
         self.finish_op(node)
     }

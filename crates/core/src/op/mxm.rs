@@ -118,7 +118,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_matrix(c, deps, Box::new(eval))
+        self.submit_matrix("mxm", c, deps, Box::new(eval))
     }
 }
 

@@ -75,7 +75,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_vector(w, deps, Box::new(eval))
+        self.submit_vector("mxv", w, deps, Box::new(eval))
     }
 
     /// `GrB_vxm(w, mask, accum, op, u, A, desc)`:
@@ -138,7 +138,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_vector(w, deps, Box::new(eval))
+        self.submit_vector("vxm", w, deps, Box::new(eval))
     }
 }
 

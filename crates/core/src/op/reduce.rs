@@ -66,7 +66,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_vector(w, deps, Box::new(eval))
+        self.submit_vector("reduce", w, deps, Box::new(eval))
     }
 
     /// `GrB_reduce` (matrix → scalar): `⊕` over every stored element;

@@ -58,7 +58,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_matrix(c, deps, Box::new(eval))
+        self.submit_matrix("select", c, deps, Box::new(eval))
     }
 
     /// `GrB_select` (vector): `w<mask> ⊙= select(op, u)` (the predicate
@@ -103,7 +103,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_vector(w, deps, Box::new(eval))
+        self.submit_vector("select", w, deps, Box::new(eval))
     }
 }
 

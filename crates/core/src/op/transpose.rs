@@ -63,7 +63,7 @@ impl Context {
             }
             Ok(out)
         };
-        self.submit_matrix(c, deps, Box::new(eval))
+        self.submit_matrix("transpose", c, deps, Box::new(eval))
     }
 }
 

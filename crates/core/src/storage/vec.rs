@@ -156,6 +156,15 @@ impl<T: Scalar> SparseVec<T> {
     }
 }
 
+impl<T> crate::exec::node::StorageMeta for SparseVec<T> {
+    fn trace_shape(&self) -> (usize, usize) {
+        (self.n, 1)
+    }
+    fn trace_nvals(&self) -> usize {
+        self.idx.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, the full test suite, and the
+# sequential execution path (core with the `parallel` feature off, so
+# the scheduler's sequential fallback and the single-threaded kernels
+# stay green too).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "== cargo test -q -p graphblas-core --no-default-features (sequential path)"
+cargo test -q -p graphblas-core --no-default-features
+
+echo "== OK"

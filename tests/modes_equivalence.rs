@@ -112,6 +112,83 @@ fn seeds_strategy() -> impl Strategy<Value = Vec<Vec<(usize, usize, i64)>>> {
     )
 }
 
+/// One step, returning the call's result instead of unwrapping — the
+/// fault-injecting properties need ops to be able to fail (blocking
+/// mode reports an injected fault from the call itself).
+fn run_step(ctx: &Context, pool: &[Matrix<i64>], s: &Step) -> Result<()> {
+    let d = Descriptor::default();
+    match *s {
+        Step::Mxm { c, a, b, masked, accum, tran, replace } => {
+            let mut desc = Descriptor::default().structural_mask();
+            if tran {
+                desc = desc.transpose_first();
+            }
+            if replace {
+                desc = desc.replace();
+            }
+            match (masked, accum) {
+                (false, false) => ctx.mxm(&pool[c], NoMask, NoAccum, plus_times::<i64>(), &pool[a], &pool[b], &desc),
+                (true, false) => ctx.mxm(&pool[c], &pool[a], NoAccum, plus_times::<i64>(), &pool[a], &pool[b], &desc),
+                (false, true) => ctx.mxm(&pool[c], NoMask, Accum(Plus::<i64>::new()), plus_times::<i64>(), &pool[a], &pool[b], &desc),
+                (true, true) => ctx.mxm(&pool[c], &pool[b], Accum(Plus::<i64>::new()), plus_times::<i64>(), &pool[a], &pool[b], &desc),
+            }
+        }
+        Step::EwiseAdd { c, a, b } => ctx.ewise_add_matrix(&pool[c], NoMask, NoAccum, Plus::new(), &pool[a], &pool[b], &d),
+        Step::EwiseMult { c, a, b, masked } => {
+            if masked {
+                ctx.ewise_mult_matrix(&pool[c], &pool[b], NoAccum, Times::new(), &pool[a], &pool[b], &Descriptor::default().structural_mask())
+            } else {
+                ctx.ewise_mult_matrix(&pool[c], NoMask, NoAccum, Times::new(), &pool[a], &pool[b], &d)
+            }
+        }
+        Step::Apply { c, a, negate } => {
+            if negate {
+                ctx.apply_matrix(&pool[c], NoMask, NoAccum, Ainv::new(), &pool[a], &d)
+            } else {
+                ctx.apply_matrix(&pool[c], NoMask, NoAccum, Identity::new(), &pool[a], &d)
+            }
+        }
+        Step::Transpose { c, a } => ctx.transpose(&pool[c], NoMask, NoAccum, &pool[a], &d),
+        Step::AssignScalar { c, v } => ctx.assign_scalar_matrix(&pool[c], NoMask, NoAccum, v, ALL, ALL, &d),
+        Step::Clear { c } => {
+            pool[c].clear();
+            Ok(())
+        }
+    }
+}
+
+/// Interpret a sequence with faults injected before the steps named in
+/// `faults`. Returns each pool object's final observation — its tuples,
+/// or the error observing it reports (a poisoned object stays poisoned,
+/// §V) — plus the first error the run surfaced (from the failing call
+/// in blocking mode, from `wait()` in nonblocking mode).
+#[allow(clippy::type_complexity)]
+fn interpret_faulty(
+    ctx: &Context,
+    seeds: &[Vec<(usize, usize, i64)>],
+    steps: &[Step],
+    faults: &[usize],
+) -> (Vec<Result<Vec<(usize, usize, i64)>>>, Option<Error>) {
+    let pool: Vec<Matrix<i64>> = seeds
+        .iter()
+        .map(|t| Matrix::from_tuples(N, N, t).unwrap())
+        .collect();
+    let mut first_err: Option<Error> = None;
+    for (k, s) in steps.iter().enumerate() {
+        if faults.contains(&k) {
+            ctx.inject_fault(Error::InjectedFault(format!("fault@{k}")));
+        }
+        if let Err(e) = run_step(ctx, &pool, s) {
+            first_err.get_or_insert(e);
+        }
+    }
+    if let Err(e) = ctx.wait() {
+        first_err.get_or_insert(e);
+    }
+    let obs = pool.iter().map(|m| m.extract_tuples()).collect();
+    (obs, first_err)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -181,5 +258,43 @@ proptest! {
         ctx.wait().unwrap();
         let observed: Vec<_> = pool.iter().map(|m| m.extract_tuples().unwrap()).collect();
         prop_assert_eq!(observed, plain);
+    }
+
+    /// The scheduler must be invisible: blocking, nonblocking with the
+    /// sequential driver, and nonblocking with the worker pool agree on
+    /// every observable object.
+    #[test]
+    fn three_execution_paths_agree(
+        seeds in seeds_strategy(),
+        steps in proptest::collection::vec(step_strategy(), 1..20),
+    ) {
+        let blocking = interpret(&Context::blocking(), &seeds, &steps);
+        let nb_seq = interpret(&Context::nonblocking_sequential(), &seeds, &steps);
+        let nb_par = interpret(&Context::nonblocking_parallel(), &seeds, &steps);
+        prop_assert_eq!(&blocking, &nb_seq);
+        prop_assert_eq!(&nb_seq, &nb_par);
+    }
+
+    /// §V with concurrency: injected execution faults poison the same
+    /// objects in all three execution paths, and the two nonblocking
+    /// drivers report the same program-order-first error from `wait()` —
+    /// never a schedule-dependent one. (Blocking's error comes from the
+    /// failing call itself and may name an op that nonblocking elides as
+    /// dead code, so only its *object states* are compared.)
+    #[test]
+    fn injected_faults_are_schedule_independent(
+        seeds in seeds_strategy(),
+        steps in proptest::collection::vec(step_strategy(), 1..16),
+        faults in proptest::collection::vec(0usize..16, 1..3),
+    ) {
+        let (obs_blk, _err_blk) =
+            interpret_faulty(&Context::blocking(), &seeds, &steps, &faults);
+        let (obs_seq, err_seq) =
+            interpret_faulty(&Context::nonblocking_sequential(), &seeds, &steps, &faults);
+        let (obs_par, err_par) =
+            interpret_faulty(&Context::nonblocking_parallel(), &seeds, &steps, &faults);
+        prop_assert_eq!(&obs_blk, &obs_seq);
+        prop_assert_eq!(&obs_seq, &obs_par);
+        prop_assert_eq!(err_seq, err_par);
     }
 }

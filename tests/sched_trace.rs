@@ -1,0 +1,129 @@
+//! The nonblocking scheduler observed from the outside: execution
+//! traces (`Context::take_trace`), compute-once semantics for shared
+//! intermediates (diamond DAGs), and — under the worker-pool policy —
+//! actual concurrency on a wide DAG.
+
+use graphblas_core::prelude::*;
+use graphblas_core::SchedPolicy;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 256;
+
+fn random_matrix(seed: u64, density: f64) -> Matrix<i64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut tuples = Vec::new();
+    for i in 0..N {
+        for j in 0..N {
+            if rng.random_bool(density) {
+                tuples.push((i, j, rng.random_range(-3i64..4)));
+            }
+        }
+    }
+    Matrix::from_tuples(N, N, &tuples).unwrap()
+}
+
+#[test]
+fn trace_records_kinds_shapes_and_timings() {
+    let ctx = Context::nonblocking();
+    ctx.enable_trace(true);
+    let a = random_matrix(1, 0.05);
+    let b = random_matrix(2, 0.05);
+    let c = Matrix::<i64>::new(N, N).unwrap();
+    let s = Matrix::<i64>::new(N, N).unwrap();
+    let d = Descriptor::default();
+    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &b, &d)
+        .unwrap();
+    ctx.ewise_add_matrix(&s, NoMask, NoAccum, Plus::new(), &a, &c, &d)
+        .unwrap();
+    ctx.wait().unwrap();
+    let trace = ctx.take_trace();
+    assert_eq!(trace.len(), 2);
+    let mxm = trace.iter().find(|e| e.kind == "mxm").unwrap();
+    let add = trace.iter().find(|e| e.kind == "eWiseAdd").unwrap();
+    assert_eq!((mxm.rows, mxm.cols), (N, N));
+    assert_eq!((add.rows, add.cols), (N, N));
+    assert_eq!(mxm.nvals, c.nvals().unwrap());
+    assert_eq!(add.nvals, s.nvals().unwrap());
+    // program order is preserved in the seq stamps
+    assert!(mxm.seq < add.seq);
+    for e in &trace {
+        assert!(e.start_ns >= e.ready_ns);
+        assert!(e.end_ns >= e.start_ns);
+    }
+    // drained: a second take is empty, and tracing can be switched off
+    assert!(ctx.take_trace().is_empty());
+    ctx.enable_trace(false);
+    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &b, &d)
+        .unwrap();
+    ctx.wait().unwrap();
+    assert!(ctx.take_trace().is_empty());
+}
+
+/// Diamond regression: an intermediate consumed by several later ops
+/// must be scheduled (and computed) exactly once, not once per
+/// consumer. The trace gives the op-level evidence: one `transpose`
+/// event even though two ops read its output.
+#[test]
+fn shared_intermediate_is_scheduled_once() {
+    for policy in [SchedPolicy::Sequential, SchedPolicy::Parallel] {
+        let ctx = Context::with_policy(Mode::Nonblocking, policy);
+        ctx.enable_trace(true);
+        let a = random_matrix(3, 0.05);
+        let mid = Matrix::<i64>::new(N, N).unwrap();
+        let left = Matrix::<i64>::new(N, N).unwrap();
+        let right = Matrix::<i64>::new(N, N).unwrap();
+        let d = Descriptor::default();
+        ctx.transpose(&mid, NoMask, NoAccum, &a, &d).unwrap();
+        ctx.ewise_add_matrix(&left, NoMask, NoAccum, Plus::new(), &a, &mid, &d)
+            .unwrap();
+        ctx.ewise_mult_matrix(&right, NoMask, NoAccum, Times::new(), &a, &mid, &d)
+            .unwrap();
+        ctx.wait().unwrap();
+        let trace = ctx.take_trace();
+        let transposes = trace.iter().filter(|e| e.kind == "transpose").count();
+        assert_eq!(transposes, 1, "policy {policy:?}: diamond base ran {transposes}x");
+        assert_eq!(trace.len(), 3);
+    }
+}
+
+/// Acceptance: on a wide DAG the pool policy is observably concurrent —
+/// the trace names more than one worker. (The pool spawns at least two
+/// workers even on one hardware thread; 16 independent products give
+/// the OS ample room to interleave them.)
+#[test]
+fn wide_dag_runs_on_multiple_workers() {
+    let ctx = Context::nonblocking_parallel();
+    ctx.enable_trace(true);
+    let a = random_matrix(4, 0.15);
+    let b = random_matrix(5, 0.15);
+    let outs: Vec<Matrix<i64>> = (0..16).map(|_| Matrix::<i64>::new(N, N).unwrap()).collect();
+    let d = Descriptor::default();
+    for out in &outs {
+        ctx.mxm(out, NoMask, NoAccum, plus_times::<i64>(), &a, &b, &d)
+            .unwrap();
+    }
+    ctx.wait().unwrap();
+    let trace = ctx.take_trace();
+    assert_eq!(trace.len(), 16);
+    let workers: std::collections::HashSet<usize> = trace.iter().map(|e| e.worker).collect();
+    assert!(
+        workers.len() > 1,
+        "expected >1 worker on 16 independent mxm ops, saw {workers:?}"
+    );
+    // all outputs identical (same inputs, schedule-independent results)
+    let expect = outs[0].extract_tuples().unwrap();
+    for out in &outs[1..] {
+        assert_eq!(out.extract_tuples().unwrap(), expect);
+    }
+}
+
+/// The capi facade exposes the same hooks on the global context.
+#[test]
+fn capi_trace_hooks_roundtrip() {
+    graphblas_capi::with_session(Mode::Nonblocking, || {
+        graphblas_capi::enable_trace(true).unwrap();
+        graphblas_capi::wait().unwrap();
+        assert!(graphblas_capi::take_trace().unwrap().is_empty());
+    })
+    .unwrap();
+}
