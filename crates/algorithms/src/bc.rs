@@ -125,7 +125,15 @@ pub fn bc_update(ctx: &Context, a: &Matrix<i32>, s: &[Index]) -> Result<Vector<f
 
     // lines 59-61: bcu = all 1.0 ("to avoid issues with implied zeros")
     let bcu = Matrix::<f32>::new(n, nsver)?;
-    ctx.assign_scalar_matrix(&bcu, NoMask, NoAccum, 1.0f32, ALL, ALL, &Descriptor::default())?;
+    ctx.assign_scalar_matrix(
+        &bcu,
+        NoMask,
+        NoAccum,
+        1.0f32,
+        ALL,
+        ALL,
+        &Descriptor::default(),
+    )?;
 
     // lines 63-65: desc_r = {OUTP: REPLACE}
     let desc_r = Descriptor::default().replace();
@@ -146,7 +154,15 @@ pub fn bc_update(ctx: &Context, a: &Matrix<i32>, s: &[Index]) -> Result<Vector<f
             &desc_r,
         )?;
         // line 73: w<sigmas[i-1]> = A +.* w (replace)
-        ctx.mxm(&w, &sigmas[i - 1], NoAccum, fp32_add_mul.clone(), a, &w, &desc_r)?;
+        ctx.mxm(
+            &w,
+            &sigmas[i - 1],
+            NoAccum,
+            fp32_add_mul.clone(),
+            a,
+            &w,
+            &desc_r,
+        )?;
         // line 74: bcu += w .* numsp (implicit int -> float cast on numsp)
         ctx.ewise_mult_matrix(
             &bcu,
@@ -184,11 +200,7 @@ pub fn bc_update(ctx: &Context, a: &Matrix<i32>, s: &[Index]) -> Result<Vector<f
 
 /// Full betweenness centrality: run [`bc_update`] over all vertices in
 /// batches of `batch_size` and sum the contributions.
-pub fn betweenness(
-    ctx: &Context,
-    a: &Matrix<i32>,
-    batch_size: usize,
-) -> Result<Vec<f32>> {
+pub fn betweenness(ctx: &Context, a: &Matrix<i32>, batch_size: usize) -> Result<Vec<f32>> {
     let n = a.nrows();
     let batch_size = batch_size.max(1);
     let mut total = vec![0.0f32; n];
@@ -207,8 +219,7 @@ mod tests {
     use super::*;
 
     fn adj(n: usize, edges: &[(usize, usize)]) -> Matrix<i32> {
-        let tuples: Vec<(usize, usize, i32)> =
-            edges.iter().map(|&(u, v)| (u, v, 1)).collect();
+        let tuples: Vec<(usize, usize, i32)> = edges.iter().map(|&(u, v)| (u, v, 1)).collect();
         Matrix::from_tuples(n, n, &tuples).unwrap()
     }
 
@@ -251,10 +262,7 @@ mod tests {
     #[test]
     fn batching_is_equivalent() {
         let ctx = Context::blocking();
-        let a = adj(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (4, 5), (0, 2)],
-        );
+        let a = adj(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (4, 5), (0, 2)]);
         let b1 = betweenness(&ctx, &a, 1).unwrap();
         let b2 = betweenness(&ctx, &a, 3).unwrap();
         let b6 = betweenness(&ctx, &a, 6).unwrap();

@@ -151,10 +151,7 @@ mod tests {
     fn isolated_source() {
         let ctx = Context::blocking();
         let a = adj(3, &[(1, 2)]);
-        assert_eq!(
-            bfs_levels(&ctx, &a, 0).unwrap(),
-            vec![Some(0), None, None]
-        );
+        assert_eq!(bfs_levels(&ctx, &a, 0).unwrap(), vec![Some(0), None, None]);
     }
 
     #[test]

@@ -57,7 +57,15 @@ pub fn multi_source_bfs_levels(
             &Descriptor::default().structural_mask(),
         )?;
         // frontier<!levels> = A^T lor.land frontier (replace)
-        ctx.mxm(&frontier, &levels, NoAccum, lor_land(), a, &frontier, &desc_tsr)?;
+        ctx.mxm(
+            &frontier,
+            &levels,
+            NoAccum,
+            lor_land(),
+            a,
+            &frontier,
+            &desc_tsr,
+        )?;
         d += 1;
     }
     Ok(levels)
@@ -67,11 +75,7 @@ pub fn multi_source_bfs_levels(
 /// number of vertices reachable *from* `v` (out-closeness; harmonic-free
 /// classic definition, 0 for vertices reaching nothing). Computed by
 /// batched BFS from every vertex.
-pub fn closeness_centrality(
-    ctx: &Context,
-    a: &Matrix<bool>,
-    batch: usize,
-) -> Result<Vec<f64>> {
+pub fn closeness_centrality(ctx: &Context, a: &Matrix<bool>, batch: usize) -> Result<Vec<f64>> {
     let n = a.nrows();
     if a.ncols() != n {
         return Err(Error::DimensionMismatch("adjacency must be square".into()));
@@ -138,7 +142,14 @@ mod tests {
         let a = adj(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
         let l = multi_source_bfs_levels(&ctx, &a, &[0, 3]).unwrap();
         // column 0: from vertex 0
-        for (v, want) in [(0, Some(0)), (1, Some(1)), (2, Some(1)), (3, Some(2)), (4, Some(3)), (5, None)] {
+        for (v, want) in [
+            (0, Some(0)),
+            (1, Some(1)),
+            (2, Some(1)),
+            (3, Some(2)),
+            (4, Some(3)),
+            (5, None),
+        ] {
             assert_eq!(l.get(v, 0).unwrap(), want.map(|x: i64| x), "v={v}");
         }
         // column 1: from vertex 3
@@ -157,12 +168,8 @@ mod tests {
         let l = multi_source_bfs_levels(&ctx, &a, &sources).unwrap();
         for s in 0..6 {
             let want = bfs_levels(&adjg, s);
-            for v in 0..6 {
-                assert_eq!(
-                    l.get(v, s).unwrap(),
-                    want[v].map(|x| x as i64),
-                    "v={v} s={s}"
-                );
+            for (v, lvl) in want.iter().enumerate() {
+                assert_eq!(l.get(v, s).unwrap(), lvl.map(|x| x as i64), "v={v} s={s}");
             }
         }
     }

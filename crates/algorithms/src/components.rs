@@ -15,10 +15,7 @@ pub fn connected_components(ctx: &Context, a: &Matrix<bool>) -> Result<Vec<usize
     let ids: Vec<(Index, u64)> = (0..n).map(|i| (i, i as u64)).collect();
     let labels = Vector::from_tuples(n, &ids)?;
     let incoming = Vector::<u64>::new(n)?;
-    let min_first = SemiringDef::new(
-        MinMonoid::<u64>::new(),
-        binary_fn(|l: &u64, _e: &bool| *l),
-    );
+    let min_first = SemiringDef::new(MinMonoid::<u64>::new(), binary_fn(|l: &u64, _e: &bool| *l));
     loop {
         let before = labels.extract_tuples()?;
         // incoming(j) = min over neighbors i of labels(i)
@@ -79,10 +76,7 @@ mod tests {
     fn two_components() {
         let ctx = Context::blocking();
         let a = undirected(5, &[(0, 1), (1, 2), (3, 4)]);
-        assert_eq!(
-            connected_components(&ctx, &a).unwrap(),
-            vec![0, 0, 0, 3, 3]
-        );
+        assert_eq!(connected_components(&ctx, &a).unwrap(), vec![0, 0, 0, 3, 3]);
         assert_eq!(num_components(&ctx, &a).unwrap(), 2);
     }
 

@@ -20,8 +20,8 @@
 pub mod bc;
 pub mod bfs;
 pub mod closeness;
-pub mod cores;
 pub mod components;
+pub mod cores;
 pub mod mis;
 pub mod pagerank;
 pub mod reach;
@@ -31,8 +31,8 @@ pub mod triangles;
 pub use bc::{bc_update, betweenness};
 pub use bfs::{bfs_levels, bfs_parents};
 pub use closeness::{closeness_centrality, multi_source_bfs_levels};
-pub use cores::{core_numbers, k_core};
 pub use components::{connected_components, num_components};
+pub use cores::{core_numbers, k_core};
 pub use mis::maximal_independent_set;
 pub use pagerank::pagerank;
 pub use reach::{reachable_set, transitive_closure, walk_parity};

@@ -19,11 +19,7 @@ fn splitmix(mut x: u64) -> u64 {
 /// A maximal independent set of an undirected graph (symmetric Boolean
 /// adjacency, no self-loops), as a sorted vertex list. Deterministic in
 /// `seed`.
-pub fn maximal_independent_set(
-    ctx: &Context,
-    a: &Matrix<bool>,
-    seed: u64,
-) -> Result<Vec<Index>> {
+pub fn maximal_independent_set(ctx: &Context, a: &Matrix<bool>, seed: u64) -> Result<Vec<Index>> {
     let n = a.nrows();
     if a.ncols() != n {
         return Err(Error::DimensionMismatch("adjacency must be square".into()));
@@ -32,10 +28,8 @@ pub fn maximal_independent_set(
     // all vertices start as candidates
     let candidates = Vector::from_dense(&vec![true; n])?;
     let mis = Vector::<bool>::new(n)?;
-    let max_first_score = SemiringDef::new(
-        MaxMonoid::<f64>::new(),
-        binary_fn(|s: &f64, _e: &bool| *s),
-    );
+    let max_first_score =
+        SemiringDef::new(MaxMonoid::<f64>::new(), binary_fn(|s: &f64, _e: &bool| *s));
 
     let mut round = 0u64;
     while candidates.nvals()? > 0 {

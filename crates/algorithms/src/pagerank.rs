@@ -52,7 +52,14 @@ pub fn pagerank(
 
     // rank starts uniform (dense)
     let rank = Vector::<f64>::new(n)?;
-    ctx.assign_scalar_vector(&rank, NoMask, NoAccum, 1.0 / nf, ALL, &Descriptor::default())?;
+    ctx.assign_scalar_vector(
+        &rank,
+        NoMask,
+        NoAccum,
+        1.0 / nf,
+        ALL,
+        &Descriptor::default(),
+    )?;
     let contrib = Vector::<f64>::new(n)?;
     let next = Vector::<f64>::new(n)?;
     let diff = Vector::<f64>::new(n)?;
@@ -92,7 +99,14 @@ pub fn pagerank(
         let base = (1.0 - d) / nf + d * dangling / nf;
 
         // next = base everywhere, then accumulate d * (contrib ⊕.⊗ A)
-        ctx.assign_scalar_vector(&next, NoMask, NoAccum, base, ALL, &Descriptor::default().replace())?;
+        ctx.assign_scalar_vector(
+            &next,
+            NoMask,
+            NoAccum,
+            base,
+            ALL,
+            &Descriptor::default().replace(),
+        )?;
         let scaled = Vector::<f64>::new(n)?;
         ctx.apply_vector(
             &scaled,

@@ -67,7 +67,11 @@ pub fn reachable_set(ctx: &Context, a: &Matrix<bool>, src: Index) -> Result<Vec<
             &Descriptor::default().replace(),
         )?;
     }
-    Ok(visited.extract_tuples()?.into_iter().map(|(i, _)| i).collect())
+    Ok(visited
+        .extract_tuples()?
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect())
 }
 
 /// Parity of the number of length-`k` walks between every vertex pair,
@@ -85,7 +89,15 @@ pub fn walk_parity(ctx: &Context, a: &Matrix<bool>, k: u32) -> Result<Matrix<boo
     }
     let p = a.dup();
     for _ in 1..k {
-        ctx.mxm(&p, NoMask, NoAccum, xor_and(), &p, a, &Descriptor::default().replace())?;
+        ctx.mxm(
+            &p,
+            NoMask,
+            NoAccum,
+            xor_and(),
+            &p,
+            a,
+            &Descriptor::default().replace(),
+        )?;
     }
     Ok(p)
 }
@@ -142,7 +154,7 @@ mod tests {
         let a = adj(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
         let p2 = walk_parity(&ctx, &a, 2).unwrap();
         assert_eq!(p2.get(0, 3).unwrap(), Some(false)); // even # of walks
-        // single 2-walk 1 -> 3? 1->3 is one hop; at k=2 none
+                                                        // single 2-walk 1 -> 3? 1->3 is one hop; at k=2 none
         let p1 = walk_parity(&ctx, &a, 1).unwrap();
         assert_eq!(p1.get(0, 1).unwrap(), Some(true));
         // triangle with an extra path: odd/even distinction

@@ -8,11 +8,7 @@ use graphblas_core::prelude::*;
 /// matrix (stored weight = edge length; absent = no edge). `None` for
 /// unreachable vertices. Returns an error on a negative cycle reachable
 /// from `src` (distances still decreasing after `n` rounds).
-pub fn sssp_bellman_ford(
-    ctx: &Context,
-    a: &Matrix<f64>,
-    src: Index,
-) -> Result<Vec<Option<f64>>> {
+pub fn sssp_bellman_ford(ctx: &Context, a: &Matrix<f64>, src: Index) -> Result<Vec<Option<f64>>> {
     let n = a.nrows();
     if a.ncols() != n {
         return Err(Error::DimensionMismatch("adjacency must be square".into()));
@@ -87,7 +83,15 @@ pub fn apsp_min_plus(ctx: &Context, a: &Matrix<f64>) -> Result<Matrix<f64>> {
     loop {
         let before = d.extract_tuples()?;
         // D = D min.+ D
-        ctx.mxm(&d, NoMask, NoAccum, min_plus::<f64>(), &d, &d, &Descriptor::default())?;
+        ctx.mxm(
+            &d,
+            NoMask,
+            NoAccum,
+            min_plus::<f64>(),
+            &d,
+            &d,
+            &Descriptor::default(),
+        )?;
         if d.extract_tuples()? == before {
             return Ok(d);
         }
@@ -139,14 +143,20 @@ mod tests {
         let ctx = Context::blocking();
         let a = adj(
             4,
-            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (0, 3, 10.0), (3, 0, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 1.0),
+                (0, 3, 10.0),
+                (3, 0, 1.0),
+            ],
         );
         let apsp = apsp_min_plus(&ctx, &a).unwrap();
         for src in 0..4 {
             let d = sssp_bellman_ford(&ctx, &a, src).unwrap();
-            for dst in 0..4 {
+            for (dst, want) in d.iter().enumerate() {
                 let from_apsp = apsp.get(src, dst).unwrap();
-                assert_eq!(from_apsp, d[dst], "src {src} dst {dst}");
+                assert_eq!(&from_apsp, want, "src {src} dst {dst}");
             }
         }
     }

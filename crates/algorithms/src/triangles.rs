@@ -76,7 +76,14 @@ pub fn triangle_count_sandia(ctx: &Context, a: &Matrix<bool>) -> Result<u64> {
         return Err(Error::DimensionMismatch("adjacency must be square".into()));
     }
     let l = Matrix::<bool>::new(n, n)?;
-    ctx.select_matrix(&l, NoMask, NoAccum, Tril::new(-1), a, &Descriptor::default())?;
+    ctx.select_matrix(
+        &l,
+        NoMask,
+        NoAccum,
+        Tril::new(-1),
+        a,
+        &Descriptor::default(),
+    )?;
     let c = Matrix::<u64>::new(n, n)?;
     ctx.mxm(
         &c,
@@ -164,10 +171,7 @@ mod tests {
         let ctx = Context::blocking();
         let a = undirected(3, &[(0, 1), (1, 2), (0, 2)]);
         assert_eq!(triangle_count(&ctx, &a).unwrap(), 1);
-        assert_eq!(
-            triangle_counts_per_vertex(&ctx, &a).unwrap(),
-            vec![1, 1, 1]
-        );
+        assert_eq!(triangle_counts_per_vertex(&ctx, &a).unwrap(), vec![1, 1, 1]);
     }
 
     #[test]
@@ -206,7 +210,10 @@ mod tests {
             (3, vec![(0, 1), (1, 2), (0, 2)]),
             (4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]),
             (5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]),
-            (6, vec![(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)]),
+            (
+                6,
+                vec![(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)],
+            ),
         ] {
             let a = undirected(n, &edges);
             assert_eq!(
@@ -223,7 +230,7 @@ mod tests {
         let k4 = undirected(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         let t = k_truss(&ctx, &k4, 3).unwrap();
         assert_eq!(t.nvals().unwrap(), 12); // all arcs survive
-        // k=4: every edge of K4 is in exactly 2 triangles -> survives k=4
+                                            // k=4: every edge of K4 is in exactly 2 triangles -> survives k=4
         let t4 = k_truss(&ctx, &k4, 4).unwrap();
         assert_eq!(t4.nvals().unwrap(), 12);
         // k=5 would need 3 triangles per edge: empty

@@ -29,32 +29,50 @@ fn bench_facade_tax(c: &mut Criterion) {
     group.bench_function("typed_core_i32", |b| {
         b.iter(|| {
             let out = Matrix::<i32>::new(n, n).unwrap();
-            ctx.mxm(&out, NoMask, NoAccum, plus_times::<i32>(), &a_typed, &a_typed, &Descriptor::default())
-                .unwrap();
+            ctx.mxm(
+                &out,
+                NoMask,
+                NoAccum,
+                plus_times::<i32>(),
+                &a_typed,
+                &a_typed,
+                &Descriptor::default(),
+            )
+            .unwrap();
             out.nvals().unwrap()
         })
     });
 
     // facade: Value-union domain, runtime-composed semiring
     grb::with_session(graphblas_core::Mode::Blocking, || {
-        let add = GrbMonoid::new(
-            GrbBinaryOp::plus(GrbType::Int32).unwrap(),
-            Value::Int32(0),
-        )
-        .unwrap();
+        let add =
+            GrbMonoid::new(GrbBinaryOp::plus(GrbType::Int32).unwrap(), Value::Int32(0)).unwrap();
         let sr = GrbSemiring::new(add, GrbBinaryOp::times(GrbType::Int32).unwrap()).unwrap();
         let a_dyn = GrbMatrix::new(GrbType::Int32, n, n).unwrap();
         let rows: Vec<usize> = tuples.iter().map(|t| t.0).collect();
         let cols: Vec<usize> = tuples.iter().map(|t| t.1).collect();
         let vals: Vec<Value> = tuples.iter().map(|t| Value::Int32(t.2)).collect();
         a_dyn
-            .build(&rows, &cols, &vals, &GrbBinaryOp::plus(GrbType::Int32).unwrap())
+            .build(
+                &rows,
+                &cols,
+                &vals,
+                &GrbBinaryOp::plus(GrbType::Int32).unwrap(),
+            )
             .unwrap();
         group.bench_function("capi_facade_value_union", |b| {
             b.iter(|| {
                 let out = GrbMatrix::new(GrbType::Int32, n, n).unwrap();
-                grb::mxm(&out, None, None, &sr, &a_dyn, &a_dyn, &Descriptor::default())
-                    .unwrap();
+                grb::mxm(
+                    &out,
+                    None,
+                    None,
+                    &sr,
+                    &a_dyn,
+                    &a_dyn,
+                    &Descriptor::default(),
+                )
+                .unwrap();
                 out.nvals().unwrap()
             })
         });

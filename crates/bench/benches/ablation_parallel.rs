@@ -11,7 +11,9 @@ use graphblas_gen::{rmat, RmatParams};
 use std::time::Duration;
 
 fn bench_thread_scaling(c: &mut Criterion) {
-    let g = rmat(12, 8, RmatParams::default(), 9).dedup().without_self_loops();
+    let g = rmat(12, 8, RmatParams::default(), 9)
+        .dedup()
+        .without_self_loops();
     let mut t = g.weighted_tuples(1.0, 2.0, 9);
     t.sort_by_key(|&(i, j, _)| (i, j));
     let a = Csr::from_sorted_tuples(g.n, g.n, t);

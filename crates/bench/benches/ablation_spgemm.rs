@@ -22,17 +22,25 @@ fn bench_strategies(c: &mut Criterion) {
     // denser rows: RMAT with heavy hubs (dense accumulators pay off on
     // hub rows; Auto should track the better of the two)
     let workloads = [
-        ("er_sparse", to_csr(&erdos_renyi_gnm(4096, 16384, 1).dedup(), 1)),
+        (
+            "er_sparse",
+            to_csr(&erdos_renyi_gnm(4096, 16384, 1).dedup(), 1),
+        ),
         (
             "rmat_skewed",
-            to_csr(&rmat(12, 8, RmatParams::default(), 2).dedup().without_self_loops(), 2),
+            to_csr(
+                &rmat(12, 8, RmatParams::default(), 2)
+                    .dedup()
+                    .without_self_loops(),
+                2,
+            ),
         ),
     ];
     let sr = plus_times::<f64>();
     for (name, a) in &workloads {
         let mut group = c.benchmark_group(format!("ablation_spgemm/{name}"));
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
+        group.warm_up_time(Duration::from_millis(500));
+        group.measurement_time(Duration::from_secs(2));
         group.sample_size(10);
         for (label, strat) in [
             ("hash", MxmStrategy::Hash),
@@ -50,7 +58,9 @@ fn bench_strategies(c: &mut Criterion) {
 fn bench_masked_scatter_vs_dot(c: &mut Criterion) {
     // a very sparse mask over a heavy product: dot form touches only
     // admitted positions while scatter still sweeps all flops
-    let g = rmat(11, 12, RmatParams::default(), 3).dedup().without_self_loops();
+    let g = rmat(11, 12, RmatParams::default(), 3)
+        .dedup()
+        .without_self_loops();
     let a = to_csr(&g, 3);
     let at = a.transpose();
     let n = g.n;

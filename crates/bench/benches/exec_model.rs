@@ -24,11 +24,27 @@ fn bench_pipeline_modes(c: &mut Criterion) {
     // a BFS-ish pipeline: 8 chained mxv + ewise steps, observed once
     let pipeline = |ctx: &Context| {
         let w = Vector::<f64>::new(n).unwrap();
-        ctx.mxv(&w, NoMask, NoAccum, plus_times::<f64>(), &a, &v, &Descriptor::default())
-            .unwrap();
+        ctx.mxv(
+            &w,
+            NoMask,
+            NoAccum,
+            plus_times::<f64>(),
+            &a,
+            &v,
+            &Descriptor::default(),
+        )
+        .unwrap();
         for _ in 0..7 {
-            ctx.mxv(&w, NoMask, NoAccum, plus_times::<f64>(), &a, &w, &Descriptor::default().replace())
-                .unwrap();
+            ctx.mxv(
+                &w,
+                NoMask,
+                NoAccum,
+                plus_times::<f64>(),
+                &a,
+                &w,
+                &Descriptor::default().replace(),
+            )
+            .unwrap();
         }
         w.nvals().unwrap()
     };
@@ -112,8 +128,16 @@ fn bench_transpose_caching(c: &mut Criterion) {
         // same `a` handle across iterations: cache hit after warmup
         b.iter(|| {
             let w = Vector::<f64>::new(n).unwrap();
-            ctx.mxv(&w, NoMask, NoAccum, plus_times::<f64>(), &a, &v, &Descriptor::default().transpose_first())
-                .unwrap();
+            ctx.mxv(
+                &w,
+                NoMask,
+                NoAccum,
+                plus_times::<f64>(),
+                &a,
+                &v,
+                &Descriptor::default().transpose_first(),
+            )
+            .unwrap();
             w.nvals().unwrap()
         })
     });
@@ -124,8 +148,16 @@ fn bench_transpose_caching(c: &mut Criterion) {
             || Matrix::from_tuples(n, n, &a_tuples).unwrap(),
             |fresh| {
                 let w = Vector::<f64>::new(n).unwrap();
-                ctx.mxv(&w, NoMask, NoAccum, plus_times::<f64>(), &fresh, &v, &Descriptor::default().transpose_first())
-                    .unwrap();
+                ctx.mxv(
+                    &w,
+                    NoMask,
+                    NoAccum,
+                    plus_times::<f64>(),
+                    &fresh,
+                    &v,
+                    &Descriptor::default().transpose_first(),
+                )
+                .unwrap();
                 w.nvals().unwrap()
             },
             criterion::BatchSize::LargeInput,
@@ -156,11 +188,18 @@ fn bench_sched(c: &mut Criterion) {
         group.bench_function(name, |b| {
             let ctx = Context::with_policy(Mode::Nonblocking, policy);
             b.iter(|| {
-                let outs: Vec<Matrix<f64>> =
-                    (0..16).map(|_| Matrix::new(n, n).unwrap()).collect();
+                let outs: Vec<Matrix<f64>> = (0..16).map(|_| Matrix::new(n, n).unwrap()).collect();
                 for out in &outs {
-                    ctx.mxm(out, NoMask, NoAccum, plus_times::<f64>(), &a, &a, &Descriptor::default())
-                        .unwrap();
+                    ctx.mxm(
+                        out,
+                        NoMask,
+                        NoAccum,
+                        plus_times::<f64>(),
+                        &a,
+                        &a,
+                        &Descriptor::default(),
+                    )
+                    .unwrap();
                 }
                 ctx.wait().unwrap();
                 outs.iter().map(|o| o.nvals().unwrap()).sum::<usize>()

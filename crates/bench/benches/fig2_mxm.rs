@@ -27,23 +27,40 @@ fn bench_descriptor_variants(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("plain", scale), |b| {
         b.iter(|| {
             let out = Matrix::<f64>::new(n, n).unwrap();
-            ctx.mxm(&out, NoMask, NoAccum, sr(), &a, &a, &Descriptor::default()).unwrap();
+            ctx.mxm(&out, NoMask, NoAccum, sr(), &a, &a, &Descriptor::default())
+                .unwrap();
             out.nvals().unwrap()
         })
     });
     group.bench_function(BenchmarkId::new("accum", scale), |b| {
         b.iter(|| {
             let out = a.dup();
-            ctx.mxm(&out, NoMask, Accum(Plus::<f64>::new()), sr(), &a, &a, &Descriptor::default())
-                .unwrap();
+            ctx.mxm(
+                &out,
+                NoMask,
+                Accum(Plus::<f64>::new()),
+                sr(),
+                &a,
+                &a,
+                &Descriptor::default(),
+            )
+            .unwrap();
             out.nvals().unwrap()
         })
     });
     group.bench_function(BenchmarkId::new("masked_merge", scale), |b| {
         b.iter(|| {
             let out = Matrix::<f64>::new(n, n).unwrap();
-            ctx.mxm(&out, &mask, NoAccum, sr(), &a, &a, &Descriptor::default().structural_mask())
-                .unwrap();
+            ctx.mxm(
+                &out,
+                &mask,
+                NoAccum,
+                sr(),
+                &a,
+                &a,
+                &Descriptor::default().structural_mask(),
+            )
+            .unwrap();
             out.nvals().unwrap()
         })
     });
@@ -73,7 +90,10 @@ fn bench_descriptor_variants(c: &mut Criterion) {
                 sr(),
                 &a,
                 &a,
-                &Descriptor::default().structural_mask().complement_mask().replace(),
+                &Descriptor::default()
+                    .structural_mask()
+                    .complement_mask()
+                    .replace(),
             )
             .unwrap();
             out.nvals().unwrap()
@@ -86,8 +106,16 @@ fn bench_descriptor_variants(c: &mut Criterion) {
             || Matrix::from_tuples(n, n, &a_tuples).unwrap(),
             |fresh| {
                 let out = Matrix::<f64>::new(n, n).unwrap();
-                ctx.mxm(&out, NoMask, NoAccum, sr(), &fresh, &a, &Descriptor::default().transpose_first())
-                    .unwrap();
+                ctx.mxm(
+                    &out,
+                    NoMask,
+                    NoAccum,
+                    sr(),
+                    &fresh,
+                    &a,
+                    &Descriptor::default().transpose_first(),
+                )
+                .unwrap();
                 out.nvals().unwrap()
             },
             criterion::BatchSize::LargeInput,
@@ -98,8 +126,16 @@ fn bench_descriptor_variants(c: &mut Criterion) {
         // computed once — the BC forward-sweep pattern
         b.iter(|| {
             let out = Matrix::<f64>::new(n, n).unwrap();
-            ctx.mxm(&out, NoMask, NoAccum, sr(), &a, &a, &Descriptor::default().transpose_first())
-                .unwrap();
+            ctx.mxm(
+                &out,
+                NoMask,
+                NoAccum,
+                sr(),
+                &a,
+                &a,
+                &Descriptor::default().transpose_first(),
+            )
+            .unwrap();
             out.nvals().unwrap()
         })
     });
@@ -121,7 +157,11 @@ fn bench_mask_sparsity_scaling(c: &mut Criterion) {
     group.sample_size(15);
     for frac_pow in [0u32, 3, 6, 9] {
         // mask with ~n*4^(−frac_pow/3) entries down to a handful
-        let keep = |k: usize| (k as u64).wrapping_mul(2654435761) % (1 << frac_pow) == 0;
+        let keep = |k: usize| {
+            (k as u64)
+                .wrapping_mul(2654435761)
+                .is_multiple_of(1 << frac_pow)
+        };
         let mtuples: Vec<(usize, usize, bool)> = (0..n)
             .flat_map(|i| {
                 let j = (i * 7 + 3) % n;
@@ -155,5 +195,9 @@ fn bench_mask_sparsity_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_descriptor_variants, bench_mask_sparsity_scaling);
+criterion_group!(
+    benches,
+    bench_descriptor_variants,
+    bench_mask_sparsity_scaling
+);
 criterion_main!(benches);

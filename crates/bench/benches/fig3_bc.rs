@@ -94,5 +94,10 @@ fn bench_bc_modes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bc_scaling, bench_batch_size_sweep, bench_bc_modes);
+criterion_group!(
+    benches,
+    bench_bc_scaling,
+    bench_batch_size_sweep,
+    bench_bc_modes
+);
 criterion_main!(benches);

@@ -24,32 +24,64 @@ fn bench_mxv_semirings(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("arithmetic_plus_times", scale), |bench| {
         bench.iter(|| {
             let w = Vector::<f64>::new(n).unwrap();
-            ctx.mxv(&w, NoMask, NoAccum, plus_times::<f64>(), &a, &v, &Descriptor::default())
-                .unwrap();
+            ctx.mxv(
+                &w,
+                NoMask,
+                NoAccum,
+                plus_times::<f64>(),
+                &a,
+                &v,
+                &Descriptor::default(),
+            )
+            .unwrap();
             w.nvals().unwrap()
         })
     });
     group.bench_function(BenchmarkId::new("max_plus", scale), |bench| {
         bench.iter(|| {
             let w = Vector::<f64>::new(n).unwrap();
-            ctx.mxv(&w, NoMask, NoAccum, max_plus::<f64>(), &a, &v, &Descriptor::default())
-                .unwrap();
+            ctx.mxv(
+                &w,
+                NoMask,
+                NoAccum,
+                max_plus::<f64>(),
+                &a,
+                &v,
+                &Descriptor::default(),
+            )
+            .unwrap();
             w.nvals().unwrap()
         })
     });
     group.bench_function(BenchmarkId::new("min_max", scale), |bench| {
         bench.iter(|| {
             let w = Vector::<f64>::new(n).unwrap();
-            ctx.mxv(&w, NoMask, NoAccum, min_max::<f64>(), &a, &v, &Descriptor::default())
-                .unwrap();
+            ctx.mxv(
+                &w,
+                NoMask,
+                NoAccum,
+                min_max::<f64>(),
+                &a,
+                &v,
+                &Descriptor::default(),
+            )
+            .unwrap();
             w.nvals().unwrap()
         })
     });
     group.bench_function(BenchmarkId::new("gf2_xor_and", scale), |bench| {
         bench.iter(|| {
             let w = Vector::<bool>::new(n).unwrap();
-            ctx.mxv(&w, NoMask, NoAccum, xor_and(), &b, &vb, &Descriptor::default())
-                .unwrap();
+            ctx.mxv(
+                &w,
+                NoMask,
+                NoAccum,
+                xor_and(),
+                &b,
+                &vb,
+                &Descriptor::default(),
+            )
+            .unwrap();
             w.nvals().unwrap()
         })
     });
@@ -71,24 +103,48 @@ fn bench_mxm_semirings(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("arithmetic_plus_times", scale), |bench| {
         bench.iter(|| {
             let out = Matrix::<f64>::new(n, n).unwrap();
-            ctx.mxm(&out, NoMask, NoAccum, plus_times::<f64>(), &a, &a, &Descriptor::default())
-                .unwrap();
+            ctx.mxm(
+                &out,
+                NoMask,
+                NoAccum,
+                plus_times::<f64>(),
+                &a,
+                &a,
+                &Descriptor::default(),
+            )
+            .unwrap();
             out.nvals().unwrap()
         })
     });
     group.bench_function(BenchmarkId::new("min_plus_tropical", scale), |bench| {
         bench.iter(|| {
             let out = Matrix::<f64>::new(n, n).unwrap();
-            ctx.mxm(&out, NoMask, NoAccum, min_plus::<f64>(), &a, &a, &Descriptor::default())
-                .unwrap();
+            ctx.mxm(
+                &out,
+                NoMask,
+                NoAccum,
+                min_plus::<f64>(),
+                &a,
+                &a,
+                &Descriptor::default(),
+            )
+            .unwrap();
             out.nvals().unwrap()
         })
     });
     group.bench_function(BenchmarkId::new("lor_land_reachability", scale), |bench| {
         bench.iter(|| {
             let out = Matrix::<bool>::new(n, n).unwrap();
-            ctx.mxm(&out, NoMask, NoAccum, lor_land(), &b, &b, &Descriptor::default())
-                .unwrap();
+            ctx.mxm(
+                &out,
+                NoMask,
+                NoAccum,
+                lor_land(),
+                &b,
+                &b,
+                &Descriptor::default(),
+            )
+            .unwrap();
             out.nvals().unwrap()
         })
     });

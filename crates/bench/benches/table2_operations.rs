@@ -23,56 +23,63 @@ fn bench_all_operations(c: &mut Criterion) {
         let d = Descriptor::default();
 
         let mut group = c.benchmark_group(format!("table2/scale{scale}"));
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
+        group.warm_up_time(Duration::from_millis(500));
+        group.measurement_time(Duration::from_secs(2));
         group.sample_size(if scale >= 13 { 10 } else { 20 });
 
         group.bench_function(BenchmarkId::new("mxm", scale), |b| {
             b.iter(|| {
                 let out = Matrix::<f64>::new(n, n).unwrap();
-                ctx.mxm(&out, NoMask, NoAccum, plus_times::<f64>(), &a, &a, &d).unwrap();
+                ctx.mxm(&out, NoMask, NoAccum, plus_times::<f64>(), &a, &a, &d)
+                    .unwrap();
                 out.nvals().unwrap()
             })
         });
         group.bench_function(BenchmarkId::new("mxv", scale), |b| {
             b.iter(|| {
                 let w = Vector::<f64>::new(n).unwrap();
-                ctx.mxv(&w, NoMask, NoAccum, plus_times::<f64>(), &a, &v, &d).unwrap();
+                ctx.mxv(&w, NoMask, NoAccum, plus_times::<f64>(), &a, &v, &d)
+                    .unwrap();
                 w.nvals().unwrap()
             })
         });
         group.bench_function(BenchmarkId::new("vxm", scale), |b| {
             b.iter(|| {
                 let w = Vector::<f64>::new(n).unwrap();
-                ctx.vxm(&w, NoMask, NoAccum, plus_times::<f64>(), &v, &a, &d).unwrap();
+                ctx.vxm(&w, NoMask, NoAccum, plus_times::<f64>(), &v, &a, &d)
+                    .unwrap();
                 w.nvals().unwrap()
             })
         });
         group.bench_function(BenchmarkId::new("eWiseMult", scale), |b| {
             b.iter(|| {
                 let out = Matrix::<f64>::new(n, n).unwrap();
-                ctx.ewise_mult_matrix(&out, NoMask, NoAccum, Times::new(), &a, &a, &d).unwrap();
+                ctx.ewise_mult_matrix(&out, NoMask, NoAccum, Times::new(), &a, &a, &d)
+                    .unwrap();
                 out.nvals().unwrap()
             })
         });
         group.bench_function(BenchmarkId::new("eWiseAdd", scale), |b| {
             b.iter(|| {
                 let out = Matrix::<f64>::new(n, n).unwrap();
-                ctx.ewise_add_matrix(&out, NoMask, NoAccum, Plus::new(), &a, &a, &d).unwrap();
+                ctx.ewise_add_matrix(&out, NoMask, NoAccum, Plus::new(), &a, &a, &d)
+                    .unwrap();
                 out.nvals().unwrap()
             })
         });
         group.bench_function(BenchmarkId::new("reduce_rows", scale), |b| {
             b.iter(|| {
                 let w = Vector::<f64>::new(n).unwrap();
-                ctx.reduce_rows(&w, NoMask, NoAccum, PlusMonoid::new(), &a, &d).unwrap();
+                ctx.reduce_rows(&w, NoMask, NoAccum, PlusMonoid::new(), &a, &d)
+                    .unwrap();
                 w.nvals().unwrap()
             })
         });
         group.bench_function(BenchmarkId::new("apply", scale), |b| {
             b.iter(|| {
                 let out = Matrix::<f64>::new(n, n).unwrap();
-                ctx.apply_matrix(&out, NoMask, NoAccum, Minv::new(), &a, &d).unwrap();
+                ctx.apply_matrix(&out, NoMask, NoAccum, Minv::new(), &a, &d)
+                    .unwrap();
                 out.nvals().unwrap()
             })
         });

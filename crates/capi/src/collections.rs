@@ -5,9 +5,23 @@
 use graphblas_core::error::{Error, Result};
 use graphblas_core::index::Index;
 use graphblas_core::object::{Matrix, Vector};
+use graphblas_core::{Format, FormatPolicy};
 
 use crate::ops::GrbBinaryOp;
 use crate::value::{GrbType, Value};
+
+/// `GxB`-style storage-format hint constants, mirroring the SuiteSparse
+/// extension's `GxB_SPARSE` / `GxB_BITMAP` / `GxB_HYPERSPARSE` plus the
+/// by-column orientation. Pass to [`GrbMatrix::set_format`].
+pub const GXB_FORMAT_CSR: Format = Format::Csr;
+/// Column-oriented storage (`GxB_BY_COL`): transpose reads become free.
+pub const GXB_FORMAT_CSC: Format = Format::Csc;
+/// Presence-bitmap storage (`GxB_BITMAP`), for dense-ish matrices.
+pub const GXB_FORMAT_BITMAP: Format = Format::Bitmap;
+/// Hypersparse storage (`GxB_HYPERSPARSE`), for nnz ≪ nrows.
+pub const GXB_FORMAT_HYPER: Format = Format::Hyper;
+/// Let the engine pick per value from observed density (`GxB_AUTO_SPARSITY`).
+pub const GXB_FORMAT_AUTO: FormatPolicy = FormatPolicy::Auto;
 
 /// A dynamically-typed `GrB_Matrix` handle.
 #[derive(Debug, Clone)]
@@ -91,6 +105,25 @@ impl GrbMatrix {
     /// Force completion of this object (`GrB_Matrix_wait`).
     pub fn wait(&self) -> Result<()> {
         self.m.wait()
+    }
+
+    /// `GxB_Matrix_Option_get(…, GxB_SPARSITY_STATUS, …)`: the storage
+    /// format currently holding this matrix's value (forces completion).
+    pub fn format(&self) -> Result<Format> {
+        self.m.format()
+    }
+
+    /// `GxB_Matrix_Option_set(…, GxB_SPARSITY_CONTROL, …)`: pin this
+    /// matrix to one of the `GXB_FORMAT_*` layouts, converting the
+    /// current value and directing future results into the same layout.
+    pub fn set_format(&self, format: Format) -> Result<()> {
+        self.m.set_format(format)
+    }
+
+    /// Restore automatic format selection ([`GXB_FORMAT_AUTO`]) or any
+    /// other policy for values computed into this matrix.
+    pub fn set_format_policy(&self, policy: FormatPolicy) {
+        self.m.set_format_policy(policy)
     }
 
     /// Check this matrix's domain against an expected one
@@ -239,6 +272,27 @@ mod tests {
         let d = v.dup();
         v.set(0, Value::Fp32(9.0)).unwrap();
         assert_eq!(d.nvals().unwrap(), 1); // dup is a copy
+    }
+
+    #[test]
+    fn format_hints_round_trip() {
+        let m = GrbMatrix::new(GrbType::Int32, 4, 4).unwrap();
+        m.set(0, 0, Value::Int32(1)).unwrap();
+        m.set_format(GXB_FORMAT_BITMAP).unwrap();
+        assert_eq!(m.format().unwrap(), Format::Bitmap);
+        // content is unchanged by migration
+        assert_eq!(m.get(0, 0).unwrap(), Some(Value::Int32(1)));
+        assert_eq!(m.nvals().unwrap(), 1);
+        m.set_format(GXB_FORMAT_HYPER).unwrap();
+        assert_eq!(m.format().unwrap(), Format::Hyper);
+        m.set_format(GXB_FORMAT_CSC).unwrap();
+        assert_eq!(m.format().unwrap(), Format::Csc);
+        m.set_format(GXB_FORMAT_CSR).unwrap();
+        assert_eq!(m.format().unwrap(), Format::Csr);
+        m.set_format_policy(GXB_FORMAT_AUTO);
+        // next computed value re-chooses: a point update densifies it
+        m.set(1, 1, Value::Int32(2)).unwrap();
+        assert_eq!(m.format().unwrap(), Format::Bitmap); // 2/16 = 12.5% >= 1/16
     }
 
     #[test]

@@ -25,12 +25,19 @@ pub mod operations;
 pub mod ops;
 pub mod value;
 
-pub use collections::{GrbMatrix, GrbVector};
-pub use context::{current_mode, enable_trace, error, finalize, init, init_with_policy, inject_fault, take_trace, wait, with_no_session, with_session};
+pub use collections::{
+    GrbMatrix, GrbVector, GXB_FORMAT_AUTO, GXB_FORMAT_BITMAP, GXB_FORMAT_CSC, GXB_FORMAT_CSR,
+    GXB_FORMAT_HYPER,
+};
+pub use context::{
+    current_mode, enable_trace, error, finalize, init, init_with_policy, inject_fault, take_trace,
+    wait, with_no_session, with_session,
+};
 pub use graphblas_core::descriptor::Descriptor;
 pub use graphblas_core::error::{Error, Result};
 pub use graphblas_core::exec::{Mode, SchedPolicy, TraceEvent};
 pub use graphblas_core::index::{Index, IndexSelection, ALL};
+pub use graphblas_core::{Format, FormatPolicy};
 pub use operations::*;
 pub use ops::{GrbBinaryOp, GrbMonoid, GrbSelectOp, GrbSemiring, GrbUnaryOp};
 pub use value::{GrbType, Value};

@@ -419,17 +419,19 @@ mod tests {
         let rows: Vec<usize> = t.iter().map(|x| x.0).collect();
         let cols: Vec<usize> = t.iter().map(|x| x.1).collect();
         let vals: Vec<Value> = t.iter().map(|x| Value::Int32(x.2)).collect();
-        m.build(&rows, &cols, &vals, &GrbBinaryOp::plus(GrbType::Int32).unwrap())
-            .unwrap();
+        m.build(
+            &rows,
+            &cols,
+            &vals,
+            &GrbBinaryOp::plus(GrbType::Int32).unwrap(),
+        )
+        .unwrap();
         m
     }
 
     fn int32_semiring() -> GrbSemiring {
-        let add = GrbMonoid::new(
-            GrbBinaryOp::plus(GrbType::Int32).unwrap(),
-            Value::Int32(0),
-        )
-        .unwrap();
+        let add =
+            GrbMonoid::new(GrbBinaryOp::plus(GrbType::Int32).unwrap(), Value::Int32(0)).unwrap();
         GrbSemiring::new(add, GrbBinaryOp::times(GrbType::Int32).unwrap()).unwrap()
     }
 
@@ -438,7 +440,16 @@ mod tests {
         with_session(Mode::Blocking, || {
             let a = int_matrix(2, &[(0, 0, 1), (0, 1, 2), (1, 1, 3)]);
             let c = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
-            mxm(&c, None, None, &int32_semiring(), &a, &a, &Descriptor::default()).unwrap();
+            mxm(
+                &c,
+                None,
+                None,
+                &int32_semiring(),
+                &a,
+                &a,
+                &Descriptor::default(),
+            )
+            .unwrap();
             assert_eq!(c.get(0, 1).unwrap(), Some(Value::Int32(8)));
             assert_eq!(c.get(1, 1).unwrap(), Some(Value::Int32(9)));
         })
@@ -450,8 +461,16 @@ mod tests {
         with_session(Mode::Blocking, || {
             let a = int_matrix(2, &[(0, 0, 1)]);
             let c = GrbMatrix::new(GrbType::Fp32, 2, 2).unwrap();
-            let e = mxm(&c, None, None, &int32_semiring(), &a, &a, &Descriptor::default())
-                .unwrap_err();
+            let e = mxm(
+                &c,
+                None,
+                None,
+                &int32_semiring(),
+                &a,
+                &a,
+                &Descriptor::default(),
+            )
+            .unwrap_err();
             assert!(matches!(e, Error::DomainMismatch(_)));
         })
         .unwrap();
@@ -464,7 +483,16 @@ mod tests {
             let a = GrbMatrix::new(GrbType::Fp64, 1, 1).unwrap();
             a.set(0, 0, Value::Fp64(2.9)).unwrap();
             let c = GrbMatrix::new(GrbType::Int32, 1, 1).unwrap();
-            mxm(&c, None, None, &int32_semiring(), &a, &a, &Descriptor::default()).unwrap();
+            mxm(
+                &c,
+                None,
+                None,
+                &int32_semiring(),
+                &a,
+                &a,
+                &Descriptor::default(),
+            )
+            .unwrap();
             // 2.9 casts to 2; 2*2 = 4
             assert_eq!(c.get(0, 0).unwrap(), Some(Value::Int32(4)));
         })
@@ -479,12 +507,28 @@ mod tests {
             c.set(0, 0, Value::Int32(100)).unwrap();
             // fp32 accumulator cannot accumulate into int32 output
             let bad = GrbBinaryOp::plus(GrbType::Fp32).unwrap();
-            let e = mxm(&c, None, Some(&bad), &int32_semiring(), &a, &a, &Descriptor::default())
-                .unwrap_err();
+            let e = mxm(
+                &c,
+                None,
+                Some(&bad),
+                &int32_semiring(),
+                &a,
+                &a,
+                &Descriptor::default(),
+            )
+            .unwrap_err();
             assert!(matches!(e, Error::DomainMismatch(_)));
             let good = GrbBinaryOp::plus(GrbType::Int32).unwrap();
-            mxm(&c, None, Some(&good), &int32_semiring(), &a, &a, &Descriptor::default())
-                .unwrap();
+            mxm(
+                &c,
+                None,
+                Some(&good),
+                &int32_semiring(),
+                &a,
+                &a,
+                &Descriptor::default(),
+            )
+            .unwrap();
             assert_eq!(c.get(0, 0).unwrap(), Some(Value::Int32(104)));
         })
         .unwrap();
@@ -529,15 +573,10 @@ mod tests {
             .unwrap();
             assert_eq!(b.get(1, 1).unwrap(), Some(Value::Bool(true)));
 
-            let monoid = GrbMonoid::new(
-                GrbBinaryOp::plus(GrbType::Int32).unwrap(),
-                Value::Int32(0),
-            )
-            .unwrap();
-            assert_eq!(
-                reduce_matrix_scalar(&monoid, &a).unwrap(),
-                Value::Int32(13)
-            );
+            let monoid =
+                GrbMonoid::new(GrbBinaryOp::plus(GrbType::Int32).unwrap(), Value::Int32(0))
+                    .unwrap();
+            assert_eq!(reduce_matrix_scalar(&monoid, &a).unwrap(), Value::Int32(13));
             let w = GrbVector::new(GrbType::Int32, 2).unwrap();
             reduce_rows(&w, None, None, &monoid, &a, &Descriptor::default()).unwrap();
             assert_eq!(w.get(0).unwrap(), Some(Value::Int32(4)));
@@ -639,8 +678,16 @@ mod tests {
         with_session(Mode::Blocking, || {
             let a = int_matrix(3, &[(0, 1, 5), (2, 1, 6)]);
             let w = GrbVector::new(GrbType::Int32, 3).unwrap();
-            extract_col(&w, None, None, &a, graphblas_core::index::ALL, 1, &Descriptor::default())
-                .unwrap();
+            extract_col(
+                &w,
+                None,
+                None,
+                &a,
+                graphblas_core::index::ALL,
+                1,
+                &Descriptor::default(),
+            )
+            .unwrap();
             assert_eq!(
                 w.extract_tuples().unwrap(),
                 vec![(0, Value::Int32(5)), (2, Value::Int32(6))]
@@ -660,10 +707,28 @@ mod tests {
             let u = GrbVector::new(GrbType::Int32, 2).unwrap();
             u.set(0, Value::Int32(2)).unwrap();
             let w = GrbVector::new(GrbType::Int32, 2).unwrap();
-            vxm(&w, None, None, &int32_semiring(), &u, &a, &Descriptor::default()).unwrap();
+            vxm(
+                &w,
+                None,
+                None,
+                &int32_semiring(),
+                &u,
+                &a,
+                &Descriptor::default(),
+            )
+            .unwrap();
             assert_eq!(w.extract_tuples().unwrap(), vec![(1, Value::Int32(6))]);
             let w2 = GrbVector::new(GrbType::Int32, 2).unwrap();
-            mxv(&w2, None, None, &int32_semiring(), &t, &u, &Descriptor::default()).unwrap();
+            mxv(
+                &w2,
+                None,
+                None,
+                &int32_semiring(),
+                &t,
+                &u,
+                &Descriptor::default(),
+            )
+            .unwrap();
             assert_eq!(w2.extract_tuples().unwrap(), w.extract_tuples().unwrap());
         })
         .unwrap();
@@ -712,15 +777,10 @@ mod tests {
             let u = GrbVector::new(GrbType::Int32, 3).unwrap();
             u.set(0, Value::Int32(4)).unwrap();
             u.set(2, Value::Int32(5)).unwrap();
-            let monoid = GrbMonoid::new(
-                GrbBinaryOp::plus(GrbType::Int32).unwrap(),
-                Value::Int32(0),
-            )
-            .unwrap();
-            assert_eq!(
-                reduce_vector_scalar(&monoid, &u).unwrap(),
-                Value::Int32(9)
-            );
+            let monoid =
+                GrbMonoid::new(GrbBinaryOp::plus(GrbType::Int32).unwrap(), Value::Int32(0))
+                    .unwrap();
+            assert_eq!(reduce_vector_scalar(&monoid, &u).unwrap(), Value::Int32(9));
         })
         .unwrap();
     }
@@ -776,7 +836,15 @@ mod tests {
         let _guard = crate::context::session_lock();
         let a = GrbMatrix::new(GrbType::Int32, 1, 1).unwrap();
         let c = GrbMatrix::new(GrbType::Int32, 1, 1).unwrap();
-        let e = mxm(&c, None, None, &int32_semiring(), &a, &a, &Descriptor::default());
+        let e = mxm(
+            &c,
+            None,
+            None,
+            &int32_semiring(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        );
         assert!(matches!(e, Err(Error::UninitializedObject(_))));
     }
 }

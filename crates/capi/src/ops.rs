@@ -30,7 +30,11 @@ pub struct GrbBinaryOp {
 
 impl fmt::Debug for GrbBinaryOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}<{:?},{:?},{:?}>", self.name, self.d1, self.d2, self.d3)
+        write!(
+            f,
+            "{}<{:?},{:?},{:?}>",
+            self.name, self.d1, self.d2, self.d3
+        )
     }
 }
 
@@ -96,47 +100,50 @@ impl GrbBinaryOp {
 
     /// `GrB_LAND`.
     pub fn land() -> Self {
-        GrbBinaryOp::new("GrB_LAND", GrbType::Bool, GrbType::Bool, GrbType::Bool, |a, b| {
-            Value::Bool(a.as_bool() && b.as_bool())
-        })
+        GrbBinaryOp::new(
+            "GrB_LAND",
+            GrbType::Bool,
+            GrbType::Bool,
+            GrbType::Bool,
+            |a, b| Value::Bool(a.as_bool() && b.as_bool()),
+        )
     }
 
     /// `GrB_LOR`.
     pub fn lor() -> Self {
-        GrbBinaryOp::new("GrB_LOR", GrbType::Bool, GrbType::Bool, GrbType::Bool, |a, b| {
-            Value::Bool(a.as_bool() || b.as_bool())
-        })
+        GrbBinaryOp::new(
+            "GrB_LOR",
+            GrbType::Bool,
+            GrbType::Bool,
+            GrbType::Bool,
+            |a, b| Value::Bool(a.as_bool() || b.as_bool()),
+        )
     }
 
     /// `GrB_LXOR`.
     pub fn lxor() -> Self {
-        GrbBinaryOp::new("GrB_LXOR", GrbType::Bool, GrbType::Bool, GrbType::Bool, |a, b| {
-            Value::Bool(a.as_bool() ^ b.as_bool())
-        })
+        GrbBinaryOp::new(
+            "GrB_LXOR",
+            GrbType::Bool,
+            GrbType::Bool,
+            GrbType::Bool,
+            |a, b| Value::Bool(a.as_bool() ^ b.as_bool()),
+        )
     }
 
     /// `GrB_EQ_T` (returns `GrB_BOOL`).
     pub fn eq(ty: GrbType) -> Self {
-        GrbBinaryOp::new("GrB_EQ", ty, ty, GrbType::Bool, |a, b| {
-            Value::Bool(a == b)
-        })
+        GrbBinaryOp::new("GrB_EQ", ty, ty, GrbType::Bool, |a, b| Value::Bool(a == b))
     }
 
     /// Adapter to the typed core.
     pub(crate) fn as_dyn(&self) -> DynBinary {
-        DynBinary {
-            f: self.f.clone(),
-        }
+        DynBinary { f: self.f.clone() }
     }
 
     /// API check: this operator's input/output domains against actual
     /// argument domains.
-    pub(crate) fn check_domains(
-        &self,
-        d1: GrbType,
-        d2: GrbType,
-        d3: GrbType,
-    ) -> Result<()> {
+    pub(crate) fn check_domains(&self, d1: GrbType, d2: GrbType, d3: GrbType) -> Result<()> {
         if (self.d1, self.d2, self.d3) != (d1, d2, d3) {
             return Err(Error::DomainMismatch(format!(
                 "operator {self:?} applied to domains <{d1:?},{d2:?},{d3:?}>"
@@ -232,9 +239,7 @@ impl GrbUnaryOp {
     /// [`GrbUnaryOp::casting_dyn`] — this form is exercised by tests.
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn as_dyn(&self) -> DynUnary {
-        DynUnary {
-            f: self.f.clone(),
-        }
+        DynUnary { f: self.f.clone() }
     }
 }
 
@@ -469,7 +474,10 @@ mod tests {
     #[test]
     fn predefined_operator_domains() {
         let p = GrbBinaryOp::plus(GrbType::Int32).unwrap();
-        assert_eq!((p.d1, p.d2, p.d3), (GrbType::Int32, GrbType::Int32, GrbType::Int32));
+        assert_eq!(
+            (p.d1, p.d2, p.d3),
+            (GrbType::Int32, GrbType::Int32, GrbType::Int32)
+        );
         assert_eq!(
             p.as_dyn().apply(&Value::Int32(2), &Value::Int32(3)),
             Value::Int32(5)
@@ -480,8 +488,8 @@ mod tests {
     #[test]
     fn monoid_construction_checks() {
         // Fig. 3 line 10: GrB_Monoid_new(&Int32Add, GrB_INT32, GrB_PLUS_INT32, 0)
-        let m = GrbMonoid::new(GrbBinaryOp::plus(GrbType::Int32).unwrap(), Value::Int32(0))
-            .unwrap();
+        let m =
+            GrbMonoid::new(GrbBinaryOp::plus(GrbType::Int32).unwrap(), Value::Int32(0)).unwrap();
         assert_eq!(m.domain(), GrbType::Int32);
         assert_eq!(m.as_dyn().identity(), Value::Int32(0));
         // wrong identity domain
@@ -496,10 +504,9 @@ mod tests {
     #[test]
     fn semiring_construction_checks() {
         // Fig. 3 line 12: GrB_Semiring_new(&Int32AddMul, Int32Add, GrB_TIMES_INT32)
-        let add = GrbMonoid::new(GrbBinaryOp::plus(GrbType::Int32).unwrap(), Value::Int32(0))
-            .unwrap();
-        let s = GrbSemiring::new(add.clone(), GrbBinaryOp::times(GrbType::Int32).unwrap())
-            .unwrap();
+        let add =
+            GrbMonoid::new(GrbBinaryOp::plus(GrbType::Int32).unwrap(), Value::Int32(0)).unwrap();
+        let s = GrbSemiring::new(add.clone(), GrbBinaryOp::times(GrbType::Int32).unwrap()).unwrap();
         assert_eq!(s.d3(), GrbType::Int32);
         assert_eq!(assert_semiring_impl(&s), Value::Int32(0));
         // ⊗ output mismatch
@@ -520,7 +527,10 @@ mod tests {
             Value::Bool(true)
         );
         assert_eq!(
-            GrbUnaryOp::ainv(GrbType::Int32).unwrap().as_dyn().apply(&Value::Int32(5)),
+            GrbUnaryOp::ainv(GrbType::Int32)
+                .unwrap()
+                .as_dyn()
+                .apply(&Value::Int32(5)),
             Value::Int32(-5)
         );
     }
@@ -528,7 +538,9 @@ mod tests {
     #[test]
     fn logical_and_comparison_ops() {
         assert_eq!(
-            GrbBinaryOp::lxor().as_dyn().apply(&Value::Bool(true), &Value::Bool(true)),
+            GrbBinaryOp::lxor()
+                .as_dyn()
+                .apply(&Value::Bool(true), &Value::Bool(true)),
             Value::Bool(false)
         );
         assert_eq!(

@@ -123,9 +123,7 @@ macro_rules! numeric_map2 {
                 let ($x, $y) = (*$x, *$y);
                 Value::Fp64($flt)
             }
-            (a, b) => panic!(
-                "domain confusion past the API checks: {a:?} vs {b:?} (capi bug)"
-            ),
+            (a, b) => panic!("domain confusion past the API checks: {a:?} vs {b:?} (capi bug)"),
         }
     };
 }

@@ -6,8 +6,8 @@
 
 use graphblas_capi as grb;
 use grb::{
-    Descriptor, GrbBinaryOp, GrbMatrix, GrbMonoid, GrbSemiring, GrbType, GrbUnaryOp,
-    GrbVector, Index, IndexSelection, Mode, Value, ALL,
+    Descriptor, GrbBinaryOp, GrbMatrix, GrbMonoid, GrbSemiring, GrbType, GrbUnaryOp, GrbVector,
+    Index, IndexSelection, Mode, Value, ALL,
 };
 
 /// Figure 3, lines 3–84.

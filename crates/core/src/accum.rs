@@ -70,14 +70,14 @@ mod tests {
 
     #[test]
     fn no_accum_assigns() {
-        assert!(!<NoAccum as Accumulate<i32>>::IS_ACCUM);
+        const { assert!(!<NoAccum as Accumulate<i32>>::IS_ACCUM) };
         assert_eq!(Accumulate::<i32>::combine(&NoAccum, &5, &9), 9);
     }
 
     #[test]
     fn accum_combines() {
         let a = Accum(Plus::<i32>::new());
-        assert!(<Accum<Plus<i32>> as Accumulate<i32>>::IS_ACCUM);
+        const { assert!(<Accum<Plus<i32>> as Accumulate<i32>>::IS_ACCUM) };
         assert_eq!(a.combine(&5, &9), 14);
     }
 

@@ -18,9 +18,7 @@ use crate::scalar::{CastFrom, NumScalar, Scalar};
 /// `Clone + 'static` lets operator values be captured by deferred
 /// expressions in nonblocking mode; all predefined operators are `Copy`
 /// zero-sized types.
-pub trait BinaryOp<D1: Scalar, D2: Scalar, D3: Scalar>:
-    Send + Sync + Clone + 'static
-{
+pub trait BinaryOp<D1: Scalar, D2: Scalar, D3: Scalar>: Send + Sync + Clone + 'static {
     /// Apply the operator.
     fn apply(&self, x: &D1, y: &D2) -> D3;
 
@@ -53,7 +51,7 @@ macro_rules! zst_binop {
         }
         impl<$t> Clone for $name<$t> {
             fn clone(&self) -> Self {
-                Self::new()
+                *self
             }
         }
         impl<$t> Copy for $name<$t> {}
@@ -106,9 +104,13 @@ impl<T> Commutative for Max<T> {}
 pub struct First<D1, D2 = D1>(PhantomData<fn() -> (D1, D2)>);
 /// `GrB_SECOND_T`: returns its second argument, `f(x, y) = y`.
 pub struct Second<D1, D2 = D1>(PhantomData<fn() -> (D1, D2)>);
+/// Variance-neutral marker tying a zero-sized or closure-carrying
+/// operator to its three domains.
+type DomainMarker<D1, D2, D3> = PhantomData<fn() -> (D1, D2, D3)>;
+
 /// `GrB_ONEB_T` / "pair": returns 1 whenever both arguments are present.
 /// The workhorse of structure-only computations such as triangle counting.
-pub struct Pair<D1, D2 = D1, D3 = D1>(PhantomData<fn() -> (D1, D2, D3)>);
+pub struct Pair<D1, D2 = D1, D3 = D1>(DomainMarker<D1, D2, D3>);
 
 macro_rules! manual_zst {
     ($name:ident < $($p:ident),* >) => {
@@ -119,7 +121,7 @@ macro_rules! manual_zst {
             fn default() -> Self { Self::new() }
         }
         impl<$($p),*> Clone for $name<$($p),*> {
-            fn clone(&self) -> Self { Self::new() }
+            fn clone(&self) -> Self { *self }
         }
         impl<$($p),*> Copy for $name<$($p),*> {}
         impl<$($p),*> std::fmt::Debug for $name<$($p),*> {
@@ -235,7 +237,7 @@ bool_binop!(
 /// Rust).
 pub struct CastBinary<D1, D2, D, F> {
     op: F,
-    _pd: PhantomData<fn() -> (D1, D2, D)>,
+    _pd: DomainMarker<D1, D2, D>,
 }
 
 impl<D1, D2, D, F: Clone> Clone for CastBinary<D1, D2, D, F> {
@@ -348,7 +350,7 @@ impl<T: NumScalar> BinaryOp<T, T, T> for CheckedTimes<T> {
 /// A binary operator defined by a closure (`GrB_BinaryOp_new`).
 pub struct BinaryFn<D1, D2, D3, F> {
     f: F,
-    _pd: PhantomData<fn() -> (D1, D2, D3)>,
+    _pd: DomainMarker<D1, D2, D3>,
 }
 
 impl<D1, D2, D3, F: Clone> Clone for BinaryFn<D1, D2, D3, F> {

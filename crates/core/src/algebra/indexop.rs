@@ -179,7 +179,7 @@ mod tests {
 
     #[test]
     fn closure_selector() {
-        let checker = select_fn(|i: Index, j: Index, v: &i32| (i + j) % 2 == 0 && *v > 0);
+        let checker = select_fn(|i: Index, j: Index, v: &i32| (i + j).is_multiple_of(2) && *v > 0);
         assert!(checker.keep(1, 1, &5));
         assert!(!checker.keep(1, 2, &5));
         assert!(!checker.keep(1, 1, &-5));

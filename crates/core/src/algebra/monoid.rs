@@ -80,7 +80,7 @@ macro_rules! predefined_monoid {
             fn default() -> Self { Self::new() }
         }
         impl<$t> Clone for $name<$t> {
-            fn clone(&self) -> Self { Self::new() }
+            fn clone(&self) -> Self { *self }
         }
         impl<$t> Copy for $name<$t> {}
         impl<$t> std::fmt::Debug for $name<$t> {

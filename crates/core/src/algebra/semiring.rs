@@ -11,12 +11,8 @@
 //! Table I semiring plus the named graph semirings used by the algorithms
 //! crate.
 
-use crate::algebra::binary::{
-    BinaryOp, First, LAnd, Pair, Plus, Second, Times,
-};
-use crate::algebra::monoid::{
-    LOrMonoid, LXorMonoid, MaxMonoid, MinMonoid, Monoid, PlusMonoid,
-};
+use crate::algebra::binary::{BinaryOp, First, LAnd, Pair, Plus, Second, Times};
+use crate::algebra::monoid::{LOrMonoid, LXorMonoid, MaxMonoid, MinMonoid, Monoid, PlusMonoid};
 use crate::algebra::set::{SetIntersect, SetUnionMonoid};
 use crate::scalar::{NumScalar, Scalar};
 
@@ -26,9 +22,7 @@ use crate::scalar::{NumScalar, Scalar};
 /// the paper: "for a GraphBLAS semiring there is always an associated
 /// monoid `<D3, ⊕, 0>` and an associated binary operator
 /// `<D1, D2, D3, ⊗>`".
-pub trait Semiring<D1: Scalar, D2: Scalar, D3: Scalar>:
-    Send + Sync + Clone + 'static
-{
+pub trait Semiring<D1: Scalar, D2: Scalar, D3: Scalar>: Send + Sync + Clone + 'static {
     /// The additive monoid `<D3, ⊕, 0>`.
     type Add: Monoid<D3>;
     /// The multiplicative operator `⊗ : D1 × D2 → D3`.
@@ -198,10 +192,7 @@ mod tests {
         assert_eq!(s.mul().apply(&6, &7), 42);
         let (m, f) = s.into_parts();
         let rebuilt = SemiringDef::new(m, f);
-        assert_eq!(
-            Semiring::<i32, i32, i32>::zero(&rebuilt),
-            0
-        );
+        assert_eq!(Semiring::<i32, i32, i32>::zero(&rebuilt), 0);
     }
 
     #[test]

@@ -213,7 +213,10 @@ mod tests {
         let x = s(&[7, 9]);
         assert_eq!(m.apply(&x, &m.identity()), x);
         assert_eq!(m.apply(&m.identity(), &x), x);
-        assert_eq!(SetIntersect.apply(&x, &SmallSet::empty()), SmallSet::empty());
+        assert_eq!(
+            SetIntersect.apply(&x, &SmallSet::empty()),
+            SmallSet::empty()
+        );
     }
 
     #[test]

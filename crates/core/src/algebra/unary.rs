@@ -27,7 +27,7 @@ macro_rules! zst_unop {
             fn default() -> Self { Self::new() }
         }
         impl<$t> Clone for $name<$t> {
-            fn clone(&self) -> Self { Self::new() }
+            fn clone(&self) -> Self { *self }
         }
         impl<$t> Copy for $name<$t> {}
         impl<$t> std::fmt::Debug for $name<$t> {
@@ -94,7 +94,7 @@ impl<D1, D2> Default for Cast<D1, D2> {
 }
 impl<D1, D2> Clone for Cast<D1, D2> {
     fn clone(&self) -> Self {
-        Self::new()
+        *self
     }
 }
 impl<D1, D2> Copy for Cast<D1, D2> {}

@@ -28,9 +28,9 @@ use std::sync::{Arc, Weak};
 use parking_lot::Mutex;
 
 use crate::error::{Error, Result};
-pub(crate) use node::{force, Node};
 #[doc(hidden)]
 pub use node::Completable;
+pub(crate) use node::{force, Node};
 pub use sched::{SchedPolicy, TraceEvent};
 
 /// Execution mode of a context (paper §IV).
@@ -147,10 +147,8 @@ impl Context {
     /// order* (later outputs are still completed and carry their own
     /// failure states, poisoning their consumers per §V).
     pub fn wait(&self) -> Result<()> {
-        let pending: Vec<Weak<dyn Completable>> =
-            std::mem::take(&mut *self.inner.sequence.lock());
-        let roots: Vec<Arc<dyn Completable>> =
-            pending.iter().filter_map(Weak::upgrade).collect();
+        let pending: Vec<Weak<dyn Completable>> = std::mem::take(&mut *self.inner.sequence.lock());
+        let roots: Vec<Arc<dyn Completable>> = pending.iter().filter_map(Weak::upgrade).collect();
         if roots.is_empty() {
             return Ok(());
         }
@@ -190,7 +188,7 @@ impl Context {
             .sequence
             .lock()
             .iter()
-            .filter(|w| w.upgrade().map_or(false, |n| !n.is_complete()))
+            .filter(|w| w.upgrade().is_some_and(|n| !n.is_complete()))
             .count()
     }
 
@@ -300,8 +298,7 @@ mod tests {
     #[test]
     fn blocking_error_returns_from_the_call() {
         let ctx = Context::blocking();
-        let bad: Arc<Node<i32>> =
-            Node::pending(vec![], Box::new(|| Err(Error::Panic("x".into()))));
+        let bad: Arc<Node<i32>> = Node::pending(vec![], Box::new(|| Err(Error::Panic("x".into()))));
         assert!(ctx.finish_op(bad).is_err());
         assert!(ctx.error().is_some());
     }

@@ -26,6 +26,16 @@ pub(crate) trait StorageMeta {
     fn trace_shape(&self) -> (usize, usize);
     /// Number of stored elements.
     fn trace_nvals(&self) -> usize;
+    /// Storage-format tag for the trace; matrix stores report their
+    /// engine layout, everything else the generic `"sparse"`.
+    fn trace_format(&self) -> &'static str {
+        "sparse"
+    }
+    /// The format this value was migrated from by a policy conversion,
+    /// if any — drives the trace's migration events.
+    fn trace_migrated_from(&self) -> Option<&'static str> {
+        None
+    }
 }
 
 /// Type-erased interface to a node of the deferred DAG (implemented by
@@ -66,11 +76,6 @@ pub(crate) struct Node<S> {
     /// `"value"` for nodes born complete) — shown in execution traces.
     kind: &'static str,
     state: Mutex<NodeState<S>>,
-    /// Memoized derived form of the completed storage — used to cache the
-    /// transpose of a matrix node so loops that repeatedly apply
-    /// `GrB_TRAN` to the same operand (e.g. the BC forward sweep's
-    /// `A^T`) pay the transposition once.
-    derived: std::sync::OnceLock<Arc<S>>,
 }
 
 impl<S: Send + Sync + 'static> Node<S> {
@@ -78,7 +83,6 @@ impl<S: Send + Sync + 'static> Node<S> {
         Arc::new(Node {
             kind: "value",
             state: Mutex::new(NodeState::Ready(Arc::new(value))),
-            derived: std::sync::OnceLock::new(),
         })
     }
 
@@ -101,21 +105,7 @@ impl<S: Send + Sync + 'static> Node<S> {
         Arc::new(Node {
             kind,
             state: Mutex::new(NodeState::Pending { deps, eval }),
-            derived: std::sync::OnceLock::new(),
         })
-    }
-
-    /// The memoized derivation of this (complete) node's storage,
-    /// computing it with `f` on first use. `get_or_init` serializes
-    /// concurrent first calls, so two pending consumers that both need
-    /// the derived form (e.g. `A^T` from two parallel-scheduled uses of
-    /// `GrB_TRAN` on the same operand) compute it exactly once.
-    pub(crate) fn derived_storage(&self, f: impl FnOnce(&S) -> S) -> Result<Arc<S>> {
-        let st = match self.derived.get() {
-            Some(d) => return Ok(d.clone()),
-            None => self.ready_storage()?,
-        };
-        Ok(self.derived.get_or_init(|| Arc::new(f(&st))).clone())
     }
 
     /// The storage of a *complete* node. `Pending` here is an engine bug;
@@ -172,15 +162,22 @@ impl<S: StorageMeta + Send + Sync + 'static> Completable for Node<S> {
     }
 
     fn trace_meta(&self) -> TraceMeta {
-        let (shape, nvals) = match &*self.state.lock() {
-            NodeState::Ready(s) => (s.trace_shape(), s.trace_nvals()),
-            _ => ((0, 0), 0),
+        let (shape, nvals, format, migrated_from) = match &*self.state.lock() {
+            NodeState::Ready(s) => (
+                s.trace_shape(),
+                s.trace_nvals(),
+                s.trace_format(),
+                s.trace_migrated_from(),
+            ),
+            _ => ((0, 0), 0, "sparse", None),
         };
         TraceMeta {
             kind: self.kind,
             rows: shape.0,
             cols: shape.1,
             nvals,
+            format,
+            migrated_from,
         }
     }
 }
@@ -274,10 +271,8 @@ mod tests {
 
     #[test]
     fn failure_propagates_as_invalid_object() {
-        let bad: Arc<Node<i32>> = Node::pending(
-            vec![],
-            Box::new(|| Err(Error::Arithmetic("boom".into()))),
-        );
+        let bad: Arc<Node<i32>> =
+            Node::pending(vec![], Box::new(|| Err(Error::Arithmetic("boom".into()))));
         let bad_dep = bad.clone();
         let dependent: Arc<Node<i32>> = Node::pending(
             vec![as_completable(&bad)],
@@ -332,23 +327,6 @@ mod tests {
         );
         force(&as_completable(&top)).unwrap();
         assert_eq!(*top.ready_storage().unwrap(), 23);
-        assert_eq!(count.load(Ordering::SeqCst), 1);
-    }
-
-    #[test]
-    fn derived_storage_is_memoized() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        let n = Node::ready(10i32);
-        let count = AtomicUsize::new(0);
-        let a = n
-            .derived_storage(|v| {
-                count.fetch_add(1, Ordering::SeqCst);
-                v * 2
-            })
-            .unwrap();
-        let b = n.derived_storage(|v| v * 999).unwrap(); // ignored: cached
-        assert_eq!(*a, 20);
-        assert_eq!(*b, 20);
         assert_eq!(count.load(Ordering::SeqCst), 1);
     }
 

@@ -54,7 +54,11 @@ impl Default for SchedPolicy {
 /// Execute the pending cone of `roots` (sequence outputs in program
 /// order) to completion. Infallible by design: failures are stored on
 /// the nodes themselves; the caller inspects the roots afterwards.
-pub(crate) fn execute(roots: &[Arc<dyn Completable>], policy: SchedPolicy, sink: Option<&TraceSink>) {
+pub(crate) fn execute(
+    roots: &[Arc<dyn Completable>],
+    policy: SchedPolicy,
+    sink: Option<&TraceSink>,
+) {
     let dag = queue::build(roots);
     if dag.len() == 0 {
         return;

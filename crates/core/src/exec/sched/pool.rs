@@ -41,6 +41,8 @@ fn record(sink: Option<&TraceSink>, dag: &Dag, idx: usize, start_ns: u64, worker
         rows: meta.rows,
         cols: meta.cols,
         nvals: meta.nvals,
+        format: meta.format,
+        migrated_from: meta.migrated_from,
         seq: dn.seq,
         ready_ns: dn.ready_ns.load(Ordering::Relaxed),
         start_ns,
@@ -51,7 +53,9 @@ fn record(sink: Option<&TraceSink>, dag: &Dag, idx: usize, start_ns: u64, worker
 
 fn mark_ready(sink: Option<&TraceSink>, dag: &Dag, idx: usize) {
     if let Some(sink) = sink {
-        dag.nodes[idx].ready_ns.store(sink.now_ns(), Ordering::Relaxed);
+        dag.nodes[idx]
+            .ready_ns
+            .store(sink.now_ns(), Ordering::Relaxed);
     }
 }
 
@@ -153,6 +157,7 @@ mod tests {
 
     use super::super::queue::build;
     use super::*;
+    #[cfg(feature = "parallel")]
     use crate::error::Error;
     use crate::exec::node::Node;
     use crate::exec::Completable;
@@ -213,10 +218,8 @@ mod tests {
     #[cfg(feature = "parallel")]
     #[test]
     fn parallel_driver_poisons_consumers_of_failures() {
-        let bad: Arc<Node<i32>> = Node::pending(
-            vec![],
-            Box::new(|| Err(Error::Arithmetic("boom".into()))),
-        );
+        let bad: Arc<Node<i32>> =
+            Node::pending(vec![], Box::new(|| Err(Error::Arithmetic("boom".into()))));
         let b = bad.clone();
         let consumer = Node::pending(
             vec![c(&bad)],
@@ -265,7 +268,8 @@ mod tests {
                         for k in 0..200_000u64 {
                             acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
                         }
-                        Ok((acc as i32 & 0) + i)
+                        std::hint::black_box(acc);
+                        Ok(i)
                     }),
                 ))
             })
@@ -275,8 +279,7 @@ mod tests {
         run_parallel(&dag, Some(&sink));
         let events = sink.into_events();
         assert_eq!(events.len(), 64);
-        let workers: std::collections::HashSet<usize> =
-            events.iter().map(|e| e.worker).collect();
+        let workers: std::collections::HashSet<usize> = events.iter().map(|e| e.worker).collect();
         assert!(
             workers.len() > 1,
             "expected >1 worker on a wide DAG, trace saw {workers:?}"

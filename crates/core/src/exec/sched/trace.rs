@@ -22,6 +22,8 @@ pub struct TraceMeta {
     pub rows: usize,
     pub cols: usize,
     pub nvals: usize,
+    pub format: &'static str,
+    pub migrated_from: Option<&'static str>,
 }
 
 /// One completed node, as observed by the scheduler.
@@ -35,6 +37,13 @@ pub struct TraceEvent {
     pub cols: usize,
     /// Stored elements in the result (0 if the node failed).
     pub nvals: usize,
+    /// Storage format chosen for the result (`"csr"`, `"csc"`,
+    /// `"bitmap"`, `"hyper"` for matrix stores; `"sparse"` for vectors
+    /// and `"sparse"`/empty shapes if the node failed).
+    pub format: &'static str,
+    /// `Some(from)` when the format policy migrated the result out of the
+    /// layout it was produced in — the trace's migration event.
+    pub migrated_from: Option<&'static str>,
     /// Program-order index within the waited sequence, if this node was
     /// submitted through the context (interior nodes reachable only as
     /// dependencies have `None`).
@@ -102,6 +111,8 @@ mod tests {
             rows: 2,
             cols: 2,
             nvals: 3,
+            format: "csr",
+            migrated_from: None,
             seq: Some(0),
             ready_ns: 100,
             start_ns: 150,
@@ -121,6 +132,8 @@ mod tests {
             rows: 1,
             cols: 1,
             nvals: 1,
+            format: "sparse",
+            migrated_from: None,
             seq: None,
             ready_ns: t0,
             start_ns: t0,

@@ -99,9 +99,7 @@ impl<'a> IndexSelection<'a> {
             IndexSelection::All => true,
             IndexSelection::Range(lo, hi) => lo == 0 && hi == n,
             IndexSelection::Stride(lo, hi, s) => lo == 0 && hi == n && s == 1,
-            IndexSelection::List(l) => {
-                l.len() == n && l.iter().enumerate().all(|(k, &i)| k == i)
-            }
+            IndexSelection::List(l) => l.len() == n && l.iter().enumerate().all(|(k, &i)| k == i),
         }
     }
 }

@@ -201,7 +201,11 @@ mod tests {
         // [ 1 2 . ]
         // [ . 3 . ]
         // [ 4 . 5 ]
-        Csr::from_sorted_tuples(3, 3, vec![(0, 0, 1), (0, 1, 2), (1, 1, 3), (2, 0, 4), (2, 2, 5)])
+        Csr::from_sorted_tuples(
+            3,
+            3,
+            vec![(0, 0, 1), (0, 1, 2), (1, 1, 3), (2, 0, 4), (2, 2, 5)],
+        )
     }
 
     #[test]

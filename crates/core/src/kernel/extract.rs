@@ -11,8 +11,7 @@ use crate::storage::vec::SparseVec;
 
 /// `T(k, l) = A(rows[k], cols[l])` for stored elements.
 pub fn extract_matrix<T: Scalar>(a: &Csr<T>, rows: &[Index], cols: &[Index]) -> Csr<T> {
-    let identity_cols =
-        cols.len() == a.ncols() && cols.iter().enumerate().all(|(l, &j)| l == j);
+    let identity_cols = cols.len() == a.ncols() && cols.iter().enumerate().all(|(l, &j)| l == j);
     let out_rows = map_rows_init(
         rows.len(),
         || (vec![None::<T>; a.ncols()], Vec::<Index>::new()),
@@ -81,7 +80,14 @@ mod tests {
         Csr::from_sorted_tuples(
             3,
             3,
-            vec![(0, 0, 1), (0, 1, 2), (1, 1, 3), (1, 2, 4), (2, 0, 5), (2, 2, 6)],
+            vec![
+                (0, 0, 1),
+                (0, 1, 2),
+                (1, 1, 3),
+                (1, 2, 4),
+                (2, 0, 5),
+                (2, 2, 6),
+            ],
         )
     }
 
@@ -99,14 +105,24 @@ mod tests {
         // both output rows are source row 1: [., 3, 4] gathered as cols [2,1,2]
         assert_eq!(
             t.to_tuples(),
-            vec![(0, 0, 4), (0, 1, 3), (0, 2, 4), (1, 0, 4), (1, 1, 3), (1, 2, 4)]
+            vec![
+                (0, 0, 4),
+                (0, 1, 3),
+                (0, 2, 4),
+                (1, 0, 4),
+                (1, 1, 3),
+                (1, 2, 4)
+            ]
         );
     }
 
     #[test]
     fn extract_identity_cols_fast_path() {
         let t = extract_matrix(&a(), &[2, 0], &[0, 1, 2]);
-        assert_eq!(t.to_tuples(), vec![(0, 0, 5), (0, 2, 6), (1, 0, 1), (1, 1, 2)]);
+        assert_eq!(
+            t.to_tuples(),
+            vec![(0, 0, 5), (0, 2, 6), (1, 0, 1), (1, 1, 2)]
+        );
     }
 
     #[test]

@@ -19,10 +19,11 @@ use crate::algebra::binary::BinaryOp;
 use crate::algebra::monoid::Monoid;
 use crate::algebra::semiring::Semiring;
 use crate::index::Index;
-use crate::kernel::util::{assemble_rows, map_rows_init};
+use crate::kernel::util::{assemble_rows, map_rows, map_rows_init};
 use crate::mask::{MaskCsr, Pattern};
 use crate::scalar::Scalar;
 use crate::storage::csr::Csr;
+use crate::storage::engine::Hyper;
 
 /// Row-accumulator strategy for [`mxm`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,7 +89,7 @@ impl<T: Scalar> HashAcc<T> {
     #[inline]
     fn slot(&self, j: Index) -> usize {
         // Fibonacci hashing on the column index
-        (j.wrapping_mul(0x9E3779B97F4A7C15) >> 32) as usize & self.mask
+        (j.wrapping_mul(0x9E3779B97F4A7C15) >> 32) & self.mask
     }
 
     fn grow(&mut self) {
@@ -255,6 +256,50 @@ where
     assemble_rows(nrows, ncols, rows)
 }
 
+/// Hypersparse SpGEMM: `T = A ⊕.⊗ B` where `A` is hypersparse, walking
+/// **only** `A`'s non-empty rows and emitting hypersparse output
+/// directly. Work and memory are `O(flops + #nonempty-rows)` —
+/// independent of `nrows`, where the CSR kernel pays an `O(nrows)`
+/// sweep/assembly and an `O(ncols)` per-worker scatter array regardless
+/// of how empty the operand is. The hash accumulator keeps per-row state
+/// proportional to the row's flop estimate.
+pub fn mxm_hyper<D1, D2, D3, S>(sr: &S, a: &Hyper<D1>, b: &Csr<D2>, mask: &MaskCsr) -> Hyper<D3>
+where
+    D1: Scalar,
+    D2: Scalar,
+    D3: Scalar,
+    S: Semiring<D1, D2, D3>,
+{
+    debug_assert_eq!(a.ncols(), b.nrows());
+    let add = sr.add();
+    let mul = sr.mul();
+    let rows = map_rows(a.nonempty_rows().len(), |k| {
+        let (i, ac, av) = a.row_by_pos(k);
+        let mrow = mask.row(i);
+        if mrow.admits_nothing() {
+            return (i, Vec::new(), Vec::new());
+        }
+        let flops: usize = ac.iter().map(|&p| b.row_nvals(p)).sum();
+        let mut acc = HashAcc::with_estimate(flops);
+        for (p, aik) in ac.iter().zip(av) {
+            let (bc, bv) = b.row(*p);
+            for (j, bkj) in bc.iter().zip(bv) {
+                if !mrow.admits(*j) {
+                    continue;
+                }
+                acc.accumulate(*j, mul.apply(aik, bkj), add);
+            }
+        }
+        let (cols, vals) = acc.drain_sorted();
+        (i, cols, vals)
+    });
+    Hyper::from_row_slices(
+        a.nrows(),
+        b.ncols(),
+        rows.into_iter().filter(|(_, cols, _)| !cols.is_empty()),
+    )
+}
+
 /// Masked dot-product SpGEMM: computes `T = A ⊕.⊗ B` **only** at the
 /// positions of `pattern` (an effective, non-complemented mask), given
 /// `B` in transposed form. Work is `O(Σ_{(i,j)∈mask} (nnz A(i,:) +
@@ -336,7 +381,13 @@ mod tests {
 
     #[test]
     fn plus_times_matches_dense_reference() {
-        let c = mxm(&plus_times::<i32>(), &a(), &b(), &MaskCsr::All, MxmStrategy::Auto);
+        let c = mxm(
+            &plus_times::<i32>(),
+            &a(),
+            &b(),
+            &MaskCsr::All,
+            MxmStrategy::Auto,
+        );
         // [ 1*5+2*6  2*7      ] = [ 17 14 ]
         // [ 3*6      3*7+4*8  ]   [ 18 53 ]
         assert_eq!(
@@ -347,8 +398,20 @@ mod tests {
 
     #[test]
     fn hash_and_dense_strategies_agree() {
-        let c_hash = mxm(&plus_times::<i32>(), &a(), &b(), &MaskCsr::All, MxmStrategy::Hash);
-        let c_dense = mxm(&plus_times::<i32>(), &a(), &b(), &MaskCsr::All, MxmStrategy::Dense);
+        let c_hash = mxm(
+            &plus_times::<i32>(),
+            &a(),
+            &b(),
+            &MaskCsr::All,
+            MxmStrategy::Hash,
+        );
+        let c_dense = mxm(
+            &plus_times::<i32>(),
+            &a(),
+            &b(),
+            &MaskCsr::All,
+            MxmStrategy::Dense,
+        );
         assert_eq!(c_hash, c_dense);
     }
 
@@ -358,7 +421,13 @@ mod tests {
         // that output position stays undefined (never a fabricated zero).
         let a = Csr::from_sorted_tuples(1, 2, vec![(0, 0, 1)]);
         let b = Csr::from_sorted_tuples(2, 2, vec![(1, 1, 1)]);
-        let c = mxm(&plus_times::<i32>(), &a, &b, &MaskCsr::All, MxmStrategy::Auto);
+        let c = mxm(
+            &plus_times::<i32>(),
+            &a,
+            &b,
+            &MaskCsr::All,
+            MxmStrategy::Auto,
+        );
         assert_eq!(c.nvals(), 0);
     }
 
@@ -428,7 +497,9 @@ mod tests {
         let mut x = 12345u64;
         for i in 0..n {
             for _ in 0..5 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let j = (x >> 33) as usize % n;
                 tuples.push((i, j, ((x >> 17) % 10) as i64));
             }
@@ -436,13 +507,67 @@ mod tests {
         tuples.sort_by_key(|&(i, j, _)| (i, j));
         tuples.dedup_by_key(|&mut (i, j, _)| (i, j));
         let a = Csr::from_sorted_tuples(n, n, tuples);
-        let h = mxm(&plus_times::<i64>(), &a, &a, &MaskCsr::All, MxmStrategy::Hash);
-        let d = mxm(&plus_times::<i64>(), &a, &a, &MaskCsr::All, MxmStrategy::Dense);
+        let h = mxm(
+            &plus_times::<i64>(),
+            &a,
+            &a,
+            &MaskCsr::All,
+            MxmStrategy::Hash,
+        );
+        let d = mxm(
+            &plus_times::<i64>(),
+            &a,
+            &a,
+            &MaskCsr::All,
+            MxmStrategy::Dense,
+        );
         assert_eq!(h, d);
         // dot against the full pattern of the product
         let full_pattern = h.map(|_| ());
         let dot = mxm_dot(&plus_times::<i64>(), &a, &a.transpose(), &full_pattern);
         assert_eq!(dot, h);
+    }
+
+    #[test]
+    fn hyper_kernel_matches_csr_kernel() {
+        // 1000 rows, only a handful occupied
+        let n = 1000usize;
+        let tuples = vec![
+            (3usize, 7usize, 2i64),
+            (3, 900, 5),
+            (500, 3, 1),
+            (998, 500, 4),
+        ];
+        let a_csr = Csr::from_sorted_tuples(n, n, tuples);
+        let a_hyper = Hyper::from_csr(&a_csr);
+        let dense = mxm(
+            &plus_times::<i64>(),
+            &a_csr,
+            &a_csr,
+            &MaskCsr::All,
+            MxmStrategy::Auto,
+        );
+        let hyper = mxm_hyper(&plus_times::<i64>(), &a_hyper, &a_csr, &MaskCsr::All);
+        assert_eq!(hyper.to_csr(), dense);
+        assert!(hyper.nonempty_rows().len() <= 3);
+    }
+
+    #[test]
+    fn hyper_kernel_respects_mask() {
+        let a_csr = Csr::from_sorted_tuples(10, 10, vec![(1, 2, 2i32), (2, 3, 3), (9, 1, 7)]);
+        let a_hyper = Hyper::from_csr(&a_csr);
+        let m = Csr::from_sorted_tuples(10, 10, vec![(1, 3, true)]);
+        let mask = MaskCsr::from_csr(&m, false, false);
+        let masked = mxm_hyper(&plus_times::<i32>(), &a_hyper, &a_csr, &mask);
+        let reference = mxm(
+            &plus_times::<i32>(),
+            &a_csr,
+            &a_csr,
+            &mask,
+            MxmStrategy::Auto,
+        );
+        assert_eq!(masked.to_csr(), reference);
+        assert_eq!(masked.nvals(), 1); // only (1,3) admitted
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::kernel::util::map_rows;
 use crate::mask::MaskVec;
 use crate::scalar::Scalar;
 use crate::storage::csr::Csr;
+use crate::storage::engine::Bitmap;
 use crate::storage::vec::SparseVec;
 
 /// `t = A ⊕.⊗ v` (pull): `t(i) = ⊕_{k ∈ ind(A(i,:)) ∩ ind(v)}
@@ -50,6 +51,59 @@ where
                     p += 1;
                     q += 1;
                 }
+            }
+        }
+        acc
+    });
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    for (i, r) in results.into_iter().enumerate() {
+        if let Some(val) = r {
+            idx.push(i);
+            vals.push(val);
+        }
+    }
+    SparseVec::from_sorted_parts(a.nrows(), idx, vals)
+}
+
+/// `t = A ⊕.⊗ v` (pull) over a bitmap-stored `A` — the dense-frontier
+/// fast path of BFS/BC pull steps. The vector is scattered into dense
+/// slots once, then each row is a branch-light walk of `A`'s presence
+/// words with O(1) probes into the scattered vector, instead of the CSR
+/// kernel's per-element merge-walk compare.
+pub fn mxv_bitmap<D1, D2, D3, S>(
+    sr: &S,
+    a: &Bitmap<D1>,
+    v: &SparseVec<D2>,
+    mask: &MaskVec,
+) -> SparseVec<D3>
+where
+    D1: Scalar,
+    D2: Scalar,
+    D3: Scalar,
+    S: Semiring<D1, D2, D3>,
+{
+    debug_assert_eq!(a.ncols(), v.size());
+    let add = sr.add();
+    let mul = sr.mul();
+    // dense scatter of the vector: one O(size) pass, O(1) probes after
+    let mut v_dense: Vec<Option<&D2>> = vec![None; v.size()];
+    for (k, val) in v.iter() {
+        v_dense[k] = Some(val);
+    }
+    let v_dense = &v_dense;
+    let results = map_rows(a.nrows(), |i| {
+        if !mask.admits(i) {
+            return None;
+        }
+        let mut acc: Option<D3> = None;
+        for (j, aij) in a.row_iter(i) {
+            if let Some(vj) = v_dense[j] {
+                let prod = mul.apply(aij, vj);
+                acc = Some(match acc {
+                    Some(x) => add.apply(&x, &prod),
+                    None => prod,
+                });
             }
         }
         acc
@@ -119,7 +173,14 @@ mod tests {
         Csr::from_sorted_tuples(
             3,
             3,
-            vec![(0, 0, 1), (0, 1, 2), (1, 1, 3), (1, 2, 4), (2, 0, 5), (2, 2, 6)],
+            vec![
+                (0, 0, 1),
+                (0, 1, 2),
+                (1, 1, 3),
+                (1, 2, 4),
+                (2, 0, 5),
+                (2, 2, 6),
+            ],
         )
     }
 
@@ -150,11 +211,7 @@ mod tests {
     #[test]
     fn vxm_push_from_sparse_frontier() {
         // BFS-style frontier push over lor_land
-        let adj = Csr::from_sorted_tuples(
-            4,
-            4,
-            vec![(0, 1, true), (0, 2, true), (2, 3, true)],
-        );
+        let adj = Csr::from_sorted_tuples(4, 4, vec![(0, 1, true), (0, 2, true), (2, 3, true)]);
         let frontier = SparseVec::from_sorted_parts(4, vec![0], vec![true]);
         let next = vxm(&lor_land(), &frontier, &adj, &MaskVec::All);
         assert_eq!(next.to_tuples(), vec![(1, true), (2, true)]);
@@ -189,9 +246,38 @@ mod tests {
     }
 
     #[test]
+    fn bitmap_kernel_matches_csr_kernel() {
+        let v = SparseVec::from_dense(&[10, 20, 30]);
+        let ab = Bitmap::from_csr(&a());
+        let reference = mxv(&plus_times::<i32>(), &a(), &v, &MaskVec::All);
+        assert_eq!(
+            mxv_bitmap(&plus_times::<i32>(), &ab, &v, &MaskVec::All),
+            reference
+        );
+        // sparse vector: undefined v elements contribute nothing
+        let vs = SparseVec::from_sorted_parts(3, vec![1], vec![10]);
+        let reference = mxv(&plus_times::<i32>(), &a(), &vs, &MaskVec::All);
+        assert_eq!(
+            mxv_bitmap(&plus_times::<i32>(), &ab, &vs, &MaskVec::All),
+            reference
+        );
+        // masked
+        let msrc = SparseVec::from_sorted_parts(3, vec![1], vec![true]);
+        let mask = MaskVec::from_vec(&msrc, false, false);
+        let reference = mxv(&plus_times::<i32>(), &a(), &v, &mask);
+        assert_eq!(mxv_bitmap(&plus_times::<i32>(), &ab, &v, &mask), reference);
+    }
+
+    #[test]
     fn empty_vector_gives_empty_result() {
         let v = SparseVec::<i32>::empty(3);
-        assert_eq!(mxv(&plus_times::<i32>(), &a(), &v, &MaskVec::All).nvals(), 0);
-        assert_eq!(vxm(&plus_times::<i32>(), &v, &a(), &MaskVec::All).nvals(), 0);
+        assert_eq!(
+            mxv(&plus_times::<i32>(), &a(), &v, &MaskVec::All).nvals(),
+            0
+        );
+        assert_eq!(
+            vxm(&plus_times::<i32>(), &v, &a(), &MaskVec::All).nvals(),
+            0
+        );
     }
 }

@@ -114,6 +114,9 @@ mod tests {
     fn large_parallel_reduce_matches() {
         let n = 20_000usize;
         let m = Csr::from_sorted_tuples(1, n, (0..n).map(|j| (0, j, 1i64)));
-        assert_eq!(reduce_matrix_scalar(&m, &PlusMonoid::<i64>::new()), n as i64);
+        assert_eq!(
+            reduce_matrix_scalar(&m, &PlusMonoid::<i64>::new()),
+            n as i64
+        );
     }
 }

@@ -71,10 +71,25 @@ fn write_row<T: Scalar, Ac: Accumulate<T>>(
     let (mut ci, mut ti) = (0usize, 0usize);
     loop {
         // next candidate position j with its Z-value (if any) and C-value
-        let (j, z, c): (Index, Option<T>, Option<&T>) =
-            match (c_idx.get(ci), t_idx.get(ti)) {
-                (None, None) => break,
-                (Some(&cj), None) => {
+        let (j, z, c): (Index, Option<T>, Option<&T>) = match (c_idx.get(ci), t_idx.get(ti)) {
+            (None, None) => break,
+            (Some(&cj), None) => {
+                let z = if Ac::IS_ACCUM {
+                    Some(c_vals[ci].clone())
+                } else {
+                    None
+                };
+                let r = (cj, z, Some(&c_vals[ci]));
+                ci += 1;
+                r
+            }
+            (None, Some(&tj)) => {
+                let r = (tj, Some(t_vals[ti].clone()), None);
+                ti += 1;
+                r
+            }
+            (Some(&cj), Some(&tj)) => {
+                if cj < tj {
                     let z = if Ac::IS_ACCUM {
                         Some(c_vals[ci].clone())
                     } else {
@@ -83,39 +98,23 @@ fn write_row<T: Scalar, Ac: Accumulate<T>>(
                     let r = (cj, z, Some(&c_vals[ci]));
                     ci += 1;
                     r
-                }
-                (None, Some(&tj)) => {
+                } else if tj < cj {
                     let r = (tj, Some(t_vals[ti].clone()), None);
                     ti += 1;
                     r
-                }
-                (Some(&cj), Some(&tj)) => {
-                    if cj < tj {
-                        let z = if Ac::IS_ACCUM {
-                            Some(c_vals[ci].clone())
-                        } else {
-                            None
-                        };
-                        let r = (cj, z, Some(&c_vals[ci]));
-                        ci += 1;
-                        r
-                    } else if tj < cj {
-                        let r = (tj, Some(t_vals[ti].clone()), None);
-                        ti += 1;
-                        r
+                } else {
+                    let z = if Ac::IS_ACCUM {
+                        accum.combine(&c_vals[ci], &t_vals[ti])
                     } else {
-                        let z = if Ac::IS_ACCUM {
-                            accum.combine(&c_vals[ci], &t_vals[ti])
-                        } else {
-                            t_vals[ti].clone()
-                        };
-                        let r = (cj, Some(z), Some(&c_vals[ci]));
-                        ci += 1;
-                        ti += 1;
-                        r
-                    }
+                        t_vals[ti].clone()
+                    };
+                    let r = (cj, Some(z), Some(&c_vals[ci]));
+                    ci += 1;
+                    ti += 1;
+                    r
                 }
-            };
+            }
+        };
         if mask.admits(j) {
             if let Some(zv) = z {
                 out_idx.push(j);
@@ -319,13 +318,11 @@ mod tests {
                         (false, false, true),
                         (true, true, true),
                     ] {
-                        let bits =
-                            |p: u32| (0..n).filter(move |k| p & (1 << k) != 0);
+                        let bits = |p: u32| (0..n).filter(move |k| p & (1 << k) != 0);
                         let c_idx: Vec<_> = bits(c_pat).collect();
                         let c_vals: Vec<i32> = c_idx.iter().map(|&k| k as i32 + 1).collect();
                         let t_idx: Vec<_> = bits(t_pat).collect();
-                        let t_vals: Vec<i32> =
-                            t_idx.iter().map(|&k| 10 * (k as i32 + 1)).collect();
+                        let t_vals: Vec<i32> = t_idx.iter().map(|&k| 10 * (k as i32 + 1)).collect();
                         let m_idx: Vec<_> = bits(m_pat).collect();
                         let mrow = MaskRow::from_cols(&m_idx, comp);
 
@@ -345,22 +342,16 @@ mod tests {
                             );
                         } else {
                             write_row(
-                                &c_idx, &c_vals, &t_idx, &t_vals, &NoAccum, mrow, repl,
-                                &mut got_i, &mut got_v,
+                                &c_idx, &c_vals, &t_idx, &t_vals, &NoAccum, mrow, repl, &mut got_i,
+                                &mut got_v,
                             );
                         }
 
                         // model
                         let mut want: Vec<(usize, i32)> = Vec::new();
                         for j in 0..n {
-                            let cv = c_idx
-                                .iter()
-                                .position(|&x| x == j)
-                                .map(|p| c_vals[p]);
-                            let tv = t_idx
-                                .iter()
-                                .position(|&x| x == j)
-                                .map(|p| t_vals[p]);
+                            let cv = c_idx.iter().position(|&x| x == j).map(|p| c_vals[p]);
+                            let tv = t_idx.iter().position(|&x| x == j).map(|p| t_vals[p]);
                             let z = if acc {
                                 match (cv, tv) {
                                     (Some(c), Some(t)) => Some(c + t),
@@ -383,8 +374,7 @@ mod tests {
                                 want.push((j, v));
                             }
                         }
-                        let got: Vec<(usize, i32)> =
-                            got_i.into_iter().zip(got_v).collect();
+                        let got: Vec<(usize, i32)> = got_i.into_iter().zip(got_v).collect();
                         assert_eq!(got, want,
                             "c={c_pat:04b} t={t_pat:04b} m={m_pat:04b} comp={comp} repl={repl} acc={acc}");
                     }

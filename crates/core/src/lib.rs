@@ -57,12 +57,17 @@ pub use index::{Index, IndexSelection, ALL};
 pub use mask::NoMask;
 pub use object::{Matrix, Vector};
 pub use scalar::{AsBool, NumScalar, Scalar};
+pub use storage::engine::{Format, FormatPolicy};
 
 /// Convenient glob import: `use graphblas_core::prelude::*`.
 pub mod prelude {
     pub use crate::accum::{Accum, NoAccum};
     pub use crate::algebra::binary::{
         binary_fn, BinaryOp, First, LAnd, LOr, LXor, Max, Min, Minus, Pair, Plus, Second, Times,
+    };
+    pub use crate::algebra::indexop::{
+        select_fn, Diag, IndexSelectOp, OffDiag, Tril, Triu, ValueEq, ValueGe, ValueGt, ValueLe,
+        ValueLt, ValueNe,
     };
     pub use crate::algebra::monoid::{
         LAndMonoid, LOrMonoid, LXorMonoid, MaxMonoid, MinMonoid, Monoid, MonoidDef, PlusMonoid,
@@ -73,10 +78,6 @@ pub mod prelude {
         plus_second, plus_times, union_intersect, xor_and, Semiring, SemiringDef,
     };
     pub use crate::algebra::set::SmallSet;
-    pub use crate::algebra::indexop::{
-        select_fn, Diag, IndexSelectOp, OffDiag, Tril, Triu, ValueEq, ValueGe, ValueGt,
-        ValueLe, ValueLt, ValueNe,
-    };
     pub use crate::algebra::unary::{
         unary_fn, Abs, Ainv, Cast, Identity, LNot, Minv, One, UnaryOp,
     };
@@ -87,4 +88,5 @@ pub mod prelude {
     pub use crate::mask::NoMask;
     pub use crate::object::{Matrix, Vector};
     pub use crate::scalar::{AsBool, CastFrom, NumScalar, Scalar};
+    pub use crate::storage::engine::{Format, FormatPolicy};
 }

@@ -175,7 +175,10 @@ impl<'a> MaskRow<'a> {
 #[derive(Debug, Clone)]
 pub enum MaskVec {
     All,
-    Pattern { indices: Vec<Index>, complement: bool },
+    Pattern {
+        indices: Vec<Index>,
+        complement: bool,
+    },
 }
 
 impl MaskVec {
@@ -295,7 +298,7 @@ mod tests {
         let flag = m.row(0).scatter(&mut ws, &mut touched);
         // admitted(j) = ws[j] != flag
         assert!(ws[1] != flag); // admitted
-        assert!(!(ws[3] != flag)); // not admitted
+        assert!(ws[3] == flag); // not admitted
         assert_eq!(touched, vec![1]);
 
         // complemented
@@ -303,7 +306,7 @@ mod tests {
         let mut ws = vec![false; 4];
         let mut touched = Vec::new();
         let flag = mc.row(0).scatter(&mut ws, &mut touched);
-        assert!(!(ws[1] != flag));
+        assert!(ws[1] == flag);
         assert!(ws[3] != flag);
     }
 

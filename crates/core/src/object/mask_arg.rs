@@ -36,7 +36,7 @@ impl<M: AsBool> MaskSource2 for MatrixMaskSource<M> {
     }
 
     fn materialize(&self, structural: bool, complement: bool) -> Result<MaskCsr> {
-        let st = self.0.ready_storage()?;
+        let st = self.0.ready_storage()?.row_csr();
         Ok(MaskCsr::from_csr(&st, structural, complement))
     }
 }

@@ -24,14 +24,19 @@ use crate::index::Index;
 use crate::scalar::Scalar;
 use crate::storage::coo::build_matrix;
 use crate::storage::csr::Csr;
+use crate::storage::engine::{Format, FormatPolicy, MatrixStore};
 
-pub(crate) type MatrixNode<T> = Node<Csr<T>>;
+pub(crate) type MatrixNode<T> = Node<MatrixStore<T>>;
 
 /// An opaque GraphBLAS matrix handle over domain `T`.
 pub struct Matrix<T: Scalar> {
     nrows: Index,
     ncols: Index,
     cell: Arc<RwLock<Arc<MatrixNode<T>>>>,
+    /// Storage-format hint for values computed into this object (the
+    /// `GxB`-style per-object format option). Shared by handle clones,
+    /// like every other property of the object.
+    policy: Arc<RwLock<FormatPolicy>>,
 }
 
 impl<T: Scalar> Clone for Matrix<T> {
@@ -43,6 +48,7 @@ impl<T: Scalar> Clone for Matrix<T> {
             nrows: self.nrows,
             ncols: self.ncols,
             cell: self.cell.clone(),
+            policy: self.policy.clone(),
         }
     }
 }
@@ -59,7 +65,8 @@ impl<T: Scalar> Matrix<T> {
         Ok(Matrix {
             nrows,
             ncols,
-            cell: Arc::new(RwLock::new(Node::ready(Csr::empty(nrows, ncols)))),
+            cell: Arc::new(RwLock::new(Node::ready(MatrixStore::empty(nrows, ncols)))),
+            policy: Arc::new(RwLock::new(FormatPolicy::default())),
         })
     }
 
@@ -85,7 +92,7 @@ impl<T: Scalar> Matrix<T> {
                 "from_tuples given duplicate positions; use build() with a dup operator".into(),
             ));
         }
-        m.install(Node::ready(storage));
+        m.install_csr(storage);
         Ok(m)
     }
 
@@ -107,7 +114,7 @@ impl<T: Scalar> Matrix<T> {
             ));
         }
         let storage = build_matrix(self.nrows, self.ncols, rows, cols, vals, dup)?;
-        self.install(Node::ready(storage));
+        self.install_csr(storage);
         Ok(())
     }
 
@@ -142,21 +149,22 @@ impl<T: Scalar> Matrix<T> {
 
     /// `GrB_Matrix_setElement`. Forces completion, then performs a
     /// copy-on-write point update (O(nvals); prefer `build` for bulk
-    /// loads).
+    /// loads). The updated value is re-stored under the object's format
+    /// policy (a point update can cross a density threshold).
     pub fn set(&self, i: Index, j: Index, v: T) -> Result<()> {
         self.check_bounds(i, j)?;
-        let mut storage = (*self.forced_storage()?).clone();
+        let mut storage = (*self.forced_storage()?.row_csr()).clone();
         storage.set_element(i, j, v);
-        self.install(Node::ready(storage));
+        self.install_csr(storage);
         Ok(())
     }
 
     /// `GrB_Matrix_removeElement`. Forces completion.
     pub fn remove(&self, i: Index, j: Index) -> Result<()> {
         self.check_bounds(i, j)?;
-        let mut storage = (*self.forced_storage()?).clone();
+        let mut storage = (*self.forced_storage()?.row_csr()).clone();
         storage.remove_element(i, j);
-        self.install(Node::ready(storage));
+        self.install_csr(storage);
         Ok(())
     }
 
@@ -170,17 +178,49 @@ impl<T: Scalar> Matrix<T> {
     /// Never fails and never forces — the old value, complete or not, is
     /// simply abandoned.
     pub fn clear(&self) {
-        self.install(Node::ready(Csr::empty(self.nrows, self.ncols)));
+        self.install_csr(Csr::empty(self.nrows, self.ncols));
     }
 
     /// `GrB_Matrix_dup`: a new object with a copy of this object's
-    /// current (possibly still deferred) value.
+    /// current (possibly still deferred) value and format policy.
     pub fn dup(&self) -> Matrix<T> {
         Matrix {
             nrows: self.nrows,
             ncols: self.ncols,
             cell: Arc::new(RwLock::new(self.snapshot())),
+            policy: Arc::new(RwLock::new(self.format_policy())),
         }
+    }
+
+    // ----- storage-format hints (GxB-style per-object options) -----
+
+    /// The storage format currently holding this object's value. Forces
+    /// completion (the format of a deferred value isn't chosen yet).
+    pub fn format(&self) -> Result<Format> {
+        Ok(self.forced_storage()?.format())
+    }
+
+    /// The format policy applied to values computed into this object.
+    pub fn format_policy(&self) -> FormatPolicy {
+        *self.policy.read()
+    }
+
+    /// Set the format policy for values computed into this object from
+    /// now on; the current value (deferred or not) is left as stored.
+    pub fn set_format_policy(&self, policy: FormatPolicy) {
+        *self.policy.write() = policy;
+    }
+
+    /// `GxB_Matrix_Option_set(…, FORMAT, …)` analog: pin this object to
+    /// `format`, converting the current value now (forces completion) and
+    /// directing future computed values into the same layout.
+    pub fn set_format(&self, format: Format) -> Result<()> {
+        self.set_format_policy(FormatPolicy::Force(format));
+        let store = self.forced_storage()?;
+        if store.format() != format {
+            self.install(Node::ready((*store).clone().into_format(format)));
+        }
+        Ok(())
     }
 
     /// Force completion of this object alone (the released C spec's
@@ -219,25 +259,37 @@ impl<T: Scalar> Matrix<T> {
         *self.cell.write() = node;
     }
 
-    /// Force and read the current storage.
-    pub(crate) fn forced_storage(&self) -> Result<Arc<Csr<T>>> {
+    /// Publish an immediately computed CSR value, stored under this
+    /// object's format policy.
+    pub(crate) fn install_csr(&self, csr: Csr<T>) {
+        self.install(Node::ready(MatrixStore::from_csr(
+            csr,
+            self.format_policy(),
+        )));
+    }
+
+    /// Force and read the current store.
+    pub(crate) fn forced_storage(&self) -> Result<Arc<MatrixStore<T>>> {
         let node = self.snapshot();
         force(&(node.clone() as Arc<dyn Completable>))?;
         node.ready_storage()
     }
 }
 
-/// Read a complete node's storage in the orientation the descriptor asks
-/// for, using the node's memoized transpose.
+/// Read a complete node's value as CSR in the orientation the descriptor
+/// asks for, through the store's memoized views: a `Csc` store serves
+/// `transposed` for free, and any conversion happens once per node no
+/// matter how many consumers ask.
 pub(crate) fn oriented_storage<T: Scalar>(
     node: &Arc<MatrixNode<T>>,
     transposed: bool,
 ) -> Result<Arc<Csr<T>>> {
-    if transposed {
-        node.derived_storage(|s| s.transpose())
+    let store = node.ready_storage()?;
+    Ok(if transposed {
+        store.col_csr()
     } else {
-        node.ready_storage()
-    }
+        store.row_csr()
+    })
 }
 
 impl<T: Scalar> std::fmt::Debug for Matrix<T> {
@@ -287,7 +339,8 @@ mod tests {
     #[test]
     fn build_combines_duplicates() {
         let m = Matrix::<i32>::new(2, 2).unwrap();
-        m.build(&[0, 0, 1], &[1, 1, 0], &[2, 3, 9], &Plus::new()).unwrap();
+        m.build(&[0, 0, 1], &[1, 1, 0], &[2, 3, 9], &Plus::new())
+            .unwrap();
         assert_eq!(m.get(0, 1).unwrap(), Some(5));
         assert_eq!(m.get(1, 0).unwrap(), Some(9));
     }

@@ -39,9 +39,7 @@ impl<T: Scalar> Vector<T> {
     /// Size must be positive (paper §III-A: `N > 0`).
     pub fn new(n: Index) -> Result<Self> {
         if n == 0 {
-            return Err(Error::InvalidValue(
-                "vector size must be positive".into(),
-            ));
+            return Err(Error::InvalidValue("vector size must be positive".into()));
         }
         Ok(Vector {
             n,
@@ -72,9 +70,7 @@ impl<T: Scalar> Vector<T> {
     /// Convenience constructor storing every element of a dense slice.
     pub fn from_dense(vals: &[T]) -> Result<Self> {
         if vals.is_empty() {
-            return Err(Error::InvalidValue(
-                "vector size must be positive".into(),
-            ));
+            return Err(Error::InvalidValue("vector size must be positive".into()));
         }
         Ok(Vector {
             n: vals.len(),

@@ -41,8 +41,10 @@ impl Context {
 
         let a_node = a.snapshot();
         let msnap = mask.snap(desc);
-        let c_old_cap =
-            crate::op::OldMatrix::capture(c, Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()));
+        let c_old_cap = crate::op::OldMatrix::capture(
+            c,
+            Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()),
+        );
         let mut deps: Vec<_> = vec![a_node.clone() as _];
         deps.extend(c_old_cap.dep());
         deps.extend(msnap.deps());
@@ -86,8 +88,10 @@ impl Context {
 
         let u_node = u.snapshot();
         let msnap = mask.snap(desc);
-        let w_old_cap =
-            crate::op::OldVector::capture(w, Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()));
+        let w_old_cap = crate::op::OldVector::capture(
+            w,
+            Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()),
+        );
         let mut deps: Vec<_> = vec![u_node.clone() as _];
         deps.extend(w_old_cap.dep());
         deps.extend(msnap.deps());
@@ -122,8 +126,15 @@ mod tests {
         let ctx = Context::blocking();
         let numsp = Matrix::from_tuples(2, 2, &[(0, 0, 2.0f32), (1, 1, 4.0)]).unwrap();
         let nspinv = Matrix::<f32>::new(2, 2).unwrap();
-        ctx.apply_matrix(&nspinv, NoMask, NoAccum, Minv::new(), &numsp, &Descriptor::default())
-            .unwrap();
+        ctx.apply_matrix(
+            &nspinv,
+            NoMask,
+            NoAccum,
+            Minv::new(),
+            &numsp,
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(
             nspinv.extract_tuples().unwrap(),
             vec![(0, 0, 0.5), (1, 1, 0.25)]
@@ -190,7 +201,14 @@ mod tests {
         let a = Matrix::<i32>::new(2, 3).unwrap();
         let c = Matrix::<i32>::new(2, 2).unwrap();
         assert!(matches!(
-            ctx.apply_matrix(&c, NoMask, NoAccum, Minv::<i32>::new(), &a, &Descriptor::default()),
+            ctx.apply_matrix(
+                &c,
+                NoMask,
+                NoAccum,
+                Minv::<i32>::new(),
+                &a,
+                &Descriptor::default()
+            ),
             Err(Error::DimensionMismatch(_))
         ));
     }

@@ -23,6 +23,8 @@ use crate::scalar::Scalar;
 
 impl Context {
     /// `GrB_assign` (matrix): `C<Mask>(rows, cols) ⊙= A`.
+    // the C operation signature: out, mask, accum, op, inputs, descriptor
+    #[allow(clippy::too_many_arguments)]
     pub fn assign_matrix<T, Ac, Mk>(
         &self,
         c: &Matrix<T>,
@@ -61,7 +63,7 @@ impl Context {
 
         let eval = move || {
             let a_st = oriented_storage(&a_node, tr_a)?;
-            let c_old = c_node.ready_storage()?;
+            let c_old = c_node.ready_storage()?.row_csr();
             let mcsr = msnap.materialize()?;
             let z = assign_matrix(&c_old, &a_st, &rows, &cols, &accum);
             if let Some(e) = accum.poll_error() {
@@ -82,6 +84,8 @@ impl Context {
 
     /// `GrB_assign` (matrix, scalar fill): every position of the region
     /// receives `value` (Fig. 3 line 61: `bcu` filled with `1.0`).
+    // the C operation signature: out, mask, accum, op, inputs, descriptor
+    #[allow(clippy::too_many_arguments)]
     pub fn assign_scalar_matrix<T, Ac, Mk>(
         &self,
         c: &Matrix<T>,
@@ -110,7 +114,7 @@ impl Context {
         let replace = desc.is_replace();
 
         let eval = move || {
-            let c_old = c_node.ready_storage()?;
+            let c_old = c_node.ready_storage()?.row_csr();
             let mcsr = msnap.materialize()?;
             let z = assign_scalar_matrix(&c_old, &value, &rows, &cols, &accum);
             if let Some(e) = accum.poll_error() {

@@ -90,10 +90,7 @@ mod tests {
         let v = Vector::from_tuples(3, &[(0, 1.0), (2, 3.0)]).unwrap();
         let c = Matrix::<f64>::new(3, 3).unwrap();
         ctx.diag_matrix(&c, &v, 0).unwrap();
-        assert_eq!(
-            c.extract_tuples().unwrap(),
-            vec![(0, 0, 1.0), (2, 2, 3.0)]
-        );
+        assert_eq!(c.extract_tuples().unwrap(), vec![(0, 0, 1.0), (2, 2, 3.0)]);
         let back = Vector::<f64>::new(3).unwrap();
         ctx.diag_extract(&back, &c, 0).unwrap();
         assert_eq!(back.extract_tuples().unwrap(), v.extract_tuples().unwrap());

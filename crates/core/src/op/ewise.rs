@@ -22,6 +22,8 @@ use crate::scalar::Scalar;
 
 impl Context {
     /// `GrB_eWiseAdd` (matrix): `C<Mask> ⊙= A ⊕ B`.
+    // the C operation signature: out, mask, accum, op, inputs, descriptor
+    #[allow(clippy::too_many_arguments)]
     pub fn ewise_add_matrix<T, F, Ac, Mk>(
         &self,
         c: &Matrix<T>,
@@ -52,8 +54,10 @@ impl Context {
 
         let (a_node, b_node) = (a.snapshot(), b.snapshot());
         let msnap = mask.snap(desc);
-        let c_old_cap =
-            crate::op::OldMatrix::capture(c, Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()));
+        let c_old_cap = crate::op::OldMatrix::capture(
+            c,
+            Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()),
+        );
         let mut deps: Vec<_> = vec![a_node.clone() as _, b_node.clone() as _];
         deps.extend(c_old_cap.dep());
         deps.extend(msnap.deps());
@@ -78,6 +82,8 @@ impl Context {
     }
 
     /// `GrB_eWiseMult` (matrix): `C<Mask> ⊙= A ⊗ B`.
+    // the C operation signature: out, mask, accum, op, inputs, descriptor
+    #[allow(clippy::too_many_arguments)]
     pub fn ewise_mult_matrix<D1, D2, D3, F, Ac, Mk>(
         &self,
         c: &Matrix<D3>,
@@ -104,14 +110,19 @@ impl Context {
             format!("eWiseMult operands differ: {da:?} vs {db:?}")
         })?;
         dim_check(c.shape() == da, || {
-            format!("eWiseMult output is {:?} but operands are {da:?}", c.shape())
+            format!(
+                "eWiseMult output is {:?} but operands are {da:?}",
+                c.shape()
+            )
         })?;
         check_mask_dims2(mask.mask_dims(), c.shape())?;
 
         let (a_node, b_node) = (a.snapshot(), b.snapshot());
         let msnap = mask.snap(desc);
-        let c_old_cap =
-            crate::op::OldMatrix::capture(c, Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()));
+        let c_old_cap = crate::op::OldMatrix::capture(
+            c,
+            Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()),
+        );
         let mut deps: Vec<_> = vec![a_node.clone() as _, b_node.clone() as _];
         deps.extend(c_old_cap.dep());
         deps.extend(msnap.deps());
@@ -136,6 +147,8 @@ impl Context {
     }
 
     /// `GrB_eWiseAdd` (vector): `w<mask> ⊙= u ⊕ v`.
+    // the C operation signature: out, mask, accum, op, inputs, descriptor
+    #[allow(clippy::too_many_arguments)]
     pub fn ewise_add_vector<T, F, Ac, Mk>(
         &self,
         w: &Vector<T>,
@@ -156,14 +169,20 @@ impl Context {
             format!("eWiseAdd operands differ: {} vs {}", u.size(), v.size())
         })?;
         dim_check(w.size() == u.size(), || {
-            format!("eWiseAdd output is {} but operands are {}", w.size(), u.size())
+            format!(
+                "eWiseAdd output is {} but operands are {}",
+                w.size(),
+                u.size()
+            )
         })?;
         check_mask_dims1(mask.mask_size(), w.size())?;
 
         let (u_node, v_node) = (u.snapshot(), v.snapshot());
         let msnap = mask.snap(desc);
-        let w_old_cap =
-            crate::op::OldVector::capture(w, Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()));
+        let w_old_cap = crate::op::OldVector::capture(
+            w,
+            Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()),
+        );
         let mut deps: Vec<_> = vec![u_node.clone() as _, v_node.clone() as _];
         deps.extend(w_old_cap.dep());
         deps.extend(msnap.deps());
@@ -188,6 +207,8 @@ impl Context {
     }
 
     /// `GrB_eWiseMult` (vector): `w<mask> ⊙= u ⊗ v`.
+    // the C operation signature: out, mask, accum, op, inputs, descriptor
+    #[allow(clippy::too_many_arguments)]
     pub fn ewise_mult_vector<D1, D2, D3, F, Ac, Mk>(
         &self,
         w: &Vector<D3>,
@@ -210,14 +231,20 @@ impl Context {
             format!("eWiseMult operands differ: {} vs {}", u.size(), v.size())
         })?;
         dim_check(w.size() == u.size(), || {
-            format!("eWiseMult output is {} but operands are {}", w.size(), u.size())
+            format!(
+                "eWiseMult output is {} but operands are {}",
+                w.size(),
+                u.size()
+            )
         })?;
         check_mask_dims1(mask.mask_size(), w.size())?;
 
         let (u_node, v_node) = (u.snapshot(), v.snapshot());
         let msnap = mask.snap(desc);
-        let w_old_cap =
-            crate::op::OldVector::capture(w, Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()));
+        let w_old_cap = crate::op::OldVector::capture(
+            w,
+            Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()),
+        );
         let mut deps: Vec<_> = vec![u_node.clone() as _, v_node.clone() as _];
         deps.extend(w_old_cap.dep());
         deps.extend(msnap.deps());
@@ -256,14 +283,30 @@ mod tests {
         let a = Matrix::from_tuples(2, 2, &[(0, 0, 1), (0, 1, 2)]).unwrap();
         let b = Matrix::from_tuples(2, 2, &[(0, 0, 10), (1, 1, 20)]).unwrap();
         let c = Matrix::<i32>::new(2, 2).unwrap();
-        ctx.ewise_add_matrix(&c, NoMask, NoAccum, Plus::new(), &a, &b, &Descriptor::default())
-            .unwrap();
+        ctx.ewise_add_matrix(
+            &c,
+            NoMask,
+            NoAccum,
+            Plus::new(),
+            &a,
+            &b,
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(
             c.extract_tuples().unwrap(),
             vec![(0, 0, 11), (0, 1, 2), (1, 1, 20)]
         );
-        ctx.ewise_mult_matrix(&c, NoMask, NoAccum, Times::new(), &a, &b, &Descriptor::default())
-            .unwrap();
+        ctx.ewise_mult_matrix(
+            &c,
+            NoMask,
+            NoAccum,
+            Times::new(),
+            &a,
+            &b,
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(c.extract_tuples().unwrap(), vec![(0, 0, 10)]);
     }
 
@@ -311,8 +354,16 @@ mod tests {
         assert_eq!(w.extract_tuples().unwrap(), vec![(1, 12), (2, 120)]);
 
         let w2 = Vector::<i32>::new(3).unwrap();
-        ctx.ewise_mult_vector(&w2, NoMask, NoAccum, Times::new(), &u, &v, &Descriptor::default())
-            .unwrap();
+        ctx.ewise_mult_vector(
+            &w2,
+            NoMask,
+            NoAccum,
+            Times::new(),
+            &u,
+            &v,
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(w2.extract_tuples().unwrap(), vec![(1, 20)]);
     }
 
@@ -333,7 +384,10 @@ mod tests {
             &Descriptor::default(),
         )
         .unwrap();
-        assert_eq!(out.extract_tuples().unwrap(), vec![(0, 0, 2.0), (0, 1, 18.0)]);
+        assert_eq!(
+            out.extract_tuples().unwrap(),
+            vec![(0, 0, 2.0), (0, 1, 18.0)]
+        );
     }
 
     #[test]
@@ -362,14 +416,30 @@ mod tests {
         let b = Matrix::<i32>::new(2, 3).unwrap();
         let c = Matrix::<i32>::new(2, 2).unwrap();
         assert!(matches!(
-            ctx.ewise_add_matrix(&c, NoMask, NoAccum, Plus::<i32>::new(), &a, &b, &Descriptor::default()),
+            ctx.ewise_add_matrix(
+                &c,
+                NoMask,
+                NoAccum,
+                Plus::<i32>::new(),
+                &a,
+                &b,
+                &Descriptor::default()
+            ),
             Err(Error::DimensionMismatch(_))
         ));
         let u = Vector::<i32>::new(2).unwrap();
         let v = Vector::<i32>::new(3).unwrap();
         let w = Vector::<i32>::new(2).unwrap();
         assert!(matches!(
-            ctx.ewise_mult_vector(&w, NoMask, NoAccum, Times::<i32>::new(), &u, &v, &Descriptor::default()),
+            ctx.ewise_mult_vector(
+                &w,
+                NoMask,
+                NoAccum,
+                Times::<i32>::new(),
+                &u,
+                &v,
+                &Descriptor::default()
+            ),
             Err(Error::DimensionMismatch(_))
         ));
     }

@@ -21,6 +21,8 @@ impl Context {
     /// The BC example uses this to initialize the frontier
     /// (Fig. 3 line 33): columns of `A^T` selected by the source-vertex
     /// array, all rows, complemented `numsp` mask.
+    // the C operation signature: out, mask, accum, op, inputs, descriptor
+    #[allow(clippy::too_many_arguments)]
     pub fn extract_matrix<T, Ac, Mk>(
         &self,
         c: &Matrix<T>,
@@ -52,8 +54,10 @@ impl Context {
 
         let a_node = a.snapshot();
         let msnap = mask.snap(desc);
-        let c_old_cap =
-            crate::op::OldMatrix::capture(c, Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()));
+        let c_old_cap = crate::op::OldMatrix::capture(
+            c,
+            Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()),
+        );
         let mut deps: Vec<_> = vec![a_node.clone() as _];
         deps.extend(c_old_cap.dep());
         deps.extend(msnap.deps());
@@ -100,8 +104,10 @@ impl Context {
 
         let u_node = u.snapshot();
         let msnap = mask.snap(desc);
-        let w_old_cap =
-            crate::op::OldVector::capture(w, Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()));
+        let w_old_cap = crate::op::OldVector::capture(
+            w,
+            Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()),
+        );
         let mut deps: Vec<_> = vec![u_node.clone() as _];
         deps.extend(w_old_cap.dep());
         deps.extend(msnap.deps());
@@ -123,6 +129,8 @@ impl Context {
 
     /// `GrB_Col_extract`: `w<mask> ⊙= A(rows, j)` — one column as a
     /// vector.
+    // the C operation signature: out, mask, accum, op, inputs, descriptor
+    #[allow(clippy::too_many_arguments)]
     pub fn extract_col<T, Ac, Mk>(
         &self,
         w: &Vector<T>,
@@ -157,8 +165,10 @@ impl Context {
 
         let a_node = a.snapshot();
         let msnap = mask.snap(desc);
-        let w_old_cap =
-            crate::op::OldVector::capture(w, Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()));
+        let w_old_cap = crate::op::OldVector::capture(
+            w,
+            Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()),
+        );
         let mut deps: Vec<_> = vec![a_node.clone() as _];
         deps.extend(w_old_cap.dep());
         deps.extend(msnap.deps());
@@ -191,7 +201,14 @@ mod tests {
         Matrix::from_tuples(
             3,
             3,
-            &[(0, 0, 1), (0, 1, 2), (1, 1, 3), (1, 2, 4), (2, 0, 5), (2, 2, 6)],
+            &[
+                (0, 0, 1),
+                (0, 1, 2),
+                (1, 1, 3),
+                (1, 2, 4),
+                (2, 0, 5),
+                (2, 2, 6),
+            ],
         )
         .unwrap()
     }
@@ -295,15 +312,7 @@ mod tests {
         let ctx = Context::blocking();
         let c = Matrix::<i32>::new(2, 2).unwrap();
         assert!(matches!(
-            ctx.extract_matrix(
-                &c,
-                NoMask,
-                NoAccum,
-                &a(),
-                ALL,
-                ALL,
-                &Descriptor::default()
-            ),
+            ctx.extract_matrix(&c, NoMask, NoAccum, &a(), ALL, ALL, &Descriptor::default()),
             Err(Error::DimensionMismatch(_))
         ));
     }

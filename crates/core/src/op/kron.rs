@@ -52,6 +52,8 @@ where
 
 impl Context {
     /// `GrB_kronecker(C, Mask, accum, op, A, B, desc)`.
+    // the C operation signature: out, mask, accum, op, inputs, descriptor
+    #[allow(clippy::too_many_arguments)]
     pub fn kronecker<D1, D2, D3, F, Ac, Mk>(
         &self,
         c: &Matrix<D3>,
@@ -128,8 +130,16 @@ mod tests {
         let a = Matrix::from_tuples(2, 2, &[(0, 0, 2), (1, 1, 3)]).unwrap();
         let b = Matrix::from_tuples(2, 2, &[(0, 1, 5), (1, 0, 7)]).unwrap();
         let c = Matrix::<i32>::new(4, 4).unwrap();
-        ctx.kronecker(&c, NoMask, NoAccum, Times::<i32>::new(), &a, &b, &Descriptor::default())
-            .unwrap();
+        ctx.kronecker(
+            &c,
+            NoMask,
+            NoAccum,
+            Times::<i32>::new(),
+            &a,
+            &b,
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(
             c.extract_tuples().unwrap(),
             vec![(0, 1, 10), (1, 0, 14), (2, 3, 15), (3, 2, 21)]
@@ -155,12 +165,7 @@ mod tests {
         // edges (0,1)x(0,1): (0*2+0 -> 1*2+1) etc.
         assert_eq!(
             c.extract_tuples().unwrap(),
-            vec![
-                (0, 3, true),
-                (1, 2, true),
-                (2, 1, true),
-                (3, 0, true)
-            ]
+            vec![(0, 3, true), (1, 2, true), (2, 1, true), (3, 0, true)]
         );
     }
 
@@ -170,12 +175,28 @@ mod tests {
         let a = Matrix::from_tuples(2, 3, &[(0, 2, 1)]).unwrap();
         let b = Matrix::from_tuples(3, 2, &[(2, 0, 1)]).unwrap();
         let c = Matrix::<i32>::new(6, 6).unwrap();
-        ctx.kronecker(&c, NoMask, NoAccum, Times::<i32>::new(), &a, &b, &Descriptor::default())
-            .unwrap();
+        ctx.kronecker(
+            &c,
+            NoMask,
+            NoAccum,
+            Times::<i32>::new(),
+            &a,
+            &b,
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(c.extract_tuples().unwrap(), vec![(2, 4, 1)]);
         let wrong = Matrix::<i32>::new(5, 5).unwrap();
         assert!(ctx
-            .kronecker(&wrong, NoMask, NoAccum, Times::<i32>::new(), &a, &b, &Descriptor::default())
+            .kronecker(
+                &wrong,
+                NoMask,
+                NoAccum,
+                Times::<i32>::new(),
+                &a,
+                &b,
+                &Descriptor::default()
+            )
             .is_err());
     }
 
@@ -186,12 +207,28 @@ mod tests {
         let ctx = Context::blocking();
         let seed = Matrix::from_tuples(2, 2, &[(0, 0, 1), (0, 1, 1), (1, 1, 1)]).unwrap();
         let k2 = Matrix::<i32>::new(4, 4).unwrap();
-        ctx.kronecker(&k2, NoMask, NoAccum, Times::<i32>::new(), &seed, &seed, &Descriptor::default())
-            .unwrap();
+        ctx.kronecker(
+            &k2,
+            NoMask,
+            NoAccum,
+            Times::<i32>::new(),
+            &seed,
+            &seed,
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(k2.nvals().unwrap(), 9);
         let k3 = Matrix::<i32>::new(8, 8).unwrap();
-        ctx.kronecker(&k3, NoMask, NoAccum, Times::<i32>::new(), &k2, &seed, &Descriptor::default())
-            .unwrap();
+        ctx.kronecker(
+            &k3,
+            NoMask,
+            NoAccum,
+            Times::<i32>::new(),
+            &k2,
+            &seed,
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(k3.nvals().unwrap(), 27);
     }
 }

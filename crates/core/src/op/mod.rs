@@ -25,9 +25,9 @@ mod assign;
 mod diag;
 mod ewise;
 mod extract;
+mod kron;
 mod mxm;
 mod mxv;
-mod kron;
 mod reduce;
 mod select;
 mod transpose;
@@ -40,12 +40,15 @@ use crate::index::Index;
 use crate::object::{Matrix, Vector};
 use crate::scalar::Scalar;
 use crate::storage::csr::Csr;
+use crate::storage::engine::MatrixStore;
 use crate::storage::vec::SparseVec;
 
 impl Context {
     /// Install a pending node for `out` and run/defer it per the mode,
     /// applying any injected test fault. `kind` is the Table II
-    /// operation name, surfaced in execution traces.
+    /// operation name, surfaced in execution traces. The computed CSR is
+    /// stored under the output object's format policy — migration (if
+    /// any) happens here, at completion time, once.
     pub(crate) fn submit_matrix<T: Scalar>(
         &self,
         kind: &'static str,
@@ -53,9 +56,30 @@ impl Context {
         deps: Vec<Arc<dyn Completable>>,
         eval: Box<dyn FnOnce() -> Result<Csr<T>> + Send>,
     ) -> Result<()> {
-        let eval: Box<dyn FnOnce() -> Result<Csr<T>> + Send> = match self.take_fault() {
+        self.submit_matrix_store(
+            kind,
+            out,
+            deps,
+            Box::new(move || eval().map(MatrixStore::csr)),
+        )
+    }
+
+    /// [`Context::submit_matrix`] for evaluators that produce a
+    /// [`MatrixStore`] natively (fast-path kernels emitting bitmap or
+    /// hypersparse output directly). The policy still has the last word:
+    /// `apply_policy` re-stores when the hint disagrees with what the
+    /// kernel produced.
+    pub(crate) fn submit_matrix_store<T: Scalar>(
+        &self,
+        kind: &'static str,
+        out: &Matrix<T>,
+        deps: Vec<Arc<dyn Completable>>,
+        eval: Box<dyn FnOnce() -> Result<MatrixStore<T>> + Send>,
+    ) -> Result<()> {
+        let policy = out.format_policy();
+        let eval: Box<dyn FnOnce() -> Result<MatrixStore<T>> + Send> = match self.take_fault() {
             Some(f) => Box::new(move || Err(f)),
-            None => eval,
+            None => Box::new(move || eval().map(|s| s.apply_policy(policy))),
         };
         let node = Node::pending_kind(kind, deps, eval);
         out.install(node.clone());
@@ -107,11 +131,11 @@ impl<T: Scalar> OldMatrix<T> {
         self.node.clone().map(|n| n as Arc<dyn Completable>)
     }
 
-    /// The old content — or an empty stand-in when the write stage can't
-    /// observe it anyway.
+    /// The old content as CSR — or an empty stand-in when the write
+    /// stage can't observe it anyway.
     pub(crate) fn storage(&self) -> Result<std::sync::Arc<Csr<T>>> {
         match &self.node {
-            Some(n) => n.ready_storage(),
+            Some(n) => Ok(n.ready_storage()?.row_csr()),
             None => Ok(Arc::new(Csr::empty(self.nrows, self.ncols))),
         }
     }

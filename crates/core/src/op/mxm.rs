@@ -6,7 +6,7 @@ use crate::algebra::semiring::Semiring;
 use crate::descriptor::Descriptor;
 use crate::error::{dim_check, Result};
 use crate::exec::Context;
-use crate::kernel::mxm::{mxm as mxm_kernel, mxm_dot, MxmStrategy};
+use crate::kernel::mxm::{mxm as mxm_kernel, mxm_dot, mxm_hyper, MxmStrategy};
 use crate::kernel::write::write_matrix;
 use crate::mask::MaskCsr;
 use crate::object::mask_arg::MatrixMask;
@@ -14,6 +14,7 @@ use crate::object::matrix::oriented_storage;
 use crate::object::Matrix;
 use crate::op::{check_mask_dims2, effective_dims};
 use crate::scalar::Scalar;
+use crate::storage::engine::{Layout, MatrixStore};
 
 impl Context {
     /// `GrB_mxm(C, Mask, accum, op, A, B, desc)`: matrix–matrix multiply
@@ -28,6 +29,8 @@ impl Context {
     ///
     /// Masked products are computed only at admitted positions; strongly
     /// masked products switch to dot-product form automatically.
+    // the C operation signature: out, mask, accum, op, inputs, descriptor
+    #[allow(clippy::too_many_arguments)]
     pub fn mxm<D1, D2, D3, S, Ac, Mk>(
         &self,
         c: &Matrix<D3>,
@@ -67,35 +70,63 @@ impl Context {
         let a_node = a.snapshot();
         let b_node = b.snapshot();
         let msnap = mask.snap(desc);
-        let c_old_cap =
-            crate::op::OldMatrix::capture(c, Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()));
+        let c_old_cap = crate::op::OldMatrix::capture(
+            c,
+            Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()),
+        );
         let mut deps: Vec<_> = vec![a_node.clone() as _, b_node.clone() as _];
         deps.extend(c_old_cap.dep());
         deps.extend(msnap.deps());
         let replace = desc.is_replace();
 
+        // The hypersparse fast path bypasses the write stage, so it is
+        // only taken when that stage is the identity: no accumulator and
+        // nothing excludable by the mask (replace with no mask is a plain
+        // overwrite).
+        let write_is_identity = !Ac::IS_ACCUM && msnap.is_all();
+
         let eval = move || {
+            // Hypersparse fast path: A stored hypersparse and used
+            // untransposed — walk only its non-empty rows and emit a
+            // hypersparse store directly, skipping the O(nrows) CSR
+            // assembly entirely.
+            if write_is_identity && !tr_a {
+                if let Layout::Hyper(a_hyper) = a_node.ready_storage()?.layout() {
+                    let a_hyper = a_hyper.clone();
+                    let b_st = oriented_storage(&b_node, tr_b)?;
+                    let t = mxm_hyper(&semiring, &a_hyper, &b_st, &MaskCsr::All);
+                    if let Some(e) = semiring
+                        .add()
+                        .poll_error()
+                        .or_else(|| semiring.mul().poll_error())
+                    {
+                        return Err(e);
+                    }
+                    return Ok(MatrixStore::hyper(t));
+                }
+            }
+
             let a_st = oriented_storage(&a_node, tr_a)?;
             let b_st = oriented_storage(&b_node, tr_b)?;
             let c_old = c_old_cap.storage()?;
             let mcsr = msnap.materialize()?;
 
             // Strongly masked products: switch to dot-product form when
-            // the admitted set is far smaller than the scatter flop count.
+            // the admitted set is far smaller than the scatter flop
+            // count — or as soon as it's merely no larger, when B's
+            // transposed view is already materialized (a Csc store or a
+            // cached conversion) and the dot form costs no transpose.
             let t = match &mcsr {
                 MaskCsr::Pattern {
                     pattern,
                     complement: false,
                 } if pattern.nvals() > 0 => {
-                    let flops: usize = a_st
-                        .col_idx()
-                        .iter()
-                        .map(|&k| b_st.row_nvals(k))
-                        .sum();
-                    if pattern.nvals() * 16 <= flops {
-                        // B^T comes from the node's memoized transpose; if
-                        // the descriptor already transposed B, the
-                        // effective B^T is B itself.
+                    let flops: usize = a_st.col_idx().iter().map(|&k| b_st.row_nvals(k)).sum();
+                    let bt_free = b_node.ready_storage()?.csr_view_ready(!tr_b);
+                    if pattern.nvals() * 16 <= flops || (bt_free && pattern.nvals() <= flops) {
+                        // B^T comes from the store's memoized column
+                        // view; if the descriptor already transposed B,
+                        // the effective B^T is B itself.
                         let bt_st = oriented_storage(&b_node, !tr_b)?;
                         mxm_dot(&semiring, &a_st, &bt_st, pattern)
                     } else {
@@ -116,9 +147,9 @@ impl Context {
             if let Some(e) = accum.poll_error() {
                 return Err(e);
             }
-            Ok(out)
+            Ok(MatrixStore::csr(out))
         };
-        self.submit_matrix("mxm", c, deps, Box::new(eval))
+        self.submit_matrix_store("mxm", c, deps, Box::new(eval))
     }
 }
 
@@ -141,8 +172,16 @@ mod tests {
         let a = m(&[(0, 0, 1), (0, 1, 2), (1, 1, 3)], 2, 2);
         let b = m(&[(0, 0, 4), (1, 0, 5), (1, 1, 6)], 2, 2);
         let c = Matrix::<i32>::new(2, 2).unwrap();
-        ctx.mxm(&c, NoMask, NoAccum, plus_times::<i32>(), &a, &b, &Descriptor::default())
-            .unwrap();
+        ctx.mxm(
+            &c,
+            NoMask,
+            NoAccum,
+            plus_times::<i32>(),
+            &a,
+            &b,
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(
             c.extract_tuples().unwrap(),
             vec![(0, 0, 14), (0, 1, 12), (1, 0, 15), (1, 1, 18)]
@@ -156,7 +195,15 @@ mod tests {
         let b = m(&[(0, 0, 1)], 2, 2); // inner mismatch: 3 vs 2
         let c = Matrix::<i32>::new(2, 2).unwrap();
         let e = ctx
-            .mxm(&c, NoMask, NoAccum, plus_times::<i32>(), &a, &b, &Descriptor::default())
+            .mxm(
+                &c,
+                NoMask,
+                NoAccum,
+                plus_times::<i32>(),
+                &a,
+                &b,
+                &Descriptor::default(),
+            )
             .unwrap_err();
         assert!(matches!(e, Error::DimensionMismatch(_)));
         // output untouched (still empty, still valid)
@@ -241,8 +288,16 @@ mod tests {
         // C = C * C is well defined here: inputs are pre-call snapshots
         let ctx = Context::blocking();
         let c = m(&[(0, 1, 1), (1, 0, 1)], 2, 2);
-        ctx.mxm(&c, NoMask, NoAccum, plus_times::<i32>(), &c, &c, &Descriptor::default())
-            .unwrap();
+        ctx.mxm(
+            &c,
+            NoMask,
+            NoAccum,
+            plus_times::<i32>(),
+            &c,
+            &c,
+            &Descriptor::default(),
+        )
+        .unwrap();
         // [[0,1],[1,0]]^2 = I
         assert_eq!(c.extract_tuples().unwrap(), vec![(0, 0, 1), (1, 1, 1)]);
     }
@@ -253,8 +308,16 @@ mod tests {
         let a = m(&[(0, 0, 2)], 1, 1);
         let b = m(&[(0, 0, 3)], 1, 1);
         let c = Matrix::<i32>::new(1, 1).unwrap();
-        ctx.mxm(&c, NoMask, NoAccum, plus_times::<i32>(), &a, &b, &Descriptor::default())
-            .unwrap();
+        ctx.mxm(
+            &c,
+            NoMask,
+            NoAccum,
+            plus_times::<i32>(),
+            &a,
+            &b,
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert!(!c.is_complete());
         ctx.wait().unwrap();
         assert!(c.is_complete());
@@ -268,7 +331,15 @@ mod tests {
         let c = Matrix::<i32>::new(2, 2).unwrap();
         let mask = m(&[(0, 0, 1)], 3, 2);
         let e = ctx
-            .mxm(&c, &mask, NoAccum, plus_times::<i32>(), &a, &a, &Descriptor::default())
+            .mxm(
+                &c,
+                &mask,
+                NoAccum,
+                plus_times::<i32>(),
+                &a,
+                &a,
+                &Descriptor::default(),
+            )
             .unwrap_err();
         assert!(matches!(e, Error::DimensionMismatch(_)));
     }

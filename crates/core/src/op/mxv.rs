@@ -7,17 +7,20 @@ use crate::algebra::semiring::Semiring;
 use crate::descriptor::Descriptor;
 use crate::error::{dim_check, Result};
 use crate::exec::Context;
-use crate::kernel::mxv::{mxv as mxv_kernel, vxm as vxm_kernel};
+use crate::kernel::mxv::{mxv as mxv_kernel, mxv_bitmap, vxm as vxm_kernel};
 use crate::kernel::write::write_vector;
 use crate::object::mask_arg::VectorMask;
 use crate::object::matrix::oriented_storage;
 use crate::object::{Matrix, Vector};
 use crate::op::{check_mask_dims1, effective_dims};
 use crate::scalar::Scalar;
+use crate::storage::engine::Layout;
 
 impl Context {
     /// `GrB_mxv(w, mask, accum, op, A, u, desc)`:
     /// `w<mask> ⊙= A ⊕.⊗ u`.
+    // the C operation signature: out, mask, accum, op, inputs, descriptor
+    #[allow(clippy::too_many_arguments)]
     pub fn mxv<D1, D2, D3, S, Ac, Mk>(
         &self,
         w: &Vector<D3>,
@@ -42,26 +45,39 @@ impl Context {
             format!("mxv: matrix is {am}x{ak} but vector has size {}", u.size())
         })?;
         dim_check(w.size() == am, || {
-            format!("mxv: output has size {} but product has size {am}", w.size())
+            format!(
+                "mxv: output has size {} but product has size {am}",
+                w.size()
+            )
         })?;
         check_mask_dims1(mask.mask_size(), w.size())?;
 
         let a_node = a.snapshot();
         let u_node = u.snapshot();
         let msnap = mask.snap(desc);
-        let w_old_cap =
-            crate::op::OldVector::capture(w, Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()));
+        let w_old_cap = crate::op::OldVector::capture(
+            w,
+            Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()),
+        );
         let mut deps: Vec<_> = vec![a_node.clone() as _, u_node.clone() as _];
         deps.extend(w_old_cap.dep());
         deps.extend(msnap.deps());
         let replace = desc.is_replace();
 
         let eval = move || {
-            let a_st = oriented_storage(&a_node, tr_a)?;
             let u_st = u_node.ready_storage()?;
             let w_old = w_old_cap.storage()?;
             let mvec = msnap.materialize()?;
-            let t = mxv_kernel(&semiring, &a_st, &u_st, &mvec);
+            // Bitmap pull fast path: A stored as a bitmap and read
+            // untransposed — word-walk its presence bits against the
+            // scattered vector instead of converting to CSR.
+            let t = match (tr_a, a_node.ready_storage()?.layout()) {
+                (false, Layout::Bitmap(a_bits)) => mxv_bitmap(&semiring, a_bits, &u_st, &mvec),
+                _ => {
+                    let a_st = oriented_storage(&a_node, tr_a)?;
+                    mxv_kernel(&semiring, &a_st, &u_st, &mvec)
+                }
+            };
             if let Some(e) = semiring
                 .add()
                 .poll_error()
@@ -81,6 +97,8 @@ impl Context {
     /// `GrB_vxm(w, mask, accum, op, u, A, desc)`:
     /// `w^T<mask^T> ⊙= u^T ⊕.⊗ A`. The descriptor's `GrB_INP1` transposes
     /// `A` (the matrix is the *second* input here).
+    // the C operation signature: out, mask, accum, op, inputs, descriptor
+    #[allow(clippy::too_many_arguments)]
     pub fn vxm<D1, D2, D3, S, Ac, Mk>(
         &self,
         w: &Vector<D3>,
@@ -105,15 +123,20 @@ impl Context {
             format!("vxm: vector has size {} but matrix is {ak}x{an}", u.size())
         })?;
         dim_check(w.size() == an, || {
-            format!("vxm: output has size {} but product has size {an}", w.size())
+            format!(
+                "vxm: output has size {} but product has size {an}",
+                w.size()
+            )
         })?;
         check_mask_dims1(mask.mask_size(), w.size())?;
 
         let a_node = a.snapshot();
         let u_node = u.snapshot();
         let msnap = mask.snap(desc);
-        let w_old_cap =
-            crate::op::OldVector::capture(w, Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()));
+        let w_old_cap = crate::op::OldVector::capture(
+            w,
+            Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()),
+        );
         let mut deps: Vec<_> = vec![a_node.clone() as _, u_node.clone() as _];
         deps.extend(w_old_cap.dep());
         deps.extend(msnap.deps());
@@ -160,8 +183,16 @@ mod tests {
         let ctx = Context::blocking();
         let u = Vector::from_dense(&[10, 20, 30]).unwrap();
         let w = Vector::<i32>::new(2).unwrap();
-        ctx.mxv(&w, NoMask, NoAccum, plus_times::<i32>(), &a(), &u, &Descriptor::default())
-            .unwrap();
+        ctx.mxv(
+            &w,
+            NoMask,
+            NoAccum,
+            plus_times::<i32>(),
+            &a(),
+            &u,
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(w.extract_tuples().unwrap(), vec![(0, 70), (1, 60)]);
     }
 
@@ -170,8 +201,16 @@ mod tests {
         let ctx = Context::blocking();
         let u = Vector::from_dense(&[10, 20]).unwrap();
         let w = Vector::<i32>::new(3).unwrap();
-        ctx.vxm(&w, NoMask, NoAccum, plus_times::<i32>(), &u, &a(), &Descriptor::default())
-            .unwrap();
+        ctx.vxm(
+            &w,
+            NoMask,
+            NoAccum,
+            plus_times::<i32>(),
+            &u,
+            &a(),
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(w.extract_tuples().unwrap(), vec![(0, 10), (1, 60), (2, 20)]);
     }
 
@@ -191,8 +230,16 @@ mod tests {
             &Descriptor::default().transpose_first(),
         )
         .unwrap();
-        ctx.vxm(&w2, NoMask, NoAccum, plus_times::<i32>(), &u, &a(), &Descriptor::default())
-            .unwrap();
+        ctx.vxm(
+            &w2,
+            NoMask,
+            NoAccum,
+            plus_times::<i32>(),
+            &u,
+            &a(),
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(w1.extract_tuples().unwrap(), w2.extract_tuples().unwrap());
     }
 
@@ -200,12 +247,7 @@ mod tests {
     fn bfs_step_with_complemented_mask() {
         // classic BFS frontier update: next<!visited> = frontier lor.land A
         let ctx = Context::blocking();
-        let adj = Matrix::from_tuples(
-            3,
-            3,
-            &[(0, 1, true), (1, 2, true), (1, 0, true)],
-        )
-        .unwrap();
+        let adj = Matrix::from_tuples(3, 3, &[(0, 1, true), (1, 2, true), (1, 0, true)]).unwrap();
         let frontier = Vector::from_tuples(3, &[(1, true)]).unwrap();
         let visited = Vector::from_tuples(3, &[(0, true), (1, true)]).unwrap();
         let next = Vector::<bool>::new(3).unwrap();
@@ -247,17 +289,41 @@ mod tests {
         let u = Vector::from_dense(&[1, 1]).unwrap(); // wrong size
         let w = Vector::<i32>::new(2).unwrap();
         assert!(matches!(
-            ctx.mxv(&w, NoMask, NoAccum, plus_times::<i32>(), &a(), &u, &Descriptor::default()),
+            ctx.mxv(
+                &w,
+                NoMask,
+                NoAccum,
+                plus_times::<i32>(),
+                &a(),
+                &u,
+                &Descriptor::default()
+            ),
             Err(Error::DimensionMismatch(_))
         ));
         let u3 = Vector::from_dense(&[1, 1, 1]).unwrap();
         let w_bad = Vector::<i32>::new(3).unwrap();
         assert!(matches!(
-            ctx.mxv(&w_bad, NoMask, NoAccum, plus_times::<i32>(), &a(), &u3, &Descriptor::default()),
+            ctx.mxv(
+                &w_bad,
+                NoMask,
+                NoAccum,
+                plus_times::<i32>(),
+                &a(),
+                &u3,
+                &Descriptor::default()
+            ),
             Err(Error::DimensionMismatch(_))
         ));
         assert!(matches!(
-            ctx.vxm(&w_bad, NoMask, NoAccum, plus_times::<i32>(), &u3, &a(), &Descriptor::default()),
+            ctx.vxm(
+                &w_bad,
+                NoMask,
+                NoAccum,
+                plus_times::<i32>(),
+                &u3,
+                &a(),
+                &Descriptor::default()
+            ),
             Err(Error::DimensionMismatch(_))
         ));
     }

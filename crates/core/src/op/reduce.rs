@@ -39,14 +39,19 @@ impl Context {
         let tr_a = desc.is_first_transposed();
         let (am, _) = effective_dims(a, tr_a);
         dim_check(w.size() == am, || {
-            format!("reduce output has size {} but matrix has {am} rows", w.size())
+            format!(
+                "reduce output has size {} but matrix has {am} rows",
+                w.size()
+            )
         })?;
         check_mask_dims1(mask.mask_size(), w.size())?;
 
         let a_node = a.snapshot();
         let msnap = mask.snap(desc);
-        let w_old_cap =
-            crate::op::OldVector::capture(w, Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()));
+        let w_old_cap = crate::op::OldVector::capture(
+            w,
+            Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()),
+        );
         let mut deps: Vec<_> = vec![a_node.clone() as _];
         deps.extend(w_old_cap.dep());
         deps.extend(msnap.deps());
@@ -77,7 +82,7 @@ impl Context {
         M: Monoid<T>,
     {
         let st = a.forced_storage().inspect_err(|e| self.record_error(e))?;
-        let v = reduce_matrix_scalar(&st, &monoid);
+        let v = reduce_matrix_scalar(&st.row_csr(), &monoid);
         match monoid.poll_error() {
             Some(e) => {
                 self.record_error(&e);
@@ -121,8 +126,15 @@ mod tests {
     fn row_reduce() {
         let ctx = Context::blocking();
         let w = Vector::<f32>::new(3).unwrap();
-        ctx.reduce_rows(&w, NoMask, NoAccum, PlusMonoid::new(), &a(), &Descriptor::default())
-            .unwrap();
+        ctx.reduce_rows(
+            &w,
+            NoMask,
+            NoAccum,
+            PlusMonoid::new(),
+            &a(),
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(w.extract_tuples().unwrap(), vec![(0, 3.0), (2, 4.0)]);
     }
 
@@ -168,21 +180,25 @@ mod tests {
     fn scalar_reductions() {
         let ctx = Context::blocking();
         assert_eq!(
-            ctx.reduce_matrix_to_scalar(PlusMonoid::<f32>::new(), &a()).unwrap(),
+            ctx.reduce_matrix_to_scalar(PlusMonoid::<f32>::new(), &a())
+                .unwrap(),
             7.0
         );
         assert_eq!(
-            ctx.reduce_matrix_to_scalar(MaxMonoid::<f32>::new(), &a()).unwrap(),
+            ctx.reduce_matrix_to_scalar(MaxMonoid::<f32>::new(), &a())
+                .unwrap(),
             4.0
         );
         let v = Vector::from_tuples(4, &[(1, 5i64), (2, 6)]).unwrap();
         assert_eq!(
-            ctx.reduce_vector_to_scalar(PlusMonoid::<i64>::new(), &v).unwrap(),
+            ctx.reduce_vector_to_scalar(PlusMonoid::<i64>::new(), &v)
+                .unwrap(),
             11
         );
         let empty = Matrix::<f32>::new(2, 2).unwrap();
         assert_eq!(
-            ctx.reduce_matrix_to_scalar(PlusMonoid::<f32>::new(), &empty).unwrap(),
+            ctx.reduce_matrix_to_scalar(PlusMonoid::<f32>::new(), &empty)
+                .unwrap(),
             0.0
         );
     }
@@ -193,11 +209,21 @@ mod tests {
         let ctx = Context::nonblocking();
         let x = Matrix::from_tuples(1, 1, &[(0, 0, 3i64)]).unwrap();
         let y = Matrix::<i64>::new(1, 1).unwrap();
-        ctx.mxm(&y, NoMask, NoAccum, plus_times::<i64>(), &x, &x, &Descriptor::default())
-            .unwrap();
+        ctx.mxm(
+            &y,
+            NoMask,
+            NoAccum,
+            plus_times::<i64>(),
+            &x,
+            &x,
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert!(!y.is_complete());
         // scalar reduce must force y
-        let s = ctx.reduce_matrix_to_scalar(PlusMonoid::<i64>::new(), &y).unwrap();
+        let s = ctx
+            .reduce_matrix_to_scalar(PlusMonoid::<i64>::new(), &y)
+            .unwrap();
         assert_eq!(s, 9);
         assert!(y.is_complete());
     }

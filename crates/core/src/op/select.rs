@@ -40,8 +40,10 @@ impl Context {
 
         let a_node = a.snapshot();
         let msnap = mask.snap(desc);
-        let c_old_cap =
-            crate::op::OldMatrix::capture(c, Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()));
+        let c_old_cap = crate::op::OldMatrix::capture(
+            c,
+            Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()),
+        );
         let mut deps: Vec<_> = vec![a_node.clone() as _];
         deps.extend(c_old_cap.dep());
         deps.extend(msnap.deps());
@@ -85,8 +87,10 @@ impl Context {
 
         let u_node = u.snapshot();
         let msnap = mask.snap(desc);
-        let w_old_cap =
-            crate::op::OldVector::capture(w, Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()));
+        let w_old_cap = crate::op::OldVector::capture(
+            w,
+            Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()),
+        );
         let mut deps: Vec<_> = vec![u_node.clone() as _];
         deps.extend(w_old_cap.dep());
         deps.extend(msnap.deps());
@@ -118,7 +122,14 @@ mod tests {
         Matrix::from_tuples(
             3,
             3,
-            &[(0, 0, 1), (0, 2, 2), (1, 0, 3), (1, 1, 4), (2, 1, 5), (2, 2, 6)],
+            &[
+                (0, 0, 1),
+                (0, 2, 2),
+                (1, 0, 3),
+                (1, 1, 4),
+                (2, 1, 5),
+                (2, 2, 6),
+            ],
         )
         .unwrap()
     }
@@ -127,17 +138,38 @@ mod tests {
     fn tril_and_triu() {
         let ctx = Context::blocking();
         let l = Matrix::<i32>::new(3, 3).unwrap();
-        ctx.select_matrix(&l, NoMask, NoAccum, Tril::new(-1), &a(), &Descriptor::default())
-            .unwrap();
+        ctx.select_matrix(
+            &l,
+            NoMask,
+            NoAccum,
+            Tril::new(-1),
+            &a(),
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(l.extract_tuples().unwrap(), vec![(1, 0, 3), (2, 1, 5)]);
         let u = Matrix::<i32>::new(3, 3).unwrap();
-        ctx.select_matrix(&u, NoMask, NoAccum, Triu::new(1), &a(), &Descriptor::default())
-            .unwrap();
+        ctx.select_matrix(
+            &u,
+            NoMask,
+            NoAccum,
+            Triu::new(1),
+            &a(),
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(u.extract_tuples().unwrap(), vec![(0, 2, 2)]);
         // tril(-1) ∪ diag(0) ∪ triu(1) partitions the pattern
         let d = Matrix::<i32>::new(3, 3).unwrap();
-        ctx.select_matrix(&d, NoMask, NoAccum, Diag::new(0), &a(), &Descriptor::default())
-            .unwrap();
+        ctx.select_matrix(
+            &d,
+            NoMask,
+            NoAccum,
+            Diag::new(0),
+            &a(),
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(
             l.nvals().unwrap() + d.nvals().unwrap() + u.nvals().unwrap(),
             a().nvals().unwrap()
@@ -148,8 +180,15 @@ mod tests {
     fn value_threshold() {
         let ctx = Context::blocking();
         let c = Matrix::<i32>::new(3, 3).unwrap();
-        ctx.select_matrix(&c, NoMask, NoAccum, ValueGt(3), &a(), &Descriptor::default())
-            .unwrap();
+        ctx.select_matrix(
+            &c,
+            NoMask,
+            NoAccum,
+            ValueGt(3),
+            &a(),
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(
             c.extract_tuples().unwrap(),
             vec![(1, 1, 4), (2, 1, 5), (2, 2, 6)]
@@ -195,8 +234,15 @@ mod tests {
         let ctx = Context::blocking();
         let mask = Matrix::from_tuples(3, 3, &[(1, 0, true)]).unwrap();
         let c = Matrix::from_tuples(3, 3, &[(0, 0, 99)]).unwrap();
-        ctx.select_matrix(&c, &mask, NoAccum, Tril::new(0), &a(), &Descriptor::default())
-            .unwrap();
+        ctx.select_matrix(
+            &c,
+            &mask,
+            NoAccum,
+            Tril::new(0),
+            &a(),
+            &Descriptor::default(),
+        )
+        .unwrap();
         // merge: only (1,0) admitted -> 3; old (0,0) kept
         assert_eq!(c.extract_tuples().unwrap(), vec![(0, 0, 99), (1, 0, 3)]);
     }
@@ -206,7 +252,14 @@ mod tests {
         let ctx = Context::blocking();
         let c = Matrix::<i32>::new(2, 3).unwrap();
         assert!(ctx
-            .select_matrix(&c, NoMask, NoAccum, Tril::new(0), &a(), &Descriptor::default())
+            .select_matrix(
+                &c,
+                NoMask,
+                NoAccum,
+                Tril::new(0),
+                &a(),
+                &Descriptor::default()
+            )
             .is_err());
     }
 }

@@ -40,14 +40,19 @@ impl Context {
         // the operation transposes on top of the descriptor
         let (am, an) = effective_dims(a, !tr_a);
         dim_check(c.shape() == (am, an), || {
-            format!("transpose output is {:?} but result is {am}x{an}", c.shape())
+            format!(
+                "transpose output is {:?} but result is {am}x{an}",
+                c.shape()
+            )
         })?;
         check_mask_dims2(mask.mask_dims(), c.shape())?;
 
         let a_node = a.snapshot();
         let msnap = mask.snap(desc);
-        let c_old_cap =
-            crate::op::OldMatrix::capture(c, Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()));
+        let c_old_cap = crate::op::OldMatrix::capture(
+            c,
+            Ac::IS_ACCUM || (!msnap.is_all() && !desc.is_replace()),
+        );
         let mut deps: Vec<_> = vec![a_node.clone() as _];
         deps.extend(c_old_cap.dep());
         deps.extend(msnap.deps());
@@ -80,7 +85,8 @@ mod tests {
         let ctx = Context::blocking();
         let a = Matrix::from_tuples(2, 3, &[(0, 2, 5), (1, 0, 7)]).unwrap();
         let c = Matrix::<i32>::new(3, 2).unwrap();
-        ctx.transpose(&c, NoMask, NoAccum, &a, &Descriptor::default()).unwrap();
+        ctx.transpose(&c, NoMask, NoAccum, &a, &Descriptor::default())
+            .unwrap();
         assert_eq!(c.extract_tuples().unwrap(), vec![(0, 1, 7), (2, 0, 5)]);
     }
 
@@ -106,8 +112,14 @@ mod tests {
         let a = Matrix::from_tuples(2, 2, &[(0, 1, 5), (1, 0, 7)]).unwrap();
         let c = Matrix::from_tuples(2, 2, &[(0, 1, 100)]).unwrap();
         let mask = Matrix::from_tuples(2, 2, &[(0, 1, true)]).unwrap();
-        ctx.transpose(&c, &mask, Accum(Plus::<i32>::new()), &a, &Descriptor::default())
-            .unwrap();
+        ctx.transpose(
+            &c,
+            &mask,
+            Accum(Plus::<i32>::new()),
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap();
         // T = A^T has (0,1)=7; admitted (0,1): 100+7; nothing else admitted
         assert_eq!(c.extract_tuples().unwrap(), vec![(0, 1, 107)]);
     }

@@ -226,7 +226,7 @@ mod tests {
         assert_eq!(f64::one(), 1.0);
         assert_eq!(f32::min_value(), f32::NEG_INFINITY);
         assert_eq!(f32::max_value(), f32::INFINITY);
-        assert_eq!(u8::max_value(), 255);
+        assert_eq!(u8::MAX, 255);
     }
 
     #[test]
@@ -237,11 +237,8 @@ mod tests {
         assert_eq!(NumScalar::checked_mul(&10i8, &2), Some(20));
         assert_eq!(1.0f64.checked_add(&2.0), Some(3.0));
         assert_eq!(f64::MAX.checked_mul(&2.0), None); // overflow to inf
-        // inf inputs are legal values in max-plus domains; not an overflow
-        assert_eq!(
-            f64::INFINITY.checked_add(&1.0),
-            Some(f64::INFINITY)
-        );
+                                                      // inf inputs are legal values in max-plus domains; not an overflow
+        assert_eq!(f64::INFINITY.checked_add(&1.0), Some(f64::INFINITY));
     }
 
     #[test]

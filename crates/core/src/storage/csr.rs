@@ -276,15 +276,6 @@ impl<T: Scalar> Csr<T> {
     }
 }
 
-impl<T> crate::exec::node::StorageMeta for Csr<T> {
-    fn trace_shape(&self) -> (usize, usize) {
-        (self.nrows, self.ncols)
-    }
-    fn trace_nvals(&self) -> usize {
-        self.col_idx.len()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,205 @@
+//! Dense-bitmap matrix storage: a presence bitmap plus a value array.
+//!
+//! For matrices whose stored fraction is a few percent or more, CSR's
+//! per-element column indices cost more than they save: probes need a
+//! binary search and row merges branch per element. The bitmap layout
+//! spends `nrows*ncols` bits on presence (one cache line covers 512
+//! positions) and a dense value slot per position, giving O(1) probes
+//! and branch-light row sweeps via word iteration.
+//!
+//! Absent elements stay *undefined*, not zero: a cleared presence bit
+//! means "no stored tuple", exactly as in the CSR layer — the value slot
+//! under a cleared bit is never observed. The bitmap is a representation
+//! of the same set `L(A) = {(i, j, A_ij)}`, not a densification of it.
+
+use crate::index::Index;
+use crate::scalar::Scalar;
+use crate::storage::csr::Csr;
+
+/// Bitmap matrix storage: row-major presence bits + value slots.
+#[derive(Debug, Clone)]
+pub struct Bitmap<T> {
+    nrows: Index,
+    ncols: Index,
+    /// 64-bit presence words per row (`ncols.div_ceil(64)` of them).
+    words_per_row: usize,
+    /// Presence bits, row-major: bit `j % 64` of word
+    /// `i * words_per_row + j / 64` is set iff `(i, j)` is stored.
+    bits: Vec<u64>,
+    /// Value slots, row-major (`None` under every cleared bit).
+    vals: Vec<Option<T>>,
+    /// Number of set bits (stored elements).
+    nvals: usize,
+}
+
+impl<T: Scalar> Bitmap<T> {
+    /// An empty bitmap of the given shape.
+    pub fn empty(nrows: Index, ncols: Index) -> Self {
+        let words_per_row = ncols.div_ceil(64);
+        Bitmap {
+            nrows,
+            ncols,
+            words_per_row,
+            bits: vec![0; nrows * words_per_row],
+            vals: vec![None; nrows * ncols],
+            nvals: 0,
+        }
+    }
+
+    /// Convert from CSR (one pass over the stored tuples).
+    pub fn from_csr(csr: &Csr<T>) -> Self {
+        let mut b = Bitmap::empty(csr.nrows(), csr.ncols());
+        for (i, j, v) in csr.iter() {
+            b.bits[i * b.words_per_row + j / 64] |= 1u64 << (j % 64);
+            b.vals[i * b.ncols + j] = Some(v.clone());
+        }
+        b.nvals = csr.nvals();
+        b
+    }
+
+    /// Convert to CSR (row-major sweep of the set bits).
+    pub fn to_csr(&self) -> Csr<T> {
+        let mut row_ptr = vec![0usize; self.nrows + 1];
+        let mut col_idx = Vec::with_capacity(self.nvals);
+        let mut vals = Vec::with_capacity(self.nvals);
+        for i in 0..self.nrows {
+            for (j, v) in self.row_iter(i) {
+                col_idx.push(j);
+                vals.push(v.clone());
+            }
+            row_ptr[i + 1] = col_idx.len();
+        }
+        Csr::from_parts(self.nrows, self.ncols, row_ptr, col_idx, vals)
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of stored elements.
+    #[inline]
+    pub fn nvals(&self) -> usize {
+        self.nvals
+    }
+
+    /// O(1) probe: `Some(&v)` iff `(i, j)` is stored.
+    #[inline]
+    pub fn get(&self, i: Index, j: Index) -> Option<&T> {
+        if self.bits[i * self.words_per_row + j / 64] >> (j % 64) & 1 == 1 {
+            self.vals[i * self.ncols + j].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// The presence words of row `i`.
+    #[inline]
+    pub fn row_bits(&self, i: Index) -> &[u64] {
+        &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    /// The value slots of row `i` (indexed by column; only slots under a
+    /// set presence bit hold `Some`).
+    #[inline]
+    pub fn row_vals(&self, i: Index) -> &[Option<T>] {
+        &self.vals[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Iterate the stored `(j, &v)` pairs of row `i` in column order,
+    /// walking presence words and clearing trailing bits — no per-element
+    /// search.
+    pub fn row_iter(&self, i: Index) -> impl Iterator<Item = (Index, &T)> + '_ {
+        let vals = self.row_vals(i);
+        self.row_bits(i)
+            .iter()
+            .enumerate()
+            .flat_map(move |(w, &word)| {
+                let base = w * 64;
+                std::iter::successors((word != 0).then_some(word), |&rem| {
+                    let next = rem & (rem - 1);
+                    (next != 0).then_some(next)
+                })
+                .map(move |rem| {
+                    let j = base + rem.trailing_zeros() as usize;
+                    (j, vals[j].as_ref().expect("set bit has a value"))
+                })
+            })
+    }
+
+    /// Iterate all stored tuples `(i, j, &v)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, &T)> + '_ {
+        (0..self.nrows).flat_map(move |i| self.row_iter(i).map(move |(j, v)| (i, j, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr<i32> {
+        // [ 1 . 2 ]
+        // [ . . . ]
+        // [ 3 4 . ]
+        Csr::from_sorted_tuples(3, 3, vec![(0, 0, 1), (0, 2, 2), (2, 0, 3), (2, 1, 4)])
+    }
+
+    #[test]
+    fn round_trip_preserves_tuples() {
+        let csr = sample();
+        let b = Bitmap::from_csr(&csr);
+        assert_eq!(b.nvals(), 4);
+        assert_eq!(b.to_csr(), csr);
+    }
+
+    #[test]
+    fn probe_distinguishes_stored_from_undefined() {
+        let b = Bitmap::from_csr(&sample());
+        assert_eq!(b.get(0, 0), Some(&1));
+        assert_eq!(b.get(0, 1), None); // undefined, not zero
+        assert_eq!(b.get(1, 1), None);
+        assert_eq!(b.get(2, 1), Some(&4));
+    }
+
+    #[test]
+    fn row_iter_matches_csr_rows() {
+        let csr = sample();
+        let b = Bitmap::from_csr(&csr);
+        for i in 0..3 {
+            let from_bitmap: Vec<(usize, i32)> = b.row_iter(i).map(|(j, v)| (j, *v)).collect();
+            let (cols, vals) = csr.row(i);
+            let from_csr: Vec<(usize, i32)> =
+                cols.iter().copied().zip(vals.iter().copied()).collect();
+            assert_eq!(from_bitmap, from_csr, "row {i}");
+        }
+    }
+
+    #[test]
+    fn wide_rows_span_multiple_words() {
+        // columns straddling the 64-bit word boundary
+        let csr = Csr::from_sorted_tuples(
+            2,
+            130,
+            vec![(0, 0, 1), (0, 63, 2), (0, 64, 3), (0, 129, 4), (1, 65, 5)],
+        );
+        let b = Bitmap::from_csr(&csr);
+        assert_eq!(b.get(0, 63), Some(&2));
+        assert_eq!(b.get(0, 64), Some(&3));
+        assert_eq!(b.get(0, 129), Some(&4));
+        assert_eq!(b.get(1, 64), None);
+        assert_eq!(b.to_csr(), csr);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = Bitmap::<f64>::empty(4, 7);
+        assert_eq!(b.nvals(), 0);
+        assert_eq!(b.iter().count(), 0);
+        assert_eq!(b.to_csr(), Csr::empty(4, 7));
+    }
+}

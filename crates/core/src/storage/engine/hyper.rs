@@ -1,0 +1,217 @@
+//! Hypersparse matrix storage: CSR over the non-empty rows only.
+//!
+//! A plain CSR row-pointer array is `nrows + 1` words regardless of
+//! content, so a 10M-vertex graph slice holding a thousand edges pays
+//! 80 MB just to say "mostly empty" — and every kernel sweep touches all
+//! of it. The hypersparse layout (SuiteSparse's `GxB_HYPERSPARSE`,
+//! "GraphBLAS Mathematical Opportunities" §hypersparse) keeps a sorted
+//! list of the non-empty rows and row pointers over *that list*, making
+//! storage and whole-matrix sweeps O(nnz + #nonempty-rows), independent
+//! of `nrows`.
+
+use crate::index::Index;
+use crate::scalar::Scalar;
+use crate::storage::csr::Csr;
+
+/// Hypersparse matrix storage: a compressed non-empty-row list over CSR
+/// row slices.
+#[derive(Debug, Clone)]
+pub struct Hyper<T> {
+    nrows: Index,
+    ncols: Index,
+    /// Sorted row indices that hold at least one stored element.
+    rows: Vec<Index>,
+    /// `row_ptr[k]..row_ptr[k+1]` is the slice of `rows[k]`; length
+    /// `rows.len() + 1`.
+    row_ptr: Vec<usize>,
+    /// Column indices, strictly increasing within each row slice.
+    col_idx: Vec<Index>,
+    /// Values, parallel to `col_idx`.
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> Hyper<T> {
+    /// An empty hypersparse matrix — O(1) space, unlike `Csr::empty`.
+    pub fn empty(nrows: Index, ncols: Index) -> Self {
+        Hyper {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Assemble from per-row slices that are already sorted by row, with
+    /// sorted columns inside each and no empty slices.
+    pub fn from_row_slices(
+        nrows: Index,
+        ncols: Index,
+        slices: impl IntoIterator<Item = (Index, Vec<Index>, Vec<T>)>,
+    ) -> Self {
+        let mut h = Hyper::empty(nrows, ncols);
+        for (i, cols, vals) in slices {
+            debug_assert!(i < nrows);
+            debug_assert!(!cols.is_empty());
+            debug_assert_eq!(cols.len(), vals.len());
+            debug_assert!(h.rows.last().is_none_or(|&p| p < i), "rows not sorted");
+            debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {i} not sorted");
+            debug_assert!(cols.iter().all(|&j| j < ncols));
+            h.rows.push(i);
+            h.col_idx.extend(cols);
+            h.vals.extend(vals);
+            h.row_ptr.push(h.col_idx.len());
+        }
+        h
+    }
+
+    /// Convert from CSR, dropping the empty-row pointers.
+    pub fn from_csr(csr: &Csr<T>) -> Self {
+        let mut h = Hyper::empty(csr.nrows(), csr.ncols());
+        for i in 0..csr.nrows() {
+            let (cols, vals) = csr.row(i);
+            if !cols.is_empty() {
+                h.rows.push(i);
+                h.col_idx.extend_from_slice(cols);
+                h.vals.extend_from_slice(vals);
+                h.row_ptr.push(h.col_idx.len());
+            }
+        }
+        h
+    }
+
+    /// Convert to CSR (materializes the full `nrows + 1` row-pointer
+    /// array).
+    pub fn to_csr(&self) -> Csr<T> {
+        let mut row_ptr = vec![0usize; self.nrows + 1];
+        for (k, &i) in self.rows.iter().enumerate() {
+            row_ptr[i + 1] = self.row_ptr[k + 1] - self.row_ptr[k];
+        }
+        for i in 0..self.nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Csr::from_parts(
+            self.nrows,
+            self.ncols,
+            row_ptr,
+            self.col_idx.clone(),
+            self.vals.clone(),
+        )
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of stored elements.
+    #[inline]
+    pub fn nvals(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The sorted non-empty row indices.
+    #[inline]
+    pub fn nonempty_rows(&self) -> &[Index] {
+        &self.rows
+    }
+
+    /// The `k`-th non-empty row as `(row index, columns, values)`.
+    #[inline]
+    pub fn row_by_pos(&self, k: usize) -> (Index, &[Index], &[T]) {
+        let lo = self.row_ptr[k];
+        let hi = self.row_ptr[k + 1];
+        (self.rows[k], &self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// The stored row `i` as `(columns, values)` — empty slices if row
+    /// `i` holds nothing. O(log #nonempty-rows).
+    pub fn row(&self, i: Index) -> (&[Index], &[T]) {
+        match self.rows.binary_search(&i) {
+            Ok(k) => {
+                let (_, cols, vals) = self.row_by_pos(k);
+                (cols, vals)
+            }
+            Err(_) => (&[], &[]),
+        }
+    }
+
+    /// Probe `(i, j)`: `Some(&v)` iff stored.
+    pub fn get(&self, i: Index, j: Index) -> Option<&T> {
+        let (cols, vals) = self.row(i);
+        cols.binary_search(&j).ok().map(|k| &vals[k])
+    }
+
+    /// Iterate all stored tuples `(i, j, &v)` in row-major order —
+    /// touches only non-empty rows.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, &T)> + '_ {
+        (0..self.rows.len()).flat_map(move |k| {
+            let (i, cols, vals) = self.row_by_pos(k);
+            cols.iter().zip(vals).map(move |(&j, v)| (i, j, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr<i32> {
+        // 6 rows, only rows 1 and 4 occupied
+        Csr::from_sorted_tuples(6, 4, vec![(1, 0, 10), (1, 3, 11), (4, 2, 12)])
+    }
+
+    #[test]
+    fn round_trip_preserves_tuples() {
+        let csr = sample();
+        let h = Hyper::from_csr(&csr);
+        assert_eq!(h.nvals(), 3);
+        assert_eq!(h.nonempty_rows(), &[1, 4]);
+        assert_eq!(h.to_csr(), csr);
+    }
+
+    #[test]
+    fn row_access_covers_empty_and_occupied() {
+        let h = Hyper::from_csr(&sample());
+        assert_eq!(h.row(1), (&[0, 3][..], &[10, 11][..]));
+        assert_eq!(h.row(0), (&[][..], &[][..]));
+        assert_eq!(h.row(5), (&[][..], &[][..]));
+        assert_eq!(h.get(4, 2), Some(&12));
+        assert_eq!(h.get(4, 1), None);
+        assert_eq!(h.get(2, 2), None);
+    }
+
+    #[test]
+    fn iteration_is_row_major() {
+        let h = Hyper::from_csr(&sample());
+        let tuples: Vec<(usize, usize, i32)> = h.iter().map(|(i, j, v)| (i, j, *v)).collect();
+        assert_eq!(tuples, vec![(1, 0, 10), (1, 3, 11), (4, 2, 12)]);
+    }
+
+    #[test]
+    fn from_row_slices_assembles() {
+        let h = Hyper::from_row_slices(
+            10,
+            5,
+            vec![(2, vec![1, 4], vec![7, 8]), (9, vec![0], vec![9])],
+        );
+        assert_eq!(h.nvals(), 3);
+        assert_eq!(h.get(2, 4), Some(&8));
+        assert_eq!(h.get(9, 0), Some(&9));
+        assert_eq!(h.to_csr().nvals(), 3);
+    }
+
+    #[test]
+    fn empty_is_constant_space() {
+        let h = Hyper::<i64>::empty(1_000_000, 1_000_000);
+        assert_eq!(h.nvals(), 0);
+        assert_eq!(h.nonempty_rows().len(), 0);
+        assert_eq!(h.row_ptr.len(), 1);
+    }
+}

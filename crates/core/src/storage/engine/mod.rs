@@ -1,0 +1,461 @@
+//! The polymorphic storage engine: one matrix value, four layouts.
+//!
+//! The paper's object model hides representation entirely — a
+//! `GrB_Matrix` is just the set `L(A) = {(i, j, A_ij)}` (§III-A) — which
+//! is precisely the latitude this module exploits. A [`MatrixStore`]
+//! holds the same mathematical content in whichever concrete layout the
+//! [`FormatPolicy`] picks from the observed shape and occupancy:
+//!
+//! * [`Format::Csr`] — the general-purpose row-compressed layout;
+//! * [`Format::Csc`] — the CSR of `A^T`: column-major access, and a
+//!   *free* transpose view (a `GrB_TRAN` descriptor on a Csc operand
+//!   reads the stored array as-is);
+//! * [`Format::Bitmap`] — presence bits + value slots, for stored
+//!   fractions ≳ 6% where per-element indices cost more than they save;
+//! * [`Format::Hyper`] — hypersparse CSR over the non-empty rows only,
+//!   for `nnz ≪ nrows` where even the row-pointer array would dominate.
+//!
+//! Kernels stay layout-generic through the memoized [`MatrixStore::row_csr`]
+//! / [`MatrixStore::col_csr`] views: a store converts to the orientation a
+//! kernel asks for **once**, no matter how many consumers ask (the
+//! `OnceLock` serializes concurrent first requests from the parallel
+//! scheduler), which is the "convert an intermediate once instead of
+//! per-consumer" latitude of nonblocking mode. Specialized kernels
+//! (`mxm_hyper`, `mxv_bitmap`, the CSR×CSC dot product) dispatch on
+//! [`MatrixStore::layout`] instead and skip conversion entirely.
+
+pub mod bitmap;
+pub mod hyper;
+
+use std::sync::{Arc, OnceLock};
+
+use crate::index::Index;
+use crate::scalar::Scalar;
+use crate::storage::csr::Csr;
+
+pub use bitmap::Bitmap;
+pub use hyper::Hyper;
+
+/// A concrete storage layout (the engine's `GxB_FORMAT_*` analog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Compressed sparse row.
+    Csr,
+    /// Compressed sparse column (stored as CSR of the transpose).
+    Csc,
+    /// Presence bitmap + dense value slots.
+    Bitmap,
+    /// Hypersparse CSR (compressed non-empty-row list).
+    Hyper,
+}
+
+impl Format {
+    /// Stable lowercase name, used in execution traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Format::Csr => "csr",
+            Format::Csc => "csc",
+            Format::Bitmap => "bitmap",
+            Format::Hyper => "hyper",
+        }
+    }
+}
+
+/// Per-object format policy: how the engine stores values computed into
+/// an object (the `GxB_*`-style hint of the C extensions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FormatPolicy {
+    /// Pick the layout from observed shape/occupancy on every new value
+    /// (the thresholds below).
+    #[default]
+    Auto,
+    /// Always store in the given layout.
+    Force(Format),
+}
+
+/// `Auto` stores a bitmap when `nvals / (nrows*ncols) ≥ 1/16` (6.25%,
+/// inside the 4–10% break-even band measured in the `storage_formats`
+/// bench) …
+pub const BITMAP_DENSITY_DIVISOR: usize = 16;
+/// … but never allocates presence bits + slots for more than this many
+/// cells (64M — a dense `Option<f64>` plane of 1 GB).
+pub const BITMAP_MAX_CELLS: u128 = 1 << 26;
+/// `Auto` goes hypersparse when fewer than one row in this many holds
+/// any element (`nvals * 4 < nrows`).
+pub const HYPER_ROW_DIVISOR: usize = 4;
+
+impl FormatPolicy {
+    /// The layout this policy stores a value of the given shape and
+    /// occupancy in. `Auto` never picks `Csc` — column orientation is an
+    /// access-pattern choice, made by explicit hint or transpose views.
+    pub fn choose(self, nrows: Index, ncols: Index, nvals: usize) -> Format {
+        match self {
+            FormatPolicy::Force(f) => f,
+            FormatPolicy::Auto => {
+                let cells = nrows as u128 * ncols as u128;
+                if nvals == 0 || cells == 0 {
+                    Format::Csr
+                } else if cells <= BITMAP_MAX_CELLS
+                    && nvals as u128 * BITMAP_DENSITY_DIVISOR as u128 >= cells
+                {
+                    Format::Bitmap
+                } else if (nvals as u128) * (HYPER_ROW_DIVISOR as u128) < nrows as u128 {
+                    Format::Hyper
+                } else {
+                    Format::Csr
+                }
+            }
+        }
+    }
+}
+
+/// The four concrete layouts behind a [`MatrixStore`].
+#[derive(Debug)]
+pub enum Layout<T> {
+    /// Row-compressed content.
+    Csr(Arc<Csr<T>>),
+    /// Column-compressed content: the CSR of `A^T`.
+    Csc(Arc<Csr<T>>),
+    /// Presence bitmap + value slots.
+    Bitmap(Arc<Bitmap<T>>),
+    /// Hypersparse CSR.
+    Hyper(Arc<Hyper<T>>),
+}
+
+impl<T> Clone for Layout<T> {
+    // manual: the variants are Arcs, so no `T: Clone` bound is needed
+    fn clone(&self) -> Self {
+        match self {
+            Layout::Csr(c) => Layout::Csr(c.clone()),
+            Layout::Csc(t) => Layout::Csc(t.clone()),
+            Layout::Bitmap(b) => Layout::Bitmap(b.clone()),
+            Layout::Hyper(h) => Layout::Hyper(h.clone()),
+        }
+    }
+}
+
+/// One matrix value in one of four layouts, with memoized CSR views of
+/// both orientations so kernels can stay layout-generic.
+#[derive(Debug)]
+pub struct MatrixStore<T> {
+    nrows: Index,
+    ncols: Index,
+    layout: Layout<T>,
+    /// The layout this value was converted *from* by a policy migration
+    /// (`None` when it was produced natively) — surfaced in execution
+    /// traces as a migration event.
+    migrated_from: Option<Format>,
+    /// Memoized CSR of `A` (identity for `Csr` layouts).
+    row_view: OnceLock<Arc<Csr<T>>>,
+    /// Memoized CSR of `A^T` (identity for `Csc` layouts).
+    col_view: OnceLock<Arc<Csr<T>>>,
+}
+
+impl<T> Clone for MatrixStore<T> {
+    fn clone(&self) -> Self {
+        MatrixStore {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            layout: self.layout.clone(),
+            migrated_from: self.migrated_from,
+            row_view: self.row_view.clone(),
+            col_view: self.col_view.clone(),
+        }
+    }
+}
+
+impl<T: Scalar> MatrixStore<T> {
+    fn from_layout(nrows: Index, ncols: Index, layout: Layout<T>) -> Self {
+        MatrixStore {
+            nrows,
+            ncols,
+            layout,
+            migrated_from: None,
+            row_view: OnceLock::new(),
+            col_view: OnceLock::new(),
+        }
+    }
+
+    /// An empty store (no stored elements) in CSR layout.
+    pub fn empty(nrows: Index, ncols: Index) -> Self {
+        Self::csr(Csr::empty(nrows, ncols))
+    }
+
+    /// Wrap a CSR value without conversion.
+    pub fn csr(csr: Csr<T>) -> Self {
+        let (nrows, ncols) = (csr.nrows(), csr.ncols());
+        Self::from_layout(nrows, ncols, Layout::Csr(Arc::new(csr)))
+    }
+
+    /// Wrap a natively produced hypersparse value without conversion.
+    pub fn hyper(h: Hyper<T>) -> Self {
+        let (nrows, ncols) = (h.nrows(), h.ncols());
+        Self::from_layout(nrows, ncols, Layout::Hyper(Arc::new(h)))
+    }
+
+    /// Store a freshly computed CSR value under `policy`: choose the
+    /// layout from the value's shape/occupancy and convert if it differs
+    /// from CSR, recording the migration.
+    pub fn from_csr(csr: Csr<T>, policy: FormatPolicy) -> Self {
+        let target = policy.choose(csr.nrows(), csr.ncols(), csr.nvals());
+        Self::csr(csr).into_format(target)
+    }
+
+    /// Re-store this value under `policy` (the migration step of
+    /// `set_format` and of fast-path kernel outputs). A no-op when the
+    /// policy's choice matches the current layout.
+    pub fn apply_policy(self, policy: FormatPolicy) -> Self {
+        let target = policy.choose(self.nrows, self.ncols, self.nvals());
+        self.into_format(target)
+    }
+
+    /// Convert to an explicit layout, recording where the value came
+    /// from. No-op (and no record) when already there.
+    pub fn into_format(self, target: Format) -> Self {
+        let from = self.format();
+        if from == target {
+            return self;
+        }
+        let (nrows, ncols) = (self.nrows, self.ncols);
+        let layout = match target {
+            Format::Csr => Layout::Csr(self.row_csr()),
+            Format::Csc => Layout::Csc(self.col_csr()),
+            Format::Bitmap => Layout::Bitmap(Arc::new(Bitmap::from_csr(&self.row_csr()))),
+            Format::Hyper => Layout::Hyper(Arc::new(Hyper::from_csr(&self.row_csr()))),
+        };
+        let mut store = Self::from_layout(nrows, ncols, layout);
+        store.migrated_from = Some(from);
+        // the conversion source stays available as a view: a Csc→Csr
+        // migration keeps the column view it came from, and vice versa
+        match (&store.layout, self.layout) {
+            (Layout::Csr(_), Layout::Csc(t)) => {
+                let _ = store.col_view.set(t);
+            }
+            (Layout::Csc(_), Layout::Csr(c)) => {
+                let _ = store.row_view.set(c);
+            }
+            _ => {}
+        }
+        store
+    }
+
+    /// The concrete layout, for kernel dispatch.
+    #[inline]
+    pub fn layout(&self) -> &Layout<T> {
+        &self.layout
+    }
+
+    /// The current format tag.
+    pub fn format(&self) -> Format {
+        match self.layout {
+            Layout::Csr(_) => Format::Csr,
+            Layout::Csc(_) => Format::Csc,
+            Layout::Bitmap(_) => Format::Bitmap,
+            Layout::Hyper(_) => Format::Hyper,
+        }
+    }
+
+    /// The layout this value was migrated from, if a policy converted it.
+    pub fn migrated_from(&self) -> Option<Format> {
+        self.migrated_from
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of stored elements, from the layout's own bookkeeping.
+    pub fn nvals(&self) -> usize {
+        match &self.layout {
+            Layout::Csr(c) | Layout::Csc(c) => c.nvals(),
+            Layout::Bitmap(b) => b.nvals(),
+            Layout::Hyper(h) => h.nvals(),
+        }
+    }
+
+    /// Stored fraction `nvals / (nrows * ncols)`.
+    pub fn density(&self) -> f64 {
+        let cells = self.nrows as f64 * self.ncols as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.nvals() as f64 / cells
+        }
+    }
+
+    /// Probe `(i, j)` in the native layout — no conversion, O(1) for
+    /// bitmap, O(log row) for the compressed layouts.
+    pub fn get(&self, i: Index, j: Index) -> Option<&T> {
+        match &self.layout {
+            Layout::Csr(c) => c.get(i, j),
+            Layout::Csc(t) => t.get(j, i),
+            Layout::Bitmap(b) => b.get(i, j),
+            Layout::Hyper(h) => h.get(i, j),
+        }
+    }
+
+    /// All stored tuples in row-major order (`GrB_Matrix_extractTuples`).
+    pub fn to_tuples(&self) -> Vec<(Index, Index, T)> {
+        match &self.layout {
+            Layout::Csr(c) => c.to_tuples(),
+            Layout::Csc(_) => self.row_csr().to_tuples(),
+            Layout::Bitmap(b) => b.iter().map(|(i, j, v)| (i, j, v.clone())).collect(),
+            Layout::Hyper(h) => h.iter().map(|(i, j, v)| (i, j, v.clone())).collect(),
+        }
+    }
+
+    /// The CSR rendering of this value (row orientation), converting at
+    /// most once per store — concurrent consumers share the result.
+    pub fn row_csr(&self) -> Arc<Csr<T>> {
+        if let Layout::Csr(c) = &self.layout {
+            return c.clone();
+        }
+        self.row_view
+            .get_or_init(|| {
+                Arc::new(match &self.layout {
+                    Layout::Csr(_) => unreachable!(),
+                    Layout::Csc(t) => t.transpose(),
+                    Layout::Bitmap(b) => b.to_csr(),
+                    Layout::Hyper(h) => h.to_csr(),
+                })
+            })
+            .clone()
+    }
+
+    /// The CSR rendering of `A^T` (column orientation) — the engine's
+    /// transpose view, converting at most once per store. For a `Csc`
+    /// store this is the stored array itself: transpose is free.
+    pub fn col_csr(&self) -> Arc<Csr<T>> {
+        if let Layout::Csc(t) = &self.layout {
+            return t.clone();
+        }
+        self.col_view
+            .get_or_init(|| Arc::new(self.row_csr().transpose()))
+            .clone()
+    }
+
+    /// `true` when the CSR view of the requested orientation is already
+    /// materialized (native layout or cached conversion) — lets kernels
+    /// prefer plans whose operand views are free.
+    pub fn csr_view_ready(&self, transposed: bool) -> bool {
+        if transposed {
+            matches!(self.layout, Layout::Csc(_)) || self.col_view.get().is_some()
+        } else {
+            matches!(self.layout, Layout::Csr(_)) || self.row_view.get().is_some()
+        }
+    }
+}
+
+impl<T: Scalar> crate::exec::node::StorageMeta for MatrixStore<T> {
+    fn trace_shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+    fn trace_nvals(&self) -> usize {
+        self.nvals()
+    }
+    fn trace_format(&self) -> &'static str {
+        self.format().as_str()
+    }
+    fn trace_migrated_from(&self) -> Option<&'static str> {
+        self.migrated_from.map(Format::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr<i32> {
+        Csr::from_sorted_tuples(3, 3, vec![(0, 0, 1), (0, 2, 2), (2, 0, 3), (2, 1, 4)])
+    }
+
+    #[test]
+    fn auto_policy_thresholds() {
+        let auto = FormatPolicy::Auto;
+        // 4/9 stored = 44% -> bitmap
+        assert_eq!(auto.choose(3, 3, 4), Format::Bitmap);
+        // far below 1/16 density, nnz*4 >= nrows -> csr
+        assert_eq!(auto.choose(1000, 1000, 10_000), Format::Csr);
+        // nnz << nrows -> hyper
+        assert_eq!(auto.choose(1_000_000, 1_000_000, 1_000), Format::Hyper);
+        // empty -> csr
+        assert_eq!(auto.choose(10, 10, 0), Format::Csr);
+        // dense but too many cells for a bitmap plane -> csr
+        assert_eq!(auto.choose(1 << 14, 1 << 14, usize::MAX / 2), Format::Csr);
+        // forced always wins
+        assert_eq!(
+            FormatPolicy::Force(Format::Hyper).choose(3, 3, 4),
+            Format::Hyper
+        );
+    }
+
+    #[test]
+    fn all_formats_preserve_content() {
+        let csr = sample();
+        for fmt in [Format::Csr, Format::Csc, Format::Bitmap, Format::Hyper] {
+            let store = MatrixStore::csr(csr.clone()).into_format(fmt);
+            assert_eq!(store.format(), fmt, "{fmt:?}");
+            assert_eq!(store.nvals(), 4);
+            assert_eq!(store.to_tuples(), csr.to_tuples(), "{fmt:?}");
+            assert_eq!(store.get(0, 2), Some(&2), "{fmt:?}");
+            assert_eq!(store.get(1, 1), None, "{fmt:?}");
+            assert_eq!(*store.row_csr(), csr, "{fmt:?} row view");
+            assert_eq!(*store.col_csr(), csr.transpose(), "{fmt:?} col view");
+        }
+    }
+
+    #[test]
+    fn migration_is_recorded_once() {
+        let store = MatrixStore::csr(sample());
+        assert_eq!(store.migrated_from(), None);
+        let hyper = store.into_format(Format::Hyper);
+        assert_eq!(hyper.migrated_from(), Some(Format::Csr));
+        // converting to the format it's already in records nothing new
+        let same = hyper.clone().into_format(Format::Hyper);
+        assert_eq!(same.migrated_from(), Some(Format::Csr));
+    }
+
+    #[test]
+    fn csc_store_has_free_transpose_view() {
+        let store = MatrixStore::csr(sample()).into_format(Format::Csc);
+        assert!(store.csr_view_ready(true));
+        // migration kept the CSR it came from as the row view
+        assert!(store.csr_view_ready(false));
+        let t = store.col_csr();
+        assert_eq!(*t, sample().transpose());
+    }
+
+    #[test]
+    fn views_are_memoized() {
+        let store = MatrixStore::csr(sample()).into_format(Format::Bitmap);
+        assert!(!store.csr_view_ready(false));
+        let a = store.row_csr();
+        assert!(store.csr_view_ready(false));
+        let b = store.row_csr();
+        assert!(Arc::ptr_eq(&a, &b), "second request reuses the conversion");
+    }
+
+    #[test]
+    fn from_csr_applies_auto_migration() {
+        // dense enough for bitmap under Auto
+        let store = MatrixStore::from_csr(sample(), FormatPolicy::Auto);
+        assert_eq!(store.format(), Format::Bitmap);
+        assert_eq!(store.migrated_from(), Some(Format::Csr));
+        // forced CSR keeps it native with no migration
+        let store = MatrixStore::from_csr(sample(), FormatPolicy::Force(Format::Csr));
+        assert_eq!(store.format(), Format::Csr);
+        assert_eq!(store.migrated_from(), None);
+    }
+
+    #[test]
+    fn density_reporting() {
+        let store = MatrixStore::csr(sample());
+        assert!((store.density() - 4.0 / 9.0).abs() < 1e-12);
+    }
+}

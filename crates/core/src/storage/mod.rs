@@ -3,8 +3,10 @@
 
 pub mod coo;
 pub mod csr;
+pub mod engine;
 pub mod vec;
 
 pub use coo::{build_matrix, build_vector};
 pub use csr::Csr;
+pub use engine::{Bitmap, Format, FormatPolicy, Hyper, Layout, MatrixStore};
 pub use vec::SparseVec;

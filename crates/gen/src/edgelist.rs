@@ -107,7 +107,7 @@ impl EdgeList {
             adj[u].push((v, w));
         }
         for l in &mut adj {
-            l.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            l.sort_unstable_by_key(|e| e.0);
         }
         adj
     }
@@ -170,10 +170,7 @@ mod tests {
         assert_eq!(adj[0], vec![1, 3]);
         assert_eq!(adj[2], vec![0]);
         let wadj = e.to_weighted_adjacency(0.0, 1.0, 5);
-        assert_eq!(
-            wadj[0].iter().map(|x| x.0).collect::<Vec<_>>(),
-            adj[0]
-        );
+        assert_eq!(wadj[0].iter().map(|x| x.0).collect::<Vec<_>>(), adj[0]);
     }
 
     #[test]

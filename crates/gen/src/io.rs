@@ -1,10 +1,130 @@
-//! Plain-text edge-list I/O: the `src dst [weight]` lines-and-comments
-//! format shared by SNAP dumps and Matrix-Market-adjacent tooling, so
-//! examples can run on real datasets when available.
+//! Plain-text graph/matrix I/O: the `src dst [weight]` edge-list format
+//! shared by SNAP dumps, and the Matrix Market coordinate format
+//! (`.mtx`) used by SuiteSparse collection graphs — so benches and
+//! examples can load real datasets when available.
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
 use crate::edgelist::EdgeList;
+
+/// A matrix parsed from a Matrix Market coordinate file: shape plus
+/// 0-based `(row, col, value)` tuples (pattern entries read as `1.0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MtxMatrix {
+    pub nrows: usize,
+    pub ncols: usize,
+    pub tuples: Vec<(usize, usize, f64)>,
+}
+
+fn mtx_err(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Read a Matrix Market coordinate file (`%%MatrixMarket matrix
+/// coordinate real|integer|pattern general|symmetric`). Indices are
+/// converted from the format's 1-based convention to 0-based; symmetric
+/// files are expanded to both triangles (off-diagonal entries
+/// duplicated), so the result is always a `general` tuple set.
+pub fn read_mtx(r: impl Read) -> std::io::Result<MtxMatrix> {
+    let mut lines = BufReader::new(r).lines();
+
+    // banner: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let banner = lines
+        .next()
+        .ok_or_else(|| mtx_err("empty .mtx file".into()))??;
+    let tokens: Vec<String> = banner
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(mtx_err(format!("not a MatrixMarket banner: {banner}")));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(mtx_err(format!(
+            "only `coordinate` .mtx supported, got `{}`",
+            tokens[2]
+        )));
+    }
+    let pattern = match tokens[3].as_str() {
+        "real" | "integer" => false,
+        "pattern" => true,
+        f => return Err(mtx_err(format!("unsupported .mtx field `{f}`"))),
+    };
+    let symmetric = match tokens[4].as_str() {
+        "general" => false,
+        "symmetric" => true,
+        s => return Err(mtx_err(format!("unsupported .mtx symmetry `{s}`"))),
+    };
+
+    // size line: first non-comment line after the banner
+    let mut dims: Option<(usize, usize, usize)> = None;
+    let mut tuples: Vec<(usize, usize, f64)> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let bad = || mtx_err(format!("line {}: malformed .mtx entry `{t}`", lineno + 2));
+        let mut parts = t.split_whitespace();
+        let a: usize = parts.next().and_then(|x| x.parse().ok()).ok_or_else(bad)?;
+        let b: usize = parts.next().and_then(|x| x.parse().ok()).ok_or_else(bad)?;
+        match dims {
+            None => {
+                let nnz: usize = parts.next().and_then(|x| x.parse().ok()).ok_or_else(bad)?;
+                dims = Some((a, b, nnz));
+                tuples.reserve(nnz);
+            }
+            Some((nrows, ncols, _)) => {
+                let v: f64 = if pattern {
+                    1.0
+                } else {
+                    parts.next().and_then(|x| x.parse().ok()).ok_or_else(bad)?
+                };
+                if a < 1 || a > nrows || b < 1 || b > ncols {
+                    return Err(mtx_err(format!(
+                        "line {}: entry ({a}, {b}) outside {nrows}x{ncols}",
+                        lineno + 2
+                    )));
+                }
+                let (i, j) = (a - 1, b - 1);
+                tuples.push((i, j, v));
+                if symmetric && i != j {
+                    tuples.push((j, i, v));
+                }
+            }
+        }
+    }
+    let (nrows, ncols, nnz) = dims.ok_or_else(|| mtx_err("missing .mtx size line".into()))?;
+    let stored = if symmetric {
+        tuples.iter().filter(|&&(i, j, _)| i <= j).count()
+    } else {
+        tuples.len()
+    };
+    if stored != nnz {
+        return Err(mtx_err(format!(
+            "size line promises {nnz} entries, file holds {stored}"
+        )));
+    }
+    tuples.sort_unstable_by_key(|&(i, j, _)| (i, j));
+    Ok(MtxMatrix {
+        nrows,
+        ncols,
+        tuples,
+    })
+}
+
+/// Write a matrix as Matrix Market `coordinate real general` (1-based
+/// indices, one `row col value` line per stored tuple).
+pub fn write_mtx(w: impl Write, m: &MtxMatrix) -> std::io::Result<()> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(out, "{} {} {}", m.nrows, m.ncols, m.tuples.len())?;
+    for &(i, j, v) in &m.tuples {
+        writeln!(out, "{} {} {v}", i + 1, j + 1)?;
+    }
+    out.flush()
+}
 
 /// Parse an edge list from `src dst` lines. `#` and `%` lines are
 /// comments; vertex count is `max id + 1` unless a larger `n` is given.
@@ -40,10 +160,11 @@ pub fn read_edge_list(r: impl Read, min_n: Option<usize>) -> std::io::Result<Edg
     Ok(EdgeList::new(n, edges))
 }
 
+/// A vertex count plus weighted `(src, dst, weight)` edges.
+pub type WeightedEdges = (usize, Vec<(usize, usize, f64)>);
+
 /// Parse a weighted edge list from `src dst weight` lines.
-pub fn read_weighted_edge_list(
-    r: impl Read,
-) -> std::io::Result<(usize, Vec<(usize, usize, f64)>)> {
+pub fn read_weighted_edge_list(r: impl Read) -> std::io::Result<WeightedEdges> {
     let mut edges = Vec::new();
     let mut max_id = 0usize;
     for (lineno, line) in BufReader::new(r).lines().enumerate() {
@@ -127,5 +248,65 @@ mod tests {
         let g = read_edge_list("".as_bytes(), None).unwrap();
         assert_eq!(g.n, 0);
         assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn mtx_round_trip() {
+        let m = MtxMatrix {
+            nrows: 4,
+            ncols: 3,
+            tuples: vec![(0, 2, 1.5), (1, 0, -2.0), (3, 1, 7.0)],
+        };
+        let mut buf = Vec::new();
+        write_mtx(&mut buf, &m).unwrap();
+        let back = read_mtx(&buf[..]).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn mtx_pattern_and_comments() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    % a comment\n\
+                    3 3 2\n\
+                    1 2\n\
+                    3 3\n";
+        let m = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!((m.nrows, m.ncols), (3, 3));
+        assert_eq!(m.tuples, vec![(0, 1, 1.0), (2, 2, 1.0)]);
+    }
+
+    #[test]
+    fn mtx_symmetric_expands_both_triangles() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 3\n\
+                    1 1 5.0\n\
+                    2 1 1.0\n\
+                    3 2 2.0\n";
+        let m = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!(
+            m.tuples,
+            vec![
+                (0, 0, 5.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 2.0),
+                (2, 1, 2.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn mtx_rejects_malformed_input() {
+        assert!(read_mtx("".as_bytes()).is_err());
+        assert!(read_mtx("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
+        // out-of-bounds entry
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_mtx(text.as_bytes()).is_err());
+        // entry-count mismatch
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_mtx(text.as_bytes()).is_err());
+        // 0-based index (mtx is 1-based)
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_mtx(text.as_bytes()).is_err());
     }
 }

@@ -18,7 +18,9 @@ pub mod social;
 pub mod structured;
 
 pub use edgelist::EdgeList;
-pub use io::{read_edge_list, read_weighted_edge_list, write_edge_list};
+pub use io::{
+    read_edge_list, read_mtx, read_weighted_edge_list, write_edge_list, write_mtx, MtxMatrix,
+};
 pub use random::{erdos_renyi_gnm, erdos_renyi_gnp, rmat, RmatParams};
 pub use social::{barabasi_albert, watts_strogatz};
 pub use structured::{binary_tree, bipartite_random, complete, cycle, grid2d, path, star};

@@ -75,7 +75,10 @@ pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Ed
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let RmatParams { a, b, c, d } = params;
     let total = a + b + c + d;
-    assert!((total - 1.0).abs() < 1e-9, "quadrant probabilities must sum to 1");
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "quadrant probabilities must sum to 1"
+    );
     let mut edges = Vec::with_capacity(m);
     for _ in 0..m {
         let (mut u, mut v) = (0usize, 0usize);
@@ -158,12 +161,25 @@ mod tests {
         let g_def = rmat(10, 16, RmatParams::default(), 7).dedup();
         let max_uni = *g_uni.out_degrees().iter().max().unwrap();
         let max_def = *g_def.out_degrees().iter().max().unwrap();
-        assert!(max_def > 2 * max_uni, "default RMAT should be much more skewed");
+        assert!(
+            max_def > 2 * max_uni,
+            "default RMAT should be much more skewed"
+        );
     }
 
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn rmat_rejects_bad_params() {
-        rmat(4, 2, RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }, 0);
+        rmat(
+            4,
+            2,
+            RmatParams {
+                a: 0.5,
+                b: 0.5,
+                c: 0.5,
+                d: 0.5,
+            },
+            0,
+        );
     }
 }

@@ -44,10 +44,7 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> EdgeList {
             endpoints.push(t);
         }
     }
-    let sym: Vec<(usize, usize)> = edges
-        .iter()
-        .flat_map(|&(u, v)| [(u, v), (v, u)])
-        .collect();
+    let sym: Vec<(usize, usize)> = edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect();
     EdgeList::new(n, sym).dedup()
 }
 
@@ -56,7 +53,7 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> EdgeList {
 /// to a random endpoint with probability `beta`. Undirected (both
 /// directions stored); `k` must be even and `< n`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> EdgeList {
-    assert!(k % 2 == 0, "k must be even");
+    assert!(k.is_multiple_of(2), "k must be even");
     assert!(k < n, "k must be below n");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut edges: Vec<(usize, usize)> = Vec::new();

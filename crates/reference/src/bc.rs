@@ -110,10 +110,7 @@ mod tests {
 
     #[test]
     fn batch_sums_to_full() {
-        let g = AdjGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (4, 5), (0, 2)],
-        );
+        let g = AdjGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (4, 5), (0, 2)]);
         let full = brandes(&g);
         let part1 = brandes_batch(&g, &[0, 1, 2]);
         let part2 = brandes_batch(&g, &[3, 4, 5]);

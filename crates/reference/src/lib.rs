@@ -86,7 +86,7 @@ impl WeightedGraph {
             adj[u].push((v, w));
         }
         for l in &mut adj {
-            l.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            l.sort_unstable_by_key(|e| e.0);
         }
         WeightedGraph { n, adj }
     }

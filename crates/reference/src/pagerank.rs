@@ -11,10 +11,7 @@ pub fn pagerank(g: &AdjGraph, d: f64, tol: f64, max_iters: usize) -> (Vec<f64>, 
     let mut rank = vec![1.0 / n as f64; n];
     let mut next = vec![0.0f64; n];
     for it in 1..=max_iters {
-        let dangling: f64 = (0..n)
-            .filter(|&v| out_deg[v] == 0)
-            .map(|v| rank[v])
-            .sum();
+        let dangling: f64 = (0..n).filter(|&v| out_deg[v] == 0).map(|v| rank[v]).sum();
         let base = (1.0 - d) / n as f64 + d * dangling / n as f64;
         next.iter_mut().for_each(|x| *x = base);
         for u in 0..n {

@@ -46,7 +46,11 @@ fn main() -> Result<()> {
 
     // --- maximal independent set ---
     let mis = maximal_independent_set(&ctx, &a, 42)?;
-    println!("\nmaximal independent set: {} of {} vertices", mis.len(), g.n);
+    println!(
+        "\nmaximal independent set: {} of {} vertices",
+        mis.len(),
+        g.n
+    );
     // verify independence via one masked product: edges inside the set
     let flags: Vec<(usize, bool)> = mis.iter().map(|&v| (v, true)).collect();
     let set = Vector::from_tuples(g.n, &flags)?;
@@ -60,10 +64,7 @@ fn main() -> Result<()> {
         &a,
         &Descriptor::default().structural_mask().replace(),
     )?;
-    println!(
-        "edges between set members (must be 0): {}",
-        hits.nvals()?
-    );
+    println!("edges between set members (must be 0): {}", hits.nvals()?);
     assert_eq!(hits.nvals()?, 0);
     Ok(())
 }

@@ -15,16 +15,44 @@ fn main() -> Result<()> {
     let ctx = Context::nonblocking();
     let a = Matrix::from_tuples(n, n, &ring)?;
     let c = Matrix::<i64>::new(n, n)?;
-    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())?;
-    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &c, &c, &Descriptor::default())?;
+    ctx.mxm(
+        &c,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )?;
+    ctx.mxm(
+        &c,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &c,
+        &c,
+        &Descriptor::default(),
+    )?;
     println!("after two mxm calls: complete = {}", c.is_complete());
     println!("pending operations in the sequence: {}", ctx.pending_ops());
     ctx.wait()?;
-    println!("after wait(): complete = {}, C has {} entries", c.is_complete(), c.nvals()?);
+    println!(
+        "after wait(): complete = {}, C has {} entries",
+        c.is_complete(),
+        c.nvals()?
+    );
 
     println!("\n--- exporting methods force completion on their own ---");
     let d = Matrix::<i64>::new(n, n)?;
-    ctx.mxm(&d, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())?;
+    ctx.mxm(
+        &d,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )?;
     println!("deferred: complete = {}", d.is_complete());
     let nv = d.nvals()?; // reads into non-opaque data: must complete
     println!("nvals() returned {nv}; complete = {}", d.is_complete());
@@ -33,7 +61,15 @@ fn main() -> Result<()> {
     println!("\n--- dead intermediates are never computed (lazy DCE) ---");
     {
         let dead = Matrix::<i64>::new(n, n)?;
-        ctx.mxm(&dead, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())?;
+        ctx.mxm(
+            &dead,
+            NoMask,
+            NoAccum,
+            plus_times::<i64>(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )?;
         println!("built a deferred intermediate, then dropped the handle...");
     } // `dead` dropped, never observed
     ctx.wait()?;
@@ -42,7 +78,15 @@ fn main() -> Result<()> {
     println!("\n--- execution errors surface at wait(), not at the call ---");
     let bad = Matrix::<i64>::new(n, n)?;
     ctx.inject_fault(Error::OutOfMemory("simulated allocation failure".into()));
-    let submit = ctx.mxm(&bad, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default());
+    let submit = ctx.mxm(
+        &bad,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    );
     println!("the method call itself returned: {submit:?}");
     match ctx.wait() {
         Err(e) => println!("wait() reported: {e}"),
@@ -57,8 +101,24 @@ fn main() -> Result<()> {
     println!("\n--- blocking and nonblocking agree on results (§IV) ---");
     let bctx = Context::blocking();
     let cb = Matrix::<i64>::new(n, n)?;
-    bctx.mxm(&cb, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())?;
-    bctx.mxm(&cb, NoMask, NoAccum, plus_times::<i64>(), &cb, &cb, &Descriptor::default())?;
+    bctx.mxm(
+        &cb,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )?;
+    bctx.mxm(
+        &cb,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &cb,
+        &cb,
+        &Descriptor::default(),
+    )?;
     assert_eq!(cb.extract_tuples()?, c.extract_tuples()?);
     println!("identical results from both modes.");
     Ok(())

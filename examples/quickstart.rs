@@ -13,21 +13,21 @@ fn main() -> Result<()> {
     // matrix: stored elements are edges, absent elements are *undefined*
     // (not zero!).
     let n = 4;
-    let a = Matrix::<f64>::from_tuples(
-        n,
-        n,
-        &[
-            (0, 1, 1.0),
-            (0, 2, 5.0),
-            (1, 2, 1.0),
-            (2, 3, 1.0),
-        ],
-    )?;
+    let a =
+        Matrix::<f64>::from_tuples(n, n, &[(0, 1, 1.0), (0, 2, 5.0), (1, 2, 1.0), (2, 3, 1.0)])?;
     println!("adjacency: {} stored edges in a {n}x{n} matrix", a.nvals()?);
 
     // --- two-hop reachability: C = A +.* A over standard arithmetic ---
     let c = Matrix::<f64>::new(n, n)?;
-    ctx.mxm(&c, NoMask, NoAccum, plus_times::<f64>(), &a, &a, &Descriptor::default())?;
+    ctx.mxm(
+        &c,
+        NoMask,
+        NoAccum,
+        plus_times::<f64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )?;
     println!("\ntwo-hop path weights (plus_times):");
     for (i, j, v) in c.extract_tuples()? {
         println!("  {i} -> {j}: {v}");
@@ -35,7 +35,15 @@ fn main() -> Result<()> {
 
     // --- same multiplication, different algebra: min.+ gives shortest
     //     two-hop distances (Table I's semiring swap in action) ---
-    ctx.mxm(&c, NoMask, NoAccum, min_plus::<f64>(), &a, &a, &Descriptor::default().replace())?;
+    ctx.mxm(
+        &c,
+        NoMask,
+        NoAccum,
+        min_plus::<f64>(),
+        &a,
+        &a,
+        &Descriptor::default().replace(),
+    )?;
     println!("\nshortest two-hop distances (min_plus):");
     for (i, j, v) in c.extract_tuples()? {
         println!("  {i} -> {j}: {v}");

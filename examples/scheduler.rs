@@ -15,7 +15,9 @@ fn random_ish(n: usize, seed: u64) -> Vec<(usize, usize, i64)> {
     let mut t = Vec::new();
     for i in 0..n {
         for _ in 0..n / 8 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % n;
             t.push((i, j, ((s >> 11) % 7) as i64 - 3));
         }
@@ -42,14 +44,19 @@ fn main() -> Result<()> {
         println!("pending before wait: {}", ctx.pending_ops());
         ctx.wait()?;
         let trace = ctx.take_trace();
-        let workers: std::collections::BTreeSet<usize> =
-            trace.iter().map(|e| e.worker).collect();
+        let workers: std::collections::BTreeSet<usize> = trace.iter().map(|e| e.worker).collect();
         println!("scheduled {} nodes on workers {workers:?}", trace.len());
         for e in trace.iter().take(3) {
             println!(
                 "  seq={:?} kind={} {}x{} nvals={} queue={}us run={}us worker={}",
-                e.seq, e.kind, e.rows, e.cols, e.nvals,
-                e.queue_ns() / 1000, e.run_ns() / 1000, e.worker
+                e.seq,
+                e.kind,
+                e.rows,
+                e.cols,
+                e.nvals,
+                e.queue_ns() / 1000,
+                e.run_ns() / 1000,
+                e.worker
             );
         }
     }
@@ -80,6 +87,9 @@ fn main() -> Result<()> {
     let err = ctx.wait().unwrap_err();
     println!("wait() -> {err}");
     println!("GrB_error(): {:?}", ctx.error());
-    println!("poisoned consumer observation: {:?}", c1.extract_tuples().err());
+    println!(
+        "poisoned consumer observation: {:?}",
+        c1.extract_tuples().err()
+    );
     Ok(())
 }

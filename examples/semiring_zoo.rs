@@ -12,33 +12,69 @@ fn main() -> Result<()> {
 
     // a small weighted digraph: 0 -> 1 -> 3, 0 -> 2 -> 3
     let n = 4;
-    let edges = [(0usize, 1usize, 2.0f64), (0, 2, 5.0), (1, 3, 4.0), (2, 3, 1.0)];
+    let edges = [
+        (0usize, 1usize, 2.0f64),
+        (0, 2, 5.0),
+        (1, 3, 4.0),
+        (2, 3, 1.0),
+    ];
 
     println!("=== Table I, row 1: standard arithmetic <R, +, x, 0> ===");
     let a = Matrix::from_tuples(n, n, &edges)?;
     let c = Matrix::<f64>::new(n, n)?;
-    ctx.mxm(&c, NoMask, NoAccum, plus_times::<f64>(), &a, &a, &Descriptor::default())?;
+    ctx.mxm(
+        &c,
+        NoMask,
+        NoAccum,
+        plus_times::<f64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )?;
     println!("  (A^2)(0,3) = sum of path products = {:?}", c.get(0, 3)?);
 
     println!("=== Table I, row 2: max-plus <R ∪ -inf, max, +, -inf> ===");
-    ctx.mxm(&c, NoMask, NoAccum, max_plus::<f64>(), &a, &a, &Descriptor::default().replace())?;
-    println!("  longest two-hop 0->3 = {:?} (critical path)", c.get(0, 3)?);
+    ctx.mxm(
+        &c,
+        NoMask,
+        NoAccum,
+        max_plus::<f64>(),
+        &a,
+        &a,
+        &Descriptor::default().replace(),
+    )?;
+    println!(
+        "  longest two-hop 0->3 = {:?} (critical path)",
+        c.get(0, 3)?
+    );
 
     println!("=== Table I, row 3: min-max <R+ ∪ inf, min, max, inf> ===");
-    ctx.mxm(&c, NoMask, NoAccum, min_max::<f64>(), &a, &a, &Descriptor::default().replace())?;
+    ctx.mxm(
+        &c,
+        NoMask,
+        NoAccum,
+        min_max::<f64>(),
+        &a,
+        &a,
+        &Descriptor::default().replace(),
+    )?;
     println!(
         "  minimax two-hop 0->3 = {:?} (best bottleneck edge)",
         c.get(0, 3)?
     );
 
     println!("=== Table I, row 4: Galois field GF(2) <bool, xor, and> ===");
-    let b = Matrix::from_tuples(
-        n,
-        n,
-        &edges.map(|(i, j, _)| (i, j, true)),
-    )?;
+    let b = Matrix::from_tuples(n, n, &edges.map(|(i, j, _)| (i, j, true)))?;
     let p = Matrix::<bool>::new(n, n)?;
-    ctx.mxm(&p, NoMask, NoAccum, xor_and(), &b, &b, &Descriptor::default())?;
+    ctx.mxm(
+        &p,
+        NoMask,
+        NoAccum,
+        xor_and(),
+        &b,
+        &b,
+        &Descriptor::default(),
+    )?;
     println!(
         "  parity of two-hop walk count 0->3 = {:?} (two routes -> even)",
         p.get(0, 3)?
@@ -76,7 +112,15 @@ fn main() -> Result<()> {
     );
 
     println!("\n=== and the bonus tropical semiring: min-plus shortest paths ===");
-    ctx.mxm(&c, NoMask, NoAccum, min_plus::<f64>(), &a, &a, &Descriptor::default().replace())?;
+    ctx.mxm(
+        &c,
+        NoMask,
+        NoAccum,
+        min_plus::<f64>(),
+        &a,
+        &a,
+        &Descriptor::default().replace(),
+    )?;
     println!("  shortest two-hop 0->3 = {:?}", c.get(0, 3)?);
 
     Ok(())

@@ -18,7 +18,10 @@ fn main() -> Result<()> {
 
     let g = erdos_renyi_gnm(n, n * deg / 2, 7);
     let weighted = g.weighted_tuples(1.0, 10.0, 99);
-    println!("G(n={n}, m={}) with uniform weights in [1, 10)", weighted.len());
+    println!(
+        "G(n={n}, m={}) with uniform weights in [1, 10)",
+        weighted.len()
+    );
 
     let ctx = Context::blocking();
     let a = Matrix::from_tuples(n, n, &weighted)?;

@@ -15,7 +15,9 @@ fn test_graphs() -> Vec<EdgeList> {
     vec![
         erdos_renyi_gnm(30, 90, 1).without_self_loops().dedup(),
         erdos_renyi_gnm(50, 100, 2).without_self_loops().dedup(),
-        rmat(6, 6, RmatParams::default(), 3).without_self_loops().dedup(),
+        rmat(6, 6, RmatParams::default(), 3)
+            .without_self_loops()
+            .dedup(),
         grid2d(5, 6),
         EdgeList::new(10, vec![(0, 1), (1, 2), (5, 6)]),
     ]

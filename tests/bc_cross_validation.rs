@@ -6,8 +6,7 @@
 use graphblas_algorithms::{bc_update, betweenness};
 use graphblas_core::prelude::*;
 use graphblas_gen::{
-    binary_tree, complete, cycle, erdos_renyi_gnm, grid2d, path, rmat, star, EdgeList,
-    RmatParams,
+    binary_tree, complete, cycle, erdos_renyi_gnm, grid2d, path, rmat, star, EdgeList, RmatParams,
 };
 use graphblas_reference::{
     bc::{brandes, brandes_batch},
@@ -61,7 +60,9 @@ fn erdos_renyi_various_batches() {
 #[test]
 fn rmat_skewed() {
     let ctx = Context::blocking();
-    let g = rmat(7, 6, RmatParams::default(), 4).dedup().without_self_loops();
+    let g = rmat(7, 6, RmatParams::default(), 4)
+        .dedup()
+        .without_self_loops();
     check_graph(&ctx, &g, 16, 1e-1);
 }
 

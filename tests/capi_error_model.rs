@@ -9,11 +9,7 @@ use graphblas_capi::{
 use graphblas_core::error::Error;
 
 fn int32_semiring() -> GrbSemiring {
-    let add = GrbMonoid::new(
-        GrbBinaryOp::plus(GrbType::Int32).unwrap(),
-        Value::Int32(0),
-    )
-    .unwrap();
+    let add = GrbMonoid::new(GrbBinaryOp::plus(GrbType::Int32).unwrap(), Value::Int32(0)).unwrap();
     GrbSemiring::new(add, GrbBinaryOp::times(GrbType::Int32).unwrap()).unwrap()
 }
 
@@ -23,8 +19,16 @@ fn grb_uninitialized_object() {
     // the session lock while guaranteeing no context is live)
     grb::with_no_session(|| {
         let a = GrbMatrix::new(GrbType::Int32, 1, 1).unwrap();
-        let e = grb::mxm(&a, None, None, &int32_semiring(), &a, &a, &Descriptor::default())
-            .unwrap_err();
+        let e = grb::mxm(
+            &a,
+            None,
+            None,
+            &int32_semiring(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap_err();
         assert_eq!(e.code_name(), "GrB_UNINITIALIZED_OBJECT");
     })
     .unwrap();
@@ -35,8 +39,16 @@ fn grb_dimension_mismatch() {
     grb::with_session(Mode::Blocking, || {
         let a = GrbMatrix::new(GrbType::Int32, 2, 3).unwrap();
         let c = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
-        let e = grb::mxm(&c, None, None, &int32_semiring(), &a, &a, &Descriptor::default())
-            .unwrap_err();
+        let e = grb::mxm(
+            &c,
+            None,
+            None,
+            &int32_semiring(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap_err();
         assert_eq!(e.code_name(), "GrB_DIMENSION_MISMATCH");
     })
     .unwrap();
@@ -48,8 +60,16 @@ fn grb_domain_mismatch_everywhere_the_spec_names_it() {
         // output domain
         let a = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
         let c = GrbMatrix::new(GrbType::Fp64, 2, 2).unwrap();
-        let e = grb::mxm(&c, None, None, &int32_semiring(), &a, &a, &Descriptor::default())
-            .unwrap_err();
+        let e = grb::mxm(
+            &c,
+            None,
+            None,
+            &int32_semiring(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap_err();
         assert_eq!(e.code_name(), "GrB_DOMAIN_MISMATCH");
         // accumulator domain
         let ok_out = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
@@ -66,18 +86,12 @@ fn grb_domain_mismatch_everywhere_the_spec_names_it() {
         .unwrap_err();
         assert_eq!(e.code_name(), "GrB_DOMAIN_MISMATCH");
         // monoid construction
-        let e = GrbMonoid::new(
-            GrbBinaryOp::plus(GrbType::Int32).unwrap(),
-            Value::Fp32(0.0),
-        )
-        .unwrap_err();
+        let e = GrbMonoid::new(GrbBinaryOp::plus(GrbType::Int32).unwrap(), Value::Fp32(0.0))
+            .unwrap_err();
         assert_eq!(e.code_name(), "GrB_DOMAIN_MISMATCH");
         // semiring construction
-        let add = GrbMonoid::new(
-            GrbBinaryOp::plus(GrbType::Int32).unwrap(),
-            Value::Int32(0),
-        )
-        .unwrap();
+        let add =
+            GrbMonoid::new(GrbBinaryOp::plus(GrbType::Int32).unwrap(), Value::Int32(0)).unwrap();
         let e = GrbSemiring::new(add, GrbBinaryOp::times(GrbType::Fp64).unwrap()).unwrap_err();
         assert_eq!(e.code_name(), "GrB_DOMAIN_MISMATCH");
     })
@@ -124,7 +138,16 @@ fn nonblocking_error_at_wait_with_grb_error_text() {
         let c = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
         grb::inject_fault(Error::OutOfMemory("simulated device OOM".into())).unwrap();
         // the deferred call itself succeeds (§V: only API checks ran)
-        grb::mxm(&c, None, None, &int32_semiring(), &a, &a, &Descriptor::default()).unwrap();
+        grb::mxm(
+            &c,
+            None,
+            None,
+            &int32_semiring(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap();
         // GrB_wait reports the execution error; GrB_error has the text
         let e = grb::wait().unwrap_err();
         assert_eq!(e.code_name(), "GrB_OUT_OF_MEMORY");
@@ -142,8 +165,15 @@ fn figure2_success_path_returns_unit() {
         a.set(0, 1, Value::Int32(3)).unwrap();
         let c = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
         // GrB_SUCCESS is the Ok arm
-        let r: graphblas_core::Result<()> =
-            grb::mxm(&c, None, None, &int32_semiring(), &a, &a, &Descriptor::default());
+        let r: graphblas_core::Result<()> = grb::mxm(
+            &c,
+            None,
+            None,
+            &int32_semiring(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        );
         assert!(r.is_ok());
     })
     .unwrap();

@@ -12,18 +12,50 @@ const N: usize = 4;
 
 #[derive(Debug, Clone)]
 enum Step {
-    Mxm { c: usize, a: usize, b: usize, masked: bool, accum: bool },
-    EwiseAdd { c: usize, a: usize, b: usize },
-    EwiseMult { c: usize, a: usize, b: usize },
-    Transpose { c: usize, a: usize },
-    Fill { c: usize, v: i8 },
+    Mxm {
+        c: usize,
+        a: usize,
+        b: usize,
+        masked: bool,
+        accum: bool,
+    },
+    EwiseAdd {
+        c: usize,
+        a: usize,
+        b: usize,
+    },
+    EwiseMult {
+        c: usize,
+        a: usize,
+        b: usize,
+    },
+    Transpose {
+        c: usize,
+        a: usize,
+    },
+    Fill {
+        c: usize,
+        v: i8,
+    },
 }
 
 fn step() -> impl Strategy<Value = Step> {
     let i = 0usize..3;
     prop_oneof![
-        (i.clone(), i.clone(), i.clone(), any::<bool>(), any::<bool>())
-            .prop_map(|(c, a, b, masked, accum)| Step::Mxm { c, a, b, masked, accum }),
+        (
+            i.clone(),
+            i.clone(),
+            i.clone(),
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_map(|(c, a, b, masked, accum)| Step::Mxm {
+                c,
+                a,
+                b,
+                masked,
+                accum
+            }),
         (i.clone(), i.clone(), i.clone()).prop_map(|(c, a, b)| Step::EwiseAdd { c, a, b }),
         (i.clone(), i.clone(), i.clone()).prop_map(|(c, a, b)| Step::EwiseMult { c, a, b }),
         (i.clone(), i.clone()).prop_map(|(c, a)| Step::Transpose { c, a }),
@@ -42,23 +74,79 @@ fn run_typed(seeds: &Seeds, steps: &[Step]) -> Vec<Vec<(usize, usize, i32)>> {
     let d = Descriptor::default();
     for s in steps {
         match *s {
-            Step::Mxm { c, a, b, masked, accum } => {
+            Step::Mxm {
+                c,
+                a,
+                b,
+                masked,
+                accum,
+            } => {
                 let desc = Descriptor::default().structural_mask();
                 match (masked, accum) {
-                    (false, false) => ctx.mxm(&pool[c], NoMask, NoAccum, plus_times::<i32>(), &pool[a], &pool[b], &desc),
-                    (true, false) => ctx.mxm(&pool[c], &pool[a], NoAccum, plus_times::<i32>(), &pool[a], &pool[b], &desc),
-                    (false, true) => ctx.mxm(&pool[c], NoMask, Accum(Plus::<i32>::new()), plus_times::<i32>(), &pool[a], &pool[b], &desc),
-                    (true, true) => ctx.mxm(&pool[c], &pool[b], Accum(Plus::<i32>::new()), plus_times::<i32>(), &pool[a], &pool[b], &desc),
+                    (false, false) => ctx.mxm(
+                        &pool[c],
+                        NoMask,
+                        NoAccum,
+                        plus_times::<i32>(),
+                        &pool[a],
+                        &pool[b],
+                        &desc,
+                    ),
+                    (true, false) => ctx.mxm(
+                        &pool[c],
+                        &pool[a],
+                        NoAccum,
+                        plus_times::<i32>(),
+                        &pool[a],
+                        &pool[b],
+                        &desc,
+                    ),
+                    (false, true) => ctx.mxm(
+                        &pool[c],
+                        NoMask,
+                        Accum(Plus::<i32>::new()),
+                        plus_times::<i32>(),
+                        &pool[a],
+                        &pool[b],
+                        &desc,
+                    ),
+                    (true, true) => ctx.mxm(
+                        &pool[c],
+                        &pool[b],
+                        Accum(Plus::<i32>::new()),
+                        plus_times::<i32>(),
+                        &pool[a],
+                        &pool[b],
+                        &desc,
+                    ),
                 }
                 .unwrap();
             }
             Step::EwiseAdd { c, a, b } => ctx
-                .ewise_add_matrix(&pool[c], NoMask, NoAccum, Plus::new(), &pool[a], &pool[b], &d)
+                .ewise_add_matrix(
+                    &pool[c],
+                    NoMask,
+                    NoAccum,
+                    Plus::new(),
+                    &pool[a],
+                    &pool[b],
+                    &d,
+                )
                 .unwrap(),
             Step::EwiseMult { c, a, b } => ctx
-                .ewise_mult_matrix(&pool[c], NoMask, NoAccum, Times::new(), &pool[a], &pool[b], &d)
+                .ewise_mult_matrix(
+                    &pool[c],
+                    NoMask,
+                    NoAccum,
+                    Times::new(),
+                    &pool[a],
+                    &pool[b],
+                    &d,
+                )
                 .unwrap(),
-            Step::Transpose { c, a } => ctx.transpose(&pool[c], NoMask, NoAccum, &pool[a], &d).unwrap(),
+            Step::Transpose { c, a } => ctx
+                .transpose(&pool[c], NoMask, NoAccum, &pool[a], &d)
+                .unwrap(),
             Step::Fill { c, v } => ctx
                 .assign_scalar_matrix(&pool[c], NoMask, NoAccum, v as i32, ALL, ALL, &d)
                 .unwrap(),
@@ -70,11 +158,8 @@ fn run_typed(seeds: &Seeds, steps: &[Step]) -> Vec<Vec<(usize, usize, i32)>> {
 fn run_capi(seeds: &Seeds, steps: &[Step]) -> Vec<Vec<(usize, usize, i32)>> {
     grb::with_session(graphblas_core::Mode::Blocking, || {
         let sr = {
-            let add = GrbMonoid::new(
-                GrbBinaryOp::plus(GrbType::Int32).unwrap(),
-                Value::Int32(0),
-            )
-            .unwrap();
+            let add = GrbMonoid::new(GrbBinaryOp::plus(GrbType::Int32).unwrap(), Value::Int32(0))
+                .unwrap();
             GrbSemiring::new(add, GrbBinaryOp::times(GrbType::Int32).unwrap()).unwrap()
         };
         let plus = GrbBinaryOp::plus(GrbType::Int32).unwrap();
@@ -93,11 +178,21 @@ fn run_capi(seeds: &Seeds, steps: &[Step]) -> Vec<Vec<(usize, usize, i32)>> {
         let d = Descriptor::default();
         for s in steps {
             match *s {
-                Step::Mxm { c, a, b, masked, accum } => {
+                Step::Mxm {
+                    c,
+                    a,
+                    b,
+                    masked,
+                    accum,
+                } => {
                     let desc = Descriptor::default().structural_mask();
                     let mask = if masked { Some(&pool[a]) } else { None };
                     // the second masked variant uses pool[b] as mask
-                    let mask = if masked && accum { Some(&pool[b]) } else { mask };
+                    let mask = if masked && accum {
+                        Some(&pool[b])
+                    } else {
+                        mask
+                    };
                     let acc = accum.then_some(&plus);
                     grb::mxm(&pool[c], mask, acc, &sr, &pool[a], &pool[b], &desc).unwrap();
                 }

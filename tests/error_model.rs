@@ -21,7 +21,15 @@ fn api_errors_are_eager_in_nonblocking_mode() {
     let bad_out = Matrix::<i64>::new(3, 3).unwrap();
     // dimension mismatch must be reported from the call, not from wait()
     let e = ctx
-        .mxm(&bad_out, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .mxm(
+            &bad_out,
+            NoMask,
+            NoAccum,
+            plus_times::<i64>(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
         .unwrap_err();
     assert!(e.is_api_error());
     assert!(matches!(e, Error::DimensionMismatch(_)));
@@ -38,7 +46,15 @@ fn api_errors_leave_arguments_untouched() {
     let c = Matrix::from_tuples(2, 2, &[(0, 1, 42)]).unwrap();
     let wrong_mask = Matrix::<bool>::new(3, 3).unwrap();
     let e = ctx
-        .mxm(&c, &wrong_mask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .mxm(
+            &c,
+            &wrong_mask,
+            NoAccum,
+            plus_times::<i64>(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
         .unwrap_err();
     assert!(e.is_api_error());
     assert_eq!(c.extract_tuples().unwrap(), vec![(0, 1, 42)]);
@@ -51,7 +67,15 @@ fn blocking_execution_error_returns_from_the_call() {
     let c = Matrix::<i64>::new(2, 2).unwrap();
     ctx.inject_fault(Error::OutOfMemory("simulated".into()));
     let e = ctx
-        .mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
+        .mxm(
+            &c,
+            NoMask,
+            NoAccum,
+            plus_times::<i64>(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
         .unwrap_err();
     assert!(e.is_execution_error());
     assert!(ctx.error().unwrap().contains("simulated"));
@@ -64,8 +88,16 @@ fn nonblocking_execution_error_surfaces_at_wait() {
     let c = Matrix::<i64>::new(2, 2).unwrap();
     ctx.inject_fault(Error::Panic("deferred boom".into()));
     // the call succeeds: only argument checks ran (§V)
-    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &c,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
     let e = ctx.wait().unwrap_err();
     assert!(e.is_execution_error());
     assert!(ctx.error().unwrap().contains("deferred boom"));
@@ -77,8 +109,16 @@ fn nonblocking_execution_error_surfaces_at_forcing_method() {
     let a = small();
     let c = Matrix::<i64>::new(2, 2).unwrap();
     ctx.inject_fault(Error::OutOfMemory("forced out".into()));
-    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &c,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
     // nvals() copies into non-opaque data: it must complete the object
     // and report the failure
     let e = c.nvals().unwrap_err();
@@ -91,12 +131,28 @@ fn invalid_objects_poison_consumers() {
     let a = small();
     let broken = Matrix::<i64>::new(2, 2).unwrap();
     ctx.inject_fault(Error::Panic("root cause".into()));
-    ctx.mxm(&broken, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &broken,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
     // a second operation consumes the (to-be-)invalid object
     let downstream = Matrix::<i64>::new(2, 2).unwrap();
-    ctx.mxm(&downstream, NoMask, NoAccum, plus_times::<i64>(), &broken, &a, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &downstream,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &broken,
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
     let _ = ctx.wait().unwrap_err();
     // the downstream output reports INVALID_OBJECT (Figure 2's return
     // value for arguments invalidated by previous execution errors)
@@ -110,15 +166,31 @@ fn clear_revalidates_an_invalid_object() {
     let a = small();
     let m = Matrix::<i64>::new(2, 2).unwrap();
     ctx.inject_fault(Error::Panic("x".into()));
-    ctx.mxm(&m, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &m,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
     let _ = ctx.wait().unwrap_err();
     assert!(m.nvals().is_err());
     m.clear(); // a fresh value node replaces the failed one
     assert_eq!(m.nvals().unwrap(), 0);
     // and the object is usable again
-    ctx.mxm(&m, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &m,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
     ctx.wait().unwrap();
     assert_eq!(m.nvals().unwrap(), 2);
 }
@@ -131,7 +203,15 @@ fn checked_operator_overflow_is_an_execution_error() {
     let b = Matrix::from_tuples(1, 1, &[(0, 0, 1i8)]).unwrap();
     let c = Matrix::<i8>::new(1, 1).unwrap();
     let e = ctx
-        .ewise_add_matrix(&c, NoMask, NoAccum, CheckedPlus::<i8>::new(), &a, &b, &Descriptor::default())
+        .ewise_add_matrix(
+            &c,
+            NoMask,
+            NoAccum,
+            CheckedPlus::<i8>::new(),
+            &a,
+            &b,
+            &Descriptor::default(),
+        )
         .unwrap_err();
     assert!(matches!(e, Error::Arithmetic(_)));
     assert!(ctx.error().unwrap().contains("overflow"));
@@ -161,13 +241,29 @@ fn sequence_recovers_after_error() {
     let a = small();
     let c = Matrix::<i64>::new(2, 2).unwrap();
     ctx.inject_fault(Error::Panic("first sequence".into()));
-    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &c,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
     assert!(ctx.wait().is_err());
     // new sequence, healthy ops
     let d = Matrix::<i64>::new(2, 2).unwrap();
-    ctx.mxm(&d, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &d,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
     ctx.wait().unwrap();
     assert_eq!(d.get(0, 0).unwrap(), Some(4));
 }

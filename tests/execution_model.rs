@@ -16,8 +16,16 @@ fn blocking_mode_completes_each_method() {
     let ctx = Context::blocking();
     let a = ring(8);
     let c = Matrix::<i64>::new(8, 8).unwrap();
-    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &c,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
     assert!(c.is_complete());
     assert_eq!(ctx.pending_ops(), 0);
 }
@@ -28,10 +36,26 @@ fn nonblocking_defers_and_wait_terminates_the_sequence() {
     let a = ring(8);
     let c = Matrix::<i64>::new(8, 8).unwrap();
     let d = Matrix::<i64>::new(8, 8).unwrap();
-    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-        .unwrap();
-    ctx.mxm(&d, NoMask, NoAccum, plus_times::<i64>(), &c, &c, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &c,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    ctx.mxm(
+        &d,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &c,
+        &c,
+        &Descriptor::default(),
+    )
+    .unwrap();
     assert!(!c.is_complete());
     assert!(!d.is_complete());
     assert_eq!(ctx.pending_ops(), 2);
@@ -47,22 +71,46 @@ fn exporting_methods_force_completion() {
     let ctx = Context::nonblocking();
     let a = ring(6);
     let c = Matrix::<i64>::new(6, 6).unwrap();
-    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &c,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
     assert!(!c.is_complete());
     // each of these reads values into non-opaque data (§IV):
     assert_eq!(c.nvals().unwrap(), 6);
     assert!(c.is_complete());
 
     let d = Matrix::<i64>::new(6, 6).unwrap();
-    ctx.mxm(&d, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &d,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
     assert_eq!(d.get(0, 2).unwrap(), Some(1));
     assert!(d.is_complete());
 
     let e = Matrix::<i64>::new(6, 6).unwrap();
-    ctx.mxm(&e, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &e,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
     let _ = e.extract_tuples().unwrap();
     assert!(e.is_complete());
 }
@@ -74,8 +122,15 @@ fn program_order_is_preserved_under_deferral() {
     let ctx = Context::nonblocking();
     let a = Matrix::from_tuples(2, 2, &[(0, 0, 10i64)]).unwrap();
     let c = Matrix::<i64>::new(2, 2).unwrap();
-    ctx.apply_matrix(&c, NoMask, NoAccum, Identity::new(), &a, &Descriptor::default())
-        .unwrap();
+    ctx.apply_matrix(
+        &c,
+        NoMask,
+        NoAccum,
+        Identity::new(),
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
     a.set(0, 0, 999).unwrap(); // later program-order mutation
     a.set(1, 1, 5).unwrap();
     ctx.wait().unwrap();
@@ -88,12 +143,33 @@ fn chained_updates_to_one_object_apply_in_order() {
     let a = ring(4);
     let c = Matrix::<i64>::new(4, 4).unwrap();
     // c = A; c += A (accum); c += A again
-    ctx.apply_matrix(&c, NoMask, NoAccum, Identity::new(), &a, &Descriptor::default())
-        .unwrap();
-    ctx.apply_matrix(&c, NoMask, Accum(Plus::<i64>::new()), Identity::new(), &a, &Descriptor::default())
-        .unwrap();
-    ctx.apply_matrix(&c, NoMask, Accum(Plus::<i64>::new()), Identity::new(), &a, &Descriptor::default())
-        .unwrap();
+    ctx.apply_matrix(
+        &c,
+        NoMask,
+        NoAccum,
+        Identity::new(),
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    ctx.apply_matrix(
+        &c,
+        NoMask,
+        Accum(Plus::<i64>::new()),
+        Identity::new(),
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    ctx.apply_matrix(
+        &c,
+        NoMask,
+        Accum(Plus::<i64>::new()),
+        Identity::new(),
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
     ctx.wait().unwrap();
     assert_eq!(c.get(0, 1).unwrap(), Some(3));
 }
@@ -108,8 +184,16 @@ fn dead_intermediates_are_elided() {
     {
         let dead = Matrix::<i64>::new(4, 4).unwrap();
         ctx.inject_fault(Error::Panic("should never run".into()));
-        ctx.mxm(&dead, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-            .unwrap();
+        ctx.mxm(
+            &dead,
+            NoMask,
+            NoAccum,
+            plus_times::<i64>(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap();
     }
     // the dead op's fault must not surface: it was never executed
     ctx.wait().unwrap();
@@ -138,8 +222,16 @@ fn overwrite_chains_drop_dead_history() {
         )
         .unwrap();
     }
-    ctx.mxm(&out, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &out,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
     // only the live final write runs; the three faulted ones are dead
     ctx.wait().unwrap();
     assert_eq!(out.get(0, 2).unwrap(), Some(1));
@@ -152,8 +244,16 @@ fn accumulating_overwrites_keep_history_alive() {
     let a = ring(4);
     let out = Matrix::<i64>::new(4, 4).unwrap();
     ctx.inject_fault(Error::Panic("needed by accum".into()));
-    ctx.mxm(&out, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &out,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
     ctx.mxm(
         &out,
         NoMask,
@@ -178,10 +278,26 @@ fn live_consumers_keep_intermediates_alive() {
     {
         let mid = Matrix::<i64>::new(4, 4).unwrap();
         ctx.inject_fault(Error::Panic("must run".into()));
-        ctx.mxm(&mid, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-            .unwrap();
-        ctx.mxm(&out, NoMask, NoAccum, plus_times::<i64>(), &mid, &a, &Descriptor::default())
-            .unwrap();
+        ctx.mxm(
+            &mid,
+            NoMask,
+            NoAccum,
+            plus_times::<i64>(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        ctx.mxm(
+            &out,
+            NoMask,
+            NoAccum,
+            plus_times::<i64>(),
+            &mid,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap();
     }
     assert!(ctx.wait().is_err());
     assert!(matches!(out.nvals(), Err(Error::InvalidObject(_))));
@@ -195,13 +311,29 @@ fn wait_after_every_call_equals_blocking() {
     let run = |ctx: &Context, wait_each: bool| {
         let a = ring(8);
         let c = Matrix::<i64>::new(8, 8).unwrap();
-        ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &Descriptor::default())
-            .unwrap();
+        ctx.mxm(
+            &c,
+            NoMask,
+            NoAccum,
+            plus_times::<i64>(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap();
         if wait_each {
             ctx.wait().unwrap();
         }
-        ctx.ewise_add_matrix(&c, NoMask, NoAccum, Plus::new(), &c, &a, &Descriptor::default())
-            .unwrap();
+        ctx.ewise_add_matrix(
+            &c,
+            NoMask,
+            NoAccum,
+            Plus::new(),
+            &c,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap();
         if wait_each {
             ctx.wait().unwrap();
         }
@@ -246,8 +378,16 @@ fn snapshots_make_in_place_updates_well_defined() {
     // gives the mathematically expected result
     let ctx = Context::nonblocking();
     let c = Matrix::from_tuples(2, 2, &[(0, 1, 1i64), (1, 0, 1)]).unwrap();
-    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &c, &c, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &c,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &c,
+        &c,
+        &Descriptor::default(),
+    )
+    .unwrap();
     ctx.wait().unwrap();
     assert_eq!(c.extract_tuples().unwrap(), vec![(0, 0, 1), (1, 1, 1)]);
 }

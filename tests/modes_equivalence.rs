@@ -11,26 +11,73 @@ use proptest::prelude::*;
 /// matrices.
 #[derive(Debug, Clone)]
 enum Step {
-    Mxm { c: usize, a: usize, b: usize, masked: bool, accum: bool, tran: bool, replace: bool },
-    EwiseAdd { c: usize, a: usize, b: usize },
-    EwiseMult { c: usize, a: usize, b: usize, masked: bool },
-    Apply { c: usize, a: usize, negate: bool },
-    Transpose { c: usize, a: usize },
-    AssignScalar { c: usize, v: i64 },
-    Clear { c: usize },
+    Mxm {
+        c: usize,
+        a: usize,
+        b: usize,
+        masked: bool,
+        accum: bool,
+        tran: bool,
+        replace: bool,
+    },
+    EwiseAdd {
+        c: usize,
+        a: usize,
+        b: usize,
+    },
+    EwiseMult {
+        c: usize,
+        a: usize,
+        b: usize,
+        masked: bool,
+    },
+    Apply {
+        c: usize,
+        a: usize,
+        negate: bool,
+    },
+    Transpose {
+        c: usize,
+        a: usize,
+    },
+    AssignScalar {
+        c: usize,
+        v: i64,
+    },
+    Clear {
+        c: usize,
+    },
 }
 
 fn step_strategy() -> impl Strategy<Value = Step> {
     let idx = 0usize..3;
     prop_oneof![
-        (idx.clone(), idx.clone(), idx.clone(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>())
-            .prop_map(|(c, a, b, masked, accum, tran, replace)| Step::Mxm { c, a, b, masked, accum, tran, replace }),
-        (idx.clone(), idx.clone(), idx.clone())
-            .prop_map(|(c, a, b)| Step::EwiseAdd { c, a, b }),
+        (
+            idx.clone(),
+            idx.clone(),
+            idx.clone(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_map(|(c, a, b, masked, accum, tran, replace)| Step::Mxm {
+                c,
+                a,
+                b,
+                masked,
+                accum,
+                tran,
+                replace
+            }),
+        (idx.clone(), idx.clone(), idx.clone()).prop_map(|(c, a, b)| Step::EwiseAdd { c, a, b }),
         (idx.clone(), idx.clone(), idx.clone(), any::<bool>())
             .prop_map(|(c, a, b, masked)| Step::EwiseMult { c, a, b, masked }),
-        (idx.clone(), idx.clone(), any::<bool>())
-            .prop_map(|(c, a, negate)| Step::Apply { c, a, negate }),
+        (idx.clone(), idx.clone(), any::<bool>()).prop_map(|(c, a, negate)| Step::Apply {
+            c,
+            a,
+            negate
+        }),
         (idx.clone(), idx.clone()).prop_map(|(c, a)| Step::Transpose { c, a }),
         (idx.clone(), -5i64..5).prop_map(|(c, v)| Step::AssignScalar { c, v }),
         idx.prop_map(|c| Step::Clear { c }),
@@ -39,15 +86,57 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 
 const N: usize = 5;
 
-fn interpret(ctx: &Context, seeds: &[Vec<(usize, usize, i64)>], steps: &[Step]) -> Vec<Vec<(usize, usize, i64)>> {
+/// Per-pool-object storage hint: `Some(f)` pins the object to format
+/// `f` ([`Matrix::set_format`]), `None` leaves the default Auto policy.
+fn formats_strategy() -> impl Strategy<Value = Vec<Option<Format>>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(None),
+            Just(Some(Format::Csr)),
+            Just(Some(Format::Csc)),
+            Just(Some(Format::Bitmap)),
+            Just(Some(Format::Hyper)),
+        ],
+        3,
+    )
+}
+
+fn interpret(
+    ctx: &Context,
+    seeds: &[Vec<(usize, usize, i64)>],
+    steps: &[Step],
+) -> Vec<Vec<(usize, usize, i64)>> {
+    interpret_with_formats(ctx, seeds, steps, &[None, None, None])
+}
+
+fn interpret_with_formats(
+    ctx: &Context,
+    seeds: &[Vec<(usize, usize, i64)>],
+    steps: &[Step],
+    formats: &[Option<Format>],
+) -> Vec<Vec<(usize, usize, i64)>> {
     let pool: Vec<Matrix<i64>> = seeds
         .iter()
         .map(|t| Matrix::from_tuples(N, N, t).unwrap())
         .collect();
+    for (m, f) in pool.iter().zip(formats) {
+        match f {
+            Some(f) => m.set_format(*f).unwrap(),
+            None => m.set_format_policy(FormatPolicy::Auto),
+        }
+    }
     let d = Descriptor::default();
     for s in steps {
         match *s {
-            Step::Mxm { c, a, b, masked, accum, tran, replace } => {
+            Step::Mxm {
+                c,
+                a,
+                b,
+                masked,
+                accum,
+                tran,
+                replace,
+            } => {
                 let mut desc = Descriptor::default().structural_mask();
                 if tran {
                     desc = desc.transpose_first();
@@ -58,24 +147,80 @@ fn interpret(ctx: &Context, seeds: &[Vec<(usize, usize, i64)>], steps: &[Step]) 
                 // mask and output may alias inputs: snapshots keep it
                 // well defined
                 match (masked, accum) {
-                    (false, false) => ctx.mxm(&pool[c], NoMask, NoAccum, plus_times::<i64>(), &pool[a], &pool[b], &desc),
-                    (true, false) => ctx.mxm(&pool[c], &pool[a], NoAccum, plus_times::<i64>(), &pool[a], &pool[b], &desc),
-                    (false, true) => ctx.mxm(&pool[c], NoMask, Accum(Plus::<i64>::new()), plus_times::<i64>(), &pool[a], &pool[b], &desc),
-                    (true, true) => ctx.mxm(&pool[c], &pool[b], Accum(Plus::<i64>::new()), plus_times::<i64>(), &pool[a], &pool[b], &desc),
+                    (false, false) => ctx.mxm(
+                        &pool[c],
+                        NoMask,
+                        NoAccum,
+                        plus_times::<i64>(),
+                        &pool[a],
+                        &pool[b],
+                        &desc,
+                    ),
+                    (true, false) => ctx.mxm(
+                        &pool[c],
+                        &pool[a],
+                        NoAccum,
+                        plus_times::<i64>(),
+                        &pool[a],
+                        &pool[b],
+                        &desc,
+                    ),
+                    (false, true) => ctx.mxm(
+                        &pool[c],
+                        NoMask,
+                        Accum(Plus::<i64>::new()),
+                        plus_times::<i64>(),
+                        &pool[a],
+                        &pool[b],
+                        &desc,
+                    ),
+                    (true, true) => ctx.mxm(
+                        &pool[c],
+                        &pool[b],
+                        Accum(Plus::<i64>::new()),
+                        plus_times::<i64>(),
+                        &pool[a],
+                        &pool[b],
+                        &desc,
+                    ),
                 }
                 .unwrap();
             }
             Step::EwiseAdd { c, a, b } => {
-                ctx.ewise_add_matrix(&pool[c], NoMask, NoAccum, Plus::new(), &pool[a], &pool[b], &d)
-                    .unwrap();
+                ctx.ewise_add_matrix(
+                    &pool[c],
+                    NoMask,
+                    NoAccum,
+                    Plus::new(),
+                    &pool[a],
+                    &pool[b],
+                    &d,
+                )
+                .unwrap();
             }
             Step::EwiseMult { c, a, b, masked } => {
                 if masked {
-                    ctx.ewise_mult_matrix(&pool[c], &pool[b], NoAccum, Times::new(), &pool[a], &pool[b], &Descriptor::default().structural_mask())
-                        .unwrap();
+                    ctx.ewise_mult_matrix(
+                        &pool[c],
+                        &pool[b],
+                        NoAccum,
+                        Times::new(),
+                        &pool[a],
+                        &pool[b],
+                        &Descriptor::default().structural_mask(),
+                    )
+                    .unwrap();
                 } else {
-                    ctx.ewise_mult_matrix(&pool[c], NoMask, NoAccum, Times::new(), &pool[a], &pool[b], &d)
-                        .unwrap();
+                    ctx.ewise_mult_matrix(
+                        &pool[c],
+                        NoMask,
+                        NoAccum,
+                        Times::new(),
+                        &pool[a],
+                        &pool[b],
+                        &d,
+                    )
+                    .unwrap();
                 }
             }
             Step::Apply { c, a, negate } => {
@@ -88,7 +233,8 @@ fn interpret(ctx: &Context, seeds: &[Vec<(usize, usize, i64)>], steps: &[Step]) 
                 }
             }
             Step::Transpose { c, a } => {
-                ctx.transpose(&pool[c], NoMask, NoAccum, &pool[a], &d).unwrap();
+                ctx.transpose(&pool[c], NoMask, NoAccum, &pool[a], &d)
+                    .unwrap();
             }
             Step::AssignScalar { c, v } => {
                 ctx.assign_scalar_matrix(&pool[c], NoMask, NoAccum, v, ALL, ALL, &d)
@@ -118,7 +264,15 @@ fn seeds_strategy() -> impl Strategy<Value = Vec<Vec<(usize, usize, i64)>>> {
 fn run_step(ctx: &Context, pool: &[Matrix<i64>], s: &Step) -> Result<()> {
     let d = Descriptor::default();
     match *s {
-        Step::Mxm { c, a, b, masked, accum, tran, replace } => {
+        Step::Mxm {
+            c,
+            a,
+            b,
+            masked,
+            accum,
+            tran,
+            replace,
+        } => {
             let mut desc = Descriptor::default().structural_mask();
             if tran {
                 desc = desc.transpose_first();
@@ -127,18 +281,74 @@ fn run_step(ctx: &Context, pool: &[Matrix<i64>], s: &Step) -> Result<()> {
                 desc = desc.replace();
             }
             match (masked, accum) {
-                (false, false) => ctx.mxm(&pool[c], NoMask, NoAccum, plus_times::<i64>(), &pool[a], &pool[b], &desc),
-                (true, false) => ctx.mxm(&pool[c], &pool[a], NoAccum, plus_times::<i64>(), &pool[a], &pool[b], &desc),
-                (false, true) => ctx.mxm(&pool[c], NoMask, Accum(Plus::<i64>::new()), plus_times::<i64>(), &pool[a], &pool[b], &desc),
-                (true, true) => ctx.mxm(&pool[c], &pool[b], Accum(Plus::<i64>::new()), plus_times::<i64>(), &pool[a], &pool[b], &desc),
+                (false, false) => ctx.mxm(
+                    &pool[c],
+                    NoMask,
+                    NoAccum,
+                    plus_times::<i64>(),
+                    &pool[a],
+                    &pool[b],
+                    &desc,
+                ),
+                (true, false) => ctx.mxm(
+                    &pool[c],
+                    &pool[a],
+                    NoAccum,
+                    plus_times::<i64>(),
+                    &pool[a],
+                    &pool[b],
+                    &desc,
+                ),
+                (false, true) => ctx.mxm(
+                    &pool[c],
+                    NoMask,
+                    Accum(Plus::<i64>::new()),
+                    plus_times::<i64>(),
+                    &pool[a],
+                    &pool[b],
+                    &desc,
+                ),
+                (true, true) => ctx.mxm(
+                    &pool[c],
+                    &pool[b],
+                    Accum(Plus::<i64>::new()),
+                    plus_times::<i64>(),
+                    &pool[a],
+                    &pool[b],
+                    &desc,
+                ),
             }
         }
-        Step::EwiseAdd { c, a, b } => ctx.ewise_add_matrix(&pool[c], NoMask, NoAccum, Plus::new(), &pool[a], &pool[b], &d),
+        Step::EwiseAdd { c, a, b } => ctx.ewise_add_matrix(
+            &pool[c],
+            NoMask,
+            NoAccum,
+            Plus::new(),
+            &pool[a],
+            &pool[b],
+            &d,
+        ),
         Step::EwiseMult { c, a, b, masked } => {
             if masked {
-                ctx.ewise_mult_matrix(&pool[c], &pool[b], NoAccum, Times::new(), &pool[a], &pool[b], &Descriptor::default().structural_mask())
+                ctx.ewise_mult_matrix(
+                    &pool[c],
+                    &pool[b],
+                    NoAccum,
+                    Times::new(),
+                    &pool[a],
+                    &pool[b],
+                    &Descriptor::default().structural_mask(),
+                )
             } else {
-                ctx.ewise_mult_matrix(&pool[c], NoMask, NoAccum, Times::new(), &pool[a], &pool[b], &d)
+                ctx.ewise_mult_matrix(
+                    &pool[c],
+                    NoMask,
+                    NoAccum,
+                    Times::new(),
+                    &pool[a],
+                    &pool[b],
+                    &d,
+                )
             }
         }
         Step::Apply { c, a, negate } => {
@@ -149,7 +359,9 @@ fn run_step(ctx: &Context, pool: &[Matrix<i64>], s: &Step) -> Result<()> {
             }
         }
         Step::Transpose { c, a } => ctx.transpose(&pool[c], NoMask, NoAccum, &pool[a], &d),
-        Step::AssignScalar { c, v } => ctx.assign_scalar_matrix(&pool[c], NoMask, NoAccum, v, ALL, ALL, &d),
+        Step::AssignScalar { c, v } => {
+            ctx.assign_scalar_matrix(&pool[c], NoMask, NoAccum, v, ALL, ALL, &d)
+        }
         Step::Clear { c } => {
             pool[c].clear();
             Ok(())
@@ -258,6 +470,26 @@ proptest! {
         ctx.wait().unwrap();
         let observed: Vec<_> = pool.iter().map(|m| m.extract_tuples().unwrap()).collect();
         prop_assert_eq!(observed, plain);
+    }
+
+    /// The storage engine must be invisible: pinning pool objects to
+    /// any of the four formats (or leaving Auto selection on) changes
+    /// no observable result, in any execution mode. Forced formats also
+    /// direct every *computed* result into that layout, so this drives
+    /// the format-specific kernel paths, not just migrations.
+    #[test]
+    fn formats_are_observationally_invisible(
+        seeds in seeds_strategy(),
+        steps in proptest::collection::vec(step_strategy(), 1..16),
+        formats in formats_strategy(),
+    ) {
+        let baseline = interpret(&Context::blocking(), &seeds, &steps);
+        let blk = interpret_with_formats(&Context::blocking(), &seeds, &steps, &formats);
+        let nb_seq = interpret_with_formats(&Context::nonblocking_sequential(), &seeds, &steps, &formats);
+        let nb_par = interpret_with_formats(&Context::nonblocking_parallel(), &seeds, &steps, &formats);
+        prop_assert_eq!(&blk, &baseline);
+        prop_assert_eq!(&nb_seq, &baseline);
+        prop_assert_eq!(&nb_par, &baseline);
     }
 
     /// The scheduler must be invisible: blocking, nonblocking with the

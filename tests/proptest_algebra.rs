@@ -9,8 +9,7 @@ use graphblas_core::prelude::*;
 use proptest::prelude::*;
 
 fn small_set() -> impl Strategy<Value = SmallSet> {
-    proptest::collection::vec(0u32..12, 0..8)
-        .prop_map(|v| SmallSet::from_iter_unsorted(v))
+    proptest::collection::vec(0u32..12, 0..8).prop_map(SmallSet::from_iter_unsorted)
 }
 
 proptest! {

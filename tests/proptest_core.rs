@@ -15,19 +15,17 @@ struct SparseCase {
 }
 
 fn sparse(nrows: usize, ncols: usize, max_nnz: usize) -> impl Strategy<Value = SparseCase> {
-    proptest::collection::vec(
-        (0..nrows, 0..ncols, -50i64..50),
-        0..=max_nnz,
+    proptest::collection::vec((0..nrows, 0..ncols, -50i64..50), 0..=max_nnz).prop_map(
+        move |mut t| {
+            t.sort_by_key(|&(i, j, _)| (i, j));
+            t.dedup_by_key(|&mut (i, j, _)| (i, j));
+            SparseCase {
+                nrows,
+                ncols,
+                tuples: t,
+            }
+        },
     )
-    .prop_map(move |mut t| {
-        t.sort_by_key(|&(i, j, _)| (i, j));
-        t.dedup_by_key(|&mut (i, j, _)| (i, j));
-        SparseCase {
-            nrows,
-            ncols,
-            tuples: t,
-        }
-    })
 }
 
 fn to_matrix(c: &SparseCase) -> Matrix<i64> {
@@ -242,8 +240,8 @@ proptest! {
         let w = Vector::<i64>::new(7).unwrap();
         ctx.reduce_rows(&w, NoMask, NoAccum, PlusMonoid::new(), &to_matrix(&a), &Descriptor::default()).unwrap();
         let d = to_dense(&a);
-        for i in 0..7 {
-            let want = d[i].iter().filter_map(|x| *x).fold(None, |acc: Option<i64>, v| {
+        for (i, row) in d.iter().enumerate() {
+            let want = row.iter().filter_map(|x| *x).fold(None, |acc: Option<i64>, v| {
                 Some(acc.map_or(v, |s| s.wrapping_add(v)))
             });
             prop_assert_eq!(w.get(i).unwrap(), want);

@@ -69,10 +69,10 @@ proptest! {
         let w = Vector::<i64>::new(6).unwrap();
         ctx.mxv(&w, NoMask, NoAccum, plus_times::<i64>(), &am, &uv, &Descriptor::default()).unwrap();
         let (da, du) = (matd(&a), vecd(&u));
-        for i in 0..6 {
+        for (i, row) in da.iter().enumerate() {
             let mut acc: Option<i64> = None;
             for k in 0..5 {
-                if let (Some(x), Some(y)) = (da[i][k], du[k]) {
+                if let (Some(x), Some(y)) = (row[k], du[k]) {
                     let p = x.wrapping_mul(y);
                     acc = Some(acc.map_or(p, |s| s.wrapping_add(p)));
                 }

@@ -81,7 +81,10 @@ fn shared_intermediate_is_scheduled_once() {
         ctx.wait().unwrap();
         let trace = ctx.take_trace();
         let transposes = trace.iter().filter(|e| e.kind == "transpose").count();
-        assert_eq!(transposes, 1, "policy {policy:?}: diamond base ran {transposes}x");
+        assert_eq!(
+            transposes, 1,
+            "policy {policy:?}: diamond base ran {transposes}x"
+        );
         assert_eq!(trace.len(), 3);
     }
 }

@@ -9,7 +9,13 @@ use graphblas_core::prelude::*;
 /// A fixed weighted digraph used throughout:
 /// 0→1 (2), 0→2 (5), 1→3 (4), 2→3 (1), 3→0 (3)
 fn weights() -> Vec<(usize, usize, f64)> {
-    vec![(0, 1, 2.0), (0, 2, 5.0), (1, 3, 4.0), (2, 3, 1.0), (3, 0, 3.0)]
+    vec![
+        (0, 1, 2.0),
+        (0, 2, 5.0),
+        (1, 3, 4.0),
+        (2, 3, 1.0),
+        (3, 0, 3.0),
+    ]
 }
 
 fn square<S: Semiring<f64, f64, f64>>(s: S) -> Matrix<f64> {
@@ -71,8 +77,16 @@ fn row4_gf2() {
     )
     .unwrap();
     let p = Matrix::<bool>::new(4, 4).unwrap();
-    ctx.mxm(&p, NoMask, NoAccum, xor_and(), &b, &b, &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &p,
+        NoMask,
+        NoAccum,
+        xor_and(),
+        &b,
+        &b,
+        &Descriptor::default(),
+    )
+    .unwrap();
     // two walks 0→3 (via 1 and via 2): even parity
     assert_eq!(p.get(0, 3).unwrap(), Some(false));
     // exactly one walk 3→1 (via 0): odd
@@ -107,18 +121,10 @@ fn row5_power_set() {
     .unwrap();
     // 0→3: (via 1) {1,2}∩{1} = {1}; (via 2) {2,3}∩{2,3} = {2,3};
     // ∪ = {1,2,3}
-    assert_eq!(
-        t.get(0, 3).unwrap(),
-        Some(color(&[1, 2, 3]))
-    );
+    assert_eq!(t.get(0, 3).unwrap(), Some(color(&[1, 2, 3])));
     // a route whose intersection is empty contributes the semiring 0 (∅)
     // and an all-∅ entry is still *stored* (∅ is a value, not absence)
-    let disjoint = Matrix::from_tuples(
-        2,
-        2,
-        &[(0, 1, color(&[1])), (1, 0, color(&[2]))],
-    )
-    .unwrap();
+    let disjoint = Matrix::from_tuples(2, 2, &[(0, 1, color(&[1])), (1, 0, color(&[2]))]).unwrap();
     let u = Matrix::<SmallSet>::new(2, 2).unwrap();
     ctx.mxm(
         &u,
@@ -142,14 +148,46 @@ fn same_matrix_different_semirings_no_restorage() {
     let before = a.extract_tuples().unwrap();
     for _ in 0..2 {
         let c = Matrix::<f64>::new(4, 4).unwrap();
-        ctx.mxm(&c, NoMask, NoAccum, plus_times::<f64>(), &a, &a, &Descriptor::default())
-            .unwrap();
-        ctx.mxm(&c, NoMask, NoAccum, min_plus::<f64>(), &a, &a, &Descriptor::default().replace())
-            .unwrap();
-        ctx.mxm(&c, NoMask, NoAccum, max_plus::<f64>(), &a, &a, &Descriptor::default().replace())
-            .unwrap();
-        ctx.mxm(&c, NoMask, NoAccum, min_max::<f64>(), &a, &a, &Descriptor::default().replace())
-            .unwrap();
+        ctx.mxm(
+            &c,
+            NoMask,
+            NoAccum,
+            plus_times::<f64>(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        ctx.mxm(
+            &c,
+            NoMask,
+            NoAccum,
+            min_plus::<f64>(),
+            &a,
+            &a,
+            &Descriptor::default().replace(),
+        )
+        .unwrap();
+        ctx.mxm(
+            &c,
+            NoMask,
+            NoAccum,
+            max_plus::<f64>(),
+            &a,
+            &a,
+            &Descriptor::default().replace(),
+        )
+        .unwrap();
+        ctx.mxm(
+            &c,
+            NoMask,
+            NoAccum,
+            min_max::<f64>(),
+            &a,
+            &a,
+            &Descriptor::default().replace(),
+        )
+        .unwrap();
     }
     assert_eq!(a.extract_tuples().unwrap(), before);
 }

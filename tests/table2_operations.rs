@@ -15,7 +15,14 @@ fn a_matrix() -> Matrix<i64> {
     Matrix::from_tuples(
         3,
         3,
-        &[(0, 0, 1), (0, 1, 2), (1, 1, 3), (1, 2, 4), (2, 0, 5), (2, 2, 6)],
+        &[
+            (0, 0, 1),
+            (0, 1, 2),
+            (1, 1, 3),
+            (1, 2, 4),
+            (2, 0, 5),
+            (2, 2, 6),
+        ],
     )
     .unwrap()
 }
@@ -24,8 +31,16 @@ fn a_matrix() -> Matrix<i64> {
 fn op_mxm() {
     let ctx = ctx();
     let c = Matrix::<i64>::new(3, 3).unwrap();
-    ctx.mxm(&c, NoMask, NoAccum, plus_times::<i64>(), &a_matrix(), &a_matrix(), &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &c,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a_matrix(),
+        &a_matrix(),
+        &Descriptor::default(),
+    )
+    .unwrap();
     // row 0: 1*[1,2,.] + 2*[.,3,4] = [1, 8, 8]
     assert_eq!(c.get(0, 0).unwrap(), Some(1));
     assert_eq!(c.get(0, 1).unwrap(), Some(8));
@@ -37,11 +52,27 @@ fn op_mxv_and_vxm() {
     let ctx = ctx();
     let v = Vector::from_dense(&[1i64, 10, 100]).unwrap();
     let w = Vector::<i64>::new(3).unwrap();
-    ctx.mxv(&w, NoMask, NoAccum, plus_times::<i64>(), &a_matrix(), &v, &Descriptor::default())
-        .unwrap();
+    ctx.mxv(
+        &w,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a_matrix(),
+        &v,
+        &Descriptor::default(),
+    )
+    .unwrap();
     assert_eq!(w.to_dense().unwrap(), vec![Some(21), Some(430), Some(605)]);
-    ctx.vxm(&w, NoMask, NoAccum, plus_times::<i64>(), &v, &a_matrix(), &Descriptor::default().replace())
-        .unwrap();
+    ctx.vxm(
+        &w,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &v,
+        &a_matrix(),
+        &Descriptor::default().replace(),
+    )
+    .unwrap();
     assert_eq!(w.to_dense().unwrap(), vec![Some(501), Some(32), Some(640)]);
 }
 
@@ -50,11 +81,27 @@ fn op_ewise_mult_and_add() {
     let ctx = ctx();
     let b = Matrix::from_tuples(3, 3, &[(0, 0, 10i64), (1, 2, 20), (2, 1, 30)]).unwrap();
     let c = Matrix::<i64>::new(3, 3).unwrap();
-    ctx.ewise_mult_matrix(&c, NoMask, NoAccum, Times::new(), &a_matrix(), &b, &Descriptor::default())
-        .unwrap();
+    ctx.ewise_mult_matrix(
+        &c,
+        NoMask,
+        NoAccum,
+        Times::new(),
+        &a_matrix(),
+        &b,
+        &Descriptor::default(),
+    )
+    .unwrap();
     assert_eq!(c.extract_tuples().unwrap(), vec![(0, 0, 10), (1, 2, 80)]);
-    ctx.ewise_add_matrix(&c, NoMask, NoAccum, Plus::new(), &a_matrix(), &b, &Descriptor::default().replace())
-        .unwrap();
+    ctx.ewise_add_matrix(
+        &c,
+        NoMask,
+        NoAccum,
+        Plus::new(),
+        &a_matrix(),
+        &b,
+        &Descriptor::default().replace(),
+    )
+    .unwrap();
     assert_eq!(c.nvals().unwrap(), 7); // union pattern
     assert_eq!(c.get(0, 0).unwrap(), Some(11));
     assert_eq!(c.get(2, 1).unwrap(), Some(30)); // pass-through
@@ -63,11 +110,27 @@ fn op_ewise_mult_and_add() {
     let u = Vector::from_tuples(3, &[(0, 1i64), (1, 2)]).unwrap();
     let v = Vector::from_tuples(3, &[(1, 10i64), (2, 20)]).unwrap();
     let w = Vector::<i64>::new(3).unwrap();
-    ctx.ewise_add_vector(&w, NoMask, NoAccum, Plus::new(), &u, &v, &Descriptor::default())
-        .unwrap();
+    ctx.ewise_add_vector(
+        &w,
+        NoMask,
+        NoAccum,
+        Plus::new(),
+        &u,
+        &v,
+        &Descriptor::default(),
+    )
+    .unwrap();
     assert_eq!(w.to_dense().unwrap(), vec![Some(1), Some(12), Some(20)]);
-    ctx.ewise_mult_vector(&w, NoMask, NoAccum, Times::new(), &u, &v, &Descriptor::default().replace())
-        .unwrap();
+    ctx.ewise_mult_vector(
+        &w,
+        NoMask,
+        NoAccum,
+        Times::new(),
+        &u,
+        &v,
+        &Descriptor::default().replace(),
+    )
+    .unwrap();
     assert_eq!(w.extract_tuples().unwrap(), vec![(1, 20)]);
 }
 
@@ -75,8 +138,15 @@ fn op_ewise_mult_and_add() {
 fn op_reduce_row() {
     let ctx = ctx();
     let w = Vector::<i64>::new(3).unwrap();
-    ctx.reduce_rows(&w, NoMask, NoAccum, PlusMonoid::new(), &a_matrix(), &Descriptor::default())
-        .unwrap();
+    ctx.reduce_rows(
+        &w,
+        NoMask,
+        NoAccum,
+        PlusMonoid::new(),
+        &a_matrix(),
+        &Descriptor::default(),
+    )
+    .unwrap();
     assert_eq!(w.to_dense().unwrap(), vec![Some(3), Some(7), Some(11)]);
 }
 
@@ -84,8 +154,15 @@ fn op_reduce_row() {
 fn op_apply() {
     let ctx = ctx();
     let c = Matrix::<i64>::new(3, 3).unwrap();
-    ctx.apply_matrix(&c, NoMask, NoAccum, Ainv::new(), &a_matrix(), &Descriptor::default())
-        .unwrap();
+    ctx.apply_matrix(
+        &c,
+        NoMask,
+        NoAccum,
+        Ainv::new(),
+        &a_matrix(),
+        &Descriptor::default(),
+    )
+    .unwrap();
     assert_eq!(c.get(2, 2).unwrap(), Some(-6));
     let w = Vector::<i64>::new(3).unwrap();
     let u = Vector::from_dense(&[1i64, -2, 3]).unwrap();
@@ -132,8 +209,15 @@ fn op_extract() {
     );
     let w = Vector::<i64>::new(2).unwrap();
     let u = Vector::from_dense(&[7i64, 8, 9]).unwrap();
-    ctx.extract_vector(&w, NoMask, NoAccum, &u, IndexSelection::List(&[2, 0]), &Descriptor::default())
-        .unwrap();
+    ctx.extract_vector(
+        &w,
+        NoMask,
+        NoAccum,
+        &u,
+        IndexSelection::List(&[2, 0]),
+        &Descriptor::default(),
+    )
+    .unwrap();
     assert_eq!(w.to_dense().unwrap(), vec![Some(9), Some(7)]);
 }
 
@@ -158,8 +242,15 @@ fn op_assign() {
 
     let w = Vector::from_dense(&[1i64, 2, 3]).unwrap();
     let uu = Vector::from_tuples(2, &[(0, 50i64), (1, 60)]).unwrap();
-    ctx.assign_vector(&w, NoMask, NoAccum, &uu, IndexSelection::List(&[2, 0]), &Descriptor::default())
-        .unwrap();
+    ctx.assign_vector(
+        &w,
+        NoMask,
+        NoAccum,
+        &uu,
+        IndexSelection::List(&[2, 0]),
+        &Descriptor::default(),
+    )
+    .unwrap();
     assert_eq!(w.to_dense().unwrap(), vec![Some(60), Some(2), Some(50)]);
 }
 
@@ -191,8 +282,16 @@ fn transposed_inputs_per_descriptor() {
     let at = Matrix::<i64>::new(3, 3).unwrap();
     ctx.transpose(&at, NoMask, NoAccum, &a_matrix(), &Descriptor::default())
         .unwrap();
-    ctx.mxm(&c1, NoMask, NoAccum, plus_times::<i64>(), &at, &a_matrix(), &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &c1,
+        NoMask,
+        NoAccum,
+        plus_times::<i64>(),
+        &at,
+        &a_matrix(),
+        &Descriptor::default(),
+    )
+    .unwrap();
     ctx.mxm(
         &c2,
         NoMask,
@@ -211,8 +310,16 @@ fn masks_control_writes_per_table2_footnote() {
     let ctx = ctx();
     let mask = Matrix::from_tuples(3, 3, &[(0, 1, true), (2, 0, true)]).unwrap();
     let c = Matrix::from_tuples(3, 3, &[(1, 1, 777i64)]).unwrap();
-    ctx.mxm(&c, &mask, NoAccum, plus_times::<i64>(), &a_matrix(), &a_matrix(), &Descriptor::default())
-        .unwrap();
+    ctx.mxm(
+        &c,
+        &mask,
+        NoAccum,
+        plus_times::<i64>(),
+        &a_matrix(),
+        &a_matrix(),
+        &Descriptor::default(),
+    )
+    .unwrap();
     // merge mode: unmasked old value survives, masked positions updated
     assert_eq!(c.get(1, 1).unwrap(), Some(777));
     assert_eq!(c.get(0, 1).unwrap(), Some(8));

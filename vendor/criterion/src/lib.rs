@@ -92,9 +92,7 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         // first positional (non-flag) CLI arg = name filter, as upstream
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion {
             filter,
             config: MeasureConfig::default(),

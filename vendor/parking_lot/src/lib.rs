@@ -7,7 +7,9 @@
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
 use std::sync::{Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
-use std::sync::{RwLock as StdRwLock, RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard};
+use std::sync::{
+    RwLock as StdRwLock, RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard,
+};
 use std::thread::ThreadId;
 
 // ---------------------------------------------------------------- Mutex

@@ -356,11 +356,7 @@ where
     }
 
     fn eval_chunk(&self, lo: usize, hi: usize) -> Vec<T> {
-        self.base
-            .eval_chunk(lo, hi)
-            .into_iter()
-            .cloned()
-            .collect()
+        self.base.eval_chunk(lo, hi).into_iter().cloned().collect()
     }
 }
 
@@ -379,10 +375,7 @@ mod tests {
     #[test]
     fn slice_par_iter_cloned_and_reduce() {
         let data: Vec<i64> = (1..=1000).collect();
-        let s = data
-            .par_iter()
-            .cloned()
-            .reduce(|| 0, |a, b| a + b);
+        let s = data.par_iter().cloned().reduce(|| 0, |a, b| a + b);
         assert_eq!(s, 500_500);
     }
 
@@ -390,10 +383,13 @@ mod tests {
     fn map_init_runs_with_scratch() {
         let v: Vec<usize> = (0..5000)
             .into_par_iter()
-            .map_init(|| vec![0u8; 8], |s, i| {
-                s[0] = s[0].wrapping_add(1);
-                i + 1
-            })
+            .map_init(
+                || vec![0u8; 8],
+                |s, i| {
+                    s[0] = s[0].wrapping_add(1);
+                    i + 1
+                },
+            )
             .collect();
         assert_eq!(v[4999], 5000);
     }
