@@ -10,7 +10,7 @@
 //! * [`sssp`] — Bellman–Ford SSSP and min-plus APSP (tropical semiring)
 //! * [`triangles`] — masked-`mxm` triangle counting (`plus_pair`)
 //! * [`mis`] — Luby's maximal independent set (randomized, masked)
-//! * [`pagerank`] — power iteration over the arithmetic semiring
+//! * [`mod@pagerank`] — power iteration over the arithmetic semiring
 //! * [`components`] — min-label propagation connected components
 //! * [`reach`] — transitive closure (`lor.land`) and GF2 walk parity
 //!

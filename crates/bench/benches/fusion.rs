@@ -1,0 +1,151 @@
+//! Experiment E7: the §IV fusion-latitude ablation — the same deferred
+//! programs under `FusePolicy::On` vs `FusePolicy::Off`, isolating what
+//! the `exec::fuse` rewrite pass buys.
+//!
+//! Three shapes, one per rewrite family:
+//! * `masked_product` — mxm whose (dead) product is immediately
+//!   restricted by a sparse mask: pushdown computes only the masked
+//!   entries (the headline win; scales with mask sparsity).
+//! * `apply_chain` — three chained unary applies: fusion collapses the
+//!   chain to one traversal, eliding two intermediate materializations.
+//! * `dot_reduce` — eWiseMult + scalar reduce: the fused dot product
+//!   never materializes the elementwise product.
+//!
+//! Intermediates are dropped before `wait()` in both arms, so the only
+//! difference is whether the pass is allowed to rewrite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphblas_core::prelude::*;
+use graphblas_gen::{rmat, RmatParams};
+use std::time::Duration;
+
+fn ctx_with(fuse: FusePolicy) -> Context {
+    Context::with_fuse_policy(Mode::Nonblocking, SchedPolicy::Sequential, fuse)
+}
+
+fn graph(n_log2: u32, seed: u64) -> (usize, Vec<(usize, usize, i64)>) {
+    let g = rmat(n_log2, 8, RmatParams::default(), seed)
+        .dedup()
+        .without_self_loops();
+    let tuples = g.edges.iter().map(|&(u, v)| (u, v, 1i64)).collect();
+    (g.n, tuples)
+}
+
+fn bench_masked_product(c: &mut Criterion) {
+    let (n, tuples) = graph(10, 7);
+    let a = Matrix::from_tuples(n, n, &tuples).unwrap();
+    // a sparse mask: one row's worth of admitted entries
+    let mask_tuples: Vec<(usize, usize, i64)> =
+        (0..n.min(64)).map(|j| (j % n, (j * 17) % n, 1)).collect();
+    let mask = Matrix::from_tuples(n, n, &mask_tuples).unwrap();
+
+    let mut group = c.benchmark_group("fusion/masked_product");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for (label, fuse) in [("fuse_on", FusePolicy::On), ("fuse_off", FusePolicy::Off)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let ctx = ctx_with(fuse);
+                let out = Matrix::<i64>::new(n, n).unwrap();
+                {
+                    let tmp = Matrix::<i64>::new(n, n).unwrap();
+                    ctx.mxm(
+                        &tmp,
+                        NoMask,
+                        NoAccum,
+                        plus_times::<i64>(),
+                        &a,
+                        &a,
+                        &Descriptor::default(),
+                    )
+                    .unwrap();
+                    ctx.apply_matrix(
+                        &out,
+                        &mask,
+                        NoAccum,
+                        Identity::new(),
+                        &tmp,
+                        &Descriptor::default().structural_mask(),
+                    )
+                    .unwrap();
+                } // tmp dropped: exclusively dead
+                ctx.wait().unwrap();
+                out.nvals().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply_chain(c: &mut Criterion) {
+    let (n, tuples) = graph(11, 9);
+    let a = Matrix::from_tuples(n, n, &tuples).unwrap();
+
+    let mut group = c.benchmark_group("fusion/apply_chain");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for (label, fuse) in [("fuse_on", FusePolicy::On), ("fuse_off", FusePolicy::Off)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let ctx = ctx_with(fuse);
+                let out = Matrix::<i64>::new(n, n).unwrap();
+                {
+                    let t1 = Matrix::<i64>::new(n, n).unwrap();
+                    let t2 = Matrix::<i64>::new(n, n).unwrap();
+                    let d = Descriptor::default();
+                    ctx.apply_matrix(&t1, NoMask, NoAccum, unary_fn(|x: &i64| x * 3), &a, &d)
+                        .unwrap();
+                    ctx.apply_matrix(&t2, NoMask, NoAccum, unary_fn(|x: &i64| x + 1), &t1, &d)
+                        .unwrap();
+                    ctx.apply_matrix(&out, NoMask, NoAccum, unary_fn(|x: &i64| -x), &t2, &d)
+                        .unwrap();
+                }
+                ctx.wait().unwrap();
+                out.nvals().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dot_reduce(c: &mut Criterion) {
+    let (n, tuples) = graph(11, 11);
+    let a = Matrix::from_tuples(n, n, &tuples).unwrap();
+    let b_m = Matrix::from_tuples(n, n, &tuples).unwrap();
+
+    let mut group = c.benchmark_group("fusion/dot_reduce");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for (label, fuse) in [("fuse_on", FusePolicy::On), ("fuse_off", FusePolicy::Off)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let ctx = ctx_with(fuse);
+                let tmp = Matrix::<i64>::new(n, n).unwrap();
+                ctx.ewise_mult_matrix(
+                    &tmp,
+                    NoMask,
+                    NoAccum,
+                    Times::new(),
+                    &a,
+                    &b_m,
+                    &Descriptor::default(),
+                )
+                .unwrap();
+                ctx.reduce_matrix_to_scalar(PlusMonoid::<i64>::new(), &tmp)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_masked_product,
+    bench_apply_chain,
+    bench_dot_reduce
+);
+criterion_main!(benches);

@@ -11,7 +11,7 @@
 //! pattern for embedders and tests.
 
 use graphblas_core::error::{Error, Result};
-use graphblas_core::exec::{Context, Mode, SchedPolicy, TraceEvent};
+use graphblas_core::exec::{Context, FusePolicy, Mode, SchedPolicy, TraceEvent};
 use parking_lot::{Mutex, ReentrantMutex};
 
 static GLOBAL: Mutex<Option<Context>> = Mutex::new(None);
@@ -30,13 +30,20 @@ pub fn init(mode: Mode) -> Result<()> {
 /// binding's rendering of an implementation-defined init descriptor
 /// (the C API's `GxB_init`-style extension point).
 pub fn init_with_policy(mode: Mode, policy: SchedPolicy) -> Result<()> {
+    init_with_fuse_policy(mode, policy, FusePolicy::default())
+}
+
+/// `GrB_init` with explicit scheduling *and* fusion policies.
+/// `FusePolicy::Off` pins the ablation baseline: `GrB_wait()` executes
+/// the deferred sequence exactly as written, with no §IV rewrites.
+pub fn init_with_fuse_policy(mode: Mode, policy: SchedPolicy, fuse: FusePolicy) -> Result<()> {
     let mut g = GLOBAL.lock();
     if g.is_some() {
         return Err(Error::InvalidValue(
             "GrB_init called while a context is already established".into(),
         ));
     }
-    *g = Some(Context::with_policy(mode, policy));
+    *g = Some(Context::with_fuse_policy(mode, policy, fuse));
     Ok(())
 }
 
@@ -64,9 +71,23 @@ pub fn wait() -> Result<()> {
     ctx()?.wait()
 }
 
-/// `GrB_error()`: detail text of the most recent execution error.
+/// `GrB_error()`: detail text of the most recent error — API *or*
+/// execution — reported through this facade (§V elaborates on "the
+/// last method" without distinguishing the two classes).
 pub fn error() -> Option<String> {
     ctx().ok().and_then(|c| c.error())
+}
+
+/// Run an operation body and mirror any API error it returns into the
+/// context's `GrB_error()` string. Execution errors record themselves
+/// at completion; this covers the codes returned straight from the
+/// method call (dimension/domain mismatches, invalid values, …).
+pub(crate) fn record_api<R>(ctx: &Context, f: impl FnOnce() -> Result<R>) -> Result<R> {
+    let r = f();
+    if let Err(e) = &r {
+        ctx.record_api_error(e);
+    }
+    r
 }
 
 /// Test hook mirroring the core context's fault injector: the next
@@ -117,8 +138,18 @@ pub fn with_no_session<R>(f: impl FnOnce() -> R) -> Result<R> {
 /// Run `f` inside a serialized init/finalize session — the supported way
 /// to use the global API from multi-threaded test binaries.
 pub fn with_session<R>(mode: Mode, f: impl FnOnce() -> R) -> Result<R> {
+    with_session_policies(mode, SchedPolicy::default(), FusePolicy::default(), f)
+}
+
+/// [`with_session`] with explicit scheduling and fusion policies.
+pub fn with_session_policies<R>(
+    mode: Mode,
+    policy: SchedPolicy,
+    fuse: FusePolicy,
+    f: impl FnOnce() -> R,
+) -> Result<R> {
     let _guard = SESSION.lock();
-    init(mode)?;
+    init_with_fuse_policy(mode, policy, fuse)?;
     let r = f();
     finalize()?;
     Ok(r)

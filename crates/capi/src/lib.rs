@@ -30,12 +30,12 @@ pub use collections::{
     GXB_FORMAT_HYPER,
 };
 pub use context::{
-    current_mode, enable_trace, error, finalize, init, init_with_policy, inject_fault, take_trace,
-    wait, with_no_session, with_session,
+    current_mode, enable_trace, error, finalize, init, init_with_fuse_policy, init_with_policy,
+    inject_fault, take_trace, wait, with_no_session, with_session, with_session_policies,
 };
 pub use graphblas_core::descriptor::Descriptor;
 pub use graphblas_core::error::{Error, Result};
-pub use graphblas_core::exec::{Mode, SchedPolicy, TraceEvent};
+pub use graphblas_core::exec::{FusePolicy, FusedNote, Mode, SchedPolicy, TraceEvent};
 pub use graphblas_core::index::{Index, IndexSelection, ALL};
 pub use graphblas_core::{Format, FormatPolicy};
 pub use operations::*;

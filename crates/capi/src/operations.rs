@@ -15,7 +15,7 @@ use graphblas_core::index::IndexSelection;
 use graphblas_core::mask::NoMask;
 
 use crate::collections::{GrbMatrix, GrbVector};
-use crate::context::ctx;
+use crate::context::{ctx, record_api};
 use crate::ops::{GrbBinaryOp, GrbMonoid, GrbSelectOp, GrbSemiring, GrbUnaryOp};
 use crate::value::Value;
 
@@ -57,11 +57,13 @@ pub fn mxm(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    c.expect_domain(op.d3(), "output C")?;
-    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-    let s = op.casting_dyn();
-    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-        .mxm(&c.m, mk, ac, s, &a.m, &b.m, desc))
+    record_api(&ctx, || {
+        c.expect_domain(op.d3(), "output C")?;
+        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+        let s = op.casting_dyn();
+        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+            .mxm(&c.m, mk, ac, s, &a.m, &b.m, desc))
+    })
 }
 
 /// `GrB_mxv(w, mask, accum, op, A, u, desc)`.
@@ -75,11 +77,13 @@ pub fn mxv(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    w.expect_domain(op.d3(), "output w")?;
-    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-    let s = op.casting_dyn();
-    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-        .mxv(&w.v, mk, ac, s, &a.m, &u.v, desc))
+    record_api(&ctx, || {
+        w.expect_domain(op.d3(), "output w")?;
+        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+        let s = op.casting_dyn();
+        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+            .mxv(&w.v, mk, ac, s, &a.m, &u.v, desc))
+    })
 }
 
 /// `GrB_vxm(w, mask, accum, op, u, A, desc)`.
@@ -93,11 +97,13 @@ pub fn vxm(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    w.expect_domain(op.d3(), "output w")?;
-    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-    let s = op.casting_dyn();
-    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-        .vxm(&w.v, mk, ac, s, &u.v, &a.m, desc))
+    record_api(&ctx, || {
+        w.expect_domain(op.d3(), "output w")?;
+        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+        let s = op.casting_dyn();
+        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+            .vxm(&w.v, mk, ac, s, &u.v, &a.m, desc))
+    })
 }
 
 /// `GrB_eWiseAdd` (matrix).
@@ -111,11 +117,13 @@ pub fn ewise_add_matrix(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    c.expect_domain(op.d3, "output C")?;
-    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-    let f = op.casting_dyn();
-    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-        .ewise_add_matrix(&c.m, mk, ac, f, &a.m, &b.m, desc))
+    record_api(&ctx, || {
+        c.expect_domain(op.d3, "output C")?;
+        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+        let f = op.casting_dyn();
+        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+            .ewise_add_matrix(&c.m, mk, ac, f, &a.m, &b.m, desc))
+    })
 }
 
 /// `GrB_eWiseMult` (matrix).
@@ -129,11 +137,13 @@ pub fn ewise_mult_matrix(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    c.expect_domain(op.d3, "output C")?;
-    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-    let f = op.casting_dyn();
-    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-        .ewise_mult_matrix(&c.m, mk, ac, f, &a.m, &b.m, desc))
+    record_api(&ctx, || {
+        c.expect_domain(op.d3, "output C")?;
+        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+        let f = op.casting_dyn();
+        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+            .ewise_mult_matrix(&c.m, mk, ac, f, &a.m, &b.m, desc))
+    })
 }
 
 /// `GrB_eWiseAdd` (vector).
@@ -147,11 +157,13 @@ pub fn ewise_add_vector(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    w.expect_domain(op.d3, "output w")?;
-    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-    let f = op.casting_dyn();
-    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-        .ewise_add_vector(&w.v, mk, ac, f, &u.v, &v.v, desc))
+    record_api(&ctx, || {
+        w.expect_domain(op.d3, "output w")?;
+        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+        let f = op.casting_dyn();
+        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+            .ewise_add_vector(&w.v, mk, ac, f, &u.v, &v.v, desc))
+    })
 }
 
 /// `GrB_eWiseMult` (vector).
@@ -165,11 +177,13 @@ pub fn ewise_mult_vector(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    w.expect_domain(op.d3, "output w")?;
-    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-    let f = op.casting_dyn();
-    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-        .ewise_mult_vector(&w.v, mk, ac, f, &u.v, &v.v, desc))
+    record_api(&ctx, || {
+        w.expect_domain(op.d3, "output w")?;
+        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+        let f = op.casting_dyn();
+        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+            .ewise_mult_vector(&w.v, mk, ac, f, &u.v, &v.v, desc))
+    })
 }
 
 /// `GrB_apply` (matrix).
@@ -182,11 +196,13 @@ pub fn apply_matrix(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    c.expect_domain(op.d2, "output C")?;
-    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-    let f = op.casting_dyn();
-    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-        .apply_matrix(&c.m, mk, ac, f, &a.m, desc))
+    record_api(&ctx, || {
+        c.expect_domain(op.d2, "output C")?;
+        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+        let f = op.casting_dyn();
+        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+            .apply_matrix(&c.m, mk, ac, f, &a.m, desc))
+    })
 }
 
 /// `GrB_apply` (vector).
@@ -199,11 +215,13 @@ pub fn apply_vector(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    w.expect_domain(op.d2, "output w")?;
-    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-    let f = op.casting_dyn();
-    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-        .apply_vector(&w.v, mk, ac, f, &u.v, desc))
+    record_api(&ctx, || {
+        w.expect_domain(op.d2, "output w")?;
+        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+        let f = op.casting_dyn();
+        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+            .apply_vector(&w.v, mk, ac, f, &u.v, desc))
+    })
 }
 
 /// `GrB_reduce` (matrix → vector): Fig. 3 line 78.
@@ -216,26 +234,32 @@ pub fn reduce_rows(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    w.expect_domain(monoid.domain(), "output w")?;
-    a.expect_domain(monoid.domain(), "input A")?;
-    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-    let m = monoid.as_dyn();
-    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-        .reduce_rows(&w.v, mk, ac, m, &a.m, desc))
+    record_api(&ctx, || {
+        w.expect_domain(monoid.domain(), "output w")?;
+        a.expect_domain(monoid.domain(), "input A")?;
+        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+        let m = monoid.as_dyn();
+        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+            .reduce_rows(&w.v, mk, ac, m, &a.m, desc))
+    })
 }
 
 /// `GrB_reduce` (matrix → scalar).
 pub fn reduce_matrix_scalar(monoid: &GrbMonoid, a: &GrbMatrix) -> Result<Value> {
     let ctx = ctx()?;
-    a.expect_domain(monoid.domain(), "input A")?;
-    ctx.reduce_matrix_to_scalar(monoid.as_dyn(), &a.m)
+    record_api(&ctx, || {
+        a.expect_domain(monoid.domain(), "input A")?;
+        ctx.reduce_matrix_to_scalar(monoid.as_dyn(), &a.m)
+    })
 }
 
 /// `GrB_reduce` (vector → scalar).
 pub fn reduce_vector_scalar(monoid: &GrbMonoid, u: &GrbVector) -> Result<Value> {
     let ctx = ctx()?;
-    u.expect_domain(monoid.domain(), "input u")?;
-    ctx.reduce_vector_to_scalar(monoid.as_dyn(), &u.v)
+    record_api(&ctx, || {
+        u.expect_domain(monoid.domain(), "input u")?;
+        ctx.reduce_vector_to_scalar(monoid.as_dyn(), &u.v)
+    })
 }
 
 /// `GrB_transpose`.
@@ -247,10 +271,12 @@ pub fn transpose(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    c.expect_domain(a.domain(), "output C")?;
-    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-        .transpose(&c.m, mk, ac, &a.m, desc))
+    record_api(&ctx, || {
+        c.expect_domain(a.domain(), "output C")?;
+        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+            .transpose(&c.m, mk, ac, &a.m, desc))
+    })
 }
 
 /// `GrB_extract` (matrix): Fig. 3 line 33.
@@ -264,10 +290,12 @@ pub fn extract_matrix(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    c.expect_domain(a.domain(), "output C")?;
-    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-        .extract_matrix(&c.m, mk, ac, &a.m, rows, cols, desc))
+    record_api(&ctx, || {
+        c.expect_domain(a.domain(), "output C")?;
+        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+            .extract_matrix(&c.m, mk, ac, &a.m, rows, cols, desc))
+    })
 }
 
 /// `GrB_select` (matrix): keep stored elements passing the selector.
@@ -280,12 +308,15 @@ pub fn select_matrix(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    c.expect_domain(a.domain(), "output C")?;
-    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-    let sel = op.clone();
-    let f = graphblas_core::algebra::indexop::select_fn(move |i, j, v: &Value| sel.keep(i, j, v));
-    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-        .select_matrix(&c.m, mk, ac, f, &a.m, desc))
+    record_api(&ctx, || {
+        c.expect_domain(a.domain(), "output C")?;
+        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+        let sel = op.clone();
+        let f =
+            graphblas_core::algebra::indexop::select_fn(move |i, j, v: &Value| sel.keep(i, j, v));
+        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+            .select_matrix(&c.m, mk, ac, f, &a.m, desc))
+    })
 }
 
 /// `GrB_select` (vector).
@@ -298,12 +329,15 @@ pub fn select_vector(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    w.expect_domain(u.domain(), "output w")?;
-    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-    let sel = op.clone();
-    let f = graphblas_core::algebra::indexop::select_fn(move |i, j, v: &Value| sel.keep(i, j, v));
-    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-        .select_vector(&w.v, mk, ac, f, &u.v, desc))
+    record_api(&ctx, || {
+        w.expect_domain(u.domain(), "output w")?;
+        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+        let sel = op.clone();
+        let f =
+            graphblas_core::algebra::indexop::select_fn(move |i, j, v: &Value| sel.keep(i, j, v));
+        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+            .select_vector(&w.v, mk, ac, f, &u.v, desc))
+    })
 }
 
 /// `GrB_extract` (vector): `w<mask> ⊙= u(indices)`.
@@ -316,10 +350,12 @@ pub fn extract_vector(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    w.expect_domain(u.domain(), "output w")?;
-    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-        .extract_vector(&w.v, mk, ac, &u.v, indices, desc))
+    record_api(&ctx, || {
+        w.expect_domain(u.domain(), "output w")?;
+        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+            .extract_vector(&w.v, mk, ac, &u.v, indices, desc))
+    })
 }
 
 /// `GrB_Col_extract`: `w<mask> ⊙= A(rows, j)`.
@@ -333,10 +369,12 @@ pub fn extract_col(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    w.expect_domain(a.domain(), "output w")?;
-    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-        .extract_col(&w.v, mk, ac, &a.m, rows, j, desc))
+    record_api(&ctx, || {
+        w.expect_domain(a.domain(), "output w")?;
+        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+            .extract_col(&w.v, mk, ac, &a.m, rows, j, desc))
+    })
 }
 
 /// `GrB_assign` (matrix): `C<Mask>(rows, cols) ⊙= A`.
@@ -350,10 +388,12 @@ pub fn assign_matrix(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    c.expect_domain(a.domain(), "output C")?;
-    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-        .assign_matrix(&c.m, mk, ac, &a.m, rows, cols, desc))
+    record_api(&ctx, || {
+        c.expect_domain(a.domain(), "output C")?;
+        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+            .assign_matrix(&c.m, mk, ac, &a.m, rows, cols, desc))
+    })
 }
 
 /// `GrB_assign` (vector): `w<mask>(indices) ⊙= u`.
@@ -366,10 +406,12 @@ pub fn assign_vector(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    w.expect_domain(u.domain(), "output w")?;
-    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-        .assign_vector(&w.v, mk, ac, &u.v, indices, desc))
+    record_api(&ctx, || {
+        w.expect_domain(u.domain(), "output w")?;
+        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+            .assign_vector(&w.v, mk, ac, &u.v, indices, desc))
+    })
 }
 
 /// `GrB_assign` (matrix, scalar fill): Fig. 3 line 61.
@@ -383,10 +425,12 @@ pub fn assign_scalar_matrix(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    let v = value.cast_to(c.domain());
-    let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-    with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-        .assign_scalar_matrix(&c.m, mk, ac, v, rows, cols, desc))
+    record_api(&ctx, || {
+        let v = value.cast_to(c.domain());
+        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
+        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
+            .assign_scalar_matrix(&c.m, mk, ac, v, rows, cols, desc))
+    })
 }
 
 /// `GrB_assign` (vector, scalar fill): Fig. 3 line 77.
@@ -399,10 +443,12 @@ pub fn assign_scalar_vector(
     desc: &Descriptor,
 ) -> Result<()> {
     let ctx = ctx()?;
-    let v = value.cast_to(w.domain());
-    let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-    with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-        .assign_scalar_vector(&w.v, mk, ac, v, indices, desc))
+    record_api(&ctx, || {
+        let v = value.cast_to(w.domain());
+        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
+        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
+            .assign_scalar_vector(&w.v, mk, ac, v, indices, desc))
+    })
 }
 
 #[cfg(test)]

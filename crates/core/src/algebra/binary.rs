@@ -87,12 +87,34 @@ zst_binop!(
     Div<T: NumScalar>, (x, y) -> x.div(y)
 );
 zst_binop!(
-    /// `GrB_MIN_T`: min(x, y).
-    Min<T: NumScalar>, (x, y) -> if y < x { y.clone() } else { x.clone() }
+    /// `GrB_MIN_T`: min(x, y), with C `fmin` semantics on floats: a NaN
+    /// argument loses to any number, so the result is NaN only when both
+    /// arguments are NaN. This keeps the operator genuinely commutative
+    /// (and associative) on the full float domain — required for the
+    /// schedule-independence guarantee of parallel reductions (§IV).
+    Min<T: NumScalar>, (x, y) -> if y < x {
+        y.clone()
+    } else if x <= y {
+        x.clone()
+    } else if x.partial_cmp(x).is_none() {
+        // x is incomparable with itself, i.e. NaN -> y wins (fmin)
+        y.clone()
+    } else {
+        x.clone()
+    }
 );
 zst_binop!(
-    /// `GrB_MAX_T`: max(x, y).
-    Max<T: NumScalar>, (x, y) -> if y > x { y.clone() } else { x.clone() }
+    /// `GrB_MAX_T`: max(x, y), with C `fmax` semantics on floats (NaN
+    /// loses to any number; see [`Min`]).
+    Max<T: NumScalar>, (x, y) -> if y > x {
+        y.clone()
+    } else if x >= y {
+        x.clone()
+    } else if x.partial_cmp(x).is_none() {
+        y.clone()
+    } else {
+        x.clone()
+    }
 );
 
 impl<T> Commutative for Plus<T> {}
@@ -407,6 +429,55 @@ mod tests {
         assert_eq!(Div::<f32>::new().apply(&3.0, &2.0), 1.5);
         assert_eq!(Min::<i32>::new().apply(&2, &3), 2);
         assert_eq!(Max::<i32>::new().apply(&2, &3), 3);
+    }
+
+    #[test]
+    fn min_max_follow_c_fmin_fmax_on_nan() {
+        let min = Min::<f64>::new();
+        let max = Max::<f64>::new();
+        let nan = f64::NAN;
+        // NaN loses to any number, in either argument position
+        assert_eq!(min.apply(&nan, &5.0), 5.0);
+        assert_eq!(min.apply(&5.0, &nan), 5.0);
+        assert_eq!(max.apply(&nan, &5.0), 5.0);
+        assert_eq!(max.apply(&5.0, &nan), 5.0);
+        // NaN only if both arguments are NaN
+        assert!(min.apply(&nan, &nan).is_nan());
+        assert!(max.apply(&nan, &nan).is_nan());
+        // infinities are ordinary comparable values
+        assert_eq!(min.apply(&f64::NEG_INFINITY, &1.0), f64::NEG_INFINITY);
+        assert_eq!(max.apply(&f64::INFINITY, &1.0), f64::INFINITY);
+        assert_eq!(min.apply(&nan, &f64::INFINITY), f64::INFINITY);
+        assert_eq!(max.apply(&nan, &f64::NEG_INFINITY), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn min_max_commutative_under_nan() {
+        // the Commutative impls must hold on the whole float domain
+        let min = Min::<f32>::new();
+        let max = Max::<f32>::new();
+        let pool = [
+            0.0f32,
+            -0.0,
+            1.5,
+            -2.5,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+        ];
+        let same = |a: f32, b: f32| a == b || (a.is_nan() && b.is_nan());
+        for &x in &pool {
+            for &y in &pool {
+                assert!(
+                    same(min.apply(&x, &y), min.apply(&y, &x)),
+                    "min not commutative at ({x}, {y})"
+                );
+                assert!(
+                    same(max.apply(&x, &y), max.apply(&y, &x)),
+                    "max not commutative at ({x}, {y})"
+                );
+            }
+        }
     }
 
     #[test]

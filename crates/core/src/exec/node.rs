@@ -12,11 +12,14 @@
 //! diameter (O(n) on a path), which would overflow the stack if forced
 //! recursively.
 
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::error::{Error, Result};
+use crate::exec::fuse::FuseHook;
 use crate::exec::sched::TraceMeta;
 
 /// Shape/occupancy reporting for node storage types, consumed by the
@@ -54,6 +57,18 @@ pub trait Completable: Send + Sync {
     /// Operation kind plus dims/nvals (dims reported once complete), for
     /// the scheduler's execution trace.
     fn trace_meta(&self) -> TraceMeta;
+    /// Liveness for the fusion pass: `true` when this node's value can
+    /// still be observed through a live handle (or liveness is unknown).
+    /// The default is the conservative answer — observable — which makes
+    /// the node ineligible for absorption.
+    fn fuse_observable(&self) -> bool {
+        true
+    }
+    /// Take this node's consumer-rewrite hook, if one was installed at
+    /// submit time; the fusion pass runs it at most once.
+    fn take_fuse_hook(&self) -> Option<FuseHook> {
+        None
+    }
 }
 
 /// The state machine shared by matrix and vector nodes. `S` is the
@@ -70,19 +85,47 @@ pub(crate) enum NodeState<S> {
     Failed(Error),
 }
 
+/// The fusion pass's per-node slots, populated at submit time by the
+/// operation layer (see `exec::fuse`):
+///
+/// * `face` — the producer's recompute/compose closures, stored
+///   type-erased (`MatProducer<T>` / `VecProducer<T>` behind `dyn Any`).
+/// * `hook` — the consumer-side rewrite attempt, taken once per pass.
+/// * `probe` — handle-liveness check: does some handle cell still point
+///   at this node?
+struct FuseSlots {
+    face: Option<Arc<dyn Any + Send + Sync>>,
+    hook: Option<FuseHook>,
+    probe: Option<Box<dyn Fn() -> bool + Send + Sync>>,
+}
+
 /// Generic node: storage state plus the erased `Completable` face.
 pub(crate) struct Node<S> {
     /// Operation kind that defined this node (Table II name, or
     /// `"value"` for nodes born complete) — shown in execution traces.
     kind: &'static str,
     state: Mutex<NodeState<S>>,
+    fuse: Mutex<FuseSlots>,
+    /// Set by `dup()`: a second handle aliases this value, so the probe
+    /// alone can no longer prove it unobservable.
+    pinned: AtomicBool,
 }
 
 impl<S: Send + Sync + 'static> Node<S> {
+    fn slots() -> Mutex<FuseSlots> {
+        Mutex::new(FuseSlots {
+            face: None,
+            hook: None,
+            probe: None,
+        })
+    }
+
     pub(crate) fn ready(value: S) -> Arc<Self> {
         Arc::new(Node {
             kind: "value",
             state: Mutex::new(NodeState::Ready(Arc::new(value))),
+            fuse: Self::slots(),
+            pinned: AtomicBool::new(false),
         })
     }
 
@@ -105,16 +148,64 @@ impl<S: Send + Sync + 'static> Node<S> {
         Arc::new(Node {
             kind,
             state: Mutex::new(NodeState::Pending { deps, eval }),
+            fuse: Self::slots(),
+            pinned: AtomicBool::new(false),
         })
+    }
+
+    // ----- fusion-pass plumbing (see `exec::fuse`) -----
+
+    pub(crate) fn set_fuse_face(&self, face: Arc<dyn Any + Send + Sync>) {
+        self.fuse.lock().face = Some(face);
+    }
+
+    pub(crate) fn fuse_face(&self) -> Option<Arc<dyn Any + Send + Sync>> {
+        self.fuse.lock().face.clone()
+    }
+
+    pub(crate) fn set_fuse_hook(&self, hook: FuseHook) {
+        self.fuse.lock().hook = Some(hook);
+    }
+
+    pub(crate) fn set_observe_probe(&self, probe: Box<dyn Fn() -> bool + Send + Sync>) {
+        self.fuse.lock().probe = Some(probe);
+    }
+
+    /// Mark this node as aliased by an additional handle (`dup`), which
+    /// keeps it observable regardless of what the probe reports.
+    pub(crate) fn pin(&self) {
+        self.pinned.store(true, Ordering::Relaxed);
+    }
+
+    /// Swap in a fused evaluator (and its adopted dependencies) — only
+    /// while still pending; a completed node is immutable.
+    pub(crate) fn replace_pending(
+        &self,
+        deps: Vec<Arc<dyn Completable>>,
+        eval: Box<dyn FnOnce() -> Result<S> + Send>,
+    ) -> bool {
+        let mut guard = self.state.lock();
+        if matches!(&*guard, NodeState::Pending { .. }) {
+            *guard = NodeState::Pending { deps, eval };
+            true
+        } else {
+            false
+        }
     }
 
     /// The storage of a *complete* node. `Pending` here is an engine bug;
     /// a failed node surfaces as `InvalidObject` (paper §V: "at least one
     /// of the argument objects is in an invalid state — caused by a
-    /// previous execution error").
+    /// previous execution error"). The wrapping is idempotent — an
+    /// already-invalid object propagates unchanged — so the reported
+    /// message names the root cause regardless of how many invalidated
+    /// consumers sit between it and the observation point. That depth is
+    /// schedule- and fusion-dependent (a fused consumer reads the
+    /// absorbed producer's inputs directly); the root cause is not.
     pub(crate) fn ready_storage(&self) -> Result<Arc<S>> {
         match &*self.state.lock() {
             NodeState::Ready(s) => Ok(s.clone()),
+            NodeState::Failed(e @ Error::InvalidObject(_)) => Err(e.clone()),
             NodeState::Failed(e) => Err(Error::InvalidObject(format!(
                 "object invalidated by a previous execution error: {e}"
             ))),
@@ -151,6 +242,15 @@ impl<S: StorageMeta + Send + Sync + 'static> Completable for Node<S> {
                 Ok(s) => NodeState::Ready(Arc::new(s)),
                 Err(e) => NodeState::Failed(e),
             };
+            drop(guard);
+            // The fusion slots only describe a *pending* node; clearing
+            // them on completion releases the dependency Arcs they
+            // capture (the §IV memory-release property) and keeps drops
+            // of long completed chains shallow.
+            let mut slots = self.fuse.lock();
+            slots.face = None;
+            slots.hook = None;
+            slots.probe = None;
         }
     }
 
@@ -179,6 +279,22 @@ impl<S: StorageMeta + Send + Sync + 'static> Completable for Node<S> {
             format,
             migrated_from,
         }
+    }
+
+    fn fuse_observable(&self) -> bool {
+        if self.pinned.load(Ordering::Relaxed) {
+            return true;
+        }
+        match &self.fuse.lock().probe {
+            Some(p) => p(),
+            // No probe installed (value node, or submitted with fusion
+            // off): assume observable.
+            None => true,
+        }
+    }
+
+    fn take_fuse_hook(&self) -> Option<FuseHook> {
+        self.fuse.lock().hook.take()
     }
 }
 

@@ -1,10 +1,10 @@
 //! The nonblocking-mode scheduler (paper §IV's deferred-execution
 //! latitude, exploited for parallelism).
 //!
-//! `Context::wait` hands the live sequence roots to [`execute`], which
+//! `Context::wait` hands the live sequence roots to `execute`, which
 //! flattens the pending cone into a dependency-counted DAG
-//! ([`queue`]) and drains it with either the sequential FIFO driver or
-//! a worker pool ([`pool`]), per [`SchedPolicy`]. Both drivers compute
+//! (`queue`) and drains it with either the sequential FIFO driver or
+//! a worker pool (`pool`), per [`SchedPolicy`]. Both drivers compute
 //! every DAG node, so the paper's §V error semantics are preserved
 //! under any interleaving: a consumer of a failed node observes the
 //! failure through its dependency snapshot and completes `Failed` with

@@ -48,6 +48,7 @@ fn record(sink: Option<&TraceSink>, dag: &Dag, idx: usize, start_ns: u64, worker
         start_ns,
         end_ns,
         worker,
+        fused: None,
     });
 }
 

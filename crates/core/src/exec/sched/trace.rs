@@ -56,6 +56,11 @@ pub struct TraceEvent {
     pub end_ns: u64,
     /// Index of the worker thread that ran it (0 = sequential driver).
     pub worker: usize,
+    /// `Some` only for synthetic `kind == "fused"` events emitted by the
+    /// `exec::fuse` rewrite pass: which producer was absorbed into which
+    /// consumer, and by which rewrite. Timings are zero for these events
+    /// (the pass runs before the clock-bearing schedulers start).
+    pub fused: Option<crate::exec::FusedNote>,
 }
 
 impl TraceEvent {
@@ -118,6 +123,7 @@ mod tests {
             start_ns: 150,
             end_ns: 400,
             worker: 1,
+            fused: None,
         };
         assert_eq!(e.queue_ns(), 50);
         assert_eq!(e.run_ns(), 250);
@@ -139,6 +145,7 @@ mod tests {
             start_ns: t0,
             end_ns: sink.now_ns(),
             worker: 0,
+            fused: None,
         });
         let ev = sink.into_events();
         assert_eq!(ev.len(), 1);

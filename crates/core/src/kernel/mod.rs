@@ -3,7 +3,7 @@
 //! (`parallel` feature, on by default).
 //!
 //! The operation layer ([`crate::op`]) composes these with the shared
-//! accumulate-and-mask write stage ([`write`]) to realize the full
+//! accumulate-and-mask write stage ([`mod@write`]) to realize the full
 //! Figure 2 semantics.
 
 pub mod apply;

@@ -111,6 +111,54 @@ mod tests {
     }
 
     #[test]
+    fn parallel_reduce_with_nan_matches_sequential() {
+        // Regression: Min/Max were not commutative for NaN, so the rayon
+        // tree reduction (len >= 4096) could disagree with the sequential
+        // fold depending on where the NaNs landed in the chunking. With
+        // fmin/fmax semantics the result is schedule-independent.
+        let n = 20_000usize;
+        let vals: Vec<f64> = (0..n)
+            .map(|j| {
+                if j % 977 == 0 {
+                    f64::NAN
+                } else {
+                    (j as f64) * 0.25 - 1000.0
+                }
+            })
+            .collect();
+        let m = Csr::from_sorted_tuples(1, n, (0..n).map(|j| (0, j, vals[j])));
+
+        // ground truth via a sequential fold over the same operator
+        let min_op = crate::algebra::binary::Min::<f64>::new();
+        let max_op = crate::algebra::binary::Max::<f64>::new();
+        let seq_min = vals.iter().fold(f64::INFINITY, |a, v| {
+            crate::algebra::binary::BinaryOp::apply(&min_op, &a, v)
+        });
+        let seq_max = vals.iter().fold(f64::NEG_INFINITY, |a, v| {
+            crate::algebra::binary::BinaryOp::apply(&max_op, &a, v)
+        });
+
+        let par_min = reduce_matrix_scalar(&m, &MinMonoid::<f64>::new());
+        let par_max = reduce_matrix_scalar(&m, &MaxMonoid::<f64>::new());
+        assert_eq!(par_min, seq_min);
+        assert_eq!(par_max, seq_max);
+        assert!(!par_min.is_nan() && !par_max.is_nan());
+
+        // An all-NaN collection folds from the monoid identity (±∞), and
+        // under fmin/fmax the NaNs lose to it — the identity comes back,
+        // identically under any schedule (the point of the fix).
+        let all_nan = Csr::from_sorted_tuples(1, 5000, (0..5000).map(|j| (0, j, f64::NAN)));
+        assert_eq!(
+            reduce_matrix_scalar(&all_nan, &MinMonoid::<f64>::new()),
+            f64::INFINITY
+        );
+        assert_eq!(
+            reduce_matrix_scalar(&all_nan, &MaxMonoid::<f64>::new()),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
     fn large_parallel_reduce_matches() {
         let n = 20_000usize;
         let m = Csr::from_sorted_tuples(1, n, (0..n).map(|j| (0, j, 1i64)));

@@ -52,7 +52,7 @@ pub mod storage;
 pub use accum::{Accum, NoAccum};
 pub use descriptor::Descriptor;
 pub use error::{Error, Result};
-pub use exec::{Context, Mode, SchedPolicy, TraceEvent};
+pub use exec::{Context, FusePolicy, FusedNote, Mode, SchedPolicy, TraceEvent};
 pub use index::{Index, IndexSelection, ALL};
 pub use mask::NoMask;
 pub use object::{Matrix, Vector};
@@ -83,7 +83,7 @@ pub mod prelude {
     };
     pub use crate::descriptor::Descriptor;
     pub use crate::error::{Error, Result};
-    pub use crate::exec::{Context, Mode, SchedPolicy, TraceEvent};
+    pub use crate::exec::{Context, FusePolicy, FusedNote, Mode, SchedPolicy, TraceEvent};
     pub use crate::index::{Index, IndexSelection, ALL};
     pub use crate::mask::NoMask;
     pub use crate::object::{Matrix, Vector};

@@ -2,7 +2,7 @@
 //! `Mask` parameter of an operation.
 //!
 //! Operations accept any [`MatrixMask`] / [`VectorMask`]:
-//! [`NoMask`](crate::mask::NoMask) (the `GrB_NULL` literal) or a reference
+//! [`NoMask`] (the `GrB_NULL` literal) or a reference
 //! to any collection whose domain casts to Boolean. At call time the
 //! operation takes a *snapshot* of the mask object's node (program-order
 //! semantics under deferral) together with the descriptor's

@@ -184,10 +184,15 @@ impl<T: Scalar> Matrix<T> {
     /// `GrB_Matrix_dup`: a new object with a copy of this object's
     /// current (possibly still deferred) value and format policy.
     pub fn dup(&self) -> Matrix<T> {
+        let node = self.snapshot();
+        // The copy aliases the (possibly deferred) value node through a
+        // second cell, which the original handle's observe-probe cannot
+        // see — pin the node so the fusion pass never absorbs it.
+        node.pin();
         Matrix {
             nrows: self.nrows,
             ncols: self.ncols,
-            cell: Arc::new(RwLock::new(self.snapshot())),
+            cell: Arc::new(RwLock::new(node)),
             policy: Arc::new(RwLock::new(self.format_policy())),
         }
     }
@@ -273,6 +278,23 @@ impl<T: Scalar> Matrix<T> {
         let node = self.snapshot();
         force(&(node.clone() as Arc<dyn Completable>))?;
         node.ready_storage()
+    }
+
+    /// Handle-liveness probe for the fusion pass: reports whether `node`
+    /// is still observable through this handle — true while this
+    /// object's cell exists and still points at `node`. Once every
+    /// handle is dropped or re-pointed at a newer value, the probe turns
+    /// false and `node` becomes a candidate for absorption.
+    pub(crate) fn observe_probe(
+        &self,
+        node: &Arc<MatrixNode<T>>,
+    ) -> Box<dyn Fn() -> bool + Send + Sync> {
+        let cell = Arc::downgrade(&self.cell);
+        let ptr = Arc::as_ptr(node) as *const u8 as usize;
+        Box::new(move || {
+            cell.upgrade()
+                .is_some_and(|c| Arc::as_ptr(&*c.read()) as *const u8 as usize == ptr)
+        })
     }
 }
 

@@ -149,9 +149,13 @@ impl<T: Scalar> Vector<T> {
 
     /// `GrB_Vector_dup`.
     pub fn dup(&self) -> Vector<T> {
+        let node = self.snapshot();
+        // See `Matrix::dup`: the copy aliases the value node outside the
+        // original handle's observe-probe, so pin it against fusion.
+        node.pin();
         Vector {
             n: self.n,
-            cell: Arc::new(RwLock::new(self.snapshot())),
+            cell: Arc::new(RwLock::new(node)),
         }
     }
 
@@ -190,6 +194,20 @@ impl<T: Scalar> Vector<T> {
         let node = self.snapshot();
         force(&(node.clone() as Arc<dyn Completable>))?;
         node.ready_storage()
+    }
+
+    /// Handle-liveness probe for the fusion pass; see
+    /// [`Matrix::observe_probe`](crate::object::Matrix).
+    pub(crate) fn observe_probe(
+        &self,
+        node: &Arc<VectorNode<T>>,
+    ) -> Box<dyn Fn() -> bool + Send + Sync> {
+        let cell = Arc::downgrade(&self.cell);
+        let ptr = Arc::as_ptr(node) as *const u8 as usize;
+        Box::new(move || {
+            cell.upgrade()
+                .is_some_and(|c| Arc::as_ptr(&*c.read()) as *const u8 as usize == ptr)
+        })
     }
 }
 

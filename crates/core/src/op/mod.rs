@@ -37,6 +37,8 @@ use std::sync::Arc;
 use crate::error::{dim_check, Error, Result};
 use crate::exec::{Completable, Context, Node};
 use crate::index::Index;
+use crate::object::matrix::MatrixNode;
+use crate::object::vector::VectorNode;
 use crate::object::{Matrix, Vector};
 use crate::scalar::Scalar;
 use crate::storage::csr::Csr;
@@ -76,14 +78,53 @@ impl Context {
         deps: Vec<Arc<dyn Completable>>,
         eval: Box<dyn FnOnce() -> Result<MatrixStore<T>> + Send>,
     ) -> Result<()> {
+        self.submit_matrix_store_fusable(kind, out, deps, eval)
+            .map(|_| ())
+    }
+
+    /// [`Context::submit_matrix_store`] that additionally returns the
+    /// installed node when the operation is a fusion candidate — so the
+    /// caller can attach a producer face and/or consumer rewrite hook
+    /// (see `exec::fuse`). Returns `None` (plain submission) in blocking
+    /// mode, under `FusePolicy::Off`, or when a fault was injected.
+    pub(crate) fn submit_matrix_store_fusable<T: Scalar>(
+        &self,
+        kind: &'static str,
+        out: &Matrix<T>,
+        deps: Vec<Arc<dyn Completable>>,
+        eval: Box<dyn FnOnce() -> Result<MatrixStore<T>> + Send>,
+    ) -> Result<Option<Arc<MatrixNode<T>>>> {
         let policy = out.format_policy();
-        let eval: Box<dyn FnOnce() -> Result<MatrixStore<T>> + Send> = match self.take_fault() {
+        let fault = self.take_fault();
+        let fusable = fault.is_none() && self.fusion_active();
+        let eval: Box<dyn FnOnce() -> Result<MatrixStore<T>> + Send> = match fault {
             Some(f) => Box::new(move || Err(f)),
             None => Box::new(move || eval().map(|s| s.apply_policy(policy))),
         };
         let node = Node::pending_kind(kind, deps, eval);
         out.install(node.clone());
-        self.finish_op(node)
+        if fusable {
+            node.set_observe_probe(out.observe_probe(&node));
+        }
+        self.finish_op(node.clone())?;
+        Ok(fusable.then_some(node))
+    }
+
+    /// [`Context::submit_matrix`] returning the node for fusion wiring;
+    /// see [`Context::submit_matrix_store_fusable`].
+    pub(crate) fn submit_matrix_fusable<T: Scalar>(
+        &self,
+        kind: &'static str,
+        out: &Matrix<T>,
+        deps: Vec<Arc<dyn Completable>>,
+        eval: Box<dyn FnOnce() -> Result<Csr<T>> + Send>,
+    ) -> Result<Option<Arc<MatrixNode<T>>>> {
+        self.submit_matrix_store_fusable(
+            kind,
+            out,
+            deps,
+            Box::new(move || eval().map(MatrixStore::csr)),
+        )
     }
 
     pub(crate) fn submit_vector<T: Scalar>(
@@ -93,13 +134,31 @@ impl Context {
         deps: Vec<Arc<dyn Completable>>,
         eval: Box<dyn FnOnce() -> Result<SparseVec<T>> + Send>,
     ) -> Result<()> {
-        let eval: Box<dyn FnOnce() -> Result<SparseVec<T>> + Send> = match self.take_fault() {
+        self.submit_vector_fusable(kind, out, deps, eval)
+            .map(|_| ())
+    }
+
+    /// Vector counterpart of [`Context::submit_matrix_store_fusable`].
+    pub(crate) fn submit_vector_fusable<T: Scalar>(
+        &self,
+        kind: &'static str,
+        out: &Vector<T>,
+        deps: Vec<Arc<dyn Completable>>,
+        eval: Box<dyn FnOnce() -> Result<SparseVec<T>> + Send>,
+    ) -> Result<Option<Arc<VectorNode<T>>>> {
+        let fault = self.take_fault();
+        let fusable = fault.is_none() && self.fusion_active();
+        let eval: Box<dyn FnOnce() -> Result<SparseVec<T>> + Send> = match fault {
             Some(f) => Box::new(move || Err(f)),
             None => eval,
         };
         let node = Node::pending_kind(kind, deps, eval);
         out.install(node.clone());
-        self.finish_op(node)
+        if fusable {
+            node.set_observe_probe(out.observe_probe(&node));
+        }
+        self.finish_op(node.clone())?;
+        Ok(fusable.then_some(node))
     }
 }
 
@@ -116,6 +175,16 @@ pub(crate) struct OldMatrix<T: Scalar> {
     node: Option<Arc<crate::object::matrix::MatrixNode<T>>>,
     nrows: Index,
     ncols: Index,
+}
+
+impl<T: Scalar> Clone for OldMatrix<T> {
+    fn clone(&self) -> Self {
+        OldMatrix {
+            node: self.node.clone(),
+            nrows: self.nrows,
+            ncols: self.ncols,
+        }
+    }
 }
 
 impl<T: Scalar> OldMatrix<T> {
@@ -145,6 +214,15 @@ impl<T: Scalar> OldMatrix<T> {
 pub(crate) struct OldVector<T: Scalar> {
     node: Option<Arc<crate::object::vector::VectorNode<T>>>,
     n: Index,
+}
+
+impl<T: Scalar> Clone for OldVector<T> {
+    fn clone(&self) -> Self {
+        OldVector {
+            node: self.node.clone(),
+            n: self.n,
+        }
+    }
 }
 
 impl<T: Scalar> OldVector<T> {

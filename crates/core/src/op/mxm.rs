@@ -1,11 +1,15 @@
 //! `GrB_mxm`: `C<Mask> ⊙= A ⊕.⊗ B` (paper, Figure 2).
 
+use std::any::Any;
+use std::sync::Arc;
+
 use crate::accum::Accumulate;
 use crate::algebra::binary::BinaryOp;
 use crate::algebra::semiring::Semiring;
 use crate::descriptor::Descriptor;
 use crate::error::{dim_check, Result};
-use crate::exec::Context;
+use crate::exec::fuse::MatProducer;
+use crate::exec::{Completable, Context};
 use crate::kernel::mxm::{mxm as mxm_kernel, mxm_dot, mxm_hyper, MxmStrategy};
 use crate::kernel::write::write_matrix;
 use crate::mask::MaskCsr;
@@ -14,6 +18,7 @@ use crate::object::matrix::oriented_storage;
 use crate::object::Matrix;
 use crate::op::{check_mask_dims2, effective_dims};
 use crate::scalar::Scalar;
+use crate::storage::csr::Csr;
 use crate::storage::engine::{Layout, MatrixStore};
 
 impl Context {
@@ -85,71 +90,103 @@ impl Context {
         // overwrite).
         let write_is_identity = !Ac::IS_ACCUM && msnap.is_all();
 
-        let eval = move || {
-            // Hypersparse fast path: A stored hypersparse and used
-            // untransposed — walk only its non-empty rows and emit a
-            // hypersparse store directly, skipping the O(nrows) CSR
-            // assembly entirely.
-            if write_is_identity && !tr_a {
-                if let Layout::Hyper(a_hyper) = a_node.ready_storage()?.layout() {
-                    let a_hyper = a_hyper.clone();
-                    let b_st = oriented_storage(&b_node, tr_b)?;
-                    let t = mxm_hyper(&semiring, &a_hyper, &b_st, &MaskCsr::All);
-                    if let Some(e) = semiring
-                        .add()
-                        .poll_error()
-                        .or_else(|| semiring.mul().poll_error())
-                    {
-                        return Err(e);
+        // The internal product `T = A ⊕.⊗ B` under a write mask, shared
+        // between the unfused evaluator and the node's fusion face (where
+        // a downstream consumer's mask gets pushed down into it).
+        let product = {
+            let (a_node, b_node) = (a_node.clone(), b_node.clone());
+            let semiring = semiring.clone();
+            move |mcsr: &MaskCsr| -> Result<Csr<D3>> {
+                let a_st = oriented_storage(&a_node, tr_a)?;
+                let b_st = oriented_storage(&b_node, tr_b)?;
+
+                // Strongly masked products: switch to dot-product form when
+                // the admitted set is far smaller than the scatter flop
+                // count — or as soon as it's merely no larger, when B's
+                // transposed view is already materialized (a Csc store or a
+                // cached conversion) and the dot form costs no transpose.
+                let t = match mcsr {
+                    MaskCsr::Pattern {
+                        pattern,
+                        complement: false,
+                    } if pattern.nvals() > 0 => {
+                        let flops: usize = a_st.col_idx().iter().map(|&k| b_st.row_nvals(k)).sum();
+                        let bt_free = b_node.ready_storage()?.csr_view_ready(!tr_b);
+                        if pattern.nvals() * 16 <= flops || (bt_free && pattern.nvals() <= flops) {
+                            // B^T comes from the store's memoized column
+                            // view; if the descriptor already transposed B,
+                            // the effective B^T is B itself.
+                            let bt_st = oriented_storage(&b_node, !tr_b)?;
+                            mxm_dot(&semiring, &a_st, &bt_st, pattern)
+                        } else {
+                            mxm_kernel(&semiring, &a_st, &b_st, mcsr, MxmStrategy::Auto)
+                        }
                     }
-                    return Ok(MatrixStore::hyper(t));
+                    _ => mxm_kernel(&semiring, &a_st, &b_st, mcsr, MxmStrategy::Auto),
+                };
+
+                if let Some(e) = semiring
+                    .add()
+                    .poll_error()
+                    .or_else(|| semiring.mul().poll_error())
+                {
+                    return Err(e);
                 }
+                Ok(t)
             }
-
-            let a_st = oriented_storage(&a_node, tr_a)?;
-            let b_st = oriented_storage(&b_node, tr_b)?;
-            let c_old = c_old_cap.storage()?;
-            let mcsr = msnap.materialize()?;
-
-            // Strongly masked products: switch to dot-product form when
-            // the admitted set is far smaller than the scatter flop
-            // count — or as soon as it's merely no larger, when B's
-            // transposed view is already materialized (a Csc store or a
-            // cached conversion) and the dot form costs no transpose.
-            let t = match &mcsr {
-                MaskCsr::Pattern {
-                    pattern,
-                    complement: false,
-                } if pattern.nvals() > 0 => {
-                    let flops: usize = a_st.col_idx().iter().map(|&k| b_st.row_nvals(k)).sum();
-                    let bt_free = b_node.ready_storage()?.csr_view_ready(!tr_b);
-                    if pattern.nvals() * 16 <= flops || (bt_free && pattern.nvals() <= flops) {
-                        // B^T comes from the store's memoized column
-                        // view; if the descriptor already transposed B,
-                        // the effective B^T is B itself.
-                        let bt_st = oriented_storage(&b_node, !tr_b)?;
-                        mxm_dot(&semiring, &a_st, &bt_st, pattern)
-                    } else {
-                        mxm_kernel(&semiring, &a_st, &b_st, &mcsr, MxmStrategy::Auto)
-                    }
-                }
-                _ => mxm_kernel(&semiring, &a_st, &b_st, &mcsr, MxmStrategy::Auto),
-            };
-
-            if let Some(e) = semiring
-                .add()
-                .poll_error()
-                .or_else(|| semiring.mul().poll_error())
-            {
-                return Err(e);
-            }
-            let out = write_matrix(&c_old, t, &accum, &mcsr, replace);
-            if let Some(e) = accum.poll_error() {
-                return Err(e);
-            }
-            Ok(MatrixStore::csr(out))
         };
-        self.submit_matrix_store("mxm", c, deps, Box::new(eval))
+
+        let eval = {
+            let product = product.clone();
+            move || {
+                // Hypersparse fast path: A stored hypersparse and used
+                // untransposed — walk only its non-empty rows and emit a
+                // hypersparse store directly, skipping the O(nrows) CSR
+                // assembly entirely.
+                if write_is_identity && !tr_a {
+                    if let Layout::Hyper(a_hyper) = a_node.ready_storage()?.layout() {
+                        let a_hyper = a_hyper.clone();
+                        let b_st = oriented_storage(&b_node, tr_b)?;
+                        let t = mxm_hyper(&semiring, &a_hyper, &b_st, &MaskCsr::All);
+                        if let Some(e) = semiring
+                            .add()
+                            .poll_error()
+                            .or_else(|| semiring.mul().poll_error())
+                        {
+                            return Err(e);
+                        }
+                        return Ok(MatrixStore::hyper(t));
+                    }
+                }
+
+                let c_old = c_old_cap.storage()?;
+                let mcsr = msnap.materialize()?;
+                let t = product(&mcsr)?;
+                let out = write_matrix(&c_old, t, &accum, &mcsr, replace);
+                if let Some(e) = accum.poll_error() {
+                    return Err(e);
+                }
+                Ok(MatrixStore::csr(out))
+            }
+        };
+        let face_deps: Vec<Arc<dyn Completable>> = deps.clone();
+        let Some(node) = self.submit_matrix_store_fusable("mxm", c, deps, Box::new(eval))? else {
+            return Ok(());
+        };
+        if write_is_identity {
+            // Pure product: downstream consumers may recompute it under
+            // their own write mask (rewrite 3, the masked-SpGEMM win) or
+            // fold a unary op into its output stage (rewrite 2).
+            node.set_fuse_face(Arc::new(MatProducer::<D3> {
+                deps: face_deps,
+                compute: Arc::new(product),
+                maskable: true,
+                lazy: None,
+                dot: None,
+                kind: "mxm",
+            }) as Arc<dyn Any + Send + Sync>);
+        }
+        Ok(())
     }
 }
 

@@ -1,20 +1,26 @@
 //! `GrB_mxv` and `GrB_vxm` (Table II): matrix–vector products over a
 //! semiring.
 
+use std::any::Any;
+use std::sync::Arc;
+
 use crate::accum::Accumulate;
 use crate::algebra::binary::BinaryOp;
 use crate::algebra::semiring::Semiring;
 use crate::descriptor::Descriptor;
 use crate::error::{dim_check, Result};
-use crate::exec::Context;
+use crate::exec::fuse::VecProducer;
+use crate::exec::{Completable, Context};
 use crate::kernel::mxv::{mxv as mxv_kernel, mxv_bitmap, vxm as vxm_kernel};
 use crate::kernel::write::write_vector;
+use crate::mask::MaskVec;
 use crate::object::mask_arg::VectorMask;
 use crate::object::matrix::oriented_storage;
 use crate::object::{Matrix, Vector};
 use crate::op::{check_mask_dims1, effective_dims};
 use crate::scalar::Scalar;
 use crate::storage::engine::Layout;
+use crate::storage::vec::SparseVec;
 
 impl Context {
     /// `GrB_mxv(w, mask, accum, op, A, u, desc)`:
@@ -63,35 +69,63 @@ impl Context {
         deps.extend(w_old_cap.dep());
         deps.extend(msnap.deps());
         let replace = desc.is_replace();
+        let pure = !Ac::IS_ACCUM && msnap.is_all();
 
-        let eval = move || {
-            let u_st = u_node.ready_storage()?;
-            let w_old = w_old_cap.storage()?;
-            let mvec = msnap.materialize()?;
-            // Bitmap pull fast path: A stored as a bitmap and read
-            // untransposed — word-walk its presence bits against the
-            // scattered vector instead of converting to CSR.
-            let t = match (tr_a, a_node.ready_storage()?.layout()) {
-                (false, Layout::Bitmap(a_bits)) => mxv_bitmap(&semiring, a_bits, &u_st, &mvec),
-                _ => {
-                    let a_st = oriented_storage(&a_node, tr_a)?;
-                    mxv_kernel(&semiring, &a_st, &u_st, &mvec)
+        // The internal product under a write mask, shared between the
+        // unfused evaluator and the node's fusion face (mask pushdown).
+        let product = {
+            let (a_node, u_node) = (a_node.clone(), u_node.clone());
+            let semiring = semiring.clone();
+            move |mvec: &MaskVec| -> Result<SparseVec<D3>> {
+                let u_st = u_node.ready_storage()?;
+                // Bitmap pull fast path: A stored as a bitmap and read
+                // untransposed — word-walk its presence bits against the
+                // scattered vector instead of converting to CSR.
+                let t = match (tr_a, a_node.ready_storage()?.layout()) {
+                    (false, Layout::Bitmap(a_bits)) => mxv_bitmap(&semiring, a_bits, &u_st, mvec),
+                    _ => {
+                        let a_st = oriented_storage(&a_node, tr_a)?;
+                        mxv_kernel(&semiring, &a_st, &u_st, mvec)
+                    }
+                };
+                if let Some(e) = semiring
+                    .add()
+                    .poll_error()
+                    .or_else(|| semiring.mul().poll_error())
+                {
+                    return Err(e);
                 }
-            };
-            if let Some(e) = semiring
-                .add()
-                .poll_error()
-                .or_else(|| semiring.mul().poll_error())
-            {
-                return Err(e);
+                Ok(t)
             }
-            let out = write_vector(&w_old, t, &accum, &mvec, replace);
-            if let Some(e) = accum.poll_error() {
-                return Err(e);
-            }
-            Ok(out)
         };
-        self.submit_vector("mxv", w, deps, Box::new(eval))
+        let eval = {
+            let product = product.clone();
+            move || {
+                let w_old = w_old_cap.storage()?;
+                let mvec = msnap.materialize()?;
+                let t = product(&mvec)?;
+                let out = write_vector(&w_old, t, &accum, &mvec, replace);
+                if let Some(e) = accum.poll_error() {
+                    return Err(e);
+                }
+                Ok(out)
+            }
+        };
+        let face_deps: Vec<Arc<dyn Completable>> = deps.clone();
+        let Some(node) = self.submit_vector_fusable("mxv", w, deps, Box::new(eval))? else {
+            return Ok(());
+        };
+        if pure {
+            node.set_fuse_face(Arc::new(VecProducer::<D3> {
+                deps: face_deps,
+                compute: Arc::new(product),
+                maskable: true,
+                lazy: None,
+                dot: None,
+                kind: "mxv",
+            }) as Arc<dyn Any + Send + Sync>);
+        }
+        Ok(())
     }
 
     /// `GrB_vxm(w, mask, accum, op, u, A, desc)`:
@@ -142,26 +176,53 @@ impl Context {
         deps.extend(msnap.deps());
         let replace = desc.is_replace();
 
-        let eval = move || {
-            let a_st = oriented_storage(&a_node, tr_a)?;
-            let u_st = u_node.ready_storage()?;
-            let w_old = w_old_cap.storage()?;
-            let mvec = msnap.materialize()?;
-            let t = vxm_kernel(&semiring, &u_st, &a_st, &mvec);
-            if let Some(e) = semiring
-                .add()
-                .poll_error()
-                .or_else(|| semiring.mul().poll_error())
-            {
-                return Err(e);
+        let pure = !Ac::IS_ACCUM && msnap.is_all();
+
+        let product = {
+            let (a_node, u_node) = (a_node.clone(), u_node.clone());
+            let semiring = semiring.clone();
+            move |mvec: &MaskVec| -> Result<SparseVec<D3>> {
+                let a_st = oriented_storage(&a_node, tr_a)?;
+                let u_st = u_node.ready_storage()?;
+                let t = vxm_kernel(&semiring, &u_st, &a_st, mvec);
+                if let Some(e) = semiring
+                    .add()
+                    .poll_error()
+                    .or_else(|| semiring.mul().poll_error())
+                {
+                    return Err(e);
+                }
+                Ok(t)
             }
-            let out = write_vector(&w_old, t, &accum, &mvec, replace);
-            if let Some(e) = accum.poll_error() {
-                return Err(e);
-            }
-            Ok(out)
         };
-        self.submit_vector("vxm", w, deps, Box::new(eval))
+        let eval = {
+            let product = product.clone();
+            move || {
+                let w_old = w_old_cap.storage()?;
+                let mvec = msnap.materialize()?;
+                let t = product(&mvec)?;
+                let out = write_vector(&w_old, t, &accum, &mvec, replace);
+                if let Some(e) = accum.poll_error() {
+                    return Err(e);
+                }
+                Ok(out)
+            }
+        };
+        let face_deps: Vec<Arc<dyn Completable>> = deps.clone();
+        let Some(node) = self.submit_vector_fusable("vxm", w, deps, Box::new(eval))? else {
+            return Ok(());
+        };
+        if pure {
+            node.set_fuse_face(Arc::new(VecProducer::<D3> {
+                deps: face_deps,
+                compute: Arc::new(product),
+                maskable: true,
+                lazy: None,
+                dot: None,
+                kind: "vxm",
+            }) as Arc<dyn Any + Send + Sync>);
+        }
+        Ok(())
     }
 }
 

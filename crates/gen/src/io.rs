@@ -72,8 +72,23 @@ pub fn read_mtx(r: impl Read) -> std::io::Result<MtxMatrix> {
         match dims {
             None => {
                 let nnz: usize = parts.next().and_then(|x| x.parse().ok()).ok_or_else(bad)?;
+                // A hostile size line must fail cleanly, never abort:
+                // bound the entry count by what the shape can hold
+                // (when that product is representable) …
+                if let Some(cap) = a.checked_mul(b) {
+                    if nnz > cap {
+                        return Err(mtx_err(format!(
+                            "size line promises {nnz} entries but a {a}x{b} matrix \
+                             holds at most {cap}"
+                        )));
+                    }
+                }
                 dims = Some((a, b, nnz));
-                tuples.reserve(nnz);
+                // … and never trust it for an up-front allocation — an
+                // uncapped `reserve(usize::MAX)` aborts on capacity
+                // overflow before the count-mismatch check can reject
+                // the file. The cap is a hint; pushes still grow.
+                tuples.reserve(nnz.min(1 << 20));
             }
             Some((nrows, ncols, _)) => {
                 let v: f64 = if pattern {
@@ -308,5 +323,50 @@ mod tests {
         // 0-based index (mtx is 1-based)
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
         assert!(read_mtx(text.as_bytes()).is_err());
+        // … in either coordinate
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 0 1.0\n";
+        assert!(read_mtx(text.as_bytes()).is_err());
+        // more entries than promised is a mismatch too
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 2.0\n";
+        assert!(read_mtx(text.as_bytes()).is_err());
+    }
+
+    /// A size line whose numbers don't fit `usize` must produce an
+    /// `InvalidData` error — not a panic, and not silent truncation.
+    #[test]
+    fn mtx_rejects_overflowing_dims() {
+        let huge = "9".repeat(30); // > usize::MAX
+        for size_line in [
+            format!("{huge} 3 1"),
+            format!("3 {huge} 1"),
+            format!("3 3 {huge}"),
+        ] {
+            let text = format!("%%MatrixMarket matrix coordinate real general\n{size_line}\n");
+            let e = read_mtx(text.as_bytes()).unwrap_err();
+            assert_eq!(e.kind(), std::io::ErrorKind::InvalidData, "{size_line}");
+        }
+    }
+
+    /// A hostile-but-parseable entry count must not be able to abort the
+    /// process through an up-front allocation; it fails either the
+    /// shape-capacity bound or the final count check.
+    #[test]
+    fn mtx_hostile_nnz_fails_cleanly() {
+        // usize::MAX entries in a 2x2 shape: rejected by the capacity bound
+        let text = format!(
+            "%%MatrixMarket matrix coordinate real general\n2 2 {}\n1 1 1.0\n",
+            usize::MAX
+        );
+        let e = read_mtx(text.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("holds at most"), "{e}");
+        // dims whose product overflows skip the bound; the reserve cap
+        // keeps the huge count harmless and the mismatch check rejects it
+        let text = format!(
+            "%%MatrixMarket matrix coordinate real general\n{n} {n} {}\n1 1 1.0\n",
+            usize::MAX,
+            n = usize::MAX / 2
+        );
+        let e = read_mtx(text.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("promises"), "{e}");
     }
 }

@@ -1,5 +1,5 @@
 //! Brandes' betweenness centrality (Brandes 2001) — the paper's
-//! reference [9], implemented the classic way: one BFS per source with a
+//! reference \[9\], implemented the classic way: one BFS per source with a
 //! stack-ordered backward accumulation. O(mn) on unweighted graphs.
 //!
 //! This is the oracle the GraphBLAS `BC_update` (Figure 3) is

@@ -6,7 +6,7 @@
 //! the cross-validation tests:
 //!
 //! * [`bc::brandes`] — Brandes' betweenness centrality (the paper's
-//!   reference [9] and the algorithm Figure 3 re-expresses);
+//!   reference \[9\] and the algorithm Figure 3 re-expresses);
 //! * [`traversal::bfs_levels`] / [`traversal::bfs_parents`];
 //! * [`paths::bellman_ford`] / [`paths::dijkstra`];
 //! * [`triangles::triangle_count`] (node-iterator);

@@ -21,4 +21,7 @@ cargo test -q --workspace
 echo "== cargo test -q -p graphblas-core --no-default-features (sequential path)"
 cargo test -q -p graphblas-core --no-default-features
 
+echo "== cargo doc --workspace --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== OK"

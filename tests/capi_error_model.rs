@@ -178,3 +178,97 @@ fn figure2_success_path_returns_unit() {
     })
     .unwrap();
 }
+
+/// §V: `GrB_error()` elaborates on "the error code returned by the last
+/// method" — *API* errors included, not just execution-time ones. The
+/// dimension-mismatch detail must be retrievable after the call returns.
+#[test]
+fn grb_error_elaborates_api_errors() {
+    grb::with_session(Mode::Blocking, || {
+        let a = GrbMatrix::new(GrbType::Int32, 2, 3).unwrap();
+        let c = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+        let e = grb::mxm(
+            &c,
+            None,
+            None,
+            &int32_semiring(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap_err();
+        assert_eq!(e.code_name(), "GrB_DIMENSION_MISMATCH");
+        let detail = grb::error().expect("GrB_error text after an API error");
+        assert_eq!(detail, e.to_string());
+        assert!(detail.contains("GrB_DIMENSION_MISMATCH"), "{detail}");
+
+        // domain mismatches are API errors too
+        let f = GrbMatrix::new(GrbType::Fp64, 2, 2).unwrap();
+        let e2 = grb::mxm(
+            &f,
+            None,
+            None,
+            &int32_semiring(),
+            &c,
+            &c,
+            &Descriptor::default(),
+        )
+        .unwrap_err();
+        assert_eq!(e2.code_name(), "GrB_DOMAIN_MISMATCH");
+        assert_eq!(grb::error().unwrap(), e2.to_string());
+    })
+    .unwrap();
+}
+
+/// The fusion policy rides through the facade's init, and the §IV
+/// rewrites stay observation-equivalent across the C-shaped API.
+#[test]
+fn init_with_fuse_policy_controls_rewrites() {
+    use graphblas_capi::{FusePolicy, GrbUnaryOp, SchedPolicy};
+    let run = |fuse: FusePolicy| -> Vec<(usize, usize, Value)> {
+        grb::with_session_policies(Mode::Nonblocking, SchedPolicy::Sequential, fuse, || {
+            grb::enable_trace(true).unwrap();
+            let a = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+            a.set(0, 0, Value::Int32(2)).unwrap();
+            a.set(1, 1, Value::Int32(3)).unwrap();
+            let mask = GrbMatrix::new(GrbType::Bool, 2, 2).unwrap();
+            mask.set(0, 0, Value::Bool(true)).unwrap();
+            let out = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+            {
+                let tmp = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+                grb::mxm(
+                    &tmp,
+                    None,
+                    None,
+                    &int32_semiring(),
+                    &a,
+                    &a,
+                    &Descriptor::default(),
+                )
+                .unwrap();
+                grb::apply_matrix(
+                    &out,
+                    Some(&mask),
+                    None,
+                    &GrbUnaryOp::identity(GrbType::Int32),
+                    &tmp,
+                    &Descriptor::default(),
+                )
+                .unwrap();
+            } // tmp dropped: exclusively dead before wait
+            grb::wait().unwrap();
+            let fused = grb::take_trace()
+                .unwrap()
+                .iter()
+                .filter(|e| e.kind == "fused")
+                .count();
+            match fuse {
+                FusePolicy::On => assert_eq!(fused, 1, "mask-pushdown should fire"),
+                FusePolicy::Off => assert_eq!(fused, 0, "ablation baseline must not rewrite"),
+            }
+            out.extract_tuples().unwrap()
+        })
+        .unwrap()
+    };
+    assert_eq!(run(FusePolicy::On), run(FusePolicy::Off));
+}

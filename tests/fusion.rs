@@ -1,0 +1,378 @@
+//! The §IV fusion latitude observed from the outside: the `exec::fuse`
+//! rewrite pass may only change *how* a pending DAG executes, never what
+//! a program can observe. These tests drive each rewrite through the
+//! public API, assert that it actually fired (via the `"fused"` trace
+//! events), and check the results against a `FusePolicy::Off` run of the
+//! same program.
+
+use graphblas_core::prelude::*;
+
+fn mat(t: &[(usize, usize, i64)]) -> Matrix<i64> {
+    Matrix::from_tuples(4, 4, t).unwrap()
+}
+
+fn a_tuples() -> Vec<(usize, usize, i64)> {
+    vec![(0, 0, 2), (0, 2, -1), (1, 1, 3), (2, 0, 4), (3, 3, 5)]
+}
+
+fn b_tuples() -> Vec<(usize, usize, i64)> {
+    vec![(0, 1, 1), (1, 1, -2), (2, 3, 7), (3, 0, 6)]
+}
+
+fn ctx_with(fuse: FusePolicy) -> Context {
+    Context::with_fuse_policy(Mode::Nonblocking, SchedPolicy::Sequential, fuse)
+}
+
+/// The `"fused"` notes recorded in a drained trace.
+fn fused_notes(trace: &[TraceEvent]) -> Vec<FusedNote> {
+    trace
+        .iter()
+        .filter(|e| e.kind == "fused")
+        .map(|e| e.fused.unwrap())
+        .collect()
+}
+
+/// Kinds of the nodes the scheduler actually ran (fusion notes excluded).
+fn scheduled_kinds(trace: &[TraceEvent]) -> Vec<&'static str> {
+    trace
+        .iter()
+        .filter(|e| e.kind != "fused")
+        .map(|e| e.kind)
+        .collect()
+}
+
+/// mxm → masked apply, with the intermediate handle dropped before
+/// `wait()`: the headline rewrite. The mask is pushed down into the
+/// producer's compute and the mxm node is never scheduled.
+fn masked_apply_over_mxm(fuse: FusePolicy) -> (Vec<(usize, usize, i64)>, Vec<TraceEvent>) {
+    let ctx = ctx_with(fuse);
+    ctx.enable_trace(true);
+    let a = mat(&a_tuples());
+    let b = mat(&b_tuples());
+    let mask = mat(&[(0, 1, 1), (2, 3, 1)]);
+    let out = Matrix::<i64>::new(4, 4).unwrap();
+    let d = Descriptor::default();
+    let tmp = Matrix::<i64>::new(4, 4).unwrap();
+    ctx.mxm(&tmp, NoMask, NoAccum, plus_times::<i64>(), &a, &b, &d)
+        .unwrap();
+    ctx.apply_matrix(&out, &mask, NoAccum, Identity::new(), &tmp, &d)
+        .unwrap();
+    drop(tmp); // intermediate becomes exclusively dead
+    ctx.wait().unwrap();
+    (out.extract_tuples().unwrap(), ctx.take_trace())
+}
+
+#[test]
+fn mask_pushdown_absorbs_the_mxm_producer() {
+    let (fused_out, trace) = masked_apply_over_mxm(FusePolicy::On);
+    let notes = fused_notes(&trace);
+    assert_eq!(notes.len(), 1, "trace: {trace:?}");
+    assert_eq!(notes[0].rewrite, "mask-pushdown");
+    assert_eq!(notes[0].producer, "mxm");
+    assert_eq!(notes[0].consumer, "apply");
+    // the absorbed mxm never reaches the scheduler; only the fused
+    // apply node runs
+    assert_eq!(scheduled_kinds(&trace), vec!["apply"]);
+
+    let (plain_out, off_trace) = masked_apply_over_mxm(FusePolicy::Off);
+    assert!(fused_notes(&off_trace).is_empty());
+    assert_eq!(scheduled_kinds(&off_trace), vec!["mxm", "apply"]);
+    assert_eq!(fused_out, plain_out);
+}
+
+/// mxv → masked apply_vector: the vector-side mask pushdown.
+#[test]
+fn mask_pushdown_works_on_vectors() {
+    let run = |fuse: FusePolicy| {
+        let ctx = ctx_with(fuse);
+        ctx.enable_trace(true);
+        let a = mat(&a_tuples());
+        let u = Vector::from_dense(&[1i64, 2, 3, 4]).unwrap();
+        let mask = Vector::from_tuples(4, &[(0, true), (3, true)]).unwrap();
+        let out = Vector::<i64>::new(4).unwrap();
+        let d = Descriptor::default();
+        let tmp = Vector::<i64>::new(4).unwrap();
+        ctx.mxv(&tmp, NoMask, NoAccum, plus_times::<i64>(), &a, &u, &d)
+            .unwrap();
+        ctx.apply_vector(&out, &mask, NoAccum, Identity::new(), &tmp, &d)
+            .unwrap();
+        drop(tmp);
+        ctx.wait().unwrap();
+        (out.extract_tuples().unwrap(), ctx.take_trace())
+    };
+    let (fused_out, trace) = run(FusePolicy::On);
+    let notes = fused_notes(&trace);
+    assert_eq!(notes.len(), 1);
+    assert_eq!(notes[0].rewrite, "mask-pushdown");
+    assert_eq!(notes[0].producer, "mxv");
+    assert_eq!(scheduled_kinds(&trace), vec!["apply"]);
+    let (plain_out, _) = run(FusePolicy::Off);
+    assert_eq!(fused_out, plain_out);
+}
+
+/// apply ∘ apply ∘ apply over a complete input collapses to one node:
+/// the pass cascades, each hook composing over the producer's
+/// (re-installed) face.
+#[test]
+fn apply_chains_cascade_into_one_node() {
+    let run = |fuse: FusePolicy| {
+        let ctx = ctx_with(fuse);
+        ctx.enable_trace(true);
+        let a = mat(&a_tuples());
+        let out = Matrix::<i64>::new(4, 4).unwrap();
+        let d = Descriptor::default();
+        let tmp1 = Matrix::<i64>::new(4, 4).unwrap();
+        let tmp2 = Matrix::<i64>::new(4, 4).unwrap();
+        ctx.apply_matrix(&tmp1, NoMask, NoAccum, unary_fn(|x: &i64| x * 10), &a, &d)
+            .unwrap();
+        ctx.apply_matrix(&tmp2, NoMask, NoAccum, unary_fn(|x: &i64| x + 1), &tmp1, &d)
+            .unwrap();
+        ctx.apply_matrix(&out, NoMask, NoAccum, unary_fn(|x: &i64| -x), &tmp2, &d)
+            .unwrap();
+        drop(tmp1);
+        drop(tmp2);
+        ctx.wait().unwrap();
+        (out.extract_tuples().unwrap(), ctx.take_trace())
+    };
+    let (fused_out, trace) = run(FusePolicy::On);
+    let notes = fused_notes(&trace);
+    assert_eq!(notes.len(), 2, "trace: {trace:?}");
+    for n in &notes {
+        assert_eq!(n.rewrite, "apply-chain");
+        assert_eq!(n.producer, "apply");
+        assert_eq!(n.consumer, "apply");
+    }
+    assert_eq!(scheduled_kinds(&trace), vec!["apply"]);
+    let (plain_out, off_trace) = run(FusePolicy::Off);
+    assert_eq!(scheduled_kinds(&off_trace), vec!["apply", "apply", "apply"]);
+    assert_eq!(fused_out, plain_out);
+    let expect: Vec<_> = a_tuples()
+        .into_iter()
+        .map(|(i, j, v)| (i, j, -(v * 10 + 1)))
+        .collect();
+    assert_eq!(fused_out, expect);
+}
+
+/// An unmasked apply over a pending mxm has no mask to push down and no
+/// lazy face on the producer; it still absorbs it as a plain
+/// apply-into-producer rewrite.
+#[test]
+fn unmasked_apply_absorbs_mxm() {
+    let ctx = ctx_with(FusePolicy::On);
+    ctx.enable_trace(true);
+    let a = mat(&a_tuples());
+    let b = mat(&b_tuples());
+    let out = Matrix::<i64>::new(4, 4).unwrap();
+    let d = Descriptor::default();
+    let tmp = Matrix::<i64>::new(4, 4).unwrap();
+    ctx.mxm(&tmp, NoMask, NoAccum, plus_times::<i64>(), &a, &b, &d)
+        .unwrap();
+    ctx.apply_matrix(&out, NoMask, NoAccum, unary_fn(|x: &i64| x * 2), &tmp, &d)
+        .unwrap();
+    drop(tmp);
+    ctx.wait().unwrap();
+    let trace = ctx.take_trace();
+    let notes = fused_notes(&trace);
+    assert_eq!(notes.len(), 1);
+    assert_eq!(notes[0].rewrite, "apply-into-producer");
+    assert_eq!(notes[0].producer, "mxm");
+    assert_eq!(scheduled_kinds(&trace), vec!["apply"]);
+}
+
+/// eWiseMult → scalar reduce folds element-by-element without ever
+/// materializing the product — the fused dot product. The producer is
+/// left pending (its value was never needed) and still forces cleanly
+/// afterwards.
+#[test]
+fn dot_reduce_fuses_vector_ewise_mult() {
+    let ctx = ctx_with(FusePolicy::On);
+    ctx.enable_trace(true);
+    let u = Vector::from_dense(&[1i64, 2, 3, 4]).unwrap();
+    let v = Vector::from_dense(&[5i64, 6, 7, 8]).unwrap();
+    let tmp = Vector::<i64>::new(4).unwrap();
+    let d = Descriptor::default();
+    ctx.ewise_mult_vector(&tmp, NoMask, NoAccum, Times::new(), &u, &v, &d)
+        .unwrap();
+    let s = ctx
+        .reduce_vector_to_scalar(PlusMonoid::<i64>::new(), &tmp)
+        .unwrap();
+    assert_eq!(s, 5 + 12 + 21 + 32);
+    let notes = fused_notes(&ctx.take_trace());
+    assert_eq!(notes.len(), 1);
+    assert_eq!(notes[0].rewrite, "dot-reduce");
+    assert_eq!(notes[0].producer, "eWiseMult");
+    assert_eq!(notes[0].consumer, "reduce");
+    // the intermediate was never computed ...
+    assert!(!tmp.is_complete());
+    // ... but forcing it later still works
+    assert_eq!(
+        tmp.extract_tuples().unwrap(),
+        vec![(0, 5), (1, 12), (2, 21), (3, 32)]
+    );
+}
+
+#[test]
+fn dot_reduce_fuses_matrix_ewise_mult() {
+    let ctx = ctx_with(FusePolicy::On);
+    ctx.enable_trace(true);
+    let a = mat(&a_tuples());
+    let tmp = Matrix::<i64>::new(4, 4).unwrap();
+    let d = Descriptor::default();
+    ctx.ewise_mult_matrix(&tmp, NoMask, NoAccum, Times::new(), &a, &a, &d)
+        .unwrap();
+    let s = ctx
+        .reduce_matrix_to_scalar(PlusMonoid::<i64>::new(), &tmp)
+        .unwrap();
+    // Σ v² over A's entries
+    let expect: i64 = a_tuples().iter().map(|&(_, _, v)| v * v).sum();
+    assert_eq!(s, expect);
+    let notes = fused_notes(&ctx.take_trace());
+    assert_eq!(notes.len(), 1);
+    assert_eq!(notes[0].rewrite, "dot-reduce");
+    assert!(!tmp.is_complete());
+}
+
+/// A live handle on the intermediate is an observation the rewrite must
+/// respect: the program could still read `tmp`, so nothing fuses.
+#[test]
+fn live_intermediate_handle_blocks_fusion() {
+    let ctx = ctx_with(FusePolicy::On);
+    ctx.enable_trace(true);
+    let a = mat(&a_tuples());
+    let b = mat(&b_tuples());
+    let mask = mat(&[(0, 1, 1)]);
+    let out = Matrix::<i64>::new(4, 4).unwrap();
+    let d = Descriptor::default();
+    let tmp = Matrix::<i64>::new(4, 4).unwrap();
+    ctx.mxm(&tmp, NoMask, NoAccum, plus_times::<i64>(), &a, &b, &d)
+        .unwrap();
+    ctx.apply_matrix(&out, &mask, NoAccum, Identity::new(), &tmp, &d)
+        .unwrap();
+    ctx.wait().unwrap(); // tmp still in scope
+    let trace = ctx.take_trace();
+    assert!(fused_notes(&trace).is_empty(), "trace: {trace:?}");
+    assert_eq!(scheduled_kinds(&trace), vec!["mxm", "apply"]);
+    assert!(tmp.is_complete());
+}
+
+/// `dup()` aliases the pending node into a second object, so dropping
+/// the original handle no longer makes the node unobservable.
+#[test]
+fn dup_pins_the_producer_against_fusion() {
+    let ctx = ctx_with(FusePolicy::On);
+    ctx.enable_trace(true);
+    let a = mat(&a_tuples());
+    let b = mat(&b_tuples());
+    let out = Matrix::<i64>::new(4, 4).unwrap();
+    let d = Descriptor::default();
+    let tmp = Matrix::<i64>::new(4, 4).unwrap();
+    ctx.mxm(&tmp, NoMask, NoAccum, plus_times::<i64>(), &a, &b, &d)
+        .unwrap();
+    let alias = tmp.dup();
+    ctx.apply_matrix(&out, NoMask, NoAccum, Identity::new(), &tmp, &d)
+        .unwrap();
+    drop(tmp);
+    ctx.wait().unwrap();
+    let trace = ctx.take_trace();
+    assert!(fused_notes(&trace).is_empty(), "trace: {trace:?}");
+    assert!(alias.is_complete());
+    assert_eq!(
+        alias.extract_tuples().unwrap(),
+        out.extract_tuples().unwrap()
+    );
+}
+
+/// Two consumers of the same dead intermediate: the edge count is 2, so
+/// neither absorbs it — it must compute once and be shared.
+#[test]
+fn shared_intermediate_is_not_absorbed() {
+    let ctx = ctx_with(FusePolicy::On);
+    ctx.enable_trace(true);
+    let a = mat(&a_tuples());
+    let out1 = Matrix::<i64>::new(4, 4).unwrap();
+    let out2 = Matrix::<i64>::new(4, 4).unwrap();
+    let d = Descriptor::default();
+    let tmp = Matrix::<i64>::new(4, 4).unwrap();
+    ctx.apply_matrix(&tmp, NoMask, NoAccum, unary_fn(|x: &i64| x * 10), &a, &d)
+        .unwrap();
+    ctx.apply_matrix(&out1, NoMask, NoAccum, unary_fn(|x: &i64| x + 1), &tmp, &d)
+        .unwrap();
+    ctx.ewise_add_matrix(&out2, NoMask, NoAccum, Plus::new(), &a, &tmp, &d)
+        .unwrap();
+    drop(tmp);
+    ctx.wait().unwrap();
+    let trace = ctx.take_trace();
+    assert!(fused_notes(&trace).is_empty(), "trace: {trace:?}");
+    assert_eq!(scheduled_kinds(&trace), vec!["apply", "apply", "eWiseAdd"]);
+    let expect1: Vec<_> = a_tuples()
+        .into_iter()
+        .map(|(i, j, v)| (i, j, v * 10 + 1))
+        .collect();
+    assert_eq!(out1.extract_tuples().unwrap(), expect1);
+}
+
+/// `FusePolicy::Off` is the ablation baseline: every node executes as
+/// written.
+#[test]
+fn fuse_policy_off_disables_every_rewrite() {
+    let ctx = ctx_with(FusePolicy::Off);
+    assert_eq!(ctx.fuse_policy(), FusePolicy::Off);
+    ctx.enable_trace(true);
+    let u = Vector::from_dense(&[1i64, 2, 3]).unwrap();
+    let tmp = Vector::<i64>::new(3).unwrap();
+    let d = Descriptor::default();
+    ctx.ewise_mult_vector(&tmp, NoMask, NoAccum, Times::new(), &u, &u, &d)
+        .unwrap();
+    let s = ctx
+        .reduce_vector_to_scalar(PlusMonoid::<i64>::new(), &tmp)
+        .unwrap();
+    assert_eq!(s, 1 + 4 + 9);
+    assert!(fused_notes(&ctx.take_trace()).is_empty());
+    // the unfused path had to materialize the intermediate
+    assert!(tmp.is_complete());
+}
+
+/// Blocking mode completes each operation inline, so there is never a
+/// pending producer to absorb — fusion is structurally inert.
+#[test]
+fn blocking_mode_never_fuses() {
+    let ctx = Context::blocking();
+    ctx.enable_trace(true);
+    let u = Vector::from_dense(&[1i64, 2, 3]).unwrap();
+    let tmp = Vector::<i64>::new(3).unwrap();
+    let d = Descriptor::default();
+    ctx.ewise_mult_vector(&tmp, NoMask, NoAccum, Times::new(), &u, &u, &d)
+        .unwrap();
+    let s = ctx
+        .reduce_vector_to_scalar(PlusMonoid::<i64>::new(), &tmp)
+        .unwrap();
+    assert_eq!(s, 14);
+    assert!(fused_notes(&ctx.take_trace()).is_empty());
+    assert!(tmp.is_complete());
+}
+
+/// The parallel driver sees the same rewritten DAG: fusion composes with
+/// either scheduling policy and the results agree.
+#[test]
+fn fusion_composes_with_the_parallel_scheduler() {
+    let run = |policy: SchedPolicy, fuse: FusePolicy| {
+        let ctx = Context::with_fuse_policy(Mode::Nonblocking, policy, fuse);
+        let a = mat(&a_tuples());
+        let b = mat(&b_tuples());
+        let mask = mat(&[(0, 1, 1), (2, 3, 1), (3, 0, 1)]);
+        let out = Matrix::<i64>::new(4, 4).unwrap();
+        let d = Descriptor::default();
+        let tmp = Matrix::<i64>::new(4, 4).unwrap();
+        ctx.mxm(&tmp, NoMask, NoAccum, plus_times::<i64>(), &a, &b, &d)
+            .unwrap();
+        ctx.apply_matrix(&out, &mask, NoAccum, Identity::new(), &tmp, &d)
+            .unwrap();
+        drop(tmp);
+        ctx.wait().unwrap();
+        out.extract_tuples().unwrap()
+    };
+    let reference = run(SchedPolicy::Sequential, FusePolicy::Off);
+    assert_eq!(run(SchedPolicy::Sequential, FusePolicy::On), reference);
+    assert_eq!(run(SchedPolicy::Parallel, FusePolicy::On), reference);
+    assert_eq!(run(SchedPolicy::Parallel, FusePolicy::Off), reference);
+}

@@ -494,7 +494,10 @@ proptest! {
 
     /// The scheduler must be invisible: blocking, nonblocking with the
     /// sequential driver, and nonblocking with the worker pool agree on
-    /// every observable object.
+    /// every observable object. The fusion axis rides along: the
+    /// default contexts run with `FusePolicy::On`, and the two explicit
+    /// `FusePolicy::Off` runs pin the as-written DAG as the baseline —
+    /// §IV rewrites may never change an observation.
     #[test]
     fn three_execution_paths_agree(
         seeds in seeds_strategy(),
@@ -503,8 +506,16 @@ proptest! {
         let blocking = interpret(&Context::blocking(), &seeds, &steps);
         let nb_seq = interpret(&Context::nonblocking_sequential(), &seeds, &steps);
         let nb_par = interpret(&Context::nonblocking_parallel(), &seeds, &steps);
+        let nb_seq_nofuse = interpret(
+            &Context::with_fuse_policy(Mode::Nonblocking, SchedPolicy::Sequential, FusePolicy::Off),
+            &seeds, &steps);
+        let nb_par_nofuse = interpret(
+            &Context::with_fuse_policy(Mode::Nonblocking, SchedPolicy::Parallel, FusePolicy::Off),
+            &seeds, &steps);
         prop_assert_eq!(&blocking, &nb_seq);
         prop_assert_eq!(&nb_seq, &nb_par);
+        prop_assert_eq!(&nb_seq, &nb_seq_nofuse);
+        prop_assert_eq!(&nb_par, &nb_par_nofuse);
     }
 
     /// §V with concurrency: injected execution faults poison the same
@@ -525,8 +536,223 @@ proptest! {
             interpret_faulty(&Context::nonblocking_sequential(), &seeds, &steps, &faults);
         let (obs_par, err_par) =
             interpret_faulty(&Context::nonblocking_parallel(), &seeds, &steps, &faults);
+        // fusion shortens failure-propagation chains but may not change
+        // which objects poison or which error wait() reports
+        let (obs_nofuse, err_nofuse) = interpret_faulty(
+            &Context::with_fuse_policy(Mode::Nonblocking, SchedPolicy::Sequential, FusePolicy::Off),
+            &seeds, &steps, &faults);
         prop_assert_eq!(&obs_blk, &obs_seq);
         prop_assert_eq!(&obs_seq, &obs_par);
-        prop_assert_eq!(err_seq, err_par);
+        prop_assert_eq!(&obs_seq, &obs_nofuse);
+        prop_assert_eq!(&err_seq, &err_par);
+        prop_assert_eq!(&err_seq, &err_nofuse);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Float value classes: §IV equivalence must hold for IEEE-754 special
+// values too — NaN, ±∞, and -0.0 — across all three execution paths and
+// both fusion policies. Equality is semantic: NaNs (any payload) count
+// as equal, and comparisons otherwise use IEEE `==` (so 0.0 == -0.0 —
+// the sign of a zero is not an observation the paper's modes contract
+// covers, but NaN-vs-number very much is).
+// ---------------------------------------------------------------------------
+
+/// The special-heavy palette float seeds draw from.
+const FLOAT_CLASS: [f64; 8] = [
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    -0.0,
+    0.0,
+    1.5,
+    -2.0,
+    3.0,
+];
+
+fn float_seeds_strategy() -> impl Strategy<Value = Vec<Vec<(usize, usize, f64)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0..N, 0..N, 0usize..FLOAT_CLASS.len()), 0..10).prop_map(
+            |mut t| {
+                t.sort_by_key(|&(i, j, _)| (i, j));
+                t.dedup_by_key(|&mut (i, j, _)| (i, j));
+                t.into_iter()
+                    .map(|(i, j, k)| (i, j, FLOAT_CLASS[k]))
+                    .collect()
+            },
+        ),
+        3,
+    )
+}
+
+/// A float step: a subset of the integer interpreter whose kernels are
+/// order-deterministic per element, so cross-schedule agreement is
+/// exact (not merely up to round-off).
+#[derive(Debug, Clone)]
+enum FStep {
+    Mxm {
+        c: usize,
+        a: usize,
+        b: usize,
+        masked: bool,
+    },
+    EwiseAdd {
+        c: usize,
+        a: usize,
+        b: usize,
+    },
+    EwiseMult {
+        c: usize,
+        a: usize,
+        b: usize,
+    },
+    Negate {
+        c: usize,
+        a: usize,
+    },
+    Transpose {
+        c: usize,
+        a: usize,
+    },
+}
+
+fn fstep_strategy() -> impl Strategy<Value = FStep> {
+    let idx = 0usize..3;
+    prop_oneof![
+        (idx.clone(), idx.clone(), idx.clone(), any::<bool>())
+            .prop_map(|(c, a, b, masked)| FStep::Mxm { c, a, b, masked }),
+        (idx.clone(), idx.clone(), idx.clone()).prop_map(|(c, a, b)| FStep::EwiseAdd { c, a, b }),
+        (idx.clone(), idx.clone(), idx.clone()).prop_map(|(c, a, b)| FStep::EwiseMult { c, a, b }),
+        (idx.clone(), idx.clone()).prop_map(|(c, a)| FStep::Negate { c, a }),
+        (idx.clone(), idx.clone()).prop_map(|(c, a)| FStep::Transpose { c, a }),
+    ]
+}
+
+/// Final tuples of each pool object, plus the Min/Max/Plus scalar
+/// reductions of pool object 0 — the scalar observations exercise the
+/// fmin/fmax NaN semantics (and the dot-reduce rewrite) on every path.
+type FloatObs = (Vec<Vec<(usize, usize, f64)>>, [f64; 3]);
+
+fn interpret_floats(
+    ctx: &Context,
+    seeds: &[Vec<(usize, usize, f64)>],
+    steps: &[FStep],
+) -> FloatObs {
+    let pool: Vec<Matrix<f64>> = seeds
+        .iter()
+        .map(|t| Matrix::from_tuples(N, N, t).unwrap())
+        .collect();
+    let d = Descriptor::default();
+    for s in steps {
+        match *s {
+            FStep::Mxm { c, a, b, masked } => {
+                if masked {
+                    ctx.mxm(
+                        &pool[c],
+                        &pool[a],
+                        NoAccum,
+                        plus_times::<f64>(),
+                        &pool[a],
+                        &pool[b],
+                        &Descriptor::default().structural_mask(),
+                    )
+                } else {
+                    ctx.mxm(
+                        &pool[c],
+                        NoMask,
+                        NoAccum,
+                        plus_times::<f64>(),
+                        &pool[a],
+                        &pool[b],
+                        &d,
+                    )
+                }
+                .unwrap();
+            }
+            FStep::EwiseAdd { c, a, b } => ctx
+                .ewise_add_matrix(
+                    &pool[c],
+                    NoMask,
+                    NoAccum,
+                    Plus::new(),
+                    &pool[a],
+                    &pool[b],
+                    &d,
+                )
+                .unwrap(),
+            FStep::EwiseMult { c, a, b } => ctx
+                .ewise_mult_matrix(
+                    &pool[c],
+                    NoMask,
+                    NoAccum,
+                    Times::new(),
+                    &pool[a],
+                    &pool[b],
+                    &d,
+                )
+                .unwrap(),
+            FStep::Negate { c, a } => ctx
+                .apply_matrix(&pool[c], NoMask, NoAccum, Ainv::new(), &pool[a], &d)
+                .unwrap(),
+            FStep::Transpose { c, a } => ctx
+                .transpose(&pool[c], NoMask, NoAccum, &pool[a], &d)
+                .unwrap(),
+        }
+    }
+    let scalars = [
+        ctx.reduce_matrix_to_scalar(MinMonoid::<f64>::new(), &pool[0])
+            .unwrap(),
+        ctx.reduce_matrix_to_scalar(MaxMonoid::<f64>::new(), &pool[0])
+            .unwrap(),
+        ctx.reduce_matrix_to_scalar(PlusMonoid::<f64>::new(), &pool[0])
+            .unwrap(),
+    ];
+    ctx.wait().unwrap();
+    let tuples = pool.iter().map(|m| m.extract_tuples().unwrap()).collect();
+    (tuples, scalars)
+}
+
+/// IEEE equality extended with a single NaN class.
+fn f64_semantic_eq(a: f64, b: f64) -> bool {
+    a == b || (a.is_nan() && b.is_nan())
+}
+
+fn float_obs_eq(x: &FloatObs, y: &FloatObs) -> bool {
+    let tuples_eq = x.0.len() == y.0.len()
+        && x.0.iter().zip(&y.0).all(|(p, q)| {
+            p.len() == q.len()
+                && p.iter()
+                    .zip(q)
+                    .all(|(&(i, j, u), &(k, l, v))| (i, j) == (k, l) && f64_semantic_eq(u, v))
+        });
+    tuples_eq && x.1.iter().zip(&y.1).all(|(&u, &v)| f64_semantic_eq(u, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn float_specials_agree_across_paths_and_fusion(
+        seeds in float_seeds_strategy(),
+        steps in proptest::collection::vec(fstep_strategy(), 1..14),
+    ) {
+        let blocking = interpret_floats(&Context::blocking(), &seeds, &steps);
+        let runs = [
+            ("nb-seq fuse-on", interpret_floats(&Context::nonblocking_sequential(), &seeds, &steps)),
+            ("nb-par fuse-on", interpret_floats(&Context::nonblocking_parallel(), &seeds, &steps)),
+            ("nb-seq fuse-off", interpret_floats(
+                &Context::with_fuse_policy(Mode::Nonblocking, SchedPolicy::Sequential, FusePolicy::Off),
+                &seeds, &steps)),
+            ("nb-par fuse-off", interpret_floats(
+                &Context::with_fuse_policy(Mode::Nonblocking, SchedPolicy::Parallel, FusePolicy::Off),
+                &seeds, &steps)),
+        ];
+        for (label, obs) in &runs {
+            prop_assert!(
+                float_obs_eq(&blocking, obs),
+                "{} diverged from blocking:\n  blocking: {:?}\n  {}: {:?}",
+                label, blocking, label, obs
+            );
+        }
     }
 }
