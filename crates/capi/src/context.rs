@@ -12,42 +12,132 @@
 
 use graphblas_core::error::{Error, Result};
 use graphblas_core::exec::{Context, FusePolicy, Mode, SchedPolicy, TraceEvent};
+use graphblas_core::par;
 use parking_lot::{Mutex, ReentrantMutex};
 
 static GLOBAL: Mutex<Option<Context>> = Mutex::new(None);
 /// Serializes whole sessions (init → … → finalize) across threads.
 static SESSION: ReentrantMutex<()> = ReentrantMutex::new(());
 
-/// `GrB_init(mode)`. Fails with `GrB_INVALID_VALUE` if a context is
-/// already established. Nonblocking mode gets the default scheduling
-/// policy (parallel when the core's `parallel` feature is enabled);
-/// use [`init_with_policy`] to pin one.
-pub fn init(mode: Mode) -> Result<()> {
-    init_with_policy(mode, SchedPolicy::default())
+/// Builder for establishing the process-global context — the single
+/// init path of this binding, replacing the old `init` /
+/// `init_with_policy` / `init_with_fuse_policy` trio (kept as
+/// deprecated shims).
+///
+/// Only the mode is mandatory; every knob defaults to the engine
+/// default and reads as a method chain:
+///
+/// ```
+/// use graphblas_capi as capi;
+/// use capi::{Config, FusePolicy, Mode, SchedPolicy};
+///
+/// # capi::context::session_guard_for_doctest(|| {
+/// capi::Config::new(Mode::Nonblocking)
+///     .sched(SchedPolicy::Sequential) // wait() drain policy
+///     .fuse(FusePolicy::Off)          // §IV rewrite pass
+///     .parallelism(4)                 // intra-kernel chunk degree
+///     .init()
+///     .unwrap();
+/// // … GraphBLAS calls …
+/// capi::finalize().unwrap();
+/// # });
+/// ```
+///
+/// * [`Config::sched`] — how `GrB_wait()` drains the pending DAG
+///   (sequential FIFO or the shared worker pool).
+/// * [`Config::fuse`] — whether the §IV fusion pass may rewrite the
+///   DAG before execution.
+/// * [`Config::parallelism`] — the default intra-kernel data-parallel
+///   degree (how many row chunks a large kernel fans out to the shared
+///   pool); unset means auto (`GRB_THREADS`/`GRB_TEST_THREADS`, then
+///   the hardware's parallelism). [`finalize`] restores auto.
+#[derive(Debug, Clone)]
+#[must_use = "the builder does nothing until .init() is called"]
+pub struct Config {
+    mode: Mode,
+    sched: SchedPolicy,
+    fuse: FusePolicy,
+    parallelism: Option<usize>,
 }
 
-/// `GrB_init` with an explicit `wait()` scheduling policy — the
-/// binding's rendering of an implementation-defined init descriptor
-/// (the C API's `GxB_init`-style extension point).
+impl Config {
+    /// Start a configuration for `GrB_init(mode)` with default knobs.
+    pub fn new(mode: Mode) -> Self {
+        Config {
+            mode,
+            sched: SchedPolicy::default(),
+            fuse: FusePolicy::default(),
+            parallelism: None,
+        }
+    }
+
+    /// Pin the `wait()` scheduling policy (the C API's `GxB_init`-style
+    /// extension point).
+    pub fn sched(mut self, policy: SchedPolicy) -> Self {
+        self.sched = policy;
+        self
+    }
+
+    /// Pin the fusion policy. `FusePolicy::Off` is the ablation
+    /// baseline: `GrB_wait()` executes the sequence as written, with no
+    /// §IV rewrites.
+    pub fn fuse(mut self, fuse: FusePolicy) -> Self {
+        self.fuse = fuse;
+        self
+    }
+
+    /// Set the default intra-kernel parallelism degree (`k >= 1`;
+    /// `k == 1` keeps every kernel on its serial path). Out-of-range
+    /// values are rejected at [`Config::init`].
+    pub fn parallelism(mut self, k: usize) -> Self {
+        self.parallelism = Some(k);
+        self
+    }
+
+    /// `GrB_init` with this configuration. Fails with
+    /// `GrB_INVALID_VALUE` if a context is already established or the
+    /// configuration is malformed.
+    pub fn init(self) -> Result<()> {
+        if self.parallelism == Some(0) {
+            return Err(Error::InvalidValue(
+                "Config::parallelism must be >= 1 (unset means auto)".into(),
+            ));
+        }
+        let mut g = GLOBAL.lock();
+        if g.is_some() {
+            return Err(Error::InvalidValue(
+                "GrB_init called while a context is already established".into(),
+            ));
+        }
+        par::set_default_parallelism(self.parallelism);
+        *g = Some(Context::with_fuse_policy(self.mode, self.sched, self.fuse));
+        Ok(())
+    }
+}
+
+/// `GrB_init(mode)` with every knob at its default.
+#[deprecated(note = "use the Config builder: capi::Config::new(mode).init()")]
+pub fn init(mode: Mode) -> Result<()> {
+    Config::new(mode).init()
+}
+
+/// `GrB_init` with an explicit `wait()` scheduling policy.
+#[deprecated(note = "use the Config builder: capi::Config::new(mode).sched(policy).init()")]
 pub fn init_with_policy(mode: Mode, policy: SchedPolicy) -> Result<()> {
-    init_with_fuse_policy(mode, policy, FusePolicy::default())
+    Config::new(mode).sched(policy).init()
 }
 
 /// `GrB_init` with explicit scheduling *and* fusion policies.
-/// `FusePolicy::Off` pins the ablation baseline: `GrB_wait()` executes
-/// the deferred sequence exactly as written, with no §IV rewrites.
+#[deprecated(
+    note = "use the Config builder: capi::Config::new(mode).sched(policy).fuse(fuse).init()"
+)]
 pub fn init_with_fuse_policy(mode: Mode, policy: SchedPolicy, fuse: FusePolicy) -> Result<()> {
-    let mut g = GLOBAL.lock();
-    if g.is_some() {
-        return Err(Error::InvalidValue(
-            "GrB_init called while a context is already established".into(),
-        ));
-    }
-    *g = Some(Context::with_fuse_policy(mode, policy, fuse));
-    Ok(())
+    Config::new(mode).sched(policy).fuse(fuse).init()
 }
 
-/// `GrB_finalize()`. Fails if no context is established.
+/// `GrB_finalize()`. Fails if no context is established. Also restores
+/// the intra-kernel parallelism default to auto, so a pinned
+/// [`Config::parallelism`] cannot leak into the next session.
 pub fn finalize() -> Result<()> {
     let mut g = GLOBAL.lock();
     if g.take().is_none() {
@@ -55,6 +145,7 @@ pub fn finalize() -> Result<()> {
             "GrB_finalize called without GrB_init".into(),
         ));
     }
+    par::set_default_parallelism(None);
     Ok(())
 }
 
@@ -138,7 +229,7 @@ pub fn with_no_session<R>(f: impl FnOnce() -> R) -> Result<R> {
 /// Run `f` inside a serialized init/finalize session — the supported way
 /// to use the global API from multi-threaded test binaries.
 pub fn with_session<R>(mode: Mode, f: impl FnOnce() -> R) -> Result<R> {
-    with_session_policies(mode, SchedPolicy::default(), FusePolicy::default(), f)
+    with_session_config(Config::new(mode), f)
 }
 
 /// [`with_session`] with explicit scheduling and fusion policies.
@@ -148,11 +239,25 @@ pub fn with_session_policies<R>(
     fuse: FusePolicy,
     f: impl FnOnce() -> R,
 ) -> Result<R> {
+    with_session_config(Config::new(mode).sched(policy).fuse(fuse), f)
+}
+
+/// [`with_session`] with a full [`Config`]: serialized
+/// `config.init()` → `f()` → `finalize()`.
+pub fn with_session_config<R>(config: Config, f: impl FnOnce() -> R) -> Result<R> {
     let _guard = SESSION.lock();
-    init_with_fuse_policy(mode, policy, fuse)?;
+    config.init()?;
     let r = f();
     finalize()?;
     Ok(r)
+}
+
+/// Doctest support: run `f` holding the session lock (hidden — doctests
+/// are separate processes but share this one's conventions).
+#[doc(hidden)]
+pub fn session_guard_for_doctest(f: impl FnOnce()) {
+    let _guard = SESSION.lock();
+    f();
 }
 
 #[cfg(test)]
@@ -165,16 +270,53 @@ mod tests {
         // not initialized yet
         assert!(matches!(ctx(), Err(Error::UninitializedObject(_))));
         assert!(finalize().is_err());
-        init(Mode::Blocking).unwrap();
+        Config::new(Mode::Blocking).init().unwrap();
         assert_eq!(current_mode(), Some(Mode::Blocking));
         // double init rejected while live
-        assert!(matches!(init(Mode::Blocking), Err(Error::InvalidValue(_))));
+        assert!(matches!(
+            Config::new(Mode::Blocking).init(),
+            Err(Error::InvalidValue(_))
+        ));
         assert!(ctx().is_ok());
         finalize().unwrap();
         assert!(ctx().is_err());
         // re-init after finalize allowed (documented deviation)
-        init(Mode::Nonblocking).unwrap();
+        Config::new(Mode::Nonblocking).init().unwrap();
         assert_eq!(current_mode(), Some(Mode::Nonblocking));
+        finalize().unwrap();
+    }
+
+    #[test]
+    fn config_parallelism_knob_scoped_to_session() {
+        let _guard = SESSION.lock();
+        assert_eq!(par::default_parallelism(), None);
+        Config::new(Mode::Blocking).parallelism(3).init().unwrap();
+        assert_eq!(par::default_parallelism(), Some(3));
+        finalize().unwrap();
+        // finalize restores auto — the knob cannot leak across sessions
+        assert_eq!(par::default_parallelism(), None);
+    }
+
+    #[test]
+    fn config_rejects_zero_parallelism() {
+        let _guard = SESSION.lock();
+        assert!(matches!(
+            Config::new(Mode::Blocking).parallelism(0).init(),
+            Err(Error::InvalidValue(_))
+        ));
+        assert!(ctx().is_err());
+    }
+
+    #[allow(deprecated)]
+    #[test]
+    fn deprecated_init_shims_still_work() {
+        let _guard = SESSION.lock();
+        init(Mode::Blocking).unwrap();
+        assert_eq!(current_mode(), Some(Mode::Blocking));
+        finalize().unwrap();
+        init_with_policy(Mode::Nonblocking, SchedPolicy::Sequential).unwrap();
+        finalize().unwrap();
+        init_with_fuse_policy(Mode::Nonblocking, SchedPolicy::Sequential, FusePolicy::Off).unwrap();
         finalize().unwrap();
     }
 

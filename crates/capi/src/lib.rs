@@ -5,8 +5,8 @@
 //! handles carrying runtime domain tags ([`GrbMatrix`], [`GrbVector`]),
 //! runtime-composed algebraic objects ([`GrbMonoid`], [`GrbSemiring`] —
 //! `GrB_Monoid_new` / `GrB_Semiring_new`), `GrB_NULL`-style optional
-//! mask/accumulator arguments, the process-global
-//! [`init`]/[`finalize`] context lifecycle, and the runtime
+//! mask/accumulator arguments, the process-global context lifecycle
+//! (the [`Config`] builder → [`finalize`]), and the runtime
 //! `GrB_DOMAIN_MISMATCH` errors that a statically-typed binding turns
 //! into compile errors.
 //!
@@ -30,9 +30,11 @@ pub use collections::{
     GXB_FORMAT_HYPER,
 };
 pub use context::{
-    current_mode, enable_trace, error, finalize, init, init_with_fuse_policy, init_with_policy,
-    inject_fault, take_trace, wait, with_no_session, with_session, with_session_policies,
+    current_mode, enable_trace, error, finalize, inject_fault, take_trace, wait, with_no_session,
+    with_session, with_session_config, with_session_policies, Config,
 };
+#[allow(deprecated)]
+pub use context::{init, init_with_fuse_policy, init_with_policy};
 pub use graphblas_core::descriptor::Descriptor;
 pub use graphblas_core::error::{Error, Result};
 pub use graphblas_core::exec::{FusePolicy, FusedNote, Mode, SchedPolicy, TraceEvent};

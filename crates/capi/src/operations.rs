@@ -7,10 +7,18 @@
 //! *output* collection's domain must equal the operation's result domain
 //! (`GrB_DOMAIN_MISMATCH` otherwise); accumulators must accumulate in
 //! the output domain.
+//!
+//! Every wrapper funnels through one dispatch path — the `dispatch!`
+//! macro over an `OpArgs` bundle — which owns session acquisition +
+//! API-error recording (`recorded`), the output-domain rule, accumulator
+//! construction in the output's domain, and the expansion of the four
+//! mask × accumulator argument combinations into the statically-typed
+//! core call.
 
 use graphblas_core::accum::{Accum, NoAccum};
 use graphblas_core::descriptor::Descriptor;
 use graphblas_core::error::Result;
+use graphblas_core::exec::Context;
 use graphblas_core::index::IndexSelection;
 use graphblas_core::mask::NoMask;
 
@@ -18,6 +26,23 @@ use crate::collections::{GrbMatrix, GrbVector};
 use crate::context::{ctx, record_api};
 use crate::ops::{GrbBinaryOp, GrbMonoid, GrbSelectOp, GrbSemiring, GrbUnaryOp};
 use crate::value::Value;
+
+/// A GraphBLAS operation's C-style trailing arguments in one bundle:
+/// the optional mask (`GrB_NULL` ⇒ `None`), the optional accumulator,
+/// and the descriptor. `M` is the mask's collection type.
+struct OpArgs<'a, M> {
+    mask: Option<&'a M>,
+    accum: Option<&'a GrbBinaryOp>,
+    desc: &'a Descriptor,
+}
+
+/// Acquire the live session and run `body` with API-error recording —
+/// the shared entry/exit path of every operation wrapper. A missing
+/// session is returned unrecorded (there is nowhere to record it).
+fn recorded<R>(body: impl FnOnce(&Context) -> Result<R>) -> Result<R> {
+    let ctx = ctx()?;
+    record_api(&ctx, || body(&ctx))
+}
 
 /// Expand the four mask × accumulator argument combinations into the
 /// statically-typed core call.
@@ -46,6 +71,32 @@ macro_rules! with_mask_accum {
     };
 }
 
+/// The one dispatch path behind every masked, accumulated operation.
+///
+/// `$out.$inner` names the output handle and its typed core field; the
+/// optional `: $dom, $label` clause is the output-domain rule (omitted
+/// for scalar `assign`, where the scalar casts to the output's domain
+/// instead); optional `pre …;` clauses run extra checks inside the
+/// recorded region (e.g. `reduce_rows`' input-domain rule). The closure
+/// receives the context, the mask/accumulator pair bound by
+/// [`with_mask_accum!`], and the descriptor. The mask × accumulator
+/// expansion has to stay a macro: the core methods are generic over
+/// both, so the four combinations are four distinct monomorphizations.
+macro_rules! dispatch {
+    ($out:ident.$inner:ident $(: $dom:expr, $label:expr)?, $args:expr,
+     $(pre $pre:expr;)*
+     |$ctx:ident, $mk:ident, $ac:ident, $desc:ident| $call:expr) => {{
+        let args = $args;
+        recorded(|$ctx| {
+            $($out.expect_domain($dom, $label)?;)?
+            $($pre;)*
+            let acc = args.accum.map(|f| f.accum_dyn($out.domain())).transpose()?;
+            let $desc = args.desc;
+            with_mask_accum!(args.mask.map(|m| &m.$inner), acc, |$mk, $ac| $call)
+        })
+    }};
+}
+
 /// `GrB_mxm(C, Mask, accum, op, A, B, desc)`.
 pub fn mxm(
     c: &GrbMatrix,
@@ -56,14 +107,9 @@ pub fn mxm(
     b: &GrbMatrix,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        c.expect_domain(op.d3(), "output C")?;
-        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-        let s = op.casting_dyn();
-        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-            .mxm(&c.m, mk, ac, s, &a.m, &b.m, desc))
-    })
+    let s = op.casting_dyn();
+    dispatch!(c.m: op.d3(), "output C", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.mxm(&c.m, mk, ac, s, &a.m, &b.m, d))
 }
 
 /// `GrB_mxv(w, mask, accum, op, A, u, desc)`.
@@ -76,14 +122,9 @@ pub fn mxv(
     u: &GrbVector,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        w.expect_domain(op.d3(), "output w")?;
-        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-        let s = op.casting_dyn();
-        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-            .mxv(&w.v, mk, ac, s, &a.m, &u.v, desc))
-    })
+    let s = op.casting_dyn();
+    dispatch!(w.v: op.d3(), "output w", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.mxv(&w.v, mk, ac, s, &a.m, &u.v, d))
 }
 
 /// `GrB_vxm(w, mask, accum, op, u, A, desc)`.
@@ -96,14 +137,9 @@ pub fn vxm(
     a: &GrbMatrix,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        w.expect_domain(op.d3(), "output w")?;
-        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-        let s = op.casting_dyn();
-        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-            .vxm(&w.v, mk, ac, s, &u.v, &a.m, desc))
-    })
+    let s = op.casting_dyn();
+    dispatch!(w.v: op.d3(), "output w", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.vxm(&w.v, mk, ac, s, &u.v, &a.m, d))
 }
 
 /// `GrB_eWiseAdd` (matrix).
@@ -116,14 +152,9 @@ pub fn ewise_add_matrix(
     b: &GrbMatrix,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        c.expect_domain(op.d3, "output C")?;
-        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-        let f = op.casting_dyn();
-        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-            .ewise_add_matrix(&c.m, mk, ac, f, &a.m, &b.m, desc))
-    })
+    let f = op.casting_dyn();
+    dispatch!(c.m: op.d3, "output C", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.ewise_add_matrix(&c.m, mk, ac, f, &a.m, &b.m, d))
 }
 
 /// `GrB_eWiseMult` (matrix).
@@ -136,14 +167,9 @@ pub fn ewise_mult_matrix(
     b: &GrbMatrix,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        c.expect_domain(op.d3, "output C")?;
-        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-        let f = op.casting_dyn();
-        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-            .ewise_mult_matrix(&c.m, mk, ac, f, &a.m, &b.m, desc))
-    })
+    let f = op.casting_dyn();
+    dispatch!(c.m: op.d3, "output C", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.ewise_mult_matrix(&c.m, mk, ac, f, &a.m, &b.m, d))
 }
 
 /// `GrB_eWiseAdd` (vector).
@@ -156,14 +182,9 @@ pub fn ewise_add_vector(
     v: &GrbVector,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        w.expect_domain(op.d3, "output w")?;
-        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-        let f = op.casting_dyn();
-        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-            .ewise_add_vector(&w.v, mk, ac, f, &u.v, &v.v, desc))
-    })
+    let f = op.casting_dyn();
+    dispatch!(w.v: op.d3, "output w", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.ewise_add_vector(&w.v, mk, ac, f, &u.v, &v.v, d))
 }
 
 /// `GrB_eWiseMult` (vector).
@@ -176,14 +197,9 @@ pub fn ewise_mult_vector(
     v: &GrbVector,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        w.expect_domain(op.d3, "output w")?;
-        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-        let f = op.casting_dyn();
-        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-            .ewise_mult_vector(&w.v, mk, ac, f, &u.v, &v.v, desc))
-    })
+    let f = op.casting_dyn();
+    dispatch!(w.v: op.d3, "output w", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.ewise_mult_vector(&w.v, mk, ac, f, &u.v, &v.v, d))
 }
 
 /// `GrB_apply` (matrix).
@@ -195,14 +211,9 @@ pub fn apply_matrix(
     a: &GrbMatrix,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        c.expect_domain(op.d2, "output C")?;
-        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-        let f = op.casting_dyn();
-        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-            .apply_matrix(&c.m, mk, ac, f, &a.m, desc))
-    })
+    let f = op.casting_dyn();
+    dispatch!(c.m: op.d2, "output C", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.apply_matrix(&c.m, mk, ac, f, &a.m, d))
 }
 
 /// `GrB_apply` (vector).
@@ -214,14 +225,9 @@ pub fn apply_vector(
     u: &GrbVector,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        w.expect_domain(op.d2, "output w")?;
-        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-        let f = op.casting_dyn();
-        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-            .apply_vector(&w.v, mk, ac, f, &u.v, desc))
-    })
+    let f = op.casting_dyn();
+    dispatch!(w.v: op.d2, "output w", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.apply_vector(&w.v, mk, ac, f, &u.v, d))
 }
 
 /// `GrB_reduce` (matrix → vector): Fig. 3 line 78.
@@ -233,21 +239,15 @@ pub fn reduce_rows(
     a: &GrbMatrix,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        w.expect_domain(monoid.domain(), "output w")?;
-        a.expect_domain(monoid.domain(), "input A")?;
-        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-        let m = monoid.as_dyn();
-        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-            .reduce_rows(&w.v, mk, ac, m, &a.m, desc))
-    })
+    let m = monoid.as_dyn();
+    dispatch!(w.v: monoid.domain(), "output w", OpArgs { mask, accum, desc },
+        pre a.expect_domain(monoid.domain(), "input A")?;
+        |ctx, mk, ac, d| ctx.reduce_rows(&w.v, mk, ac, m, &a.m, d))
 }
 
 /// `GrB_reduce` (matrix → scalar).
 pub fn reduce_matrix_scalar(monoid: &GrbMonoid, a: &GrbMatrix) -> Result<Value> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
+    recorded(|ctx| {
         a.expect_domain(monoid.domain(), "input A")?;
         ctx.reduce_matrix_to_scalar(monoid.as_dyn(), &a.m)
     })
@@ -255,8 +255,7 @@ pub fn reduce_matrix_scalar(monoid: &GrbMonoid, a: &GrbMatrix) -> Result<Value> 
 
 /// `GrB_reduce` (vector → scalar).
 pub fn reduce_vector_scalar(monoid: &GrbMonoid, u: &GrbVector) -> Result<Value> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
+    recorded(|ctx| {
         u.expect_domain(monoid.domain(), "input u")?;
         ctx.reduce_vector_to_scalar(monoid.as_dyn(), &u.v)
     })
@@ -270,13 +269,8 @@ pub fn transpose(
     a: &GrbMatrix,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        c.expect_domain(a.domain(), "output C")?;
-        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-            .transpose(&c.m, mk, ac, &a.m, desc))
-    })
+    dispatch!(c.m: a.domain(), "output C", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.transpose(&c.m, mk, ac, &a.m, d))
 }
 
 /// `GrB_extract` (matrix): Fig. 3 line 33.
@@ -289,13 +283,8 @@ pub fn extract_matrix(
     cols: IndexSelection<'_>,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        c.expect_domain(a.domain(), "output C")?;
-        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-            .extract_matrix(&c.m, mk, ac, &a.m, rows, cols, desc))
-    })
+    dispatch!(c.m: a.domain(), "output C", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.extract_matrix(&c.m, mk, ac, &a.m, rows, cols, d))
 }
 
 /// `GrB_select` (matrix): keep stored elements passing the selector.
@@ -307,16 +296,10 @@ pub fn select_matrix(
     a: &GrbMatrix,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        c.expect_domain(a.domain(), "output C")?;
-        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-        let sel = op.clone();
-        let f =
-            graphblas_core::algebra::indexop::select_fn(move |i, j, v: &Value| sel.keep(i, j, v));
-        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-            .select_matrix(&c.m, mk, ac, f, &a.m, desc))
-    })
+    let sel = op.clone();
+    let f = graphblas_core::algebra::indexop::select_fn(move |i, j, v: &Value| sel.keep(i, j, v));
+    dispatch!(c.m: a.domain(), "output C", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.select_matrix(&c.m, mk, ac, f, &a.m, d))
 }
 
 /// `GrB_select` (vector).
@@ -328,16 +311,10 @@ pub fn select_vector(
     u: &GrbVector,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        w.expect_domain(u.domain(), "output w")?;
-        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-        let sel = op.clone();
-        let f =
-            graphblas_core::algebra::indexop::select_fn(move |i, j, v: &Value| sel.keep(i, j, v));
-        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-            .select_vector(&w.v, mk, ac, f, &u.v, desc))
-    })
+    let sel = op.clone();
+    let f = graphblas_core::algebra::indexop::select_fn(move |i, j, v: &Value| sel.keep(i, j, v));
+    dispatch!(w.v: u.domain(), "output w", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.select_vector(&w.v, mk, ac, f, &u.v, d))
 }
 
 /// `GrB_extract` (vector): `w<mask> ⊙= u(indices)`.
@@ -349,13 +326,8 @@ pub fn extract_vector(
     indices: IndexSelection<'_>,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        w.expect_domain(u.domain(), "output w")?;
-        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-            .extract_vector(&w.v, mk, ac, &u.v, indices, desc))
-    })
+    dispatch!(w.v: u.domain(), "output w", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.extract_vector(&w.v, mk, ac, &u.v, indices, d))
 }
 
 /// `GrB_Col_extract`: `w<mask> ⊙= A(rows, j)`.
@@ -368,13 +340,8 @@ pub fn extract_col(
     j: graphblas_core::index::Index,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        w.expect_domain(a.domain(), "output w")?;
-        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-            .extract_col(&w.v, mk, ac, &a.m, rows, j, desc))
-    })
+    dispatch!(w.v: a.domain(), "output w", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.extract_col(&w.v, mk, ac, &a.m, rows, j, d))
 }
 
 /// `GrB_assign` (matrix): `C<Mask>(rows, cols) ⊙= A`.
@@ -387,13 +354,8 @@ pub fn assign_matrix(
     cols: IndexSelection<'_>,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        c.expect_domain(a.domain(), "output C")?;
-        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-            .assign_matrix(&c.m, mk, ac, &a.m, rows, cols, desc))
-    })
+    dispatch!(c.m: a.domain(), "output C", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.assign_matrix(&c.m, mk, ac, &a.m, rows, cols, d))
 }
 
 /// `GrB_assign` (vector): `w<mask>(indices) ⊙= u`.
@@ -405,16 +367,12 @@ pub fn assign_vector(
     indices: IndexSelection<'_>,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        w.expect_domain(u.domain(), "output w")?;
-        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-            .assign_vector(&w.v, mk, ac, &u.v, indices, desc))
-    })
+    dispatch!(w.v: u.domain(), "output w", OpArgs { mask, accum, desc },
+        |ctx, mk, ac, d| ctx.assign_vector(&w.v, mk, ac, &u.v, indices, d))
 }
 
-/// `GrB_assign` (matrix, scalar fill): Fig. 3 line 61.
+/// `GrB_assign` (matrix, scalar fill): Fig. 3 line 61. No output-domain
+/// check — the scalar casts to the output's domain instead.
 pub fn assign_scalar_matrix(
     c: &GrbMatrix,
     mask: Option<&GrbMatrix>,
@@ -424,13 +382,9 @@ pub fn assign_scalar_matrix(
     cols: IndexSelection<'_>,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        let v = value.cast_to(c.domain());
-        let acc = accum.map(|f| f.accum_dyn(c.domain())).transpose()?;
-        with_mask_accum!(mask.map(|m| &m.m), acc, |mk, ac| ctx
-            .assign_scalar_matrix(&c.m, mk, ac, v, rows, cols, desc))
-    })
+    let v = value.cast_to(c.domain());
+    dispatch!(c.m, OpArgs { mask, accum, desc }, |ctx, mk, ac, d| ctx
+        .assign_scalar_matrix(&c.m, mk, ac, v, rows, cols, d))
 }
 
 /// `GrB_assign` (vector, scalar fill): Fig. 3 line 77.
@@ -442,13 +396,9 @@ pub fn assign_scalar_vector(
     indices: IndexSelection<'_>,
     desc: &Descriptor,
 ) -> Result<()> {
-    let ctx = ctx()?;
-    record_api(&ctx, || {
-        let v = value.cast_to(w.domain());
-        let acc = accum.map(|f| f.accum_dyn(w.domain())).transpose()?;
-        with_mask_accum!(mask.map(|m| &m.v), acc, |mk, ac| ctx
-            .assign_scalar_vector(&w.v, mk, ac, v, indices, desc))
-    })
+    let v = value.cast_to(w.domain());
+    dispatch!(w.v, OpArgs { mask, accum, desc }, |ctx, mk, ac, d| ctx
+        .assign_scalar_vector(&w.v, mk, ac, v, indices, d))
 }
 
 #[cfg(test)]

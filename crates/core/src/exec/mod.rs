@@ -170,6 +170,9 @@ impl Context {
                 start_ns: 0,
                 end_ns: 0,
                 worker: 0,
+                par_chunks: 0,
+                chunk_rows: 0,
+                par_workers: 0,
                 fused: Some(note),
             });
         }

@@ -19,6 +19,8 @@
 pub(crate) mod pool;
 pub(crate) mod queue;
 mod trace;
+#[cfg(feature = "parallel")]
+pub(crate) mod workers;
 
 use std::sync::Arc;
 

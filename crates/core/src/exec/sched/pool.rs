@@ -1,4 +1,4 @@
-//! Ready-queue drivers: sequential FIFO and the worker-pool driver.
+//! Ready-queue drivers: sequential FIFO and the shared-pool driver.
 //!
 //! Both drain the same dependency-counted [`Dag`](super::queue::Dag):
 //! pop a ready node, compute it, decrement each dependent's pending
@@ -9,29 +9,30 @@
 //! only completed, immutable dependencies, results are identical under
 //! any drain order; the drivers differ only in wall-clock shape.
 //!
-//! The pool driver uses `std::sync::{Mutex, Condvar}` directly (a
-//! condition variable is the natural shape for "wake one worker per
-//! newly ready node, everyone at drain") and scoped threads, so workers
-//! borrow the DAG without any `'static` ceremony.
+//! The parallel driver runs the drain as one [`workers`] batch on the
+//! process-wide pool — the same pool intra-kernel chunks land on — so
+//! the two parallelism levels compose in one queue instead of
+//! oversubscribing the machine. Under either driver, a node whose
+//! kernels fanned out row chunks reports that chunking
+//! (`par_chunks`/`chunk_rows`/`par_workers`) on its trace event.
 
 use std::collections::VecDeque;
-#[cfg(feature = "parallel")]
-use std::sync::atomic::AtomicUsize;
 use std::sync::atomic::Ordering;
-#[cfg(feature = "parallel")]
-use std::sync::{Condvar, Mutex};
 
 use super::queue::Dag;
 use super::trace::{TraceEvent, TraceSink};
-
-/// Floor on pool width under the Parallel policy. Even on a single
-/// hardware thread the pool spawns two workers: the point of the
-/// parallel driver is overlapping execution (and an honest trace of
-/// it), and OS timeslicing still interleaves two workers' work.
 #[cfg(feature = "parallel")]
-const MIN_WORKERS: usize = 2;
+use super::workers::{self, TaskKind};
+use crate::kernel::par;
 
-fn record(sink: Option<&TraceSink>, dag: &Dag, idx: usize, start_ns: u64, worker: usize) {
+fn record(
+    sink: Option<&TraceSink>,
+    dag: &Dag,
+    idx: usize,
+    start_ns: u64,
+    worker: usize,
+    stats: par::ParStats,
+) {
     let Some(sink) = sink else { return };
     let end_ns = sink.now_ns();
     let dn = &dag.nodes[idx];
@@ -48,6 +49,9 @@ fn record(sink: Option<&TraceSink>, dag: &Dag, idx: usize, start_ns: u64, worker
         start_ns,
         end_ns,
         worker,
+        par_chunks: stats.par_chunks,
+        chunk_rows: stats.chunk_rows,
+        par_workers: stats.par_workers,
         fused: None,
     });
 }
@@ -60,9 +64,22 @@ fn mark_ready(sink: Option<&TraceSink>, dag: &Dag, idx: usize) {
     }
 }
 
+/// Compute one node and return its intra-kernel chunking stats. The
+/// stats thread-local is drained *before* the compute too, so a stale
+/// carry-over from non-scheduler kernel work on this thread can't be
+/// attributed to the node.
+fn compute_node(dag: &Dag, idx: usize) -> par::ParStats {
+    let _ = par::take_stats();
+    dag.nodes[idx].node.compute();
+    par::take_stats()
+}
+
 /// Drain the DAG on the calling thread in FIFO ready order. This is the
 /// `SchedPolicy::Sequential` path and the fallback when the `parallel`
-/// feature is disabled; trace events carry worker id 0.
+/// feature is disabled; trace events carry worker id 0 (though kernels
+/// may still fan row chunks out to the pool — that is the E8 "sched
+/// seq, kernels parallel" configuration — and the chunking shows up in
+/// the events' `par_*` fields).
 pub(crate) fn run_sequential(dag: &Dag, sink: Option<&TraceSink>) {
     let mut queue: VecDeque<usize> = dag.initial_ready.iter().copied().collect();
     for &i in &dag.initial_ready {
@@ -70,8 +87,8 @@ pub(crate) fn run_sequential(dag: &Dag, sink: Option<&TraceSink>) {
     }
     while let Some(idx) = queue.pop_front() {
         let start_ns = sink.map_or(0, TraceSink::now_ns);
-        dag.nodes[idx].node.compute();
-        record(sink, dag, idx, start_ns, 0);
+        let stats = compute_node(dag, idx);
+        record(sink, dag, idx, start_ns, 0, stats);
         for &dep in &dag.nodes[idx].dependents {
             if dag.nodes[dep].pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                 mark_ready(sink, dag, dep);
@@ -81,74 +98,38 @@ pub(crate) fn run_sequential(dag: &Dag, sink: Option<&TraceSink>) {
     }
 }
 
-/// Drain the DAG with a pool of worker threads.
+/// Drain the DAG as one `Node` batch on the shared worker pool.
 ///
-/// Shared state is one mutex-guarded ready queue plus an atomic count
-/// of not-yet-computed nodes. A worker that completes a node decrements
-/// its dependents outside the lock and only takes the lock to publish
-/// newly ready work; the last node completed wakes everyone up to exit.
-/// Termination: every node's pending count reaches zero exactly once
-/// (the DAG is acyclic and edge counts are consistent by construction),
-/// so exactly `dag.len()` pops happen and `remaining` hits zero.
+/// Each task computes one node, then publishes dependents whose pending
+/// count hit zero as new tasks of the same batch. The submitting thread
+/// (the `wait()` caller, worker id 0) helps execute alongside the
+/// daemon workers; `run_batch` returns once all `dag.len()` node tasks
+/// have run. Termination: every node's pending count reaches zero
+/// exactly once (the DAG is acyclic and edge counts are consistent by
+/// construction), so exactly `dag.len()` tasks are submitted and the
+/// batch's remaining count drains to zero.
 #[cfg(feature = "parallel")]
 pub(crate) fn run_parallel(dag: &Dag, sink: Option<&TraceSink>) {
     let n = dag.len();
     if n <= 1 {
         return run_sequential(dag, sink);
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .max(MIN_WORKERS)
-        .min(n);
-
-    let queue: Mutex<VecDeque<usize>> = Mutex::new(dag.initial_ready.iter().copied().collect());
     for &i in &dag.initial_ready {
         mark_ready(sink, dag, i);
     }
-    let ready = Condvar::new();
-    let remaining = AtomicUsize::new(n);
-
-    std::thread::scope(|s| {
-        for worker in 0..workers {
-            let (queue, ready, remaining) = (&queue, &ready, &remaining);
-            s.spawn(move || loop {
-                let idx = {
-                    let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
-                    loop {
-                        if let Some(i) = q.pop_front() {
-                            break i;
-                        }
-                        if remaining.load(Ordering::Acquire) == 0 {
-                            return;
-                        }
-                        q = ready.wait(q).unwrap_or_else(|e| e.into_inner());
-                    }
-                };
-                let start_ns = sink.map_or(0, TraceSink::now_ns);
-                dag.nodes[idx].node.compute();
-                record(sink, dag, idx, start_ns, worker);
-                for &dep in &dag.nodes[idx].dependents {
-                    if dag.nodes[dep].pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        mark_ready(sink, dag, dep);
-                        queue
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .push_back(dep);
-                        ready.notify_one();
-                    }
-                }
-                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    // Broadcast under the lock: a peer may sit between
-                    // its `remaining` check and `wait()`, and only the
-                    // lock orders this wakeup after it actually waits.
-                    let _q = queue.lock().unwrap_or_else(|e| e.into_inner());
-                    ready.notify_all();
-                    return;
-                }
-            });
+    let pool = workers::pool();
+    let run = |batch: &workers::BatchState, idx: usize, worker: usize| {
+        let start_ns = sink.map_or(0, TraceSink::now_ns);
+        let stats = compute_node(dag, idx);
+        record(sink, dag, idx, start_ns, worker, stats);
+        for &dep in &dag.nodes[idx].dependents {
+            if dag.nodes[dep].pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                mark_ready(sink, dag, dep);
+                pool.submit(batch, dep);
+            }
         }
-    });
+    };
+    pool.run_batch(TaskKind::Node, n, &dag.initial_ready, &run);
 }
 
 #[cfg(test)]
@@ -238,7 +219,7 @@ mod tests {
     #[cfg(feature = "parallel")]
     #[test]
     fn parallel_driver_deep_chain() {
-        // a long serial chain exercises the wait/notify path heavily
+        // a long serial chain exercises the submit/help path heavily
         let mut prev: Arc<Node<i32>> = Node::pending(vec![], Box::new(|| Ok(0)));
         let mut roots = vec![c(&prev)];
         for _ in 0..2_000 {
@@ -258,8 +239,8 @@ mod tests {
     #[test]
     fn parallel_driver_traces_multiple_workers_on_wide_dag() {
         // 64 independent nodes, each with a little real work: on any
-        // machine (even 1 hardware thread, where the pool still spawns
-        // 2 workers) timeslicing spreads them across workers.
+        // machine (even 1 hardware thread, where the pool still keeps
+        // 2 daemon workers) timeslicing spreads them across workers.
         let roots: Vec<Arc<dyn Completable>> = (0..64)
             .map(|i| {
                 c(&Node::pending(
@@ -288,6 +269,39 @@ mod tests {
         for e in &events {
             assert!(e.start_ns >= e.ready_ns);
             assert!(e.end_ns >= e.start_ns);
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn node_trace_reports_intra_kernel_chunking() {
+        // a node whose compute fans row chunks out to the pool reports
+        // the chunking on its trace event, under both drivers
+        use crate::kernel::par;
+        let chunked_eval = || {
+            par::with_parallelism(4, || {
+                par::with_cost_model(1, 0, || {
+                    let plan = par::plan(256, 256).expect("forced plan");
+                    let parts = par::run_chunks(256, plan, |s, e| e - s);
+                    Ok(parts.iter().sum::<usize>() as i32)
+                })
+            })
+        };
+        for parallel_driver in [false, true] {
+            let node: Arc<Node<i32>> = Node::pending(vec![], Box::new(chunked_eval));
+            let plain: Arc<Node<i32>> = Node::pending(vec![], Box::new(|| Ok(1)));
+            let dag = build(&[c(&node), c(&plain)]);
+            let sink = TraceSink::new();
+            if parallel_driver {
+                run_parallel(&dag, Some(&sink));
+            } else {
+                run_sequential(&dag, Some(&sink));
+            }
+            let events = sink.into_events();
+            let chunked: Vec<_> = events.iter().filter(|e| e.par_chunks > 0).collect();
+            assert_eq!(chunked.len(), 1, "exactly one node chunked");
+            assert_eq!(chunked[0].chunk_rows, 256);
+            assert!(chunked[0].par_workers >= 1);
         }
     }
 }

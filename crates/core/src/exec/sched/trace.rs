@@ -54,8 +54,17 @@ pub struct TraceEvent {
     pub start_ns: u64,
     /// When the computation finished (ns since wait start).
     pub end_ns: u64,
-    /// Index of the worker thread that ran it (0 = sequential driver).
+    /// Index of the worker thread that ran it (0 = sequential driver or
+    /// the waiting thread helping the pool).
     pub worker: usize,
+    /// Intra-kernel row chunks this node's compute fanned out to the
+    /// shared pool (0 when every kernel stayed on the serial path).
+    pub par_chunks: usize,
+    /// Output rows covered by those chunks.
+    pub chunk_rows: usize,
+    /// Most distinct workers observed executing one of those chunk
+    /// batches — separates inter-op from intra-op parallelism in E8.
+    pub par_workers: usize,
     /// `Some` only for synthetic `kind == "fused"` events emitted by the
     /// `exec::fuse` rewrite pass: which producer was absorbed into which
     /// consumer, and by which rewrite. Timings are zero for these events
@@ -123,6 +132,9 @@ mod tests {
             start_ns: 150,
             end_ns: 400,
             worker: 1,
+            par_chunks: 0,
+            chunk_rows: 0,
+            par_workers: 0,
             fused: None,
         };
         assert_eq!(e.queue_ns(), 50);
@@ -145,6 +157,9 @@ mod tests {
             start_ns: t0,
             end_ns: sink.now_ns(),
             worker: 0,
+            par_chunks: 0,
+            chunk_rows: 0,
+            par_workers: 0,
             fused: None,
         });
         let ev = sink.into_events();

@@ -1,0 +1,344 @@
+//! The shared worker pool: one set of daemon threads and one work queue
+//! serving *both* parallelism levels — DAG-node drains from the
+//! scheduler's parallel driver ([`TaskKind::Node`]) and intra-kernel row
+//! chunks from [`crate::kernel::par`] ([`TaskKind::Chunk`]). Sharing one
+//! pool is the point: a wide DAG and a single huge `mxm` compete for the
+//! same threads instead of oversubscribing the machine with two pools.
+//!
+//! ## Shape
+//!
+//! A *batch* is one logical drain: the submitting thread stack-allocates
+//! a [`BatchState`] (a count of tasks still to run plus a type-erased
+//! `run` closure), pushes the initially runnable task indices, and then
+//! **helps** — executing queued tasks itself — until the count reaches
+//! zero. Tasks may be submitted dynamically while the batch runs (the
+//! DAG driver enqueues dependents as they become ready), as long as the
+//! batch was created with the total task count up front.
+//!
+//! ## Why the raw pointers are sound
+//!
+//! `Task` carries a `*const BatchState` into the queue and `BatchState`
+//! holds a `*const dyn Fn` into the submitter's frame. Both point into a
+//! stack frame of `run_batch`, which does not return until `remaining`
+//! reaches zero — and `remaining` is decremented (`AcqRel`) only *after*
+//! a task's closure call finishes, so every dereference happens-before
+//! the frame is popped. Nothing touches the batch after the final
+//! decrement; the completion broadcast goes through the `'static` queue
+//! state, not the batch.
+//!
+//! ## Why helping cannot deadlock
+//!
+//! A thread helping a `Chunk` batch steals **only chunk tasks**: chunk
+//! closures are straight-line compute and never block, so any chunk it
+//! picks up terminates. Stealing a `Node` task there would nest a full
+//! node computation (which may itself fan out chunks and wait on them)
+//! under a kernel — unbounded recursion and a stalled batch. The
+//! top-level `Node` submitter and the daemon workers steal anything.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Floor on pool width: even on a single hardware thread the pool keeps
+/// two daemon workers, so overlap (and an honest trace of it) exists
+/// everywhere and `GRB_TEST_THREADS=1` exercises the queue machinery
+/// rather than silently degrading to the serial path.
+const MIN_WORKERS: usize = 2;
+
+/// What a batch's tasks are, which decides queue placement and stealing
+/// rules: chunks jump the queue (they block a kernel in flight) and are
+/// the only thing a chunk batch may steal while helping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TaskKind {
+    /// A DAG node drain from the scheduler's parallel driver.
+    Node,
+    /// An intra-kernel row chunk from `kernel::par`.
+    Chunk,
+}
+
+/// Shared state of one in-flight batch, stack-pinned in `run_batch`.
+pub(crate) struct BatchState {
+    kind: TaskKind,
+    /// The batch's task body, `(batch, task_index, worker_id)`. Raw to
+    /// erase the submitter-frame lifetime; see the module docs for why
+    /// every call happens before the frame is popped.
+    run: *const (dyn Fn(&BatchState, usize, usize) + Sync),
+    /// Tasks not yet finished executing (fixed total at creation).
+    remaining: AtomicUsize,
+    /// Set if any task body panicked; re-raised on the submitter.
+    panicked: AtomicBool,
+}
+
+// SAFETY: `remaining`/`panicked` are atomics, `kind` is read-only, and
+// `run` points to a `Sync` closure, so concurrent shared access from
+// workers is safe.
+unsafe impl Sync for BatchState {}
+
+#[derive(Clone, Copy)]
+struct Task {
+    batch: *const BatchState,
+    index: usize,
+}
+
+// SAFETY: the pointee is `Sync` (shared by design) and outlives the
+// task (the `remaining` protocol above), so tasks may cross threads.
+unsafe impl Send for Task {}
+
+struct Shared {
+    queue: Mutex<VecDeque<Task>>,
+    ready: Condvar,
+}
+
+/// Handle to the process-wide pool; obtain with [`pool`].
+pub(crate) struct Pool {
+    shared: &'static Shared,
+    width: usize,
+}
+
+thread_local! {
+    /// 1-based id on daemon workers, 0 on every other thread (so the
+    /// sequential driver and plain callers trace as worker 0).
+    static WORKER_ID: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Trace id of the current thread: `1..=width` on pool workers, else 0.
+pub(crate) fn current_worker() -> usize {
+    WORKER_ID.with(|w| w.get())
+}
+
+/// The process-wide pool, spawned on first use. Width is fixed at that
+/// moment: `max(2, configured parallelism)` — the configured degree
+/// (knob > env > hardware, see [`crate::kernel::par`]) decides how many
+/// daemons exist; later degree changes only affect how finely kernels
+/// chunk, not pool width.
+pub(crate) fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let width = crate::kernel::par::resolved_degree().max(MIN_WORKERS);
+        let shared: &'static Shared = Box::leak(Box::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }));
+        for id in 1..=width {
+            std::thread::Builder::new()
+                .name(format!("grb-worker-{id}"))
+                .spawn(move || {
+                    WORKER_ID.with(|w| w.set(id));
+                    worker_loop(shared);
+                })
+                .expect("spawn pool worker");
+        }
+        Pool { shared, width }
+    })
+}
+
+impl Pool {
+    /// Number of daemon workers (excluding helping submitters).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Run one batch of `total` tasks to completion. `initial` holds the
+    /// task indices runnable immediately; the rest must be published via
+    /// [`Pool::submit`] from inside task bodies (dependency-counted DAG
+    /// style). The calling thread helps execute tasks and returns once
+    /// all `total` tasks have finished; a panicking task body poisons
+    /// the batch and the panic is re-raised here.
+    pub(crate) fn run_batch(
+        &self,
+        kind: TaskKind,
+        total: usize,
+        initial: &[usize],
+        run: &(dyn Fn(&BatchState, usize, usize) + Sync),
+    ) {
+        debug_assert!(initial.len() <= total);
+        if total == 0 {
+            return;
+        }
+        // SAFETY: erases the closure borrow's lifetime so it can sit in
+        // the `'static`-bounded raw field; the closure outlives every
+        // dereference by the `remaining` protocol (module docs).
+        let run: *const (dyn Fn(&BatchState, usize, usize) + Sync) =
+            unsafe { std::mem::transmute(run) };
+        let batch = BatchState {
+            kind,
+            run,
+            remaining: AtomicUsize::new(total),
+            panicked: AtomicBool::new(false),
+        };
+        {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            for &index in initial {
+                let task = Task {
+                    batch: &batch,
+                    index,
+                };
+                match kind {
+                    // Chunks block a kernel mid-node: front of the queue.
+                    TaskKind::Chunk => q.push_front(task),
+                    TaskKind::Node => q.push_back(task),
+                }
+            }
+            // Broadcast: sleepers include chunk-restricted helpers that
+            // must re-scan the queue, not just "one more task" waiters.
+            self.shared.ready.notify_all();
+        }
+        self.help_until_done(&batch);
+        if batch.panicked.load(Ordering::Acquire) {
+            panic!("a pooled task panicked; batch result is poisoned");
+        }
+    }
+
+    /// Publish one more runnable task of a batch currently inside
+    /// [`Pool::run_batch`] (counted in its `total` up front).
+    pub(crate) fn submit(&self, batch: &BatchState, index: usize) {
+        let task = Task { batch, index };
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        match batch.kind {
+            TaskKind::Chunk => q.push_front(task),
+            TaskKind::Node => q.push_back(task),
+        }
+        self.shared.ready.notify_all();
+    }
+
+    /// Execute queued tasks until `batch` has none left anywhere. Inside
+    /// a `Chunk` batch only chunk tasks are stolen (module docs).
+    fn help_until_done(&self, batch: &BatchState) {
+        let chunk_only = batch.kind == TaskKind::Chunk;
+        loop {
+            let task = {
+                let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    let pos = if chunk_only {
+                        q.iter()
+                            // SAFETY: queued tasks point at live batches
+                            // (the `remaining` protocol).
+                            .position(|t| unsafe { (*t.batch).kind } == TaskKind::Chunk)
+                    } else if q.is_empty() {
+                        None
+                    } else {
+                        Some(0)
+                    };
+                    if let Some(p) = pos {
+                        break Some(q.remove(p).expect("position in bounds"));
+                    }
+                    if batch.remaining.load(Ordering::Acquire) == 0 {
+                        break None;
+                    }
+                    q = self.shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            match task {
+                Some(t) => execute(self.shared, t),
+                None => return,
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &'static Shared) {
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        execute(shared, task);
+    }
+}
+
+/// Run one task and retire it from its batch. The final decrement wakes
+/// everyone through the (`'static`) queue lock — taking the lock orders
+/// the broadcast after any helper that checked `remaining` and is about
+/// to wait, so the completion wakeup cannot be lost.
+fn execute(shared: &'static Shared, task: Task) {
+    // SAFETY: the batch outlives its tasks (module docs).
+    let batch = unsafe { &*task.batch };
+    let run = unsafe { &*batch.run };
+    let worker = current_worker();
+    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run(batch, task.index, worker)
+    }))
+    .is_err()
+    {
+        batch.panicked.store(true, Ordering::Release);
+    }
+    if batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let _q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        shared.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_executes_every_task_once() {
+        let n = 257;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let run = |_b: &BatchState, i: usize, _w: usize| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        };
+        let initial: Vec<usize> = (0..n).collect();
+        pool().run_batch(TaskKind::Chunk, n, &initial, &run);
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn dynamic_submission_drains_a_chain() {
+        // task i submits task i+1: exercises submit() + the completion
+        // wakeup on a batch whose queue is empty most of the time
+        let n = 500;
+        let done = AtomicUsize::new(0);
+        let run = |b: &BatchState, i: usize, _w: usize| {
+            done.fetch_add(1, Ordering::SeqCst);
+            if i + 1 < n {
+                pool().submit(b, i + 1);
+            }
+        };
+        pool().run_batch(TaskKind::Node, n, &[0], &run);
+        assert_eq!(done.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    fn nested_chunk_batches_complete() {
+        // a Node batch whose tasks each fan out a Chunk batch — the
+        // two-level composition the scheduler + kernels rely on
+        let total = AtomicUsize::new(0);
+        let outer = |_b: &BatchState, _i: usize, _w: usize| {
+            let inner = |_b: &BatchState, _j: usize, _w: usize| {
+                total.fetch_add(1, Ordering::SeqCst);
+            };
+            let initial: Vec<usize> = (0..8).collect();
+            pool().run_batch(TaskKind::Chunk, 8, &initial, &inner);
+        };
+        let initial: Vec<usize> = (0..6).collect();
+        pool().run_batch(TaskKind::Node, 6, &initial, &outer);
+        assert_eq!(total.load(Ordering::SeqCst), 48);
+    }
+
+    #[test]
+    fn panicking_task_poisons_the_batch() {
+        let run = |_b: &BatchState, i: usize, _w: usize| {
+            if i == 3 {
+                panic!("injected");
+            }
+        };
+        let initial: Vec<usize> = (0..8).collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool().run_batch(TaskKind::Chunk, 8, &initial, &run);
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn pool_width_has_floor_of_two() {
+        assert!(pool().width() >= 2);
+    }
+}

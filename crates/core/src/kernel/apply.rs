@@ -6,17 +6,22 @@ use crate::scalar::Scalar;
 use crate::storage::csr::Csr;
 use crate::storage::vec::SparseVec;
 
-/// Values above this count are mapped in parallel.
-#[cfg(feature = "parallel")]
-const PAR_VAL_THRESHOLD: usize = 4096;
-
+/// Map `f` over the stored values, chunked onto the shared pool when
+/// the value count clears the cost model. The value array plays the
+/// "rows" role: each chunk maps a contiguous span and the spans are
+/// concatenated in order, so output is identical to the serial map.
 fn map_vals<T: Scalar, U: Scalar, F: UnaryOp<T, U>>(vals: &[T], f: &F) -> Vec<U> {
     #[cfg(feature = "parallel")]
-    {
-        if vals.len() >= PAR_VAL_THRESHOLD {
-            use rayon::prelude::*;
-            return vals.par_iter().map(|v| f.apply(v)).collect();
-        }
+    if let Some(plan) = crate::kernel::par::plan(vals.len(), vals.len()) {
+        return crate::kernel::par::run_chunks(vals.len(), plan, |start, end| {
+            vals[start..end]
+                .iter()
+                .map(|v| f.apply(v))
+                .collect::<Vec<U>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     }
     vals.iter().map(|v| f.apply(v)).collect()
 }

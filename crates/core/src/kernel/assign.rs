@@ -100,7 +100,7 @@ pub fn assign_matrix<T: Scalar, Ac: Accumulate<T>>(
     let mut col_map: Vec<(Index, Index)> = cols.iter().copied().enumerate().collect(); // (l, tj)
     col_map.sort_unstable_by_key(|&(_, tj)| tj);
 
-    let out = map_rows(c.nrows(), |i| {
+    let out = map_rows(c.nrows(), c.nvals() + a.nvals(), |i| {
         let (cc, cv) = c.row(i);
         match row_src[i] {
             None => (cc.to_vec(), cv.to_vec()),
@@ -138,7 +138,8 @@ pub fn assign_scalar_matrix<T: Scalar, Ac: Accumulate<T>>(
         col_region[j] = true;
     }
 
-    let out = map_rows(c.nrows(), |i| {
+    let fill = rows.len().saturating_mul(cols.len());
+    let out = map_rows(c.nrows(), c.nvals().saturating_add(fill), |i| {
         let (cc, cv) = c.row(i);
         if !row_region[i] {
             return (cc.to_vec(), cv.to_vec());

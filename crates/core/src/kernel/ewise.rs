@@ -95,7 +95,7 @@ pub fn ewise_add_matrix<T: Scalar, F: BinaryOp<T, T, T>>(
 ) -> Csr<T> {
     debug_assert_eq!(a.nrows(), b.nrows());
     debug_assert_eq!(a.ncols(), b.ncols());
-    let rows = map_rows(a.nrows(), |i| {
+    let rows = map_rows(a.nrows(), a.nvals() + b.nvals(), |i| {
         let (ac, av) = a.row(i);
         let (bc, bv) = b.row(i);
         let mut idx = Vec::with_capacity(ac.len() + bc.len());
@@ -116,7 +116,7 @@ where
 {
     debug_assert_eq!(a.nrows(), b.nrows());
     debug_assert_eq!(a.ncols(), b.ncols());
-    let rows = map_rows(a.nrows(), |i| {
+    let rows = map_rows(a.nrows(), a.nvals() + b.nvals(), |i| {
         let (ac, av) = a.row(i);
         let (bc, bv) = b.row(i);
         let mut idx = Vec::with_capacity(ac.len().min(bc.len()));

@@ -14,6 +14,7 @@ pub fn extract_matrix<T: Scalar>(a: &Csr<T>, rows: &[Index], cols: &[Index]) -> 
     let identity_cols = cols.len() == a.ncols() && cols.iter().enumerate().all(|(l, &j)| l == j);
     let out_rows = map_rows_init(
         rows.len(),
+        a.nvals(),
         || (vec![None::<T>; a.ncols()], Vec::<Index>::new()),
         |(ws, touched), k| {
             let (src_cols, src_vals) = a.row(rows[k]);

@@ -12,6 +12,7 @@ pub mod ewise;
 pub mod extract;
 pub mod mxm;
 pub mod mxv;
+pub mod par;
 pub mod reduce;
 pub(crate) mod util;
 pub mod write;

@@ -180,6 +180,7 @@ where
     let (nrows, ncols) = (a.nrows(), b.ncols());
     let rows = map_rows_init(
         nrows,
+        a.nvals() + b.nvals(),
         || Workspace::<D3>::new(ncols),
         |ws, i| {
             let mrow = mask.row(i);
@@ -273,7 +274,7 @@ where
     debug_assert_eq!(a.ncols(), b.nrows());
     let add = sr.add();
     let mul = sr.mul();
-    let rows = map_rows(a.nonempty_rows().len(), |k| {
+    let rows = map_rows(a.nonempty_rows().len(), a.nvals() + b.nvals(), |k| {
         let (i, ac, av) = a.row_by_pos(k);
         let mrow = mask.row(i);
         if mrow.admits_nothing() {
@@ -321,6 +322,7 @@ where
     let mul = sr.mul();
     let rows = map_rows_init(
         nrows,
+        a.nvals() + bt.nvals(),
         || (),
         |_, i| {
             let (ac, av) = a.row(i);

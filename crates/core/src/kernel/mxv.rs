@@ -30,7 +30,7 @@ where
     let mul = sr.mul();
     let vi = v.indices();
     let vv = v.vals();
-    let results = map_rows(a.nrows(), |i| {
+    let results = map_rows(a.nrows(), a.nvals() + v.nvals(), |i| {
         if !mask.admits(i) {
             return None;
         }
@@ -92,7 +92,7 @@ where
         v_dense[k] = Some(val);
     }
     let v_dense = &v_dense;
-    let results = map_rows(a.nrows(), |i| {
+    let results = map_rows(a.nrows(), a.nvals() + v.nvals(), |i| {
         if !mask.admits(i) {
             return None;
         }

@@ -15,7 +15,7 @@ use crate::storage::vec::SparseVec;
 
 /// `t(i) = ⊕_j A(i,j)` over stored elements.
 pub fn reduce_rows<T: Scalar, M: Monoid<T>>(a: &Csr<T>, monoid: &M) -> SparseVec<T> {
-    let per_row = map_rows(a.nrows(), |i| {
+    let per_row = map_rows(a.nrows(), a.nvals(), |i| {
         let (_, vals) = a.row(i);
         let mut it = vals.iter();
         it.next().map(|first| {
@@ -47,20 +47,52 @@ pub fn reduce_vector_scalar<T: Scalar, M: Monoid<T>>(u: &SparseVec<T>, monoid: &
     fold_all(u.vals(), monoid)
 }
 
+/// Fixed chunk width for the two-level fold. The chunking is part of the
+/// *result definition*, not a scheduling detail: above the threshold the
+/// serial path folds the same 4096-element chunks in the same order as
+/// the parallel path, so the association — and therefore the float
+/// result — is bitwise-identical at every worker count.
+const FOLD_CHUNK: usize = 4096;
+
 fn fold_all<T: Scalar, M: Monoid<T>>(vals: &[T], monoid: &M) -> T {
-    #[cfg(feature = "parallel")]
-    {
-        if vals.len() >= 4096 {
-            use rayon::prelude::*;
-            // associativity lets us tree-reduce in parallel
-            return vals
-                .par_iter()
-                .cloned()
-                .reduce(|| monoid.identity(), |a, b| monoid.apply(&a, &b));
-        }
+    let fold_chunk = |chunk: &[T]| -> T {
+        chunk
+            .iter()
+            .fold(monoid.identity(), |a, v| monoid.apply(&a, v))
+    };
+    if vals.len() <= FOLD_CHUNK {
+        return fold_chunk(vals);
     }
-    vals.iter()
-        .fold(monoid.identity(), |acc, v| monoid.apply(&acc, v))
+    let chunks = vals.len().div_ceil(FOLD_CHUNK);
+    #[cfg(feature = "parallel")]
+    let partials: Vec<T> = {
+        use crate::kernel::par;
+        match par::plan(chunks, vals.len()) {
+            Some(mut plan) => {
+                // one task per fixed-width chunk — the plan's own span
+                // would merge chunks and change the association
+                plan.chunks = chunks;
+                plan.span = 1;
+                par::run_chunks(chunks, plan, |start, end| {
+                    (start..end)
+                        .map(|c| {
+                            fold_chunk(&vals[c * FOLD_CHUNK..vals.len().min((c + 1) * FOLD_CHUNK)])
+                        })
+                        .collect::<Vec<T>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            }
+            None => vals.chunks(FOLD_CHUNK).map(fold_chunk).collect(),
+        }
+    };
+    #[cfg(not(feature = "parallel"))]
+    let partials: Vec<T> = vals.chunks(FOLD_CHUNK).map(fold_chunk).collect();
+    let _ = chunks;
+    partials
+        .iter()
+        .fold(monoid.identity(), |a, v| monoid.apply(&a, v))
 }
 
 #[cfg(test)]
@@ -112,10 +144,11 @@ mod tests {
 
     #[test]
     fn parallel_reduce_with_nan_matches_sequential() {
-        // Regression: Min/Max were not commutative for NaN, so the rayon
-        // tree reduction (len >= 4096) could disagree with the sequential
-        // fold depending on where the NaNs landed in the chunking. With
-        // fmin/fmax semantics the result is schedule-independent.
+        // Regression: Min/Max were not commutative for NaN, so the
+        // chunked tree reduction (len >= 4096) could disagree with the
+        // sequential fold depending on where the NaNs landed in the
+        // chunking. With fmin/fmax semantics the result is
+        // schedule-independent.
         let n = 20_000usize;
         let vals: Vec<f64> = (0..n)
             .map(|j| {

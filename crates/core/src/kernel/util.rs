@@ -1,50 +1,55 @@
-//! Shared kernel infrastructure: row-parallel mapping (rayon-backed when
-//! the `parallel` feature is on) and CSR assembly from per-row results.
+//! Shared kernel infrastructure: row-parallel mapping over the shared
+//! worker pool (see [`crate::kernel::par`]) and CSR assembly from
+//! per-row results.
 
 use crate::index::Index;
+#[cfg(feature = "parallel")]
+use crate::kernel::par;
 use crate::scalar::Scalar;
 use crate::storage::csr::Csr;
 
-/// Rows below this count run sequentially even with `parallel` enabled —
-/// the rayon fork/join overhead dominates on tiny operands.
-#[cfg(feature = "parallel")]
-pub(crate) const PAR_ROW_THRESHOLD: usize = 128;
-
-/// Map `f` over `0..nrows`, in parallel when beneficial, preserving order.
-pub(crate) fn map_rows<R, F>(nrows: usize, f: F) -> Vec<R>
+/// Map `f` over `0..nrows`, preserving order; rows are chunked onto the
+/// shared pool when the cost model says the operation is big enough.
+/// `work` is the kernel's work estimate (stored elements touched),
+/// feeding the nnz half of the cost model.
+pub(crate) fn map_rows<R, F>(nrows: usize, work: usize, f: F) -> Vec<R>
 where
     R: Send,
-    F: Fn(usize) -> R + Send + Sync,
+    F: Fn(usize) -> R + Sync,
 {
     #[cfg(feature = "parallel")]
-    {
-        if nrows >= PAR_ROW_THRESHOLD {
-            use rayon::prelude::*;
-            return (0..nrows).into_par_iter().map(f).collect();
-        }
+    if let Some(plan) = par::plan(nrows, work) {
+        return par::run_chunks(nrows, plan, |start, end| {
+            (start..end).map(&f).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     }
+    let _ = work;
     (0..nrows).map(f).collect()
 }
 
-/// Map `f` over `0..nrows` with a per-worker scratch state created by
-/// `init` (rayon `map_init`; a single state sequentially).
-pub(crate) fn map_rows_init<S, R, I, F>(nrows: usize, init: I, f: F) -> Vec<R>
+/// Map `f` over `0..nrows` with a scratch state created by `init` — one
+/// state per chunk in parallel (each worker's private accumulator), one
+/// state total on the serial path.
+pub(crate) fn map_rows_init<S, R, I, F>(nrows: usize, work: usize, init: I, f: F) -> Vec<R>
 where
-    S: Send,
     R: Send,
-    I: Fn() -> S + Send + Sync,
-    F: Fn(&mut S, usize) -> R + Send + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
 {
     #[cfg(feature = "parallel")]
-    {
-        if nrows >= PAR_ROW_THRESHOLD {
-            use rayon::prelude::*;
-            return (0..nrows)
-                .into_par_iter()
-                .map_init(&init, |s, i| f(s, i))
-                .collect();
-        }
+    if let Some(plan) = par::plan(nrows, work) {
+        return par::run_chunks(nrows, plan, |start, end| {
+            let mut s = init();
+            (start..end).map(|i| f(&mut s, i)).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     }
+    let _ = work;
     let mut s = init();
     (0..nrows).map(|i| f(&mut s, i)).collect()
 }
@@ -80,15 +85,30 @@ mod tests {
 
     #[test]
     fn map_rows_preserves_order() {
-        let v = map_rows(1000, |i| i * 2);
+        let v = map_rows(1000, 1 << 20, |i| i * 2);
         assert_eq!(v.len(), 1000);
         assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn map_rows_matches_serial_bitwise_at_any_degree() {
+        let serial = par::with_parallelism(1, || map_rows(5000, 1 << 20, |i| (i as f64).sqrt()));
+        for k in [2, 8] {
+            let parallel =
+                par::with_parallelism(k, || map_rows(5000, 1 << 20, |i| (i as f64).sqrt()));
+            assert!(serial
+                .iter()
+                .zip(&parallel)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
     }
 
     #[test]
     fn map_rows_init_threads_scratch() {
         let v = map_rows_init(
             500,
+            0,
             || vec![0u8; 16],
             |scratch, i| {
                 scratch[0] = scratch[0].wrapping_add(1);

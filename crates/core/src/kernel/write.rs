@@ -146,7 +146,7 @@ pub fn write_matrix<T: Scalar, Ac: Accumulate<T>>(
     if mask.admits_all() && !Ac::IS_ACCUM {
         return t;
     }
-    let rows = map_rows(c_old.nrows(), |i| {
+    let rows = map_rows(c_old.nrows(), c_old.nvals() + t.nvals(), |i| {
         let (cc, cv) = c_old.row(i);
         let (tc, tv) = t.row(i);
         let mut idx = Vec::with_capacity(cc.len() + tc.len());

@@ -54,6 +54,7 @@ pub use descriptor::Descriptor;
 pub use error::{Error, Result};
 pub use exec::{Context, FusePolicy, FusedNote, Mode, SchedPolicy, TraceEvent};
 pub use index::{Index, IndexSelection, ALL};
+pub use kernel::par;
 pub use mask::NoMask;
 pub use object::{Matrix, Vector};
 pub use scalar::{AsBool, NumScalar, Scalar};

@@ -33,7 +33,7 @@ where
     let (m2, n2) = (b.nrows(), b.ncols());
     let nrows = a.nrows() * m2;
     let ncols = a.ncols() * n2;
-    let rows = map_rows(nrows, |i| {
+    let rows = map_rows(nrows, a.nvals().saturating_mul(b.nvals()), |i| {
         let (i1, i2) = (i / m2, i % m2);
         let (ac, av) = a.row(i1);
         let (bc, bv) = b.row(i2);

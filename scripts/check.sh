@@ -21,6 +21,13 @@ cargo test -q --workspace
 echo "== cargo test -q -p graphblas-core --no-default-features (sequential path)"
 cargo test -q -p graphblas-core --no-default-features
 
+# Thread matrix: the pool width and default degree follow
+# GRB_TEST_THREADS, and the determinism suite must hold at every count.
+for threads in 1 2 8; do
+    echo "== GRB_TEST_THREADS=$threads cargo test -q --test par_determinism"
+    GRB_TEST_THREADS="$threads" cargo test -q --test par_determinism
+done
+
 echo "== cargo doc --workspace --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -1,0 +1,238 @@
+//! PR acceptance property for intra-kernel parallelism: every
+//! parallelized kernel is **bitwise** identical to its serial path —
+//! values *and* pattern — at every worker count, NaN and ±∞ payloads
+//! included. [`par::with_cost_model`]`(1, 0, …)` forces chunking even on
+//! proptest-sized fixtures, and [`par::with_parallelism`] pins the
+//! degree; blocking mode keeps kernels on the calling thread so the
+//! thread-local overrides apply.
+
+use graphblas_core::par;
+use graphblas_core::prelude::*;
+use proptest::prelude::*;
+
+const N: usize = 24;
+const DEGREES: [usize; 2] = [2, 8];
+
+/// Decode a strategy byte into an f64 payload; low codes are the
+/// adversarial specials (NaN, ±∞, -0.0).
+fn fval(code: u8) -> f64 {
+    match code {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -0.0,
+        c => (f64::from(c) - 128.0) * 0.625,
+    }
+}
+
+type Tuples = Vec<(usize, usize, u8)>;
+
+fn sparse(max_nnz: usize) -> impl Strategy<Value = Tuples> {
+    proptest::collection::vec((0..N, 0..N, 0u8..255), 0..=max_nnz).prop_map(|mut t| {
+        t.sort_by_key(|&(i, j, _)| (i, j));
+        t.dedup_by_key(|&mut (i, j, _)| (i, j));
+        t
+    })
+}
+
+fn to_matrix(t: &Tuples, format: Option<Format>) -> Matrix<f64> {
+    let tuples: Vec<(usize, usize, f64)> = t.iter().map(|&(i, j, c)| (i, j, fval(c))).collect();
+    let m = Matrix::from_tuples(N, N, &tuples).unwrap();
+    if let Some(f) = format {
+        m.set_format(f).unwrap();
+    }
+    m
+}
+
+fn to_vector(t: &Tuples) -> Vector<f64> {
+    let v = Vector::<f64>::new(N).unwrap();
+    for &(i, _, c) in t {
+        v.set(i, fval(c)).unwrap();
+    }
+    v
+}
+
+/// Pattern + bit pattern of every stored element — the bitwise identity
+/// the determinism-by-merge design promises (NaN payloads included).
+fn matrix_bits(m: &Matrix<f64>) -> Vec<(usize, usize, u64)> {
+    m.extract_tuples()
+        .unwrap()
+        .into_iter()
+        .map(|(i, j, v)| (i, j, v.to_bits()))
+        .collect()
+}
+
+fn vector_bits(v: &Vector<f64>) -> Vec<(usize, u64)> {
+    v.extract_tuples()
+        .unwrap()
+        .into_iter()
+        .map(|(i, x)| (i, x.to_bits()))
+        .collect()
+}
+
+/// Run `f` with the intra-kernel degree pinned to `k` and the cost model
+/// forced so even tiny fixtures chunk.
+fn at_degree<R>(k: usize, f: impl FnOnce() -> R) -> R {
+    par::with_cost_model(1, 0, || par::with_parallelism(k, f))
+}
+
+const FORMATS: [Option<Format>; 4] = [
+    Some(Format::Csr),
+    Some(Format::Csc),
+    Some(Format::Bitmap),
+    Some(Format::Hyper),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mxm_is_bitwise_deterministic_across_formats(
+        a in sparse(64),
+        b in sparse(64),
+    ) {
+        let ctx = Context::blocking();
+        for fa in FORMATS {
+            let am = to_matrix(&a, fa);
+            let bm = to_matrix(&b, None);
+            let run = |k| at_degree(k, || {
+                let c = Matrix::<f64>::new(N, N).unwrap();
+                ctx.mxm(&c, NoMask, NoAccum, plus_times::<f64>(), &am, &bm,
+                    &Descriptor::default()).unwrap();
+                matrix_bits(&c)
+            });
+            let serial = run(1);
+            for k in DEGREES {
+                prop_assert_eq!(&serial, &run(k));
+            }
+        }
+    }
+
+    #[test]
+    fn masked_accumulated_mxm_is_bitwise_deterministic(
+        c0 in sparse(48),
+        a in sparse(48),
+        b in sparse(48),
+        mask in sparse(48),
+    ) {
+        // the full Figure-2 pipeline: compute, accumulate, masked write
+        let ctx = Context::blocking();
+        let am = to_matrix(&a, None);
+        let bm = to_matrix(&b, None);
+        let mm = to_matrix(&mask, None);
+        let run = |k| at_degree(k, || {
+            let c = to_matrix(&c0, None);
+            ctx.mxm(&c, &mm, Accum(Plus::<f64>::new()), plus_times::<f64>(), &am, &bm,
+                &Descriptor::default().structural_mask()).unwrap();
+            matrix_bits(&c)
+        });
+        let serial = run(1);
+        for k in DEGREES {
+            prop_assert_eq!(&serial, &run(k));
+        }
+    }
+
+    #[test]
+    fn mxv_is_bitwise_deterministic(
+        a in sparse(64),
+        u in sparse(24),
+    ) {
+        let ctx = Context::blocking();
+        for fa in [Some(Format::Csr), Some(Format::Bitmap)] {
+            let am = to_matrix(&a, fa);
+            let uv = to_vector(&u);
+            let run = |k| at_degree(k, || {
+                let w = Vector::<f64>::new(N).unwrap();
+                ctx.mxv(&w, NoMask, NoAccum, plus_times::<f64>(), &am, &uv,
+                    &Descriptor::default()).unwrap();
+                vector_bits(&w)
+            });
+            let serial = run(1);
+            for k in DEGREES {
+                prop_assert_eq!(&serial, &run(k));
+            }
+        }
+    }
+
+    #[test]
+    fn ewise_add_and_mult_are_bitwise_deterministic(
+        a in sparse(64),
+        b in sparse(64),
+    ) {
+        let ctx = Context::blocking();
+        let am = to_matrix(&a, None);
+        let bm = to_matrix(&b, None);
+        let run = |k| at_degree(k, || {
+            let s = Matrix::<f64>::new(N, N).unwrap();
+            let p = Matrix::<f64>::new(N, N).unwrap();
+            ctx.ewise_add_matrix(&s, NoMask, NoAccum, Plus::new(), &am, &bm,
+                &Descriptor::default()).unwrap();
+            ctx.ewise_mult_matrix(&p, NoMask, NoAccum, Times::new(), &am, &bm,
+                &Descriptor::default()).unwrap();
+            (matrix_bits(&s), matrix_bits(&p))
+        });
+        let serial = run(1);
+        for k in DEGREES {
+            prop_assert_eq!(&serial, &run(k));
+        }
+    }
+
+    #[test]
+    fn apply_is_bitwise_deterministic(a in sparse(64)) {
+        let ctx = Context::blocking();
+        let am = to_matrix(&a, None);
+        let run = |k| at_degree(k, || {
+            let c = Matrix::<f64>::new(N, N).unwrap();
+            ctx.apply_matrix(&c, NoMask, NoAccum, Ainv::new(), &am,
+                &Descriptor::default()).unwrap();
+            matrix_bits(&c)
+        });
+        let serial = run(1);
+        for k in DEGREES {
+            prop_assert_eq!(&serial, &run(k));
+        }
+    }
+
+    #[test]
+    fn reductions_are_bitwise_deterministic(a in sparse(96)) {
+        // float ⊕ is non-associative, so the tree merge uses the same
+        // fixed chunking on the serial and parallel paths — the scalar
+        // results must match to the bit, NaN included.
+        let ctx = Context::blocking();
+        let am = to_matrix(&a, None);
+        let run = |k| at_degree(k, || {
+            let w = Vector::<f64>::new(N).unwrap();
+            ctx.reduce_rows(&w, NoMask, NoAccum, PlusMonoid::new(), &am,
+                &Descriptor::default()).unwrap();
+            let s = ctx.reduce_matrix_to_scalar(PlusMonoid::new(), &am).unwrap();
+            (vector_bits(&w), s.to_bits())
+        });
+        let serial = run(1);
+        for k in DEGREES {
+            prop_assert_eq!(&serial, &run(k));
+        }
+    }
+
+    #[test]
+    fn assign_and_extract_are_bitwise_deterministic(
+        c0 in sparse(48),
+        a in sparse(48),
+    ) {
+        let ctx = Context::blocking();
+        let am = to_matrix(&a, None);
+        let run = |k| at_degree(k, || {
+            let c = to_matrix(&c0, None);
+            ctx.assign_matrix(&c, NoMask, Accum(Plus::<f64>::new()), &am, ALL, ALL,
+                &Descriptor::default()).unwrap();
+            let sub = Matrix::<f64>::new(N / 2, N).unwrap();
+            let rows: Vec<usize> = (0..N / 2).map(|i| 2 * i).collect();
+            ctx.extract_matrix(&sub, NoMask, NoAccum, &c,
+                IndexSelection::List(&rows), ALL, &Descriptor::default()).unwrap();
+            (matrix_bits(&c), matrix_bits(&sub))
+        });
+        let serial = run(1);
+        for k in DEGREES {
+            prop_assert_eq!(&serial, &run(k));
+        }
+    }
+}
