@@ -1,0 +1,65 @@
+//! Experiment E9: the pending-update buffer (`storage::delta`).
+//!
+//! Series:
+//! * `e9/incremental_load` — build an n×n matrix edge-by-edge through
+//!   `Matrix::set`, then force one `nvals()`. `deferred` is the
+//!   shipped path: O(1) appends into the delta log, one k-way merge at
+//!   the end. `eager` emulates the pre-delta seed, where every `set`
+//!   forced completion and rewrote the backing store (reproduced here
+//!   by a `wait()` after each call): O(nvals) per edge, O(E²) total.
+//!   The acceptance target is deferred ≥ 10× faster at 10⁵ edges.
+//! * The 10⁶-edge point runs deferred-only — the eager rewrite is
+//!   quadratic and would dominate the whole harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_core::prelude::*;
+use graphblas_gen::erdos_renyi_gnm;
+use std::time::Duration;
+
+const N: usize = 2048;
+
+fn edge_list(edges: usize) -> Vec<(usize, usize)> {
+    erdos_renyi_gnm(N, edges, 9).edges
+}
+
+/// The shipped path: buffered appends, one merge at the closing read.
+fn load_deferred(edges: &[(usize, usize)]) -> usize {
+    let m = Matrix::<f64>::new(N, N).unwrap();
+    for &(i, j) in edges {
+        m.set(i, j, 1.0).unwrap();
+    }
+    m.nvals().unwrap()
+}
+
+/// The seed emulation: flush after every point update, as `set` did
+/// before the delta subsystem existed.
+fn load_eager(edges: &[(usize, usize)]) -> usize {
+    let m = Matrix::<f64>::new(N, N).unwrap();
+    for &(i, j) in edges {
+        m.set(i, j, 1.0).unwrap();
+        m.wait().unwrap();
+    }
+    m.nvals().unwrap()
+}
+
+fn bench_incremental_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9/incremental_load");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for edges in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let list = edge_list(edges);
+        group.bench_function(BenchmarkId::new("deferred", edges), |b| {
+            b.iter(|| load_deferred(&list))
+        });
+        if edges <= 100_000 {
+            group.bench_function(BenchmarkId::new("eager", edges), |b| {
+                b.iter(|| load_eager(&list))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_load);
+criterion_main!(benches);

@@ -79,6 +79,12 @@ impl GrbMatrix {
         self.m.set(i, j, v.cast_to(self.ty))
     }
 
+    /// `GrB_Matrix_removeElement`. Removing an element that is not
+    /// stored is a no-op, per the spec.
+    pub fn remove(&self, i: Index, j: Index) -> Result<()> {
+        self.m.remove(i, j)
+    }
+
     /// `GrB_Matrix_extractElement`: `Ok(None)` = `GrB_NO_VALUE`.
     pub fn get(&self, i: Index, j: Index) -> Result<Option<Value>> {
         self.m.get(i, j)
@@ -181,6 +187,12 @@ impl GrbVector {
         self.v.set(i, v.cast_to(self.ty))
     }
 
+    /// `GrB_Vector_removeElement`. Removing an absent element is a
+    /// no-op, per the spec.
+    pub fn remove(&self, i: Index) -> Result<()> {
+        self.v.remove(i)
+    }
+
     /// `GrB_Vector_extractElement`.
     pub fn get(&self, i: Index) -> Result<Option<Value>> {
         self.v.get(i)
@@ -272,6 +284,27 @@ mod tests {
         let d = v.dup();
         v.set(0, Value::Fp32(9.0)).unwrap();
         assert_eq!(d.nvals().unwrap(), 1); // dup is a copy
+    }
+
+    #[test]
+    fn remove_element_and_absent_noop() {
+        let m = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+        m.set(0, 1, Value::Int32(5)).unwrap();
+        m.remove(0, 1).unwrap();
+        assert_eq!(m.get(0, 1).unwrap(), None);
+        // spec-conformant no-op: removing an element that was never
+        // stored succeeds and changes nothing
+        m.remove(1, 1).unwrap();
+        assert_eq!(m.nvals().unwrap(), 0);
+        // out-of-bounds is still an API error
+        assert!(matches!(m.remove(5, 0), Err(Error::InvalidIndex(_))));
+
+        let v = GrbVector::new(GrbType::Fp64, 3).unwrap();
+        v.set(1, Value::Fp64(1.5)).unwrap();
+        v.remove(1).unwrap();
+        v.remove(2).unwrap(); // absent: no-op
+        assert_eq!(v.nvals().unwrap(), 0);
+        assert!(matches!(v.remove(3), Err(Error::InvalidIndex(_))));
     }
 
     #[test]

@@ -401,6 +401,18 @@ pub fn assign_scalar_vector(
         .assign_scalar_vector(&w.v, mk, ac, v, indices, d))
 }
 
+/// `GrB_Matrix_removeElement(C, i, j)`. Removing an element that is not
+/// stored is a spec-conformant no-op; an out-of-bounds index is an API
+/// error, recorded for `GrB_error()` like every other wrapper's.
+pub fn matrix_remove_element(c: &GrbMatrix, i: usize, j: usize) -> Result<()> {
+    recorded(|_ctx| c.remove(i, j))
+}
+
+/// `GrB_Vector_removeElement(w, i)`; see [`matrix_remove_element`].
+pub fn vector_remove_element(w: &GrbVector, i: usize) -> Result<()> {
+    recorded(|_ctx| w.remove(i))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -763,6 +775,33 @@ mod tests {
             )
             .unwrap();
             assert_eq!(p.extract_tuples().unwrap(), vec![(1, Value::Fp64(20.0))]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn remove_element_through_facade() {
+        with_session(Mode::Blocking, || {
+            let m = int_matrix(2, &[(0, 0, 1), (1, 1, 2)]);
+            matrix_remove_element(&m, 0, 0).unwrap();
+            // remove of an absent element: spec-conformant no-op
+            matrix_remove_element(&m, 0, 1).unwrap();
+            assert_eq!(m.nvals().unwrap(), 1);
+            // out-of-bounds is an API error, mirrored into GrB_error()
+            let e = matrix_remove_element(&m, 9, 0).unwrap_err();
+            assert!(matches!(e, Error::InvalidIndex(_)));
+            let detail = crate::context::error().expect("recorded");
+            assert!(detail.contains("out of bounds"), "got {detail:?}");
+
+            let u = GrbVector::new(GrbType::Int32, 3).unwrap();
+            u.set(1, Value::Int32(7)).unwrap();
+            vector_remove_element(&u, 1).unwrap();
+            vector_remove_element(&u, 0).unwrap(); // absent: no-op
+            assert_eq!(u.nvals().unwrap(), 0);
+            assert!(matches!(
+                vector_remove_element(&u, 5),
+                Err(Error::InvalidIndex(_))
+            ));
         })
         .unwrap();
     }

@@ -173,6 +173,8 @@ impl Context {
                 par_chunks: 0,
                 chunk_rows: 0,
                 par_workers: 0,
+                pending_len: 0,
+                merged_rows: 0,
                 fused: Some(note),
             });
         }
@@ -277,6 +279,14 @@ impl Context {
 
     pub(crate) fn take_fault(&self) -> Option<Error> {
         self.inner.injected.lock().take()
+    }
+
+    /// Whether a test fault is armed for the next submitted operation.
+    /// Fast paths that bypass submission (e.g. 1-element scalar assign
+    /// becoming a deferred point update) must stand aside so the fault
+    /// lands on a real submission.
+    pub(crate) fn has_fault(&self) -> bool {
+        self.inner.injected.lock().is_some()
     }
 
     pub(crate) fn record_error(&self, e: &Error) {

@@ -23,7 +23,7 @@ use super::queue::Dag;
 use super::trace::{TraceEvent, TraceSink};
 #[cfg(feature = "parallel")]
 use super::workers::{self, TaskKind};
-use crate::kernel::par;
+use crate::kernel::{merge, par};
 
 fn record(
     sink: Option<&TraceSink>,
@@ -32,6 +32,7 @@ fn record(
     start_ns: u64,
     worker: usize,
     stats: par::ParStats,
+    flush: merge::FlushStats,
 ) {
     let Some(sink) = sink else { return };
     let end_ns = sink.now_ns();
@@ -52,6 +53,8 @@ fn record(
         par_chunks: stats.par_chunks,
         chunk_rows: stats.chunk_rows,
         par_workers: stats.par_workers,
+        pending_len: flush.pending_len,
+        merged_rows: flush.merged_rows,
         fused: None,
     });
 }
@@ -64,14 +67,15 @@ fn mark_ready(sink: Option<&TraceSink>, dag: &Dag, idx: usize) {
     }
 }
 
-/// Compute one node and return its intra-kernel chunking stats. The
-/// stats thread-local is drained *before* the compute too, so a stale
-/// carry-over from non-scheduler kernel work on this thread can't be
-/// attributed to the node.
-fn compute_node(dag: &Dag, idx: usize) -> par::ParStats {
+/// Compute one node and return its intra-kernel chunking and delta-flush
+/// stats. Both thread-locals are drained *before* the compute too, so a
+/// stale carry-over from non-scheduler kernel work on this thread can't
+/// be attributed to the node.
+fn compute_node(dag: &Dag, idx: usize) -> (par::ParStats, merge::FlushStats) {
     let _ = par::take_stats();
+    let _ = merge::take_flush_stats();
     dag.nodes[idx].node.compute();
-    par::take_stats()
+    (par::take_stats(), merge::take_flush_stats())
 }
 
 /// Drain the DAG on the calling thread in FIFO ready order. This is the
@@ -87,8 +91,8 @@ pub(crate) fn run_sequential(dag: &Dag, sink: Option<&TraceSink>) {
     }
     while let Some(idx) = queue.pop_front() {
         let start_ns = sink.map_or(0, TraceSink::now_ns);
-        let stats = compute_node(dag, idx);
-        record(sink, dag, idx, start_ns, 0, stats);
+        let (stats, flush) = compute_node(dag, idx);
+        record(sink, dag, idx, start_ns, 0, stats, flush);
         for &dep in &dag.nodes[idx].dependents {
             if dag.nodes[dep].pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                 mark_ready(sink, dag, dep);
@@ -120,8 +124,8 @@ pub(crate) fn run_parallel(dag: &Dag, sink: Option<&TraceSink>) {
     let pool = workers::pool();
     let run = |batch: &workers::BatchState, idx: usize, worker: usize| {
         let start_ns = sink.map_or(0, TraceSink::now_ns);
-        let stats = compute_node(dag, idx);
-        record(sink, dag, idx, start_ns, worker, stats);
+        let (stats, flush) = compute_node(dag, idx);
+        record(sink, dag, idx, start_ns, worker, stats, flush);
         for &dep in &dag.nodes[idx].dependents {
             if dag.nodes[dep].pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                 mark_ready(sink, dag, dep);

@@ -65,6 +65,12 @@ pub struct TraceEvent {
     /// Most distinct workers observed executing one of those chunk
     /// batches — separates inter-op from intra-op parallelism in E8.
     pub par_workers: usize,
+    /// For `kind == "flush"` nodes: pending delta entries merged into
+    /// the backing store (0 for every other kind).
+    pub pending_len: usize,
+    /// For `kind == "flush"` nodes: distinct output rows (vector:
+    /// indices) those entries touched.
+    pub merged_rows: usize,
     /// `Some` only for synthetic `kind == "fused"` events emitted by the
     /// `exec::fuse` rewrite pass: which producer was absorbed into which
     /// consumer, and by which rewrite. Timings are zero for these events
@@ -135,6 +141,8 @@ mod tests {
             par_chunks: 0,
             chunk_rows: 0,
             par_workers: 0,
+            pending_len: 0,
+            merged_rows: 0,
             fused: None,
         };
         assert_eq!(e.queue_ns(), 50);
@@ -160,6 +168,8 @@ mod tests {
             par_chunks: 0,
             chunk_rows: 0,
             par_workers: 0,
+            pending_len: 0,
+            merged_rows: 0,
             fused: None,
         });
         let ev = sink.into_events();

@@ -10,6 +10,7 @@ pub mod apply;
 pub mod assign;
 pub mod ewise;
 pub mod extract;
+pub mod merge;
 pub mod mxm;
 pub mod mxv;
 pub mod par;

@@ -12,18 +12,27 @@
 //! [`Matrix::get`], [`Matrix::extract_tuples`] — force completion of any
 //! deferred computation defining this object, surfacing execution errors
 //! (paper §IV/§V).
+//!
+//! Point mutations ([`Matrix::set`], [`Matrix::remove`]) exploit the
+//! same deferral latitude in the other direction: they append to a
+//! pending-update buffer ([`crate::storage::delta`]) in O(1) amortized
+//! time and are merged into the backing store only when the value is
+//! next observed (the crate-internal `Matrix::resolve` — every read
+//! and every kernel input capture goes through it).
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::algebra::binary::BinaryOp;
 use crate::error::{Error, Result};
 use crate::exec::{force, Completable, Node};
 use crate::index::Index;
+use crate::kernel::merge;
 use crate::scalar::Scalar;
 use crate::storage::coo::build_matrix;
 use crate::storage::csr::Csr;
+use crate::storage::delta::{DeltaLog, DeltaOp};
 use crate::storage::engine::{Format, FormatPolicy, MatrixStore};
 
 pub(crate) type MatrixNode<T> = Node<MatrixStore<T>>;
@@ -37,6 +46,10 @@ pub struct Matrix<T: Scalar> {
     /// `GxB`-style per-object format option). Shared by handle clones,
     /// like every other property of the object.
     policy: Arc<RwLock<FormatPolicy>>,
+    /// Pending point mutations not yet merged into the value node;
+    /// keyed row-major. Shared by handle clones. Lock order: `delta`
+    /// before `cell`, always.
+    delta: Arc<Mutex<DeltaLog<(Index, Index), T>>>,
 }
 
 impl<T: Scalar> Clone for Matrix<T> {
@@ -49,6 +62,7 @@ impl<T: Scalar> Clone for Matrix<T> {
             ncols: self.ncols,
             cell: self.cell.clone(),
             policy: self.policy.clone(),
+            delta: self.delta.clone(),
         }
     }
 }
@@ -67,6 +81,7 @@ impl<T: Scalar> Matrix<T> {
             ncols,
             cell: Arc::new(RwLock::new(Node::ready(MatrixStore::empty(nrows, ncols)))),
             policy: Arc::new(RwLock::new(FormatPolicy::default())),
+            delta: Arc::new(Mutex::new(DeltaLog::new())),
         })
     }
 
@@ -147,24 +162,24 @@ impl<T: Scalar> Matrix<T> {
         Ok(self.forced_storage()?.get(i, j).cloned())
     }
 
-    /// `GrB_Matrix_setElement`. Forces completion, then performs a
-    /// copy-on-write point update (O(nvals); prefer `build` for bulk
-    /// loads). The updated value is re-stored under the object's format
-    /// policy (a point update can cross a density threshold).
+    /// `GrB_Matrix_setElement`. Appends to the object's pending-update
+    /// buffer — O(1) amortized in every mode, per §IV's latitude to
+    /// defer point updates. The buffer is merged into the backing store
+    /// (and the value re-stored under the object's format policy, since
+    /// updates can cross a density threshold) when the value is next
+    /// observed: `nvals`/`get`/`extract_tuples`/`wait`, or capture as a
+    /// kernel input.
     pub fn set(&self, i: Index, j: Index, v: T) -> Result<()> {
         self.check_bounds(i, j)?;
-        let mut storage = (*self.forced_storage()?.row_csr()).clone();
-        storage.set_element(i, j, v);
-        self.install_csr(storage);
+        self.delta.lock().push((i, j), DeltaOp::Put(v));
         Ok(())
     }
 
-    /// `GrB_Matrix_removeElement`. Forces completion.
+    /// `GrB_Matrix_removeElement`. Deferred like [`Matrix::set`];
+    /// removing an absent element is a no-op, as the C API specifies.
     pub fn remove(&self, i: Index, j: Index) -> Result<()> {
         self.check_bounds(i, j)?;
-        let mut storage = (*self.forced_storage()?.row_csr()).clone();
-        storage.remove_element(i, j);
-        self.install_csr(storage);
+        self.delta.lock().push((i, j), DeltaOp::Del);
         Ok(())
     }
 
@@ -175,16 +190,20 @@ impl<T: Scalar> Matrix<T> {
     }
 
     /// `GrB_Matrix_clear`: remove all stored elements (dimensions kept).
-    /// Never fails and never forces — the old value, complete or not, is
-    /// simply abandoned.
+    /// Never fails and never forces — the old value, complete or not,
+    /// and any pending point updates are simply abandoned.
     pub fn clear(&self) {
+        let mut delta = self.delta.lock();
+        delta.clear();
         self.install_csr(Csr::empty(self.nrows, self.ncols));
     }
 
     /// `GrB_Matrix_dup`: a new object with a copy of this object's
     /// current (possibly still deferred) value and format policy.
+    /// Pending point updates are part of the value, so they transfer as
+    /// a flush node shared with the original.
     pub fn dup(&self) -> Matrix<T> {
-        let node = self.snapshot();
+        let node = self.resolve();
         // The copy aliases the (possibly deferred) value node through a
         // second cell, which the original handle's observe-probe cannot
         // see — pin the node so the fusion pass never absorbs it.
@@ -194,6 +213,7 @@ impl<T: Scalar> Matrix<T> {
             ncols: self.ncols,
             cell: Arc::new(RwLock::new(node)),
             policy: Arc::new(RwLock::new(self.format_policy())),
+            delta: Arc::new(Mutex::new(DeltaLog::new())),
         }
     }
 
@@ -230,16 +250,16 @@ impl<T: Scalar> Matrix<T> {
 
     /// Force completion of this object alone (the released C spec's
     /// per-object `GrB_Matrix_wait`), surfacing any execution error from
-    /// its defining computation.
+    /// its defining computation. Merges any pending point updates.
     pub fn wait(&self) -> Result<()> {
-        let node = self.snapshot() as Arc<dyn Completable>;
+        let node = self.resolve() as Arc<dyn Completable>;
         force(&node)
     }
 
-    /// `true` once the object's value is computed and stored (always true
-    /// in blocking mode). Diagnostic for the execution-model tests.
+    /// `true` once the object's value is computed and stored with no
+    /// pending point updates. Diagnostic for the execution-model tests.
     pub fn is_complete(&self) -> bool {
-        self.snapshot().is_complete()
+        self.delta.lock().is_empty() && self.snapshot().is_complete()
     }
 
     fn check_bounds(&self, i: Index, j: Index) -> Result<()> {
@@ -255,8 +275,52 @@ impl<T: Scalar> Matrix<T> {
     // ----- internal plumbing for the operation layer -----
 
     /// The current node (a snapshot: later handle swaps don't affect it).
+    /// Does NOT include pending point updates — value observers must use
+    /// [`Matrix::resolve`] instead.
     pub(crate) fn snapshot(&self) -> Arc<MatrixNode<T>> {
         self.cell.read().clone()
+    }
+
+    /// The current node *including* pending point updates: if the delta
+    /// buffer is non-empty, drain it into a deferred `flush` node (a DAG
+    /// node depending on the current value, so scheduling, tracing, and
+    /// §V program-order error semantics all apply), install that node,
+    /// and return it. Every value observation — reads, kernel input
+    /// capture, masks — goes through here.
+    ///
+    /// The flush merge runs row-partitioned on the worker pool under the
+    /// kernel cost model and is bitwise-deterministic at any degree; the
+    /// merged value is re-stored under the object's format policy, so
+    /// `FormatPolicy::Auto` re-selects after a flush. The flush node
+    /// registers no fuse face or hook, so a producer with pending
+    /// updates is never fusable and the flush itself absorbs nothing.
+    pub(crate) fn resolve(&self) -> Arc<MatrixNode<T>> {
+        let mut delta = self.delta.lock();
+        if delta.is_empty() {
+            return self.snapshot();
+        }
+        let runs = delta.drain();
+        let base = self.snapshot();
+        let policy = self.format_policy();
+        let dep = base.clone() as Arc<dyn Completable>;
+        let node = Node::pending_kind(
+            "flush",
+            vec![dep],
+            Box::new(move || {
+                let store = base.ready_storage()?;
+                let merged = merge::merge_matrix(store.row_csr().as_ref(), &runs);
+                Ok(MatrixStore::from_csr(merged, policy))
+            }),
+        );
+        self.install(node.clone());
+        node
+    }
+
+    /// Drop any pending point updates: the caller is about to overwrite
+    /// this object's whole value (an operation writing the output), so
+    /// the buffered updates are dead by program order.
+    pub(crate) fn discard_pending(&self) {
+        self.delta.lock().clear();
     }
 
     /// Publish a new value node for this object.
@@ -273,9 +337,9 @@ impl<T: Scalar> Matrix<T> {
         )));
     }
 
-    /// Force and read the current store.
+    /// Force and read the current store (pending updates merged).
     pub(crate) fn forced_storage(&self) -> Result<Arc<MatrixStore<T>>> {
-        let node = self.snapshot();
+        let node = self.resolve();
         force(&(node.clone() as Arc<dyn Completable>))?;
         node.ready_storage()
     }
@@ -395,6 +459,46 @@ mod tests {
         assert!(matches!(m.get(2, 0), Err(Error::InvalidIndex(_))));
         assert!(matches!(m.set(0, 5, 1), Err(Error::InvalidIndex(_))));
         assert!(matches!(m.remove(9, 9), Err(Error::InvalidIndex(_))));
+    }
+
+    #[test]
+    fn point_updates_defer_until_read() {
+        let m = Matrix::<i32>::new(4, 4).unwrap();
+        m.set(1, 1, 5).unwrap();
+        m.set(1, 1, 6).unwrap(); // last write wins
+        m.remove(3, 3).unwrap(); // absent: no-op at merge
+        assert!(!m.is_complete(), "set/remove buffer instead of forcing");
+        assert_eq!(m.get(1, 1).unwrap(), Some(6)); // read flushes
+        assert!(m.is_complete());
+        assert_eq!(m.nvals().unwrap(), 1);
+    }
+
+    #[test]
+    fn build_after_clear_with_pending_ops() {
+        // clear() abandons pending point updates, so a subsequent build
+        // targets a truly-empty matrix and succeeds
+        let m = Matrix::<i32>::new(2, 2).unwrap();
+        m.set(0, 0, 1).unwrap();
+        m.clear();
+        m.build(&[1], &[1], &[7], &Plus::new()).unwrap();
+        assert_eq!(m.extract_tuples().unwrap(), vec![(1, 1, 7)]);
+
+        // pending updates WITHOUT a clear are part of the value: build
+        // flushes them first and then errors on the non-empty target
+        let m2 = Matrix::<i32>::new(2, 2).unwrap();
+        m2.set(0, 0, 1).unwrap();
+        let e = m2.build(&[1], &[1], &[7], &Plus::new()).unwrap_err();
+        assert!(matches!(e, Error::OutputNotEmpty(_)));
+        assert_eq!(m2.get(0, 0).unwrap(), Some(1)); // flush happened
+    }
+
+    #[test]
+    fn clear_discards_pending_updates() {
+        let m = Matrix::<i32>::new(2, 2).unwrap();
+        m.set(0, 0, 1).unwrap();
+        m.clear();
+        assert_eq!(m.nvals().unwrap(), 0);
+        assert!(m.is_complete());
     }
 
     #[test]

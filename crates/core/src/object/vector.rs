@@ -1,18 +1,21 @@
 //! The opaque GraphBLAS vector (paper §III-A): `v = <D, N, {(i, v_i)}>`.
 //!
 //! Mirrors [`Matrix`](crate::object::Matrix): a handle over an immutable
-//! value node; see that module for the handle/node semantics.
+//! value node, with point mutations deferred into a pending-update
+//! buffer; see that module for the handle/node and delta semantics.
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::algebra::binary::BinaryOp;
 use crate::error::{Error, Result};
 use crate::exec::{force, Completable, Node};
 use crate::index::Index;
+use crate::kernel::merge;
 use crate::scalar::Scalar;
 use crate::storage::coo::build_vector;
+use crate::storage::delta::{DeltaLog, DeltaOp};
 use crate::storage::vec::SparseVec;
 
 pub(crate) type VectorNode<T> = Node<SparseVec<T>>;
@@ -21,6 +24,9 @@ pub(crate) type VectorNode<T> = Node<SparseVec<T>>;
 pub struct Vector<T: Scalar> {
     n: Index,
     cell: Arc<RwLock<Arc<VectorNode<T>>>>,
+    /// Pending point mutations not yet merged into the value node.
+    /// Shared by handle clones. Lock order: `delta` before `cell`.
+    delta: Arc<Mutex<DeltaLog<Index, T>>>,
 }
 
 impl<T: Scalar> Clone for Vector<T> {
@@ -30,6 +36,7 @@ impl<T: Scalar> Clone for Vector<T> {
         Vector {
             n: self.n,
             cell: self.cell.clone(),
+            delta: self.delta.clone(),
         }
     }
 }
@@ -44,6 +51,7 @@ impl<T: Scalar> Vector<T> {
         Ok(Vector {
             n,
             cell: Arc::new(RwLock::new(Node::ready(SparseVec::empty(n)))),
+            delta: Arc::new(Mutex::new(DeltaLog::new())),
         })
     }
 
@@ -75,6 +83,7 @@ impl<T: Scalar> Vector<T> {
         Ok(Vector {
             n: vals.len(),
             cell: Arc::new(RwLock::new(Node::ready(SparseVec::from_dense(vals)))),
+            delta: Arc::new(Mutex::new(DeltaLog::new())),
         })
     }
 
@@ -113,22 +122,20 @@ impl<T: Scalar> Vector<T> {
         Ok(self.forced_storage()?.get(i).cloned())
     }
 
-    /// `GrB_Vector_setElement`. Forces completion, then copy-on-write
-    /// point update.
+    /// `GrB_Vector_setElement`. Appends to the pending-update buffer —
+    /// O(1) amortized in every mode (§IV deferral latitude); merged at
+    /// the next value observation. See [`Matrix::set`](crate::object::Matrix::set).
     pub fn set(&self, i: Index, v: T) -> Result<()> {
         self.check_bounds(i)?;
-        let mut storage = (*self.forced_storage()?).clone();
-        storage.set(i, v);
-        self.install(Node::ready(storage));
+        self.delta.lock().push(i, DeltaOp::Put(v));
         Ok(())
     }
 
-    /// `GrB_Vector_removeElement`. Forces completion.
+    /// `GrB_Vector_removeElement`. Deferred like [`Vector::set`];
+    /// removing an absent element is a no-op, as the C API specifies.
     pub fn remove(&self, i: Index) -> Result<()> {
         self.check_bounds(i)?;
-        let mut storage = (*self.forced_storage()?).clone();
-        storage.remove(i);
-        self.install(Node::ready(storage));
+        self.delta.lock().push(i, DeltaOp::Del);
         Ok(())
     }
 
@@ -142,32 +149,38 @@ impl<T: Scalar> Vector<T> {
         Ok(self.forced_storage()?.to_dense())
     }
 
-    /// `GrB_Vector_clear`.
+    /// `GrB_Vector_clear`. Abandons the old value and any pending point
+    /// updates.
     pub fn clear(&self) {
+        let mut delta = self.delta.lock();
+        delta.clear();
         self.install(Node::ready(SparseVec::empty(self.n)));
     }
 
-    /// `GrB_Vector_dup`.
+    /// `GrB_Vector_dup`. Pending point updates are part of the value,
+    /// so they transfer as a flush node shared with the original.
     pub fn dup(&self) -> Vector<T> {
-        let node = self.snapshot();
+        let node = self.resolve();
         // See `Matrix::dup`: the copy aliases the value node outside the
         // original handle's observe-probe, so pin it against fusion.
         node.pin();
         Vector {
             n: self.n,
             cell: Arc::new(RwLock::new(node)),
+            delta: Arc::new(Mutex::new(DeltaLog::new())),
         }
     }
 
-    /// Force completion of this object alone.
+    /// Force completion of this object alone (merges pending updates).
     pub fn wait(&self) -> Result<()> {
-        let node = self.snapshot() as Arc<dyn Completable>;
+        let node = self.resolve() as Arc<dyn Completable>;
         force(&node)
     }
 
-    /// `true` once the value is computed and stored.
+    /// `true` once the value is computed and stored with no pending
+    /// point updates.
     pub fn is_complete(&self) -> bool {
-        self.snapshot().is_complete()
+        self.delta.lock().is_empty() && self.snapshot().is_complete()
     }
 
     fn check_bounds(&self, i: Index) -> Result<()> {
@@ -182,8 +195,39 @@ impl<T: Scalar> Vector<T> {
 
     // ----- internal plumbing -----
 
+    /// The current node, *excluding* pending point updates — value
+    /// observers must use [`Vector::resolve`] instead.
     pub(crate) fn snapshot(&self) -> Arc<VectorNode<T>> {
         self.cell.read().clone()
+    }
+
+    /// The current node *including* pending point updates; see
+    /// [`Matrix::resolve`](crate::object::Matrix) for the flush-node
+    /// semantics (scheduling, determinism, fuse opacity).
+    pub(crate) fn resolve(&self) -> Arc<VectorNode<T>> {
+        let mut delta = self.delta.lock();
+        if delta.is_empty() {
+            return self.snapshot();
+        }
+        let runs = delta.drain();
+        let base = self.snapshot();
+        let dep = base.clone() as Arc<dyn Completable>;
+        let node = Node::pending_kind(
+            "flush",
+            vec![dep],
+            Box::new(move || {
+                let store = base.ready_storage()?;
+                Ok(merge::merge_vector(store.as_ref(), &runs))
+            }),
+        );
+        self.install(node.clone());
+        node
+    }
+
+    /// Drop any pending point updates (the whole value is about to be
+    /// overwritten by an operation's output write).
+    pub(crate) fn discard_pending(&self) {
+        self.delta.lock().clear();
     }
 
     pub(crate) fn install(&self, node: Arc<VectorNode<T>>) {
@@ -191,7 +235,7 @@ impl<T: Scalar> Vector<T> {
     }
 
     pub(crate) fn forced_storage(&self) -> Result<Arc<SparseVec<T>>> {
-        let node = self.snapshot();
+        let node = self.resolve();
         force(&(node.clone() as Arc<dyn Completable>))?;
         node.ready_storage()
     }
@@ -269,6 +313,32 @@ mod tests {
         v.set(2, 9).unwrap();
         assert_eq!(alias.get(2).unwrap(), Some(9));
         assert_eq!(copy.get(2).unwrap(), None);
+    }
+
+    #[test]
+    fn build_after_clear_with_pending_ops() {
+        let v = Vector::<i32>::new(3).unwrap();
+        v.set(0, 1).unwrap();
+        v.clear(); // abandons the pending set -> truly empty
+        v.build(&[2], &[9], &Plus::new()).unwrap();
+        assert_eq!(v.extract_tuples().unwrap(), vec![(2, 9)]);
+
+        let v2 = Vector::<i32>::new(3).unwrap();
+        v2.set(0, 1).unwrap(); // pending, no clear
+        let e = v2.build(&[2], &[9], &Plus::new()).unwrap_err();
+        assert!(matches!(e, Error::OutputNotEmpty(_)));
+        assert_eq!(v2.get(0).unwrap(), Some(1)); // build flushed first
+    }
+
+    #[test]
+    fn point_updates_defer_until_read() {
+        let v = Vector::<i32>::new(4).unwrap();
+        v.set(2, 5).unwrap();
+        v.remove(0).unwrap(); // absent: no-op at merge
+        assert!(!v.is_complete(), "set/remove buffer instead of forcing");
+        assert_eq!(v.get(2).unwrap(), Some(5)); // read flushes
+        assert!(v.is_complete());
+        assert_eq!(v.nvals().unwrap(), 1);
     }
 
     #[test]

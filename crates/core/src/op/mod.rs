@@ -102,6 +102,11 @@ impl Context {
             None => Box::new(move || eval().map(|s| s.apply_policy(policy))),
         };
         let node = Node::pending_kind(kind, deps, eval);
+        // The operation overwrites the output's whole value, so any
+        // still-buffered point updates are dead by program order. (When
+        // the write stage needed the old value — accum or mask — its
+        // capture already resolved and drained the buffer.)
+        out.discard_pending();
         out.install(node.clone());
         if fusable {
             node.set_observe_probe(out.observe_probe(&node));
@@ -153,6 +158,9 @@ impl Context {
             None => eval,
         };
         let node = Node::pending_kind(kind, deps, eval);
+        // See submit_matrix_store_fusable: pending point updates on the
+        // output are dead once the operation overwrites it.
+        out.discard_pending();
         out.install(node.clone());
         if fusable {
             node.set_observe_probe(out.observe_probe(&node));
@@ -190,7 +198,7 @@ impl<T: Scalar> Clone for OldMatrix<T> {
 impl<T: Scalar> OldMatrix<T> {
     pub(crate) fn capture(c: &Matrix<T>, needed: bool) -> Self {
         OldMatrix {
-            node: needed.then(|| c.snapshot()),
+            node: needed.then(|| c.resolve()),
             nrows: c.nrows(),
             ncols: c.ncols(),
         }
@@ -228,7 +236,7 @@ impl<T: Scalar> Clone for OldVector<T> {
 impl<T: Scalar> OldVector<T> {
     pub(crate) fn capture(w: &Vector<T>, needed: bool) -> Self {
         OldVector {
-            node: needed.then(|| w.snapshot()),
+            node: needed.then(|| w.resolve()),
             n: w.size(),
         }
     }

@@ -1,0 +1,227 @@
+//! Pending-update buffers: the deferral of `setElement` /
+//! `removeElement` that §IV of the paper explicitly licenses.
+//!
+//! A [`DeltaLog`] is an LSM-style log of point mutations against an
+//! object's backing storage. [`DeltaLog::push`] is O(1) amortized: a
+//! mutation lands in an unsorted tail, and when the tail reaches
+//! [`RUN_CAP`] entries it is *sealed* into a sorted, per-key-deduplicated
+//! run (last write wins within the run — the log's dup-combining
+//! policy). Completion-forcing reads drain the runs and merge them into
+//! the backing storage with the k-way merge kernel
+//! (`crate::kernel::merge`); across runs, the entry with the highest
+//! [`DeltaEntry::seq`] wins, so the merged value is exactly what eager
+//! per-call application would have produced.
+//!
+//! Keys are generic: matrices log `(row, col)` (row-major order, the
+//! order the CSR merge consumes), vectors log plain indices.
+
+use std::sync::Arc;
+
+/// Tail length at which a delta log seals its unsorted tail into a
+/// sorted run. Sealing is O(cap · log cap) every `cap` pushes, so pushes
+/// stay O(log cap) ≈ O(1) amortized regardless of object size.
+pub const RUN_CAP: usize = 4096;
+
+/// One pending point mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaOp<T> {
+    /// `setElement`: insert or overwrite with this value.
+    Put(T),
+    /// `removeElement`: delete if stored (no-op on an absent element,
+    /// as the C API specifies).
+    Del,
+}
+
+/// One entry of the log: a key, the global arrival number (for
+/// last-write-wins ordering across runs), and the operation.
+#[derive(Debug, Clone)]
+pub struct DeltaEntry<K, T> {
+    pub key: K,
+    /// Monotone per-log arrival counter; among entries for the same key
+    /// the highest `seq` is the program-order-latest and wins the merge.
+    pub seq: u64,
+    pub op: DeltaOp<T>,
+}
+
+/// A sealed, key-sorted, per-key-deduplicated batch of pending updates.
+pub type Run<K, T> = Arc<[DeltaEntry<K, T>]>;
+
+/// The pending-update buffer carried by each `Matrix`/`Vector` handle
+/// group (shared by handle clones, like every other object property).
+#[derive(Debug)]
+pub struct DeltaLog<K, T> {
+    next_seq: u64,
+    /// Unsorted recent pushes, sealed into `runs` at [`RUN_CAP`].
+    tail: Vec<DeltaEntry<K, T>>,
+    /// Sealed sorted runs, oldest first.
+    runs: Vec<Run<K, T>>,
+    /// Total entries across `tail` and `runs`.
+    len: usize,
+}
+
+impl<K, T> Default for DeltaLog<K, T> {
+    fn default() -> Self {
+        DeltaLog {
+            next_seq: 0,
+            tail: Vec::new(),
+            runs: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<K: Copy + Ord, T> DeltaLog<K, T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when no updates are pending (the fast path of every
+    /// completion-forcing read).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pending entries (post-dedup within sealed runs) —
+    /// reported as `pending_len` on flush trace events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Append one pending mutation. O(1) amortized.
+    pub fn push(&mut self, key: K, op: DeltaOp<T>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.tail.push(DeltaEntry { key, seq, op });
+        self.len += 1;
+        if self.tail.len() >= RUN_CAP {
+            self.seal();
+        }
+    }
+
+    /// Sort the tail by key and deduplicate it (keep the latest entry
+    /// per key — last write wins), then append it as a sealed run.
+    fn seal(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.tail);
+        self.len -= batch.len();
+        // Stable by key: ties keep push order, so "last per key" below
+        // is the program-order-latest. (`seq` is push order, but the
+        // stable sort lets us dedup without comparing it.)
+        batch.sort_by_key(|e| e.key);
+        let mut dedup: Vec<DeltaEntry<K, T>> = Vec::with_capacity(batch.len());
+        for e in batch {
+            match dedup.last_mut() {
+                Some(last) if last.key == e.key => *last = e,
+                _ => dedup.push(e),
+            }
+        }
+        self.len += dedup.len();
+        self.runs.push(dedup.into());
+    }
+
+    /// Take every pending update as sealed sorted runs (oldest first),
+    /// leaving the log empty. The caller hands the runs to the merge
+    /// kernel.
+    pub fn drain(&mut self) -> Vec<Run<K, T>> {
+        self.seal();
+        self.len = 0;
+        std::mem::take(&mut self.runs)
+    }
+
+    /// Discard every pending update (the object's value was overwritten
+    /// wholesale — `clear`, or an operation writing the whole output —
+    /// so the buffered point updates are dead by program order).
+    pub fn clear(&mut self) {
+        self.tail.clear();
+        self.runs.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn puts(log: &mut DeltaLog<usize, i32>, keys: &[usize]) {
+        for &k in keys {
+            log.push(k, DeltaOp::Put(k as i32));
+        }
+    }
+
+    #[test]
+    fn empty_log() {
+        let mut log: DeltaLog<usize, i32> = DeltaLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        assert!(log.drain().is_empty());
+    }
+
+    #[test]
+    fn drain_returns_sorted_runs() {
+        let mut log = DeltaLog::new();
+        puts(&mut log, &[5, 1, 3]);
+        log.push(1, DeltaOp::Del);
+        assert_eq!(log.len(), 4);
+        let runs = log.drain();
+        assert!(log.is_empty());
+        assert_eq!(runs.len(), 1);
+        let keys: Vec<usize> = runs[0].iter().map(|e| e.key).collect();
+        // dedup kept only the latest entry for key 1 (the Del)
+        assert_eq!(keys, vec![1, 3, 5]);
+        assert!(matches!(runs[0][0].op, DeltaOp::Del));
+    }
+
+    #[test]
+    fn dedup_is_last_write_wins() {
+        let mut log: DeltaLog<usize, i32> = DeltaLog::new();
+        log.push(7, DeltaOp::Put(1));
+        log.push(7, DeltaOp::Del);
+        log.push(7, DeltaOp::Put(3));
+        let runs = log.drain();
+        assert_eq!(runs[0].len(), 1);
+        assert!(matches!(runs[0][0].op, DeltaOp::Put(3)));
+    }
+
+    #[test]
+    fn seq_is_monotone_across_runs() {
+        let mut log: DeltaLog<usize, i32> = DeltaLog::new();
+        for i in 0..(RUN_CAP + 10) {
+            log.push(i % 7, DeltaOp::Put(i as i32));
+        }
+        let runs = log.drain();
+        assert!(runs.len() >= 2, "tail sealed at RUN_CAP plus remainder");
+        // every entry of a later run outranks every entry of an earlier
+        // one — the cross-run LWW tiebreak the merge kernel relies on
+        let max_first = runs[0].iter().map(|e| e.seq).max().unwrap();
+        let min_last = runs.last().unwrap().iter().map(|e| e.seq).min().unwrap();
+        assert!(max_first < min_last);
+    }
+
+    #[test]
+    fn len_tracks_dedup() {
+        let mut log: DeltaLog<usize, i32> = DeltaLog::new();
+        for _ in 0..RUN_CAP {
+            log.push(0, DeltaOp::Put(1)); // all the same key
+        }
+        // sealed into a single-entry run
+        assert_eq!(log.len(), 1);
+        log.push(1, DeltaOp::Put(2));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn clear_discards_everything() {
+        let mut log: DeltaLog<usize, i32> = DeltaLog::new();
+        puts(&mut log, &[1, 2, 3]);
+        log.clear();
+        assert!(log.is_empty());
+        assert!(log.drain().is_empty());
+        // pushes after clear still work and keep fresh seq numbers
+        log.push(9, DeltaOp::Put(9));
+        assert_eq!(log.len(), 1);
+    }
+}

@@ -3,10 +3,12 @@
 
 pub mod coo;
 pub mod csr;
+pub mod delta;
 pub mod engine;
 pub mod vec;
 
 pub use coo::{build_matrix, build_vector};
 pub use csr::Csr;
+pub use delta::{DeltaEntry, DeltaLog, DeltaOp};
 pub use engine::{Bitmap, Format, FormatPolicy, Hyper, Layout, MatrixStore};
 pub use vec::SparseVec;

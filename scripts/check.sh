@@ -15,6 +15,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release"
 cargo build --release
 
+echo "== cargo build --examples"
+cargo build --examples
+
 echo "== cargo test -q (workspace)"
 cargo test -q --workspace
 
@@ -22,10 +25,11 @@ echo "== cargo test -q -p graphblas-core --no-default-features (sequential path)
 cargo test -q -p graphblas-core --no-default-features
 
 # Thread matrix: the pool width and default degree follow
-# GRB_TEST_THREADS, and the determinism suite must hold at every count.
+# GRB_TEST_THREADS, and the determinism suites (serial-vs-parallel and
+# deferred-vs-eager pending updates) must hold at every count.
 for threads in 1 2 8; do
-    echo "== GRB_TEST_THREADS=$threads cargo test -q --test par_determinism"
-    GRB_TEST_THREADS="$threads" cargo test -q --test par_determinism
+    echo "== GRB_TEST_THREADS=$threads cargo test -q --test par_determinism --test delta_equivalence"
+    GRB_TEST_THREADS="$threads" cargo test -q --test par_determinism --test delta_equivalence
 done
 
 echo "== cargo doc --workspace --no-deps (deny warnings)"

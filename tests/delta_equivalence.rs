@@ -1,0 +1,268 @@
+//! PR acceptance property for the pending-update buffer
+//! (`storage::delta`): a random interleaving of point mutations
+//! (`set` / `remove` / 1×1 scalar `assign`) with completion-forcing
+//! operations (`mxm`, `mxv`, row/scalar `reduce`, `nvals`) yields
+//! **bitwise** identical observables whether the mutations are left
+//! deferred in the delta log until a read forces the merge, or eagerly
+//! flushed after every step — across execution modes, storage formats,
+//! and intra-kernel parallelism degrees, with NaN / ±∞ / -0.0 payloads
+//! included. This is the "deferred ≡ eager" acceptance criterion.
+
+use graphblas_core::par;
+use graphblas_core::prelude::*;
+use graphblas_core::SchedPolicy;
+use proptest::prelude::*;
+
+const N: usize = 16;
+const DEGREES: [usize; 3] = [1, 2, 8];
+
+/// Decode a strategy byte into an f64 payload; low codes are the
+/// adversarial specials (NaN, ±∞, -0.0).
+fn fval(code: u8) -> f64 {
+    match code {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -0.0,
+        c => (f64::from(c) - 128.0) * 0.625,
+    }
+}
+
+type Tuples = Vec<(usize, usize, u8)>;
+
+fn sparse(max_nnz: usize) -> impl Strategy<Value = Tuples> {
+    proptest::collection::vec((0..N, 0..N, 0u8..255), 0..=max_nnz).prop_map(|mut t| {
+        t.sort_by_key(|&(i, j, _)| (i, j));
+        t.dedup_by_key(|&mut (i, j, _)| (i, j));
+        t
+    })
+}
+
+/// One step of a random program over a matrix `m` and a vector `u`.
+#[derive(Debug, Clone)]
+enum Step {
+    /// `m.set(i, j, v)` — O(1) append to the pending buffer.
+    Set(usize, usize, u8),
+    /// `m.remove(i, j)` — tombstone append (no-op if absent).
+    Remove(usize, usize),
+    /// 1×1 unmasked no-accum scalar assign — routed through the same
+    /// pending buffer by the fast path.
+    AssignPoint(usize, usize, u8),
+    /// `u.set(i, v)` / `u.remove(i)` — the vector-side buffer.
+    VSet(usize, u8),
+    VRemove(usize),
+    /// `out = m ⊕.⊗ m` — kernel input resolution forces the flush.
+    Mxm,
+    /// `w = m ⊕.⊗ u` — forces both buffers.
+    Mxv,
+    /// Row reduction plus a scalar reduction (an immediate read).
+    Reduce,
+    /// `m.nvals()` — a completion-forcing query mid-program.
+    Nvals,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    // The vendored proptest has no weighted prop_oneof; repeating the
+    // point-mutation arms biases programs toward long deferral chains.
+    prop_oneof![
+        (0..N, 0..N, any::<u8>()).prop_map(|(i, j, c)| Step::Set(i, j, c)),
+        (0..N, 0..N, any::<u8>()).prop_map(|(i, j, c)| Step::Set(i, j, c)),
+        (0..N, 0..N, any::<u8>()).prop_map(|(i, j, c)| Step::Set(i, j, c)),
+        (0..N, 0..N).prop_map(|(i, j)| Step::Remove(i, j)),
+        (0..N, 0..N, any::<u8>()).prop_map(|(i, j, c)| Step::AssignPoint(i, j, c)),
+        (0..N, any::<u8>()).prop_map(|(i, c)| Step::VSet(i, c)),
+        (0..N, any::<u8>()).prop_map(|(i, c)| Step::VSet(i, c)),
+        (0..N).prop_map(Step::VRemove),
+        Just(Step::Mxm),
+        Just(Step::Mxv),
+        Just(Step::Reduce),
+        Just(Step::Nvals),
+    ]
+}
+
+/// Everything a program can observe, down to the bit pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Obs {
+    m: Vec<(usize, usize, u64)>,
+    u: Vec<(usize, u64)>,
+    outs: Vec<Vec<(usize, usize, u64)>>,
+    vouts: Vec<Vec<(usize, u64)>>,
+    scalars: Vec<u64>,
+    nvals: Vec<usize>,
+}
+
+fn matrix_bits(m: &Matrix<f64>) -> Vec<(usize, usize, u64)> {
+    m.extract_tuples()
+        .unwrap()
+        .into_iter()
+        .map(|(i, j, v)| (i, j, v.to_bits()))
+        .collect()
+}
+
+fn vector_bits(v: &Vector<f64>) -> Vec<(usize, u64)> {
+    v.extract_tuples()
+        .unwrap()
+        .into_iter()
+        .map(|(i, x)| (i, x.to_bits()))
+        .collect()
+}
+
+/// Interpret `steps` under `ctx`. With `eager` set, every point
+/// mutation is followed by a `wait()` on the mutated object, so the
+/// delta log never holds more than one entry; otherwise the buffer
+/// accumulates until an operation or query forces the k-way merge.
+fn interpret(
+    ctx: &Context,
+    m0: &Tuples,
+    u0: &Tuples,
+    steps: &[Step],
+    format: Option<Format>,
+    eager: bool,
+) -> Obs {
+    let tuples: Vec<(usize, usize, f64)> = m0.iter().map(|&(i, j, c)| (i, j, fval(c))).collect();
+    let m = Matrix::from_tuples(N, N, &tuples).unwrap();
+    if let Some(f) = format {
+        m.set_format(f).unwrap();
+    }
+    let u = Vector::<f64>::new(N).unwrap();
+    for &(i, _, c) in u0 {
+        u.set(i, fval(c)).unwrap();
+    }
+    let d = Descriptor::default();
+    let mut obs = Obs {
+        m: Vec::new(),
+        u: Vec::new(),
+        outs: Vec::new(),
+        vouts: Vec::new(),
+        scalars: Vec::new(),
+        nvals: Vec::new(),
+    };
+    for step in steps {
+        match *step {
+            Step::Set(i, j, c) => m.set(i, j, fval(c)).unwrap(),
+            Step::Remove(i, j) => m.remove(i, j).unwrap(),
+            Step::AssignPoint(i, j, c) => ctx
+                .assign_scalar_matrix(
+                    &m,
+                    NoMask,
+                    NoAccum,
+                    fval(c),
+                    IndexSelection::List(&[i]),
+                    IndexSelection::List(&[j]),
+                    &d,
+                )
+                .unwrap(),
+            Step::VSet(i, c) => u.set(i, fval(c)).unwrap(),
+            Step::VRemove(i) => u.remove(i).unwrap(),
+            Step::Mxm => {
+                let out = Matrix::<f64>::new(N, N).unwrap();
+                ctx.mxm(&out, NoMask, NoAccum, plus_times::<f64>(), &m, &m, &d)
+                    .unwrap();
+                obs.outs.push(matrix_bits(&out));
+            }
+            Step::Mxv => {
+                let w = Vector::<f64>::new(N).unwrap();
+                ctx.mxv(&w, NoMask, NoAccum, plus_times::<f64>(), &m, &u, &d)
+                    .unwrap();
+                obs.vouts.push(vector_bits(&w));
+            }
+            Step::Reduce => {
+                let w = Vector::<f64>::new(N).unwrap();
+                ctx.reduce_rows(&w, NoMask, NoAccum, PlusMonoid::new(), &m, &d)
+                    .unwrap();
+                obs.vouts.push(vector_bits(&w));
+                let s = ctx.reduce_matrix_to_scalar(PlusMonoid::new(), &m).unwrap();
+                obs.scalars.push(s.to_bits());
+            }
+            Step::Nvals => obs.nvals.push(m.nvals().unwrap()),
+        }
+        if eager {
+            match *step {
+                Step::Set(..) | Step::Remove(..) | Step::AssignPoint(..) => m.wait().unwrap(),
+                Step::VSet(..) | Step::VRemove(..) => u.wait().unwrap(),
+                _ => {}
+            }
+        }
+    }
+    ctx.wait().unwrap();
+    obs.m = matrix_bits(&m);
+    obs.u = vector_bits(&u);
+    obs
+}
+
+/// Run `f` with the intra-kernel degree pinned to `k` and the cost
+/// model forced so even proptest-sized fixtures chunk. The overrides
+/// are thread-local: they bind the blocking and sequential paths (which
+/// compute on the calling thread); the pool path exercises its own
+/// defaults, which the determinism-by-merge design makes equivalent.
+fn at_degree<R>(k: usize, f: impl FnOnce() -> R) -> R {
+    par::with_cost_model(1, 0, || par::with_parallelism(k, f))
+}
+
+const FORMATS: [Option<Format>; 3] = [None, Some(Format::Csr), Some(Format::Bitmap)];
+
+fn contexts() -> [Context; 3] {
+    [
+        Context::blocking(),
+        Context::with_policy(Mode::Nonblocking, SchedPolicy::Sequential),
+        Context::with_policy(Mode::Nonblocking, SchedPolicy::Parallel),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The acceptance property: every (mode, format, degree) × {deferred,
+    /// eager} run of the same program observes the same bits as the
+    /// serial eager blocking reference.
+    #[test]
+    fn deferred_equals_eager_bitwise(
+        m0 in sparse(48),
+        u0 in sparse(16),
+        steps in proptest::collection::vec(step_strategy(), 1..24),
+    ) {
+        let reference =
+            at_degree(1, || interpret(&Context::blocking(), &m0, &u0, &steps, None, true));
+        for ctx in contexts() {
+            for format in FORMATS {
+                for k in DEGREES {
+                    for eager in [false, true] {
+                        let got =
+                            at_degree(k, || interpret(&ctx, &m0, &u0, &steps, format, eager));
+                        prop_assert_eq!(
+                            &reference, &got,
+                            "mode {:?} format {:?} degree {} eager {}",
+                            ctx.mode(), format, k, eager
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dedup inside the buffer is last-write-wins: hammering one cell
+    /// with sets and removes, the only surviving value is the final one,
+    /// regardless of how many runs the log sealed.
+    #[test]
+    fn last_write_wins_over_long_update_chains(
+        raw in proptest::collection::vec((any::<bool>(), any::<u8>()), 1..64),
+    ) {
+        // (false, _) encodes a remove; (true, c) a set of payload c.
+        let codes: Vec<Option<u8>> =
+            raw.into_iter().map(|(put, c)| put.then_some(c)).collect();
+        let m = Matrix::<f64>::new(N, N).unwrap();
+        for c in &codes {
+            match c {
+                Some(c) => m.set(3, 5, fval(*c)).unwrap(),
+                None => m.remove(3, 5).unwrap(),
+            }
+        }
+        match codes.last().unwrap() {
+            Some(c) => {
+                prop_assert_eq!(m.nvals().unwrap(), 1);
+                prop_assert_eq!(m.get(3, 5).unwrap().unwrap().to_bits(), fval(*c).to_bits());
+            }
+            None => prop_assert_eq!(m.nvals().unwrap(), 0),
+        }
+    }
+}

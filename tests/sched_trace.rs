@@ -120,6 +120,38 @@ fn wide_dag_runs_on_multiple_workers() {
     }
 }
 
+/// Pending point updates flush as first-class DAG nodes: the trace
+/// carries one `"flush"` event (interior dependency, so `seq == None`)
+/// with the delta-merge statistics, under both scheduler policies.
+#[test]
+fn flush_nodes_are_traced_with_merge_stats() {
+    for policy in [SchedPolicy::Sequential, SchedPolicy::Parallel] {
+        let ctx = Context::with_policy(Mode::Nonblocking, policy);
+        ctx.enable_trace(true);
+        let a = random_matrix(6, 0.05);
+        for k in 0..10 {
+            a.set(k, k, 1).unwrap();
+        }
+        a.remove(0, 1).unwrap(); // 11 pending entries over 10 rows
+        let out = Matrix::<i64>::new(N, N).unwrap();
+        let d = Descriptor::default();
+        ctx.mxm(&out, NoMask, NoAccum, plus_times::<i64>(), &a, &a, &d)
+            .unwrap();
+        ctx.wait().unwrap();
+        let trace = ctx.take_trace();
+        let flushes: Vec<_> = trace.iter().filter(|e| e.kind == "flush").collect();
+        assert_eq!(flushes.len(), 1, "policy {policy:?}: {trace:?}");
+        let f = flushes[0];
+        assert_eq!(f.pending_len, 11);
+        assert_eq!(f.merged_rows, 10); // (0,0) and (0,1) share row 0
+        assert!(f.seq.is_none(), "flush is an interior dependency");
+        assert_eq!((f.rows, f.cols), (N, N));
+        for e in trace.iter().filter(|e| e.kind != "flush") {
+            assert_eq!((e.pending_len, e.merged_rows), (0, 0));
+        }
+    }
+}
+
 /// The capi facade exposes the same hooks on the global context.
 #[test]
 fn capi_trace_hooks_roundtrip() {
