@@ -41,6 +41,40 @@ pub fn bfs_levels(ctx: &Context, a: &Matrix<bool>, src: Index) -> Result<Vec<Opt
     Ok(out)
 }
 
+/// Batched BFS: levels from every source in `sources` at once — the
+/// paper's §VII batching trick (the same one Figure 3's batched BC
+/// exploits). The per-source frontiers form the columns of one `n × b`
+/// Boolean matrix, so each BFS level is **one** masked `mxm` over the
+/// whole batch instead of `b` independent `vxm`s; the result block is
+/// demultiplexed back into one level vector per source.
+///
+/// `out[s][v]` is the hop distance from `sources[s]` to `v` (`Some(0)`
+/// for the source itself, `None` if unreachable) — exactly what
+/// [`bfs_levels`] returns for each source on its own, which the unit
+/// tests assert. Duplicate sources are allowed; each occupies its own
+/// column. This is the coalescing primitive the `server` crate's
+/// request batcher drives.
+pub fn bfs_multi(
+    ctx: &Context,
+    a: &Matrix<bool>,
+    sources: &[Index],
+) -> Result<Vec<Vec<Option<usize>>>> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(Error::DimensionMismatch("adjacency must be square".into()));
+    }
+    if let Some(&bad) = sources.iter().find(|&&s| s >= n) {
+        return Err(Error::InvalidIndex(format!("source {bad} out of range")));
+    }
+    // column-block frontier sweep: one mxm per level over all sources
+    let levels = crate::closeness::multi_source_bfs_levels(ctx, a, sources)?;
+    let mut out = vec![vec![None; n]; sources.len()];
+    for (v, s, lv) in levels.extract_tuples()? {
+        out[s][v] = Some(lv as usize);
+    }
+    Ok(out)
+}
+
 /// BFS parent tree from `src` using the `min.first` semiring: frontier
 /// values carry vertex ids, so each newly discovered vertex receives the
 /// minimum-id parent (deterministic tie-breaking).
@@ -160,6 +194,53 @@ mod tests {
         let a = adj(2, &[(0, 1)]);
         assert!(bfs_levels(&ctx, &a, 5).is_err());
         assert!(bfs_parents(&ctx, &a, 5).is_err());
+    }
+
+    #[test]
+    fn bfs_multi_matches_n_independent_runs() {
+        // the §VII batching primitive must be observationally identical
+        // to running bfs_levels once per source
+        let ctx = Context::blocking();
+        let a = adj(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (1, 4),
+                (4, 5),
+                (5, 1),
+                (6, 7), // separate component
+            ],
+        );
+        let sources: Vec<Index> = vec![0, 3, 6, 5];
+        let batched = bfs_multi(&ctx, &a, &sources).unwrap();
+        assert_eq!(batched.len(), sources.len());
+        for (s, &src) in sources.iter().enumerate() {
+            let single = bfs_levels(&ctx, &a, src).unwrap();
+            assert_eq!(batched[s], single, "source {src}");
+        }
+    }
+
+    #[test]
+    fn bfs_multi_allows_duplicate_sources() {
+        let ctx = Context::blocking();
+        let a = adj(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let batched = bfs_multi(&ctx, &a, &[2, 2, 0]).unwrap();
+        let from2 = bfs_levels(&ctx, &a, 2).unwrap();
+        let from0 = bfs_levels(&ctx, &a, 0).unwrap();
+        assert_eq!(batched[0], from2);
+        assert_eq!(batched[1], from2);
+        assert_eq!(batched[2], from0);
+    }
+
+    #[test]
+    fn bfs_multi_checks_bounds_and_rejects_empty() {
+        let ctx = Context::blocking();
+        let a = adj(3, &[(0, 1)]);
+        assert!(bfs_multi(&ctx, &a, &[0, 7]).is_err());
+        assert!(bfs_multi(&ctx, &a, &[]).is_err());
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod sssp;
 pub mod triangles;
 
 pub use bc::{bc_update, betweenness};
-pub use bfs::{bfs_levels, bfs_parents};
+pub use bfs::{bfs_levels, bfs_multi, bfs_parents};
 pub use closeness::{closeness_centrality, multi_source_bfs_levels};
 pub use components::{connected_components, num_components};
 pub use cores::{core_numbers, k_core};

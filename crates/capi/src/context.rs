@@ -20,9 +20,7 @@ static GLOBAL: Mutex<Option<Context>> = Mutex::new(None);
 static SESSION: ReentrantMutex<()> = ReentrantMutex::new(());
 
 /// Builder for establishing the process-global context — the single
-/// init path of this binding, replacing the old `init` /
-/// `init_with_policy` / `init_with_fuse_policy` trio (kept as
-/// deprecated shims).
+/// init path of this binding.
 ///
 /// Only the mode is mandatory; every knob defaults to the engine
 /// default and reads as a method chain:
@@ -115,19 +113,22 @@ impl Config {
     }
 }
 
-/// `GrB_init(mode)` with every knob at its default.
+/// Pre-builder shim for `GrB_init(mode)`; forwards to
+/// [`Config::new`]`(mode).init()`.
 #[deprecated(note = "use the Config builder: capi::Config::new(mode).init()")]
 pub fn init(mode: Mode) -> Result<()> {
     Config::new(mode).init()
 }
 
-/// `GrB_init` with an explicit `wait()` scheduling policy.
+/// Pre-builder shim; forwards to
+/// [`Config::new`]`(mode).sched(policy).init()`.
 #[deprecated(note = "use the Config builder: capi::Config::new(mode).sched(policy).init()")]
 pub fn init_with_policy(mode: Mode, policy: SchedPolicy) -> Result<()> {
     Config::new(mode).sched(policy).init()
 }
 
-/// `GrB_init` with explicit scheduling *and* fusion policies.
+/// Pre-builder shim; forwards to
+/// [`Config::new`]`(mode).sched(policy).fuse(fuse).init()`.
 #[deprecated(
     note = "use the Config builder: capi::Config::new(mode).sched(policy).fuse(fuse).init()"
 )]

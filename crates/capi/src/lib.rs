@@ -33,6 +33,8 @@ pub use context::{
     current_mode, enable_trace, error, finalize, inject_fault, take_trace, wait, with_no_session,
     with_session, with_session_config, with_session_policies, Config,
 };
+// Deprecated pre-builder shims, re-exported so existing callers keep
+// compiling; each carries a note naming its `Config` equivalent.
 #[allow(deprecated)]
 pub use context::{init, init_with_fuse_policy, init_with_policy};
 pub use graphblas_core::descriptor::Descriptor;

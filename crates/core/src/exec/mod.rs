@@ -34,7 +34,7 @@ pub use fuse::{FusePolicy, FusedNote};
 #[doc(hidden)]
 pub use node::Completable;
 pub(crate) use node::{force, Node};
-pub use sched::{SchedPolicy, TraceEvent};
+pub use sched::{pool_status, PoolStatus, SchedPolicy, TraceEvent};
 
 /// Execution mode of a context (paper §IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

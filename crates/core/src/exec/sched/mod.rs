@@ -53,6 +53,37 @@ impl Default for SchedPolicy {
     }
 }
 
+/// Load snapshot of the shared worker pool: how many daemon workers
+/// exist and how many tasks sit in the shared queue right now.
+///
+/// Observability hook for layers that place work *onto* the engine —
+/// the `server` crate's admission control reads the backlog to decide
+/// when to shed load instead of queueing more. `queued` counts tasks
+/// waiting in the queue, not tasks mid-execution, so it is a floor on
+/// outstanding work; both fields are `0` before the pool's first use
+/// and always `0` without the `parallel` feature.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStatus {
+    /// Daemon worker count (fixed at first use).
+    pub width: usize,
+    /// Tasks currently waiting in the shared queue.
+    pub queued: usize,
+}
+
+/// Snapshot the shared worker pool's load (see [`PoolStatus`]). Never
+/// spawns the pool.
+pub fn pool_status() -> PoolStatus {
+    #[cfg(feature = "parallel")]
+    {
+        let (width, queued) = workers::status();
+        PoolStatus { width, queued }
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        PoolStatus::default()
+    }
+}
+
 /// Execute the pending cone of `roots` (sequence outputs in program
 /// order) to completion. Infallible by design: failures are stored on
 /// the nodes themselves; the caller inspects the roots afterwards.

@@ -106,13 +106,14 @@ pub(crate) fn current_worker() -> usize {
     WORKER_ID.with(|w| w.get())
 }
 
+static POOL: OnceLock<Pool> = OnceLock::new();
+
 /// The process-wide pool, spawned on first use. Width is fixed at that
 /// moment: `max(2, configured parallelism)` — the configured degree
 /// (knob > env > hardware, see [`crate::kernel::par`]) decides how many
 /// daemons exist; later degree changes only affect how finely kernels
 /// chunk, not pool width.
 pub(crate) fn pool() -> &'static Pool {
-    static POOL: OnceLock<Pool> = OnceLock::new();
     POOL.get_or_init(|| {
         let width = crate::kernel::par::resolved_degree().max(MIN_WORKERS);
         let shared: &'static Shared = Box::leak(Box::new(Shared {
@@ -130,6 +131,25 @@ pub(crate) fn pool() -> &'static Pool {
         }
         Pool { shared, width }
     })
+}
+
+/// Load snapshot of the pool *without* forcing it to spawn: `(width,
+/// queued)` where `queued` counts tasks sitting in the shared queue
+/// (not ones mid-execution). `(0, 0)` before first use. The admission-
+/// control observability hook behind [`super::pool_status`].
+pub(crate) fn status() -> (usize, usize) {
+    match POOL.get() {
+        Some(p) => {
+            let queued = p
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len();
+            (p.width, queued)
+        }
+        None => (0, 0),
+    }
 }
 
 impl Pool {

@@ -52,7 +52,9 @@ pub mod storage;
 pub use accum::{Accum, NoAccum};
 pub use descriptor::Descriptor;
 pub use error::{Error, Result};
-pub use exec::{Context, FusePolicy, FusedNote, Mode, SchedPolicy, TraceEvent};
+pub use exec::{
+    pool_status, Context, FusePolicy, FusedNote, Mode, PoolStatus, SchedPolicy, TraceEvent,
+};
 pub use index::{Index, IndexSelection, ALL};
 pub use kernel::par;
 pub use mask::NoMask;

@@ -1,0 +1,456 @@
+//! Admission control and weighted fair scheduling across tenants.
+//!
+//! ## Admission
+//!
+//! Two gates, both checked at submit time so a rejected request costs
+//! nothing downstream:
+//!
+//! 1. **Per-tenant queue depth** — each tenant owns a bounded FIFO
+//!    (`queue_cap`); a submit that finds it full is shed with the typed
+//!    [`Reply::Overloaded`]. A
+//!    flooding tenant therefore saturates *its own* queue and nothing
+//!    else.
+//! 2. **Engine backlog** — if the shared worker pool's queue (observed
+//!    through [`graphblas_core::exec::pool_status`]) is deeper than
+//!    `pool_backlog_cap`, every tenant is shed until the engine drains;
+//!    queueing more work when the compute layer is saturated only
+//!    converts latency into memory.
+//!
+//! ## Fairness: stride scheduling
+//!
+//! Each tenant carries a virtual-time `pass`, advanced by
+//! `STRIDE_ONE / weight` per request served. The scheduler always
+//! serves the non-empty tenant with the smallest pass, so over any
+//! window tenants receive service proportional to their weights, and a
+//! tenant that floods its queue cannot starve a light one — its pass
+//! races ahead and the light tenant's occasional requests are served
+//! almost immediately. A tenant waking from idle rejoins at the current
+//! virtual time (not its stale pass) so it cannot cash in idle credit
+//! as a burst.
+//!
+//! ## Batching
+//!
+//! When the chosen request is a BFS, the scheduler sweeps *all* tenant
+//! queues for other BFS requests against the same graph and hands the
+//! executor one coalesced `Batch` (up to `batch_max`). The engine
+//! answers the whole batch with one column-block frontier sweep
+//! ([`graphblas_algorithms::bfs_multi`]) — the paper's §VII
+//! multi-source trick: one `mxm` per level for the whole batch instead
+//! of one per request. Every coalesced request still advances its own
+//! tenant's pass, so batching never distorts the fairness accounting.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::protocol::{Reply, Request};
+use crate::stats::{Histogram, TenantCounters};
+
+/// Virtual-time advance for one request at weight 1.
+const STRIDE_ONE: u64 = 1 << 20;
+
+/// Shared, lock-free tenant telemetry (the scheduler's own state —
+/// queue, pass — lives inside the scheduler lock).
+pub struct Tenant {
+    pub name: String,
+    pub weight: u32,
+    pub counters: TenantCounters,
+    /// End-to-end request latency (submit → reply), nanoseconds.
+    pub latency: Histogram,
+}
+
+/// One admitted request waiting for an executor.
+pub(crate) struct Job {
+    pub tenant: Arc<Tenant>,
+    pub request: Request,
+    pub submitted: Instant,
+    pub slot: Arc<ReplySlot>,
+}
+
+/// A unit of executor work: either a single request or a coalesced
+/// same-graph BFS batch.
+pub(crate) struct Batch {
+    pub jobs: Vec<Job>,
+}
+
+/// One-shot reply mailbox: the submitting thread blocks on `wait`, the
+/// executor fills it exactly once.
+pub struct ReplySlot {
+    cell: Mutex<Option<Reply>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(ReplySlot {
+            cell: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn fill(&self, reply: Reply) {
+        let mut cell = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+        *cell = Some(reply);
+        self.ready.notify_all();
+    }
+
+    pub(crate) fn wait(&self) -> Reply {
+        let mut cell = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = cell.take() {
+                return r;
+            }
+            cell = self.ready.wait(cell).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Outcome of [`Scheduler::submit`].
+pub(crate) enum Admit {
+    /// Queued; block on the slot for the reply.
+    Queued(Arc<ReplySlot>),
+    /// Shed by admission control (per-tenant depth or engine backlog).
+    Shed,
+    /// The scheduler is shutting down.
+    Closed,
+}
+
+struct TenantQ {
+    meta: Arc<Tenant>,
+    queue: VecDeque<Job>,
+    pass: u64,
+}
+
+struct Inner {
+    tenants: HashMap<String, TenantQ>,
+    /// Total queued jobs across tenants (condvar predicate).
+    queued: usize,
+    /// Virtual time: pass of the most recently served tenant.
+    vtime: u64,
+    shutdown: bool,
+}
+
+/// Scheduler tunables (subset of `ServiceConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct SchedConfig {
+    /// Per-tenant queue bound; a full queue sheds.
+    pub queue_cap: usize,
+    /// Largest BFS batch to coalesce.
+    pub batch_max: usize,
+    /// Shed everyone while the engine pool backlog exceeds this.
+    pub pool_backlog_cap: usize,
+}
+
+pub(crate) struct Scheduler {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    cfg: SchedConfig,
+}
+
+impl Scheduler {
+    pub fn new(cfg: SchedConfig) -> Self {
+        Scheduler {
+            inner: Mutex::new(Inner {
+                tenants: HashMap::new(),
+                queued: 0,
+                vtime: 0,
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            cfg,
+        }
+    }
+
+    /// Get or create a tenant. The first registration fixes the weight;
+    /// later calls return the existing tenant unchanged.
+    pub fn register(&self, name: &str, weight: u32) -> Arc<Tenant> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let vtime = inner.vtime;
+        let tq = inner
+            .tenants
+            .entry(name.to_string())
+            .or_insert_with(|| TenantQ {
+                meta: Arc::new(Tenant {
+                    name: name.to_string(),
+                    weight: weight.max(1),
+                    counters: TenantCounters::default(),
+                    latency: Histogram::new(),
+                }),
+                queue: VecDeque::new(),
+                pass: vtime,
+            });
+        tq.meta.clone()
+    }
+
+    /// All registered tenants, sorted by name (for STATS rendering).
+    pub fn tenants(&self) -> Vec<Arc<Tenant>> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut ts: Vec<_> = inner.tenants.values().map(|q| q.meta.clone()).collect();
+        ts.sort_by(|a, b| a.name.cmp(&b.name));
+        ts
+    }
+
+    /// Admission-checked enqueue. The tenant must have been registered.
+    pub fn submit(&self, tenant: &Arc<Tenant>, request: Request) -> Admit {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.shutdown {
+            return Admit::Closed;
+        }
+        // gate 2: engine backlog (global)
+        let backlog = graphblas_core::exec::pool_status().queued;
+        let vtime = inner.vtime;
+        let Some(tq) = inner.tenants.get_mut(&tenant.name) else {
+            return Admit::Closed;
+        };
+        // gate 1: per-tenant queue depth
+        if tq.queue.len() >= self.cfg.queue_cap || backlog > self.cfg.pool_backlog_cap {
+            tq.meta
+                .counters
+                .shed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Admit::Shed;
+        }
+        if tq.queue.is_empty() {
+            // waking from idle: rejoin at current virtual time so idle
+            // periods don't accumulate into a service burst
+            tq.pass = tq.pass.max(vtime);
+        }
+        let slot = ReplySlot::new();
+        tq.queue.push_back(Job {
+            tenant: tenant.clone(),
+            request,
+            submitted: Instant::now(),
+            slot: slot.clone(),
+        });
+        inner.queued += 1;
+        self.ready.notify_one();
+        Admit::Queued(slot)
+    }
+
+    /// Block until work is available; `None` once shut down *and*
+    /// drained (executors exit only after every queued job is served).
+    pub fn next_batch(&self) -> Option<Batch> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if inner.queued > 0 {
+                return Some(Self::take_batch(&mut inner, &self.cfg));
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Pop the next job by stride order, then coalesce if it's a BFS.
+    fn take_batch(inner: &mut Inner, cfg: &SchedConfig) -> Batch {
+        // min-pass tenant among non-empty; name tie-break for determinism
+        let name = inner
+            .tenants
+            .iter()
+            .filter(|(_, q)| !q.queue.is_empty())
+            .min_by_key(|(name, q)| (q.pass, name.as_str()))
+            .map(|(name, _)| name.clone())
+            .expect("queued > 0 implies a non-empty tenant queue");
+        let tq = inner.tenants.get_mut(&name).expect("tenant exists");
+        let job = tq.queue.pop_front().expect("non-empty");
+        tq.pass += STRIDE_ONE / u64::from(tq.meta.weight);
+        inner.vtime = tq.pass;
+        inner.queued -= 1;
+        let mut jobs = vec![job];
+        if let Request::Bfs { graph, .. } = &jobs[0].request {
+            let graph = graph.clone();
+            // sweep every queue (the server's own included) for BFS
+            // requests against the same graph, up to batch_max
+            let mut names: Vec<String> = inner.tenants.keys().cloned().collect();
+            names.sort(); // deterministic sweep order
+            'outer: for n in names {
+                let tq = inner.tenants.get_mut(&n).expect("tenant exists");
+                let stride = STRIDE_ONE / u64::from(tq.meta.weight);
+                let mut i = 0;
+                while i < tq.queue.len() {
+                    if jobs.len() >= cfg.batch_max {
+                        break 'outer;
+                    }
+                    let coalesce = matches!(
+                        &tq.queue[i].request,
+                        Request::Bfs { graph: g, .. } if *g == graph
+                    );
+                    if coalesce {
+                        let job = tq.queue.remove(i).expect("index in bounds");
+                        // batched service is still service: charge it
+                        tq.pass += stride;
+                        inner.queued -= 1;
+                        jobs.push(job);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        Batch { jobs }
+    }
+
+    /// Begin shutdown: new submits are `Closed`, executors drain what
+    /// is queued and then exit.
+    pub fn shutdown(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.shutdown = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(queue_cap: usize) -> Scheduler {
+        Scheduler::new(SchedConfig {
+            queue_cap,
+            batch_max: 64,
+            pool_backlog_cap: usize::MAX,
+        })
+    }
+
+    fn degree_req(v: usize) -> Request {
+        Request::Degree {
+            graph: "g".into(),
+            v,
+        }
+    }
+
+    #[test]
+    fn stride_serves_in_weight_proportion() {
+        let s = sched(1000);
+        let a = s.register("a", 1);
+        let b = s.register("b", 3);
+        for i in 0..80 {
+            assert!(matches!(s.submit(&a, degree_req(i)), Admit::Queued(_)));
+            assert!(matches!(s.submit(&b, degree_req(i)), Admit::Queued(_)));
+        }
+        let mut served_a = 0;
+        let mut served_b = 0;
+        for _ in 0..40 {
+            let batch = s.next_batch().unwrap();
+            assert_eq!(batch.jobs.len(), 1, "Degree must not batch");
+            match batch.jobs[0].tenant.name.as_str() {
+                "a" => served_a += 1,
+                _ => served_b += 1,
+            }
+        }
+        // weight 3 tenant gets ~3x the service of weight 1
+        assert!((28..=32).contains(&served_b), "b served {served_b}");
+        assert_eq!(served_a + served_b, 40);
+    }
+
+    #[test]
+    fn full_queue_sheds_only_the_flooder() {
+        let s = sched(4);
+        let flood = s.register("flood", 1);
+        let light = s.register("light", 1);
+        let mut shed = 0;
+        for i in 0..10 {
+            if matches!(s.submit(&flood, degree_req(i)), Admit::Shed) {
+                shed += 1;
+            }
+        }
+        assert_eq!(shed, 6, "everything past queue_cap sheds");
+        assert_eq!(
+            flood
+                .counters
+                .shed
+                .load(std::sync::atomic::Ordering::Relaxed),
+            6
+        );
+        // the light tenant is untouched by the flooder's full queue
+        assert!(matches!(s.submit(&light, degree_req(0)), Admit::Queued(_)));
+    }
+
+    #[test]
+    fn bfs_on_same_graph_coalesces_across_tenants() {
+        let s = sched(1000);
+        let a = s.register("a", 1);
+        let b = s.register("b", 1);
+        for i in 0..5 {
+            s.submit(
+                &a,
+                Request::Bfs {
+                    graph: "g".into(),
+                    src: i,
+                },
+            );
+            s.submit(
+                &b,
+                Request::Bfs {
+                    graph: "g".into(),
+                    src: 100 + i,
+                },
+            );
+        }
+        // different graph and different request type must NOT coalesce
+        s.submit(
+            &a,
+            Request::Bfs {
+                graph: "other".into(),
+                src: 0,
+            },
+        );
+        s.submit(&b, degree_req(7));
+        let batch = s.next_batch().unwrap();
+        assert_eq!(batch.jobs.len(), 10, "all same-graph BFS in one batch");
+        assert!(batch
+            .jobs
+            .iter()
+            .all(|j| matches!(&j.request, Request::Bfs { graph, .. } if graph == "g")));
+        // the leftovers drain as singletons
+        let rest: usize = std::iter::from_fn(|| {
+            let b = s.next_batch()?;
+            Some(b.jobs.len())
+        })
+        .take(2)
+        .sum();
+        assert_eq!(rest, 2);
+    }
+
+    #[test]
+    fn batch_max_bounds_coalescing() {
+        let s = Scheduler::new(SchedConfig {
+            queue_cap: 1000,
+            batch_max: 4,
+            pool_backlog_cap: usize::MAX,
+        });
+        let a = s.register("a", 1);
+        for i in 0..10 {
+            s.submit(
+                &a,
+                Request::Bfs {
+                    graph: "g".into(),
+                    src: i,
+                },
+            );
+        }
+        let batch = s.next_batch().unwrap();
+        assert_eq!(batch.jobs.len(), 4);
+    }
+
+    #[test]
+    fn shutdown_drains_then_stops() {
+        let s = sched(100);
+        let a = s.register("a", 1);
+        s.submit(&a, degree_req(0));
+        s.shutdown();
+        assert!(matches!(s.submit(&a, degree_req(1)), Admit::Closed));
+        assert!(s.next_batch().is_some(), "queued job still drains");
+        assert!(s.next_batch().is_none());
+    }
+
+    #[test]
+    fn reply_slot_delivers_across_threads() {
+        let slot = ReplySlot::new();
+        let s2 = slot.clone();
+        let t = std::thread::spawn(move || s2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        slot.fill(Reply::Count(7));
+        assert_eq!(t.join().unwrap(), Reply::Count(7));
+    }
+}

@@ -15,6 +15,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release"
 cargo build --release
 
+echo "== cargo build --release -p server"
+cargo build --release -p server
+
 echo "== cargo build --examples"
 cargo build --examples
 
@@ -25,11 +28,15 @@ echo "== cargo test -q -p graphblas-core --no-default-features (sequential path)
 cargo test -q -p graphblas-core --no-default-features
 
 # Thread matrix: the pool width and default degree follow
-# GRB_TEST_THREADS, and the determinism suites (serial-vs-parallel and
-# deferred-vs-eager pending updates) must hold at every count.
+# GRB_TEST_THREADS, and the determinism suites (serial-vs-parallel,
+# deferred-vs-eager pending updates, and the query service's
+# admission/fairness/write-isolation properties) must hold at every
+# count.
 for threads in 1 2 8; do
     echo "== GRB_TEST_THREADS=$threads cargo test -q --test par_determinism --test delta_equivalence"
     GRB_TEST_THREADS="$threads" cargo test -q --test par_determinism --test delta_equivalence
+    echo "== GRB_TEST_THREADS=$threads cargo test -q -p server --test admission --test write_during_bfs"
+    GRB_TEST_THREADS="$threads" cargo test -q -p server --test admission --test write_during_bfs
 done
 
 echo "== cargo doc --workspace --no-deps (deny warnings)"
