@@ -5,6 +5,7 @@
 use graphblas_core::error::{Error, Result};
 use graphblas_core::index::Index;
 use graphblas_core::object::{Matrix, Vector};
+use graphblas_core::storage::{DeltaStats, MatrixSnapshot, VectorSnapshot};
 use graphblas_core::{Format, FormatPolicy};
 
 use crate::ops::GrbBinaryOp;
@@ -111,6 +112,29 @@ impl GrbMatrix {
     /// Force completion of this object (`GrB_Matrix_wait`).
     pub fn wait(&self) -> Result<()> {
         self.m.wait()
+    }
+
+    /// `GxB_Matrix_snapshot`-style extension: an O(1) immutable read
+    /// view at the current delta epoch. Reads against it never block,
+    /// or are blocked by, concurrent `setElement`/`removeElement`
+    /// traffic on this handle.
+    pub fn snapshot(&self) -> GrbMatrixSnapshot {
+        GrbMatrixSnapshot {
+            ty: self.ty,
+            s: self.m.snapshot(),
+        }
+    }
+
+    /// `GxB`-style read-epoch probe: the delta epoch a snapshot taken
+    /// now would pin (monotone over the object's lifetime).
+    pub fn read_epoch(&self) -> u64 {
+        self.m.delta_stats().epoch
+    }
+
+    /// Pending-update observability: buffered entries, sealed runs, and
+    /// the current epoch.
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.m.delta_stats()
     }
 
     /// `GxB_Matrix_Option_get(…, GxB_SPARSITY_STATUS, …)`: the storage
@@ -221,6 +245,25 @@ impl GrbVector {
         self.v.wait()
     }
 
+    /// `GxB_Vector_snapshot`-style extension; see
+    /// [`GrbMatrix::snapshot`].
+    pub fn snapshot(&self) -> GrbVectorSnapshot {
+        GrbVectorSnapshot {
+            ty: self.ty,
+            s: self.v.snapshot(),
+        }
+    }
+
+    /// `GxB`-style read-epoch probe; see [`GrbMatrix::read_epoch`].
+    pub fn read_epoch(&self) -> u64 {
+        self.v.delta_stats().epoch
+    }
+
+    /// Pending-update observability; see [`GrbMatrix::delta_stats`].
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.v.delta_stats()
+    }
+
     pub(crate) fn expect_domain(&self, ty: GrbType, role: &str) -> Result<()> {
         if self.ty != ty {
             return Err(Error::DomainMismatch(format!(
@@ -229,6 +272,102 @@ impl GrbVector {
             )));
         }
         Ok(())
+    }
+}
+
+/// A dynamically-typed snapshot handle (`GxB`-style extension): the
+/// immutable epoch-versioned view returned by [`GrbMatrix::snapshot`].
+#[derive(Debug)]
+pub struct GrbMatrixSnapshot {
+    ty: GrbType,
+    s: MatrixSnapshot<Value>,
+}
+
+impl GrbMatrixSnapshot {
+    pub fn domain(&self) -> GrbType {
+        self.ty
+    }
+
+    /// The delta epoch this snapshot pinned.
+    pub fn epoch(&self) -> u64 {
+        self.s.epoch()
+    }
+
+    pub fn nrows(&self) -> Index {
+        self.s.nrows()
+    }
+
+    pub fn ncols(&self) -> Index {
+        self.s.ncols()
+    }
+
+    /// Stored-element count at the snapshot's epoch.
+    pub fn nvals(&self) -> Result<usize> {
+        self.s.nvals()
+    }
+
+    /// Point probe at the snapshot's epoch (`Ok(None)` = `GrB_NO_VALUE`).
+    pub fn get(&self, i: Index, j: Index) -> Result<Option<Value>> {
+        self.s.get(i, j)
+    }
+
+    /// All stored tuples at the snapshot's epoch, row-major.
+    pub fn extract_tuples(&self) -> Result<Vec<(Index, Index, Value)>> {
+        self.s.extract_tuples()
+    }
+
+    /// A fresh [`GrbMatrix`] whose value is this snapshot — usable as an
+    /// input to any operation.
+    pub fn to_matrix(&self) -> GrbMatrix {
+        GrbMatrix {
+            ty: self.ty,
+            m: self.s.to_matrix(),
+        }
+    }
+}
+
+/// A dynamically-typed vector snapshot handle; see [`GrbMatrixSnapshot`].
+#[derive(Debug)]
+pub struct GrbVectorSnapshot {
+    ty: GrbType,
+    s: VectorSnapshot<Value>,
+}
+
+impl GrbVectorSnapshot {
+    pub fn domain(&self) -> GrbType {
+        self.ty
+    }
+
+    /// The delta epoch this snapshot pinned.
+    pub fn epoch(&self) -> u64 {
+        self.s.epoch()
+    }
+
+    pub fn size(&self) -> Index {
+        self.s.size()
+    }
+
+    /// Stored-element count at the snapshot's epoch.
+    pub fn nvals(&self) -> Result<usize> {
+        self.s.nvals()
+    }
+
+    /// Point probe at the snapshot's epoch.
+    pub fn get(&self, i: Index) -> Result<Option<Value>> {
+        self.s.get(i)
+    }
+
+    /// All stored tuples at the snapshot's epoch.
+    pub fn extract_tuples(&self) -> Result<Vec<(Index, Value)>> {
+        self.s.extract_tuples()
+    }
+
+    /// A fresh [`GrbVector`] whose value is this snapshot.
+    pub fn to_vector(&self) -> GrbVector {
+        GrbVector {
+            ty: self.ty,
+            v: self.s.to_vector(),
+        }
     }
 }
 
@@ -326,6 +465,31 @@ mod tests {
         // next computed value re-chooses: a point update densifies it
         m.set(1, 1, Value::Int32(2)).unwrap();
         assert_eq!(m.format().unwrap(), Format::Bitmap); // 2/16 = 12.5% >= 1/16
+    }
+
+    #[test]
+    fn snapshot_surface_is_isolated_and_typed() {
+        let m = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+        m.set(0, 0, Value::Int32(1)).unwrap();
+        assert_eq!(m.read_epoch(), 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.domain(), GrbType::Int32);
+        assert_eq!(snap.epoch(), 1);
+        m.set(0, 0, Value::Int32(9)).unwrap();
+        assert_eq!(snap.get(0, 0).unwrap(), Some(Value::Int32(1)));
+        assert_eq!(snap.nvals().unwrap(), 1);
+        let frozen = snap.to_matrix();
+        assert_eq!(frozen.get(0, 0).unwrap(), Some(Value::Int32(1)));
+        assert_eq!(m.get(0, 0).unwrap(), Some(Value::Int32(9)));
+
+        let v = GrbVector::new(GrbType::Fp64, 3).unwrap();
+        v.set(1, Value::Fp64(1.5)).unwrap();
+        let vs = v.snapshot();
+        v.remove(1).unwrap();
+        assert_eq!(vs.get(1).unwrap(), Some(Value::Fp64(1.5)));
+        assert_eq!(vs.to_vector().nvals().unwrap(), 1);
+        assert_eq!(v.nvals().unwrap(), 0);
+        assert_eq!(v.delta_stats().pending_len, 0); // read drained
     }
 
     #[test]

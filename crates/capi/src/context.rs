@@ -13,6 +13,7 @@
 use graphblas_core::error::{Error, Result};
 use graphblas_core::exec::{Context, FusePolicy, Mode, SchedPolicy, TraceEvent};
 use graphblas_core::par;
+use graphblas_core::storage::{delta, snapshot};
 use parking_lot::{Mutex, ReentrantMutex};
 
 static GLOBAL: Mutex<Option<Context>> = Mutex::new(None);
@@ -49,6 +50,13 @@ static SESSION: ReentrantMutex<()> = ReentrantMutex::new(());
 ///   degree (how many row chunks a large kernel fans out to the shared
 ///   pool); unset means auto (`GRB_THREADS`/`GRB_TEST_THREADS`, then
 ///   the hardware's parallelism). [`finalize`] restores auto.
+/// * [`Config::delta_run_cap`] — the pending-update tail-seal cap
+///   (`GxB`-style storage knob); unset means `GRB_DELTA_RUN_CAP`, then
+///   the engine default. [`finalize`] restores auto.
+/// * [`Config::flush_window_ms`] — the background auto-flush time
+///   window; `0` disables the time trigger. Unset means
+///   `GRB_FLUSH_WINDOW_MS`, then the engine default. [`finalize`]
+///   restores auto.
 #[derive(Debug, Clone)]
 #[must_use = "the builder does nothing until .init() is called"]
 pub struct Config {
@@ -56,6 +64,8 @@ pub struct Config {
     sched: SchedPolicy,
     fuse: FusePolicy,
     parallelism: Option<usize>,
+    delta_run_cap: Option<usize>,
+    flush_window_ms: Option<u64>,
 }
 
 impl Config {
@@ -66,6 +76,8 @@ impl Config {
             sched: SchedPolicy::default(),
             fuse: FusePolicy::default(),
             parallelism: None,
+            delta_run_cap: None,
+            flush_window_ms: None,
         }
     }
 
@@ -92,6 +104,23 @@ impl Config {
         self
     }
 
+    /// Set the pending-update tail-seal cap for this session (`k >= 1`;
+    /// out-of-range values are rejected at [`Config::init`]). Smaller
+    /// caps seal (and auto-flush) sooner; larger caps batch more per
+    /// merge.
+    pub fn delta_run_cap(mut self, cap: usize) -> Self {
+        self.delta_run_cap = Some(cap);
+        self
+    }
+
+    /// Set the background auto-flush time window for this session, in
+    /// milliseconds. `0` disables the time trigger entirely (the size
+    /// trigger still applies).
+    pub fn flush_window_ms(mut self, ms: u64) -> Self {
+        self.flush_window_ms = Some(ms);
+        self
+    }
+
     /// `GrB_init` with this configuration. Fails with
     /// `GrB_INVALID_VALUE` if a context is already established or the
     /// configuration is malformed.
@@ -101,6 +130,11 @@ impl Config {
                 "Config::parallelism must be >= 1 (unset means auto)".into(),
             ));
         }
+        if self.delta_run_cap == Some(0) {
+            return Err(Error::InvalidValue(
+                "Config::delta_run_cap must be >= 1 (unset means auto)".into(),
+            ));
+        }
         let mut g = GLOBAL.lock();
         if g.is_some() {
             return Err(Error::InvalidValue(
@@ -108,6 +142,8 @@ impl Config {
             ));
         }
         par::set_default_parallelism(self.parallelism);
+        delta::set_session_run_cap(self.delta_run_cap);
+        snapshot::set_session_flush_window_ms(self.flush_window_ms);
         *g = Some(Context::with_fuse_policy(self.mode, self.sched, self.fuse));
         Ok(())
     }
@@ -137,8 +173,9 @@ pub fn init_with_fuse_policy(mode: Mode, policy: SchedPolicy, fuse: FusePolicy) 
 }
 
 /// `GrB_finalize()`. Fails if no context is established. Also restores
-/// the intra-kernel parallelism default to auto, so a pinned
-/// [`Config::parallelism`] cannot leak into the next session.
+/// every session knob ([`Config::parallelism`],
+/// [`Config::delta_run_cap`], [`Config::flush_window_ms`]) to auto, so
+/// pinned values cannot leak into the next session.
 pub fn finalize() -> Result<()> {
     let mut g = GLOBAL.lock();
     if g.take().is_none() {
@@ -147,6 +184,8 @@ pub fn finalize() -> Result<()> {
         ));
     }
     par::set_default_parallelism(None);
+    delta::set_session_run_cap(None);
+    snapshot::set_session_flush_window_ms(None);
     Ok(())
 }
 
@@ -303,6 +342,50 @@ mod tests {
         let _guard = SESSION.lock();
         assert!(matches!(
             Config::new(Mode::Blocking).parallelism(0).init(),
+            Err(Error::InvalidValue(_))
+        ));
+        assert!(ctx().is_err());
+    }
+
+    #[test]
+    fn config_delta_knobs_scoped_to_session() {
+        let _guard = SESSION.lock();
+        assert_eq!(delta::session_run_cap(), None);
+        assert_eq!(snapshot::session_flush_window_ms(), None);
+        Config::new(Mode::Blocking)
+            .delta_run_cap(16)
+            .flush_window_ms(50)
+            .init()
+            .unwrap();
+        assert_eq!(delta::session_run_cap(), Some(16));
+        assert_eq!(delta::run_cap(), 16);
+        assert_eq!(snapshot::session_flush_window_ms(), Some(50));
+        assert_eq!(
+            snapshot::flush_window(),
+            Some(std::time::Duration::from_millis(50))
+        );
+        finalize().unwrap();
+        // finalize restores auto — the knobs cannot leak across sessions
+        assert_eq!(delta::session_run_cap(), None);
+        assert_eq!(snapshot::session_flush_window_ms(), None);
+    }
+
+    #[test]
+    fn config_flush_window_zero_disables_time_trigger() {
+        let _guard = SESSION.lock();
+        Config::new(Mode::Blocking)
+            .flush_window_ms(0)
+            .init()
+            .unwrap();
+        assert_eq!(snapshot::flush_window(), None);
+        finalize().unwrap();
+    }
+
+    #[test]
+    fn config_rejects_zero_delta_run_cap() {
+        let _guard = SESSION.lock();
+        assert!(matches!(
+            Config::new(Mode::Blocking).delta_run_cap(0).init(),
             Err(Error::InvalidValue(_))
         ));
         assert!(ctx().is_err());

@@ -26,8 +26,8 @@ pub mod ops;
 pub mod value;
 
 pub use collections::{
-    GrbMatrix, GrbVector, GXB_FORMAT_AUTO, GXB_FORMAT_BITMAP, GXB_FORMAT_CSC, GXB_FORMAT_CSR,
-    GXB_FORMAT_HYPER,
+    GrbMatrix, GrbMatrixSnapshot, GrbVector, GrbVectorSnapshot, GXB_FORMAT_AUTO, GXB_FORMAT_BITMAP,
+    GXB_FORMAT_CSC, GXB_FORMAT_CSR, GXB_FORMAT_HYPER,
 };
 pub use context::{
     current_mode, enable_trace, error, finalize, inject_fault, take_trace, wait, with_no_session,
@@ -41,6 +41,7 @@ pub use graphblas_core::descriptor::Descriptor;
 pub use graphblas_core::error::{Error, Result};
 pub use graphblas_core::exec::{FusePolicy, FusedNote, Mode, SchedPolicy, TraceEvent};
 pub use graphblas_core::index::{Index, IndexSelection, ALL};
+pub use graphblas_core::storage::{snapshot_stats, DeltaStats, SnapshotStats};
 pub use graphblas_core::{Format, FormatPolicy};
 pub use operations::*;
 pub use ops::{GrbBinaryOp, GrbMonoid, GrbSelectOp, GrbSemiring, GrbUnaryOp};

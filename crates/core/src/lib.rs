@@ -61,6 +61,7 @@ pub use mask::NoMask;
 pub use object::{Matrix, Vector};
 pub use scalar::{AsBool, NumScalar, Scalar};
 pub use storage::engine::{Format, FormatPolicy};
+pub use storage::{snapshot_stats, DeltaStats, MatrixSnapshot, SnapshotStats, VectorSnapshot};
 
 /// Convenient glob import: `use graphblas_core::prelude::*`.
 pub mod prelude {
@@ -92,4 +93,7 @@ pub mod prelude {
     pub use crate::object::{Matrix, Vector};
     pub use crate::scalar::{AsBool, CastFrom, NumScalar, Scalar};
     pub use crate::storage::engine::{Format, FormatPolicy};
+    pub use crate::storage::{
+        snapshot_stats, DeltaStats, MatrixSnapshot, SnapshotStats, VectorSnapshot,
+    };
 }

@@ -16,11 +16,16 @@
 //! Point mutations ([`Matrix::set`], [`Matrix::remove`]) exploit the
 //! same deferral latitude in the other direction: they append to a
 //! pending-update buffer ([`crate::storage::delta`]) in O(1) amortized
-//! time and are merged into the backing store only when the value is
-//! next observed (the crate-internal `Matrix::resolve` — every read
-//! and every kernel input capture goes through it).
+//! time. The buffer is merged into the backing store by the background
+//! auto-flusher once enough updates accumulate
+//! ([`crate::storage::snapshot`]), or eagerly by a completion-forcing
+//! read (the crate-internal `Matrix::resolve`). Kernel input capture
+//! and [`Matrix::snapshot`] instead take an epoch-versioned *overlay*
+//! over `(base, sealed runs)` — readers observe the pending updates
+//! without draining the log, so they never serialize behind writers.
 
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
@@ -32,10 +37,26 @@ use crate::kernel::merge;
 use crate::scalar::Scalar;
 use crate::storage::coo::build_matrix;
 use crate::storage::csr::Csr;
-use crate::storage::delta::{DeltaLog, DeltaOp};
+use crate::storage::delta::{DeltaLog, DeltaOp, DeltaStats, Run};
 use crate::storage::engine::{Format, FormatPolicy, MatrixStore};
+use crate::storage::snapshot::{self, MatrixSnapshot};
 
 pub(crate) type MatrixNode<T> = Node<MatrixStore<T>>;
+
+/// Per-epoch overlay memo shared by handle clones: the epoch paired
+/// with the deferred `(base, runs)` merge node built at it.
+type OverlayMemo<T> = Arc<Mutex<Option<(u64, Arc<MatrixNode<T>>)>>>;
+type OverlayMemoWeak<T> = Weak<Mutex<Option<(u64, Arc<MatrixNode<T>>)>>>;
+
+/// What a reader at one epoch sees: `(epoch, base, sealed runs + tail,
+/// overlay node merging them)`. When the log is empty the overlay IS
+/// the base.
+type OverlayParts<T> = (
+    u64,
+    Arc<MatrixNode<T>>,
+    Vec<Run<(Index, Index), T>>,
+    Arc<MatrixNode<T>>,
+);
 
 /// An opaque GraphBLAS matrix handle over domain `T`.
 pub struct Matrix<T: Scalar> {
@@ -48,8 +69,12 @@ pub struct Matrix<T: Scalar> {
     policy: Arc<RwLock<FormatPolicy>>,
     /// Pending point mutations not yet merged into the value node;
     /// keyed row-major. Shared by handle clones. Lock order: `delta`
-    /// before `cell`, always.
+    /// before `overlay` before `cell`, always.
     delta: Arc<Mutex<DeltaLog<(Index, Index), T>>>,
+    /// Memoized overlay node for the current delta epoch: every reader
+    /// (snapshot or kernel capture) at the same epoch shares one
+    /// deferred `(base, runs)` merge. Shared by handle clones.
+    overlay: OverlayMemo<T>,
 }
 
 impl<T: Scalar> Clone for Matrix<T> {
@@ -63,6 +88,7 @@ impl<T: Scalar> Clone for Matrix<T> {
             cell: self.cell.clone(),
             policy: self.policy.clone(),
             delta: self.delta.clone(),
+            overlay: self.overlay.clone(),
         }
     }
 }
@@ -82,7 +108,29 @@ impl<T: Scalar> Matrix<T> {
             cell: Arc::new(RwLock::new(Node::ready(MatrixStore::empty(nrows, ncols)))),
             policy: Arc::new(RwLock::new(FormatPolicy::default())),
             delta: Arc::new(Mutex::new(DeltaLog::new())),
+            overlay: Arc::new(Mutex::new(None)),
         })
+    }
+
+    /// A handle wrapping an existing (pinned) value node — the bridge
+    /// from [`MatrixSnapshot::to_matrix`] back into the kernel layer.
+    pub(crate) fn from_shared_node(
+        nrows: Index,
+        ncols: Index,
+        node: Arc<MatrixNode<T>>,
+        policy: FormatPolicy,
+    ) -> Matrix<T> {
+        // The node is shared with handles whose observe-probes cannot
+        // see this cell; pin it so the fusion pass never absorbs it.
+        node.pin();
+        Matrix {
+            nrows,
+            ncols,
+            cell: Arc::new(RwLock::new(node)),
+            policy: Arc::new(RwLock::new(policy)),
+            delta: Arc::new(Mutex::new(DeltaLog::new())),
+            overlay: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// Convenience constructor from unique `(row, col, value)` tuples.
@@ -166,12 +214,19 @@ impl<T: Scalar> Matrix<T> {
     /// buffer — O(1) amortized in every mode, per §IV's latitude to
     /// defer point updates. The buffer is merged into the backing store
     /// (and the value re-stored under the object's format policy, since
-    /// updates can cross a density threshold) when the value is next
-    /// observed: `nvals`/`get`/`extract_tuples`/`wait`, or capture as a
-    /// kernel input.
+    /// updates can cross a density threshold) by the time/size-windowed
+    /// background auto-flusher, or eagerly by the next completion-
+    /// forcing read: `nvals`/`get`/`extract_tuples`/`wait`.
     pub fn set(&self, i: Index, j: Index, v: T) -> Result<()> {
         self.check_bounds(i, j)?;
-        self.delta.lock().push((i, j), DeltaOp::Put(v));
+        let due = {
+            let mut delta = self.delta.lock();
+            delta.push((i, j), DeltaOp::Put(v));
+            delta.autoflush_due(snapshot::flush_window())
+        };
+        if let Some(delay) = due {
+            self.schedule_background_flush(delay);
+        }
         Ok(())
     }
 
@@ -179,7 +234,14 @@ impl<T: Scalar> Matrix<T> {
     /// removing an absent element is a no-op, as the C API specifies.
     pub fn remove(&self, i: Index, j: Index) -> Result<()> {
         self.check_bounds(i, j)?;
-        self.delta.lock().push((i, j), DeltaOp::Del);
+        let due = {
+            let mut delta = self.delta.lock();
+            delta.push((i, j), DeltaOp::Del);
+            delta.autoflush_due(snapshot::flush_window())
+        };
+        if let Some(delay) = due {
+            self.schedule_background_flush(delay);
+        }
         Ok(())
     }
 
@@ -195,15 +257,19 @@ impl<T: Scalar> Matrix<T> {
     pub fn clear(&self) {
         let mut delta = self.delta.lock();
         delta.clear();
+        *self.overlay.lock() = None;
         self.install_csr(Csr::empty(self.nrows, self.ncols));
     }
 
     /// `GrB_Matrix_dup`: a new object with a copy of this object's
     /// current (possibly still deferred) value and format policy.
-    /// Pending point updates are part of the value, so they transfer as
-    /// a flush node shared with the original.
+    /// Snapshot-cheap even with pending point updates: the copy shares
+    /// the Arc'd base node and sealed runs through the epoch's overlay
+    /// node — the original's log is *not* drained, and the overlay
+    /// merge (shared with any same-epoch reader) runs only when one
+    /// side observes the value.
     pub fn dup(&self) -> Matrix<T> {
-        let node = self.resolve();
+        let node = self.capture();
         // The copy aliases the (possibly deferred) value node through a
         // second cell, which the original handle's observe-probe cannot
         // see — pin the node so the fusion pass never absorbs it.
@@ -214,7 +280,36 @@ impl<T: Scalar> Matrix<T> {
             cell: Arc::new(RwLock::new(node)),
             policy: Arc::new(RwLock::new(self.format_policy())),
             delta: Arc::new(Mutex::new(DeltaLog::new())),
+            overlay: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Take an O(1) immutable [`MatrixSnapshot`] of this object's value
+    /// at the current delta epoch: the Arc'd base node plus Arc clones
+    /// of the sealed runs. The snapshot never drains this handle's log
+    /// and is unaffected by every later write, flush, or compaction —
+    /// the MVCC read side of ingest-while-query streaming.
+    pub fn snapshot(&self) -> MatrixSnapshot<T> {
+        let (epoch, base, runs, node) = self.overlay_parts();
+        // The snapshot forces `base` directly for point probes; pin it
+        // (and the uninstalled overlay) against fusion absorption.
+        base.pin();
+        node.pin();
+        MatrixSnapshot::new(
+            self.nrows,
+            self.ncols,
+            epoch,
+            base,
+            runs,
+            node,
+            self.format_policy(),
+        )
+    }
+
+    /// Pending-update introspection: buffered entry count, sealed-run
+    /// count, and the current epoch (the server's `STATS` surface).
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.delta.lock().stats()
     }
 
     // ----- storage-format hints (GxB-style per-object options) -----
@@ -259,7 +354,7 @@ impl<T: Scalar> Matrix<T> {
     /// `true` once the object's value is computed and stored with no
     /// pending point updates. Diagnostic for the execution-model tests.
     pub fn is_complete(&self) -> bool {
-        self.delta.lock().is_empty() && self.snapshot().is_complete()
+        self.delta.lock().is_empty() && self.current_node().is_complete()
     }
 
     fn check_bounds(&self, i: Index, j: Index) -> Result<()> {
@@ -274,33 +369,101 @@ impl<T: Scalar> Matrix<T> {
 
     // ----- internal plumbing for the operation layer -----
 
-    /// The current node (a snapshot: later handle swaps don't affect it).
-    /// Does NOT include pending point updates — value observers must use
-    /// [`Matrix::resolve`] instead.
-    pub(crate) fn snapshot(&self) -> Arc<MatrixNode<T>> {
+    /// The current node (a point-in-time view: later handle swaps don't
+    /// affect it). Does NOT include pending point updates — value
+    /// observers use [`Matrix::resolve`] or [`Matrix::capture`] instead.
+    pub(crate) fn current_node(&self) -> Arc<MatrixNode<T>> {
         self.cell.read().clone()
     }
 
-    /// The current node *including* pending point updates: if the delta
-    /// buffer is non-empty, drain it into a deferred `flush` node (a DAG
-    /// node depending on the current value, so scheduling, tracing, and
-    /// §V program-order error semantics all apply), install that node,
-    /// and return it. Every value observation — reads, kernel input
-    /// capture, masks — goes through here.
+    /// Epoch, base node, sealed runs, and the epoch's overlay node —
+    /// the read side shared by [`Matrix::snapshot`] and
+    /// [`Matrix::capture`]. With no pending updates the overlay *is*
+    /// the base. Otherwise the overlay is a deferred `overlay` DAG node
+    /// that k-way merges `(base, runs)` under the object's format
+    /// policy, memoized per epoch so every same-epoch reader shares one
+    /// merge. Nothing is drained: the log keeps its entries and writers
+    /// keep appending.
     ///
-    /// The flush merge runs row-partitioned on the worker pool under the
+    /// Memo soundness: every path that installs a new base empties the
+    /// log first (flush drains, whole-output writes discard, `clear`
+    /// clears), and the epoch is strictly monotone, so (epoch, log
+    /// non-empty) uniquely identifies the `(base, runs)` pair the memo
+    /// entry was built from.
+    fn overlay_parts(&self) -> OverlayParts<T> {
+        let mut delta = self.delta.lock();
+        let base = self.current_node();
+        let epoch = delta.epoch();
+        if delta.is_empty() {
+            return (epoch, base.clone(), Vec::new(), base);
+        }
+        let runs = delta.runs_snapshot();
+        let mut memo = self.overlay.lock();
+        if let Some((e, node)) = memo.as_ref() {
+            if *e == epoch {
+                return (epoch, base, runs, node.clone());
+            }
+        }
+        let policy = self.format_policy();
+        let merge_base = base.clone();
+        let merge_runs = runs.clone();
+        let node = Node::pending_kind(
+            "overlay",
+            vec![base.clone() as Arc<dyn Completable>],
+            Box::new(move || {
+                let store = merge_base.ready_storage()?;
+                let merged = merge::merge_matrix(store.row_csr().as_ref(), &merge_runs);
+                Ok(MatrixStore::from_csr(merged, policy))
+            }),
+        );
+        *memo = Some((epoch, node.clone()));
+        (epoch, base, runs, node)
+    }
+
+    /// The node a kernel should capture as this object's input value:
+    /// the current node when no updates are pending, else the epoch's
+    /// shared overlay node. Unlike [`Matrix::resolve`], capture leaves
+    /// the delta log intact — an operation reading this object never
+    /// blocks, or is blocked by, a concurrent writer's flush.
+    pub(crate) fn capture(&self) -> Arc<MatrixNode<T>> {
+        self.overlay_parts().3
+    }
+
+    /// The current node *including* pending point updates, with the log
+    /// drained: if the delta buffer is non-empty, install a deferred
+    /// flush node merging it into the base (a DAG node depending on the
+    /// current value, so scheduling, tracing, and §V program-order
+    /// error semantics all apply) and return it. Completion-forcing
+    /// reads and the background flusher come through here; kernel input
+    /// capture uses the non-draining [`Matrix::capture`].
+    ///
+    /// The merge runs row-partitioned on the worker pool under the
     /// kernel cost model and is bitwise-deterministic at any degree; the
     /// merged value is re-stored under the object's format policy, so
-    /// `FormatPolicy::Auto` re-selects after a flush. The flush node
-    /// registers no fuse face or hook, so a producer with pending
-    /// updates is never fusable and the flush itself absorbs nothing.
+    /// `FormatPolicy::Auto` re-selects after a flush. If the epoch's
+    /// overlay node already exists (a reader got here first), it is
+    /// adopted and installed instead — the same pending set is never
+    /// merged twice. Neither node registers a fuse face or hook, so a
+    /// producer with pending updates is never fusable and the flush
+    /// itself absorbs nothing.
     pub(crate) fn resolve(&self) -> Arc<MatrixNode<T>> {
         let mut delta = self.delta.lock();
         if delta.is_empty() {
-            return self.snapshot();
+            return self.current_node();
         }
+        let epoch = delta.epoch();
+        let mut memo = self.overlay.lock();
+        if let Some((e, node)) = memo.take() {
+            if e == epoch {
+                delta.drain();
+                drop(memo);
+                self.install(node.clone());
+                return node;
+            }
+        }
+        drop(memo);
         let runs = delta.drain();
-        let base = self.snapshot();
+        let base = self.current_node();
         let policy = self.format_policy();
         let dep = base.clone() as Arc<dyn Completable>;
         let node = Node::pending_kind(
@@ -316,11 +479,52 @@ impl<T: Scalar> Matrix<T> {
         node
     }
 
+    /// Queue a background flush of this object's pending updates after
+    /// `delay`. Holds only weak references: if every handle is dropped
+    /// before the job fires, the job is a no-op (pending updates die
+    /// with the object, as program order allows).
+    fn schedule_background_flush(&self, delay: Duration) {
+        let weak = MatrixWeak {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            cell: Arc::downgrade(&self.cell),
+            policy: Arc::downgrade(&self.policy),
+            delta: Arc::downgrade(&self.delta),
+            overlay: Arc::downgrade(&self.overlay),
+        };
+        snapshot::schedule_flush(
+            delay,
+            Box::new(move || {
+                if let Some(m) = weak.upgrade() {
+                    m.flush_now();
+                }
+            }),
+        );
+    }
+
+    /// Flush pending updates into the backing store now (the background
+    /// flusher's entry point). Execution errors are left on the node —
+    /// they surface, in program order, on the next read that forces it.
+    pub(crate) fn flush_now(&self) {
+        {
+            let mut delta = self.delta.lock();
+            // Re-arm first: pushes racing with this flush queue the next.
+            delta.clear_flush_scheduled();
+            if delta.is_empty() {
+                return;
+            }
+        }
+        let node = self.resolve();
+        let _ = force(&(node as Arc<dyn Completable>));
+        snapshot::note_background_flush();
+    }
+
     /// Drop any pending point updates: the caller is about to overwrite
     /// this object's whole value (an operation writing the output), so
     /// the buffered updates are dead by program order.
     pub(crate) fn discard_pending(&self) {
         self.delta.lock().clear();
+        *self.overlay.lock() = None;
     }
 
     /// Publish a new value node for this object.
@@ -358,6 +562,30 @@ impl<T: Scalar> Matrix<T> {
         Box::new(move || {
             cell.upgrade()
                 .is_some_and(|c| Arc::as_ptr(&*c.read()) as *const u8 as usize == ptr)
+        })
+    }
+}
+
+/// Weak form of a [`Matrix`] handle, held by queued background-flush
+/// jobs so the flusher never extends an object's lifetime.
+struct MatrixWeak<T: Scalar> {
+    nrows: Index,
+    ncols: Index,
+    cell: Weak<RwLock<Arc<MatrixNode<T>>>>,
+    policy: Weak<RwLock<FormatPolicy>>,
+    delta: Weak<Mutex<DeltaLog<(Index, Index), T>>>,
+    overlay: OverlayMemoWeak<T>,
+}
+
+impl<T: Scalar> MatrixWeak<T> {
+    fn upgrade(&self) -> Option<Matrix<T>> {
+        Some(Matrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            cell: self.cell.upgrade()?,
+            policy: self.policy.upgrade()?,
+            delta: self.delta.upgrade()?,
+            overlay: self.overlay.upgrade()?,
         })
     }
 }
@@ -509,5 +737,56 @@ mod tests {
         m.set(1, 1, 9).unwrap();
         assert_eq!(alias.get(1, 1).unwrap(), Some(9)); // same object
         assert_eq!(copy.get(1, 1).unwrap(), None); // snapshot copy
+    }
+
+    #[test]
+    fn dup_with_pending_is_snapshot_cheap() {
+        // Regression: dup() used to force a full flush of the source's
+        // pending updates. It must now share the base + runs and leave
+        // the source log untouched.
+        let m = Matrix::from_tuples(3, 3, &[(0, 0, 1)]).unwrap();
+        m.set(1, 1, 5).unwrap();
+        m.remove(0, 0).unwrap();
+        let copy = m.dup();
+        assert!(!m.is_complete(), "dup must not drain the source log");
+        assert_eq!(m.delta_stats().pending_len, 2);
+        // The copy sees the pending updates as part of its value…
+        assert_eq!(copy.get(1, 1).unwrap(), Some(5));
+        assert_eq!(copy.get(0, 0).unwrap(), None);
+        // …and stays isolated from writes after the dup.
+        m.set(2, 2, 7).unwrap();
+        assert_eq!(copy.get(2, 2).unwrap(), None);
+        assert_eq!(m.get(2, 2).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let m = Matrix::from_tuples(2, 2, &[(0, 0, 1)]).unwrap();
+        m.set(0, 1, 2).unwrap();
+        let snap = m.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        // Writes and reads after the snapshot don't change its view.
+        m.set(0, 1, 99).unwrap();
+        m.remove(0, 0).unwrap();
+        assert_eq!(m.nvals().unwrap(), 1); // forces a flush on m
+        assert_eq!(snap.get(0, 0).unwrap(), Some(1));
+        assert_eq!(snap.get(0, 1).unwrap(), Some(2));
+        assert_eq!(snap.nvals().unwrap(), 2);
+        assert_eq!(snap.extract_tuples().unwrap(), vec![(0, 0, 1), (0, 1, 2)]);
+        // Snapshot reads never drained the source's log (it was drained
+        // by m.nvals above, not by the snapshot).
+        let m2 = snap.to_matrix();
+        assert_eq!(m2.extract_tuples().unwrap(), vec![(0, 0, 1), (0, 1, 2)]);
+    }
+
+    #[test]
+    fn same_epoch_readers_share_one_overlay() {
+        let m = Matrix::<i32>::new(4, 4).unwrap();
+        m.set(1, 2, 3).unwrap();
+        let a = m.snapshot();
+        let b = m.snapshot();
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.nvals().unwrap(), 1);
+        assert_eq!(b.get(1, 2).unwrap(), Some(3));
     }
 }

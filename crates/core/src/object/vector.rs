@@ -4,7 +4,8 @@
 //! value node, with point mutations deferred into a pending-update
 //! buffer; see that module for the handle/node and delta semantics.
 
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
@@ -15,18 +16,27 @@ use crate::index::Index;
 use crate::kernel::merge;
 use crate::scalar::Scalar;
 use crate::storage::coo::build_vector;
-use crate::storage::delta::{DeltaLog, DeltaOp};
+use crate::storage::delta::{DeltaLog, DeltaOp, DeltaStats, Run};
+use crate::storage::snapshot::{self, VectorSnapshot};
 use crate::storage::vec::SparseVec;
 
 pub(crate) type VectorNode<T> = Node<SparseVec<T>>;
+
+/// Per-epoch overlay memo shared by handle clones; see `OverlayMemo`
+/// on the matrix side.
+type OverlayMemo<T> = Arc<Mutex<Option<(u64, Arc<VectorNode<T>>)>>>;
+type OverlayMemoWeak<T> = Weak<Mutex<Option<(u64, Arc<VectorNode<T>>)>>>;
 
 /// An opaque GraphBLAS vector handle over domain `T`.
 pub struct Vector<T: Scalar> {
     n: Index,
     cell: Arc<RwLock<Arc<VectorNode<T>>>>,
     /// Pending point mutations not yet merged into the value node.
-    /// Shared by handle clones. Lock order: `delta` before `cell`.
+    /// Shared by handle clones. Lock order: `delta` before `overlay`
+    /// before `cell`.
     delta: Arc<Mutex<DeltaLog<Index, T>>>,
+    /// Memoized per-epoch overlay node; see `Matrix::overlay`.
+    overlay: OverlayMemo<T>,
 }
 
 impl<T: Scalar> Clone for Vector<T> {
@@ -37,6 +47,7 @@ impl<T: Scalar> Clone for Vector<T> {
             n: self.n,
             cell: self.cell.clone(),
             delta: self.delta.clone(),
+            overlay: self.overlay.clone(),
         }
     }
 }
@@ -52,7 +63,20 @@ impl<T: Scalar> Vector<T> {
             n,
             cell: Arc::new(RwLock::new(Node::ready(SparseVec::empty(n)))),
             delta: Arc::new(Mutex::new(DeltaLog::new())),
+            overlay: Arc::new(Mutex::new(None)),
         })
+    }
+
+    /// A handle wrapping an existing (pinned) value node — the bridge
+    /// from [`VectorSnapshot::to_vector`] back into the kernel layer.
+    pub(crate) fn from_shared_node(n: Index, node: Arc<VectorNode<T>>) -> Vector<T> {
+        node.pin();
+        Vector {
+            n,
+            cell: Arc::new(RwLock::new(node)),
+            delta: Arc::new(Mutex::new(DeltaLog::new())),
+            overlay: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// Convenience constructor from unique `(index, value)` tuples.
@@ -84,6 +108,7 @@ impl<T: Scalar> Vector<T> {
             n: vals.len(),
             cell: Arc::new(RwLock::new(Node::ready(SparseVec::from_dense(vals)))),
             delta: Arc::new(Mutex::new(DeltaLog::new())),
+            overlay: Arc::new(Mutex::new(None)),
         })
     }
 
@@ -123,11 +148,19 @@ impl<T: Scalar> Vector<T> {
     }
 
     /// `GrB_Vector_setElement`. Appends to the pending-update buffer —
-    /// O(1) amortized in every mode (§IV deferral latitude); merged at
-    /// the next value observation. See [`Matrix::set`](crate::object::Matrix::set).
+    /// O(1) amortized in every mode (§IV deferral latitude); merged by
+    /// the background auto-flusher or the next completion-forcing read.
+    /// See [`Matrix::set`](crate::object::Matrix::set).
     pub fn set(&self, i: Index, v: T) -> Result<()> {
         self.check_bounds(i)?;
-        self.delta.lock().push(i, DeltaOp::Put(v));
+        let due = {
+            let mut delta = self.delta.lock();
+            delta.push(i, DeltaOp::Put(v));
+            delta.autoflush_due(snapshot::flush_window())
+        };
+        if let Some(delay) = due {
+            self.schedule_background_flush(delay);
+        }
         Ok(())
     }
 
@@ -135,7 +168,14 @@ impl<T: Scalar> Vector<T> {
     /// removing an absent element is a no-op, as the C API specifies.
     pub fn remove(&self, i: Index) -> Result<()> {
         self.check_bounds(i)?;
-        self.delta.lock().push(i, DeltaOp::Del);
+        let due = {
+            let mut delta = self.delta.lock();
+            delta.push(i, DeltaOp::Del);
+            delta.autoflush_due(snapshot::flush_window())
+        };
+        if let Some(delay) = due {
+            self.schedule_background_flush(delay);
+        }
         Ok(())
     }
 
@@ -154,13 +194,16 @@ impl<T: Scalar> Vector<T> {
     pub fn clear(&self) {
         let mut delta = self.delta.lock();
         delta.clear();
+        *self.overlay.lock() = None;
         self.install(Node::ready(SparseVec::empty(self.n)));
     }
 
-    /// `GrB_Vector_dup`. Pending point updates are part of the value,
-    /// so they transfer as a flush node shared with the original.
+    /// `GrB_Vector_dup`. Snapshot-cheap even with pending updates: the
+    /// copy shares the base + sealed runs through the epoch's overlay
+    /// node; the original's log is not drained. See
+    /// [`Matrix::dup`](crate::object::Matrix::dup).
     pub fn dup(&self) -> Vector<T> {
-        let node = self.resolve();
+        let node = self.capture();
         // See `Matrix::dup`: the copy aliases the value node outside the
         // original handle's observe-probe, so pin it against fusion.
         node.pin();
@@ -168,7 +211,23 @@ impl<T: Scalar> Vector<T> {
             n: self.n,
             cell: Arc::new(RwLock::new(node)),
             delta: Arc::new(Mutex::new(DeltaLog::new())),
+            overlay: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Take an O(1) immutable [`VectorSnapshot`] at the current delta
+    /// epoch; see [`Matrix::snapshot`](crate::object::Matrix::snapshot).
+    pub fn snapshot(&self) -> VectorSnapshot<T> {
+        let (epoch, base, runs, node) = self.overlay_parts();
+        base.pin();
+        node.pin();
+        VectorSnapshot::new(self.n, epoch, base, runs, node)
+    }
+
+    /// Pending-update introspection; see
+    /// [`Matrix::delta_stats`](crate::object::Matrix::delta_stats).
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.delta.lock().stats()
     }
 
     /// Force completion of this object alone (merges pending updates).
@@ -180,7 +239,7 @@ impl<T: Scalar> Vector<T> {
     /// `true` once the value is computed and stored with no pending
     /// point updates.
     pub fn is_complete(&self) -> bool {
-        self.delta.lock().is_empty() && self.snapshot().is_complete()
+        self.delta.lock().is_empty() && self.current_node().is_complete()
     }
 
     fn check_bounds(&self, i: Index) -> Result<()> {
@@ -196,21 +255,79 @@ impl<T: Scalar> Vector<T> {
     // ----- internal plumbing -----
 
     /// The current node, *excluding* pending point updates — value
-    /// observers must use [`Vector::resolve`] instead.
-    pub(crate) fn snapshot(&self) -> Arc<VectorNode<T>> {
+    /// observers use [`Vector::resolve`] or [`Vector::capture`] instead.
+    pub(crate) fn current_node(&self) -> Arc<VectorNode<T>> {
         self.cell.read().clone()
     }
 
-    /// The current node *including* pending point updates; see
-    /// [`Matrix::resolve`](crate::object::Matrix) for the flush-node
-    /// semantics (scheduling, determinism, fuse opacity).
+    /// Epoch, base, sealed runs, and the epoch's memoized overlay node;
+    /// see `Matrix::overlay_parts` for semantics and the memo-soundness
+    /// argument.
+    #[allow(clippy::type_complexity)]
+    fn overlay_parts(
+        &self,
+    ) -> (
+        u64,
+        Arc<VectorNode<T>>,
+        Vec<Run<Index, T>>,
+        Arc<VectorNode<T>>,
+    ) {
+        let mut delta = self.delta.lock();
+        let base = self.current_node();
+        let epoch = delta.epoch();
+        if delta.is_empty() {
+            return (epoch, base.clone(), Vec::new(), base);
+        }
+        let runs = delta.runs_snapshot();
+        let mut memo = self.overlay.lock();
+        if let Some((e, node)) = memo.as_ref() {
+            if *e == epoch {
+                return (epoch, base, runs, node.clone());
+            }
+        }
+        let merge_base = base.clone();
+        let merge_runs = runs.clone();
+        let node = Node::pending_kind(
+            "overlay",
+            vec![base.clone() as Arc<dyn Completable>],
+            Box::new(move || {
+                let store = merge_base.ready_storage()?;
+                Ok(merge::merge_vector(store.as_ref(), &merge_runs))
+            }),
+        );
+        *memo = Some((epoch, node.clone()));
+        (epoch, base, runs, node)
+    }
+
+    /// The node a kernel should capture as this object's input value
+    /// without draining the log; see
+    /// [`Matrix::capture`](crate::object::Matrix).
+    pub(crate) fn capture(&self) -> Arc<VectorNode<T>> {
+        self.overlay_parts().3
+    }
+
+    /// The current node *including* pending point updates, with the log
+    /// drained; see [`Matrix::resolve`](crate::object::Matrix) for the
+    /// flush-node semantics (scheduling, determinism, fuse opacity) and
+    /// overlay-memo adoption.
     pub(crate) fn resolve(&self) -> Arc<VectorNode<T>> {
         let mut delta = self.delta.lock();
         if delta.is_empty() {
-            return self.snapshot();
+            return self.current_node();
         }
+        let epoch = delta.epoch();
+        let mut memo = self.overlay.lock();
+        if let Some((e, node)) = memo.take() {
+            if e == epoch {
+                delta.drain();
+                drop(memo);
+                self.install(node.clone());
+                return node;
+            }
+        }
+        drop(memo);
         let runs = delta.drain();
-        let base = self.snapshot();
+        let base = self.current_node();
         let dep = base.clone() as Arc<dyn Completable>;
         let node = Node::pending_kind(
             "flush",
@@ -224,10 +341,45 @@ impl<T: Scalar> Vector<T> {
         node
     }
 
+    /// Queue a background flush after `delay`; weak references only, so
+    /// the flusher never extends the object's lifetime.
+    fn schedule_background_flush(&self, delay: Duration) {
+        let weak = VectorWeak {
+            n: self.n,
+            cell: Arc::downgrade(&self.cell),
+            delta: Arc::downgrade(&self.delta),
+            overlay: Arc::downgrade(&self.overlay),
+        };
+        snapshot::schedule_flush(
+            delay,
+            Box::new(move || {
+                if let Some(v) = weak.upgrade() {
+                    v.flush_now();
+                }
+            }),
+        );
+    }
+
+    /// Flush pending updates now (the background flusher's entry point);
+    /// see [`Matrix::flush_now`](crate::object::Matrix).
+    pub(crate) fn flush_now(&self) {
+        {
+            let mut delta = self.delta.lock();
+            delta.clear_flush_scheduled();
+            if delta.is_empty() {
+                return;
+            }
+        }
+        let node = self.resolve();
+        let _ = force(&(node as Arc<dyn Completable>));
+        snapshot::note_background_flush();
+    }
+
     /// Drop any pending point updates (the whole value is about to be
     /// overwritten by an operation's output write).
     pub(crate) fn discard_pending(&self) {
         self.delta.lock().clear();
+        *self.overlay.lock() = None;
     }
 
     pub(crate) fn install(&self, node: Arc<VectorNode<T>>) {
@@ -251,6 +403,26 @@ impl<T: Scalar> Vector<T> {
         Box::new(move || {
             cell.upgrade()
                 .is_some_and(|c| Arc::as_ptr(&*c.read()) as *const u8 as usize == ptr)
+        })
+    }
+}
+
+/// Weak form of a [`Vector`] handle, held by queued background-flush
+/// jobs; see `MatrixWeak`.
+struct VectorWeak<T: Scalar> {
+    n: Index,
+    cell: Weak<RwLock<Arc<VectorNode<T>>>>,
+    delta: Weak<Mutex<DeltaLog<Index, T>>>,
+    overlay: OverlayMemoWeak<T>,
+}
+
+impl<T: Scalar> VectorWeak<T> {
+    fn upgrade(&self) -> Option<Vector<T>> {
+        Some(Vector {
+            n: self.n,
+            cell: self.cell.upgrade()?,
+            delta: self.delta.upgrade()?,
+            overlay: self.overlay.upgrade()?,
         })
     }
 }
@@ -346,5 +518,37 @@ mod tests {
         let v = Vector::<i32>::new(2).unwrap();
         assert!(matches!(v.get(2), Err(Error::InvalidIndex(_))));
         assert!(matches!(v.set(5, 1), Err(Error::InvalidIndex(_))));
+    }
+
+    #[test]
+    fn dup_with_pending_is_snapshot_cheap() {
+        let v = Vector::from_tuples(3, &[(0, 1)]).unwrap();
+        v.set(1, 5).unwrap();
+        v.remove(0).unwrap();
+        let copy = v.dup();
+        assert!(!v.is_complete(), "dup must not drain the source log");
+        assert_eq!(v.delta_stats().pending_len, 2);
+        assert_eq!(copy.get(1).unwrap(), Some(5));
+        assert_eq!(copy.get(0).unwrap(), None);
+        v.set(2, 7).unwrap();
+        assert_eq!(copy.get(2).unwrap(), None);
+        assert_eq!(v.get(2).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let v = Vector::from_tuples(3, &[(0, 1)]).unwrap();
+        v.set(1, 2).unwrap();
+        let snap = v.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        v.set(1, 99).unwrap();
+        v.remove(0).unwrap();
+        assert_eq!(v.nvals().unwrap(), 1); // flushes v, not the snapshot
+        assert_eq!(snap.get(0).unwrap(), Some(1));
+        assert_eq!(snap.get(1).unwrap(), Some(2));
+        assert_eq!(snap.nvals().unwrap(), 2);
+        assert_eq!(snap.extract_tuples().unwrap(), vec![(0, 1), (1, 2)]);
+        let v2 = snap.to_vector();
+        assert_eq!(v2.extract_tuples().unwrap(), vec![(0, 1), (1, 2)]);
     }
 }

@@ -55,7 +55,7 @@ impl Context {
         })?;
         check_mask_dims2(mask.mask_dims(), c.shape())?;
 
-        let (a_node, c_node) = (a.resolve(), c.resolve());
+        let (a_node, c_node) = (a.capture(), c.capture());
         let msnap = mask.snap(desc);
         let mut deps: Vec<_> = vec![a_node.clone() as _, c_node.clone() as _];
         deps.extend(msnap.deps());
@@ -122,7 +122,7 @@ impl Context {
             return c.set(rows[0], cols[0], value);
         }
 
-        let c_node = c.resolve();
+        let c_node = c.capture();
         let msnap = mask.snap(desc);
         let mut deps: Vec<_> = vec![c_node.clone() as _];
         deps.extend(msnap.deps());
@@ -172,7 +172,7 @@ impl Context {
         })?;
         check_mask_dims1(mask.mask_size(), w.size())?;
 
-        let (u_node, w_node) = (u.resolve(), w.resolve());
+        let (u_node, w_node) = (u.capture(), w.capture());
         let msnap = mask.snap(desc);
         let mut deps: Vec<_> = vec![u_node.clone() as _, w_node.clone() as _];
         deps.extend(msnap.deps());
@@ -229,7 +229,7 @@ impl Context {
             return w.set(indices[0], value);
         }
 
-        let w_node = w.resolve();
+        let w_node = w.capture();
         let msnap = mask.snap(desc);
         let mut deps: Vec<_> = vec![w_node.clone() as _];
         deps.extend(msnap.deps());

@@ -23,7 +23,7 @@ impl Context {
                 c.shape()
             )
         })?;
-        let v_node = v.resolve();
+        let v_node = v.capture();
         let deps = vec![v_node.clone() as _];
         let eval = move || {
             let st = v_node.ready_storage()?;
@@ -57,7 +57,7 @@ impl Context {
         dim_check(w.size() == len, || {
             format!("diag output must have size {len}, got {}", w.size())
         })?;
-        let a_node = a.resolve();
+        let a_node = a.capture();
         let deps = vec![a_node.clone() as _];
         let eval = move || {
             let st = a_node.ready_storage()?;

@@ -59,7 +59,7 @@ impl Context {
         })?;
         check_mask_dims2(mask.mask_dims(), c.shape())?;
 
-        let (a_node, b_node) = (a.resolve(), b.resolve());
+        let (a_node, b_node) = (a.capture(), b.capture());
         let msnap = mask.snap(desc);
         let c_old_cap = crate::op::OldMatrix::capture(
             c,
@@ -152,7 +152,7 @@ impl Context {
         })?;
         check_mask_dims2(mask.mask_dims(), c.shape())?;
 
-        let (a_node, b_node) = (a.resolve(), b.resolve());
+        let (a_node, b_node) = (a.capture(), b.capture());
         let msnap = mask.snap(desc);
         let c_old_cap = crate::op::OldMatrix::capture(
             c,
@@ -268,7 +268,7 @@ impl Context {
         })?;
         check_mask_dims1(mask.mask_size(), w.size())?;
 
-        let (u_node, v_node) = (u.resolve(), v.resolve());
+        let (u_node, v_node) = (u.capture(), v.capture());
         let msnap = mask.snap(desc);
         let w_old_cap = crate::op::OldVector::capture(
             w,
@@ -356,7 +356,7 @@ impl Context {
         })?;
         check_mask_dims1(mask.mask_size(), w.size())?;
 
-        let (u_node, v_node) = (u.resolve(), v.resolve());
+        let (u_node, v_node) = (u.capture(), v.capture());
         let msnap = mask.snap(desc);
         let w_old_cap = crate::op::OldVector::capture(
             w,

@@ -198,7 +198,7 @@ impl<T: Scalar> Clone for OldMatrix<T> {
 impl<T: Scalar> OldMatrix<T> {
     pub(crate) fn capture(c: &Matrix<T>, needed: bool) -> Self {
         OldMatrix {
-            node: needed.then(|| c.resolve()),
+            node: needed.then(|| c.capture()),
             nrows: c.nrows(),
             ncols: c.ncols(),
         }
@@ -236,7 +236,7 @@ impl<T: Scalar> Clone for OldVector<T> {
 impl<T: Scalar> OldVector<T> {
     pub(crate) fn capture(w: &Vector<T>, needed: bool) -> Self {
         OldVector {
-            node: needed.then(|| w.resolve()),
+            node: needed.then(|| w.capture()),
             n: w.size(),
         }
     }

@@ -72,8 +72,8 @@ impl Context {
         check_mask_dims2(mask.mask_dims(), c.shape())?;
 
         // --- snapshot inputs, build the deferred thunk ---
-        let a_node = a.resolve();
-        let b_node = b.resolve();
+        let a_node = a.capture();
+        let b_node = b.capture();
         let msnap = mask.snap(desc);
         let c_old_cap = crate::op::OldMatrix::capture(
             c,

@@ -58,8 +58,8 @@ impl Context {
         })?;
         check_mask_dims1(mask.mask_size(), w.size())?;
 
-        let a_node = a.resolve();
-        let u_node = u.resolve();
+        let a_node = a.capture();
+        let u_node = u.capture();
         let msnap = mask.snap(desc);
         let w_old_cap = crate::op::OldVector::capture(
             w,
@@ -164,8 +164,8 @@ impl Context {
         })?;
         check_mask_dims1(mask.mask_size(), w.size())?;
 
-        let a_node = a.resolve();
-        let u_node = u.resolve();
+        let a_node = a.capture();
+        let u_node = u.capture();
         let msnap = mask.snap(desc);
         let w_old_cap = crate::op::OldVector::capture(
             w,

@@ -33,7 +33,7 @@ impl Context {
         if !self.fusion_active() {
             return None;
         }
-        let node = a.resolve();
+        let node = a.capture();
         if node.is_complete() {
             return None;
         }
@@ -77,7 +77,7 @@ impl Context {
         if !self.fusion_active() {
             return None;
         }
-        let node = u.resolve();
+        let node = u.capture();
         if node.is_complete() {
             return None;
         }
@@ -136,7 +136,7 @@ impl Context {
         })?;
         check_mask_dims1(mask.mask_size(), w.size())?;
 
-        let a_node = a.resolve();
+        let a_node = a.capture();
         let msnap = mask.snap(desc);
         let w_old_cap = crate::op::OldVector::capture(
             w,

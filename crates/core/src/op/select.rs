@@ -38,7 +38,7 @@ impl Context {
         })?;
         check_mask_dims2(mask.mask_dims(), c.shape())?;
 
-        let a_node = a.resolve();
+        let a_node = a.capture();
         let msnap = mask.snap(desc);
         let c_old_cap = crate::op::OldMatrix::capture(
             c,
@@ -85,7 +85,7 @@ impl Context {
         })?;
         check_mask_dims1(mask.mask_size(), w.size())?;
 
-        let u_node = u.resolve();
+        let u_node = u.capture();
         let msnap = mask.snap(desc);
         let w_old_cap = crate::op::OldVector::capture(
             w,

@@ -47,7 +47,7 @@ impl Context {
         })?;
         check_mask_dims2(mask.mask_dims(), c.shape())?;
 
-        let a_node = a.resolve();
+        let a_node = a.capture();
         let msnap = mask.snap(desc);
         let c_old_cap = crate::op::OldMatrix::capture(
             c,

@@ -3,24 +3,89 @@
 //!
 //! A [`DeltaLog`] is an LSM-style log of point mutations against an
 //! object's backing storage. [`DeltaLog::push`] is O(1) amortized: a
-//! mutation lands in an unsorted tail, and when the tail reaches
-//! [`RUN_CAP`] entries it is *sealed* into a sorted, per-key-deduplicated
-//! run (last write wins within the run — the log's dup-combining
-//! policy). Completion-forcing reads drain the runs and merge them into
-//! the backing storage with the k-way merge kernel
-//! (`crate::kernel::merge`); across runs, the entry with the highest
-//! [`DeltaEntry::seq`] wins, so the merged value is exactly what eager
-//! per-call application would have produced.
+//! mutation lands in an unsorted tail, and when the tail reaches the
+//! run cap ([`run_cap`]) it is *sealed* into a sorted, per-key-
+//! deduplicated run (last write wins within the run — the log's
+//! dup-combining policy). Flushes — background auto-flushes
+//! ([`crate::storage::snapshot`]) or handle-level completion-forcing
+//! reads — drain the runs and merge them into the backing storage with
+//! the k-way merge kernel (`crate::kernel::merge`); across runs, the
+//! entry with the highest [`DeltaEntry::seq`] wins, so the merged value
+//! is exactly what eager per-call application would have produced.
+//! Readers that only need a consistent view never drain: they clone the
+//! sealed runs ([`DeltaLog::runs_snapshot`]) at an [`DeltaLog::epoch`]
+//! and overlay-merge on their own side.
+//!
+//! When sealing pushes the sealed-run count past [`MAX_RUNS`] the log
+//! *compacts*, LSM-style: the adjacent pair of runs with the smallest
+//! combined length is merged into one (runs are seq-disjoint and
+//! oldest-first, so a pairwise merge of neighbours preserves cross-run
+//! last-write-wins exactly). Compaction bounds the k of every later
+//! k-way merge — and of every snapshot overlay probe — without ever
+//! touching the backing storage.
 //!
 //! Keys are generic: matrices log `(row, col)` (row-major order, the
 //! order the CSR merge consumes), vectors log plain indices.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
-/// Tail length at which a delta log seals its unsorted tail into a
-/// sorted run. Sealing is O(cap · log cap) every `cap` pushes, so pushes
-/// stay O(log cap) ≈ O(1) amortized regardless of object size.
+/// Default tail length at which a delta log seals its unsorted tail into
+/// a sorted run. Sealing is O(cap · log cap) every `cap` pushes, so
+/// pushes stay O(log cap) ≈ O(1) amortized regardless of object size.
+/// The effective cap is resolved per push by [`run_cap`].
 pub const RUN_CAP: usize = 4096;
+
+/// Sealed-run count above which a log compacts neighbouring runs.
+pub const MAX_RUNS: usize = 8;
+
+/// Pending-entry floor before a *time-windowed* background flush is
+/// armed. Programs doing a handful of point updates (the unit-test
+/// shape) stay strictly deferred-until-read; streaming ingest crosses
+/// this within microseconds.
+pub const AUTOFLUSH_MIN_PENDING: usize = 64;
+
+/// Pending length (in units of the effective run cap) that triggers an
+/// immediate background flush regardless of the time window — the size
+/// half of the time/size auto-flush policy.
+pub const AUTOFLUSH_RUN_FACTOR: usize = 4;
+
+/// Session override for the run cap; 0 = unset. Set by the capi
+/// `Config::delta_run_cap` knob, restored by `finalize`.
+static SESSION_RUN_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Set (or clear, with `None`) the process-wide run-cap override.
+pub fn set_session_run_cap(cap: Option<usize>) {
+    SESSION_RUN_CAP.store(cap.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The session run-cap override, if one is configured.
+pub fn session_run_cap() -> Option<usize> {
+    match SESSION_RUN_CAP.load(Ordering::Relaxed) {
+        0 => None,
+        k => Some(k),
+    }
+}
+
+fn env_run_cap() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("GRB_DELTA_RUN_CAP")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&k| k > 0)
+    })
+}
+
+/// The effective tail-seal cap: session knob (`Config::delta_run_cap`) >
+/// `GRB_DELTA_RUN_CAP` env > [`RUN_CAP`].
+pub fn run_cap() -> usize {
+    session_run_cap()
+        .or_else(env_run_cap)
+        .unwrap_or(RUN_CAP)
+        .max(1)
+}
 
 /// One pending point mutation.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,17 +111,33 @@ pub struct DeltaEntry<K, T> {
 /// A sealed, key-sorted, per-key-deduplicated batch of pending updates.
 pub type Run<K, T> = Arc<[DeltaEntry<K, T>]>;
 
+/// Introspection snapshot of one handle's pending-update state
+/// (`Matrix::delta_stats` / `Vector::delta_stats`; the server's `STATS`
+/// sealed-run gauge sums `run_count` over its graphs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Pending entries (post-dedup within sealed runs).
+    pub pending_len: usize,
+    /// Sealed sorted runs held (tail not counted until sealed).
+    pub run_count: usize,
+    /// The log's current epoch.
+    pub epoch: u64,
+}
+
 /// The pending-update buffer carried by each `Matrix`/`Vector` handle
 /// group (shared by handle clones, like every other object property).
 #[derive(Debug)]
 pub struct DeltaLog<K, T> {
     next_seq: u64,
-    /// Unsorted recent pushes, sealed into `runs` at [`RUN_CAP`].
+    /// Unsorted recent pushes, sealed into `runs` at [`run_cap`].
     tail: Vec<DeltaEntry<K, T>>,
     /// Sealed sorted runs, oldest first.
     runs: Vec<Run<K, T>>,
     /// Total entries across `tail` and `runs`.
     len: usize,
+    /// A background flush for the current pending set is already queued
+    /// (cleared on drain/clear, and by the flusher before it resolves).
+    flush_scheduled: bool,
 }
 
 impl<K, T> Default for DeltaLog<K, T> {
@@ -66,13 +147,30 @@ impl<K, T> Default for DeltaLog<K, T> {
             tail: Vec::new(),
             runs: Vec::new(),
             len: 0,
+            flush_scheduled: false,
         }
     }
 }
 
-impl<K: Copy + Ord, T> DeltaLog<K, T> {
+impl<K: Copy + Ord, T: Clone> DeltaLog<K, T> {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The log's *epoch*: the arrival number the next push will take.
+    /// Strictly monotone over the log's lifetime, so (epoch, emptiness)
+    /// uniquely identifies a pending set — the key the object layer
+    /// memoizes snapshot overlays under.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of sealed runs currently held (observability; the tail,
+    /// if any, is not counted until sealed).
+    #[inline]
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
     }
 
     /// `true` when no updates are pending (the fast path of every
@@ -95,13 +193,14 @@ impl<K: Copy + Ord, T> DeltaLog<K, T> {
         self.next_seq += 1;
         self.tail.push(DeltaEntry { key, seq, op });
         self.len += 1;
-        if self.tail.len() >= RUN_CAP {
+        if self.tail.len() >= run_cap() {
             self.seal();
         }
     }
 
     /// Sort the tail by key and deduplicate it (keep the latest entry
-    /// per key — last write wins), then append it as a sealed run.
+    /// per key — last write wins), then append it as a sealed run;
+    /// compact if the run count outgrew [`MAX_RUNS`].
     fn seal(&mut self) {
         if self.tail.is_empty() {
             return;
@@ -121,6 +220,33 @@ impl<K: Copy + Ord, T> DeltaLog<K, T> {
         }
         self.len += dedup.len();
         self.runs.push(dedup.into());
+        self.compact();
+    }
+
+    /// Tiered compaction: while more than [`MAX_RUNS`] runs are held,
+    /// merge the adjacent pair with the smallest combined length into
+    /// one run. Runs are seq-disjoint and oldest-first, so in a
+    /// neighbouring pair every right-run entry outranks every left-run
+    /// entry — the pairwise merge keeps cross-run last-write-wins (and
+    /// the original `seq` values) exactly.
+    fn compact(&mut self) {
+        while self.runs.len() > MAX_RUNS {
+            let i = (0..self.runs.len() - 1)
+                .min_by_key(|&i| self.runs[i].len() + self.runs[i + 1].len())
+                .expect("more than one run");
+            let (old, new) = {
+                let (a, b) = (&self.runs[i], &self.runs[i + 1]);
+                let merged = merge_adjacent(a, b);
+                ((a.len(), b.len()), merged)
+            };
+            let entries_in = old.0 + old.1;
+            self.len -= entries_in;
+            self.len += new.len();
+            let bytes = entries_in * std::mem::size_of::<DeltaEntry<K, T>>();
+            super::snapshot::note_compaction(entries_in, bytes);
+            self.runs[i] = new;
+            self.runs.remove(i + 1);
+        }
     }
 
     /// Take every pending update as sealed sorted runs (oldest first),
@@ -129,7 +255,19 @@ impl<K: Copy + Ord, T> DeltaLog<K, T> {
     pub fn drain(&mut self) -> Vec<Run<K, T>> {
         self.seal();
         self.len = 0;
+        self.flush_scheduled = false;
         std::mem::take(&mut self.runs)
+    }
+
+    /// Clone every pending update as sealed sorted runs (oldest first)
+    /// **without draining**: the log keeps its entries and writers keep
+    /// appending; the returned `Arc` runs are immutable forever. This is
+    /// the O(1)-ish read side of snapshot isolation — the only non-
+    /// constant cost is sealing the current tail, work the next seal
+    /// would have done anyway.
+    pub fn runs_snapshot(&mut self) -> Vec<Run<K, T>> {
+        self.seal();
+        self.runs.clone()
     }
 
     /// Discard every pending update (the object's value was overwritten
@@ -139,7 +277,75 @@ impl<K: Copy + Ord, T> DeltaLog<K, T> {
         self.tail.clear();
         self.runs.clear();
         self.len = 0;
+        self.flush_scheduled = false;
     }
+
+    /// Auto-flush trigger, consulted by the object layer after each
+    /// push: `Some(delay)` when a background flush should be queued
+    /// (marking it queued), `None` otherwise. Size first — a pending set
+    /// of [`AUTOFLUSH_RUN_FACTOR`] × cap flushes immediately; otherwise,
+    /// once [`AUTOFLUSH_MIN_PENDING`] entries are pending and a time
+    /// window is configured, flush after that window.
+    pub fn autoflush_due(&mut self, window: Option<Duration>) -> Option<Duration> {
+        if self.flush_scheduled {
+            return None;
+        }
+        let due = if self.len >= AUTOFLUSH_RUN_FACTOR * run_cap() {
+            Some(Duration::ZERO)
+        } else if self.len >= AUTOFLUSH_MIN_PENDING {
+            window
+        } else {
+            None
+        };
+        self.flush_scheduled = due.is_some();
+        due
+    }
+
+    /// Clear the queued-flush mark (the flusher calls this right before
+    /// resolving, so pushes arriving during the merge re-arm the next
+    /// flush).
+    pub fn clear_flush_scheduled(&mut self) {
+        self.flush_scheduled = false;
+    }
+
+    /// Introspection snapshot: pending length, sealed-run count, epoch.
+    pub fn stats(&self) -> DeltaStats {
+        DeltaStats {
+            pending_len: self.len,
+            run_count: self.runs.len(),
+            epoch: self.next_seq,
+        }
+    }
+}
+
+/// Merge two adjacent sealed runs (each key-sorted and per-key unique;
+/// every `b` entry younger than every `a` entry) into one.
+fn merge_adjacent<K: Copy + Ord, T: Clone>(a: &Run<K, T>, b: &Run<K, T>) -> Run<K, T> {
+    let mut out: Vec<DeltaEntry<K, T>> = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) if x.key < y.key => {
+                out.push(x.clone());
+                i += 1;
+            }
+            (Some(x), Some(y)) if x.key == y.key => {
+                out.push(y.clone()); // younger run wins the key
+                i += 1;
+                j += 1;
+            }
+            (_, Some(y)) => {
+                out.push(y.clone());
+                j += 1;
+            }
+            (Some(x), None) => {
+                out.push(x.clone());
+                i += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out.into()
 }
 
 #[cfg(test)]
@@ -211,6 +417,50 @@ mod tests {
         assert_eq!(log.len(), 1);
         log.push(1, DeltaOp::Put(2));
         assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn compaction_bounds_run_count_and_preserves_lww() {
+        let cap = run_cap();
+        let mut log: DeltaLog<usize, i32> = DeltaLog::new();
+        // Fill MAX_RUNS + 4 full runs, revisiting key 0 in every run so
+        // cross-run last-write-wins is actually exercised by compaction.
+        let rounds = MAX_RUNS + 4;
+        for r in 0..rounds {
+            log.push(0, DeltaOp::Put(r as i32));
+            for k in 0..cap - 1 {
+                log.push(1 + r * cap + k, DeltaOp::Put(-1));
+            }
+        }
+        assert!(
+            log.run_count() <= MAX_RUNS,
+            "compaction must bound runs, got {}",
+            log.run_count()
+        );
+        // The surviving entry for key 0 must be the youngest write.
+        let runs = log.drain();
+        let survivors: Vec<&DeltaEntry<usize, i32>> = runs
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|e| e.key == 0)
+            .collect();
+        let youngest = survivors.iter().max_by_key(|e| e.seq).unwrap();
+        assert!(matches!(youngest.op, DeltaOp::Put(v) if v == rounds as i32 - 1));
+    }
+
+    #[test]
+    fn stats_reports_pending_runs_epoch() {
+        let mut log: DeltaLog<usize, i32> = DeltaLog::new();
+        puts(&mut log, &[4, 2]);
+        let s = log.stats();
+        assert_eq!(s.pending_len, 2);
+        assert_eq!(s.run_count, 0, "tail not sealed yet");
+        assert_eq!(s.epoch, 2);
+        let _ = log.runs_snapshot(); // seals the tail, keeps entries
+        let s = log.stats();
+        assert_eq!(s.pending_len, 2);
+        assert_eq!(s.run_count, 1);
+        assert_eq!(s.epoch, 2, "reads do not advance the epoch");
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! Request execution against the GraphBLAS engine: every query is a
 //! (small) GraphBLAS program over the named graph's adjacency matrix,
 //! run on the service's shared blocking [`Context`] — which means the
-//! heavy kernels inside (mxm, mxv, the delta-log flush merge) fan out
+//! heavy kernels inside (mxm, mxv, the delta-log overlay merge) fan out
 //! onto the engine's shared worker pool exactly like library use.
+//!
+//! Every read (HAS/DEG/HOP/BFS/PR) runs against an MVCC **snapshot** of
+//! the adjacency matrix pinned at the request's start: `EDGE+`/`EDGE-`
+//! traffic keeps appending to the live handle's delta log (merged by
+//! the engine's background auto-flusher) and never stalls a reader —
+//! nor does a long PageRank ever stall ingest.
 //!
 //! The one batched path: a coalesced BFS [`Batch`] becomes a single
 //! [`bfs_multi`] call — the §VII column-block frontier sweep — and the
@@ -85,7 +91,10 @@ fn run_bfs_batch(ctx: &Context, graphs: &Registry, stats: &ServiceStats, jobs: V
         return;
     }
     stats.note_bfs_batch(valid.len());
-    match bfs_multi(ctx, &entry.matrix, &sources) {
+    // One snapshot for the whole batch: every coalesced source sweeps
+    // the same frozen adjacency, and concurrent EDGE+/- never stall it.
+    let frozen = entry.matrix.snapshot().to_matrix();
+    match bfs_multi(ctx, &frozen, &sources) {
         Ok(levels) => {
             for (job, per_source) in valid.into_iter().zip(levels) {
                 let ls: Vec<i64> = per_source
@@ -125,18 +134,19 @@ fn err_reply(e: Error) -> Reply {
 }
 
 /// The out-neighborhood of `v` as a stored-index vector: one `vxm` of
-/// the indicator vector against the adjacency (lor.land).
+/// the indicator vector against a snapshot of the adjacency (lor.land).
 fn neighbors(ctx: &Context, entry: &GraphEntry, v: Index) -> Result<Vec<Index>> {
     let n = entry.nodes;
     let e = Vector::from_tuples(n, &[(v, true)])?;
     let w = Vector::<bool>::new(n)?;
+    let frozen = entry.matrix.snapshot().to_matrix();
     ctx.vxm(
         &w,
         NoMask,
         NoAccum,
         lor_land(),
         &e,
-        &entry.matrix,
+        &frozen,
         &Descriptor::default().replace(),
     )?;
     Ok(w.extract_tuples()?.into_iter().map(|(i, _)| i).collect())
@@ -169,7 +179,9 @@ pub(crate) fn execute_one(ctx: &Context, graphs: &Registry, request: &Request) -
             if let Some(r) = check_bounds(entry, &[*u, *v]) {
                 return r;
             }
-            match entry.matrix.get(*u, *v) {
+            // Snapshot point probe: binary-searches the sealed runs and
+            // falls back to the base — never drains the writers' log.
+            match entry.matrix.snapshot().get(*u, *v) {
                 Ok(x) => Reply::Bool(x.is_some()),
                 Err(e) => err_reply(e),
             }
@@ -197,7 +209,8 @@ pub(crate) fn execute_one(ctx: &Context, graphs: &Registry, request: &Request) -
         }
         Request::Pagerank { graph, iters } => with_graph(graphs, graph, |entry| {
             let iters = (*iters).clamp(1, PR_MAX_ITERS);
-            match pagerank(ctx, &entry.matrix, 0.85, 1e-9, iters) {
+            let frozen = entry.matrix.snapshot().to_matrix();
+            match pagerank(ctx, &frozen, 0.85, 1e-9, iters) {
                 Ok((ranks, _)) => Reply::Ranks(ranks),
                 Err(e) => err_reply(e),
             }

@@ -3,11 +3,13 @@
 //!
 //! Point writes (`EDGE+` / `EDGE-`) go straight to [`Matrix::set`] /
 //! [`Matrix::remove`], i.e. into the engine's pending-update delta log
-//! — O(1) amortized appends that are merged into the backing store at
-//! the next completion-forcing read. That is what keeps write latency
-//! flat under heavy read traffic: a burst of inserts never rewrites the
-//! CSR once per edge, and readers pay one pool-parallel k-way merge at
-//! their next query instead.
+//! — O(1) amortized appends. Sealed runs are folded into the backing
+//! store by the engine's windowed background flush (and compacted
+//! LSM-style when they pile up), while readers take O(1) MVCC
+//! snapshots and merge `(base, sealed runs)` lazily on their own
+//! nodes. That is what keeps write latency flat under heavy read
+//! traffic: a burst of inserts never rewrites the CSR once per edge,
+//! and queries never force a drain of the writers' log.
 
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
@@ -65,6 +67,16 @@ impl Registry {
 
     pub fn len(&self) -> usize {
         self.map.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Every registered graph (STATS introspection).
+    pub fn entries(&self) -> Vec<Arc<GraphEntry>> {
+        self.map
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect()
     }
 
     pub fn is_empty(&self) -> bool {

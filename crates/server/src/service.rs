@@ -16,7 +16,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use graphblas_core::exec::pool_status;
-use graphblas_core::Context;
+use graphblas_core::{snapshot_stats, Context};
 
 use crate::engine;
 use crate::graphs::Registry;
@@ -158,8 +158,9 @@ impl Service {
         &self.ctx
     }
 
-    /// Render the `STATS` report: one `global` line, one `tenant` line
-    /// per registered tenant (latencies in microseconds).
+    /// Render the `STATS` report: one `global` line, one `snapshot`
+    /// observability line, one `tenant` line per registered tenant
+    /// (latencies in microseconds).
     pub fn stats_report(&self) -> String {
         let pool = pool_status();
         let mut out = String::new();
@@ -173,6 +174,25 @@ impl Service {
             self.stats.max_batch.load(Ordering::Relaxed),
             pool.width,
             pool.queued,
+        );
+        // MVCC/compaction observability: process-wide counters from the
+        // engine, plus the sealed-run backlog summed over our graphs.
+        let snap = snapshot_stats();
+        let sealed_runs: usize = self
+            .graphs
+            .entries()
+            .iter()
+            .map(|e| e.matrix.delta_stats().run_count)
+            .sum();
+        let _ = write!(
+            out,
+            "\nsnapshot active={} read_epoch={} sealed_runs={} compactions={} compacted_bytes={} bg_flushes={}",
+            snap.snapshots_active,
+            snap.last_read_epoch,
+            sealed_runs,
+            snap.compactions,
+            snap.compacted_bytes,
+            snap.background_flushes,
         );
         for t in self.sched.tenants() {
             let (submitted, completed, shed, errors) = t.counters.snapshot();
@@ -278,6 +298,11 @@ mod tests {
             panic!("expected stats")
         };
         assert!(report.contains("tenant t "), "{report}");
+        // The snapshot observability line is always present, and the
+        // BFS above read through at least one MVCC snapshot.
+        assert!(report.contains("\nsnapshot active="), "{report}");
+        assert!(report.contains("sealed_runs="), "{report}");
+        assert!(report.contains("compactions="), "{report}");
         svc.shutdown();
         assert!(matches!(
             svc.submit(

@@ -27,14 +27,19 @@ cargo test -q --workspace
 echo "== cargo test -q -p graphblas-core --no-default-features (sequential path)"
 cargo test -q -p graphblas-core --no-default-features
 
+# Benches must at least compile (they are exercised manually / by the
+# reproduce script, not in CI hot path).
+echo "== cargo bench --no-run"
+cargo bench --no-run --quiet
+
 # Thread matrix: the pool width and default degree follow
 # GRB_TEST_THREADS, and the determinism suites (serial-vs-parallel,
-# deferred-vs-eager pending updates, and the query service's
-# admission/fairness/write-isolation properties) must hold at every
-# count.
+# deferred-vs-eager pending updates, MVCC snapshot isolation, and the
+# query service's admission/fairness/write-isolation properties) must
+# hold at every count.
 for threads in 1 2 8; do
-    echo "== GRB_TEST_THREADS=$threads cargo test -q --test par_determinism --test delta_equivalence"
-    GRB_TEST_THREADS="$threads" cargo test -q --test par_determinism --test delta_equivalence
+    echo "== GRB_TEST_THREADS=$threads cargo test -q --test par_determinism --test delta_equivalence --test snapshot_isolation"
+    GRB_TEST_THREADS="$threads" cargo test -q --test par_determinism --test delta_equivalence --test snapshot_isolation
     echo "== GRB_TEST_THREADS=$threads cargo test -q -p server --test admission --test write_during_bfs"
     GRB_TEST_THREADS="$threads" cargo test -q -p server --test admission --test write_during_bfs
 done

@@ -1,0 +1,63 @@
+//! End-to-end check of the environment-variable configuration layer:
+//! `GRB_DELTA_RUN_CAP` and `GRB_FLUSH_WINDOW_MS` are read (and cached)
+//! the first time any delta log consults them, sit *below* the
+//! session-scoped `Config` overrides, and *above* the compiled-in
+//! defaults.
+//!
+//! This file holds exactly one `#[test]`: integration-test binaries run
+//! in their own process, so setting the variables before first use is
+//! race-free here and cannot leak into the rest of the suite.
+
+use graphblas_core::prelude::*;
+use graphblas_core::storage::{delta, snapshot};
+
+#[test]
+fn env_vars_configure_run_cap_and_flush_window() {
+    // Before ANY delta-log use in this process: both OnceLock caches
+    // are still cold.
+    std::env::set_var("GRB_DELTA_RUN_CAP", "5");
+    std::env::set_var("GRB_FLUSH_WINDOW_MS", "0");
+
+    // Resolution: no session override → the env value wins.
+    assert_eq!(delta::run_cap(), 5);
+    assert_eq!(
+        snapshot::flush_window(),
+        None,
+        "window 0 disables the time trigger"
+    );
+
+    // The cap is live in the storage layer: eleven pending updates at
+    // cap 5 seal at least two sorted runs (the compiled-in default of
+    // 4096 would seal none).
+    let m = Matrix::<f64>::new(8, 8).unwrap();
+    for k in 0..11usize {
+        m.set(k % 8, k / 8, k as f64).unwrap();
+    }
+    let stats = m.delta_stats();
+    assert!(
+        stats.run_count >= 2,
+        "env cap should have sealed runs, got {stats:?}"
+    );
+
+    // Session scope beats the environment…
+    delta::set_session_run_cap(Some(2));
+    snapshot::set_session_flush_window_ms(Some(7));
+    assert_eq!(delta::run_cap(), 2);
+    assert_eq!(
+        snapshot::flush_window(),
+        Some(std::time::Duration::from_millis(7))
+    );
+
+    // …and clearing the session falls back to the (cached) env values,
+    // not the defaults.
+    delta::set_session_run_cap(None);
+    snapshot::set_session_flush_window_ms(None);
+    assert_eq!(delta::run_cap(), 5);
+    assert_eq!(snapshot::flush_window(), None);
+
+    // The deferred state still reads correctly through the snapshot
+    // path with the tiny cap.
+    let snap = m.snapshot();
+    assert_eq!(snap.nvals().unwrap(), 11);
+    assert_eq!(snap.get(3, 0).unwrap(), Some(3.0));
+}

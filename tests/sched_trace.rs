@@ -120,11 +120,13 @@ fn wide_dag_runs_on_multiple_workers() {
     }
 }
 
-/// Pending point updates flush as first-class DAG nodes: the trace
-/// carries one `"flush"` event (interior dependency, so `seq == None`)
-/// with the delta-merge statistics, under both scheduler policies.
+/// Pending point updates reach kernels as first-class DAG nodes: kernel
+/// input capture takes the epoch's non-draining *overlay* node, so the
+/// trace carries one `"overlay"` event (interior dependency, so
+/// `seq == None`) with the delta-merge statistics, under both scheduler
+/// policies. The source handle's log is untouched by the capture.
 #[test]
-fn flush_nodes_are_traced_with_merge_stats() {
+fn overlay_nodes_are_traced_with_merge_stats() {
     for policy in [SchedPolicy::Sequential, SchedPolicy::Parallel] {
         let ctx = Context::with_policy(Mode::Nonblocking, policy);
         ctx.enable_trace(true);
@@ -139,17 +141,45 @@ fn flush_nodes_are_traced_with_merge_stats() {
             .unwrap();
         ctx.wait().unwrap();
         let trace = ctx.take_trace();
-        let flushes: Vec<_> = trace.iter().filter(|e| e.kind == "flush").collect();
-        assert_eq!(flushes.len(), 1, "policy {policy:?}: {trace:?}");
-        let f = flushes[0];
+        let overlays: Vec<_> = trace.iter().filter(|e| e.kind == "overlay").collect();
+        assert_eq!(overlays.len(), 1, "policy {policy:?}: {trace:?}");
+        let f = overlays[0];
         assert_eq!(f.pending_len, 11);
         assert_eq!(f.merged_rows, 10); // (0,0) and (0,1) share row 0
-        assert!(f.seq.is_none(), "flush is an interior dependency");
+        assert!(f.seq.is_none(), "overlay is an interior dependency");
         assert_eq!((f.rows, f.cols), (N, N));
-        for e in trace.iter().filter(|e| e.kind != "flush") {
+        for e in trace.iter().filter(|e| e.kind != "overlay") {
             assert_eq!((e.pending_len, e.merged_rows), (0, 0));
         }
+        // capture did not drain the handle's log — the pending updates
+        // are still buffered (the overlay merge observed, not consumed)
+        assert_eq!(a.delta_stats().pending_len, 11);
     }
+}
+
+/// A completion-forcing read on a handle with pending updates still
+/// drains the log (eager flush), while the overlay capture above never
+/// does — the two sides of the read path.
+#[test]
+fn forcing_read_drains_the_log() {
+    let _ctx = Context::with_policy(Mode::Nonblocking, SchedPolicy::Sequential);
+    let a = random_matrix(7, 0.05);
+    let before = a.nvals().unwrap();
+    for k in 0..10 {
+        a.set(k, k, 1).unwrap();
+    }
+    a.remove(k_absent(), k_absent()).unwrap();
+    assert_eq!(a.delta_stats().pending_len, 11);
+    let after = a.nvals().unwrap(); // forces: drains the log
+    assert_eq!(a.delta_stats().pending_len, 0);
+    assert!(after >= before.saturating_sub(11));
+    assert_eq!(a.get(3, 3).unwrap(), Some(1));
+}
+
+/// An in-bounds coordinate `random_matrix` never populates densely —
+/// used as a guaranteed-harmless removeElement target.
+fn k_absent() -> usize {
+    N - 1
 }
 
 /// The capi facade exposes the same hooks on the global context.

@@ -1,0 +1,307 @@
+//! PR acceptance property for MVCC snapshots (`storage::snapshot`): a
+//! snapshot taken at epoch E observes **bitwise** the state at E — no
+//! matter how many writes, forcing reads, background flushes, or run
+//! compactions happen afterwards — across execution modes, storage
+//! formats, and intra-kernel parallelism degrees, with NaN / ±∞ / -0.0
+//! payloads included. The reference is an independently-maintained
+//! shadow map, so the check is not circular through the overlay merge.
+//!
+//! Every test pins the session delta run cap to 3 so even
+//! proptest-sized programs seal runs and trip the LSM compactor.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use graphblas_core::par;
+use graphblas_core::prelude::*;
+use graphblas_core::storage::delta;
+use graphblas_core::SchedPolicy;
+use proptest::prelude::*;
+
+const N: usize = 16;
+const DEGREES: [usize; 3] = [1, 2, 8];
+
+/// Seal runs aggressively so snapshots routinely span several sealed
+/// runs plus an unsorted tail, and compaction actually fires.
+fn tiny_runs() {
+    delta::set_session_run_cap(Some(3));
+}
+
+/// Decode a strategy byte into an f64 payload; low codes are the
+/// adversarial specials (NaN, ±∞, -0.0).
+fn fval(code: u8) -> f64 {
+    match code {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -0.0,
+        c => (f64::from(c) - 128.0) * 0.625,
+    }
+}
+
+/// One step of a random program over a matrix.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Pending-buffer append.
+    Set(usize, usize, u8),
+    /// Tombstone append.
+    Remove(usize, usize),
+    /// Take a snapshot here; it must forever read the state at this
+    /// point.
+    Snap,
+    /// A completion-forcing read: drains the log and installs a new
+    /// base — live snapshots must not notice.
+    Force,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..N, 0..N, any::<u8>()).prop_map(|(i, j, c)| Step::Set(i, j, c)),
+        (0..N, 0..N, any::<u8>()).prop_map(|(i, j, c)| Step::Set(i, j, c)),
+        (0..N, 0..N, any::<u8>()).prop_map(|(i, j, c)| Step::Set(i, j, c)),
+        (0..N, 0..N).prop_map(|(i, j)| Step::Remove(i, j)),
+        Just(Step::Snap),
+        Just(Step::Force),
+    ]
+}
+
+type Shadow = BTreeMap<(usize, usize), u64>;
+
+fn shadow_tuples(s: &Shadow) -> Vec<(usize, usize, u64)> {
+    s.iter().map(|(&(i, j), &b)| (i, j, b)).collect()
+}
+
+fn matrix_bits(m: &Matrix<f64>) -> Vec<(usize, usize, u64)> {
+    m.extract_tuples()
+        .unwrap()
+        .into_iter()
+        .map(|(i, j, v)| (i, j, v.to_bits()))
+        .collect()
+}
+
+fn snapshot_bits(s: &MatrixSnapshot<f64>) -> Vec<(usize, usize, u64)> {
+    s.extract_tuples()
+        .unwrap()
+        .into_iter()
+        .map(|(i, j, v)| (i, j, v.to_bits()))
+        .collect()
+}
+
+/// Interpret `steps`, pairing every snapshot with the shadow state at
+/// its instant; verify every pair after the whole program (writes,
+/// forces, compactions) has run.
+fn check_program(steps: &[Step], format: Option<Format>) -> std::result::Result<(), String> {
+    let m = Matrix::<f64>::new(N, N).unwrap();
+    if let Some(f) = format {
+        m.set_format(f).unwrap();
+    }
+    let mut model = Shadow::new();
+    let mut snaps: Vec<(MatrixSnapshot<f64>, Shadow)> = Vec::new();
+    for step in steps {
+        match *step {
+            Step::Set(i, j, c) => {
+                m.set(i, j, fval(c)).unwrap();
+                model.insert((i, j), fval(c).to_bits());
+            }
+            Step::Remove(i, j) => {
+                m.remove(i, j).unwrap();
+                model.remove(&(i, j));
+            }
+            Step::Snap => snaps.push((m.snapshot(), model.clone())),
+            Step::Force => {
+                let _ = m.nvals().unwrap();
+            }
+        }
+    }
+    // One final snapshot so every program checks at least one.
+    snaps.push((m.snapshot(), model.clone()));
+    let _ = m.nvals().unwrap(); // drain whatever is still pending
+    for (k, (snap, at)) in snaps.iter().enumerate() {
+        let want = shadow_tuples(at);
+        if snap.nvals().unwrap() != at.len() {
+            return Err(format!("snapshot {k}: nvals diverged"));
+        }
+        let got = snapshot_bits(snap);
+        if got != want {
+            return Err(format!(
+                "snapshot {k}: tuples diverged\n got {got:?}\nwant {want:?}"
+            ));
+        }
+        // The frozen-handle path the server uses: to_matrix() shares
+        // the overlay node with the snapshot and must read the same.
+        let frozen = snap.to_matrix();
+        if matrix_bits(&frozen) != want {
+            return Err(format!("snapshot {k}: to_matrix() diverged"));
+        }
+        // Point probes walk sealed runs newest-first, not the merge.
+        for &(i, j, bits) in want.iter().take(4) {
+            if snap.get(i, j).unwrap().map(f64::to_bits) != Some(bits) {
+                return Err(format!("snapshot {k}: get({i},{j}) diverged"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run `f` with the intra-kernel degree pinned to `k` and the cost
+/// model forced so even proptest-sized fixtures chunk.
+fn at_degree<R>(k: usize, f: impl FnOnce() -> R) -> R {
+    par::with_cost_model(1, 0, || par::with_parallelism(k, f))
+}
+
+const FORMATS: [Option<Format>; 3] = [None, Some(Format::Csr), Some(Format::Bitmap)];
+
+fn contexts() -> [Context; 3] {
+    [
+        Context::blocking(),
+        Context::with_policy(Mode::Nonblocking, SchedPolicy::Sequential),
+        Context::with_policy(Mode::Nonblocking, SchedPolicy::Parallel),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The acceptance property: at every (mode, format, degree), a
+    /// snapshot at epoch E reads bitwise the shadow state at E.
+    #[test]
+    fn snapshot_reads_the_state_at_its_epoch(
+        steps in proptest::collection::vec(step_strategy(), 1..32),
+    ) {
+        tiny_runs();
+        for ctx in contexts() {
+            // Snapshots are context-independent, but run the program
+            // under each context's completion discipline anyway: in
+            // blocking mode Force has already drained, in nonblocking
+            // the log is deep.
+            let _ = &ctx;
+            for format in FORMATS {
+                for k in DEGREES {
+                    if let Err(msg) = at_degree(k, || check_program(&steps, format)) {
+                        panic!(
+                            "mode {:?} format {:?} degree {}: {}",
+                            ctx.mode(), format, k, msg
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A snapshot of a vector behaves identically (the vector-side
+    /// overlay shares no code path accidents with the matrix side).
+    #[test]
+    fn vector_snapshot_reads_the_state_at_its_epoch(
+        raw in proptest::collection::vec((0..N, any::<u8>(), any::<bool>()), 1..48),
+    ) {
+        tiny_runs();
+        let v = Vector::<f64>::new(N).unwrap();
+        let mut model: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut snaps = Vec::new();
+        for (step, &(i, c, put)) in raw.iter().enumerate() {
+            if put {
+                v.set(i, fval(c)).unwrap();
+                model.insert(i, fval(c).to_bits());
+            } else {
+                v.remove(i).unwrap();
+                model.remove(&i);
+            }
+            if step % 5 == 4 {
+                snaps.push((v.snapshot(), model.clone()));
+            }
+            if step % 11 == 10 {
+                let _ = v.nvals().unwrap();
+            }
+        }
+        snaps.push((v.snapshot(), model.clone()));
+        let _ = v.nvals().unwrap();
+        for (snap, at) in &snaps {
+            let want: Vec<(usize, u64)> = at.iter().map(|(&i, &b)| (i, b)).collect();
+            let got: Vec<(usize, u64)> = snap
+                .extract_tuples()
+                .unwrap()
+                .into_iter()
+                .map(|(i, x)| (i, x.to_bits()))
+                .collect();
+            prop_assert_eq!(&got, &want);
+            prop_assert_eq!(snap.nvals().unwrap(), at.len());
+        }
+    }
+}
+
+/// The concurrent form of the property: a writer thread hammers the
+/// matrix (sets, removes, and forcing reads that install new bases)
+/// while the reader re-reads one pinned snapshot; every read must see
+/// the pre-writer state, and no read may block on the writer's merges.
+#[test]
+fn snapshot_stable_under_concurrent_writes_and_forces() {
+    tiny_runs();
+    const M: usize = 64;
+    let m = Matrix::<f64>::new(M, M).unwrap();
+    for i in 0..M {
+        m.set(i, i, i as f64).unwrap();
+    }
+    let snap = m.snapshot();
+    let want: Vec<(usize, usize, u64)> = (0..M).map(|i| (i, i, (i as f64).to_bits())).collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let m = m.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut k = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let (i, j) = (k * 7 % M, k * 13 % M);
+                if k % 5 == 4 {
+                    m.remove(i, j).unwrap();
+                } else {
+                    m.set(i, j, k as f64).unwrap();
+                }
+                if k % 97 == 96 {
+                    // Completion-forcing read: drains the log and
+                    // installs a fresh base under the snapshot.
+                    let _ = m.nvals().unwrap();
+                }
+                k += 1;
+            }
+        })
+    };
+
+    for _ in 0..200 {
+        assert_eq!(snapshot_bits(&snap), want);
+        assert_eq!(snap.nvals().unwrap(), M);
+        assert_eq!(snap.get(7, 7).unwrap(), Some(7.0));
+        assert_eq!(snap.get(0, 1).unwrap(), None);
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+}
+
+/// Same-epoch snapshots share one overlay node even when taken from
+/// clones on different threads.
+#[test]
+fn cross_thread_snapshots_agree() {
+    tiny_runs();
+    let m = Matrix::<f64>::new(8, 8).unwrap();
+    for i in 0..8 {
+        m.set(i, 7 - i, 1.0 + i as f64).unwrap();
+    }
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let m = m.clone();
+            std::thread::spawn(move || {
+                let s = m.snapshot();
+                (s.epoch(), snapshot_bits(&s))
+            })
+        })
+        .collect();
+    let mut results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    results.dedup();
+    assert_eq!(
+        results.len(),
+        1,
+        "all same-epoch snapshots read the same bits"
+    );
+}
