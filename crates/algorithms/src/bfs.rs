@@ -2,6 +2,14 @@
 //! expansion is `q<!visited> = q ⊕.⊗ A` with the Boolean `lor.land`
 //! semiring, the complemented-mask pruning being exactly the trick the BC
 //! example's forward sweep uses (paper §VII-C).
+//!
+//! Every frontier step goes through the SpMSpV direction dispatch
+//! (`kernel::spmspv`): sparse frontiers are *pushed* (work proportional
+//! to the frontier's out-degree sum, not nnz(A)), while dense frontiers
+//! near the traversal peak are *pulled* against the complemented visited
+//! mask so already-discovered vertices are never expanded. The switch is
+//! per-level and automatic; enable tracing on the [`Context`] to observe
+//! the chosen direction per step.
 
 use graphblas_core::prelude::*;
 
@@ -29,6 +37,11 @@ pub fn bfs_levels(ctx: &Context, a: &Matrix<bool>, src: Index) -> Result<Vec<Opt
         ctx.assign_scalar_vector(&levels, &q, NoAccum, d, ALL, &Descriptor::default())?;
         // q<!levels> = q lor.land A (replace): expand and prune visited
         ctx.vxm(&q, &levels, NoAccum, lor_land(), &q, a, &push)?;
+        // Drain through the context's scheduler (a no-op in blocking
+        // mode): the nvals() force below would complete the level too,
+        // but outside the scheduler — and so outside the execution
+        // trace that records each level's push/pull choice.
+        ctx.wait()?;
         if q.nvals()? == 0 {
             break;
         }
@@ -97,10 +110,11 @@ pub fn bfs_parents(ctx: &Context, a: &Matrix<bool>, src: Index) -> Result<Vec<Op
         .complement_mask()
         .structural_mask()
         .replace();
+    // hoisted out of the loop: the replace descriptor clears it each step
+    let next = Vector::<u64>::new(n)?;
     loop {
         // next<!parents> = frontier min.first A: each discovered vertex
         // gets the smallest frontier id pointing at it
-        let next = Vector::<u64>::new(n)?;
         ctx.vxm(
             &next,
             &parents,
@@ -110,6 +124,7 @@ pub fn bfs_parents(ctx: &Context, a: &Matrix<bool>, src: Index) -> Result<Vec<Op
             a,
             &desc,
         )?;
+        ctx.wait()?; // trace-visible completion, as in bfs_levels
         if next.nvals()? == 0 {
             break;
         }

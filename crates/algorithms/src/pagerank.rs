@@ -1,6 +1,11 @@
 //! PageRank as GraphBLAS primitives: one `vxm` over the arithmetic
 //! semiring per power iteration, plus element-wise scaling and a scalar
 //! reduction for the dangling-mass correction.
+//!
+//! The per-iteration `vxm` goes through the SpMSpV direction dispatch:
+//! the rank vector is dense, so the cost model settles on the pull/dense
+//! side and PageRank keeps its streaming row-walk — while still sharing
+//! the cached degree vectors with the traversal algorithms.
 
 use graphblas_core::prelude::*;
 

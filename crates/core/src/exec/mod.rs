@@ -176,6 +176,7 @@ impl Context {
                 pending_len: 0,
                 merged_rows: 0,
                 fused: Some(note),
+                direction: None,
             });
         }
     }

@@ -23,8 +23,9 @@ use super::queue::Dag;
 use super::trace::{TraceEvent, TraceSink};
 #[cfg(feature = "parallel")]
 use super::workers::{self, TaskKind};
-use crate::kernel::{merge, par};
+use crate::kernel::{merge, par, spmspv};
 
+#[allow(clippy::too_many_arguments)] // internal plumbing: one call per driver
 fn record(
     sink: Option<&TraceSink>,
     dag: &Dag,
@@ -33,6 +34,7 @@ fn record(
     worker: usize,
     stats: par::ParStats,
     flush: merge::FlushStats,
+    direction: Option<&'static str>,
 ) {
     let Some(sink) = sink else { return };
     let end_ns = sink.now_ns();
@@ -56,6 +58,7 @@ fn record(
         pending_len: flush.pending_len,
         merged_rows: flush.merged_rows,
         fused: None,
+        direction,
     });
 }
 
@@ -67,15 +70,20 @@ fn mark_ready(sink: Option<&TraceSink>, dag: &Dag, idx: usize) {
     }
 }
 
-/// Compute one node and return its intra-kernel chunking and delta-flush
-/// stats. Both thread-locals are drained *before* the compute too, so a
-/// stale carry-over from non-scheduler kernel work on this thread can't
-/// be attributed to the node.
-fn compute_node(dag: &Dag, idx: usize) -> (par::ParStats, merge::FlushStats) {
+/// Compute one node and return its intra-kernel chunking, delta-flush,
+/// and SpMSpV-direction stats. All three thread-locals are drained
+/// *before* the compute too, so a stale carry-over from non-scheduler
+/// kernel work on this thread can't be attributed to the node.
+fn compute_node(dag: &Dag, idx: usize) -> (par::ParStats, merge::FlushStats, Option<&'static str>) {
     let _ = par::take_stats();
     let _ = merge::take_flush_stats();
+    let _ = spmspv::take_direction();
     dag.nodes[idx].node.compute();
-    (par::take_stats(), merge::take_flush_stats())
+    (
+        par::take_stats(),
+        merge::take_flush_stats(),
+        spmspv::take_direction(),
+    )
 }
 
 /// Drain the DAG on the calling thread in FIFO ready order. This is the
@@ -91,8 +99,8 @@ pub(crate) fn run_sequential(dag: &Dag, sink: Option<&TraceSink>) {
     }
     while let Some(idx) = queue.pop_front() {
         let start_ns = sink.map_or(0, TraceSink::now_ns);
-        let (stats, flush) = compute_node(dag, idx);
-        record(sink, dag, idx, start_ns, 0, stats, flush);
+        let (stats, flush, direction) = compute_node(dag, idx);
+        record(sink, dag, idx, start_ns, 0, stats, flush, direction);
         for &dep in &dag.nodes[idx].dependents {
             if dag.nodes[dep].pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                 mark_ready(sink, dag, dep);
@@ -124,8 +132,8 @@ pub(crate) fn run_parallel(dag: &Dag, sink: Option<&TraceSink>) {
     let pool = workers::pool();
     let run = |batch: &workers::BatchState, idx: usize, worker: usize| {
         let start_ns = sink.map_or(0, TraceSink::now_ns);
-        let (stats, flush) = compute_node(dag, idx);
-        record(sink, dag, idx, start_ns, worker, stats, flush);
+        let (stats, flush, direction) = compute_node(dag, idx);
+        record(sink, dag, idx, start_ns, worker, stats, flush, direction);
         for &dep in &dag.nodes[idx].dependents {
             if dag.nodes[dep].pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                 mark_ready(sink, dag, dep);

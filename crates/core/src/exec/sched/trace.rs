@@ -76,6 +76,11 @@ pub struct TraceEvent {
     /// consumer, and by which rewrite. Timings are zero for these events
     /// (the pass runs before the clock-bearing schedulers start).
     pub fused: Option<crate::exec::FusedNote>,
+    /// For matrix–vector products: the direction the SpMSpV dispatch
+    /// chose (`"push"`, `"pull"`, or `"dense"`); `None` for every other
+    /// kind. This is the trace evidence that direction optimization
+    /// actually switches mid-traversal.
+    pub direction: Option<&'static str>,
 }
 
 impl TraceEvent {
@@ -144,6 +149,7 @@ mod tests {
             pending_len: 0,
             merged_rows: 0,
             fused: None,
+            direction: None,
         };
         assert_eq!(e.queue_ns(), 50);
         assert_eq!(e.run_ns(), 250);
@@ -171,6 +177,7 @@ mod tests {
             pending_len: 0,
             merged_rows: 0,
             fused: None,
+            direction: None,
         });
         let ev = sink.into_events();
         assert_eq!(ev.len(), 1);

@@ -15,6 +15,7 @@ pub mod mxm;
 pub mod mxv;
 pub mod par;
 pub mod reduce;
+pub mod spmspv;
 pub(crate) mod util;
 pub mod write;
 

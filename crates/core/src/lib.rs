@@ -57,6 +57,7 @@ pub use exec::{
 };
 pub use index::{Index, IndexSelection, ALL};
 pub use kernel::par;
+pub use kernel::spmspv;
 pub use mask::NoMask;
 pub use object::{Matrix, Vector};
 pub use scalar::{AsBool, NumScalar, Scalar};

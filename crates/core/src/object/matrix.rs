@@ -312,6 +312,21 @@ impl<T: Scalar> Matrix<T> {
         self.delta.lock().stats()
     }
 
+    /// Per-row stored-element counts (`row_degrees[i]` = out-degree of
+    /// vertex `i` for an adjacency matrix). Forces completion; the
+    /// result is memoized on the backing store, so repeated calls — and
+    /// the SpMSpV direction heuristic, which consults the same cache —
+    /// are O(1) until the next merge swaps the store.
+    pub fn row_degrees(&self) -> Result<Arc<[usize]>> {
+        Ok(self.forced_storage()?.row_degrees())
+    }
+
+    /// Per-column stored-element counts (in-degrees). Memoized like
+    /// [`Matrix::row_degrees`].
+    pub fn col_degrees(&self) -> Result<Arc<[usize]>> {
+        Ok(self.forced_storage()?.col_degrees())
+    }
+
     // ----- storage-format hints (GxB-style per-object options) -----
 
     /// The storage format currently holding this object's value. Forces

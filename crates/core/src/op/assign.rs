@@ -10,16 +10,18 @@ use crate::accum::Accumulate;
 use crate::descriptor::Descriptor;
 use crate::error::{dim_check, Result};
 use crate::exec::Context;
-use crate::index::IndexSelection;
+use crate::index::{Index, IndexSelection};
 use crate::kernel::assign::{
     assign_matrix, assign_scalar_matrix, assign_scalar_vector, assign_vector,
 };
 use crate::kernel::write::{write_matrix, write_vector};
+use crate::mask::MaskVec;
 use crate::object::mask_arg::{MatrixMask, VectorMask};
 use crate::object::matrix::oriented_storage;
 use crate::object::{Matrix, Vector};
 use crate::op::{check_mask_dims1, check_mask_dims2, check_no_duplicates, effective_dims};
 use crate::scalar::Scalar;
+use crate::storage::vec::SparseVec;
 
 impl Context {
     /// `GrB_assign` (matrix): `C<Mask>(rows, cols) ⊙= A`.
@@ -213,9 +215,52 @@ impl Context {
         Ac: Accumulate<T>,
         Mk: VectorMask,
     {
+        check_mask_dims1(mask.mask_size(), w.size())?;
+
+        // Whole-vector masked scalar fill (`w<mask> = value` over
+        // `GrB_ALL`, the BFS `visited<q> = true` shape): the write stage
+        // only reads Z at mask-admitted positions, so materializing ALL
+        // and building the dense fill is O(n) of wasted work per call —
+        // build Z straight from the mask pattern instead, making the
+        // whole operation O(|mask| + nvals(w)).
+        if !Ac::IS_ACCUM && mask.mask_size().is_some() && matches!(indices, IndexSelection::All) {
+            let w_node = w.capture();
+            let msnap = mask.snap(desc);
+            let mut deps: Vec<_> = vec![w_node.clone() as _];
+            deps.extend(msnap.deps());
+            let replace = desc.is_replace();
+            let eval = move || {
+                let w_old = w_node.ready_storage()?;
+                let mvec = msnap.materialize()?;
+                let z = match &mvec {
+                    MaskVec::Pattern {
+                        indices,
+                        complement: false,
+                    } => SparseVec::from_sorted_parts(
+                        w_old.size(),
+                        indices.clone(),
+                        vec![value.clone(); indices.len()],
+                    ),
+                    // complement (or absent) patterns admit O(n)
+                    // positions anyway: keep the dense fill
+                    _ => {
+                        let all: Vec<Index> = (0..w_old.size()).collect();
+                        assign_scalar_vector(&w_old, &value, &all, &crate::accum::NoAccum)
+                    }
+                };
+                Ok(write_vector(
+                    &w_old,
+                    z,
+                    &crate::accum::NoAccum,
+                    &mvec,
+                    replace,
+                ))
+            };
+            return self.submit_vector("assign", w, deps, Box::new(eval));
+        }
+
         let indices = indices.resolve(w.size())?;
         check_no_duplicates(&indices, "vector")?;
-        check_mask_dims1(mask.mask_size(), w.size())?;
 
         // Single-index no-accum unmasked scalar assign == point update;
         // see assign_scalar_matrix.
@@ -280,6 +325,41 @@ mod tests {
         ctx.assign_scalar_vector(&delta, NoMask, NoAccum, -2.0, ALL, &Descriptor::default())
             .unwrap();
         assert_eq!(delta.to_dense().unwrap(), vec![Some(-2.0); 4]);
+    }
+
+    #[test]
+    fn masked_whole_vector_fill_touches_only_admitted_positions() {
+        // exercises the O(|mask|) GrB_ALL fast path: merge mode keeps
+        // unmasked entries, replace mode drops them, complement masks
+        // take the dense fallback — all three must agree with the
+        // per-position semantics
+        let ctx = Context::blocking();
+        let mask = Vector::from_tuples(5, &[(1, true), (3, true), (4, false)]).unwrap();
+        let w = Vector::from_tuples(5, &[(0, 9), (3, 9)]).unwrap();
+        ctx.assign_scalar_vector(&w, &mask, NoAccum, 7, ALL, &Descriptor::default())
+            .unwrap();
+        assert_eq!(w.extract_tuples().unwrap(), vec![(0, 9), (1, 7), (3, 7)]);
+
+        let w = Vector::from_tuples(5, &[(0, 9), (3, 9)]).unwrap();
+        ctx.assign_scalar_vector(&w, &mask, NoAccum, 7, ALL, &Descriptor::default().replace())
+            .unwrap();
+        assert_eq!(w.extract_tuples().unwrap(), vec![(1, 7), (3, 7)]);
+
+        let w = Vector::from_tuples(5, &[(0, 9), (3, 9)]).unwrap();
+        ctx.assign_scalar_vector(
+            &w,
+            &mask,
+            NoAccum,
+            7,
+            ALL,
+            &Descriptor::default().complement_mask(),
+        )
+        .unwrap();
+        // complement of {1, 3}: value-false and absent positions admit
+        assert_eq!(
+            w.extract_tuples().unwrap(),
+            vec![(0, 7), (2, 7), (3, 9), (4, 7)]
+        );
     }
 
     #[test]

@@ -11,15 +11,13 @@ use crate::descriptor::Descriptor;
 use crate::error::{dim_check, Result};
 use crate::exec::fuse::VecProducer;
 use crate::exec::{Completable, Context};
-use crate::kernel::mxv::{mxv as mxv_kernel, mxv_bitmap, vxm as vxm_kernel};
+use crate::kernel::spmspv;
 use crate::kernel::write::write_vector;
 use crate::mask::MaskVec;
 use crate::object::mask_arg::VectorMask;
-use crate::object::matrix::oriented_storage;
 use crate::object::{Matrix, Vector};
 use crate::op::{check_mask_dims1, effective_dims};
 use crate::scalar::Scalar;
-use crate::storage::engine::Layout;
 use crate::storage::vec::SparseVec;
 
 impl Context {
@@ -78,16 +76,8 @@ impl Context {
             let semiring = semiring.clone();
             move |mvec: &MaskVec| -> Result<SparseVec<D3>> {
                 let u_st = u_node.ready_storage()?;
-                // Bitmap pull fast path: A stored as a bitmap and read
-                // untransposed — word-walk its presence bits against the
-                // scattered vector instead of converting to CSR.
-                let t = match (tr_a, a_node.ready_storage()?.layout()) {
-                    (false, Layout::Bitmap(a_bits)) => mxv_bitmap(&semiring, a_bits, &u_st, mvec),
-                    _ => {
-                        let a_st = oriented_storage(&a_node, tr_a)?;
-                        mxv_kernel(&semiring, &a_st, &u_st, mvec)
-                    }
-                };
+                let a_st = a_node.ready_storage()?;
+                let t = spmspv::mxv(&semiring, &a_st, &u_st, tr_a, mvec);
                 if let Some(e) = semiring
                     .add()
                     .poll_error()
@@ -182,9 +172,9 @@ impl Context {
             let (a_node, u_node) = (a_node.clone(), u_node.clone());
             let semiring = semiring.clone();
             move |mvec: &MaskVec| -> Result<SparseVec<D3>> {
-                let a_st = oriented_storage(&a_node, tr_a)?;
+                let a_st = a_node.ready_storage()?;
                 let u_st = u_node.ready_storage()?;
-                let t = vxm_kernel(&semiring, &u_st, &a_st, mvec);
+                let t = spmspv::vxm(&semiring, &u_st, &a_st, tr_a, mvec);
                 if let Some(e) = semiring
                     .add()
                     .poll_error()

@@ -151,6 +151,33 @@ macro_rules! num_scalar_float {
 }
 num_scalar_float!(f32, f64);
 
+/// Bitwise value equality for the built-in domains, used by the storage
+/// engine's symmetry probe. [`Scalar`] deliberately carries no `PartialEq`
+/// bound (user domains need none), and `PartialEq` would be wrong here
+/// anyway: the engine's determinism contract is *bitwise*, so `0.0` and
+/// `-0.0` must compare unequal and two NaNs with the same payload equal.
+/// Floats therefore compare by `to_bits`; unknown (user-defined) domains
+/// return `None`, which callers must treat as "not comparable".
+pub(crate) fn value_bits_eq<T: Scalar>(a: &T, b: &T) -> Option<bool> {
+    use std::any::Any;
+    let (a, b) = (a as &dyn Any, b as &dyn Any);
+    macro_rules! probe_eq {
+        ($($t:ty),*) => {$(
+            if let (Some(x), Some(y)) = (a.downcast_ref::<$t>(), b.downcast_ref::<$t>()) {
+                return Some(x == y);
+            }
+        )*};
+    }
+    probe_eq!(bool, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+    if let (Some(x), Some(y)) = (a.downcast_ref::<f32>(), b.downcast_ref::<f32>()) {
+        return Some(x.to_bits() == y.to_bits());
+    }
+    if let (Some(x), Some(y)) = (a.downcast_ref::<f64>(), b.downcast_ref::<f64>()) {
+        return Some(x.to_bits() == y.to_bits());
+    }
+    None
+}
+
 /// Lossy conversion between built-in domains (the C API's implicit domain
 /// cast, surfaced explicitly in Rust). Follows C conversion rules via `as`.
 pub trait CastFrom<S>: Sized {
@@ -255,6 +282,21 @@ mod tests {
     fn integer_division_by_zero_is_total() {
         assert_eq!(7i32.div(&0), 0);
         assert_eq!(7i32.div(&2), 3);
+    }
+
+    #[test]
+    fn value_bits_eq_is_bitwise_for_floats() {
+        assert_eq!(value_bits_eq(&1i32, &1i32), Some(true));
+        assert_eq!(value_bits_eq(&1u8, &2u8), Some(false));
+        assert_eq!(value_bits_eq(&true, &true), Some(true));
+        // bitwise, not IEEE: -0.0 != 0.0, NaN == NaN (same payload)
+        assert_eq!(value_bits_eq(&0.0f64, &-0.0f64), Some(false));
+        assert_eq!(value_bits_eq(&f64::NAN, &f64::NAN), Some(true));
+        assert_eq!(value_bits_eq(&f32::NAN, &f32::NAN), Some(true));
+        // unknown domains are not comparable
+        #[derive(Clone, Debug)]
+        struct Opaque;
+        assert_eq!(value_bits_eq(&Opaque, &Opaque), None);
     }
 
     #[test]

@@ -20,9 +20,15 @@
 //! *compacts*, LSM-style: the adjacent pair of runs with the smallest
 //! combined length is merged into one (runs are seq-disjoint and
 //! oldest-first, so a pairwise merge of neighbours preserves cross-run
-//! last-write-wins exactly). Compaction bounds the k of every later
-//! k-way merge — and of every snapshot overlay probe — without ever
-//! touching the backing storage.
+//! last-write-wins exactly). A size-ratio guard keeps compaction from
+//! repeatedly rewriting a large run to absorb its small neighbours —
+//! pairs whose larger side exceeds [`SIZE_RATIO`]× the smaller are
+//! skipped until the run count reaches [`MAX_RUNS`]` + 2`, at which
+//! point the guard is waived so the count stays hard-bounded at
+//! `MAX_RUNS + 2`. Compaction bounds the k of every later k-way merge —
+//! and of every snapshot overlay probe — without ever touching the
+//! backing storage, and with write amplification linear (not quadratic)
+//! in the number of sealed runs.
 //!
 //! Keys are generic: matrices log `(row, col)` (row-major order, the
 //! order the CSR merge consumes), vectors log plain indices.
@@ -37,8 +43,18 @@ use std::time::Duration;
 /// The effective cap is resolved per push by [`run_cap`].
 pub const RUN_CAP: usize = 4096;
 
-/// Sealed-run count above which a log compacts neighbouring runs.
+/// Sealed-run count above which a log compacts neighbouring runs. With
+/// the [`SIZE_RATIO`] guard the count may float up to `MAX_RUNS + 2`
+/// before a merge is forced.
 pub const MAX_RUNS: usize = 8;
+
+/// Compaction size-ratio guard: an adjacent pair is only merged when the
+/// larger run is at most this many times the smaller one (or when the
+/// run count has reached `MAX_RUNS + 2` and a merge must be forced).
+/// Without the guard, a steady trickle of small sealed runs next to one
+/// large run makes every compaction rewrite the large run — quadratic
+/// total write amplification in the number of seals.
+pub const SIZE_RATIO: usize = 4;
 
 /// Pending-entry floor before a *time-windowed* background flush is
 /// armed. Programs doing a handful of point updates (the unit-test
@@ -138,6 +154,12 @@ pub struct DeltaLog<K, T> {
     /// A background flush for the current pending set is already queued
     /// (cleared on drain/clear, and by the flusher before it resolves).
     flush_scheduled: bool,
+    /// Lifetime total of entries rewritten by this log's compactions
+    /// (inputs to pairwise merges) — the per-log write-amplification
+    /// meter the regression tests assert against.
+    compacted_entries: usize,
+    /// Same, in bytes (`compacted_entries × size_of::<DeltaEntry>`).
+    compacted_bytes: usize,
 }
 
 impl<K, T> Default for DeltaLog<K, T> {
@@ -148,6 +170,8 @@ impl<K, T> Default for DeltaLog<K, T> {
             runs: Vec::new(),
             len: 0,
             flush_scheduled: false,
+            compacted_entries: 0,
+            compacted_bytes: 0,
         }
     }
 }
@@ -225,15 +249,27 @@ impl<K: Copy + Ord, T: Clone> DeltaLog<K, T> {
 
     /// Tiered compaction: while more than [`MAX_RUNS`] runs are held,
     /// merge the adjacent pair with the smallest combined length into
-    /// one run. Runs are seq-disjoint and oldest-first, so in a
-    /// neighbouring pair every right-run entry outranks every left-run
-    /// entry — the pairwise merge keeps cross-run last-write-wins (and
-    /// the original `seq` values) exactly.
+    /// one run — but only pairs whose size ratio is within
+    /// [`SIZE_RATIO`], so a big run is never rewritten just to absorb a
+    /// tiny neighbour. If no pair qualifies the count is allowed to
+    /// float, and once it exceeds `MAX_RUNS + 2` the guard is waived so
+    /// the count stays hard-bounded. Runs are seq-disjoint and
+    /// oldest-first, so in a neighbouring pair every right-run entry
+    /// outranks every left-run entry — the pairwise merge keeps
+    /// cross-run last-write-wins (and the original `seq` values)
+    /// exactly.
     fn compact(&mut self) {
         while self.runs.len() > MAX_RUNS {
-            let i = (0..self.runs.len() - 1)
-                .min_by_key(|&i| self.runs[i].len() + self.runs[i + 1].len())
-                .expect("more than one run");
+            let force = self.runs.len() > MAX_RUNS + 2;
+            let candidate = (0..self.runs.len() - 1)
+                .filter(|&i| {
+                    let (a, b) = (self.runs[i].len(), self.runs[i + 1].len());
+                    force || a.max(b) <= SIZE_RATIO * a.min(b).max(1)
+                })
+                .min_by_key(|&i| self.runs[i].len() + self.runs[i + 1].len());
+            let Some(i) = candidate else {
+                break; // every pair is lopsided; wait for the forced tier
+            };
             let (old, new) = {
                 let (a, b) = (&self.runs[i], &self.runs[i + 1]);
                 let merged = merge_adjacent(a, b);
@@ -243,6 +279,8 @@ impl<K: Copy + Ord, T: Clone> DeltaLog<K, T> {
             self.len -= entries_in;
             self.len += new.len();
             let bytes = entries_in * std::mem::size_of::<DeltaEntry<K, T>>();
+            self.compacted_entries += entries_in;
+            self.compacted_bytes += bytes;
             super::snapshot::note_compaction(entries_in, bytes);
             self.runs[i] = new;
             self.runs.remove(i + 1);
@@ -306,6 +344,20 @@ impl<K: Copy + Ord, T: Clone> DeltaLog<K, T> {
     /// flush).
     pub fn clear_flush_scheduled(&mut self) {
         self.flush_scheduled = false;
+    }
+
+    /// Lifetime entries rewritten by compaction (merge inputs) — the
+    /// write-amplification meter. Unlike the process-wide telemetry in
+    /// `storage::snapshot`, this counter is per-log and race-free.
+    #[inline]
+    pub fn compacted_entries(&self) -> usize {
+        self.compacted_entries
+    }
+
+    /// Lifetime bytes rewritten by compaction.
+    #[inline]
+    pub fn compacted_bytes(&self) -> usize {
+        self.compacted_bytes
     }
 
     /// Introspection snapshot: pending length, sealed-run count, epoch.
@@ -446,6 +498,84 @@ mod tests {
             .collect();
         let youngest = survivors.iter().max_by_key(|e| e.seq).unwrap();
         assert!(matches!(youngest.op, DeltaOp::Put(v) if v == rounds as i32 - 1));
+    }
+
+    /// Push `len` entries with keys disjoint from every other run and
+    /// seal them into one sorted run (sizes stay below the default
+    /// [`RUN_CAP`], so no implicit seal interferes).
+    fn sealed_run(log: &mut DeltaLog<usize, i32>, base: usize, len: usize) {
+        for k in 0..len {
+            log.push(base + k, DeltaOp::Put(k as i32));
+        }
+        log.seal();
+    }
+
+    #[test]
+    fn lopsided_pairs_are_skipped_until_forced() {
+        let mut log: DeltaLog<usize, i32> = DeltaLog::new();
+        // Alternate tiny/big so every adjacent pair violates the
+        // SIZE_RATIO guard — the old compactor would rewrite a 64-entry
+        // run to absorb each 4-entry neighbour.
+        let (tiny, big) = (4usize, 64usize);
+        for r in 0..MAX_RUNS + 1 {
+            let len = if r % 2 == 0 { tiny } else { big };
+            sealed_run(&mut log, r * 1000, len);
+        }
+        // One over MAX_RUNS, but no qualifying pair: the count floats
+        // and nothing has been rewritten.
+        assert_eq!(log.run_count(), MAX_RUNS + 1);
+        assert_eq!(log.compacted_entries(), 0);
+
+        sealed_run(&mut log, 9_000, tiny);
+        sealed_run(&mut log, 10_000, big);
+        // Past MAX_RUNS + 2 the guard is waived; the hard bound holds.
+        assert!(
+            log.run_count() <= MAX_RUNS + 2,
+            "forced compaction must bound runs, got {}",
+            log.run_count()
+        );
+        assert!(log.compacted_entries() > 0, "a forced merge happened");
+        // Nothing was lost: all keys are disjoint, so every pushed
+        // entry must survive the merges.
+        let total: usize = log.drain().iter().map(|r| r.len()).sum();
+        assert_eq!(total, 6 * tiny + 5 * big);
+    }
+
+    #[test]
+    fn compaction_write_amplification_is_bounded() {
+        let mut log: DeltaLog<usize, i32> = DeltaLog::new();
+        // Adversarial stream for the unguarded compactor: a steady
+        // alternation of small sealed runs and large ones. Without the
+        // ratio guard every seal past MAX_RUNS rewrites a large run to
+        // absorb a tiny neighbour; with it, merges happen within size
+        // tiers and total rewritten entries stay within a small
+        // constant of the data actually pushed.
+        let (tiny, big, rounds) = (8usize, 512usize, 12usize);
+        let mut pushed = 0usize;
+        for r in 0..rounds {
+            sealed_run(&mut log, r * 10_000, tiny);
+            pushed += tiny;
+            sealed_run(&mut log, r * 10_000 + 5_000, big);
+            pushed += big;
+        }
+        assert!(
+            log.run_count() <= MAX_RUNS + 2,
+            "run count must stay bounded, got {}",
+            log.run_count()
+        );
+        assert!(
+            log.compacted_entries() <= 4 * pushed,
+            "write amplification {} entries for {} pushed exceeds 4x",
+            log.compacted_entries(),
+            pushed
+        );
+        assert_eq!(
+            log.compacted_bytes(),
+            log.compacted_entries() * std::mem::size_of::<DeltaEntry<usize, i32>>()
+        );
+        // Disjoint keys: every entry survives compaction.
+        let total: usize = log.drain().iter().map(|r| r.len()).sum();
+        assert_eq!(total, pushed);
     }
 
     #[test]

@@ -149,6 +149,12 @@ pub struct MatrixStore<T> {
     row_view: OnceLock<Arc<Csr<T>>>,
     /// Memoized CSR of `A^T` (identity for `Csc` layouts).
     col_view: OnceLock<Arc<Csr<T>>>,
+    /// Memoized per-row stored-element counts (`len = nrows`).
+    row_degrees: OnceLock<Arc<[usize]>>,
+    /// Memoized per-column stored-element counts (`len = ncols`).
+    col_degrees: OnceLock<Arc<[usize]>>,
+    /// Memoized bitwise symmetry (`A == A^T`, values compared by bits).
+    symmetry: OnceLock<bool>,
 }
 
 impl<T> Clone for MatrixStore<T> {
@@ -160,6 +166,9 @@ impl<T> Clone for MatrixStore<T> {
             migrated_from: self.migrated_from,
             row_view: self.row_view.clone(),
             col_view: self.col_view.clone(),
+            row_degrees: self.row_degrees.clone(),
+            col_degrees: self.col_degrees.clone(),
+            symmetry: self.symmetry.clone(),
         }
     }
 }
@@ -173,6 +182,9 @@ impl<T: Scalar> MatrixStore<T> {
             migrated_from: None,
             row_view: OnceLock::new(),
             col_view: OnceLock::new(),
+            row_degrees: OnceLock::new(),
+            col_degrees: OnceLock::new(),
+            symmetry: OnceLock::new(),
         }
     }
 
@@ -225,6 +237,11 @@ impl<T: Scalar> MatrixStore<T> {
         };
         let mut store = Self::from_layout(nrows, ncols, layout);
         store.migrated_from = Some(from);
+        // cached properties describe the mathematical content, not the
+        // layout, so a migration carries them over instead of recomputing
+        store.row_degrees = self.row_degrees;
+        store.col_degrees = self.col_degrees;
+        store.symmetry = self.symmetry;
         // the conversion source stays available as a view: a Csc→Csr
         // migration keeps the column view it came from, and vice versa
         match (&store.layout, self.layout) {
@@ -330,13 +347,22 @@ impl<T: Scalar> MatrixStore<T> {
 
     /// The CSR rendering of `A^T` (column orientation) — the engine's
     /// transpose view, converting at most once per store. For a `Csc`
-    /// store this is the stored array itself: transpose is free.
+    /// store this is the stored array itself: transpose is free, and a
+    /// bitwise-symmetric value shares its row view instead of building a
+    /// transposed copy (the degree pre-filter in [`Self::is_symmetric`]
+    /// keeps the probe cheap for asymmetric inputs).
     pub fn col_csr(&self) -> Arc<Csr<T>> {
         if let Layout::Csc(t) = &self.layout {
             return t.clone();
         }
         self.col_view
-            .get_or_init(|| Arc::new(self.row_csr().transpose()))
+            .get_or_init(|| {
+                if self.is_symmetric() {
+                    self.row_csr()
+                } else {
+                    Arc::new(self.row_csr().transpose())
+                }
+            })
             .clone()
     }
 
@@ -349,6 +375,117 @@ impl<T: Scalar> MatrixStore<T> {
         } else {
             matches!(self.layout, Layout::Csr(_)) || self.row_view.get().is_some()
         }
+    }
+
+    /// Per-row stored-element counts, computed once per store from the
+    /// native layout (no CSR conversion), O(nvals + nrows). Because the
+    /// cache hangs off the *store* — and every delta-log drain or policy
+    /// migration installs a fresh store — invalidation is automatic, and
+    /// MVCC snapshots (which pin the old store) keep their old counts.
+    pub fn row_degrees(&self) -> Arc<[usize]> {
+        self.row_degrees
+            .get_or_init(|| {
+                let mut deg = vec![0usize; self.nrows];
+                match &self.layout {
+                    Layout::Csr(c) => {
+                        for (i, d) in deg.iter_mut().enumerate() {
+                            *d = c.row_nvals(i);
+                        }
+                    }
+                    Layout::Csc(t) => {
+                        // the Csc store is the CSR of A^T: its column
+                        // indices are A's row indices
+                        for &i in t.col_idx() {
+                            deg[i] += 1;
+                        }
+                    }
+                    Layout::Bitmap(b) => {
+                        for (i, d) in deg.iter_mut().enumerate() {
+                            *d = b.row_bits(i).iter().map(|w| w.count_ones() as usize).sum();
+                        }
+                    }
+                    Layout::Hyper(h) => {
+                        for k in 0..h.nonempty_rows().len() {
+                            let (i, cols, _) = h.row_by_pos(k);
+                            deg[i] = cols.len();
+                        }
+                    }
+                }
+                deg.into()
+            })
+            .clone()
+    }
+
+    /// Per-column stored-element counts; same caching and invalidation
+    /// story as [`MatrixStore::row_degrees`].
+    pub fn col_degrees(&self) -> Arc<[usize]> {
+        self.col_degrees
+            .get_or_init(|| {
+                let mut deg = vec![0usize; self.ncols];
+                match &self.layout {
+                    Layout::Csr(c) => {
+                        for &j in c.col_idx() {
+                            deg[j] += 1;
+                        }
+                    }
+                    Layout::Csc(t) => {
+                        for (j, d) in deg.iter_mut().enumerate() {
+                            *d = t.row_nvals(j);
+                        }
+                    }
+                    Layout::Bitmap(b) => {
+                        for (_, j, _) in b.iter() {
+                            deg[j] += 1;
+                        }
+                    }
+                    Layout::Hyper(h) => {
+                        for (_, j, _) in h.iter() {
+                            deg[j] += 1;
+                        }
+                    }
+                }
+                deg.into()
+            })
+            .clone()
+    }
+
+    /// Bitwise symmetry (`A(i,j) == A(j,i)` for every stored element,
+    /// values compared by bits), memoized per store. Cheap to reject:
+    /// non-square shapes, domains without a bit comparison, and any
+    /// row/column degree mismatch bail before the O(nvals·log) probe.
+    /// The probe itself reads the row view, so call this only when that
+    /// view is materialized or about to be (as [`MatrixStore::col_csr`]
+    /// does).
+    pub fn is_symmetric(&self) -> bool {
+        *self.symmetry.get_or_init(|| self.compute_symmetry())
+    }
+
+    fn compute_symmetry(&self) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        if self.row_degrees() != self.col_degrees() {
+            return false;
+        }
+        let a = self.row_csr();
+        for i in 0..self.nrows {
+            let (cols, vals) = a.row(i);
+            for (&j, v) in cols.iter().zip(vals) {
+                if j == i {
+                    continue;
+                }
+                match a.get(j, i) {
+                    Some(w) => match crate::scalar::value_bits_eq(v, w) {
+                        Some(true) => {}
+                        // unequal values, or a domain with no bitwise
+                        // comparison: not (provably) symmetric
+                        Some(false) | None => return false,
+                    },
+                    None => return false,
+                }
+            }
+        }
+        true
     }
 }
 
@@ -457,5 +594,76 @@ mod tests {
     fn density_reporting() {
         let store = MatrixStore::csr(sample());
         assert!((store.density() - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrees_agree_across_layouts() {
+        for fmt in [Format::Csr, Format::Csc, Format::Bitmap, Format::Hyper] {
+            let store = MatrixStore::csr(sample()).into_format(fmt);
+            assert_eq!(&store.row_degrees()[..], &[2, 0, 2], "{fmt:?} rows");
+            assert_eq!(&store.col_degrees()[..], &[2, 1, 1], "{fmt:?} cols");
+        }
+        // hypersparse with a genuinely empty tail
+        let wide = Csr::from_sorted_tuples(6, 4, vec![(1, 3, 1i32), (4, 0, 2)]);
+        let store = MatrixStore::csr(wide).into_format(Format::Hyper);
+        assert_eq!(&store.row_degrees()[..], &[0, 1, 0, 0, 1, 0]);
+        assert_eq!(&store.col_degrees()[..], &[1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn degrees_are_memoized_per_store() {
+        let store = MatrixStore::csr(sample());
+        let a = store.row_degrees();
+        let b = store.row_degrees();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn symmetric_store_shares_its_row_view_as_transpose() {
+        let sym = Csr::from_sorted_tuples(
+            3,
+            3,
+            vec![(0, 1, 5i32), (1, 0, 5), (1, 2, -7), (2, 1, -7), (2, 2, 1)],
+        );
+        let store = MatrixStore::csr(sym);
+        assert!(store.is_symmetric());
+        let r = store.row_csr();
+        let c = store.col_csr();
+        assert!(
+            Arc::ptr_eq(&r, &c),
+            "transpose of a symmetric value is free"
+        );
+    }
+
+    #[test]
+    fn asymmetry_is_detected() {
+        // degree-symmetric but value-asymmetric: the probe must catch it
+        let pat = Csr::from_sorted_tuples(2, 2, vec![(0, 1, 1i32), (1, 0, 2)]);
+        let store = MatrixStore::csr(pat);
+        assert!(!store.is_symmetric());
+        // structurally asymmetric: rejected by the degree pre-filter
+        let tri = MatrixStore::csr(sample());
+        assert!(!tri.is_symmetric());
+        // non-square is never symmetric
+        let rect = MatrixStore::csr(Csr::from_sorted_tuples(2, 3, vec![(0, 0, 1i32)]));
+        assert!(!rect.is_symmetric());
+    }
+
+    #[test]
+    fn float_symmetry_is_bitwise() {
+        // 0.0 vs -0.0 are IEEE-equal but bitwise distinct: not symmetric
+        let zeros = Csr::from_sorted_tuples(2, 2, vec![(0, 1, 0.0f64), (1, 0, -0.0)]);
+        assert!(!MatrixStore::csr(zeros).is_symmetric());
+        // NaNs with the same payload are bitwise equal: symmetric
+        let nans = Csr::from_sorted_tuples(2, 2, vec![(0, 1, f64::NAN), (1, 0, f64::NAN)]);
+        assert!(MatrixStore::csr(nans).is_symmetric());
+    }
+
+    #[test]
+    fn migration_carries_property_caches() {
+        let store = MatrixStore::csr(sample());
+        let deg = store.row_degrees();
+        let bitmap = store.into_format(Format::Bitmap);
+        assert!(Arc::ptr_eq(&deg, &bitmap.row_degrees()));
     }
 }

@@ -316,6 +316,21 @@ impl<T: Scalar> MatrixSnapshot<T> {
         Ok(self.store()?.to_tuples())
     }
 
+    /// Per-row stored-element counts **at the snapshot's epoch**. The
+    /// overlay merge materializes its own store, so this memoizes on
+    /// the snapshot's value and can never observe degrees cached after
+    /// a later drain of the source handle (and vice versa) — the
+    /// property-cache half of snapshot isolation.
+    pub fn row_degrees(&self) -> Result<Arc<[usize]>> {
+        Ok(self.store()?.row_degrees())
+    }
+
+    /// Per-column stored-element counts at the snapshot's epoch; see
+    /// [`MatrixSnapshot::row_degrees`].
+    pub fn col_degrees(&self) -> Result<Arc<[usize]>> {
+        Ok(self.store()?.col_degrees())
+    }
+
     /// A fresh [`Matrix`] handle whose value *is* this snapshot — the
     /// bridge into every kernel and algorithm that takes `&Matrix<T>`
     /// (the server runs BFS/PageRank on these). O(1): the handle wraps

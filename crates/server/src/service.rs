@@ -196,19 +196,24 @@ impl Service {
         );
         for t in self.sched.tenants() {
             let (submitted, completed, shed, errors) = t.counters.snapshot();
+            // Latencies are recorded in nanoseconds; report milliseconds
+            // with one decimal. The old integer division truncated every
+            // sub-unit quantile to 0, which read as "infinitely fast"
+            // for exactly the fast requests worth bragging about.
+            let ms = |ns: u64| ns as f64 / 1e6;
             let _ = write!(
                 out,
-                "\ntenant {} weight={} submitted={} completed={} shed={} errors={} p50_us={} p99_us={} p999_us={} max_us={}",
+                "\ntenant {} weight={} submitted={} completed={} shed={} errors={} p50_ms={:.1} p99_ms={:.1} p999_ms={:.1} max_ms={:.1}",
                 t.name,
                 t.weight,
                 submitted,
                 completed,
                 shed,
                 errors,
-                t.latency.quantile(0.5) / 1_000,
-                t.latency.quantile(0.99) / 1_000,
-                t.latency.quantile(0.999) / 1_000,
-                t.latency.max() / 1_000,
+                ms(t.latency.quantile(0.5)),
+                ms(t.latency.quantile(0.99)),
+                ms(t.latency.quantile(0.999)),
+                ms(t.latency.max()),
             );
         }
         out

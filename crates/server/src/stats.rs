@@ -24,18 +24,26 @@ pub struct Histogram {
     max: AtomicU64,
 }
 
+/// Bucket index for a sample. Saturates into the top sub-bucket of the
+/// top octave, so every `u64` (including `u64::MAX`) maps strictly
+/// below [`NBUCKETS`] — `record` can never index out of bounds.
 fn bucket_index(v: u64) -> usize {
     if v < SUB as u64 {
         v as usize
     } else {
         let e = 63 - v.leading_zeros(); // 2^e <= v, e >= 5
         let mantissa = ((v >> (e - SUB_BITS)) as usize) & (SUB - 1);
-        (e + 1 - SUB_BITS) as usize * SUB + mantissa
+        ((e + 1 - SUB_BITS) as usize * SUB + mantissa).min(NBUCKETS - 1)
     }
 }
 
 /// Upper bound of the bucket (conservative quantiles round *up*).
+/// Clamps out-of-range indices to the top bucket and saturates the
+/// upper-bound arithmetic, which sits exactly at `u64::MAX` for the
+/// final sub-bucket — one stray bit would otherwise wrap to a tiny
+/// bound and silently corrupt every top-octave quantile.
 fn bucket_value(idx: usize) -> u64 {
+    let idx = idx.min(NBUCKETS - 1);
     if idx < SUB {
         idx as u64
     } else {
@@ -43,7 +51,7 @@ fn bucket_value(idx: usize) -> u64 {
         let m = (idx % SUB) as u64;
         let e = g + SUB_BITS - 1; // 5 ..= 63
         let unit = e - SUB_BITS; // sub-bucket width = 2^unit
-        ((SUB as u64 + m) << unit) + ((1u64 << unit) - 1)
+        ((SUB as u64 + m) << unit).saturating_add((1u64 << unit) - 1)
     }
 }
 
@@ -188,6 +196,61 @@ mod tests {
             let v = bucket_value(i);
             assert!(v > prev, "bucket {i}: {v} <= {prev}");
             prev = v;
+        }
+    }
+
+    #[test]
+    fn extreme_values_round_trip_without_panic() {
+        // The top sub-bucket's upper bound is exactly u64::MAX; every
+        // edge value must index in range and reconstruct a bound at or
+        // above the sample.
+        for v in [0u64, 1, 31, 32, u64::MAX - 1, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(idx < NBUCKETS, "v={v} idx={idx} out of range");
+            let ub = bucket_value(idx);
+            assert!(ub >= v, "v={v} idx={idx} ub={ub} below sample");
+        }
+        assert_eq!(bucket_value(bucket_index(u64::MAX)), u64::MAX);
+        // Out-of-range indices clamp instead of shifting past the word.
+        assert_eq!(bucket_value(NBUCKETS), u64::MAX);
+        assert_eq!(bucket_value(usize::MAX), u64::MAX);
+        // Recording the extremes must not panic, and the quantile read
+        // side must see them.
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn random_samples_round_trip_within_3pct() {
+        // Deterministic xorshift sweep across all magnitudes: the
+        // round-trip invariant (in-range index, upper bound >= sample,
+        // <= 1/32 relative error away from the top octave) must hold
+        // for arbitrary u64 samples, not just curated ones.
+        let mut x = 0x243F_6A88_85A3_08D3u64; // seed: pi digits
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // vary magnitude: mask to a random bit-width 1..=64
+            let width = (x % 64) + 1;
+            let v = if width == 64 {
+                x
+            } else {
+                x & ((1u64 << width) - 1)
+            };
+            let idx = bucket_index(v);
+            assert!(idx < NBUCKETS, "v={v} idx={idx}");
+            let ub = bucket_value(idx);
+            assert!(ub >= v, "v={v} idx={idx} ub={ub}");
+            if v >= 32 {
+                // relative error bound; ub may saturate at u64::MAX in
+                // the top sub-bucket, which only tightens it
+                let err = (ub - v) as f64 / v as f64;
+                assert!(err <= 1.0 / 32.0 + 1e-9, "v={v} ub={ub} err={err}");
+            }
         }
     }
 

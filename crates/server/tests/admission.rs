@@ -232,6 +232,72 @@ fn concurrent_bfs_coalesce_into_fewer_batches() {
     svc.shutdown();
 }
 
+/// The `STATS` report prints tenant latencies in milliseconds with one
+/// decimal place. The old report integer-divided nanosecond quantiles,
+/// so every sub-unit latency printed as a flat `0` — this pins the
+/// fixed-point format (`p50_ms=0.8`, not `p50_us=0`) for each quantile
+/// key, on real sub-millisecond requests.
+#[test]
+fn stats_reports_fractional_millisecond_latencies() {
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        queue_cap: 8,
+        batch_max: 8,
+        ..Default::default()
+    });
+    bulk_graph(&svc, "g", 8, chain_edges(8));
+    for _ in 0..8 {
+        // HasEdge completes in well under a millisecond: exactly the
+        // latency range the truncating formatter erased.
+        assert_eq!(
+            svc.submit(
+                "probe",
+                Request::HasEdge {
+                    graph: "g".into(),
+                    u: 0,
+                    v: 1,
+                },
+            ),
+            Reply::Bool(true)
+        );
+    }
+    let Reply::Stats(report) = svc.submit("probe", Request::Stats) else {
+        panic!("STATS must answer with a report");
+    };
+    let line = report
+        .lines()
+        .find(|l| l.starts_with("tenant probe "))
+        .unwrap_or_else(|| panic!("no tenant line in report:\n{report}"));
+    for key in ["p50_ms=", "p99_ms=", "p999_ms=", "max_ms="] {
+        let field = line
+            .split_whitespace()
+            .find_map(|f| f.strip_prefix(key))
+            .unwrap_or_else(|| panic!("missing {key} in line: {line}"));
+        // Fixed-point with exactly one decimal: digits '.' digit.
+        let (int, frac) = field
+            .split_once('.')
+            .unwrap_or_else(|| panic!("{key}{field} is not fixed-point"));
+        assert!(
+            !int.is_empty() && int.chars().all(|c| c.is_ascii_digit()),
+            "{key}{field} has a malformed integer part"
+        );
+        assert!(
+            frac.len() == 1 && frac.chars().all(|c| c.is_ascii_digit()),
+            "{key}{field} must carry exactly one decimal"
+        );
+    }
+    // The quantiles themselves must be sane: sub-millisecond probes
+    // cannot round up to minutes.
+    let p50: f64 = line
+        .split_whitespace()
+        .find_map(|f| f.strip_prefix("p50_ms="))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(p50 < 60_000.0, "p50 {p50}ms is implausible for HasEdge");
+    svc.shutdown();
+}
+
 /// Weighted fairness end to end: under sustained contention, a
 /// weight-4 tenant completes more work than a weight-1 tenant on the
 /// same service. Uses PageRank (never coalesced) so the stride

@@ -34,12 +34,13 @@ cargo bench --no-run --quiet
 
 # Thread matrix: the pool width and default degree follow
 # GRB_TEST_THREADS, and the determinism suites (serial-vs-parallel,
-# deferred-vs-eager pending updates, MVCC snapshot isolation, and the
-# query service's admission/fairness/write-isolation properties) must
-# hold at every count.
+# deferred-vs-eager pending updates, MVCC snapshot isolation,
+# push/pull/dense SpMSpV direction equivalence, and the query service's
+# admission/fairness/write-isolation properties) must hold at every
+# count.
 for threads in 1 2 8; do
-    echo "== GRB_TEST_THREADS=$threads cargo test -q --test par_determinism --test delta_equivalence --test snapshot_isolation"
-    GRB_TEST_THREADS="$threads" cargo test -q --test par_determinism --test delta_equivalence --test snapshot_isolation
+    echo "== GRB_TEST_THREADS=$threads cargo test -q --test par_determinism --test delta_equivalence --test snapshot_isolation --test direction_equivalence"
+    GRB_TEST_THREADS="$threads" cargo test -q --test par_determinism --test delta_equivalence --test snapshot_isolation --test direction_equivalence
     echo "== GRB_TEST_THREADS=$threads cargo test -q -p server --test admission --test write_during_bfs"
     GRB_TEST_THREADS="$threads" cargo test -q -p server --test admission --test write_during_bfs
 done

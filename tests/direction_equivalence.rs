@@ -1,0 +1,277 @@
+//! PR acceptance property for SpMSpV direction optimization
+//! (`kernel::spmspv`): the push, pull, and dense matrix–vector kernels
+//! are **bitwise** interchangeable — values *and* pattern, NaN / ±∞ /
+//! -0.0 payloads included — across execution modes, storage formats,
+//! transposition, mask shapes, and intra-kernel parallelism degrees
+//! {1, 2, 8}. The heuristic may therefore switch direction per
+//! operation without ever changing a result, which the trailing trace
+//! test shows it actually does mid-BFS.
+//!
+//! The direction override is process-wide (kernels run on pool worker
+//! threads), so every test that forces a direction serializes on one
+//! mutex.
+
+use std::sync::Mutex;
+
+use graphblas_core::par;
+use graphblas_core::prelude::*;
+use graphblas_core::spmspv::{self, Direction};
+use graphblas_core::SchedPolicy;
+use proptest::prelude::*;
+
+const N: usize = 24;
+const DEGREES: [usize; 3] = [1, 2, 8];
+
+/// Forced directions are a process-wide override; hold this across any
+/// region that sets one so concurrent test threads never interleave.
+static DIRECTION_LOCK: Mutex<()> = Mutex::new(());
+
+/// Decode a strategy byte into an f64 payload; low codes are the
+/// adversarial specials (NaN, ±∞, -0.0).
+fn fval(code: u8) -> f64 {
+    match code {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -0.0,
+        c => (f64::from(c) - 128.0) * 0.625,
+    }
+}
+
+type Tuples = Vec<(usize, usize, u8)>;
+
+fn sparse(max_nnz: usize) -> impl Strategy<Value = Tuples> {
+    proptest::collection::vec((0..N, 0..N, 0u8..255), 0..=max_nnz).prop_map(|mut t| {
+        t.sort_by_key(|&(i, j, _)| (i, j));
+        t.dedup_by_key(|&mut (i, j, _)| (i, j));
+        t
+    })
+}
+
+fn to_matrix(t: &Tuples, format: Option<Format>) -> Matrix<f64> {
+    let tuples: Vec<(usize, usize, f64)> = t.iter().map(|&(i, j, c)| (i, j, fval(c))).collect();
+    let m = Matrix::from_tuples(N, N, &tuples).unwrap();
+    if let Some(f) = format {
+        m.set_format(f).unwrap();
+    }
+    m
+}
+
+fn to_vector(t: &Tuples) -> Vector<f64> {
+    let v = Vector::<f64>::new(N).unwrap();
+    for &(i, _, c) in t {
+        v.set(i, fval(c)).unwrap();
+    }
+    v
+}
+
+fn vector_bits(v: &Vector<f64>) -> Vec<(usize, u64)> {
+    v.extract_tuples()
+        .unwrap()
+        .into_iter()
+        .map(|(i, x)| (i, x.to_bits()))
+        .collect()
+}
+
+/// Run `f` with the intra-kernel degree pinned to `k` and the cost
+/// model forced so even proptest-sized fixtures chunk.
+fn at_degree<R>(k: usize, f: impl FnOnce() -> R) -> R {
+    par::with_cost_model(1, 0, || par::with_parallelism(k, f))
+}
+
+const FORMATS: [Option<Format>; 4] = [
+    Some(Format::Csr),
+    Some(Format::Csc),
+    Some(Format::Bitmap),
+    Some(Format::Hyper),
+];
+
+const DIRECTIONS: [Direction; 4] = [
+    Direction::Dense,
+    Direction::Push,
+    Direction::Pull,
+    Direction::Auto,
+];
+
+fn contexts() -> [Context; 3] {
+    [
+        Context::blocking(),
+        Context::with_policy(Mode::Nonblocking, SchedPolicy::Sequential),
+        Context::with_policy(Mode::Nonblocking, SchedPolicy::Parallel),
+    ]
+}
+
+fn mask_descriptor(complement: bool, structural: bool) -> Descriptor {
+    let mut d = Descriptor::default();
+    if complement {
+        d = d.complement_mask();
+    }
+    if structural {
+        d = d.structural_mask();
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `vxm` answers bitwise identically whichever direction computes
+    /// it, under every (mode, format, degree, transpose, mask) shape.
+    #[test]
+    fn vxm_directions_agree_bitwise(
+        a in sparse(96),
+        u in sparse(24),
+        mask in sparse(24),
+        transpose in any::<bool>(),
+        complement in any::<bool>(),
+        structural in any::<bool>(),
+    ) {
+        let _serialize = DIRECTION_LOCK.lock().unwrap();
+        let desc = if transpose {
+            mask_descriptor(complement, structural).transpose_second()
+        } else {
+            mask_descriptor(complement, structural)
+        };
+        for ctx in contexts() {
+            for format in FORMATS {
+                let am = to_matrix(&a, format);
+                let uv = to_vector(&u);
+                let mv = to_vector(&mask);
+                for k in DEGREES {
+                    let run = |dir| at_degree(k, || spmspv::with_direction(dir, || {
+                        let w = Vector::<f64>::new(N).unwrap();
+                        ctx.vxm(&w, &mv, NoAccum, plus_times::<f64>(), &uv, &am, &desc)
+                            .unwrap();
+                        vector_bits(&w)
+                    }));
+                    let dense = run(Direction::Dense);
+                    for dir in DIRECTIONS {
+                        prop_assert_eq!(
+                            &dense, &run(dir),
+                            "vxm {:?} diverged from Dense (mode {:?} format {:?} \
+                             degree {} transpose {} complement {} structural {})",
+                            dir, ctx.mode(), format, k, transpose, complement, structural
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Same for `mxv`, whose forward orientation is the transpose of
+    /// `vxm`'s — the dispatch must flip push/pull sides accordingly.
+    #[test]
+    fn mxv_directions_agree_bitwise(
+        a in sparse(96),
+        u in sparse(24),
+        mask in sparse(24),
+        transpose in any::<bool>(),
+        complement in any::<bool>(),
+    ) {
+        let _serialize = DIRECTION_LOCK.lock().unwrap();
+        let desc = if transpose {
+            mask_descriptor(complement, true).transpose_first()
+        } else {
+            mask_descriptor(complement, true)
+        };
+        for ctx in contexts() {
+            for format in FORMATS {
+                let am = to_matrix(&a, format);
+                let uv = to_vector(&u);
+                let mv = to_vector(&mask);
+                for k in DEGREES {
+                    let run = |dir| at_degree(k, || spmspv::with_direction(dir, || {
+                        let w = Vector::<f64>::new(N).unwrap();
+                        ctx.mxv(&w, &mv, NoAccum, plus_times::<f64>(), &am, &uv, &desc)
+                            .unwrap();
+                        vector_bits(&w)
+                    }));
+                    let dense = run(Direction::Dense);
+                    for dir in DIRECTIONS {
+                        prop_assert_eq!(
+                            &dense, &run(dir),
+                            "mxv {:?} diverged from Dense (mode {:?} format {:?} \
+                             degree {} transpose {} complement {})",
+                            dir, ctx.mode(), format, k, transpose, complement
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The no-mask accumulating shape (PageRank's step) agrees too —
+    /// the accumulate happens after the product, so direction must not
+    /// leak into the merge.
+    #[test]
+    fn accumulated_vxm_directions_agree(
+        a in sparse(96),
+        u in sparse(24),
+        w0 in sparse(24),
+    ) {
+        let _serialize = DIRECTION_LOCK.lock().unwrap();
+        let ctx = Context::blocking();
+        let am = to_matrix(&a, None);
+        let uv = to_vector(&u);
+        for k in DEGREES {
+            let run = |dir| at_degree(k, || spmspv::with_direction(dir, || {
+                let w = to_vector(&w0);
+                ctx.vxm(&w, NoMask, Accum(Plus::<f64>::new()), plus_times::<f64>(),
+                    &uv, &am, &Descriptor::default()).unwrap();
+                vector_bits(&w)
+            }));
+            let dense = run(Direction::Dense);
+            for dir in DIRECTIONS {
+                prop_assert_eq!(&dense, &run(dir), "accumulated vxm {:?} diverged", dir);
+            }
+        }
+    }
+}
+
+/// E12's qualitative claim, as a test: on a scale-free social graph the
+/// heuristic *switches* direction across one BFS — push on the sparse
+/// early frontiers, pull (against the complemented visited mask) near
+/// the dense peak — and the trace records each choice.
+#[test]
+fn bfs_trace_shows_direction_switching() {
+    let _serialize = DIRECTION_LOCK.lock().unwrap();
+    let el = graphblas_gen::barabasi_albert(800, 4, 7).symmetrize();
+    let a = Matrix::from_tuples(el.n, el.n, &el.bool_tuples()).unwrap();
+    let ctx = Context::nonblocking();
+    ctx.enable_trace(true);
+    let levels = graphblas_algorithms::bfs_levels(&ctx, &a, 0).unwrap();
+    assert!(
+        levels.iter().filter(|l| l.is_some()).count() > 700,
+        "BA graph should be mostly connected"
+    );
+    let trace = ctx.take_trace();
+    let dirs: Vec<&'static str> = trace.iter().filter_map(|e| e.direction).collect();
+    assert!(
+        dirs.contains(&"push"),
+        "no push step on sparse frontiers; directions: {dirs:?}"
+    );
+    assert!(
+        dirs.contains(&"pull"),
+        "no pull step near the frontier peak; directions: {dirs:?}"
+    );
+    // Push comes first (frontier of one), and some later step pulls —
+    // i.e. the switch happens mid-traversal, not between runs.
+    let first_push = dirs.iter().position(|d| *d == "push").unwrap();
+    let last_pull = dirs.iter().rposition(|d| *d == "pull").unwrap();
+    assert!(
+        first_push < last_pull,
+        "expected push -> pull over the traversal; directions: {dirs:?}"
+    );
+}
+
+/// The override itself restores on scope exit even across panics in
+/// the guarded region's siblings — Auto outside, forced inside.
+#[test]
+fn with_direction_scopes_the_override() {
+    let _serialize = DIRECTION_LOCK.lock().unwrap();
+    assert!(matches!(spmspv::direction_override(), Direction::Auto));
+    spmspv::with_direction(Direction::Push, || {
+        assert!(matches!(spmspv::direction_override(), Direction::Push));
+    });
+    assert!(matches!(spmspv::direction_override(), Direction::Auto));
+}

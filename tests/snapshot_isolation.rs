@@ -144,6 +144,79 @@ fn check_program(steps: &[Step], format: Option<Format>) -> std::result::Result<
     Ok(())
 }
 
+/// Shadow degrees: per-row / per-column stored-element counts of a
+/// shadow state.
+fn shadow_degrees(s: &Shadow) -> (Vec<usize>, Vec<usize>) {
+    let (mut r, mut c) = (vec![0usize; N], vec![0usize; N]);
+    for &(i, j) in s.keys() {
+        r[i] += 1;
+        c[j] += 1;
+    }
+    (r, c)
+}
+
+/// The property-cache half of snapshot isolation: the degree vectors a
+/// snapshot reports are computed against (and memoized on) the
+/// snapshot's own overlay-merged store, so a snapshot taken before a
+/// drain must never observe degrees cached after it — no matter how
+/// aggressively the live handle's caches are warmed in between.
+fn check_degree_program(steps: &[Step], format: Option<Format>) -> std::result::Result<(), String> {
+    let m = Matrix::<f64>::new(N, N).unwrap();
+    if let Some(f) = format {
+        m.set_format(f).unwrap();
+    }
+    let mut model = Shadow::new();
+    let mut snaps: Vec<(MatrixSnapshot<f64>, Shadow)> = Vec::new();
+    for step in steps {
+        match *step {
+            Step::Set(i, j, c) => {
+                m.set(i, j, fval(c)).unwrap();
+                model.insert((i, j), fval(c).to_bits());
+            }
+            Step::Remove(i, j) => {
+                m.remove(i, j).unwrap();
+                model.remove(&(i, j));
+            }
+            Step::Snap => snaps.push((m.snapshot(), model.clone())),
+            Step::Force => {
+                // Drain, then warm the live handle's property caches so
+                // a leaky snapshot would have stale degrees to observe.
+                let _ = m.nvals().unwrap();
+                let _ = m.row_degrees().unwrap();
+                let _ = m.col_degrees().unwrap();
+            }
+        }
+    }
+    snaps.push((m.snapshot(), model.clone()));
+    let _ = m.nvals().unwrap();
+    let live_r = m.row_degrees().unwrap();
+    let live_c = m.col_degrees().unwrap();
+    let (want_r, want_c) = shadow_degrees(&model);
+    if &*live_r != want_r.as_slice() || &*live_c != want_c.as_slice() {
+        return Err("live handle degrees diverged from final state".into());
+    }
+    for (k, (snap, at)) in snaps.iter().enumerate() {
+        let (want_r, want_c) = shadow_degrees(at);
+        let got_r = snap.row_degrees().map_err(|e| e.to_string())?;
+        if &*got_r != want_r.as_slice() {
+            return Err(format!(
+                "snapshot {k}: row degrees diverged\n got {got_r:?}\nwant {want_r:?}"
+            ));
+        }
+        let got_c = snap.col_degrees().map_err(|e| e.to_string())?;
+        if &*got_c != want_c.as_slice() {
+            return Err(format!(
+                "snapshot {k}: col degrees diverged\n got {got_c:?}\nwant {want_c:?}"
+            ));
+        }
+        // Second read exercises the memoized path.
+        if snap.row_degrees().map_err(|e| e.to_string())? != got_r {
+            return Err(format!("snapshot {k}: memoized row degrees unstable"));
+        }
+    }
+    Ok(())
+}
+
 /// Run `f` with the intra-kernel degree pinned to `k` and the cost
 /// model forced so even proptest-sized fixtures chunk.
 fn at_degree<R>(k: usize, f: impl FnOnce() -> R) -> R {
@@ -184,6 +257,23 @@ proptest! {
                             ctx.mode(), format, k, msg
                         );
                     }
+                }
+            }
+        }
+    }
+
+    /// The cached-property face of the same property: degree vectors
+    /// read through a snapshot reflect the snapshot's epoch, not the
+    /// live handle's post-drain caches.
+    #[test]
+    fn snapshot_degrees_are_isolated_from_later_drains(
+        steps in proptest::collection::vec(step_strategy(), 1..32),
+    ) {
+        tiny_runs();
+        for format in FORMATS {
+            for k in DEGREES {
+                if let Err(msg) = at_degree(k, || check_degree_program(&steps, format)) {
+                    panic!("format {:?} degree {}: {}", format, k, msg);
                 }
             }
         }
