@@ -62,7 +62,7 @@ fn main() {
             .dedup()
             .without_self_loops();
         let name = format!("g{gi}");
-        svc.graphs().create(&name, g.n).unwrap();
+        svc.graphs().create(&name, g.n, None).unwrap();
         let entry = svc.graphs().get(&name).unwrap();
         for &(u, v) in &g.edges {
             entry.matrix.set(u, v, true).unwrap();
@@ -185,7 +185,7 @@ fn overload_phase() {
     let g = rmat(SCALE, 8, RmatParams::default(), 7)
         .dedup()
         .without_self_loops();
-    svc.graphs().create("g", g.n).unwrap();
+    svc.graphs().create("g", g.n, None).unwrap();
     let entry = svc.graphs().get("g").unwrap();
     for &(u, v) in &g.edges {
         entry.matrix.set(u, v, true).unwrap();

@@ -1,0 +1,111 @@
+//! E13: 2D-tiled hypersparse storage vs the single-slab store on the
+//! E12 mid-size BFS workloads (`crates/gen` social graphs).
+//!
+//! The acceptance bar for tiling is *neutrality*, not speedup: with
+//! every kernel walking tiles in ascending global index order the
+//! results are bitwise identical (`tests/tiled_equivalence.rs`), and
+//! the wall-clock on resident mid-size graphs must stay within 1.15×
+//! of the slab. Tiling pays off elsewhere — tile-granular delta
+//! flushes and the mmap-backed out-of-core grid (`tests/out_of_core.rs`
+//! builds and traverses a graph whose slab cannot even be allocated).
+//!
+//! Workloads are E12's, unchanged: `khop2` (BFS-heavy 2-hop
+//! neighborhood queries, frontiers stay sparse) and `bfs_full` (the
+//! sparse → dense → sparse sweep). The adjacency handle is reused, so
+//! per-store caches — per-tile degree caches in the tiled variant —
+//! are warm after the first call: the resident-service steady state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphblas_core::prelude::*;
+use std::time::Duration;
+
+use graphblas_gen::barabasi_albert;
+
+/// Vertices reached within `hops` steps of `src` (E12's query shape).
+fn khop(ctx: &Context, a: &Matrix<bool>, src: usize, hops: usize) -> usize {
+    let n = a.nrows();
+    let visited = Vector::<bool>::new(n).unwrap();
+    let q = Vector::from_tuples(n, &[(src, true)]).unwrap();
+    let expand = Descriptor::default()
+        .complement_mask()
+        .structural_mask()
+        .replace();
+    ctx.assign_scalar_vector(&visited, &q, NoAccum, true, ALL, &Descriptor::default())
+        .unwrap();
+    for _ in 0..hops {
+        ctx.mxv(&q, &visited, NoAccum, lor_land(), a, &q, &expand)
+            .unwrap();
+        if q.nvals().unwrap() == 0 {
+            break;
+        }
+        ctx.assign_scalar_vector(&visited, &q, NoAccum, true, ALL, &Descriptor::default())
+            .unwrap();
+    }
+    visited.nvals().unwrap()
+}
+
+/// Full single-source BFS with `mxv` frontier steps (E12's sweep).
+fn bfs_mxv(ctx: &Context, a: &Matrix<bool>, src: usize) -> usize {
+    let n = a.nrows();
+    let levels = Vector::<i64>::new(n).unwrap();
+    let q = Vector::from_tuples(n, &[(src, true)]).unwrap();
+    let push = Descriptor::default()
+        .complement_mask()
+        .structural_mask()
+        .replace();
+    let mut d = 0i64;
+    loop {
+        ctx.assign_scalar_vector(&levels, &q, NoAccum, d, ALL, &Descriptor::default())
+            .unwrap();
+        ctx.mxv(&q, &levels, NoAccum, lor_land(), a, &q, &push)
+            .unwrap();
+        if q.nvals().unwrap() == 0 {
+            break;
+        }
+        d += 1;
+    }
+    levels.nvals().unwrap()
+}
+
+fn bench_tiled(c: &mut Criterion) {
+    let (n, m) = (50_000usize, 8usize);
+    let el = barabasi_albert(n, m, 42).symmetrize();
+    let tuples = el.bool_tuples();
+    let ctx = Context::blocking();
+
+    // One handle per storage variant; the graph data is identical.
+    let slab = Matrix::from_tuples(el.n, el.n, &tuples).unwrap();
+    slab.set_format(Format::Csr).unwrap();
+    let variants: Vec<(String, Matrix<bool>)> = std::iter::once(("slab".to_string(), slab))
+        .chain(
+            [(2usize, 2usize), (4, 4), (8, 8)]
+                .into_iter()
+                .map(|(r, c)| {
+                    let a = Matrix::from_tuples(el.n, el.n, &tuples).unwrap();
+                    a.set_tile_shape(r, c).unwrap();
+                    (format!("tiled{r}x{c}"), a)
+                }),
+        )
+        .collect();
+
+    let mut group = c.benchmark_group(format!("e13/ba_n{n}_m{m}"));
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+
+    let sources: Vec<usize> = (0..32).map(|k| (k * 1543) % n).collect();
+    for (name, a) in &variants {
+        // warm the degree caches / assembled row view once
+        let _ = bfs_mxv(&ctx, a, 0);
+        group.bench_function(format!("khop2_{name}"), |b| {
+            b.iter(|| sources.iter().map(|&s| khop(&ctx, a, s, 2)).sum::<usize>())
+        });
+        group.bench_function(format!("bfs_full_{name}"), |b| {
+            b.iter(|| bfs_mxv(&ctx, a, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiled);
+criterion_main!(benches);

@@ -21,6 +21,9 @@ pub const GXB_FORMAT_CSC: Format = Format::Csc;
 pub const GXB_FORMAT_BITMAP: Format = Format::Bitmap;
 /// Hypersparse storage (`GxB_HYPERSPARSE`), for nnz ≪ nrows.
 pub const GXB_FORMAT_HYPER: Format = Format::Hyper;
+/// 2D-tiled hypersparse storage; the default grid applies. Pick a
+/// specific grid with `gxb_set(…, GxbOption::TileShape, …)`.
+pub const GXB_FORMAT_TILED: Format = Format::Tiled;
 /// Let the engine pick per value from observed density (`GxB_AUTO_SPARSITY`).
 pub const GXB_FORMAT_AUTO: FormatPolicy = FormatPolicy::Auto;
 
@@ -139,21 +142,40 @@ impl GrbMatrix {
 
     /// `GxB_Matrix_Option_get(…, GxB_SPARSITY_STATUS, …)`: the storage
     /// format currently holding this matrix's value (forces completion).
+    /// Sugar over [`gxb_get`](crate::gxb_get) at matrix scope.
     pub fn format(&self) -> Result<Format> {
-        self.m.format()
+        match crate::options::gxb_get(
+            crate::options::GxbScope::Matrix(self),
+            crate::options::GxbOption::Format,
+        )? {
+            crate::options::GxbValue::Format(f) => Ok(f),
+            v => Err(Error::InvalidValue(format!(
+                "GxB_get(Matrix, Format) returned {v:?}"
+            ))),
+        }
     }
 
     /// `GxB_Matrix_Option_set(…, GxB_SPARSITY_CONTROL, …)`: pin this
     /// matrix to one of the `GXB_FORMAT_*` layouts, converting the
     /// current value and directing future results into the same layout.
+    /// Sugar over [`gxb_set`](crate::gxb_set) at matrix scope.
     pub fn set_format(&self, format: Format) -> Result<()> {
-        self.m.set_format(format)
+        crate::options::gxb_set(
+            crate::options::GxbScope::Matrix(self),
+            crate::options::GxbOption::Format,
+            crate::options::GxbValue::Format(format),
+        )
     }
 
     /// Restore automatic format selection ([`GXB_FORMAT_AUTO`]) or any
-    /// other policy for values computed into this matrix.
+    /// other policy for values computed into this matrix. Sugar over
+    /// [`gxb_set`](crate::gxb_set) at matrix scope.
     pub fn set_format_policy(&self, policy: FormatPolicy) {
-        self.m.set_format_policy(policy)
+        let _ = crate::options::gxb_set(
+            crate::options::GxbScope::Matrix(self),
+            crate::options::GxbOption::FormatPolicy,
+            crate::options::GxbValue::FormatPolicy(policy),
+        );
     }
 
     /// Check this matrix's domain against an expected one

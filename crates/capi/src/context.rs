@@ -13,8 +13,10 @@
 use graphblas_core::error::{Error, Result};
 use graphblas_core::exec::{Context, FusePolicy, Mode, SchedPolicy, TraceEvent};
 use graphblas_core::par;
-use graphblas_core::storage::{delta, snapshot};
+use graphblas_core::storage::{delta, engine, snapshot};
 use parking_lot::{Mutex, ReentrantMutex};
+
+use crate::options::{GxbOption, GxbScope, GxbValue};
 
 static GLOBAL: Mutex<Option<Context>> = Mutex::new(None);
 /// Serializes whole sessions (init → … → finalize) across threads.
@@ -142,40 +144,29 @@ impl Config {
             ));
         }
         par::set_default_parallelism(self.parallelism);
-        delta::set_session_run_cap(self.delta_run_cap);
-        snapshot::set_session_flush_window_ms(self.flush_window_ms);
+        // The storage knobs route through the unified option surface —
+        // the builder fields are sugar over GxB_set(Global, …).
+        crate::options::gxb_set(
+            GxbScope::Global,
+            GxbOption::DeltaRunCap,
+            GxbValue::Count(self.delta_run_cap),
+        )?;
+        crate::options::gxb_set(
+            GxbScope::Global,
+            GxbOption::FlushWindowMs,
+            GxbValue::Millis(self.flush_window_ms),
+        )?;
         *g = Some(Context::with_fuse_policy(self.mode, self.sched, self.fuse));
         Ok(())
     }
 }
 
-/// Pre-builder shim for `GrB_init(mode)`; forwards to
-/// [`Config::new`]`(mode).init()`.
-#[deprecated(note = "use the Config builder: capi::Config::new(mode).init()")]
-pub fn init(mode: Mode) -> Result<()> {
-    Config::new(mode).init()
-}
-
-/// Pre-builder shim; forwards to
-/// [`Config::new`]`(mode).sched(policy).init()`.
-#[deprecated(note = "use the Config builder: capi::Config::new(mode).sched(policy).init()")]
-pub fn init_with_policy(mode: Mode, policy: SchedPolicy) -> Result<()> {
-    Config::new(mode).sched(policy).init()
-}
-
-/// Pre-builder shim; forwards to
-/// [`Config::new`]`(mode).sched(policy).fuse(fuse).init()`.
-#[deprecated(
-    note = "use the Config builder: capi::Config::new(mode).sched(policy).fuse(fuse).init()"
-)]
-pub fn init_with_fuse_policy(mode: Mode, policy: SchedPolicy, fuse: FusePolicy) -> Result<()> {
-    Config::new(mode).sched(policy).fuse(fuse).init()
-}
-
 /// `GrB_finalize()`. Fails if no context is established. Also restores
 /// every session knob ([`Config::parallelism`],
-/// [`Config::delta_run_cap`], [`Config::flush_window_ms`]) to auto, so
-/// pinned values cannot leak into the next session.
+/// [`Config::delta_run_cap`], [`Config::flush_window_ms`], and anything
+/// set through [`gxb_set`](crate::gxb_set) at
+/// [`Global`](crate::GxbScope::Global) scope) to auto, so pinned values
+/// cannot leak into the next session.
 pub fn finalize() -> Result<()> {
     let mut g = GLOBAL.lock();
     if g.take().is_none() {
@@ -186,6 +177,7 @@ pub fn finalize() -> Result<()> {
     par::set_default_parallelism(None);
     delta::set_session_run_cap(None);
     snapshot::set_session_flush_window_ms(None);
+    engine::set_session_default_policy(graphblas_core::FormatPolicy::Auto);
     Ok(())
 }
 
@@ -391,16 +383,23 @@ mod tests {
         assert!(ctx().is_err());
     }
 
-    #[allow(deprecated)]
     #[test]
-    fn deprecated_init_shims_still_work() {
+    fn builder_covers_former_shim_configurations() {
+        // each former pre-builder shim spelling, as a Config chain
         let _guard = SESSION.lock();
-        init(Mode::Blocking).unwrap();
+        Config::new(Mode::Blocking).init().unwrap();
         assert_eq!(current_mode(), Some(Mode::Blocking));
         finalize().unwrap();
-        init_with_policy(Mode::Nonblocking, SchedPolicy::Sequential).unwrap();
+        Config::new(Mode::Nonblocking)
+            .sched(SchedPolicy::Sequential)
+            .init()
+            .unwrap();
         finalize().unwrap();
-        init_with_fuse_policy(Mode::Nonblocking, SchedPolicy::Sequential, FusePolicy::Off).unwrap();
+        Config::new(Mode::Nonblocking)
+            .sched(SchedPolicy::Sequential)
+            .fuse(FusePolicy::Off)
+            .init()
+            .unwrap();
         finalize().unwrap();
     }
 

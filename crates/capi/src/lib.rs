@@ -23,20 +23,17 @@ pub mod collections;
 pub mod context;
 pub mod operations;
 pub mod ops;
+pub mod options;
 pub mod value;
 
 pub use collections::{
     GrbMatrix, GrbMatrixSnapshot, GrbVector, GrbVectorSnapshot, GXB_FORMAT_AUTO, GXB_FORMAT_BITMAP,
-    GXB_FORMAT_CSC, GXB_FORMAT_CSR, GXB_FORMAT_HYPER,
+    GXB_FORMAT_CSC, GXB_FORMAT_CSR, GXB_FORMAT_HYPER, GXB_FORMAT_TILED,
 };
 pub use context::{
     current_mode, enable_trace, error, finalize, inject_fault, take_trace, wait, with_no_session,
     with_session, with_session_config, with_session_policies, Config,
 };
-// Deprecated pre-builder shims, re-exported so existing callers keep
-// compiling; each carries a note naming its `Config` equivalent.
-#[allow(deprecated)]
-pub use context::{init, init_with_fuse_policy, init_with_policy};
 pub use graphblas_core::descriptor::Descriptor;
 pub use graphblas_core::error::{Error, Result};
 pub use graphblas_core::exec::{FusePolicy, FusedNote, Mode, SchedPolicy, TraceEvent};
@@ -45,4 +42,5 @@ pub use graphblas_core::storage::{snapshot_stats, DeltaStats, SnapshotStats};
 pub use graphblas_core::{Format, FormatPolicy};
 pub use operations::*;
 pub use ops::{GrbBinaryOp, GrbMonoid, GrbSelectOp, GrbSemiring, GrbUnaryOp};
+pub use options::{gxb_get, gxb_set, GxbOption, GxbScope, GxbValue};
 pub use value::{GrbType, Value};

@@ -1,0 +1,400 @@
+//! The unified `GxB_set` / `GxB_get` option surface (SuiteSparse-style
+//! extension, the paper's §VI "implementation-defined descriptor and
+//! option" latitude).
+//!
+//! One pair of entry points covers every runtime-tunable knob of this
+//! binding, scoped the way the SuiteSparse extension scopes them:
+//!
+//! * [`GxbScope::Global`] — session-wide defaults: the format policy
+//!   (and its tiled variant, the tile grid) newly created matrices
+//!   inherit, the delta-log run cap, and the background flush window.
+//! * [`GxbScope::Matrix`] — per-object storage control: the current
+//!   format, the format policy for future values, the tile grid
+//!   (set converts the stored value immediately), and the read-epoch
+//!   probe.
+//! * [`GxbScope::Vector`] — the read-epoch probe (vectors have a single
+//!   sparse layout, so format options do not apply).
+//!
+//! The pre-existing convenience paths — the [`Config`](crate::Config)
+//! builder's `delta_run_cap`/`flush_window_ms` fields and
+//! [`GrbMatrix::set_format`]'s `GXB_FORMAT_*` hints — forward here, so
+//! this dispatcher is the single implementation (and the **only**
+//! public path to the tiling knobs: there is deliberately no
+//! environment variable and no separate `set_tile_shape` method on the
+//! handle).
+//!
+//! ```
+//! use graphblas_capi as capi;
+//! use capi::{gxb_get, gxb_set, GxbOption, GxbScope, GxbValue, Mode};
+//!
+//! capi::with_session(Mode::Blocking, || {
+//!     let m = capi::GrbMatrix::new(capi::GrbType::Int32, 100, 100).unwrap();
+//!     // shard into a 4x4 tile grid
+//!     gxb_set(
+//!         GxbScope::Matrix(&m),
+//!         GxbOption::TileShape,
+//!         GxbValue::TileShape(Some((4, 4))),
+//!     )
+//!     .unwrap();
+//!     assert_eq!(
+//!         gxb_get(GxbScope::Matrix(&m), GxbOption::TileShape).unwrap(),
+//!         GxbValue::TileShape(Some((4, 4))),
+//!     );
+//! })
+//! .unwrap();
+//! ```
+
+use graphblas_core::error::{Error, Result};
+use graphblas_core::storage::engine;
+use graphblas_core::storage::{delta, snapshot};
+use graphblas_core::{Format, FormatPolicy};
+
+use crate::collections::{GrbMatrix, GrbVector};
+
+/// What a [`gxb_set`]/[`gxb_get`] call applies to: the session, one
+/// matrix, or one vector.
+#[derive(Debug, Clone, Copy)]
+pub enum GxbScope<'a> {
+    /// Session-wide defaults and storage-engine knobs.
+    Global,
+    /// One matrix handle's storage options.
+    Matrix(&'a GrbMatrix),
+    /// One vector handle's options.
+    Vector(&'a GrbVector),
+}
+
+impl GxbScope<'_> {
+    fn name(&self) -> &'static str {
+        match self {
+            GxbScope::Global => "Global",
+            GxbScope::Matrix(_) => "Matrix",
+            GxbScope::Vector(_) => "Vector",
+        }
+    }
+}
+
+/// The option field being set or read (the SuiteSparse `GxB_Option_Field`
+/// analog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GxbOption {
+    /// The storage format. Matrix get: the layout currently holding the
+    /// value (forces completion). Matrix set: pin to that layout,
+    /// converting now. Global set: future matrices default to
+    /// `FormatPolicy::Force(f)`.
+    Format,
+    /// The format policy applied to future computed values. Matrix
+    /// scope sets the per-object policy; Global scope sets the default
+    /// policy newly created matrices inherit.
+    FormatPolicy,
+    /// The 2D tile grid. `TileShape(Some((r, c)))` shards storage into
+    /// an `r × c` grid of hypersparse-capable tiles (matrix scope
+    /// converts the stored value immediately); `TileShape(None)` clears
+    /// tiling back to automatic slab selection.
+    TileShape,
+    /// The pending-update tail-seal cap (global). `Count(None)` restores
+    /// auto (`GRB_DELTA_RUN_CAP`, then the engine default).
+    DeltaRunCap,
+    /// The background auto-flush time window in milliseconds (global).
+    /// `Millis(Some(0))` disables the time trigger; `Millis(None)`
+    /// restores auto.
+    FlushWindowMs,
+    /// Get-only: the delta epoch a snapshot taken now would pin.
+    ReadEpoch,
+}
+
+/// A typed option value (the `void *` of the C extension, made honest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GxbValue {
+    /// A concrete storage format.
+    Format(Format),
+    /// A format policy.
+    FormatPolicy(FormatPolicy),
+    /// A tile grid, or `None` for "not tiled".
+    TileShape(Option<(usize, usize)>),
+    /// A positive count, or `None` for "auto".
+    Count(Option<usize>),
+    /// A millisecond window, or `None` for "auto".
+    Millis(Option<u64>),
+    /// A read epoch.
+    Epoch(u64),
+}
+
+fn unsupported(scope: &GxbScope, option: GxbOption, verb: &str) -> Error {
+    Error::InvalidValue(format!(
+        "GxB_{verb}: option {option:?} is not supported at {} scope",
+        scope.name()
+    ))
+}
+
+fn type_mismatch(option: GxbOption, value: &GxbValue) -> Error {
+    Error::InvalidValue(format!(
+        "GxB_set: option {option:?} cannot take value {value:?}"
+    ))
+}
+
+fn checked_grid(rows: usize, cols: usize) -> Result<FormatPolicy> {
+    if rows == 0 || cols == 0 {
+        return Err(Error::InvalidValue(format!(
+            "GxB_set(TileShape): tile grid must be positive, got {rows}x{cols}"
+        )));
+    }
+    if rows > u16::MAX as usize || cols > u16::MAX as usize {
+        return Err(Error::InvalidValue(format!(
+            "GxB_set(TileShape): tile grid {rows}x{cols} exceeds the {} per-axis maximum",
+            u16::MAX
+        )));
+    }
+    Ok(FormatPolicy::Tiled {
+        rows: rows as u16,
+        cols: cols as u16,
+    })
+}
+
+/// `GxB_set(scope, option, value)`: write one option. See the
+/// [module docs](self) for the supported (scope, option) pairs.
+pub fn gxb_set(scope: GxbScope, option: GxbOption, value: GxbValue) -> Result<()> {
+    match (&scope, option) {
+        (GxbScope::Global, GxbOption::Format) => match value {
+            GxbValue::Format(f) => {
+                engine::set_session_default_policy(FormatPolicy::Force(f));
+                Ok(())
+            }
+            v => Err(type_mismatch(option, &v)),
+        },
+        (GxbScope::Global, GxbOption::FormatPolicy) => match value {
+            GxbValue::FormatPolicy(p) => {
+                engine::set_session_default_policy(p);
+                Ok(())
+            }
+            v => Err(type_mismatch(option, &v)),
+        },
+        (GxbScope::Global, GxbOption::TileShape) => match value {
+            GxbValue::TileShape(Some((r, c))) => {
+                engine::set_session_default_policy(checked_grid(r, c)?);
+                Ok(())
+            }
+            GxbValue::TileShape(None) => {
+                if engine::session_default_policy().tile_grid().is_some() {
+                    engine::set_session_default_policy(FormatPolicy::Auto);
+                }
+                Ok(())
+            }
+            v => Err(type_mismatch(option, &v)),
+        },
+        (GxbScope::Global, GxbOption::DeltaRunCap) => match value {
+            GxbValue::Count(Some(0)) => Err(Error::InvalidValue(
+                "GxB_set(DeltaRunCap): cap must be >= 1 (None means auto)".into(),
+            )),
+            GxbValue::Count(cap) => {
+                delta::set_session_run_cap(cap);
+                Ok(())
+            }
+            v => Err(type_mismatch(option, &v)),
+        },
+        (GxbScope::Global, GxbOption::FlushWindowMs) => match value {
+            GxbValue::Millis(ms) => {
+                snapshot::set_session_flush_window_ms(ms);
+                Ok(())
+            }
+            v => Err(type_mismatch(option, &v)),
+        },
+        (GxbScope::Matrix(m), GxbOption::Format) => match value {
+            GxbValue::Format(f) => m.m.set_format(f),
+            v => Err(type_mismatch(option, &v)),
+        },
+        (GxbScope::Matrix(m), GxbOption::FormatPolicy) => match value {
+            GxbValue::FormatPolicy(p) => {
+                m.m.set_format_policy(p);
+                Ok(())
+            }
+            v => Err(type_mismatch(option, &v)),
+        },
+        (GxbScope::Matrix(m), GxbOption::TileShape) => match value {
+            GxbValue::TileShape(Some((r, c))) => m.m.set_tile_shape(r, c),
+            GxbValue::TileShape(None) => m.m.clear_tile_shape(),
+            v => Err(type_mismatch(option, &v)),
+        },
+        _ => Err(unsupported(&scope, option, "set")),
+    }
+}
+
+/// `GxB_get(scope, option)`: read one option back. Every settable pair
+/// reads back what was set; [`GxbOption::ReadEpoch`] is additionally
+/// readable on matrix and vector scopes.
+pub fn gxb_get(scope: GxbScope, option: GxbOption) -> Result<GxbValue> {
+    match (&scope, option) {
+        (GxbScope::Global, GxbOption::Format) => match engine::session_default_policy() {
+            FormatPolicy::Force(f) => Ok(GxbValue::Format(f)),
+            p => Err(Error::InvalidValue(format!(
+                "GxB_get(Global, Format): the default policy is {p:?}, not a pinned format"
+            ))),
+        },
+        (GxbScope::Global, GxbOption::FormatPolicy) => {
+            Ok(GxbValue::FormatPolicy(engine::session_default_policy()))
+        }
+        (GxbScope::Global, GxbOption::TileShape) => Ok(GxbValue::TileShape(
+            engine::session_default_policy().tile_grid(),
+        )),
+        (GxbScope::Global, GxbOption::DeltaRunCap) => Ok(GxbValue::Count(delta::session_run_cap())),
+        (GxbScope::Global, GxbOption::FlushWindowMs) => {
+            Ok(GxbValue::Millis(snapshot::session_flush_window_ms()))
+        }
+        (GxbScope::Matrix(m), GxbOption::Format) => Ok(GxbValue::Format(m.m.format()?)),
+        (GxbScope::Matrix(m), GxbOption::FormatPolicy) => {
+            Ok(GxbValue::FormatPolicy(m.m.format_policy()))
+        }
+        (GxbScope::Matrix(m), GxbOption::TileShape) => Ok(GxbValue::TileShape(m.m.tile_shape())),
+        (GxbScope::Matrix(m), GxbOption::ReadEpoch) => Ok(GxbValue::Epoch(m.read_epoch())),
+        (GxbScope::Vector(v), GxbOption::ReadEpoch) => Ok(GxbValue::Epoch(v.read_epoch())),
+        _ => Err(unsupported(&scope, option, "get")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::with_session;
+    use crate::value::{GrbType, Value};
+    use graphblas_core::exec::Mode;
+
+    #[test]
+    fn global_knobs_round_trip_and_reset_on_finalize() {
+        with_session(Mode::Blocking, || {
+            gxb_set(
+                GxbScope::Global,
+                GxbOption::DeltaRunCap,
+                GxbValue::Count(Some(17)),
+            )
+            .unwrap();
+            assert_eq!(
+                gxb_get(GxbScope::Global, GxbOption::DeltaRunCap).unwrap(),
+                GxbValue::Count(Some(17))
+            );
+            gxb_set(
+                GxbScope::Global,
+                GxbOption::FlushWindowMs,
+                GxbValue::Millis(Some(25)),
+            )
+            .unwrap();
+            assert_eq!(
+                gxb_get(GxbScope::Global, GxbOption::FlushWindowMs).unwrap(),
+                GxbValue::Millis(Some(25))
+            );
+            gxb_set(
+                GxbScope::Global,
+                GxbOption::TileShape,
+                GxbValue::TileShape(Some((2, 3))),
+            )
+            .unwrap();
+            assert_eq!(
+                gxb_get(GxbScope::Global, GxbOption::TileShape).unwrap(),
+                GxbValue::TileShape(Some((2, 3)))
+            );
+            // new matrices inherit the session default policy
+            let m = GrbMatrix::new(GrbType::Int32, 10, 10).unwrap();
+            assert_eq!(
+                gxb_get(GxbScope::Matrix(&m), GxbOption::TileShape).unwrap(),
+                GxbValue::TileShape(Some((2, 3)))
+            );
+        })
+        .unwrap();
+        // finalize restored every global to auto
+        crate::context::with_no_session(|| {
+            assert_eq!(
+                gxb_get(GxbScope::Global, GxbOption::DeltaRunCap).unwrap(),
+                GxbValue::Count(None)
+            );
+            assert_eq!(
+                gxb_get(GxbScope::Global, GxbOption::FlushWindowMs).unwrap(),
+                GxbValue::Millis(None)
+            );
+            assert_eq!(
+                gxb_get(GxbScope::Global, GxbOption::FormatPolicy).unwrap(),
+                GxbValue::FormatPolicy(FormatPolicy::Auto)
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn matrix_tile_shape_set_converts_and_clears() {
+        with_session(Mode::Blocking, || {
+            let m = GrbMatrix::new(GrbType::Int32, 40, 40).unwrap();
+            for i in 0..40 {
+                m.set(i, (i * 7) % 40, Value::Int32(i as i32)).unwrap();
+            }
+            gxb_set(
+                GxbScope::Matrix(&m),
+                GxbOption::TileShape,
+                GxbValue::TileShape(Some((4, 4))),
+            )
+            .unwrap();
+            assert_eq!(
+                gxb_get(GxbScope::Matrix(&m), GxbOption::Format).unwrap(),
+                GxbValue::Format(Format::Tiled)
+            );
+            assert_eq!(m.nvals().unwrap(), 40);
+            assert_eq!(m.get(7, 9).unwrap(), Some(Value::Int32(7)));
+            gxb_set(
+                GxbScope::Matrix(&m),
+                GxbOption::TileShape,
+                GxbValue::TileShape(None),
+            )
+            .unwrap();
+            assert_ne!(
+                gxb_get(GxbScope::Matrix(&m), GxbOption::Format).unwrap(),
+                GxbValue::Format(Format::Tiled)
+            );
+            assert_eq!(m.nvals().unwrap(), 40);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn invalid_pairs_and_values_are_rejected() {
+        with_session(Mode::Blocking, || {
+            let m = GrbMatrix::new(GrbType::Int32, 4, 4).unwrap();
+            let v = GrbVector::new(GrbType::Int32, 4).unwrap();
+            // vector scope has no format options
+            assert!(gxb_set(
+                GxbScope::Vector(&v),
+                GxbOption::Format,
+                GxbValue::Format(Format::Csr)
+            )
+            .is_err());
+            // read-epoch is get-only
+            assert!(gxb_set(
+                GxbScope::Matrix(&m),
+                GxbOption::ReadEpoch,
+                GxbValue::Epoch(0)
+            )
+            .is_err());
+            // wrong value type for the option
+            assert!(gxb_set(
+                GxbScope::Matrix(&m),
+                GxbOption::Format,
+                GxbValue::Count(Some(1))
+            )
+            .is_err());
+            // zero-sized grids and zero caps are invalid
+            assert!(gxb_set(
+                GxbScope::Matrix(&m),
+                GxbOption::TileShape,
+                GxbValue::TileShape(Some((0, 2)))
+            )
+            .is_err());
+            assert!(gxb_set(
+                GxbScope::Global,
+                GxbOption::DeltaRunCap,
+                GxbValue::Count(Some(0))
+            )
+            .is_err());
+            // vector read-epoch works
+            assert!(matches!(
+                gxb_get(GxbScope::Vector(&v), GxbOption::ReadEpoch),
+                Ok(GxbValue::Epoch(_))
+            ));
+        })
+        .unwrap();
+    }
+}

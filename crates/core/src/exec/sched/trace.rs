@@ -81,6 +81,11 @@ pub struct TraceEvent {
     /// kind. This is the trace evidence that direction optimization
     /// actually switches mid-traversal.
     pub direction: Option<&'static str>,
+    /// Tile coordinates `(stripe, tile_col)` this node's kernels touched
+    /// in a tiled operand or output — materialized tile views during a
+    /// multiply, or dirty tiles rebuilt by a tile-granular flush. Empty
+    /// for slab stores. Sorted and deduplicated.
+    pub tiles: Vec<(u32, u32)>,
 }
 
 impl TraceEvent {
@@ -150,6 +155,7 @@ mod tests {
             merged_rows: 0,
             fused: None,
             direction: None,
+            tiles: Vec::new(),
         };
         assert_eq!(e.queue_ns(), 50);
         assert_eq!(e.run_ns(), 250);
@@ -178,6 +184,7 @@ mod tests {
             merged_rows: 0,
             fused: None,
             direction: None,
+            tiles: Vec::new(),
         });
         let ev = sink.into_events();
         assert_eq!(ev.len(), 1);

@@ -15,11 +15,14 @@
 //! C API's no-op semantics for `GrB_*_removeElement`.
 
 use std::cell::Cell;
+use std::sync::Arc;
 
 use crate::index::Index;
 use crate::kernel::par;
 use crate::scalar::Scalar;
 use crate::storage::delta::{DeltaEntry, DeltaOp, Run};
+use crate::storage::engine::{FormatPolicy, Layout, MatrixStore};
+use crate::storage::tiled::{self, Tiled};
 use crate::storage::{Csr, SparseVec};
 
 /// Flush work observed on this thread since the last
@@ -162,6 +165,116 @@ pub fn merge_matrix<T: Scalar>(base: &Csr<T>, runs: &[Run<(Index, Index), T>]) -
     let (tuples, merged_rows) = merge_matrix_rows(base, runs, 0, nrows);
     note_flush(pending, merged_rows);
     Csr::from_sorted_tuples(nrows, ncols, tuples)
+}
+
+/// Merge pending runs into a *store* under `policy` — the flush entry
+/// point of [`crate::object::Matrix`]'s overlay and flush nodes.
+///
+/// When the store is tiled and the policy keeps the same grid, the
+/// merge is **tile-granular**: runs are partitioned per tile (keys
+/// localized, `seq` order preserved), only dirty tiles are re-merged —
+/// as chunk tasks on the shared pool, in deterministic grid order — and
+/// every clean tile keeps its `Arc` identity, so its memoized views and
+/// degree caches survive the flush untouched. Otherwise this is the
+/// classic whole-slab merge re-stored under the policy.
+pub fn merge_into_store<T: Scalar>(
+    store: &MatrixStore<T>,
+    runs: &[Run<(Index, Index), T>],
+    policy: FormatPolicy,
+) -> MatrixStore<T> {
+    if let (Layout::Tiled(t), Some(grid)) = (store.layout(), policy.tile_grid()) {
+        if t.grid() == tiled::clamp_grid(store.nrows(), store.ncols(), grid) {
+            return merge_tiled(t, runs);
+        }
+    }
+    MatrixStore::from_csr(merge_matrix(store.row_csr().as_ref(), runs), policy)
+}
+
+/// Localize each run to the tiles it touches, merge the dirty tiles
+/// (pool-parallel, in-order), and share every clean tile's `Arc`.
+fn merge_tiled<T: Scalar>(t: &Tiled<T>, runs: &[Run<(Index, Index), T>]) -> MatrixStore<T> {
+    let (gr, gc) = t.grid();
+    let (_, span_c) = t.tile_span();
+    let pending: usize = runs.iter().map(|r| r.len()).sum();
+    // Per-tile runs: a row-range slice (binary search on the row-major
+    // key order) split by tile column. The split is order-preserving
+    // and per-run, so each local list is still a sorted, deduplicated
+    // run and cross-run LWW-by-seq semantics carry over unchanged.
+    let mut tile_runs: Vec<Vec<Run<(Index, Index), T>>> = vec![Vec::new(); gr * gc];
+    for run in runs {
+        for ti in 0..gr {
+            let (r0, r1, _, _) = t.tile_bounds(ti, 0);
+            let lo = run.partition_point(|e| e.key.0 < r0);
+            let hi = run.partition_point(|e| e.key.0 < r1);
+            if lo == hi {
+                continue;
+            }
+            let mut parts: Vec<Vec<DeltaEntry<(Index, Index), T>>> = vec![Vec::new(); gc];
+            for e in &run[lo..hi] {
+                let tj = e.key.1 / span_c;
+                parts[tj].push(DeltaEntry {
+                    key: (e.key.0 - r0, e.key.1 - tj * span_c),
+                    seq: e.seq,
+                    op: e.op.clone(),
+                });
+            }
+            for (tj, part) in parts.into_iter().enumerate() {
+                if !part.is_empty() {
+                    tile_runs[ti * gc + tj].push(Run::from(part));
+                }
+            }
+        }
+    }
+    let dirty: Vec<usize> = (0..gr * gc).filter(|&k| !tile_runs[k].is_empty()).collect();
+    let merge_one = |k: usize| -> (Option<Arc<MatrixStore<T>>>, usize) {
+        let idx = dirty[k];
+        let (ti, tj) = (idx / gc, idx % gc);
+        let (r0, r1, c0, c1) = t.tile_bounds(ti, tj);
+        let base = match t.tiles()[idx].as_ref() {
+            Some(s) => s.row_csr(),
+            None => Arc::new(Csr::empty(r1 - r0, c1 - c0)),
+        };
+        let (tuples, merged_rows) = merge_matrix_rows(&base, &tile_runs[idx], 0, r1 - r0);
+        let block = (!tuples.is_empty()).then(|| {
+            Arc::new(MatrixStore::from_csr(
+                Csr::from_sorted_tuples(r1 - r0, c1 - c0, tuples),
+                FormatPolicy::Auto,
+            ))
+        });
+        (block, merged_rows)
+    };
+    let work = pending
+        + dirty
+            .iter()
+            .map(|&k| t.tiles()[k].as_ref().map_or(0, |s| s.nvals()))
+            .sum::<usize>();
+    let results: Vec<(Option<Arc<MatrixStore<T>>>, usize)>;
+    #[cfg(feature = "parallel")]
+    {
+        results = match par::plan(dirty.len(), work) {
+            Some(plan) => par::run_chunks(dirty.len(), plan, |lo, hi| {
+                (lo..hi).map(merge_one).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect(),
+            None => (0..dirty.len()).map(merge_one).collect(),
+        };
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = work;
+        results = (0..dirty.len()).map(merge_one).collect();
+    }
+    let mut tiles = t.tiles().to_vec();
+    let mut merged_rows = 0usize;
+    for (&idx, (block, rows)) in dirty.iter().zip(results) {
+        tiles[idx] = block;
+        merged_rows += rows;
+    }
+    note_flush(pending, merged_rows);
+    tiled::note_tiles(dirty.iter().map(|&k| ((k / gc) as u32, (k % gc) as u32)));
+    MatrixStore::tiled(Tiled::from_tiles(t.nrows(), t.ncols(), (gr, gc), tiles))
 }
 
 /// The vector analogue of [`merge_matrix_rows`] over the index range
@@ -374,6 +487,103 @@ mod tests {
         assert_eq!(st.pending_len, runs.iter().map(|r| r.len()).sum::<usize>());
         let pst = par::take_stats();
         assert!(pst.par_chunks >= 2, "merge did not chunk");
+    }
+
+    #[test]
+    fn tiled_merge_matches_slab_merge() {
+        let base =
+            Csr::from_sorted_tuples(16, 16, (0..16usize).map(|i| (i, (i * 5) % 16, i as i64)));
+        let ops: Vec<(Index, Index, Option<i64>)> = (0..60)
+            .map(|k| {
+                let i = (k * 11) % 16;
+                let j = (k * 3) % 16;
+                (
+                    i,
+                    j,
+                    if k % 4 == 0 {
+                        None
+                    } else {
+                        Some(100 + k as i64)
+                    },
+                )
+            })
+            .collect();
+        let runs = log_of(&ops).drain();
+        let slab = merge_matrix(&base, &runs);
+        take_flush_stats();
+        for grid in [(1, 1), (2, 2), (4, 4), (3, 5)] {
+            let policy = FormatPolicy::Tiled {
+                rows: grid.0,
+                cols: grid.1,
+            };
+            let store = MatrixStore::from_csr(base.clone(), policy);
+            let out = merge_into_store(&store, &runs, policy);
+            assert_eq!(out.row_csr().as_ref(), &slab, "grid {grid:?}");
+            take_flush_stats();
+            let _ = tiled::take_tiles();
+        }
+    }
+
+    /// Satellite regression: a drain that only dirties one tile must
+    /// leave every other tile's storage (and therefore its memoized
+    /// degree caches) shared by pointer with the pre-flush store —
+    /// tile-granular flush may not invalidate per-store property caches
+    /// wholesale.
+    #[test]
+    fn tiled_merge_keeps_clean_tiles_and_their_caches() {
+        use std::sync::Arc;
+        let base = Csr::from_sorted_tuples(
+            8,
+            8,
+            vec![
+                (0, 0, 1i64),
+                (1, 6, 2), // tile (0,1)
+                (5, 1, 3), // tile (1,0)
+                (6, 6, 4), // tile (1,1)
+                (7, 2, 5), // tile (1,0)
+            ],
+        );
+        let policy = FormatPolicy::Tiled { rows: 2, cols: 2 };
+        let store = MatrixStore::from_csr(base, policy);
+        let Layout::Tiled(before) = store.layout() else {
+            panic!("expected tiled layout");
+        };
+        // warm each tile's degree cache
+        let warmed: Vec<Option<std::sync::Arc<[usize]>>> = (0..2)
+            .flat_map(|ti| (0..2).map(move |tj| (ti, tj)))
+            .map(|(ti, tj)| before.tile(ti, tj).map(|t| t.row_degrees()))
+            .collect();
+
+        // dirty only tile (0,0): keys in rows 0..4, cols 0..4
+        let mut log = DeltaLog::new();
+        log.push((1usize, 2usize), DeltaOp::Put(9i64));
+        log.push((0, 0), DeltaOp::Del);
+        let out = merge_into_store(&store, &log.drain(), policy);
+        let st = take_flush_stats();
+        assert_eq!(st.pending_len, 2);
+        assert_eq!(tiled::take_tiles(), vec![(0, 0)]);
+
+        let Layout::Tiled(after) = out.layout() else {
+            panic!("merge changed the layout");
+        };
+        // the dirty tile was rebuilt …
+        assert_eq!(out.get(1, 2), Some(&9));
+        assert_eq!(out.get(0, 0), None);
+        // … and every clean tile is the same Arc as before the flush,
+        // so its warmed degree cache survives by pointer identity.
+        for (ti, tj) in [(0usize, 1usize), (1, 0), (1, 1)] {
+            let b = before.tile(ti, tj).expect("tile occupied before");
+            let a = after.tile(ti, tj).expect("tile occupied after");
+            assert!(Arc::ptr_eq(b, a), "tile ({ti},{tj}) was rebuilt");
+            let cached = warmed[ti * 2 + tj].as_ref().expect("warmed");
+            assert!(
+                Arc::ptr_eq(cached, &a.row_degrees()),
+                "tile ({ti},{tj}) lost its degree cache"
+            );
+        }
+        let b = before.tile(0, 0).expect("dirty tile occupied before");
+        let a = after.tile(0, 0).expect("dirty tile occupied after");
+        assert!(!Arc::ptr_eq(b, a), "dirty tile must be rebuilt");
     }
 
     #[test]

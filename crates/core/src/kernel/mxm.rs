@@ -24,6 +24,7 @@ use crate::mask::{MaskCsr, Pattern};
 use crate::scalar::Scalar;
 use crate::storage::csr::Csr;
 use crate::storage::engine::Hyper;
+use crate::storage::tiled::{self, OrientedTiles, Tiled};
 
 /// Row-accumulator strategy for [`mxm`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -301,6 +302,114 @@ where
     )
 }
 
+/// Tiled SpGEMM: `T = A ⊕.⊗ B` where `A` is stored as a 2D tile grid.
+/// Each logical row of `A` is gathered across its stripe's tiles
+/// left-to-right — ascending global `k`, the same entry order the slab
+/// kernel walks — and fed through the identical per-row accumulation,
+/// so the result is bitwise-equal to [`mxm`] on the assembled slab.
+/// Only the tiles in stripes that actually multiply are materialized as
+/// row views; the touched set is recorded for the execution trace.
+pub fn mxm_tiled<D1, D2, D3, S>(sr: &S, a: &Tiled<D1>, b: &Csr<D2>, mask: &MaskCsr) -> Csr<D3>
+where
+    D1: Scalar,
+    D2: Scalar,
+    D3: Scalar,
+    S: Semiring<D1, D2, D3>,
+{
+    debug_assert_eq!(a.ncols(), b.nrows());
+    let (nrows, ncols) = (a.nrows(), b.ncols());
+    let ot = OrientedTiles::new(a, false);
+    let rows = map_rows_init(
+        nrows,
+        a.nvals() + b.nvals(),
+        || {
+            (
+                Workspace::<D3>::new(ncols),
+                Vec::<Index>::new(),
+                Vec::<D1>::new(),
+                ot.cursor(),
+            )
+        },
+        |(ws, ac, av, cur), i| {
+            let mrow = mask.row(i);
+            if mrow.admits_nothing() {
+                return (Vec::new(), Vec::new());
+            }
+            // Gather A(i,:) across the stripe's tiles in ascending-k order.
+            ac.clear();
+            av.clear();
+            cur.for_row(i, &mut |off, cols, vals| {
+                for (c, v) in cols.iter().zip(vals) {
+                    ac.push(off + c);
+                    av.push(v.clone());
+                }
+            });
+            if ac.is_empty() {
+                return (Vec::new(), Vec::new());
+            }
+            let unmasked = mrow.admits_everything();
+            let mask_flag = if unmasked {
+                true
+            } else {
+                mrow.scatter(&mut ws.mask_ws, &mut ws.mask_touched)
+            };
+            let admitted = |ws: &Workspace<D3>, j: Index| unmasked || (ws.mask_ws[j] != mask_flag);
+
+            let flops: usize = ac.iter().map(|&k| b.row_nvals(k)).sum();
+            let use_dense = ncols <= DENSE_ALWAYS_WIDTH || flops >= ncols / 16;
+            let add = sr.add();
+            let mul = sr.mul();
+
+            let out = if use_dense {
+                for (k, aik) in ac.iter().zip(av.iter()) {
+                    let (bc, bv) = b.row(*k);
+                    for (j, bkj) in bc.iter().zip(bv) {
+                        if !admitted(ws, *j) {
+                            continue;
+                        }
+                        let prod = mul.apply(aik, bkj);
+                        match &mut ws.dense[*j] {
+                            Some(acc) => *acc = add.apply(acc, &prod),
+                            slot @ None => {
+                                *slot = Some(prod);
+                                ws.touched.push(*j);
+                            }
+                        }
+                    }
+                }
+                ws.touched.sort_unstable();
+                let mut cols = Vec::with_capacity(ws.touched.len());
+                let mut vals = Vec::with_capacity(ws.touched.len());
+                for &j in &ws.touched {
+                    cols.push(j);
+                    vals.push(ws.dense[j].take().expect("touched slot"));
+                }
+                ws.touched.clear();
+                (cols, vals)
+            } else {
+                let mut acc = HashAcc::with_estimate(flops);
+                for (k, aik) in ac.iter().zip(av.iter()) {
+                    let (bc, bv) = b.row(*k);
+                    for (j, bkj) in bc.iter().zip(bv) {
+                        if !admitted(ws, *j) {
+                            continue;
+                        }
+                        acc.accumulate(*j, mul.apply(aik, bkj), add);
+                    }
+                }
+                acc.drain_sorted()
+            };
+            for &j in &ws.mask_touched {
+                ws.mask_ws[j] = false;
+            }
+            ws.mask_touched.clear();
+            out
+        },
+    );
+    tiled::note_tiles(ot.touched());
+    assemble_rows(nrows, ncols, rows)
+}
+
 /// Masked dot-product SpGEMM: computes `T = A ⊕.⊗ B` **only** at the
 /// positions of `pattern` (an effective, non-complemented mask), given
 /// `B` in transposed form. Work is `O(Σ_{(i,j)∈mask} (nnz A(i,:) +
@@ -570,6 +679,59 @@ mod tests {
         );
         assert_eq!(masked.to_csr(), reference);
         assert_eq!(masked.nvals(), 1); // only (1,3) admitted
+    }
+
+    #[test]
+    fn tiled_kernel_matches_csr_kernel_bitwise() {
+        let n = 300usize;
+        let mut tuples = Vec::new();
+        let mut x = 424242u64;
+        for i in 0..n {
+            for _ in 0..4 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = (x >> 33) as usize % n;
+                tuples.push((i, j, ((x >> 17) % 1000) as f64 / 7.0));
+            }
+        }
+        tuples.sort_by_key(|&(i, j, _)| (i, j));
+        tuples.dedup_by_key(|&mut (i, j, _)| (i, j));
+        let a_csr = Csr::from_sorted_tuples(n, n, tuples);
+        let slab = mxm(
+            &plus_times::<f64>(),
+            &a_csr,
+            &a_csr,
+            &MaskCsr::All,
+            MxmStrategy::Auto,
+        );
+        for grid in [(1, 1), (2, 2), (4, 4), (7, 3)] {
+            let a_tiled = Tiled::from_csr(&a_csr, grid);
+            let tiled = mxm_tiled(&plus_times::<f64>(), &a_tiled, &a_csr, &MaskCsr::All);
+            // f64 plus is not associative under reordering — equality here
+            // proves the tiled gather preserves the slab's fold order.
+            assert_eq!(tiled, slab, "grid {grid:?}");
+        }
+        let _ = tiled::take_tiles();
+    }
+
+    #[test]
+    fn tiled_kernel_respects_mask() {
+        let a_csr = Csr::from_sorted_tuples(10, 10, vec![(1, 2, 2i32), (2, 3, 3), (9, 1, 7)]);
+        let a_tiled = Tiled::from_csr(&a_csr, (3, 3));
+        let m = Csr::from_sorted_tuples(10, 10, vec![(1, 3, true)]);
+        let mask = MaskCsr::from_csr(&m, false, false);
+        let masked = mxm_tiled(&plus_times::<i32>(), &a_tiled, &a_csr, &mask);
+        let reference = mxm(
+            &plus_times::<i32>(),
+            &a_csr,
+            &a_csr,
+            &mask,
+            MxmStrategy::Auto,
+        );
+        assert_eq!(masked, reference);
+        assert_eq!(masked.nvals(), 1);
+        let _ = tiled::take_tiles();
     }
 
     #[test]

@@ -36,11 +36,12 @@ use crate::algebra::semiring::Semiring;
 use crate::index::Index;
 #[cfg(feature = "parallel")]
 use crate::kernel::par;
-use crate::kernel::util::map_rows;
+use crate::kernel::util::{map_rows, map_rows_init};
 use crate::mask::MaskVec;
 use crate::scalar::Scalar;
 use crate::storage::csr::Csr;
 use crate::storage::engine::{Bitmap, Layout, MatrixStore};
+use crate::storage::tiled::{self, OrientedTiles, RowCursor, Tiled};
 use crate::storage::vec::SparseVec;
 
 /// Evaluation strategy for one matrix–vector product.
@@ -160,6 +161,11 @@ where
     match dir {
         Chosen::Push => {
             note_direction("push");
+            // tiled stores push through per-tile views instead of an
+            // assembled slab — same frontier walk, segmented rows
+            if let Layout::Tiled(t) = store.layout() {
+                return push_tiled(t, transposed, v, mask, out_size, &fwd_deg, &mulf, &addf);
+            }
             let fwd = oriented(store, transposed);
             push(&fwd, v, mask, out_size, &mulf, &addf)
         }
@@ -172,6 +178,11 @@ where
             if transposed {
                 if let Layout::Bitmap(b) = store.layout() {
                     return pull_bitmap(b, v, mask, &mulf, &addf);
+                }
+            }
+            if let Layout::Tiled(t) = store.layout() {
+                if !wide_pull(mask, out_size) && !store.csr_view_ready(!transposed) {
+                    return pull_tiled(t, !transposed, v, mask, &mulf, &addf);
                 }
             }
             let rev = oriented(store, !transposed);
@@ -233,6 +244,9 @@ where
     match dir {
         Chosen::Push => {
             note_direction("push");
+            if let Layout::Tiled(t) = store.layout() {
+                return push_tiled(t, !transposed, v, mask, out_size, &fwd_deg, &mulf, &addf);
+            }
             let fwd = oriented(store, !transposed);
             push(&fwd, v, mask, out_size, &mulf, &addf)
         }
@@ -245,10 +259,40 @@ where
                     return pull_bitmap(b, v, mask, &mulf, &addf);
                 }
             }
+            if let Layout::Tiled(t) = store.layout() {
+                if !wide_pull(mask, out_size) && !store.csr_view_ready(transposed) {
+                    return pull_tiled(t, transposed, v, mask, &mulf, &addf);
+                }
+            }
             let rev = oriented(store, transposed);
             pull(&rev, v, mask, &mulf, &addf)
         }
     }
+}
+
+/// Whether a pull would walk at least half the output dimension — the
+/// full-sweep shape (O(1) from the mask). A *wide* pull over a tiled
+/// store re-pays the per-segment gather overhead on most rows every
+/// call, so it is served from the store's memoized assembled reverse
+/// view instead (one slab assembly per store — the same conversion
+/// penalty a slab store pays for its missing orientation — then
+/// slab-speed merge-walks for the store's lifetime). Narrow pulls keep
+/// the native tile walk and never force assembly. Both routes fold in
+/// ascending stored-index order, so the choice is bitwise invisible
+/// (`tests/tiled_equivalence.rs`).
+fn wide_pull(mask: &MaskVec, out_size: Index) -> bool {
+    let admitted = match mask {
+        MaskVec::All => out_size,
+        MaskVec::Pattern {
+            indices,
+            complement: false,
+        } => indices.len(),
+        MaskVec::Pattern {
+            indices,
+            complement: true,
+        } => out_size.saturating_sub(indices.len()),
+    };
+    admitted * 2 >= out_size
 }
 
 /// The CSR view with rows indexed by A's columns (`col_side = true`) or
@@ -304,9 +348,14 @@ fn choose<A: Scalar, V: Scalar>(
     // view is and the value is (bitwise) symmetric, because `col_csr`
     // then *shares* the row view instead of transposing. The symmetry
     // probe only runs when the row view is itself free, so costing a
-    // plan never triggers the very conversion being costed.
-    let fwd_ready =
-        store.csr_view_ready(fwd_col_side) || (store.csr_view_ready(false) && store.is_symmetric());
+    // plan never triggers the very conversion being costed. A tiled
+    // store serves both orientations through per-tile views (a touched
+    // tile transposes lazily, amortized per tile), so neither side pays
+    // the whole-slab conversion penalty.
+    let is_tiled = matches!(store.layout(), Layout::Tiled(_));
+    let fwd_ready = is_tiled
+        || store.csr_view_ready(fwd_col_side)
+        || (store.csr_view_ready(false) && store.is_symmetric());
     let fwd_penalty = if fwd_ready { 0 } else { nnz + out_size };
     // the sparse accumulator sorts and reduces what it gathers — charge
     // the products twice; the dense accumulator instead pays an
@@ -332,6 +381,7 @@ fn choose<A: Scalar, V: Scalar>(
     // the pull path reads the bitmap directly, or via the same symmetry
     // sharing as the forward side
     let rev_ready = bitmap_pull
+        || is_tiled
         || store.csr_view_ready(!fwd_col_side)
         || (store.csr_view_ready(false) && store.is_symmetric());
     let rev_penalty = if rev_ready { 0 } else { nnz + out_size };
@@ -394,6 +444,18 @@ where
             pairs.push((*j, mulf(a, &vv[p])));
         }
     }
+    reduce_pairs(pairs, addf)
+}
+
+/// Stable-sort gathered `(output index, product)` pairs and reduce
+/// adjacent duplicates left-to-right — the shared tail of the slab and
+/// tiled push gathers. Stability keeps frontier order within each
+/// output index, so accumulation stays in ascending input-index order.
+fn reduce_pairs<D3, R>(mut pairs: Vec<(Index, D3)>, addf: &R) -> (Vec<Index>, Vec<D3>)
+where
+    D3: Scalar,
+    R: Fn(&D3, &D3) -> D3,
+{
     pairs.sort_by_key(|&(j, _)| j); // stable sort: frontier order survives
     let mut idx: Vec<Index> = Vec::new();
     let mut out: Vec<D3> = Vec::new();
@@ -407,6 +469,91 @@ where
         }
     }
     (idx, out)
+}
+
+/// The tiled analog of [`push_gather`]: each frontier row's entries are
+/// drawn from the stripe's tiles left-to-right, so pairs are gathered in
+/// ascending global output order within each frontier position — the
+/// same order a slab row yields.
+#[allow(clippy::too_many_arguments)] // chunk-span shape, mirrors push_gather
+fn push_gather_tiled<A, V, D3, M, R>(
+    ot: &OrientedTiles<'_, A>,
+    vi: &[Index],
+    vv: &[V],
+    mask: &MaskVec,
+    lo: usize,
+    hi: usize,
+    mulf: &M,
+    addf: &R,
+) -> (Vec<Index>, Vec<D3>)
+where
+    A: Scalar,
+    V: Scalar,
+    D3: Scalar,
+    M: Fn(&A, &V) -> D3,
+    R: Fn(&D3, &D3) -> D3,
+{
+    let mut pairs: Vec<(Index, D3)> = Vec::new();
+    // frontier indices are sorted, so the cursor's stripe cache hits
+    let mut cur = ot.cursor();
+    for p in lo..hi {
+        cur.for_row(vi[p], &mut |off, cols, vals| {
+            for (j, a) in cols.iter().zip(vals) {
+                let g = off + j;
+                if !mask.admits(g) {
+                    continue;
+                }
+                pairs.push((g, mulf(a, &vv[p])));
+            }
+        });
+    }
+    reduce_pairs(pairs, addf)
+}
+
+/// Push over a tiled store: the frontier walk of [`push`], reading rows
+/// through lazily materialized per-tile views (`col_side` picks the
+/// orientation) — only tiles the frontier actually touches convert.
+#[allow(clippy::too_many_arguments)] // dispatch-shape, mirrors push
+fn push_tiled<A, V, D3, M, R>(
+    t: &Tiled<A>,
+    col_side: bool,
+    v: &SparseVec<V>,
+    mask: &MaskVec,
+    out_size: Index,
+    fwd_deg: &[usize],
+    mulf: &M,
+    addf: &R,
+) -> SparseVec<D3>
+where
+    A: Scalar,
+    V: Scalar,
+    D3: Scalar,
+    M: Fn(&A, &V) -> D3 + Sync,
+    R: Fn(&D3, &D3) -> D3 + Sync,
+{
+    let vi = v.indices();
+    let vv = v.vals();
+    let ot = OrientedTiles::new(t, col_side);
+    #[cfg(not(feature = "parallel"))]
+    let _ = fwd_deg;
+    #[cfg(feature = "parallel")]
+    {
+        let work: usize = vi.iter().map(|&i| fwd_deg[i]).sum();
+        if let Some(plan) = par::plan(vi.len(), work) {
+            let parts = par::run_chunks(vi.len(), plan, |lo, hi| {
+                push_gather_tiled(&ot, vi, vv, mask, lo, hi, mulf, addf)
+            });
+            let merged = parts
+                .into_iter()
+                .reduce(|a, b| merge_sorted(a, b, addf))
+                .unwrap_or_default();
+            tiled::note_tiles(ot.touched());
+            return SparseVec::from_sorted_parts(out_size, merged.0, merged.1);
+        }
+    }
+    let (idx, vals) = push_gather_tiled(&ot, vi, vv, mask, 0, vi.len(), mulf, addf);
+    tiled::note_tiles(ot.touched());
+    SparseVec::from_sorted_parts(out_size, idx, vals)
 }
 
 /// Merge two sorted per-chunk results; `a` comes from earlier frontier
@@ -605,6 +752,122 @@ where
     SparseVec::from_sorted_parts(out_size, idx, out)
 }
 
+/// One reverse-oriented *tiled* row against the dense-scattered input:
+/// tile segments arrive in ascending global stored-index order, so the
+/// left fold is bitwise identical to [`probe_row`] over a slab row.
+fn probe_row_tiled<A, V, D3, M, R>(
+    cur: &mut RowCursor<'_, '_, A>,
+    j: Index,
+    v_dense: &[Option<&V>],
+    mulf: &M,
+    addf: &R,
+) -> Option<D3>
+where
+    A: Scalar,
+    V: Scalar,
+    D3: Scalar,
+    M: Fn(&A, &V) -> D3,
+    R: Fn(&D3, &D3) -> D3,
+{
+    let mut acc: Option<D3> = None;
+    cur.for_row(j, &mut |off, cols, vals| {
+        for (i, a) in cols.iter().zip(vals) {
+            if let Some(x) = v_dense[off + i] {
+                let prod = mulf(a, x);
+                acc = Some(match acc.take() {
+                    Some(y) => addf(&y, &prod),
+                    None => prod,
+                });
+            }
+        }
+    });
+    acc
+}
+
+/// Pull over a tiled store: the per-admitted-output merge-walk of
+/// [`pull`], probing rows through lazily materialized per-tile views
+/// (`col_side` picks the reverse orientation).
+fn pull_tiled<A, V, D3, M, R>(
+    t: &Tiled<A>,
+    col_side: bool,
+    v: &SparseVec<V>,
+    mask: &MaskVec,
+    mulf: &M,
+    addf: &R,
+) -> SparseVec<D3>
+where
+    A: Scalar,
+    V: Scalar,
+    D3: Scalar,
+    M: Fn(&A, &V) -> D3 + Sync,
+    R: Fn(&D3, &D3) -> D3 + Sync,
+{
+    let ot = OrientedTiles::new(t, col_side);
+    let out_size = ot.nrows();
+    let mut v_dense: Vec<Option<&V>> = vec![None; v.size()];
+    for (k, val) in v.iter() {
+        v_dense[k] = Some(val);
+    }
+    let v_dense = &v_dense;
+    if let MaskVec::Pattern {
+        indices,
+        complement: false,
+    } = mask
+    {
+        let eval = |lo: usize, hi: usize| {
+            let mut cur = ot.cursor();
+            let mut idx = Vec::new();
+            let mut out = Vec::new();
+            for &j in &indices[lo..hi] {
+                if let Some(acc) = probe_row_tiled(&mut cur, j, v_dense, mulf, addf) {
+                    idx.push(j);
+                    out.push(acc);
+                }
+            }
+            (idx, out)
+        };
+        #[cfg(feature = "parallel")]
+        {
+            let work: usize = t.nvals().min(indices.len().saturating_mul(8)) + v.nvals();
+            if let Some(plan) = par::plan(indices.len(), work) {
+                let parts = par::run_chunks(indices.len(), plan, eval);
+                let mut idx = Vec::new();
+                let mut out = Vec::new();
+                for (i, o) in parts {
+                    idx.extend(i);
+                    out.extend(o);
+                }
+                tiled::note_tiles(ot.touched());
+                return SparseVec::from_sorted_parts(out_size, idx, out);
+            }
+        }
+        let (idx, out) = eval(0, indices.len());
+        tiled::note_tiles(ot.touched());
+        return SparseVec::from_sorted_parts(out_size, idx, out);
+    }
+    let results = map_rows_init(
+        out_size,
+        t.nvals() + v.nvals(),
+        || ot.cursor(),
+        |cur, j| {
+            if !mask.admits(j) {
+                return None;
+            }
+            probe_row_tiled(cur, j, v_dense, mulf, addf)
+        },
+    );
+    let mut idx = Vec::new();
+    let mut out = Vec::new();
+    for (j, r) in results.into_iter().enumerate() {
+        if let Some(val) = r {
+            idx.push(j);
+            out.push(val);
+        }
+    }
+    tiled::note_tiles(ot.touched());
+    SparseVec::from_sorted_parts(out_size, idx, out)
+}
+
 /// Pull over a bitmap store's native row orientation (the dense-frontier
 /// fast path of BFS/BC pull steps), closure-parameterized so both `mxv`
 /// and transposed `vxm` can use it.
@@ -687,7 +950,13 @@ mod tests {
         let sr = plus_times::<i32>();
         let v = SparseVec::from_sorted_parts(3, vec![0, 2], vec![10, 30]);
         for transposed in [false, true] {
-            for fmt in [Format::Csr, Format::Csc, Format::Bitmap, Format::Hyper] {
+            for fmt in [
+                Format::Csr,
+                Format::Csc,
+                Format::Bitmap,
+                Format::Hyper,
+                Format::Tiled,
+            ] {
                 let st = store().into_format(fmt);
                 let masks = [
                     MaskVec::All,

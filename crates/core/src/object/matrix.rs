@@ -106,7 +106,7 @@ impl<T: Scalar> Matrix<T> {
             nrows,
             ncols,
             cell: Arc::new(RwLock::new(Node::ready(MatrixStore::empty(nrows, ncols)))),
-            policy: Arc::new(RwLock::new(FormatPolicy::default())),
+            policy: Arc::new(RwLock::new(crate::storage::engine::session_default_policy())),
             delta: Arc::new(Mutex::new(DeltaLog::new())),
             overlay: Arc::new(Mutex::new(None)),
         })
@@ -358,6 +358,52 @@ impl<T: Scalar> Matrix<T> {
         Ok(())
     }
 
+    /// `GxB_set(matrix, TileShape, rows × cols)` analog: shard this
+    /// object's value into a 2D tile grid, converting the current value
+    /// now (forces completion) and directing future computed values into
+    /// the same grid. The grid is clamped to the matrix dimensions.
+    pub fn set_tile_shape(&self, rows: usize, cols: usize) -> Result<()> {
+        if rows == 0 || cols == 0 {
+            return Err(Error::InvalidValue(format!(
+                "tile grid must be positive, got {rows}x{cols}"
+            )));
+        }
+        if rows > u16::MAX as usize || cols > u16::MAX as usize {
+            return Err(Error::InvalidValue(format!(
+                "tile grid {rows}x{cols} exceeds the {} per-axis maximum",
+                u16::MAX
+            )));
+        }
+        self.set_format_policy(FormatPolicy::Tiled {
+            rows: rows as u16,
+            cols: cols as u16,
+        });
+        let store = self.forced_storage()?;
+        let clamped = crate::storage::tiled::clamp_grid(self.nrows, self.ncols, (rows, cols));
+        if store.tile_grid() != Some(clamped) {
+            self.install(Node::ready((*store).clone().into_tiled((rows, cols))));
+        }
+        Ok(())
+    }
+
+    /// The configured tile grid, if this object's policy shards it.
+    pub fn tile_shape(&self) -> Option<(usize, usize)> {
+        self.format_policy().tile_grid()
+    }
+
+    /// Undo [`Matrix::set_tile_shape`]: back to `FormatPolicy::Auto`,
+    /// re-storing the current value as a single slab (forces completion).
+    pub fn clear_tile_shape(&self) -> Result<()> {
+        self.set_format_policy(FormatPolicy::Auto);
+        let store = self.forced_storage()?;
+        if store.tile_grid().is_some() {
+            self.install(Node::ready(
+                (*store).clone().apply_policy(FormatPolicy::Auto),
+            ));
+        }
+        Ok(())
+    }
+
     /// Force completion of this object alone (the released C spec's
     /// per-object `GrB_Matrix_wait`), surfacing any execution error from
     /// its defining computation. Merges any pending point updates.
@@ -427,8 +473,7 @@ impl<T: Scalar> Matrix<T> {
             vec![base.clone() as Arc<dyn Completable>],
             Box::new(move || {
                 let store = merge_base.ready_storage()?;
-                let merged = merge::merge_matrix(store.row_csr().as_ref(), &merge_runs);
-                Ok(MatrixStore::from_csr(merged, policy))
+                Ok(merge::merge_into_store(store.as_ref(), &merge_runs, policy))
             }),
         );
         *memo = Some((epoch, node.clone()));
@@ -486,8 +531,7 @@ impl<T: Scalar> Matrix<T> {
             vec![dep],
             Box::new(move || {
                 let store = base.ready_storage()?;
-                let merged = merge::merge_matrix(store.row_csr().as_ref(), &runs);
-                Ok(MatrixStore::from_csr(merged, policy))
+                Ok(merge::merge_into_store(store.as_ref(), &runs, policy))
             }),
         );
         self.install(node.clone());

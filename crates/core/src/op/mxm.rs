@@ -10,7 +10,7 @@ use crate::descriptor::Descriptor;
 use crate::error::{dim_check, Result};
 use crate::exec::fuse::MatProducer;
 use crate::exec::{Completable, Context};
-use crate::kernel::mxm::{mxm as mxm_kernel, mxm_dot, mxm_hyper, MxmStrategy};
+use crate::kernel::mxm::{mxm as mxm_kernel, mxm_dot, mxm_hyper, mxm_tiled, MxmStrategy};
 use crate::kernel::write::write_matrix;
 use crate::mask::MaskCsr;
 use crate::object::mask_arg::MatrixMask;
@@ -156,6 +156,23 @@ impl Context {
                             return Err(e);
                         }
                         return Ok(MatrixStore::hyper(t));
+                    }
+                    // Tiled fast path: walk A's tile grid directly instead
+                    // of assembling a slab view first. Per-row gather order
+                    // is ascending k, so the product is bitwise-identical
+                    // to the slab kernel's.
+                    if let Layout::Tiled(a_tiled) = a_node.ready_storage()?.layout() {
+                        let a_tiled = a_tiled.clone();
+                        let b_st = oriented_storage(&b_node, tr_b)?;
+                        let t = mxm_tiled(&semiring, &a_tiled, &b_st, &MaskCsr::All);
+                        if let Some(e) = semiring
+                            .add()
+                            .poll_error()
+                            .or_else(|| semiring.mul().poll_error())
+                        {
+                            return Err(e);
+                        }
+                        return Ok(MatrixStore::csr(t));
                     }
                 }
 

@@ -32,6 +32,7 @@ use std::sync::{Arc, OnceLock};
 use crate::index::Index;
 use crate::scalar::Scalar;
 use crate::storage::csr::Csr;
+use crate::storage::tiled::{self, Tiled};
 
 pub use bitmap::Bitmap;
 pub use hyper::Hyper;
@@ -47,6 +48,9 @@ pub enum Format {
     Bitmap,
     /// Hypersparse CSR (compressed non-empty-row list).
     Hyper,
+    /// 2D grid of independently formatted blocks
+    /// ([`crate::storage::tiled::Tiled`]).
+    Tiled,
 }
 
 impl Format {
@@ -57,9 +61,15 @@ impl Format {
             Format::Csc => "csc",
             Format::Bitmap => "bitmap",
             Format::Hyper => "hyper",
+            Format::Tiled => "tiled",
         }
     }
 }
+
+/// The tile grid [`MatrixStore::into_format`] uses when asked for
+/// [`Format::Tiled`] without an explicit shape (`FormatPolicy::Tiled`
+/// carries its own).
+pub const DEFAULT_TILE_GRID: (usize, usize) = (4, 4);
 
 /// Per-object format policy: how the engine stores values computed into
 /// an object (the `GxB_*`-style hint of the C extensions).
@@ -71,6 +81,10 @@ pub enum FormatPolicy {
     Auto,
     /// Always store in the given layout.
     Force(Format),
+    /// Store as a 2D tile grid of the given shape, each block formatted
+    /// autonomously by `Auto` — the tiling knob set through
+    /// `GxB_set(…, TileShape, …)`.
+    Tiled { rows: u16, cols: u16 },
 }
 
 /// `Auto` stores a bitmap when `nvals / (nrows*ncols) ≥ 1/16` (6.25%,
@@ -91,6 +105,7 @@ impl FormatPolicy {
     pub fn choose(self, nrows: Index, ncols: Index, nvals: usize) -> Format {
         match self {
             FormatPolicy::Force(f) => f,
+            FormatPolicy::Tiled { .. } => Format::Tiled,
             FormatPolicy::Auto => {
                 let cells = nrows as u128 * ncols as u128;
                 if nvals == 0 || cells == 0 {
@@ -107,6 +122,30 @@ impl FormatPolicy {
             }
         }
     }
+
+    /// The tile grid this policy shards into, if it is a tiling policy.
+    pub fn tile_grid(self) -> Option<(usize, usize)> {
+        match self {
+            FormatPolicy::Tiled { rows, cols } => Some((rows as usize, cols as usize)),
+            _ => None,
+        }
+    }
+}
+
+/// Session-wide default format policy, applied to newly created
+/// matrices (`GxB_set(Global, FormatPolicy | TileShape, …)`). Objects
+/// that set their own policy are unaffected.
+static SESSION_DEFAULT_POLICY: parking_lot::RwLock<FormatPolicy> =
+    parking_lot::RwLock::new(FormatPolicy::Auto);
+
+/// Set (or with `FormatPolicy::Auto` reset) the session default policy.
+pub fn set_session_default_policy(policy: FormatPolicy) {
+    *SESSION_DEFAULT_POLICY.write() = policy;
+}
+
+/// The format policy newly created matrices start with.
+pub fn session_default_policy() -> FormatPolicy {
+    *SESSION_DEFAULT_POLICY.read()
 }
 
 /// The four concrete layouts behind a [`MatrixStore`].
@@ -120,6 +159,8 @@ pub enum Layout<T> {
     Bitmap(Arc<Bitmap<T>>),
     /// Hypersparse CSR.
     Hyper(Arc<Hyper<T>>),
+    /// 2D tile grid of independently formatted blocks.
+    Tiled(Arc<Tiled<T>>),
 }
 
 impl<T> Clone for Layout<T> {
@@ -130,6 +171,7 @@ impl<T> Clone for Layout<T> {
             Layout::Csc(t) => Layout::Csc(t.clone()),
             Layout::Bitmap(b) => Layout::Bitmap(b.clone()),
             Layout::Hyper(h) => Layout::Hyper(h.clone()),
+            Layout::Tiled(g) => Layout::Tiled(g.clone()),
         }
     }
 }
@@ -205,10 +247,19 @@ impl<T: Scalar> MatrixStore<T> {
         Self::from_layout(nrows, ncols, Layout::Hyper(Arc::new(h)))
     }
 
+    /// Wrap a natively produced tile grid without conversion.
+    pub fn tiled(t: Tiled<T>) -> Self {
+        let (nrows, ncols) = (t.nrows(), t.ncols());
+        Self::from_layout(nrows, ncols, Layout::Tiled(Arc::new(t)))
+    }
+
     /// Store a freshly computed CSR value under `policy`: choose the
     /// layout from the value's shape/occupancy and convert if it differs
     /// from CSR, recording the migration.
     pub fn from_csr(csr: Csr<T>, policy: FormatPolicy) -> Self {
+        if let Some(grid) = policy.tile_grid() {
+            return Self::csr(csr).into_tiled(grid);
+        }
         let target = policy.choose(csr.nrows(), csr.ncols(), csr.nvals());
         Self::csr(csr).into_format(target)
     }
@@ -217,8 +268,35 @@ impl<T: Scalar> MatrixStore<T> {
     /// `set_format` and of fast-path kernel outputs). A no-op when the
     /// policy's choice matches the current layout.
     pub fn apply_policy(self, policy: FormatPolicy) -> Self {
+        if let Some(grid) = policy.tile_grid() {
+            return self.into_tiled(grid);
+        }
         let target = policy.choose(self.nrows, self.ncols, self.nvals());
         self.into_format(target)
+    }
+
+    /// Convert to a tile grid of the given shape (clamped to the matrix
+    /// dimensions), carrying property caches like every migration. A
+    /// no-op when already tiled at that grid.
+    pub fn into_tiled(self, grid: (usize, usize)) -> Self {
+        let clamped = tiled::clamp_grid(self.nrows, self.ncols, grid);
+        if let Layout::Tiled(t) = &self.layout {
+            if t.grid() == clamped {
+                return self;
+            }
+        }
+        let from = self.format();
+        let (nrows, ncols) = (self.nrows, self.ncols);
+        let slab = self.row_csr();
+        let layout = Layout::Tiled(Arc::new(Tiled::from_csr(&slab, clamped)));
+        let mut store = Self::from_layout(nrows, ncols, layout);
+        store.migrated_from = Some(from);
+        store.row_degrees = self.row_degrees;
+        store.col_degrees = self.col_degrees;
+        store.symmetry = self.symmetry;
+        // the slab this grid was cut from stays available as the row view
+        let _ = store.row_view.set(slab);
+        store
     }
 
     /// Convert to an explicit layout, recording where the value came
@@ -228,12 +306,16 @@ impl<T: Scalar> MatrixStore<T> {
         if from == target {
             return self;
         }
+        if target == Format::Tiled {
+            return self.into_tiled(DEFAULT_TILE_GRID);
+        }
         let (nrows, ncols) = (self.nrows, self.ncols);
         let layout = match target {
             Format::Csr => Layout::Csr(self.row_csr()),
             Format::Csc => Layout::Csc(self.col_csr()),
             Format::Bitmap => Layout::Bitmap(Arc::new(Bitmap::from_csr(&self.row_csr()))),
             Format::Hyper => Layout::Hyper(Arc::new(Hyper::from_csr(&self.row_csr()))),
+            Format::Tiled => unreachable!("handled above"),
         };
         let mut store = Self::from_layout(nrows, ncols, layout);
         store.migrated_from = Some(from);
@@ -269,6 +351,15 @@ impl<T: Scalar> MatrixStore<T> {
             Layout::Csc(_) => Format::Csc,
             Layout::Bitmap(_) => Format::Bitmap,
             Layout::Hyper(_) => Format::Hyper,
+            Layout::Tiled(_) => Format::Tiled,
+        }
+    }
+
+    /// The tile grid shape, when this value is stored tiled.
+    pub fn tile_grid(&self) -> Option<(usize, usize)> {
+        match &self.layout {
+            Layout::Tiled(t) => Some(t.grid()),
+            _ => None,
         }
     }
 
@@ -293,6 +384,7 @@ impl<T: Scalar> MatrixStore<T> {
             Layout::Csr(c) | Layout::Csc(c) => c.nvals(),
             Layout::Bitmap(b) => b.nvals(),
             Layout::Hyper(h) => h.nvals(),
+            Layout::Tiled(t) => t.nvals(),
         }
     }
 
@@ -314,6 +406,7 @@ impl<T: Scalar> MatrixStore<T> {
             Layout::Csc(t) => t.get(j, i),
             Layout::Bitmap(b) => b.get(i, j),
             Layout::Hyper(h) => h.get(i, j),
+            Layout::Tiled(t) => t.get(i, j),
         }
     }
 
@@ -321,7 +414,7 @@ impl<T: Scalar> MatrixStore<T> {
     pub fn to_tuples(&self) -> Vec<(Index, Index, T)> {
         match &self.layout {
             Layout::Csr(c) => c.to_tuples(),
-            Layout::Csc(_) => self.row_csr().to_tuples(),
+            Layout::Csc(_) | Layout::Tiled(_) => self.row_csr().to_tuples(),
             Layout::Bitmap(b) => b.iter().map(|(i, j, v)| (i, j, v.clone())).collect(),
             Layout::Hyper(h) => h.iter().map(|(i, j, v)| (i, j, v.clone())).collect(),
         }
@@ -340,6 +433,7 @@ impl<T: Scalar> MatrixStore<T> {
                     Layout::Csc(t) => t.transpose(),
                     Layout::Bitmap(b) => b.to_csr(),
                     Layout::Hyper(h) => h.to_csr(),
+                    Layout::Tiled(t) => t.to_csr(),
                 })
             })
             .clone()
@@ -410,6 +504,7 @@ impl<T: Scalar> MatrixStore<T> {
                             deg[i] = cols.len();
                         }
                     }
+                    Layout::Tiled(t) => deg = t.row_degrees_sum(),
                 }
                 deg.into()
             })
@@ -443,6 +538,7 @@ impl<T: Scalar> MatrixStore<T> {
                             deg[j] += 1;
                         }
                     }
+                    Layout::Tiled(t) => deg = t.col_degrees_sum(),
                 }
                 deg.into()
             })

@@ -7,6 +7,7 @@ pub mod csr;
 pub mod delta;
 pub mod engine;
 pub mod snapshot;
+pub mod tiled;
 pub mod vec;
 
 pub use coo::{build_matrix, build_vector};
@@ -14,4 +15,5 @@ pub use csr::Csr;
 pub use delta::{DeltaEntry, DeltaLog, DeltaOp, DeltaStats};
 pub use engine::{Bitmap, Format, FormatPolicy, Hyper, Layout, MatrixStore};
 pub use snapshot::{snapshot_stats, MatrixSnapshot, SnapshotStats, VectorSnapshot};
+pub use tiled::Tiled;
 pub use vec::SparseVec;

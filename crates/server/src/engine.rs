@@ -230,7 +230,7 @@ mod tests {
     fn setup() -> (Context, Registry) {
         let ctx = Context::blocking();
         let graphs = Registry::new();
-        graphs.create("g", 6).unwrap();
+        graphs.create("g", 6, None).unwrap();
         let g = graphs.get("g").unwrap();
         for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)] {
             g.matrix.set(u, v, true).unwrap();

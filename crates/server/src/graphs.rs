@@ -36,12 +36,23 @@ impl Registry {
     }
 
     /// Create an empty graph. Errors if the name is taken or the size
-    /// is zero (matrix dimensions must be positive).
-    pub fn create(&self, name: &str, nodes: usize) -> std::result::Result<(), String> {
+    /// is zero (matrix dimensions must be positive). `tiles` shards the
+    /// adjacency into a 2D tile grid up front (clamped to the matrix
+    /// dimensions), so every later point write drains tile-granularly
+    /// and traversals run the tiled kernels.
+    pub fn create(
+        &self,
+        name: &str,
+        nodes: usize,
+        tiles: Option<(usize, usize)>,
+    ) -> std::result::Result<(), String> {
         if nodes == 0 {
             return Err("graph must have at least one node".into());
         }
         let matrix = Matrix::<bool>::new(nodes, nodes).map_err(|e| e.to_string())?;
+        if let Some((r, c)) = tiles {
+            matrix.set_tile_shape(r, c).map_err(|e| e.to_string())?;
+        }
         let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
         if map.contains_key(name) {
             return Err(format!("graph {name:?} already exists"));
@@ -91,19 +102,33 @@ mod tests {
     #[test]
     fn create_get_and_duplicate() {
         let r = Registry::new();
-        r.create("web", 10).unwrap();
+        r.create("web", 10, None).unwrap();
         assert!(r.get("web").is_some());
         assert_eq!(r.get("web").unwrap().nodes, 10);
         assert!(r.get("nope").is_none());
-        assert!(r.create("web", 5).is_err());
-        assert!(r.create("zero", 0).is_err());
+        assert!(r.create("web", 5, None).is_err());
+        assert!(r.create("zero", 0, None).is_err());
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn tiled_create_shards_the_adjacency() {
+        let r = Registry::new();
+        r.create("t", 16, Some((4, 4))).unwrap();
+        let g = r.get("t").unwrap();
+        assert_eq!(g.matrix.tile_shape(), Some((4, 4)));
+        assert_eq!(g.matrix.format().unwrap(), Format::Tiled);
+        // writes and reads work exactly as on a slab graph
+        g.matrix.set(1, 13, true).unwrap();
+        assert_eq!(g.matrix.get(1, 13).unwrap(), Some(true));
+        // a grid wider than the matrix is rejected like any bad option
+        assert!(r.create("bad", 4, Some((0, 2))).is_err());
     }
 
     #[test]
     fn point_writes_land_in_the_delta_log() {
         let r = Registry::new();
-        r.create("g", 4).unwrap();
+        r.create("g", 4, None).unwrap();
         let g = r.get("g").unwrap();
         g.matrix.set(0, 1, true).unwrap();
         g.matrix.set(1, 2, true).unwrap();

@@ -164,7 +164,8 @@ mod tests {
         assert_eq!(
             c.call(&Request::CreateGraph {
                 graph: "g".into(),
-                nodes: 4
+                nodes: 4,
+                tiles: None
             })
             .unwrap(),
             Reply::Ok

@@ -40,8 +40,14 @@ pub const MAX_FRAME: usize = 16 << 20;
 pub enum Request {
     /// `HELLO <tenant> <weight>` — introduce the connection's tenant.
     Hello { tenant: String, weight: u32 },
-    /// `CREATE <graph> <nodes>` — create an empty named graph.
-    CreateGraph { graph: String, nodes: usize },
+    /// `CREATE <graph> <nodes> [tiles=<r>x<c>]` — create an empty named
+    /// graph, optionally sharded into an `r × c` tile grid (the
+    /// `GxB_set(…, TileShape, …)` knob, reachable over the wire).
+    CreateGraph {
+        graph: String,
+        nodes: usize,
+        tiles: Option<(usize, usize)>,
+    },
     /// `EDGE+ <graph> <u> <v>` — point insert (delta-log append).
     AddEdge { graph: String, u: Index, v: Index },
     /// `EDGE- <graph> <u> <v>` — point delete (delta-log append).
@@ -107,6 +113,23 @@ fn graph_tok<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<String, Strin
     Ok(g)
 }
 
+/// Parse a `tiles=<r>x<c>` operand; both axes must be ≥ 1.
+fn tiles_tok(t: &str) -> Result<(usize, usize), String> {
+    let spec = t
+        .strip_prefix("tiles=")
+        .ok_or_else(|| format!("unknown CREATE operand {t:?}"))?;
+    let axis = |s: &str| {
+        s.parse::<usize>()
+            .ok()
+            .filter(|&v| v >= 1)
+            .ok_or_else(|| format!("malformed tile grid {spec:?}"))
+    };
+    let (r, c) = spec
+        .split_once('x')
+        .ok_or_else(|| format!("malformed tile grid {spec:?}"))?;
+    Ok((axis(r)?, axis(c)?))
+}
+
 impl Request {
     /// Parse one request payload. Errors are human-readable and become
     /// `ERR` replies.
@@ -128,6 +151,7 @@ impl Request {
             "CREATE" => Request::CreateGraph {
                 graph: graph_tok(&mut it)?,
                 nodes: tok(&mut it, "node count")?,
+                tiles: it.next().map(tiles_tok).transpose()?,
             },
             "EDGE+" => Request::AddEdge {
                 graph: graph_tok(&mut it)?,
@@ -173,7 +197,14 @@ impl Request {
     pub fn render(&self) -> String {
         match self {
             Request::Hello { tenant, weight } => format!("HELLO {tenant} {weight}"),
-            Request::CreateGraph { graph, nodes } => format!("CREATE {graph} {nodes}"),
+            Request::CreateGraph {
+                graph,
+                nodes,
+                tiles,
+            } => match tiles {
+                Some((r, c)) => format!("CREATE {graph} {nodes} tiles={r}x{c}"),
+                None => format!("CREATE {graph} {nodes}"),
+            },
             Request::AddEdge { graph, u, v } => format!("EDGE+ {graph} {u} {v}"),
             Request::RemoveEdge { graph, u, v } => format!("EDGE- {graph} {u} {v}"),
             Request::HasEdge { graph, u, v } => format!("HAS {graph} {u} {v}"),
@@ -309,6 +340,12 @@ mod tests {
             Request::CreateGraph {
                 graph: "web".into(),
                 nodes: 1000,
+                tiles: None,
+            },
+            Request::CreateGraph {
+                graph: "web2".into(),
+                nodes: 1000,
+                tiles: Some((4, 4)),
             },
             Request::AddEdge {
                 graph: "web".into(),
@@ -376,6 +413,10 @@ mod tests {
             "BFS web x",
             "BFS web 1 extra",
             "CREATE sp ace 4",
+            "CREATE g 4 tiles=0x4",
+            "CREATE g 4 tiles=4",
+            "CREATE g 4 grid=4x4",
+            "CREATE g 4 tiles=4x4 extra",
             "HELLO t 0",
             "HELLO bad!name 1",
         ] {

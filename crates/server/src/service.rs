@@ -16,7 +16,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use graphblas_core::exec::pool_status;
-use graphblas_core::{snapshot_stats, Context};
+use graphblas_core::{snapshot_stats, Context, FormatPolicy};
 
 use crate::engine;
 use crate::graphs::Registry;
@@ -121,7 +121,11 @@ impl Service {
         t.counters.submitted.fetch_add(1, Ordering::Relaxed);
         match request {
             Request::Stats => Reply::Stats(self.stats_report()),
-            Request::CreateGraph { graph, nodes } => match self.graphs.create(&graph, nodes) {
+            Request::CreateGraph {
+                graph,
+                nodes,
+                tiles,
+            } => match self.graphs.create(&graph, nodes, tiles) {
                 Ok(()) => {
                     t.counters.completed.fetch_add(1, Ordering::Relaxed);
                     Reply::Ok
@@ -194,6 +198,26 @@ impl Service {
             snap.compacted_bytes,
             snap.background_flushes,
         );
+        // Per-graph storage introspection: the configured format policy
+        // (the `GxB_get(matrix, …)` view — policy, not the live layout,
+        // so STATS never forces a pending drain) plus the delta backlog.
+        let mut graphs = self.graphs.entries();
+        graphs.sort_by(|a, b| a.name.cmp(&b.name));
+        for g in graphs {
+            let policy = match g.matrix.format_policy() {
+                FormatPolicy::Auto => "auto".to_string(),
+                FormatPolicy::Force(f) => format!("{f:?}").to_lowercase(),
+                FormatPolicy::Tiled { rows, cols } => format!("tiled:{rows}x{cols}"),
+            };
+            let _ = write!(
+                out,
+                "\ngraph {} nodes={} policy={} sealed_runs={}",
+                g.name,
+                g.nodes,
+                policy,
+                g.matrix.delta_stats().run_count,
+            );
+        }
         for t in self.sched.tenants() {
             let (submitted, completed, shed, errors) = t.counters.snapshot();
             // Latencies are recorded in nanoseconds; report milliseconds
@@ -250,7 +274,8 @@ mod tests {
                 "t",
                 Request::CreateGraph {
                     graph: "g".into(),
-                    nodes: 5
+                    nodes: 5,
+                    tiles: Some((2, 2))
                 }
             ),
             Reply::Ok

@@ -21,7 +21,7 @@ fn bulk_graph(
     nodes: usize,
     edges: impl Iterator<Item = (usize, usize)>,
 ) {
-    svc.graphs().create(name, nodes).unwrap();
+    svc.graphs().create(name, nodes, None).unwrap();
     let g = svc.graphs().get(name).unwrap();
     for (u, v) in edges {
         g.matrix.set(u, v, true).unwrap();

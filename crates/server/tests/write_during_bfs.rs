@@ -27,7 +27,8 @@ fn point_writes_never_corrupt_concurrent_bfs() {
             "setup",
             Request::CreateGraph {
                 graph: "g".into(),
-                nodes: N
+                nodes: N,
+                tiles: None
             }
         ),
         Reply::Ok

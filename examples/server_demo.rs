@@ -26,6 +26,7 @@ fn main() {
         .call(&Request::CreateGraph {
             graph: "roads".into(),
             nodes: 10,
+            tiles: Some((2, 2)),
         })
         .unwrap();
     for (u, v) in [

@@ -32,15 +32,23 @@ cargo test -q -p graphblas-core --no-default-features
 echo "== cargo bench --no-run"
 cargo bench --no-run --quiet
 
+# Out-of-core cold tiles: the mmap-backed grid must build and traverse
+# a graph whose slab cannot be allocated under a 32 MiB rlimit-capped
+# heap (tests/out_of_core.rs caps its own process; feature-gated so the
+# default build stays dependency-free of the unix mmap ABI).
+echo "== cargo test -q --features mmap-cold (cold tiles + out-of-core smoke)"
+cargo test -q -p graphblas-core --features mmap-cold cold
+cargo test -q --features mmap-cold --test out_of_core
+
 # Thread matrix: the pool width and default degree follow
 # GRB_TEST_THREADS, and the determinism suites (serial-vs-parallel,
 # deferred-vs-eager pending updates, MVCC snapshot isolation,
-# push/pull/dense SpMSpV direction equivalence, and the query service's
-# admission/fairness/write-isolation properties) must hold at every
-# count.
+# push/pull/dense SpMSpV direction equivalence, tiled-vs-slab bitwise
+# equivalence, and the query service's admission/fairness/
+# write-isolation properties) must hold at every count.
 for threads in 1 2 8; do
-    echo "== GRB_TEST_THREADS=$threads cargo test -q --test par_determinism --test delta_equivalence --test snapshot_isolation --test direction_equivalence"
-    GRB_TEST_THREADS="$threads" cargo test -q --test par_determinism --test delta_equivalence --test snapshot_isolation --test direction_equivalence
+    echo "== GRB_TEST_THREADS=$threads cargo test -q --test par_determinism --test delta_equivalence --test snapshot_isolation --test direction_equivalence --test tiled_equivalence"
+    GRB_TEST_THREADS="$threads" cargo test -q --test par_determinism --test delta_equivalence --test snapshot_isolation --test direction_equivalence --test tiled_equivalence
     echo "== GRB_TEST_THREADS=$threads cargo test -q -p server --test admission --test write_during_bfs"
     GRB_TEST_THREADS="$threads" cargo test -q -p server --test admission --test write_during_bfs
 done

@@ -223,7 +223,7 @@ fn grb_error_elaborates_api_errors() {
 /// The fusion policy rides through the facade's init, and the §IV
 /// rewrites stay observation-equivalent across the C-shaped API.
 #[test]
-fn init_with_fuse_policy_controls_rewrites() {
+fn fuse_policy_config_controls_rewrites() {
     use graphblas_capi::{FusePolicy, GrbUnaryOp, SchedPolicy};
     let run = |fuse: FusePolicy| -> Vec<(usize, usize, Value)> {
         grb::with_session_policies(Mode::Nonblocking, SchedPolicy::Sequential, fuse, || {
