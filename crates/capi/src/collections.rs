@@ -74,13 +74,17 @@ impl GrbMatrix {
         dup: &GrbBinaryOp,
     ) -> Result<()> {
         dup.check_domains(self.ty, self.ty, self.ty)?;
-        let cast: Vec<Value> = vals.iter().map(|v| v.cast_to(self.ty)).collect();
+        let cast: Vec<Value> = vals
+            .iter()
+            .map(|v| v.try_cast_to(self.ty))
+            .collect::<Result<_>>()?;
         self.m.build(rows, cols, &cast, &dup.as_dyn())
     }
 
-    /// `GrB_Matrix_setElement` (value cast into the matrix domain).
+    /// `GrB_Matrix_setElement` (value cast into the matrix domain; a
+    /// user-defined domain accepts only its own values).
     pub fn set(&self, i: Index, j: Index, v: Value) -> Result<()> {
-        self.m.set(i, j, v.cast_to(self.ty))
+        self.m.set(i, j, v.try_cast_to(self.ty)?)
     }
 
     /// `GrB_Matrix_removeElement`. Removing an element that is not
@@ -179,12 +183,13 @@ impl GrbMatrix {
     }
 
     /// Check this matrix's domain against an expected one
-    /// (`GrB_DOMAIN_MISMATCH`).
+    /// (`GrB_DOMAIN_MISMATCH` naming both domains, for `GrB_error()`).
     pub(crate) fn expect_domain(&self, ty: GrbType, role: &str) -> Result<()> {
         if self.ty != ty {
             return Err(Error::DomainMismatch(format!(
-                "{role} has domain {:?} but {ty:?} is required",
-                self.ty
+                "{role} has domain {} but {} is required",
+                self.ty.c_name(),
+                ty.c_name()
             )));
         }
         Ok(())
@@ -224,13 +229,17 @@ impl GrbVector {
     /// `GrB_Vector_build`.
     pub fn build(&self, indices: &[Index], vals: &[Value], dup: &GrbBinaryOp) -> Result<()> {
         dup.check_domains(self.ty, self.ty, self.ty)?;
-        let cast: Vec<Value> = vals.iter().map(|v| v.cast_to(self.ty)).collect();
+        let cast: Vec<Value> = vals
+            .iter()
+            .map(|v| v.try_cast_to(self.ty))
+            .collect::<Result<_>>()?;
         self.v.build(indices, &cast, &dup.as_dyn())
     }
 
-    /// `GrB_Vector_setElement`.
+    /// `GrB_Vector_setElement` (value cast into the vector domain; a
+    /// user-defined domain accepts only its own values).
     pub fn set(&self, i: Index, v: Value) -> Result<()> {
-        self.v.set(i, v.cast_to(self.ty))
+        self.v.set(i, v.try_cast_to(self.ty)?)
     }
 
     /// `GrB_Vector_removeElement`. Removing an absent element is a
@@ -289,8 +298,9 @@ impl GrbVector {
     pub(crate) fn expect_domain(&self, ty: GrbType, role: &str) -> Result<()> {
         if self.ty != ty {
             return Err(Error::DomainMismatch(format!(
-                "{role} has domain {:?} but {ty:?} is required",
-                self.ty
+                "{role} has domain {} but {} is required",
+                self.ty.c_name(),
+                ty.c_name()
             )));
         }
         Ok(())

@@ -24,6 +24,7 @@ pub mod context;
 pub mod operations;
 pub mod ops;
 pub mod options;
+pub mod udf;
 pub mod value;
 
 pub use collections::{
@@ -43,4 +44,8 @@ pub use graphblas_core::{Format, FormatPolicy};
 pub use operations::*;
 pub use ops::{GrbBinaryOp, GrbMonoid, GrbSelectOp, GrbSemiring, GrbUnaryOp};
 pub use options::{gxb_get, gxb_set, GxbOption, GxbScope, GxbValue};
+pub use udf::{
+    grb_binary_op_new, grb_monoid_new, grb_monoid_terminal_new, grb_semiring_new, grb_type_new,
+    grb_unary_op_new, GrbTypeHandle,
+};
 pub use value::{GrbType, Value};

@@ -109,6 +109,8 @@ pub fn mxm(
 ) -> Result<()> {
     let s = op.casting_dyn();
     dispatch!(c.m: op.d3(), "output C", OpArgs { mask, accum, desc },
+        pre a.domain().expect_castable_to(op.d1(), "input A")?;
+        pre b.domain().expect_castable_to(op.d2(), "input B")?;
         |ctx, mk, ac, d| ctx.mxm(&c.m, mk, ac, s, &a.m, &b.m, d))
 }
 
@@ -124,6 +126,8 @@ pub fn mxv(
 ) -> Result<()> {
     let s = op.casting_dyn();
     dispatch!(w.v: op.d3(), "output w", OpArgs { mask, accum, desc },
+        pre a.domain().expect_castable_to(op.d1(), "input A")?;
+        pre u.domain().expect_castable_to(op.d2(), "input u")?;
         |ctx, mk, ac, d| ctx.mxv(&w.v, mk, ac, s, &a.m, &u.v, d))
 }
 
@@ -139,6 +143,8 @@ pub fn vxm(
 ) -> Result<()> {
     let s = op.casting_dyn();
     dispatch!(w.v: op.d3(), "output w", OpArgs { mask, accum, desc },
+        pre u.domain().expect_castable_to(op.d1(), "input u")?;
+        pre a.domain().expect_castable_to(op.d2(), "input A")?;
         |ctx, mk, ac, d| ctx.vxm(&w.v, mk, ac, s, &u.v, &a.m, d))
 }
 
@@ -154,6 +160,8 @@ pub fn ewise_add_matrix(
 ) -> Result<()> {
     let f = op.casting_dyn();
     dispatch!(c.m: op.d3, "output C", OpArgs { mask, accum, desc },
+        pre a.domain().expect_castable_to(op.d1, "input A")?;
+        pre b.domain().expect_castable_to(op.d2, "input B")?;
         |ctx, mk, ac, d| ctx.ewise_add_matrix(&c.m, mk, ac, f, &a.m, &b.m, d))
 }
 
@@ -169,6 +177,8 @@ pub fn ewise_mult_matrix(
 ) -> Result<()> {
     let f = op.casting_dyn();
     dispatch!(c.m: op.d3, "output C", OpArgs { mask, accum, desc },
+        pre a.domain().expect_castable_to(op.d1, "input A")?;
+        pre b.domain().expect_castable_to(op.d2, "input B")?;
         |ctx, mk, ac, d| ctx.ewise_mult_matrix(&c.m, mk, ac, f, &a.m, &b.m, d))
 }
 
@@ -184,6 +194,8 @@ pub fn ewise_add_vector(
 ) -> Result<()> {
     let f = op.casting_dyn();
     dispatch!(w.v: op.d3, "output w", OpArgs { mask, accum, desc },
+        pre u.domain().expect_castable_to(op.d1, "input u")?;
+        pre v.domain().expect_castable_to(op.d2, "input v")?;
         |ctx, mk, ac, d| ctx.ewise_add_vector(&w.v, mk, ac, f, &u.v, &v.v, d))
 }
 
@@ -199,6 +211,8 @@ pub fn ewise_mult_vector(
 ) -> Result<()> {
     let f = op.casting_dyn();
     dispatch!(w.v: op.d3, "output w", OpArgs { mask, accum, desc },
+        pre u.domain().expect_castable_to(op.d1, "input u")?;
+        pre v.domain().expect_castable_to(op.d2, "input v")?;
         |ctx, mk, ac, d| ctx.ewise_mult_vector(&w.v, mk, ac, f, &u.v, &v.v, d))
 }
 
@@ -213,6 +227,7 @@ pub fn apply_matrix(
 ) -> Result<()> {
     let f = op.casting_dyn();
     dispatch!(c.m: op.d2, "output C", OpArgs { mask, accum, desc },
+        pre a.domain().expect_castable_to(op.d1, "input A")?;
         |ctx, mk, ac, d| ctx.apply_matrix(&c.m, mk, ac, f, &a.m, d))
 }
 
@@ -227,6 +242,7 @@ pub fn apply_vector(
 ) -> Result<()> {
     let f = op.casting_dyn();
     dispatch!(w.v: op.d2, "output w", OpArgs { mask, accum, desc },
+        pre u.domain().expect_castable_to(op.d1, "input u")?;
         |ctx, mk, ac, d| ctx.apply_vector(&w.v, mk, ac, f, &u.v, d))
 }
 
@@ -299,6 +315,7 @@ pub fn select_matrix(
     let sel = op.clone();
     let f = graphblas_core::algebra::indexop::select_fn(move |i, j, v: &Value| sel.keep(i, j, v));
     dispatch!(c.m: a.domain(), "output C", OpArgs { mask, accum, desc },
+        pre op.check_input_domain(a.domain())?;
         |ctx, mk, ac, d| ctx.select_matrix(&c.m, mk, ac, f, &a.m, d))
 }
 
@@ -314,6 +331,7 @@ pub fn select_vector(
     let sel = op.clone();
     let f = graphblas_core::algebra::indexop::select_fn(move |i, j, v: &Value| sel.keep(i, j, v));
     dispatch!(w.v: u.domain(), "output w", OpArgs { mask, accum, desc },
+        pre op.check_input_domain(u.domain())?;
         |ctx, mk, ac, d| ctx.select_vector(&w.v, mk, ac, f, &u.v, d))
 }
 
@@ -382,9 +400,16 @@ pub fn assign_scalar_matrix(
     cols: IndexSelection<'_>,
     desc: &Descriptor,
 ) -> Result<()> {
-    let v = value.cast_to(c.domain());
     dispatch!(c.m, OpArgs { mask, accum, desc }, |ctx, mk, ac, d| ctx
-        .assign_scalar_matrix(&c.m, mk, ac, v, rows, cols, d))
+        .assign_scalar_matrix(
+            &c.m,
+            mk,
+            ac,
+            value.try_cast_to(c.domain())?,
+            rows,
+            cols,
+            d
+        ))
 }
 
 /// `GrB_assign` (vector, scalar fill): Fig. 3 line 77.
@@ -396,9 +421,15 @@ pub fn assign_scalar_vector(
     indices: IndexSelection<'_>,
     desc: &Descriptor,
 ) -> Result<()> {
-    let v = value.cast_to(w.domain());
     dispatch!(w.v, OpArgs { mask, accum, desc }, |ctx, mk, ac, d| ctx
-        .assign_scalar_vector(&w.v, mk, ac, v, indices, d))
+        .assign_scalar_vector(
+            &w.v,
+            mk,
+            ac,
+            value.try_cast_to(w.domain())?,
+            indices,
+            d
+        ))
 }
 
 /// `GrB_Matrix_removeElement(C, i, j)`. Removing an element that is not

@@ -32,8 +32,11 @@ impl fmt::Debug for GrbBinaryOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}<{:?},{:?},{:?}>",
-            self.name, self.d1, self.d2, self.d3
+            "{}<{},{},{}>",
+            self.name,
+            self.d1.c_name(),
+            self.d2.c_name(),
+            self.d3.c_name()
         )
     }
 }
@@ -146,7 +149,10 @@ impl GrbBinaryOp {
     pub(crate) fn check_domains(&self, d1: GrbType, d2: GrbType, d3: GrbType) -> Result<()> {
         if (self.d1, self.d2, self.d3) != (d1, d2, d3) {
             return Err(Error::DomainMismatch(format!(
-                "operator {self:?} applied to domains <{d1:?},{d2:?},{d3:?}>"
+                "operator {self:?} applied to domains <{},{},{}>",
+                d1.c_name(),
+                d2.c_name(),
+                d3.c_name()
             )));
         }
         Ok(())
@@ -160,8 +166,8 @@ fn numeric_binop(
 ) -> Result<GrbBinaryOp> {
     if !ty.is_numeric() {
         return Err(Error::DomainMismatch(format!(
-            "{name} is not defined for {:?}",
-            ty
+            "{name} is not defined for {}",
+            ty.c_name()
         )));
     }
     Ok(GrbBinaryOp::new(name, ty, ty, ty, f))
@@ -224,7 +230,14 @@ impl GrbUnaryOp {
             )));
         }
         Ok(GrbUnaryOp::new("GrB_AINV", ty, ty, move |x| {
-            x.cast_to(ty).map_f64(|v| -v)
+            let x = x.cast_to(ty);
+            match x {
+                // floats negate directly (preserves -0.0); integers
+                // subtract from zero on the exact integer path — a
+                // through-f64 negation would corrupt magnitudes > 2⁵³
+                Value::Fp32(_) | Value::Fp64(_) => x.map_f64(|v| -v),
+                _ => Value::zero_of(ty).sub(&x),
+            }
         }))
     }
 
@@ -272,6 +285,34 @@ pub enum GrbSelectOp {
 }
 
 impl GrbSelectOp {
+    /// Value selectors compare on the f64 lattice, which is defined only
+    /// for built-in domains; structural selectors never read the value.
+    /// Rejecting user-defined domains here keeps `keep()`'s `as_f64`
+    /// unreachable for them.
+    pub(crate) fn check_input_domain(&self, d: GrbType) -> Result<()> {
+        let thunk = match self {
+            GrbSelectOp::Tril(_)
+            | GrbSelectOp::Triu(_)
+            | GrbSelectOp::Diag(_)
+            | GrbSelectOp::OffDiag(_) => return Ok(()),
+            GrbSelectOp::ValueGt(t)
+            | GrbSelectOp::ValueGe(t)
+            | GrbSelectOp::ValueLt(t)
+            | GrbSelectOp::ValueLe(t)
+            | GrbSelectOp::ValueEq(t)
+            | GrbSelectOp::ValueNe(t) => t,
+        };
+        if d.is_udf() || thunk.type_of().is_udf() {
+            return Err(Error::DomainMismatch(format!(
+                "value selector compares {} against {} on the built-in \
+                 numeric lattice; user-defined domains have no such order",
+                d.c_name(),
+                thunk.type_of().c_name()
+            )));
+        }
+        Ok(())
+    }
+
     pub(crate) fn keep(&self, i: usize, j: usize, v: &Value) -> bool {
         let (i, j) = (i as i64, j as i64);
         match self {
@@ -295,6 +336,10 @@ impl GrbSelectOp {
 pub struct GrbMonoid {
     pub op: GrbBinaryOp,
     pub identity: Value,
+    /// Declared absorbing element, if any (`GxB_Monoid_terminal_new`):
+    /// once a reduction's accumulator equals it, further folding cannot
+    /// change the result and kernels may stop early.
+    pub terminal: Option<Value>,
 }
 
 impl GrbMonoid {
@@ -309,11 +354,29 @@ impl GrbMonoid {
         }
         if identity.type_of() != op.d1 {
             return Err(Error::DomainMismatch(format!(
-                "identity {identity:?} does not match monoid domain {:?}",
-                op.d1
+                "identity domain {} does not match monoid domain {}",
+                identity.type_of().c_name(),
+                op.d1.c_name()
             )));
         }
-        Ok(GrbMonoid { op, identity })
+        Ok(GrbMonoid {
+            op,
+            identity,
+            terminal: None,
+        })
+    }
+
+    /// Declare an absorbing (terminal) element in the monoid's domain.
+    pub fn with_terminal(mut self, terminal: Value) -> Result<Self> {
+        if terminal.type_of() != self.domain() {
+            return Err(Error::DomainMismatch(format!(
+                "terminal domain {} does not match monoid domain {}",
+                terminal.type_of().c_name(),
+                self.domain().c_name()
+            )));
+        }
+        self.terminal = Some(terminal);
+        Ok(self)
     }
 
     pub fn domain(&self) -> GrbType {
@@ -324,6 +387,7 @@ impl GrbMonoid {
         DynMonoid {
             f: self.op.f.clone(),
             id: self.identity.clone(),
+            term: self.terminal.clone(),
         }
     }
 }
@@ -342,9 +406,9 @@ impl GrbSemiring {
     pub fn new(add: GrbMonoid, mul: GrbBinaryOp) -> Result<Self> {
         if mul.d3 != add.domain() {
             return Err(Error::DomainMismatch(format!(
-                "⊗ output {:?} does not match ⊕ domain {:?}",
-                mul.d3,
-                add.domain()
+                "⊗ output {} does not match ⊕ domain {}",
+                mul.d3.c_name(),
+                add.domain().c_name()
             )));
         }
         Ok(GrbSemiring { add, mul })
@@ -396,9 +460,13 @@ impl GrbBinaryOp {
     pub(crate) fn accum_dyn(&self, out_ty: GrbType) -> Result<DynBinary> {
         if self.d1 != out_ty || self.d3 != out_ty {
             return Err(Error::DomainMismatch(format!(
-                "accumulator {self:?} cannot accumulate into domain {out_ty:?}"
+                "accumulator {self:?} cannot accumulate into domain {}",
+                out_ty.c_name()
             )));
         }
+        // The T-side operand the accumulator receives has the output's
+        // domain; a user-defined d2 admits no implicit cast from it.
+        out_ty.expect_castable_to(self.d2, "accumulator operand")?;
         Ok(self.casting_dyn())
     }
 }
@@ -433,6 +501,7 @@ impl BinaryOp<Value, Value, Value> for DynBinary {
 pub(crate) struct DynMonoid {
     f: BinFn,
     id: Value,
+    term: Option<Value>,
 }
 
 impl BinaryOp<Value, Value, Value> for DynMonoid {
@@ -446,6 +515,11 @@ impl Monoid<Value> for DynMonoid {
     #[inline]
     fn identity(&self) -> Value {
         self.id.clone()
+    }
+
+    #[inline]
+    fn is_terminal(&self, v: &Value) -> bool {
+        self.term.as_ref().is_some_and(|t| t == v)
     }
 }
 

@@ -4,13 +4,35 @@
 //! The C API is dynamically typed: a `GrB_Matrix` carries its domain at
 //! runtime and mismatches surface as `GrB_DOMAIN_MISMATCH`. This facade
 //! reproduces that by instantiating the typed core over a tagged-union
-//! domain — every built-in C domain is a `Value` variant, and the C
-//! implicit-conversion rules live in [`Value::cast_to`].
+//! domain — every built-in C domain is a `Value` variant, the C
+//! implicit-conversion rules live in [`Value::try_cast_to`], and
+//! runtime-registered user types (`GrB_Type_new`; see [`crate::udf`])
+//! ride the [`Value::Udf`] variant as opaque byte payloads.
+//!
+//! ## Conversion semantics (pinned)
+//!
+//! `try_cast_to` implements C's implicit conversions with the edge cases
+//! nailed down (C leaves some implementation-defined or undefined):
+//!
+//! * **integer → integer**: modular wrap at the target width, both
+//!   directions (`(uint8_t)-1 == 255`), via an exact 128-bit intermediate
+//!   — never through a float, so 64-bit values above 2⁵³ stay exact.
+//! * **float → integer**: truncation toward zero; out-of-range values
+//!   **saturate** at the target bounds and NaN becomes 0 (C makes these
+//!   undefined; we adopt Rust's defined `as` semantics).
+//! * **integer → float**: nearest-even rounding (the C conversion).
+//! * **anything built-in → bool**: `x != 0`.
+//! * **user-defined types**: *no* implicit conversions — a UDT casts
+//!   only to itself; anything else is `GrB_DOMAIN_MISMATCH` naming both
+//!   domains.
 
+use graphblas_core::algebra::udf::{UdfTypeId, UdfValue};
+use graphblas_core::error::{Error, Result};
 use graphblas_core::scalar::AsBool;
 
 /// `GrB_Type`: the identifier of a built-in domain (Table V lists
-/// `GrB_BOOL`, `GrB_INT32`, `GrB_FP32`; the full C set is supported).
+/// `GrB_BOOL`, `GrB_INT32`, `GrB_FP32`; the full C set is supported) or
+/// a runtime-registered user type (`GrB_Type_new`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GrbType {
     Bool,
@@ -24,10 +46,13 @@ pub enum GrbType {
     Uint64,
     Fp32,
     Fp64,
+    /// A user-defined type registered through `grb_type_new`.
+    Udf(UdfTypeId),
 }
 
 impl GrbType {
-    /// The C spelling (`GrB_INT32`, …).
+    /// The C spelling (`GrB_INT32`, …); user-defined types report their
+    /// registered name.
     pub fn c_name(&self) -> &'static str {
         match self {
             GrbType::Bool => "GrB_BOOL",
@@ -41,17 +66,41 @@ impl GrbType {
             GrbType::Uint64 => "GrB_UINT64",
             GrbType::Fp32 => "GrB_FP32",
             GrbType::Fp64 => "GrB_FP64",
+            GrbType::Udf(id) => id.name(),
         }
     }
 
     /// `true` for the integer and floating-point domains (the ones the
     /// arithmetic predefined operators exist for).
     pub fn is_numeric(&self) -> bool {
-        !matches!(self, GrbType::Bool)
+        !matches!(self, GrbType::Bool | GrbType::Udf(_))
+    }
+
+    /// `true` for runtime-registered user types.
+    pub fn is_udf(&self) -> bool {
+        matches!(self, GrbType::Udf(_))
+    }
+
+    /// The API-boundary castability rule: built-in domains implicitly
+    /// convert among themselves; a user-defined domain converts only to
+    /// itself. `GrB_DOMAIN_MISMATCH` names both domains so `GrB_error()`
+    /// can report them.
+    pub fn expect_castable_to(self, to: GrbType, what: &str) -> Result<()> {
+        if self == to || (!self.is_udf() && !to.is_udf()) {
+            Ok(())
+        } else {
+            Err(Error::DomainMismatch(format!(
+                "{what} has domain {} but the operation expects {}: \
+                 user-defined types cast only to themselves",
+                self.c_name(),
+                to.c_name()
+            )))
+        }
     }
 }
 
-/// A dynamically-typed scalar: one variant per built-in C domain.
+/// A dynamically-typed scalar: one variant per built-in C domain, plus
+/// the erased lane for runtime-registered user types.
 #[derive(Debug, Clone, PartialEq, PartialOrd)]
 pub enum Value {
     Bool(bool),
@@ -65,6 +114,9 @@ pub enum Value {
     Uint64(u64),
     Fp32(f32),
     Fp64(f64),
+    /// A value of a user-defined type: opaque bytes the library moves
+    /// but never interprets (the C contract for `GrB_Type_new` types).
+    Udf(UdfValue),
 }
 
 macro_rules! from_prim {
@@ -77,6 +129,12 @@ macro_rules! from_prim {
 from_prim!(bool => Bool, i8 => Int8, i16 => Int16, i32 => Int32, i64 => Int64,
            u8 => Uint8, u16 => Uint16, u32 => Uint32, u64 => Uint64,
            f32 => Fp32, f64 => Fp64);
+
+impl From<UdfValue> for Value {
+    fn from(v: UdfValue) -> Value {
+        Value::Udf(v)
+    }
+}
 
 /// Apply `$body` with `x` bound to the numeric payload widened to the
 /// given uniform representation, rebuilding the same variant after.
@@ -143,10 +201,12 @@ impl Value {
             Value::Uint64(_) => GrbType::Uint64,
             Value::Fp32(_) => GrbType::Fp32,
             Value::Fp64(_) => GrbType::Fp64,
+            Value::Udf(v) => GrbType::Udf(v.ty()),
         }
     }
 
-    /// The default value of a domain (C zero-initialization).
+    /// The default value of a domain (C zero-initialization; a UDT gets
+    /// its registered size of zero bytes, exactly `calloc`).
     pub fn zero_of(ty: GrbType) -> Value {
         match ty {
             GrbType::Bool => Value::Bool(false),
@@ -160,15 +220,30 @@ impl Value {
             GrbType::Uint64 => Value::Uint64(0),
             GrbType::Fp32 => Value::Fp32(0.0),
             GrbType::Fp64 => Value::Fp64(0.0),
+            GrbType::Udf(id) => Value::Udf(
+                UdfValue::new(id, &vec![0u8; id.size()])
+                    .expect("zero bytes of the registered size"),
+            ),
         }
     }
 
-    /// The number one of a domain.
+    /// The number one of a numeric domain (no such element exists for a
+    /// user-defined type — callers gate on [`GrbType::is_numeric`]).
     pub fn one_of(ty: GrbType) -> Value {
         Value::zero_of(ty).map_f64(|_| 1.0)
     }
 
-    /// Numeric payload as `f64` (C conversion; `bool` as 0/1).
+    /// The UDT payload, if this is a user-defined value.
+    pub fn as_udf(&self) -> Option<&UdfValue> {
+        match self {
+            Value::Udf(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `f64` (C conversion; `bool` as 0/1). Panics on
+    /// a user-defined value — UDT operands must be rejected by the API
+    /// checks before any numeric path runs.
     pub fn as_f64(&self) -> f64 {
         match self {
             Value::Bool(b) => {
@@ -188,6 +263,26 @@ impl Value {
             Value::Uint64(x) => *x as f64,
             Value::Fp32(x) => *x as f64,
             Value::Fp64(x) => *x,
+            Value::Udf(v) => panic!(
+                "domain confusion past the API checks: {v:?} has no numeric value (capi bug)"
+            ),
+        }
+    }
+
+    /// Exact integer payload of an integer/bool variant (never goes
+    /// through a float, so 64-bit magnitudes above 2⁵³ stay exact).
+    fn as_i128(&self) -> i128 {
+        match self {
+            Value::Bool(b) => *b as i128,
+            Value::Int8(x) => *x as i128,
+            Value::Int16(x) => *x as i128,
+            Value::Int32(x) => *x as i128,
+            Value::Int64(x) => *x as i128,
+            Value::Uint8(x) => *x as i128,
+            Value::Uint16(x) => *x as i128,
+            Value::Uint32(x) => *x as i128,
+            Value::Uint64(x) => *x as i128,
+            v => panic!("as_i128 on non-integer {v:?} (capi bug)"),
         }
     }
 
@@ -207,18 +302,76 @@ impl Value {
             GrbType::Uint64 => Value::Uint64(r as u64),
             GrbType::Fp32 => Value::Fp32(r as f32),
             GrbType::Fp64 => Value::Fp64(r),
+            GrbType::Udf(_) => unreachable!("as_f64 already rejected the UDT"),
         }
     }
 
-    /// The C implicit domain conversion (`(T) x`).
-    pub fn cast_to(&self, ty: GrbType) -> Value {
-        if self.type_of() == ty {
-            return self.clone();
-        }
+    /// Integer-exact conversion into a numeric target: modular wrap for
+    /// integer targets (the C conversion), nearest-even for floats.
+    fn from_i128_wrapping(v: i128, ty: GrbType) -> Value {
         match ty {
-            GrbType::Bool => Value::Bool(self.as_bool()),
-            _ => Value::zero_of(ty).map_f64(|_| self.as_f64()),
+            GrbType::Int8 => Value::Int8(v as i8),
+            GrbType::Int16 => Value::Int16(v as i16),
+            GrbType::Int32 => Value::Int32(v as i32),
+            GrbType::Int64 => Value::Int64(v as i64),
+            GrbType::Uint8 => Value::Uint8(v as u8),
+            GrbType::Uint16 => Value::Uint16(v as u16),
+            GrbType::Uint32 => Value::Uint32(v as u32),
+            GrbType::Uint64 => Value::Uint64(v as u64),
+            GrbType::Fp32 => Value::Fp32(v as f32),
+            GrbType::Fp64 => Value::Fp64(v as f64),
+            GrbType::Bool | GrbType::Udf(_) => unreachable!("handled before the numeric table"),
         }
+    }
+
+    /// Float conversion into a numeric target: truncation with
+    /// saturation for integer targets (NaN → 0), rounding for floats.
+    fn from_f64_saturating(r: f64, ty: GrbType) -> Value {
+        match ty {
+            GrbType::Int8 => Value::Int8(r as i8),
+            GrbType::Int16 => Value::Int16(r as i16),
+            GrbType::Int32 => Value::Int32(r as i32),
+            GrbType::Int64 => Value::Int64(r as i64),
+            GrbType::Uint8 => Value::Uint8(r as u8),
+            GrbType::Uint16 => Value::Uint16(r as u16),
+            GrbType::Uint32 => Value::Uint32(r as u32),
+            GrbType::Uint64 => Value::Uint64(r as u64),
+            GrbType::Fp32 => Value::Fp32(r as f32),
+            GrbType::Fp64 => Value::Fp64(r),
+            GrbType::Bool | GrbType::Udf(_) => unreachable!("handled before the numeric table"),
+        }
+    }
+
+    /// The C implicit domain conversion (`(T) x`), fallible at the API
+    /// boundary: user-defined types reject every cross-domain cast with
+    /// `GrB_DOMAIN_MISMATCH` naming both domains.
+    pub fn try_cast_to(&self, ty: GrbType) -> Result<Value> {
+        if self.type_of() == ty {
+            return Ok(self.clone());
+        }
+        if self.type_of().is_udf() || ty.is_udf() {
+            return Err(Error::DomainMismatch(format!(
+                "no implicit conversion from {} to {}: user-defined types cast only to themselves",
+                self.type_of().c_name(),
+                ty.c_name()
+            )));
+        }
+        Ok(match ty {
+            GrbType::Bool => Value::Bool(self.as_bool()),
+            _ => match self {
+                Value::Fp32(x) => Value::from_f64_saturating(*x as f64, ty),
+                Value::Fp64(x) => Value::from_f64_saturating(*x, ty),
+                v => Value::from_i128_wrapping(v.as_i128(), ty),
+            },
+        })
+    }
+
+    /// The C implicit domain conversion on the infallible kernel path:
+    /// operand domains were verified at the API boundary, so a failure
+    /// here is a dispatch bug, not a user error.
+    pub fn cast_to(&self, ty: GrbType) -> Value {
+        self.try_cast_to(ty)
+            .unwrap_or_else(|e| panic!("domain confusion past the API checks: {e} (capi bug)"))
     }
 
     // ----- arithmetic used by the predefined operators -----
@@ -262,6 +415,10 @@ impl AsBool for Value {
             Value::Bool(b) => *b,
             Value::Fp32(x) => *x != 0.0,
             Value::Fp64(x) => *x != 0.0,
+            // A UDT value masks by its bytes: any nonzero byte is
+            // "present and true" (C has no defined bool conversion for
+            // structs; all-zero ≙ calloc'd default).
+            Value::Udf(v) => v.bytes().iter().any(|&b| b != 0),
             v => v.as_f64() != 0.0,
         }
     }
@@ -270,6 +427,7 @@ impl AsBool for Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use graphblas_core::algebra::udf;
 
     #[test]
     fn tags_and_names() {
@@ -302,6 +460,103 @@ mod tests {
         assert_eq!(Value::Int32(-1).cast_to(GrbType::Bool), Value::Bool(true));
         assert_eq!(Value::Bool(true).cast_to(GrbType::Fp32), Value::Fp32(1.0));
         assert_eq!(Value::Int32(7).cast_to(GrbType::Int32), Value::Int32(7));
+    }
+
+    #[test]
+    fn negative_int_to_unsigned_wraps_modularly() {
+        // C: (uint8_t)-1 == 255 — the conversion is modular, not
+        // saturating, and must not round-trip through a float.
+        assert_eq!(Value::Int32(-1).cast_to(GrbType::Uint8), Value::Uint8(255));
+        assert_eq!(
+            Value::Int64(-1).cast_to(GrbType::Uint64),
+            Value::Uint64(u64::MAX)
+        );
+        assert_eq!(
+            Value::Int16(-300).cast_to(GrbType::Uint8),
+            Value::Uint8((-300i32 as u8 as i32) as u8) // 212
+        );
+        assert_eq!(Value::Int32(300).cast_to(GrbType::Int8), Value::Int8(44));
+    }
+
+    #[test]
+    fn wide_int_casts_do_not_lose_precision() {
+        // above 2^53 a through-f64 path would corrupt the low bits
+        let big = (1i64 << 62) + 12345;
+        assert_eq!(
+            Value::Int64(big).cast_to(GrbType::Uint64),
+            Value::Uint64(big as u64)
+        );
+        assert_eq!(
+            Value::Uint64(u64::MAX).cast_to(GrbType::Int64),
+            Value::Int64(-1)
+        );
+        assert_eq!(
+            Value::Uint64(u64::MAX - 1).cast_to(GrbType::Uint32),
+            Value::Uint32(u32::MAX - 1)
+        );
+    }
+
+    #[test]
+    fn float_to_int_truncates_saturates_and_zeroes_nan() {
+        assert_eq!(Value::Fp64(-2.9).cast_to(GrbType::Int32), Value::Int32(-2));
+        // out of range: saturate (C UB; pinned to Rust `as`)
+        assert_eq!(Value::Fp64(1e30).cast_to(GrbType::Int8), Value::Int8(127));
+        assert_eq!(Value::Fp64(-1e30).cast_to(GrbType::Uint8), Value::Uint8(0));
+        assert_eq!(
+            Value::Fp32(f32::NAN).cast_to(GrbType::Int64),
+            Value::Int64(0)
+        );
+        assert_eq!(
+            Value::Fp64(f64::INFINITY).cast_to(GrbType::Uint16),
+            Value::Uint16(u16::MAX)
+        );
+    }
+
+    #[test]
+    fn int_float_round_trips() {
+        for v in [0i64, 1, -1, 127, -128, 1 << 20, -(1 << 20)] {
+            let f = Value::Int64(v).cast_to(GrbType::Fp64);
+            assert_eq!(f.cast_to(GrbType::Int64), Value::Int64(v), "via {f:?}");
+        }
+        // bool round trip through every numeric domain
+        for ty in [GrbType::Int8, GrbType::Uint32, GrbType::Fp32] {
+            assert_eq!(
+                Value::Bool(true).cast_to(ty).cast_to(GrbType::Bool),
+                Value::Bool(true)
+            );
+        }
+    }
+
+    #[test]
+    fn udt_rejects_implicit_casts_naming_both_domains() {
+        let ty = udf::register_type("capi_test_pair", 16).unwrap();
+        let v = Value::Udf(UdfValue::new(ty, &[0u8; 16]).unwrap());
+        let e = v.try_cast_to(GrbType::Fp64).unwrap_err();
+        assert_eq!(e.code_name(), "GrB_DOMAIN_MISMATCH");
+        let msg = e.to_string();
+        assert!(
+            msg.contains("capi_test_pair") && msg.contains("GrB_FP64"),
+            "{msg}"
+        );
+        // and the other direction
+        let e = Value::Fp64(1.0).try_cast_to(GrbType::Udf(ty)).unwrap_err();
+        assert_eq!(e.code_name(), "GrB_DOMAIN_MISMATCH");
+        // identity cast is fine
+        assert_eq!(v.try_cast_to(GrbType::Udf(ty)).unwrap(), v);
+    }
+
+    #[test]
+    fn udt_tags_and_masking() {
+        let ty = udf::register_type("capi_test_tag", 2).unwrap();
+        let v = Value::Udf(UdfValue::new(ty, &[0, 3]).unwrap());
+        assert_eq!(v.type_of(), GrbType::Udf(ty));
+        assert_eq!(v.type_of().c_name(), "capi_test_tag");
+        assert!(v.type_of().is_udf());
+        assert!(!v.type_of().is_numeric());
+        assert!(v.as_bool(), "nonzero byte masks true");
+        let z = Value::zero_of(GrbType::Udf(ty));
+        assert!(!z.as_bool(), "all-zero bytes mask false");
+        assert_eq!(z.as_udf().unwrap().bytes(), &[0, 0]);
     }
 
     #[test]

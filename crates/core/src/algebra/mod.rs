@@ -6,9 +6,11 @@ pub mod indexop;
 pub mod monoid;
 pub mod semiring;
 pub mod set;
+pub mod udf;
 pub mod unary;
 
 pub use binary::{binary_fn, BinaryFn, BinaryOp};
 pub use monoid::{Monoid, MonoidDef};
 pub use semiring::{Semiring, SemiringDef};
+pub use udf::{UdfBinary, UdfMonoid, UdfSemiring, UdfTypeId, UdfUnary, UdfValue};
 pub use unary::{unary_fn, UnaryFn, UnaryOp};

@@ -21,6 +21,16 @@ pub trait Monoid<T: Scalar>: BinaryOp<T, T, T> {
     /// The identity element **0** of the monoid (not necessarily the
     /// number zero: `-∞` for max-plus, `∞` for min-max, `false` for lor).
     fn identity(&self) -> T;
+
+    /// Whether `v` is a **terminal** (absorbing) element: `v ⊙ x = v`
+    /// for every `x`. Reduction kernels may stop folding once the
+    /// accumulator turns terminal — the result cannot change, so the
+    /// early exit is invisible to the bitwise-determinism contract.
+    /// Runtime-registered monoids (`algebra::udf`) opt in; the
+    /// predefined monoids keep the `false` default.
+    fn is_terminal(&self, _v: &T) -> bool {
+        false
+    }
 }
 
 /// A monoid built from a binary operator and an explicit identity element

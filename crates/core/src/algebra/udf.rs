@@ -1,0 +1,641 @@
+//! Runtime-defined algebra: user-defined types and operators registered
+//! at **runtime**, the C API's `GrB_Type_new` / `GrB_UnaryOp_new` /
+//! `GrB_BinaryOp_new` / `GrB_Monoid_new` / `GrB_Semiring_new` surface
+//! (paper §III-B; Fig. 3 lines 12/53 build the algebra the same way).
+//!
+//! The typed core stays monomorphized: built-in kernels compile against
+//! zero-sized operator structs and never see this module. Runtime-defined
+//! algebra instead rides the **erased lane** — a [`UdfValue`] is a
+//! type-tagged byte payload (`memcpy`-able, exactly the C contract: the
+//! library moves user values around without interpreting them), and a
+//! [`UdfBinary`] applies a user closure over raw byte slices with the
+//! C-style out-parameter shape `f(z, x, y)`. Because `UdfValue` satisfies
+//! the blanket [`Scalar`](crate::scalar::Scalar) bound, every generic kernel (mxm, SpMSpV,
+//! eWise, reduce, delta merge, tiled walks) works over it unchanged —
+//! the erased lane is a new *instantiation*, not a new code path, so the
+//! built-in instantiations keep their codegen and benchmarks.
+//!
+//! Type identity is nominal and process-global: [`register_type`] hands
+//! out a fresh [`UdfTypeId`] per call, and two registrations are distinct
+//! domains even with equal names and sizes — exactly the C API, where
+//! each `GrB_Type_new` call mints a distinct opaque handle. Registered
+//! names back error detail (`GrB_DOMAIN_MISMATCH` names both domains)
+//! and the scheduler trace; they are interned for the process lifetime
+//! (bounded by the number of registrations, a handful per program).
+
+use std::cell::Cell;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::algebra::binary::BinaryOp;
+use crate::algebra::monoid::Monoid;
+use crate::algebra::semiring::Semiring;
+use crate::algebra::unary::UnaryOp;
+use crate::error::{Error, Result};
+
+// ----- the type registry -----
+
+/// Handle to a registered runtime type (`GrB_Type`). Copyable and
+/// hashable; identity is the registration, not the name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UdfTypeId(u32);
+
+struct TypeInfo {
+    name: &'static str,
+    size: usize,
+}
+
+/// The built-in domains are pre-registered so mixed signatures (a user
+/// operator producing, say, `FP64` from two struct inputs) name their
+/// built-in ends with the same machinery.
+const BUILTINS: [(&str, usize); 11] = [
+    ("GrB_BOOL", 1),
+    ("GrB_INT8", 1),
+    ("GrB_INT16", 2),
+    ("GrB_INT32", 4),
+    ("GrB_INT64", 8),
+    ("GrB_UINT8", 1),
+    ("GrB_UINT16", 2),
+    ("GrB_UINT32", 4),
+    ("GrB_UINT64", 8),
+    ("GrB_FP32", 4),
+    ("GrB_FP64", 8),
+];
+
+/// Pre-registered ids for the built-in domains, in the order of the C
+/// API's predefined types.
+pub const TYPE_BOOL: UdfTypeId = UdfTypeId(0);
+pub const TYPE_INT8: UdfTypeId = UdfTypeId(1);
+pub const TYPE_INT16: UdfTypeId = UdfTypeId(2);
+pub const TYPE_INT32: UdfTypeId = UdfTypeId(3);
+pub const TYPE_INT64: UdfTypeId = UdfTypeId(4);
+pub const TYPE_UINT8: UdfTypeId = UdfTypeId(5);
+pub const TYPE_UINT16: UdfTypeId = UdfTypeId(6);
+pub const TYPE_UINT32: UdfTypeId = UdfTypeId(7);
+pub const TYPE_UINT64: UdfTypeId = UdfTypeId(8);
+pub const TYPE_FP32: UdfTypeId = UdfTypeId(9);
+pub const TYPE_FP64: UdfTypeId = UdfTypeId(10);
+
+fn registry() -> &'static RwLock<Vec<TypeInfo>> {
+    static REGISTRY: OnceLock<RwLock<Vec<TypeInfo>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        RwLock::new(
+            BUILTINS
+                .iter()
+                .map(|&(name, size)| TypeInfo { name, size })
+                .collect(),
+        )
+    })
+}
+
+/// `GrB_Type_new(&type, sizeof(user_struct))`: register a user-defined
+/// type with its byte size. The name appears in `GrB_DOMAIN_MISMATCH`
+/// detail and the execution trace.
+pub fn register_type(name: &str, size: usize) -> Result<UdfTypeId> {
+    if size == 0 {
+        return Err(Error::InvalidValue(format!(
+            "user-defined type {name:?} must have nonzero size"
+        )));
+    }
+    let mut reg = registry().write().unwrap();
+    let id = u32::try_from(reg.len())
+        .map_err(|_| Error::InvalidValue("user-defined type registry exhausted".into()))?;
+    reg.push(TypeInfo {
+        name: intern(name),
+        size,
+    });
+    Ok(UdfTypeId(id))
+}
+
+/// Intern a string for the process lifetime (names of registered types
+/// and operators; bounded by the number of registrations).
+pub fn intern(s: &str) -> &'static str {
+    Box::leak(s.to_owned().into_boxed_str())
+}
+
+impl UdfTypeId {
+    /// Whether this id is one of the pre-registered built-in domains.
+    pub fn is_builtin(self) -> bool {
+        (self.0 as usize) < BUILTINS.len()
+    }
+
+    /// Registered name (the built-ins carry their C names).
+    pub fn name(self) -> &'static str {
+        registry().read().unwrap()[self.0 as usize].name
+    }
+
+    /// Registered byte size.
+    pub fn size(self) -> usize {
+        registry().read().unwrap()[self.0 as usize].size
+    }
+}
+
+// ----- values -----
+
+/// A value of a runtime-registered domain: a type tag plus an opaque
+/// byte payload of exactly the registered size. Cloning shares the
+/// payload (values are immutable once constructed, as everywhere in the
+/// engine). Satisfies the blanket [`crate::scalar::Scalar`] bound, so
+/// every generic kernel accepts `Matrix<UdfValue>` directly.
+#[derive(Clone, PartialEq, PartialOrd)]
+pub struct UdfValue {
+    ty: UdfTypeId,
+    bytes: Arc<[u8]>,
+}
+
+impl UdfValue {
+    /// Wrap `bytes` as a value of `ty`; the length must equal the
+    /// registered size (the C API reads exactly `sizeof(type)` bytes).
+    pub fn new(ty: UdfTypeId, bytes: &[u8]) -> Result<Self> {
+        if bytes.len() != ty.size() {
+            return Err(Error::InvalidValue(format!(
+                "value of {} bytes for type {} of size {}",
+                bytes.len(),
+                ty.name(),
+                ty.size()
+            )));
+        }
+        Ok(UdfValue {
+            ty,
+            bytes: bytes.into(),
+        })
+    }
+
+    pub(crate) fn from_boxed(ty: UdfTypeId, bytes: Box<[u8]>) -> Self {
+        debug_assert_eq!(bytes.len(), ty.size());
+        UdfValue {
+            ty,
+            bytes: bytes.into(),
+        }
+    }
+
+    pub fn ty(&self) -> UdfTypeId {
+        self.ty
+    }
+
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl std::fmt::Debug for UdfValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(0x", self.ty.name())?;
+        for b in self.bytes.iter() {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+// ----- operators -----
+
+type RawUnaryFn = Arc<dyn Fn(&mut [u8], &[u8]) + Send + Sync>;
+type RawBinaryFn = Arc<dyn Fn(&mut [u8], &[u8], &[u8]) + Send + Sync>;
+
+/// `GrB_UnaryOp_new`: a user function `f : D1 → D2` over raw bytes, in
+/// the C out-parameter shape `f(z, x)`. The output buffer arrives
+/// zeroed at the registered size of `d2`.
+#[derive(Clone)]
+pub struct UdfUnary {
+    name: &'static str,
+    d1: UdfTypeId,
+    d2: UdfTypeId,
+    f: RawUnaryFn,
+}
+
+impl UdfUnary {
+    pub fn new(
+        name: &str,
+        d1: UdfTypeId,
+        d2: UdfTypeId,
+        f: impl Fn(&mut [u8], &[u8]) + Send + Sync + 'static,
+    ) -> Self {
+        UdfUnary {
+            name: intern(name),
+            d1,
+            d2,
+            f: Arc::new(f),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+    pub fn d1(&self) -> UdfTypeId {
+        self.d1
+    }
+    pub fn d2(&self) -> UdfTypeId {
+        self.d2
+    }
+
+    /// Apply over raw payloads (domain checking is the caller's; the
+    /// dispatch layer has already verified the operand domains).
+    pub fn apply_raw(&self, x: &[u8]) -> Box<[u8]> {
+        note_udf(self.name);
+        let mut out = vec![0u8; self.d2.size()].into_boxed_slice();
+        (self.f)(&mut out, x);
+        out
+    }
+}
+
+impl std::fmt::Debug for UdfUnary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "UdfUnary({}: {} -> {})",
+            self.name,
+            self.d1.name(),
+            self.d2.name()
+        )
+    }
+}
+
+impl UnaryOp<UdfValue, UdfValue> for UdfUnary {
+    fn apply(&self, x: &UdfValue) -> UdfValue {
+        debug_assert_eq!(x.ty, self.d1, "domain confusion past the API checks");
+        UdfValue::from_boxed(self.d2, self.apply_raw(&x.bytes))
+    }
+}
+
+/// `GrB_BinaryOp_new`: a user function `⊙ : D1 × D2 → D3` over raw
+/// bytes, in the C out-parameter shape `f(z, x, y)`.
+#[derive(Clone)]
+pub struct UdfBinary {
+    name: &'static str,
+    d1: UdfTypeId,
+    d2: UdfTypeId,
+    d3: UdfTypeId,
+    f: RawBinaryFn,
+}
+
+impl UdfBinary {
+    pub fn new(
+        name: &str,
+        d1: UdfTypeId,
+        d2: UdfTypeId,
+        d3: UdfTypeId,
+        f: impl Fn(&mut [u8], &[u8], &[u8]) + Send + Sync + 'static,
+    ) -> Self {
+        UdfBinary {
+            name: intern(name),
+            d1,
+            d2,
+            d3,
+            f: Arc::new(f),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+    pub fn d1(&self) -> UdfTypeId {
+        self.d1
+    }
+    pub fn d2(&self) -> UdfTypeId {
+        self.d2
+    }
+    pub fn d3(&self) -> UdfTypeId {
+        self.d3
+    }
+
+    /// Apply over raw payloads.
+    pub fn apply_raw(&self, x: &[u8], y: &[u8]) -> Box<[u8]> {
+        note_udf(self.name);
+        let mut out = vec![0u8; self.d3.size()].into_boxed_slice();
+        (self.f)(&mut out, x, y);
+        out
+    }
+}
+
+impl std::fmt::Debug for UdfBinary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "UdfBinary({}: {} x {} -> {})",
+            self.name,
+            self.d1.name(),
+            self.d2.name(),
+            self.d3.name()
+        )
+    }
+}
+
+impl BinaryOp<UdfValue, UdfValue, UdfValue> for UdfBinary {
+    fn apply(&self, x: &UdfValue, y: &UdfValue) -> UdfValue {
+        debug_assert_eq!(x.ty, self.d1, "domain confusion past the API checks");
+        debug_assert_eq!(y.ty, self.d2, "domain confusion past the API checks");
+        UdfValue::from_boxed(self.d3, self.apply_raw(&x.bytes, &y.bytes))
+    }
+}
+
+/// `GrB_Monoid_new`: a uniform-domain [`UdfBinary`] plus identity bytes,
+/// with an optional **terminal** (absorbing) value — a SuiteSparse-style
+/// extension letting reductions exit early once the fold can no longer
+/// change (e.g. `false` for LAND, `+∞`-free min over saturated domains).
+#[derive(Clone, Debug)]
+pub struct UdfMonoid {
+    op: UdfBinary,
+    identity: Arc<[u8]>,
+    terminal: Option<Arc<[u8]>>,
+}
+
+impl UdfMonoid {
+    pub fn new(op: UdfBinary, identity: &[u8], terminal: Option<&[u8]>) -> Result<Self> {
+        if op.d1 != op.d3 || op.d2 != op.d3 {
+            return Err(Error::DomainMismatch(format!(
+                "monoid operator {} has domains {} x {} -> {}; a monoid requires one domain",
+                op.name,
+                op.d1.name(),
+                op.d2.name(),
+                op.d3.name()
+            )));
+        }
+        for (role, bytes) in
+            std::iter::once(("identity", identity)).chain(terminal.iter().map(|t| ("terminal", *t)))
+        {
+            if bytes.len() != op.d3.size() {
+                return Err(Error::InvalidValue(format!(
+                    "monoid {role} of {} bytes for domain {} of size {}",
+                    bytes.len(),
+                    op.d3.name(),
+                    op.d3.size()
+                )));
+            }
+        }
+        Ok(UdfMonoid {
+            op,
+            identity: identity.into(),
+            terminal: terminal.map(Into::into),
+        })
+    }
+
+    /// The single domain `D` of the monoid.
+    pub fn domain(&self) -> UdfTypeId {
+        self.op.d3
+    }
+
+    pub fn op(&self) -> &UdfBinary {
+        &self.op
+    }
+
+    pub fn identity_bytes(&self) -> &[u8] {
+        &self.identity
+    }
+
+    pub fn terminal_bytes(&self) -> Option<&[u8]> {
+        self.terminal.as_deref()
+    }
+}
+
+impl BinaryOp<UdfValue, UdfValue, UdfValue> for UdfMonoid {
+    fn apply(&self, x: &UdfValue, y: &UdfValue) -> UdfValue {
+        self.op.apply(x, y)
+    }
+}
+
+impl Monoid<UdfValue> for UdfMonoid {
+    fn identity(&self) -> UdfValue {
+        UdfValue {
+            ty: self.op.d3,
+            bytes: self.identity.clone(),
+        }
+    }
+
+    fn is_terminal(&self, v: &UdfValue) -> bool {
+        self.terminal
+            .as_deref()
+            .is_some_and(|t| t == v.bytes.as_ref())
+    }
+}
+
+/// `GrB_Semiring_new`: a [`UdfMonoid`] ⊕ plus a [`UdfBinary`] ⊗ whose
+/// output domain is the monoid's domain. Implements the core
+/// [`Semiring`] trait over [`UdfValue`], so it drops into every generic
+/// kernel exactly where a Table I semiring would.
+#[derive(Clone, Debug)]
+pub struct UdfSemiring {
+    add: UdfMonoid,
+    mul: UdfBinary,
+}
+
+impl UdfSemiring {
+    pub fn new(add: UdfMonoid, mul: UdfBinary) -> Result<Self> {
+        if mul.d3 != add.domain() {
+            return Err(Error::DomainMismatch(format!(
+                "multiplicative operator {} produces {} but the additive monoid is over {}",
+                mul.name,
+                mul.d3.name(),
+                add.domain().name()
+            )));
+        }
+        Ok(UdfSemiring { add, mul })
+    }
+}
+
+impl Semiring<UdfValue, UdfValue, UdfValue> for UdfSemiring {
+    type Add = UdfMonoid;
+    type Mul = UdfBinary;
+
+    fn add(&self) -> &UdfMonoid {
+        &self.add
+    }
+
+    fn mul(&self) -> &UdfBinary {
+        &self.mul
+    }
+}
+
+// ----- erased-lane trace note -----
+
+thread_local! {
+    static UDF_NOTE: Cell<Option<&'static str>> = const { Cell::new(None) };
+}
+
+/// Note that a runtime-registered operator ran on this thread; the
+/// scheduler drains the note per node into `TraceEvent::udf`. First
+/// operator wins within one node (a semiring touches both ⊗ and ⊕; one
+/// representative name is enough to mark the erased lane). Applications
+/// inside pool-fanned row chunks may land on a chunk worker's local and
+/// be dropped by that worker's next pre-compute drain — the note is an
+/// attribution aid, never an under- or over-counted metric.
+pub fn note_udf(name: &'static str) {
+    UDF_NOTE.with(|c| {
+        if c.get().is_none() {
+            c.set(Some(name));
+        }
+    });
+}
+
+/// Drain this thread's erased-lane note (scheduler plumbing).
+pub fn take_udf() -> Option<&'static str> {
+    UDF_NOTE.with(Cell::take)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::monoid::Monoid;
+
+    fn i64_bytes(v: i64) -> [u8; 8] {
+        v.to_ne_bytes()
+    }
+
+    fn wrapped_i64_type() -> UdfTypeId {
+        register_type("test_wrapped_i64", 8).unwrap()
+    }
+
+    fn plus_op(ty: UdfTypeId) -> UdfBinary {
+        UdfBinary::new("test_plus", ty, ty, ty, |z, x, y| {
+            let a = i64::from_ne_bytes(x.try_into().unwrap());
+            let b = i64::from_ne_bytes(y.try_into().unwrap());
+            z.copy_from_slice(&a.wrapping_add(b).to_ne_bytes());
+        })
+    }
+
+    #[test]
+    fn builtin_domains_are_preregistered() {
+        assert!(TYPE_FP64.is_builtin());
+        assert_eq!(TYPE_FP64.name(), "GrB_FP64");
+        assert_eq!(TYPE_FP64.size(), 8);
+        assert_eq!(TYPE_BOOL.size(), 1);
+    }
+
+    #[test]
+    fn registration_is_nominal() {
+        let a = register_type("test_same_name", 4).unwrap();
+        let b = register_type("test_same_name", 4).unwrap();
+        assert_ne!(a, b, "each registration is a distinct domain");
+        assert!(!a.is_builtin());
+        assert_eq!(a.name(), "test_same_name");
+        assert_eq!(a.size(), 4);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        assert!(register_type("test_empty", 0).is_err());
+    }
+
+    #[test]
+    fn value_length_checked() {
+        let ty = wrapped_i64_type();
+        assert!(UdfValue::new(ty, &[0; 3]).is_err());
+        let v = UdfValue::new(ty, &i64_bytes(42)).unwrap();
+        assert_eq!(v.ty(), ty);
+        assert_eq!(v.bytes(), &i64_bytes(42));
+        assert_eq!(v.clone(), v);
+    }
+
+    #[test]
+    fn binary_applies_user_function() {
+        let ty = wrapped_i64_type();
+        let op = plus_op(ty);
+        let x = UdfValue::new(ty, &i64_bytes(40)).unwrap();
+        let y = UdfValue::new(ty, &i64_bytes(2)).unwrap();
+        let z = op.apply(&x, &y);
+        assert_eq!(z.ty(), ty);
+        assert_eq!(z.bytes(), &i64_bytes(42));
+    }
+
+    #[test]
+    fn monoid_identity_and_terminal() {
+        let ty = wrapped_i64_type();
+        let m = UdfMonoid::new(plus_op(ty), &i64_bytes(0), Some(&i64_bytes(-1))).unwrap();
+        assert_eq!(m.identity().bytes(), &i64_bytes(0));
+        assert!(m.is_terminal(&UdfValue::new(ty, &i64_bytes(-1)).unwrap()));
+        assert!(!m.is_terminal(&UdfValue::new(ty, &i64_bytes(7)).unwrap()));
+        // wrong-length identity
+        assert!(UdfMonoid::new(plus_op(ty), &[0; 2], None).is_err());
+    }
+
+    #[test]
+    fn monoid_requires_uniform_domain() {
+        let a = register_type("test_dom_a", 8).unwrap();
+        let b = register_type("test_dom_b", 8).unwrap();
+        let op = UdfBinary::new("test_mixed", a, a, b, |z, _, _| z.fill(0));
+        let e = UdfMonoid::new(op, &[0; 8], None).unwrap_err();
+        assert_eq!(e.code_name(), "GrB_DOMAIN_MISMATCH");
+        let msg = e.to_string();
+        assert!(
+            msg.contains("test_dom_a") && msg.contains("test_dom_b"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn semiring_checks_mul_output_domain() {
+        let ty = wrapped_i64_type();
+        let other = register_type("test_other", 8).unwrap();
+        let add = UdfMonoid::new(plus_op(ty), &i64_bytes(0), None).unwrap();
+        let bad_mul = UdfBinary::new("test_bad_mul", ty, ty, other, |z, _, _| z.fill(0));
+        let e = UdfSemiring::new(add.clone(), bad_mul).unwrap_err();
+        assert_eq!(e.code_name(), "GrB_DOMAIN_MISMATCH");
+        let ok = UdfSemiring::new(add, plus_op(ty)).unwrap();
+        assert_eq!(ok.zero().bytes(), &i64_bytes(0));
+    }
+
+    #[test]
+    fn apply_notes_the_erased_lane() {
+        let ty = wrapped_i64_type();
+        let _ = take_udf();
+        let op = plus_op(ty);
+        let x = UdfValue::new(ty, &i64_bytes(1)).unwrap();
+        op.apply(&x, &x);
+        assert_eq!(take_udf(), Some("test_plus"));
+        assert_eq!(take_udf(), None, "drained");
+    }
+
+    #[test]
+    fn unary_over_bytes() {
+        let ty = wrapped_i64_type();
+        let neg = UdfUnary::new("test_neg", ty, ty, |z, x| {
+            let a = i64::from_ne_bytes(x.try_into().unwrap());
+            z.copy_from_slice(&a.wrapping_neg().to_ne_bytes());
+        });
+        let v = UdfValue::new(ty, &i64_bytes(5)).unwrap();
+        assert_eq!(neg.apply(&v).bytes(), &i64_bytes(-5));
+    }
+
+    #[test]
+    fn generic_kernels_accept_udf_values_end_to_end() {
+        // the whole point of the erased lane: Matrix<UdfValue> runs the
+        // same generic kernels as Matrix<f64>
+        use crate::prelude::*;
+        let ty = wrapped_i64_type();
+        let sr = UdfSemiring::new(
+            UdfMonoid::new(plus_op(ty), &i64_bytes(0), None).unwrap(),
+            UdfBinary::new("test_times", ty, ty, ty, |z, x, y| {
+                let a = i64::from_ne_bytes(x.try_into().unwrap());
+                let b = i64::from_ne_bytes(y.try_into().unwrap());
+                z.copy_from_slice(&a.wrapping_mul(b).to_ne_bytes());
+            }),
+        )
+        .unwrap();
+        let uv = |v: i64| UdfValue::new(ty, &i64_bytes(v)).unwrap();
+        let ctx = Context::nonblocking_parallel();
+        let a = Matrix::<UdfValue>::new(2, 2).unwrap();
+        a.set(0, 0, uv(2)).unwrap();
+        a.set(0, 1, uv(3)).unwrap();
+        a.set(1, 1, uv(4)).unwrap();
+        let u = Vector::<UdfValue>::new(2).unwrap();
+        u.set(0, uv(10)).unwrap();
+        u.set(1, uv(100)).unwrap();
+        let w = Vector::<UdfValue>::new(2).unwrap();
+        let d = Descriptor::default();
+        ctx.mxv(&w, NoMask, NoAccum, sr.clone(), &a, &u, &d)
+            .unwrap();
+        ctx.wait().unwrap();
+        // w[0] = 2*10 + 3*100 = 320, w[1] = 4*100 = 400
+        let got = w.extract_tuples().unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], (0, uv(320)));
+        assert_eq!(got[1], (1, uv(400)));
+        // scalar reduce through the monoid
+        let s = ctx
+            .reduce_vector_to_scalar(
+                UdfMonoid::new(plus_op(ty), &i64_bytes(0), None).unwrap(),
+                &w,
+            )
+            .unwrap();
+        assert_eq!(s, uv(720));
+    }
+}

@@ -177,6 +177,7 @@ impl Context {
                 merged_rows: 0,
                 fused: Some(note),
                 direction: None,
+                udf: None,
                 tiles: Vec::new(),
             });
         }

@@ -23,6 +23,7 @@ use super::queue::Dag;
 use super::trace::{TraceEvent, TraceSink};
 #[cfg(feature = "parallel")]
 use super::workers::{self, TaskKind};
+use crate::algebra::udf;
 use crate::kernel::{merge, par, spmspv};
 use crate::storage::tiled;
 
@@ -36,6 +37,7 @@ fn record(
     stats: par::ParStats,
     flush: merge::FlushStats,
     direction: Option<&'static str>,
+    udf: Option<&'static str>,
     tiles: Vec<(u32, u32)>,
 ) {
     let Some(sink) = sink else { return };
@@ -61,6 +63,7 @@ fn record(
         merged_rows: flush.merged_rows,
         fused: None,
         direction,
+        udf,
         tiles,
     });
 }
@@ -74,13 +77,14 @@ fn mark_ready(sink: Option<&TraceSink>, dag: &Dag, idx: usize) {
 }
 
 /// Compute one node and return its intra-kernel chunking, delta-flush,
-/// SpMSpV-direction, and touched-tile stats. All four thread-locals are
-/// drained *before* the compute too, so a stale carry-over from
-/// non-scheduler kernel work on this thread can't be attributed to the
-/// node.
+/// SpMSpV-direction, erased-lane, and touched-tile stats. All five
+/// thread-locals are drained *before* the compute too, so a stale
+/// carry-over from non-scheduler kernel work on this thread can't be
+/// attributed to the node.
 type NodeStats = (
     par::ParStats,
     merge::FlushStats,
+    Option<&'static str>,
     Option<&'static str>,
     Vec<(u32, u32)>,
 );
@@ -89,12 +93,14 @@ fn compute_node(dag: &Dag, idx: usize) -> NodeStats {
     let _ = par::take_stats();
     let _ = merge::take_flush_stats();
     let _ = spmspv::take_direction();
+    let _ = udf::take_udf();
     let _ = tiled::take_tiles();
     dag.nodes[idx].node.compute();
     (
         par::take_stats(),
         merge::take_flush_stats(),
         spmspv::take_direction(),
+        udf::take_udf(),
         tiled::take_tiles(),
     )
 }
@@ -112,8 +118,10 @@ pub(crate) fn run_sequential(dag: &Dag, sink: Option<&TraceSink>) {
     }
     while let Some(idx) = queue.pop_front() {
         let start_ns = sink.map_or(0, TraceSink::now_ns);
-        let (stats, flush, direction, tiles) = compute_node(dag, idx);
-        record(sink, dag, idx, start_ns, 0, stats, flush, direction, tiles);
+        let (stats, flush, direction, udf, tiles) = compute_node(dag, idx);
+        record(
+            sink, dag, idx, start_ns, 0, stats, flush, direction, udf, tiles,
+        );
         for &dep in &dag.nodes[idx].dependents {
             if dag.nodes[dep].pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                 mark_ready(sink, dag, dep);
@@ -145,9 +153,9 @@ pub(crate) fn run_parallel(dag: &Dag, sink: Option<&TraceSink>) {
     let pool = workers::pool();
     let run = |batch: &workers::BatchState, idx: usize, worker: usize| {
         let start_ns = sink.map_or(0, TraceSink::now_ns);
-        let (stats, flush, direction, tiles) = compute_node(dag, idx);
+        let (stats, flush, direction, udf, tiles) = compute_node(dag, idx);
         record(
-            sink, dag, idx, start_ns, worker, stats, flush, direction, tiles,
+            sink, dag, idx, start_ns, worker, stats, flush, direction, udf, tiles,
         );
         for &dep in &dag.nodes[idx].dependents {
             if dag.nodes[dep].pending.fetch_sub(1, Ordering::AcqRel) == 1 {

@@ -81,6 +81,10 @@ pub struct TraceEvent {
     /// kind. This is the trace evidence that direction optimization
     /// actually switches mid-traversal.
     pub direction: Option<&'static str>,
+    /// `Some(op_name)` when this node's kernels ran a runtime-registered
+    /// operator (`algebra::udf`) — the erased kernel lane. `None` for
+    /// every node that stayed on the monomorphized built-in lane.
+    pub udf: Option<&'static str>,
     /// Tile coordinates `(stripe, tile_col)` this node's kernels touched
     /// in a tiled operand or output — materialized tile views during a
     /// multiply, or dirty tiles rebuilt by a tile-granular flush. Empty
@@ -155,6 +159,7 @@ mod tests {
             merged_rows: 0,
             fused: None,
             direction: None,
+            udf: None,
             tiles: Vec::new(),
         };
         assert_eq!(e.queue_ns(), 50);
@@ -184,6 +189,7 @@ mod tests {
             merged_rows: 0,
             fused: None,
             direction: None,
+            udf: None,
             tiles: Vec::new(),
         });
         let ev = sink.into_events();

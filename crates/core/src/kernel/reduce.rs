@@ -21,6 +21,9 @@ pub fn reduce_rows<T: Scalar, M: Monoid<T>>(a: &Csr<T>, monoid: &M) -> SparseVec
         it.next().map(|first| {
             let mut acc = first.clone();
             for v in it {
+                if monoid.is_terminal(&acc) {
+                    break; // absorbing: further folding cannot change acc
+                }
                 acc = monoid.apply(&acc, v);
             }
             acc
@@ -56,9 +59,14 @@ const FOLD_CHUNK: usize = 4096;
 
 fn fold_all<T: Scalar, M: Monoid<T>>(vals: &[T], monoid: &M) -> T {
     let fold_chunk = |chunk: &[T]| -> T {
-        chunk
-            .iter()
-            .fold(monoid.identity(), |a, v| monoid.apply(&a, v))
+        let mut acc = monoid.identity();
+        for v in chunk {
+            if monoid.is_terminal(&acc) {
+                break; // absorbing: the chunk fold is already decided
+            }
+            acc = monoid.apply(&acc, v);
+        }
+        acc
     };
     if vals.len() <= FOLD_CHUNK {
         return fold_chunk(vals);
@@ -90,9 +98,14 @@ fn fold_all<T: Scalar, M: Monoid<T>>(vals: &[T], monoid: &M) -> T {
     #[cfg(not(feature = "parallel"))]
     let partials: Vec<T> = vals.chunks(FOLD_CHUNK).map(fold_chunk).collect();
     let _ = chunks;
-    partials
-        .iter()
-        .fold(monoid.identity(), |a, v| monoid.apply(&a, v))
+    let mut acc = monoid.identity();
+    for v in &partials {
+        if monoid.is_terminal(&acc) {
+            break;
+        }
+        acc = monoid.apply(&acc, v);
+    }
+    acc
 }
 
 #[cfg(test)]

@@ -47,8 +47,8 @@ cargo test -q --features mmap-cold --test out_of_core
 # equivalence, and the query service's admission/fairness/
 # write-isolation properties) must hold at every count.
 for threads in 1 2 8; do
-    echo "== GRB_TEST_THREADS=$threads cargo test -q --test par_determinism --test delta_equivalence --test snapshot_isolation --test direction_equivalence --test tiled_equivalence"
-    GRB_TEST_THREADS="$threads" cargo test -q --test par_determinism --test delta_equivalence --test snapshot_isolation --test direction_equivalence --test tiled_equivalence
+    echo "== GRB_TEST_THREADS=$threads cargo test -q --test par_determinism --test delta_equivalence --test snapshot_isolation --test direction_equivalence --test tiled_equivalence --test udf_equivalence"
+    GRB_TEST_THREADS="$threads" cargo test -q --test par_determinism --test delta_equivalence --test snapshot_isolation --test direction_equivalence --test tiled_equivalence --test udf_equivalence
     echo "== GRB_TEST_THREADS=$threads cargo test -q -p server --test admission --test write_during_bfs"
     GRB_TEST_THREADS="$threads" cargo test -q -p server --test admission --test write_during_bfs
 done

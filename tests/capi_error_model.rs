@@ -2,9 +2,12 @@
 //! return value reachable at runtime, exactly as a C program would see
 //! them.
 
+use std::sync::OnceLock;
+
 use graphblas_capi as grb;
 use graphblas_capi::{
-    Descriptor, GrbBinaryOp, GrbMatrix, GrbMonoid, GrbSemiring, GrbType, Mode, Value,
+    grb_binary_op_new, grb_monoid_new, grb_semiring_new, grb_type_new, Descriptor, GrbBinaryOp,
+    GrbMatrix, GrbMonoid, GrbSemiring, GrbType, GrbTypeHandle, Mode, Value,
 };
 use graphblas_core::error::Error;
 
@@ -217,6 +220,135 @@ fn grb_error_elaborates_api_errors() {
         assert_eq!(e2.code_name(), "GrB_DOMAIN_MISMATCH");
         assert_eq!(grb::error().unwrap(), e2.to_string());
     })
+    .unwrap();
+}
+
+/// Runtime-registered domain for the error-model tests (registered once:
+/// the type registry is process-global and nominal).
+fn errm_udt() -> GrbTypeHandle {
+    static T: OnceLock<GrbTypeHandle> = OnceLock::new();
+    *T.get_or_init(|| grb_type_new("ErrModelWrappedI64", 8).unwrap())
+}
+
+/// A wrapped-i64 PLUS_TIMES semiring over [`errm_udt`].
+fn errm_semiring() -> &'static GrbSemiring {
+    static S: OnceLock<GrbSemiring> = OnceLock::new();
+    S.get_or_init(|| {
+        let t = errm_udt().ty();
+        let dec = |b: &[u8]| i64::from_ne_bytes(b.try_into().unwrap());
+        let plus = grb_binary_op_new("errm_plus_i64", t, t, t, move |z, x, y| {
+            z.copy_from_slice(&dec(x).wrapping_add(dec(y)).to_ne_bytes());
+        });
+        let times = grb_binary_op_new("errm_times_i64", t, t, t, move |z, x, y| {
+            z.copy_from_slice(&dec(x).wrapping_mul(dec(y)).to_ne_bytes());
+        });
+        let add = grb_monoid_new(&plus, &0i64.to_ne_bytes()).unwrap();
+        grb_semiring_new(add, times).unwrap()
+    })
+}
+
+/// §V + runtime-defined algebra: a domain mismatch involving a
+/// user-defined type must surface as `GrB_DOMAIN_MISMATCH`, and the
+/// `GrB_error()` elaboration must name **both** domains — the registered
+/// type by its registered name and the built-in by its `GrB_*` name.
+#[test]
+fn grb_error_names_both_domains_on_udt_mismatch() {
+    grb::with_session(Mode::Blocking, || {
+        let t = errm_udt();
+        // UDT operand into a built-in-typed operation
+        let a = GrbMatrix::new(t.ty(), 2, 2).unwrap();
+        let c = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+        let e = grb::mxm(
+            &c,
+            None,
+            None,
+            &int32_semiring(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap_err();
+        assert_eq!(e.code_name(), "GrB_DOMAIN_MISMATCH");
+        let detail = grb::error().expect("GrB_error text after the API error");
+        assert!(detail.contains("ErrModelWrappedI64"), "{detail}");
+        assert!(detail.contains("GrB_INT32"), "{detail}");
+
+        // implicit casts never cross a UDT boundary: storing a UDT
+        // scalar into a built-in collection names both domains too
+        let e = c
+            .set(0, 0, t.value(&7i64.to_ne_bytes()).unwrap())
+            .unwrap_err();
+        assert_eq!(e.code_name(), "GrB_DOMAIN_MISMATCH");
+        let detail = e.to_string();
+        assert!(detail.contains("ErrModelWrappedI64"), "{detail}");
+        assert!(detail.contains("GrB_INT32"), "{detail}");
+    })
+    .unwrap();
+}
+
+/// The trace records erased-lane execution: a node whose kernels ran a
+/// runtime-registered operator carries `udf: Some(op_name)`, while nodes
+/// on the monomorphized built-in lane stay `None`.
+#[test]
+fn trace_marks_erased_lane_nodes() {
+    use graphblas_capi::{FusePolicy, SchedPolicy};
+    grb::with_session_policies(
+        Mode::Nonblocking,
+        SchedPolicy::Sequential,
+        FusePolicy::On,
+        || {
+            grb::enable_trace(true).unwrap();
+            let t = errm_udt();
+            let enc = |v: i64| t.value(&v.to_ne_bytes()).unwrap();
+            let a = GrbMatrix::new(t.ty(), 2, 2).unwrap();
+            a.set(0, 0, enc(2)).unwrap();
+            a.set(0, 1, enc(3)).unwrap();
+            a.set(1, 1, enc(4)).unwrap();
+            let u = grb::GrbVector::new(t.ty(), 2).unwrap();
+            u.set(0, enc(10)).unwrap();
+            u.set(1, enc(20)).unwrap();
+            let w = grb::GrbVector::new(t.ty(), 2).unwrap();
+            grb::mxv(
+                &w,
+                None,
+                None,
+                errm_semiring(),
+                &a,
+                &u,
+                &Descriptor::default(),
+            )
+            .unwrap();
+
+            // a built-in mxv in the same session must stay unmarked
+            let b = GrbMatrix::new(GrbType::Int32, 2, 2).unwrap();
+            b.set(0, 0, Value::Int32(1)).unwrap();
+            let v = grb::GrbVector::new(GrbType::Int32, 2).unwrap();
+            v.set(0, Value::Int32(5)).unwrap();
+            let wv = grb::GrbVector::new(GrbType::Int32, 2).unwrap();
+            grb::mxv(
+                &wv,
+                None,
+                None,
+                &int32_semiring(),
+                &b,
+                &v,
+                &Descriptor::default(),
+            )
+            .unwrap();
+
+            grb::wait().unwrap();
+            let trace = grb::take_trace().unwrap();
+            let mxv_events: Vec<_> = trace.iter().filter(|e| e.kind == "mxv").collect();
+            assert_eq!(mxv_events.len(), 2, "{trace:?}");
+            let marked: Vec<&'static str> = mxv_events.iter().filter_map(|e| e.udf).collect();
+            assert_eq!(marked.len(), 1, "exactly the UDT node is marked: {trace:?}");
+            assert!(
+                marked[0] == "errm_plus_i64" || marked[0] == "errm_times_i64",
+                "marked with a registered op name, got {:?}",
+                marked[0]
+            );
+        },
+    )
     .unwrap();
 }
 

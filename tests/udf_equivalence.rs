@@ -1,0 +1,304 @@
+//! PR acceptance property for runtime-defined algebra (`algebra::udf` +
+//! the capi registration surface): a user-defined wrapped-`i64` domain
+//! with a registered PLUS_TIMES semiring — whose closures perform
+//! exactly the built-in `GrB_INT64` arithmetic over raw bytes — observes
+//! **bitwise** identical results to the built-in `GrB_INT64` semiring on
+//! the same program, across execution modes, storage formats (including
+//! 2D-tiled), and intra-kernel parallelism degrees. The built-in lane is
+//! monomorphized; the UDT lane is the erased `Value::Udf` instantiation:
+//! this property pins that the two lanes compute the same algebra.
+
+use std::sync::OnceLock;
+
+use graphblas_capi::{
+    grb_binary_op_new, grb_monoid_new, grb_semiring_new, grb_type_new, grb_unary_op_new,
+    operations as ops, with_session_policies, Descriptor, Format, GrbBinaryOp, GrbMatrix,
+    GrbMonoid, GrbSemiring, GrbType, GrbTypeHandle, GrbUnaryOp, Mode, SchedPolicy, Value,
+};
+use graphblas_core::par;
+use graphblas_core::FusePolicy;
+use proptest::prelude::*;
+
+const N: usize = 10;
+const DEGREES: [usize; 3] = [1, 2, 8];
+
+/// Decode a strategy byte into an i64 payload with sign and magnitude
+/// spread (wrapping arithmetic is exercised by the products).
+fn ival(code: u8) -> i64 {
+    (i64::from(code) - 128).wrapping_mul(0x0123_4567_89ab)
+}
+
+type Tuples = Vec<(usize, usize, u8)>;
+
+fn sparse(max_nnz: usize) -> impl Strategy<Value = Tuples> {
+    proptest::collection::vec((0..N, 0..N, 0u8..255), 0..=max_nnz).prop_map(|mut t| {
+        t.sort_by_key(|&(i, j, _)| (i, j));
+        t.dedup_by_key(|&mut (i, j, _)| (i, j));
+        t
+    })
+}
+
+/// The registered wrapped-i64 domain (one registration per process; the
+/// registry is global and nominal).
+fn udt() -> GrbTypeHandle {
+    static T: OnceLock<GrbTypeHandle> = OnceLock::new();
+    *T.get_or_init(|| grb_type_new("prop_wrapped_i64", 8).unwrap())
+}
+
+struct UdtAlgebra {
+    sr: GrbSemiring,
+    add: GrbMonoid,
+    plus: GrbBinaryOp,
+    times: GrbBinaryOp,
+    neg: GrbUnaryOp,
+}
+
+/// The registered algebra mirroring GrB_{PLUS,TIMES,AINV}_INT64 over
+/// raw bytes (built once: operator names intern for the process
+/// lifetime, so constructors must not run per proptest case).
+fn udt_algebra() -> &'static UdtAlgebra {
+    static A: OnceLock<UdtAlgebra> = OnceLock::new();
+    A.get_or_init(|| {
+        let t = udt().ty();
+        let dec = |b: &[u8]| i64::from_ne_bytes(b.try_into().unwrap());
+        let plus = grb_binary_op_new("prop_plus_i64", t, t, t, move |z, x, y| {
+            z.copy_from_slice(&dec(x).wrapping_add(dec(y)).to_ne_bytes());
+        });
+        let times = grb_binary_op_new("prop_times_i64", t, t, t, move |z, x, y| {
+            z.copy_from_slice(&dec(x).wrapping_mul(dec(y)).to_ne_bytes());
+        });
+        let neg = grb_unary_op_new("prop_neg_i64", t, t, move |z, x| {
+            z.copy_from_slice(&dec(x).wrapping_neg().to_ne_bytes());
+        });
+        let add = grb_monoid_new(&plus, &0i64.to_ne_bytes()).unwrap();
+        let sr = grb_semiring_new(add.clone(), times.clone()).unwrap();
+        UdtAlgebra {
+            sr,
+            add,
+            plus,
+            times,
+            neg,
+        }
+    })
+}
+
+struct BuiltinAlgebra {
+    sr: GrbSemiring,
+    add: GrbMonoid,
+    plus: GrbBinaryOp,
+    times: GrbBinaryOp,
+    neg: GrbUnaryOp,
+}
+
+fn builtin_algebra() -> BuiltinAlgebra {
+    let plus = GrbBinaryOp::plus(GrbType::Int64).unwrap();
+    let times = GrbBinaryOp::times(GrbType::Int64).unwrap();
+    let neg = GrbUnaryOp::ainv(GrbType::Int64).unwrap();
+    let add = GrbMonoid::new(plus.clone(), Value::Int64(0)).unwrap();
+    let sr = GrbSemiring::new(add.clone(), times.clone()).unwrap();
+    BuiltinAlgebra {
+        sr,
+        add,
+        plus,
+        times,
+        neg,
+    }
+}
+
+/// Everything the program observes, decoded to i64 (bit-identical by
+/// construction of the decoding: both lanes store 8 little/native-endian
+/// bytes per entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Obs {
+    vecs: Vec<Vec<(usize, i64)>>,
+    mats: Vec<Vec<(usize, usize, i64)>>,
+    scalars: Vec<i64>,
+}
+
+fn decode(v: &Value) -> i64 {
+    match v {
+        Value::Int64(x) => *x,
+        Value::Udf(u) => i64::from_ne_bytes(u.bytes().try_into().unwrap()),
+        v => panic!("unexpected domain in equivalence program: {v:?}"),
+    }
+}
+
+fn vec_obs(w: &graphblas_capi::GrbVector) -> Vec<(usize, i64)> {
+    w.extract_tuples()
+        .unwrap()
+        .into_iter()
+        .map(|(i, v)| (i, decode(&v)))
+        .collect()
+}
+
+fn mat_obs(m: &GrbMatrix) -> Vec<(usize, usize, i64)> {
+    m.extract_tuples()
+        .unwrap()
+        .into_iter()
+        .map(|(i, j, v)| (i, j, decode(&v)))
+        .collect()
+}
+
+/// Run the fixed program over domain `ty`, encoding payloads with
+/// `enc`, using the algebra pieces passed in. Must run inside a live
+/// session.
+#[allow(clippy::too_many_arguments)]
+fn interpret(
+    ty: GrbType,
+    enc: &dyn Fn(i64) -> Value,
+    sr: &GrbSemiring,
+    add: &GrbMonoid,
+    plus: &GrbBinaryOp,
+    times: &GrbBinaryOp,
+    neg: &GrbUnaryOp,
+    m0: &Tuples,
+    u0: &Tuples,
+    format: Option<Format>,
+) -> Obs {
+    let d = Descriptor::default();
+    let a = GrbMatrix::new(ty, N, N).unwrap();
+    for &(i, j, c) in m0 {
+        a.set(i, j, enc(ival(c))).unwrap();
+    }
+    if let Some(f) = format {
+        a.set_format(f).unwrap();
+    }
+    let u = graphblas_capi::GrbVector::new(ty, N).unwrap();
+    for &(i, _, c) in u0 {
+        u.set(i, enc(ival(c))).unwrap();
+    }
+
+    let mut obs = Obs {
+        vecs: Vec::new(),
+        mats: Vec::new(),
+        scalars: Vec::new(),
+    };
+
+    // w = A ⊕.⊗ u ; w2 = u ⊕.⊗ A
+    let w = graphblas_capi::GrbVector::new(ty, N).unwrap();
+    ops::mxv(&w, None, None, sr, &a, &u, &d).unwrap();
+    let w2 = graphblas_capi::GrbVector::new(ty, N).unwrap();
+    ops::vxm(&w2, None, None, sr, &u, &a, &d).unwrap();
+
+    // eWise add and mult over the two products
+    let s = graphblas_capi::GrbVector::new(ty, N).unwrap();
+    ops::ewise_add_vector(&s, None, None, plus, &w, &w2, &d).unwrap();
+    let p = graphblas_capi::GrbVector::new(ty, N).unwrap();
+    ops::ewise_mult_vector(&p, None, None, times, &w, &w2, &d).unwrap();
+
+    // unary apply through the registered/unregistered op, with accum
+    let q = graphblas_capi::GrbVector::new(ty, N).unwrap();
+    ops::apply_vector(&q, None, None, neg, &s, &d).unwrap();
+    ops::apply_vector(&q, None, Some(plus), neg, &p, &d).unwrap();
+
+    // C = A ⊕.⊗ A, then a row reduction and a full reduction
+    let c = GrbMatrix::new(ty, N, N).unwrap();
+    ops::mxm(&c, None, None, sr, &a, &a, &d).unwrap();
+    let r = graphblas_capi::GrbVector::new(ty, N).unwrap();
+    ops::reduce_rows(&r, None, None, add, &c, &d).unwrap();
+
+    obs.scalars
+        .push(decode(&ops::reduce_vector_scalar(add, &s).unwrap()));
+    obs.scalars
+        .push(decode(&ops::reduce_matrix_scalar(add, &c).unwrap()));
+    for v in [&w, &w2, &s, &p, &q, &r] {
+        obs.vecs.push(vec_obs(v));
+    }
+    obs.mats.push(mat_obs(&a));
+    obs.mats.push(mat_obs(&c));
+    obs
+}
+
+fn run_udt(m0: &Tuples, u0: &Tuples, format: Option<Format>) -> Obs {
+    let t = udt();
+    let alg = udt_algebra();
+    let enc = move |v: i64| t.value(&v.to_ne_bytes()).unwrap();
+    interpret(
+        t.ty(),
+        &enc,
+        &alg.sr,
+        &alg.add,
+        &alg.plus,
+        &alg.times,
+        &alg.neg,
+        m0,
+        u0,
+        format,
+    )
+}
+
+fn run_builtin(m0: &Tuples, u0: &Tuples, format: Option<Format>) -> Obs {
+    let alg = builtin_algebra();
+    interpret(
+        GrbType::Int64,
+        &Value::Int64,
+        &alg.sr,
+        &alg.add,
+        &alg.plus,
+        &alg.times,
+        &alg.neg,
+        m0,
+        u0,
+        format,
+    )
+}
+
+/// Pin the intra-kernel degree and force the cost model so even
+/// proptest-sized fixtures chunk.
+fn at_degree<R>(k: usize, f: impl FnOnce() -> R) -> R {
+    par::with_cost_model(1, 0, || par::with_parallelism(k, f))
+}
+
+const FORMATS: [Option<Format>; 4] = [
+    None,
+    Some(Format::Csr),
+    Some(Format::Bitmap),
+    Some(Format::Tiled),
+];
+
+const SESSIONS: [(Mode, SchedPolicy); 3] = [
+    (Mode::Blocking, SchedPolicy::Sequential),
+    (Mode::Nonblocking, SchedPolicy::Sequential),
+    (Mode::Nonblocking, SchedPolicy::Parallel),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The acceptance property: the registered UDT semiring and the
+    /// built-in INT64 semiring observe identical results on every
+    /// (mode, policy, format, degree) combination — and every one of
+    /// those equals the serial blocking built-in reference.
+    #[test]
+    fn udt_semiring_equals_builtin_bitwise(
+        m0 in sparse(40),
+        u0 in sparse(12),
+    ) {
+        let reference = with_session_policies(
+            Mode::Blocking, SchedPolicy::Sequential, FusePolicy::On,
+            || at_degree(1, || run_builtin(&m0, &u0, None)),
+        ).unwrap();
+
+        for (mode, policy) in SESSIONS {
+            for format in FORMATS {
+                for k in DEGREES {
+                    let (b, udt_obs) = with_session_policies(mode, policy, FusePolicy::On, || {
+                        at_degree(k, || {
+                            (run_builtin(&m0, &u0, format), run_udt(&m0, &u0, format))
+                        })
+                    }).unwrap();
+                    prop_assert_eq!(
+                        &reference, &b,
+                        "builtin drifted: mode {:?} policy {:?} format {:?} degree {}",
+                        mode, policy, format, k
+                    );
+                    prop_assert_eq!(
+                        &reference, &udt_obs,
+                        "udt lane drifted: mode {:?} policy {:?} format {:?} degree {}",
+                        mode, policy, format, k
+                    );
+                }
+            }
+        }
+    }
+}
